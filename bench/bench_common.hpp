@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the experiment binaries: environment-variable
+ * knobs (so CI can run reduced sweeps) and CSV emission next to the
+ * human-readable tables.
+ */
+#ifndef GOLFCC_BENCH_COMMON_HPP
+#define GOLFCC_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace golf::bench {
+
+/** Integer knob from the environment with a default. */
+inline int
+envInt(const char* name, int def)
+{
+    const char* v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    return std::atoi(v);
+}
+
+/** Where CSV artifacts go (default: current directory). */
+inline std::string
+csvPath(const std::string& filename)
+{
+    const char* dir = std::getenv("GOLF_RESULTS_DIR");
+    std::string base = dir && *dir ? dir : ".";
+    return base + "/" + filename;
+}
+
+} // namespace golf::bench
+
+#endif // GOLFCC_BENCH_COMMON_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates Figure 3 (RQ1(b)): the ratio of individual
+ * partial-deadlock reports between GOLF (monitor mode) and GOLEAK,
+ * per deduplicated GOLF report, over a synthetic monorepo test-suite
+ * corpus (DESIGN.md substitution 3; paper: 3 111 packages, 357
+ * deduplicated GOLEAK reports, 180 GOLF reports).
+ *
+ * Expected shape: GOLF sees ~50% of GOLEAK's deduplicated reports
+ * and ~60% of its individual reports; of the reports GOLF does see,
+ * ~55% match GOLEAK instance-for-instance, and the area under the
+ * sorted ratio curve is ~82%.
+ *
+ * Knobs: GOLF_PACKAGES (default 3111), GOLF_SEED.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "service/corpus.hpp"
+#include "support/stats.hpp"
+
+int
+main()
+{
+    namespace bench = golf::bench;
+    golf::service::CorpusConfig cfg;
+    cfg.packages = bench::envInt("GOLF_PACKAGES", 3111);
+    cfg.seed = static_cast<uint64_t>(bench::envInt("GOLF_SEED", 3));
+
+    std::printf("Figure 3 / RQ1(b): GOLF vs GOLEAK over %d package "
+                "test suites\n\n",
+                cfg.packages);
+
+    golf::service::CorpusResult r = golf::service::runCorpus(cfg);
+
+    std::printf("GOLEAK: %zu individual reports, %zu deduplicated\n",
+                r.goleakTotal, r.goleakDedup());
+    std::printf("GOLF:   %zu individual reports (%.0f%%), "
+                "%zu deduplicated (%.0f%% of GOLEAK's)\n",
+                r.golfTotal,
+                100.0 * static_cast<double>(r.golfTotal) /
+                    static_cast<double>(r.goleakTotal),
+                r.golfDedup(),
+                100.0 * static_cast<double>(r.golfDedup()) /
+                    static_cast<double>(r.goleakDedup()));
+
+    std::vector<double> curve = r.ratioCurve();
+    size_t full = 0;
+    for (double v : curve)
+        full += v >= 0.999 ? 1 : 0;
+    double auc = golf::support::normalizedAuc(curve);
+
+    std::printf("\nper-dedup-report GOLF/GOLEAK ratio curve "
+                "(%zu reports):\n", curve.size());
+    // Downsampled decile view of the curve.
+    std::printf("  x (report #):");
+    for (int d = 0; d <= 10; ++d) {
+        size_t idx = curve.empty()
+            ? 0 : std::min(curve.size() - 1, d * curve.size() / 10);
+        std::printf(" %5zu", idx + 1);
+    }
+    std::printf("\n  ratio (%%):  ");
+    for (int d = 0; d <= 10; ++d) {
+        size_t idx = curve.empty()
+            ? 0 : std::min(curve.size() - 1, d * curve.size() / 10);
+        std::printf(" %5.0f", curve.empty() ? 0 : 100 * curve[idx]);
+    }
+    std::printf("\n\n");
+
+    std::printf("reports where GOLF found every GOLEAK instance: "
+                "%zu (%.0f%%)\n",
+                full,
+                curve.empty()
+                    ? 0
+                    : 100.0 * static_cast<double>(full) /
+                          static_cast<double>(curve.size()));
+    std::printf("area under the ratio curve: %.0f%%\n", 100 * auc);
+
+    std::ofstream csv(bench::csvPath("fig3.csv"));
+    csv << "report_index,golf_to_goleak_ratio\n";
+    for (size_t i = 0; i < curve.size(); ++i)
+        csv << i + 1 << "," << curve[i] << "\n";
+    std::printf("\nCSV written to %s\n",
+                bench::csvPath("fig3.csv").c_str());
+    return 0;
+}

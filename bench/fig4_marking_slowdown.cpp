@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Regenerates Figure 4 (RQ2): slowdown of the GC marking phase under
+ * GOLF relative to the Baseline GC, across the 105 microbenchmark
+ * programs (73 deadlocking + 32 fixed), five repetitions each at one
+ * virtual core, measuring the marking phase's CPU time per cycle —
+ * the paper's methodology.
+ *
+ * Expected shape: for deadlocking programs GOLF's marking is usually
+ * *faster* (median < 1x — the deadlocked subgraph is never marked);
+ * for correct programs the median is ~1x with multi-x outliers in
+ * both directions.
+ *
+ * Knobs: GOLF_RUNS (default 5), GOLF_SEED.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace golf;
+using namespace golf::microbench;
+
+/** Average marking CPU microseconds per cycle over `runs` runs. */
+double
+markCpuUs(const Pattern& p, rt::GcMode mode, int runs, uint64_t seed)
+{
+    support::Samples perRun;
+    for (int i = 0; i < runs; ++i) {
+        HarnessConfig cfg;
+        cfg.procs = 1;
+        cfg.seed = seed + static_cast<uint64_t>(i) * 7919;
+        cfg.gcMode = mode;
+        RunOutcome out = runPatternOnce(p, cfg);
+        if (out.gcCycles > 0)
+            perRun.add(out.avgMarkCpuUs);
+    }
+    return perRun.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace bench = golf::bench;
+    const int runs = bench::envInt("GOLF_RUNS", 5);
+    const auto seed =
+        static_cast<uint64_t>(bench::envInt("GOLF_SEED", 21));
+
+    Registry& reg = Registry::instance();
+    support::Samples slowdownCorrect, slowdownDeadlock;
+    support::Samples absGolfCorrect, absGolfDeadlock;
+
+    std::ofstream csv(bench::csvPath("fig4.csv"));
+    csv << "program,kind,mark_cpu_us_baseline,mark_cpu_us_golf,"
+           "slowdown\n";
+
+    auto measure = [&](const Pattern& p) {
+        double base = markCpuUs(p, rt::GcMode::Baseline, runs, seed);
+        double gol = markCpuUs(p, rt::GcMode::Golf, runs, seed);
+        if (base <= 0 || gol <= 0)
+            return;
+        double slowdown = gol / base;
+        if (p.correct) {
+            slowdownCorrect.add(slowdown);
+            absGolfCorrect.add(gol);
+        } else {
+            slowdownDeadlock.add(slowdown);
+            absGolfDeadlock.add(gol);
+        }
+        csv << p.name << "," << (p.correct ? "correct" : "deadlock")
+            << "," << base << "," << gol << "," << slowdown << "\n";
+    };
+
+    for (const Pattern& p : reg.all()) {
+        measure(p);
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+
+    std::printf("Figure 4 (RQ2): GC marking-phase slowdown, GOLF vs "
+                "Baseline (%d runs each, 1 core, CPU time)\n\n",
+                runs);
+    std::printf("deadlocking programs (%zu):\n  slowdown %s\n",
+                slowdownDeadlock.count(),
+                support::BoxStats::of(slowdownDeadlock).str().c_str());
+    std::printf("  GOLF marking per cycle: median %.1f us, "
+                "max %.1f us\n\n",
+                absGolfDeadlock.median(), absGolfDeadlock.max());
+    std::printf("correct programs (%zu):\n  slowdown %s\n",
+                slowdownCorrect.count(),
+                support::BoxStats::of(slowdownCorrect).str().c_str());
+    std::printf("  GOLF marking per cycle: median %.1f us, "
+                "max %.1f us\n",
+                absGolfCorrect.median(), absGolfCorrect.max());
+
+    std::printf("\nCSV written to %s\n",
+                bench::csvPath("fig4.csv").c_str());
+    return 0;
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the collector itself,
+ * covering the Section 5.3 complexity discussion:
+ *
+ *  - the daisy-chain worst case (n mark iterations, O(N^2 + NS));
+ *  - the flat blocked-set case (one extra iteration, S checks);
+ *  - Baseline-vs-GOLF marking on the same object graph;
+ *  - runtime primitives (spawn, channel ping-pong) as context.
+ *
+ * Complexity fits are emitted via benchmark's --benchmark_* flags.
+ */
+#include <benchmark/benchmark.h>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace golf;
+using chan::Channel;
+using chan::makeChan;
+
+rt::Go
+chainLink(Channel<int>* in, Channel<int>* out)
+{
+    int v = (co_await chan::recv(in)).value;
+    co_await chan::send(out, v);
+    co_return;
+}
+
+/** Build a daisy chain of n blocked goroutines, then GC per
+ *  benchmark iteration; every cycle needs ~n mark iterations. */
+rt::Go
+chainBench(rt::Runtime* rtp, benchmark::State* state, int n)
+{
+    gc::Local<Channel<int>> head(makeChan<int>(*rtp, 0));
+    Channel<int>* prev = head.get();
+    for (int i = 0; i < n; ++i) {
+        auto* next = makeChan<int>(*rtp, 0);
+        GOLF_GO(*rtp, chainLink, prev, next);
+        prev = next;
+    }
+    // Let every link park.
+    for (int i = 0; i < 2 * n + 2; ++i)
+        co_await rt::yield();
+
+    for (auto _ : *state)
+        co_await rt::gcNow();
+
+    // Unblock the chain so the run ends without deadlock reports.
+    co_await chan::send(head.get(), 1);
+    co_await rt::sleepFor(support::kMillisecond);
+    co_return;
+}
+
+void
+collectChain(benchmark::State& state, rt::GcMode mode,
+             bool eager = false)
+{
+    rt::Config cfg;
+    cfg.gcMode = mode;
+    cfg.eagerLivenessMarking = eager;
+    cfg.heap.minTriggerBytes = 1ull << 30; // only forced GCs
+    rt::Runtime runtime(cfg);
+    runtime.runMain(chainBench, &runtime, &state,
+                    static_cast<int>(state.range(0)));
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_GolfCollect_DaisyChain(benchmark::State& state)
+{
+    collectChain(state, rt::GcMode::Golf);
+}
+BENCHMARK(BM_GolfCollect_DaisyChain)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void
+BM_BaselineCollect_DaisyChain(benchmark::State& state)
+{
+    collectChain(state, rt::GcMode::Baseline);
+}
+BENCHMARK(BM_BaselineCollect_DaisyChain)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity(benchmark::oN);
+
+/** Ablation: the Section 5.3 eager-liveness extension turns the
+ *  quadratic daisy chain linear. */
+void
+BM_GolfEagerCollect_DaisyChain(benchmark::State& state)
+{
+    collectChain(state, rt::GcMode::Golf, /*eager=*/true);
+}
+BENCHMARK(BM_GolfEagerCollect_DaisyChain)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity(benchmark::oN);
+
+rt::Go
+parkedReceiver(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+/** n independently blocked (but live) goroutines: the fixpoint
+ *  needs one extra iteration and N reachability checks. */
+rt::Go
+flatBench(rt::Runtime* rtp, benchmark::State* state, int n)
+{
+    std::vector<Channel<int>*> chans;
+    gc::Local<Channel<int>> keepAll[1]; // root the channels via a list
+    struct ChanList : gc::Object
+    {
+        std::vector<Channel<int>*> items;
+        void
+        trace(gc::Marker& m) override
+        {
+            for (auto* c : items)
+                m.mark(c);
+        }
+    };
+    gc::Local<ChanList> list(rtp->make<ChanList>());
+    for (int i = 0; i < n; ++i) {
+        auto* ch = makeChan<int>(*rtp, 0);
+        list->items.push_back(ch);
+        GOLF_GO(*rtp, parkedReceiver, ch);
+    }
+    for (int i = 0; i < n + 2; ++i)
+        co_await rt::yield();
+
+    for (auto _ : *state)
+        co_await rt::gcNow();
+
+    for (auto* ch : list->items)
+        co_await chan::send(ch, 1);
+    co_await rt::sleepFor(support::kMillisecond);
+    co_return;
+}
+
+void
+BM_GolfCollect_FlatBlockedSet(benchmark::State& state)
+{
+    rt::Config cfg;
+    cfg.heap.minTriggerBytes = 1ull << 30;
+    rt::Runtime runtime(cfg);
+    runtime.runMain(flatBench, &runtime, &state,
+                    static_cast<int>(state.range(0)));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GolfCollect_FlatBlockedSet)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity(benchmark::oN);
+
+// ---------------------------------------------------------------------
+// Runtime primitives for context.
+
+rt::Go
+pong(Channel<int>* ping, Channel<int>* pongCh)
+{
+    for (;;) {
+        auto r = co_await chan::recv(ping);
+        if (!r.ok)
+            break;
+        co_await chan::send(pongCh, r.value);
+    }
+    co_return;
+}
+
+rt::Go
+pingPongBench(rt::Runtime* rtp, benchmark::State* state)
+{
+    gc::Local<Channel<int>> ping(makeChan<int>(*rtp, 0));
+    gc::Local<Channel<int>> pongCh(makeChan<int>(*rtp, 0));
+    GOLF_GO(*rtp, pong, ping.get(), pongCh.get());
+    for (auto _ : *state) {
+        co_await chan::send(ping.get(), 1);
+        co_await chan::recv(pongCh.get());
+    }
+    chan::close(ping.get());
+    co_await rt::sleepFor(support::kMillisecond);
+    co_return;
+}
+
+void
+BM_ChannelPingPong(benchmark::State& state)
+{
+    rt::Config cfg;
+    cfg.heap.minTriggerBytes = 1ull << 30;
+    rt::Runtime runtime(cfg);
+    runtime.runMain(pingPongBench, &runtime, &state);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+rt::Go
+noopBody()
+{
+    co_return;
+}
+
+rt::Go
+spawnBench(rt::Runtime* rtp, benchmark::State* state)
+{
+    for (auto _ : *state) {
+        GOLF_GO(*rtp, noopBody);
+        co_await rt::yield(); // run it; the pool recycles it
+        co_await rt::yield();
+    }
+    co_return;
+}
+
+void
+BM_SpawnRecycle(benchmark::State& state)
+{
+    rt::Config cfg;
+    cfg.heap.minTriggerBytes = 1ull << 30;
+    rt::Runtime runtime(cfg);
+    runtime.runMain(spawnBench, &runtime, &state);
+}
+BENCHMARK(BM_SpawnRecycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Regenerates Table 2: performance impact of GOLF on a service under
+ * controlled testing. Four runs — Baseline and GOLF, at 0% and 10%
+ * child-goroutine leak rates — reporting client throughput/latency
+ * and server MemStats/GC metrics, with the B/G ratio columns.
+ *
+ * Expected shape (paper): at 0% leak, parity except GC pauses (GOLF
+ * ~2.5x worse pause-per-cycle). At 10% leak, GOLF wins ~9% on
+ * throughput, ~1.5x on tail latency, and dozens of x on
+ * HeapAlloc/HeapObjects; the baseline runs fewer GC cycles because
+ * its ballooning live heap stretches the pacing trigger.
+ *
+ * Knobs: GOLF_DURATION_S (default 30), GOLF_CONNS (32),
+ * GOLF_MAP_ENTRIES (100000), GOLF_SEED.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using golf::service::ControlledResult;
+using golf::service::ServiceConfig;
+
+void
+printRatioRow(const char* name, double base, double gol,
+              bool higherIsBetter)
+{
+    double ratio = gol == 0 ? 0 : base / gol;
+    std::printf("  %-38s %14.4g %14.4g %8.2f%s\n", name, base, gol,
+                ratio,
+                higherIsBetter ? (base > gol ? "  (B)" : "  (G)")
+                               : (base < gol ? "  (B)" : "  (G)"));
+}
+
+void
+printPair(const char* title, const ControlledResult& base,
+          const ControlledResult& gol)
+{
+    std::printf("\n=== %s ===\n", title);
+    std::printf("  %-38s %14s %14s %8s\n", "Metric", "Base (B)",
+                "GOLF (G)", "B/G");
+    std::printf("  -- client --\n");
+    printRatioRow("Throughput (req./s)", base.throughputRps,
+                  gol.throughputRps, true);
+    printRatioRow("P50 latency (ms)", base.latency.p50,
+                  gol.latency.p50, false);
+    printRatioRow("P90 latency (ms)", base.latency.p90,
+                  gol.latency.p90, false);
+    printRatioRow("P95 latency (ms)", base.latency.p95,
+                  gol.latency.p95, false);
+    printRatioRow("P99 latency (ms)", base.latency.p99,
+                  gol.latency.p99, false);
+    printRatioRow("P99.9 latency (ms)", base.latency.p999,
+                  gol.latency.p999, false);
+    printRatioRow("P99.995 latency (ms)", base.latency.p99995,
+                  gol.latency.p99995, false);
+    printRatioRow("Maximum latency (ms)", base.latency.max,
+                  gol.latency.max, false);
+    std::printf("  -- server --\n");
+    printRatioRow("Stack spans (MB) (StackInuse)",
+                  static_cast<double>(base.stackInuse) / 1e6,
+                  static_cast<double>(gol.stackInuse) / 1e6, false);
+    printRatioRow("Heap alloc (MB) (HeapAlloc)",
+                  static_cast<double>(base.heapAlloc) / 1e6,
+                  static_cast<double>(gol.heapAlloc) / 1e6, false);
+    printRatioRow("Heap in use (MB) (HeapInuse)",
+                  static_cast<double>(base.heapInuse) / 1e6,
+                  static_cast<double>(gol.heapInuse) / 1e6, false);
+    printRatioRow("No. of objects (HeapObjects)",
+                  static_cast<double>(base.heapObjects),
+                  static_cast<double>(gol.heapObjects), false);
+    printRatioRow("GC CPU fraction (GCCPUFraction)",
+                  base.gcCpuFraction, gol.gcCpuFraction, false);
+    printRatioRow("GC pause time (ns) (PauseTotalNs)",
+                  static_cast<double>(base.pauseTotalNs),
+                  static_cast<double>(gol.pauseTotalNs), false);
+    printRatioRow("No. of GC cycles (NumGC)",
+                  static_cast<double>(base.numGC),
+                  static_cast<double>(gol.numGC), false);
+    printRatioRow("Pause per cycle (ns)", base.pausePerCycleNs,
+                  gol.pausePerCycleNs, false);
+    std::printf("  deadlocks detected: base=%zu golf=%zu "
+                "(requests: %zu / %zu)\n",
+                base.deadlocksDetected, gol.deadlocksDetected,
+                base.requestsServed, gol.requestsServed);
+}
+
+ControlledResult
+run(double leakRate, golf::rt::GcMode mode, const ServiceConfig& proto)
+{
+    ServiceConfig cfg = proto;
+    cfg.leakRate = leakRate;
+    cfg.gcMode = mode;
+    return golf::service::runControlledService(cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace bench = golf::bench;
+    ServiceConfig proto;
+    proto.duration =
+        bench::envInt("GOLF_DURATION_S", 30) * golf::support::kSecond;
+    proto.connections = bench::envInt("GOLF_CONNS", 32);
+    proto.mapEntries =
+        static_cast<size_t>(bench::envInt("GOLF_MAP_ENTRIES", 100000));
+    proto.seed = static_cast<uint64_t>(bench::envInt("GOLF_SEED", 7));
+
+    std::printf("Table 2: GOLF vs Baseline on the controlled "
+                "service (%d conns, %llds + 5s warmup)\n",
+                proto.connections,
+                static_cast<long long>(proto.duration /
+                                       golf::support::kSecond));
+
+    auto base0 = run(0.0, golf::rt::GcMode::Baseline, proto);
+    auto golf0 = run(0.0, golf::rt::GcMode::Golf, proto);
+    printPair("Leaks in 0% of requests", base0, golf0);
+
+    auto base10 = run(0.10, golf::rt::GcMode::Baseline, proto);
+    auto golf10 = run(0.10, golf::rt::GcMode::Golf, proto);
+    printPair("Leaks in 10% of requests", base10, golf10);
+
+    std::ofstream csv(bench::csvPath("table2.csv"));
+    csv << "scenario,mode,throughput_rps,p50_ms,p90_ms,p95_ms,p99_ms,"
+           "p999_ms,p99995_ms,max_ms,stack_bytes,heap_alloc,"
+           "heap_objects,gc_cpu_fraction,pause_total_ns,num_gc,"
+           "deadlocks\n";
+    auto emit = [&](const char* sc, const char* mode,
+                    const ControlledResult& r) {
+        csv << sc << "," << mode << "," << r.throughputRps << ","
+            << r.latency.p50 << "," << r.latency.p90 << ","
+            << r.latency.p95 << "," << r.latency.p99 << ","
+            << r.latency.p999 << "," << r.latency.p99995 << ","
+            << r.latency.max << "," << r.stackInuse << ","
+            << r.heapAlloc << "," << r.heapObjects << ","
+            << r.gcCpuFraction << "," << r.pauseTotalNs << ","
+            << r.numGC << "," << r.deadlocksDetected << "\n";
+    };
+    emit("leak0", "baseline", base0);
+    emit("leak0", "golf", golf0);
+    emit("leak10", "baseline", base10);
+    emit("leak10", "golf", golf10);
+    std::printf("\nCSV written to %s\n",
+                bench::csvPath("table2.csv").c_str());
+    return 0;
+}

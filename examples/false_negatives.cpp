@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The two classes of false negatives from Section 4.3: a deadlock on
+ * a globally reachable channel (Listing 4) and a deadlock hidden by
+ * a runaway live "heartbeat" goroutine (Listing 5). Both goroutines
+ * are genuinely stuck forever — GOLEAK-style end-of-test inspection
+ * sees them — but memory reachability over-approximates liveness, so
+ * GOLF must stay silent (that is the price of soundness).
+ *
+ *   $ ./false_negatives
+ */
+#include <cstdio>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "leakdetect/goleak.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace golf;
+using chan::Channel;
+using chan::Unit;
+
+namespace {
+
+/** Listing 5's dispatcher. */
+class Dispatcher : public gc::Object
+{
+  public:
+    Channel<Unit>* ch = nullptr;
+    int ticks = 0;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(ch);
+    }
+
+    const char* objectName() const override { return "dispatcher"; }
+};
+
+rt::Go
+globalSender(Channel<int>* ch)
+{
+    co_await chan::send(ch, 1); // Listing 4 line 59
+    co_return;
+}
+
+rt::Go
+heartbeat(Dispatcher* d)
+{
+    for (;;) { // Listing 5 lines 71-75
+        co_await rt::sleepFor(support::kSecond);
+        ++d->ticks;
+    }
+    co_return;
+}
+
+rt::Go
+dispatcherSender(Dispatcher* d)
+{
+    co_await chan::send(d->ch, Unit{}); // Listing 5 line 80
+    co_return;
+}
+
+rt::Go
+mainGoroutine(rt::Runtime* rtp)
+{
+    rt::Runtime& rt = *rtp;
+
+    // Listing 4: var ch = make(chan int) at package level.
+    gc::GlobalRoot<Channel<int>> globalCh(rt.heap(),
+                                          chan::makeChan<int>(rt, 0));
+    GOLF_GO(rt, globalSender, globalCh.get());
+
+    // Listing 5: newDispatcher + the doomed send on d.ch.
+    Dispatcher* d = rt.make<Dispatcher>();
+    d->ch = chan::makeChan<Unit>(rt, 0);
+    GOLF_GO(rt, heartbeat, d);
+    GOLF_GO(rt, dispatcherSender, d);
+    // main takes the early-return path: <-d.ch never happens, and
+    // main's reference to d is dropped here.
+
+    co_await rt::sleepFor(5 * support::kMillisecond);
+    co_await rt::gcNow();
+
+    std::printf("GOLF reports:   %zu (both deadlocks invisible)\n",
+                rtp->collector().reports().total());
+
+    // --- the Section 8 future-work fix: liveness hints ---
+    // A static analysis (or the developer) asserts that the global
+    // channel is never used again and that the heartbeat never
+    // operates on d.ch. With hints, both deadlocks surface.
+    rtp->collector().hintInertGlobal(globalCh.get());
+    rtp->forEachGoroutine([&](rt::Goroutine* g) {
+        if (g->status() == rt::GStatus::Waiting &&
+            g->waitReason() == rt::WaitReason::Sleep) {
+            rtp->collector().hintInertGoroutine(g);
+        }
+    });
+    co_await rt::gcNow();
+    std::printf("with liveness hints: %zu reports\n",
+                rtp->collector().reports().total());
+    co_return;
+}
+
+} // namespace
+
+int
+main()
+{
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::ReportOnly; // keep leaks observable
+    rt::Runtime runtime(cfg);
+    runtime.runMain(mainGoroutine, &runtime);
+
+    // GOLEAK-style end-of-run inspection does see both leaks.
+    auto leaks = leakdetect::findLeaks(runtime);
+    std::printf("GOLEAK reports: %zu\n", leaks.total());
+    for (const auto& l : leaks.leaks) {
+        std::printf("  goroutine %llu [%s] spawned at %s\n",
+                    static_cast<unsigned long long>(l.id),
+                    rt::waitReasonName(l.reason),
+                    l.spawnSite.str().c_str());
+    }
+    // Hint-less GOLF saw nothing; hinted GOLF found both; GOLEAK
+    // sees both lingering.
+    const bool ok = runtime.collector().reports().total() == 2 &&
+                    leaks.total() == 2;
+    std::printf("\nfalse negatives (and the hint fix) reproduced: "
+                "%s\n", ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The paper's motivating example (Listing 3): GoFuncManager.
+ *
+ * NewFuncManager spawns two goroutines that range over embedded
+ * channels; the implicit contract is that every caller eventually
+ * invokes WaitForResults, which closes both channels. ConcurrentTask
+ * violates the contract on an early-return path, deadlocking both
+ * iterating goroutines. GOLF detects the pair once the manager
+ * object becomes unreachable from live goroutines.
+ *
+ *   $ ./func_manager
+ */
+#include <cstdio>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace golf;
+using chan::Channel;
+
+/** The goFuncManager struct of Listing 3. */
+class GoFuncManager : public gc::Object
+{
+  public:
+    Channel<int>* e = nullptr; ///< error channel
+    Channel<int>* d = nullptr; ///< data channel
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(e);
+        m.mark(d);
+    }
+
+    const char* objectName() const override { return "goFuncManager"; }
+};
+
+rt::Go
+drainErrors(GoFuncManager* gfm)
+{
+    int seen = 0;
+    while (true) { // for err := range gfm.e
+        auto r = co_await chan::recv(gfm->e);
+        if (!r.ok)
+            break;
+        ++seen;
+    }
+    std::printf("error drainer exited after %d errors\n", seen);
+    co_return;
+}
+
+rt::Go
+drainData(GoFuncManager* gfm)
+{
+    int seen = 0;
+    while (true) { // for data := range gfm.d
+        auto r = co_await chan::recv(gfm->d);
+        if (!r.ok)
+            break;
+        ++seen;
+    }
+    std::printf("data drainer exited after %d items\n", seen);
+    co_return;
+}
+
+/** NewFuncManager (Listing 3 lines 29-41). */
+GoFuncManager*
+newFuncManager(rt::Runtime& rt)
+{
+    GoFuncManager* gfm = rt.make<GoFuncManager>();
+    gfm->e = chan::makeChan<int>(rt, 0);
+    gfm->d = chan::makeChan<int>(rt, 0);
+    GOLF_GO(rt, drainErrors, gfm);
+    GOLF_GO(rt, drainData, gfm);
+    return gfm;
+}
+
+/** WaitForResults (lines 43-48): the contract-fulfilling path. */
+void
+waitForResults(GoFuncManager* gfm)
+{
+    chan::close(gfm->e);
+    chan::close(gfm->d);
+}
+
+/** ConcurrentTask (lines 49-55). */
+rt::Task<void>
+concurrentTask(rt::Runtime& rt, bool earlyReturn)
+{
+    gc::Local<GoFuncManager> gfm(newFuncManager(rt));
+    co_await rt::sleepFor(support::kMillisecond); // do some work
+    if (earlyReturn) {
+        std::printf("ConcurrentTask: error path taken, returning "
+                    "without WaitForResults\n");
+        co_return; // the two drainers are now doomed
+    }
+    waitForResults(gfm.get());
+    co_return;
+}
+
+rt::Go
+mainGoroutine(rt::Runtime* rtp)
+{
+    std::printf("--- correct run (WaitForResults called) ---\n");
+    co_await concurrentTask(*rtp, false);
+    co_await rt::sleepFor(support::kMillisecond);
+    co_await rt::gcNow();
+    std::printf("reports so far: %zu\n\n",
+                rtp->collector().reports().total());
+
+    std::printf("--- buggy run (early return) ---\n");
+    co_await concurrentTask(*rtp, true);
+    co_await rt::sleepFor(support::kMillisecond);
+    co_await rt::gcNow();
+
+    const auto& log = rtp->collector().reports();
+    std::printf("GOLF reports after the buggy run: %zu\n",
+                log.total());
+    for (const auto& rep : log.all())
+        std::printf("%s\n", rep.str().c_str());
+    co_return;
+}
+
+int
+main()
+{
+    rt::Runtime runtime;
+    rt::RunResult r = runtime.runMain(mainGoroutine, &runtime);
+    return r.ok() &&
+                   runtime.collector().reports().total() == 2
+        ? 0 : 1;
+}

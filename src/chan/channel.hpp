@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Go channels: bounded message queues with blocking send/receive.
+ *
+ * Semantics follow Section 2 of the paper:
+ *  - capacity 0 (unbuffered): send and receive block until a partner
+ *    performs the complementary operation;
+ *  - capacity > 0 (buffered): send blocks only when the buffer is
+ *    full, receive only when it is empty;
+ *  - nil channels: send/receive block forever (B(g) = {epsilon});
+ *  - close(): receives drain the buffer then yield (zero, ok=false);
+ *    blocked senders and later sends panic; double close panics.
+ *
+ * GC integration: the buffer contents are traced; the waiter queues
+ * are *not* — the Go GC likewise does not use channel waiter lists to
+ * mark blocked goroutines (the rejected optimization of Section 5.3).
+ * A blocked operation roots the channel from the blocking goroutine's
+ * shadow stack, which is what makes the closure of a deadlocked
+ * goroutine reclaimable as a unit.
+ */
+#ifndef GOLFCC_CHAN_CHANNEL_HPP
+#define GOLFCC_CHAN_CHANNEL_HPP
+
+#include <deque>
+#include <source_location>
+#include <utility>
+
+#include "gc/marker.hpp"
+#include "gc/object.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "support/intrusive_list.hpp"
+#include "support/panic.hpp"
+
+namespace golf::chan {
+
+/** Payload for signal-only channels (chan struct{}). */
+struct Unit
+{
+    bool operator==(const Unit&) const = default;
+};
+
+/** Shared state linking the waiters of one select statement. */
+struct SelectState
+{
+    rt::Goroutine* g = nullptr;
+    bool claimed = false;
+    int chosenIndex = -1;
+};
+
+/** A parked channel operation (the sudog analog). Lives inside the
+ *  blocking awaitable, i.e. in a coroutine frame: destroying the
+ *  frame unlinks it from the channel queue automatically. */
+struct WaiterBase
+{
+    support::IListNode node;
+    rt::Goroutine* g = nullptr;
+    SelectState* sel = nullptr;
+    int caseIndex = -1;
+    bool success = false;    ///< Value delivered / taken.
+    bool closedWake = false; ///< Woken because the channel closed.
+};
+
+template <typename T>
+struct Waiter : WaiterBase
+{
+    T* slot = nullptr;
+};
+
+/** Result of a non-blocking channel operation attempt. */
+enum class OpStatus
+{
+    Done,       ///< Operation completed (for recv, check ok).
+    WouldBlock, ///< Must park.
+    Closed,     ///< Send on closed channel (caller panics).
+};
+
+template <typename T>
+class Channel : public gc::Object
+{
+  public:
+    Channel(rt::Runtime& rt, size_t capacity)
+        : rt_(rt), cap_(capacity)
+    {}
+
+    size_t capacity() const { return cap_; }
+    size_t size() const { return buf_.size(); }
+    bool closed() const { return closed_; }
+
+    /** Non-blocking send attempt; moves from v on success. */
+    OpStatus
+    trySend(T& v)
+    {
+        if (closed_)
+            return OpStatus::Closed;
+        if (Waiter<T>* w = popRecvWaiter()) {
+            *w->slot = std::move(v);
+            w->success = true;
+            rt_.ready(w->g);
+            return OpStatus::Done;
+        }
+        if (buf_.size() < cap_) {
+            buf_.push_back(std::move(v));
+            return OpStatus::Done;
+        }
+        return OpStatus::WouldBlock;
+    }
+
+    /** Non-blocking receive attempt. On Done, *ok reports whether a
+     *  value (vs. the closed-channel zero value) was received. */
+    OpStatus
+    tryRecv(T* out, bool* ok)
+    {
+        if (!buf_.empty()) {
+            *out = std::move(buf_.front());
+            buf_.pop_front();
+            // A parked sender can now place its value in the buffer.
+            if (Waiter<T>* w = popSendWaiter()) {
+                buf_.push_back(std::move(*w->slot));
+                w->success = true;
+                rt_.ready(w->g);
+            }
+            *ok = true;
+            return OpStatus::Done;
+        }
+        if (Waiter<T>* w = popSendWaiter()) {
+            // Unbuffered handoff.
+            *out = std::move(*w->slot);
+            w->success = true;
+            rt_.ready(w->g);
+            *ok = true;
+            return OpStatus::Done;
+        }
+        if (closed_) {
+            *out = T{};
+            *ok = false;
+            return OpStatus::Done;
+        }
+        return OpStatus::WouldBlock;
+    }
+
+    /** close(ch). Panics on double close. */
+    void
+    doClose()
+    {
+        if (closed_)
+            support::goPanic("close of closed channel");
+        closed_ = true;
+        while (Waiter<T>* w = popRecvWaiter()) {
+            *w->slot = T{};
+            w->success = false;
+            w->closedWake = true;
+            rt_.ready(w->g);
+        }
+        while (Waiter<T>* w = popSendWaiter()) {
+            w->closedWake = true;
+            rt_.ready(w->g);
+        }
+    }
+
+    /**
+     * Send from outside any goroutine (runtime timers, the service
+     * driver). Drops the value if it would block and the buffer is
+     * full — used only for capacity >= 1 notification channels
+     * (time.After semantics).
+     */
+    bool
+    trySendExternal(T v)
+    {
+        return trySend(v) == OpStatus::Done;
+    }
+
+    /// @{ Waiter registration for blocking ops and select.
+    void enqueueSend(Waiter<T>* w) { sendq_.pushBack(w); }
+    void enqueueRecv(Waiter<T>* w) { recvq_.pushBack(w); }
+    bool hasBlockedSenders() { return firstActive(sendq_) != nullptr; }
+    bool hasBlockedReceivers() { return firstActive(recvq_) != nullptr; }
+    /// @}
+
+    void
+    trace(gc::Marker& m) override
+    {
+        for (auto& v : buf_)
+            gc::traceValue(m, v);
+        // sendq_/recvq_ deliberately untraced (Section 5.3): blocked
+        // goroutines become reachable only through the GOLF root-set
+        // expansion, never through the channel itself.
+    }
+
+    const char* objectName() const override { return "chan"; }
+
+  private:
+    using Queue = support::IList<WaiterBase, &WaiterBase::node>;
+
+    /** First waiter whose select (if any) is still unclaimed; stale
+     *  claimed select waiters are unlinked lazily on the way. */
+    WaiterBase*
+    firstActive(Queue& q)
+    {
+        while (WaiterBase* w = q.front()) {
+            if (w->sel && w->sel->claimed) {
+                w->node.unlink();
+                continue;
+            }
+            return w;
+        }
+        return nullptr;
+    }
+
+    Waiter<T>*
+    popActive(Queue& q)
+    {
+        WaiterBase* w = firstActive(q);
+        if (!w)
+            return nullptr;
+        w->node.unlink();
+        if (w->sel) {
+            w->sel->claimed = true;
+            w->sel->chosenIndex = w->caseIndex;
+        }
+        return static_cast<Waiter<T>*>(w);
+    }
+
+    Waiter<T>* popRecvWaiter() { return popActive(recvq_); }
+    Waiter<T>* popSendWaiter() { return popActive(sendq_); }
+
+    rt::Runtime& rt_;
+    size_t cap_;
+    std::deque<T> buf_;
+    bool closed_ = false;
+    Queue sendq_;
+    Queue recvq_;
+};
+
+/** make(chan T, capacity) analog. */
+template <typename T>
+Channel<T>*
+makeChan(rt::Runtime& rt, size_t capacity = 0)
+{
+    return rt.heap().make<Channel<T>>(rt, capacity);
+}
+
+/** Result of a receive: the value and the ok flag. */
+template <typename T>
+struct RecvResult
+{
+    T value{};
+    bool ok = false;
+};
+
+/** Awaitable send (ch <- v). A nil channel blocks forever. */
+template <typename T>
+class SendOp
+{
+  public:
+    SendOp(Channel<T>* ch, T v, rt::Site site)
+        : ch_(ch), value_(std::move(v)), site_(site),
+          valueRoot_(value_), chanRoot_(ch_)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt::Goroutine* g = rt->currentGoroutine();
+        if (!ch_) {
+            rt->park(g, h, rt::WaitReason::ChanSendNil, {}, true,
+                     site_);
+            return true;
+        }
+        switch (ch_->trySend(value_)) {
+          case OpStatus::Done:
+            return false;
+          case OpStatus::Closed:
+            panicClosed_ = true;
+            return false;
+          case OpStatus::WouldBlock:
+            break;
+        }
+        waiter_.g = g;
+        waiter_.slot = &value_;
+        ch_->enqueueSend(&waiter_);
+        rt->park(g, h, rt::WaitReason::ChanSend, {ch_}, false, site_);
+        return true;
+    }
+
+    void
+    await_resume()
+    {
+        if (panicClosed_ || waiter_.closedWake)
+            support::goPanic("send on closed channel");
+    }
+
+  private:
+    Channel<T>* ch_;
+    T value_;
+    rt::Site site_;
+    gc::ValueRoot<T> valueRoot_;
+    gc::ValueRoot<Channel<T>*> chanRoot_;
+    Waiter<T> waiter_;
+    bool panicClosed_ = false;
+};
+
+/** Awaitable receive (<-ch). A nil channel blocks forever. */
+template <typename T>
+class RecvOp
+{
+  public:
+    RecvOp(Channel<T>* ch, rt::Site site)
+        : ch_(ch), site_(site), valueRoot_(value_), chanRoot_(ch_)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt::Goroutine* g = rt->currentGoroutine();
+        if (!ch_) {
+            rt->park(g, h, rt::WaitReason::ChanRecvNil, {}, true,
+                     site_);
+            return true;
+        }
+        if (ch_->tryRecv(&value_, &ok_) == OpStatus::Done) {
+            immediate_ = true;
+            return false;
+        }
+        waiter_.g = g;
+        waiter_.slot = &value_;
+        ch_->enqueueRecv(&waiter_);
+        rt->park(g, h, rt::WaitReason::ChanRecv, {ch_}, false, site_);
+        return true;
+    }
+
+    RecvResult<T>
+    await_resume()
+    {
+        if (!immediate_)
+            ok_ = waiter_.success;
+        return RecvResult<T>{std::move(value_), ok_};
+    }
+
+  private:
+    Channel<T>* ch_;
+    rt::Site site_;
+    T value_{};
+    bool ok_ = false;
+    bool immediate_ = false;
+    gc::ValueRoot<T> valueRoot_;
+    gc::ValueRoot<Channel<T>*> chanRoot_;
+    Waiter<T> waiter_;
+};
+
+/// @{ The channel operation API (free functions accept nil channels).
+
+template <typename T>
+SendOp<T>
+send(Channel<T>* ch, T v,
+     std::source_location loc = std::source_location::current())
+{
+    return SendOp<T>(ch, std::move(v), rt::Site::from(loc));
+}
+
+template <typename T>
+RecvOp<T>
+recv(Channel<T>* ch,
+     std::source_location loc = std::source_location::current())
+{
+    return RecvOp<T>(ch, rt::Site::from(loc));
+}
+
+template <typename T>
+void
+close(Channel<T>* ch)
+{
+    if (!ch)
+        support::goPanic("close of nil channel");
+    ch->doClose();
+}
+
+/// @}
+
+} // namespace golf::chan
+
+#endif // GOLFCC_CHAN_CHANNEL_HPP

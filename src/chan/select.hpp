@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Go select statements over golfcc channels.
+ *
+ * Semantics (Section 2): a select blocks until at least one case can
+ * fire, then chooses among ready cases pseudo-randomly; a default
+ * case makes it non-blocking; nil-channel cases never fire; a select
+ * with zero cases (selectForever) blocks forever with B(g) = {eps}.
+ *
+ * While parked, one waiter per non-nil channel case sits in that
+ * channel's queue; all waiters share a SelectState, and the first
+ * channel to fire claims it. B(g) is the set of all case channels,
+ * exactly the multi-channel blocking set of Section 4.1.
+ *
+ * Implementation split: case *specs* (channel, output slots, payload)
+ * are small movable values carried into the awaitable; the per-case
+ * *state* (waiter node, root slot) is non-movable and constructed in
+ * place inside the awaitable, which itself lives in the coroutine
+ * frame for the duration of the operation.
+ */
+#ifndef GOLFCC_CHAN_SELECT_HPP
+#define GOLFCC_CHAN_SELECT_HPP
+
+#include <tuple>
+#include <vector>
+
+#include "chan/channel.hpp"
+
+namespace golf::chan {
+
+/** Index returned when the default case fires. */
+constexpr int kSelectDefault = -1;
+
+/// @{ Case specs (movable; built by the case factories).
+
+template <typename T>
+struct RecvSpec
+{
+    Channel<T>* ch;
+    T* out;
+    bool* okOut;
+    rt::Site site;
+};
+
+template <typename T>
+struct SendSpec
+{
+    Channel<T>* ch;
+    T value;
+    rt::Site site;
+};
+
+struct DefaultSpec
+{
+    rt::Site site;
+};
+
+template <typename T>
+RecvSpec<T>
+recvCase(Channel<T>* ch, T* out = nullptr, bool* ok = nullptr,
+         std::source_location loc = std::source_location::current())
+{
+    return RecvSpec<T>{ch, out, ok, rt::Site::from(loc)};
+}
+
+template <typename T>
+SendSpec<T>
+sendCase(Channel<T>* ch, T v,
+         std::source_location loc = std::source_location::current())
+{
+    return SendSpec<T>{ch, std::move(v), rt::Site::from(loc)};
+}
+
+inline DefaultSpec
+defaultCase(std::source_location loc = std::source_location::current())
+{
+    return DefaultSpec{rt::Site::from(loc)};
+}
+
+/// @}
+
+namespace seldetail {
+
+/// @{ Per-case runtime state (non-movable; constructed in place).
+
+template <typename T>
+struct RecvState
+{
+    Waiter<T> waiter{};
+    T tmp{};
+    bool pollOk = false;
+    bool polled = false;
+    gc::RootSlot root{};
+};
+
+template <typename T>
+struct SendState
+{
+    Waiter<T> waiter{};
+    bool polled = false;
+    bool panicClosed = false;
+    gc::RootSlot root{};
+};
+
+struct DefaultState
+{};
+
+template <typename Spec>
+struct StateFor;
+template <typename T>
+struct StateFor<RecvSpec<T>>
+{
+    using type = RecvState<T>;
+};
+template <typename T>
+struct StateFor<SendSpec<T>>
+{
+    using type = SendState<T>;
+};
+template <>
+struct StateFor<DefaultSpec>
+{
+    using type = DefaultState;
+};
+
+template <typename C>
+struct IsDefault : std::false_type
+{};
+template <>
+struct IsDefault<DefaultSpec> : std::true_type
+{};
+
+/** Register `ref` as a root of g if it is a managed pointer. */
+template <typename T>
+void
+rootIfManaged(gc::RootSlot& slot, T& ref, rt::Goroutine* g)
+{
+    if constexpr (std::is_pointer_v<T> &&
+                  std::is_base_of_v<gc::Object,
+                                    std::remove_pointer_t<T>>) {
+        slot.setSlot(reinterpret_cast<gc::Object**>(&ref));
+        g->roots().add(&slot);
+    } else {
+        (void)slot;
+        (void)ref;
+        (void)g;
+    }
+}
+
+template <typename T>
+bool
+poll(RecvSpec<T>& spec, RecvState<T>& st)
+{
+    if (!spec.ch)
+        return false;
+    if (spec.ch->tryRecv(&st.tmp, &st.pollOk) == OpStatus::Done) {
+        st.polled = true;
+        return true;
+    }
+    return false;
+}
+
+template <typename T>
+bool
+poll(SendSpec<T>& spec, SendState<T>& st)
+{
+    if (!spec.ch)
+        return false;
+    switch (spec.ch->trySend(spec.value)) {
+      case OpStatus::Done:
+        st.polled = true;
+        return true;
+      case OpStatus::Closed:
+        // The case is "ready": executing it panics (Go semantics).
+        st.polled = true;
+        st.panicClosed = true;
+        return true;
+      case OpStatus::WouldBlock:
+        return false;
+    }
+    return false;
+}
+
+inline bool
+poll(DefaultSpec&, DefaultState&)
+{
+    return false;
+}
+
+template <typename T>
+void
+registerWaiter(RecvSpec<T>& spec, RecvState<T>& st, SelectState* sel,
+               int idx, rt::Goroutine* g)
+{
+    if (!spec.ch)
+        return;
+    st.waiter.g = g;
+    st.waiter.sel = sel;
+    st.waiter.caseIndex = idx;
+    st.waiter.slot = &st.tmp;
+    spec.ch->enqueueRecv(&st.waiter);
+    rootIfManaged(st.root, st.tmp, g);
+}
+
+template <typename T>
+void
+registerWaiter(SendSpec<T>& spec, SendState<T>& st, SelectState* sel,
+               int idx, rt::Goroutine* g)
+{
+    if (!spec.ch)
+        return;
+    st.waiter.g = g;
+    st.waiter.sel = sel;
+    st.waiter.caseIndex = idx;
+    st.waiter.slot = &spec.value;
+    spec.ch->enqueueSend(&st.waiter);
+    rootIfManaged(st.root, spec.value, g);
+}
+
+inline void
+registerWaiter(DefaultSpec&, DefaultState&, SelectState*, int,
+               rt::Goroutine*)
+{
+}
+
+template <typename T>
+void
+dequeue(RecvSpec<T>&, RecvState<T>& st)
+{
+    if (st.waiter.node.linked())
+        st.waiter.node.unlink();
+}
+
+template <typename T>
+void
+dequeue(SendSpec<T>&, SendState<T>& st)
+{
+    if (st.waiter.node.linked())
+        st.waiter.node.unlink();
+}
+
+inline void
+dequeue(DefaultSpec&, DefaultState&)
+{
+}
+
+template <typename T>
+void
+finish(RecvSpec<T>& spec, RecvState<T>& st)
+{
+    bool ok = st.polled ? st.pollOk : st.waiter.success;
+    if (spec.out)
+        *spec.out = std::move(st.tmp);
+    if (spec.okOut)
+        *spec.okOut = ok;
+}
+
+template <typename T>
+void
+finish(SendSpec<T>&, SendState<T>& st)
+{
+    if (st.panicClosed || st.waiter.closedWake)
+        support::goPanic("send on closed channel");
+}
+
+inline void
+finish(DefaultSpec&, DefaultState&)
+{
+}
+
+template <typename T>
+gc::Object*
+channelOf(RecvSpec<T>& spec)
+{
+    return spec.ch;
+}
+
+template <typename T>
+gc::Object*
+channelOf(SendSpec<T>& spec)
+{
+    return spec.ch;
+}
+
+inline gc::Object*
+channelOf(DefaultSpec&)
+{
+    return nullptr;
+}
+
+} // namespace seldetail
+
+/** The select awaitable; co_await yields the fired case index
+ *  (declaration order, 0-based) or kSelectDefault. */
+template <typename... Specs>
+class SelectOp
+{
+  public:
+    explicit SelectOp(Specs&&... specs)
+        : specs_(std::move(specs)...)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt::Goroutine* g = rt->currentGoroutine();
+        state_.g = g;
+
+        // Random polling order (Go shuffles case evaluation).
+        std::vector<int> order;
+        forEachCase([&](auto& spec, auto&, int idx) {
+            using C = std::decay_t<decltype(spec)>;
+            if (!seldetail::IsDefault<C>::value)
+                order.push_back(idx);
+        });
+        rt->sched().rng().shuffle(order);
+
+        for (int idx : order) {
+            bool fired = false;
+            forEachCase([&](auto& spec, auto& st, int i) {
+                if (i == idx)
+                    fired = seldetail::poll(spec, st);
+            });
+            if (fired) {
+                chosen_ = idx;
+                return false;
+            }
+        }
+        if (hasDefault()) {
+            chosen_ = kSelectDefault;
+            return false;
+        }
+
+        for (int idx : order) {
+            forEachCase([&](auto& spec, auto& st, int i) {
+                if (i == idx)
+                    seldetail::registerWaiter(spec, st, &state_, i, g);
+            });
+        }
+
+        std::vector<gc::Object*> blockedOn;
+        forEachCase([&](auto& spec, auto&, int) {
+            if (gc::Object* ch = seldetail::channelOf(spec))
+                blockedOn.push_back(ch);
+        });
+        const bool forever = blockedOn.empty();
+        rt->park(g, h, rt::WaitReason::Select, std::move(blockedOn),
+                 forever, firstSite());
+        suspended_ = true;
+        return true;
+    }
+
+    int
+    await_resume()
+    {
+        if (suspended_) {
+            chosen_ = state_.chosenIndex;
+            forEachCase([](auto& spec, auto& st, int) {
+                seldetail::dequeue(spec, st);
+            });
+        }
+        if (chosen_ != kSelectDefault) {
+            forEachCase([&](auto& spec, auto& st, int i) {
+                if (i == chosen_)
+                    seldetail::finish(spec, st);
+            });
+        }
+        return chosen_;
+    }
+
+  private:
+    template <typename Fn>
+    void
+    forEachCase(Fn&& fn)
+    {
+        forEachImpl(fn, std::index_sequence_for<Specs...>{});
+    }
+
+    template <typename Fn, size_t... Is>
+    void
+    forEachImpl(Fn& fn, std::index_sequence<Is...>)
+    {
+        (fn(std::get<Is>(specs_), std::get<Is>(states_),
+            static_cast<int>(Is)),
+         ...);
+    }
+
+    bool
+    hasDefault() const
+    {
+        return (seldetail::IsDefault<Specs>::value || ...);
+    }
+
+    rt::Site
+    firstSite() const
+    {
+        return std::get<0>(specs_).site;
+    }
+
+    std::tuple<Specs...> specs_;
+    std::tuple<typename seldetail::StateFor<Specs>::type...> states_;
+    SelectState state_;
+    int chosen_ = kSelectDefault - 1;
+    bool suspended_ = false;
+};
+
+/** select { case ...: } — co_await the returned awaitable. */
+template <typename... Specs>
+SelectOp<Specs...>
+select(Specs... specs)
+{
+    static_assert(sizeof...(Specs) > 0,
+                  "use selectForever() for a zero-case select");
+    return SelectOp<Specs...>(std::move(specs)...);
+}
+
+/** select {} with zero cases: blocks forever (B(g) = {epsilon}). */
+class SelectForeverOp
+{
+  public:
+    explicit SelectForeverOp(rt::Site site) : site_(site) {}
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt->park(rt->currentGoroutine(), h,
+                 rt::WaitReason::SelectNoCases, {}, true, site_);
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    rt::Site site_;
+};
+
+inline SelectForeverOp
+selectForever(std::source_location loc = std::source_location::current())
+{
+    return SelectForeverOp(rt::Site::from(loc));
+}
+
+} // namespace golf::chan
+
+#endif // GOLFCC_CHAN_SELECT_HPP

@@ -1,0 +1,154 @@
+#include "gc/heap.hpp"
+
+#include <cstring>
+
+#include "gc/marker.hpp"
+#include "support/panic.hpp"
+
+namespace golf::gc {
+
+void
+RootList::traceInto(Marker& marker) const
+{
+    slots_.forEach([&](RootSlot* slot) {
+        if (slot->slot())
+            marker.mark(*slot->slot());
+    });
+}
+
+Heap::Heap(HeapConfig config)
+    : config_(config), triggerBytes_(config.minTriggerBytes)
+{
+}
+
+Heap::~Heap()
+{
+    // Destroy all surviving objects; finalizers do not run at heap
+    // teardown (matching Go, where finalizers are not guaranteed).
+    Object* obj = allHead_;
+    while (obj) {
+        Object* next = obj->allNext_;
+        delete obj;
+        obj = next;
+    }
+}
+
+void
+Heap::adopt(Object* obj, size_t bytes)
+{
+    if (obj->heap_)
+        support::panic("gc::Heap::adopt: object already managed");
+    obj->heap_ = this;
+    obj->allocSize_ = bytes;
+    obj->baseSize_ = bytes;
+    obj->allNext_ = allHead_;
+    allHead_ = obj;
+    liveBytes_ += bytes;
+    ++liveObjects_;
+    stats_.totalAlloc += bytes;
+    stats_.heapAlloc = liveBytes_;
+    stats_.heapInuse = liveBytes_;
+    stats_.heapObjects = liveObjects_;
+}
+
+void
+Heap::charge(Object* obj, size_t bytes)
+{
+    if (!owns(obj))
+        support::panic("gc::Heap::charge: not my object");
+    obj->allocSize_ += bytes;
+    liveBytes_ += bytes;
+    stats_.totalAlloc += bytes;
+    stats_.heapAlloc = liveBytes_;
+    stats_.heapInuse = liveBytes_;
+}
+
+Marker
+Heap::beginCycle()
+{
+    ++epoch_;
+    return Marker(*this, epoch_);
+}
+
+size_t
+Heap::sweep(Marker& marker)
+{
+    // Finalizer grace pass: resurrect white finalizer-bearing objects
+    // and everything they reach, then queue their finalizers.
+    for (Object* obj = allHead_; obj; obj = obj->allNext_) {
+        if (obj->hasFinalizer_ && !marker.isMarked(obj)) {
+            marker.mark(obj);
+            marker.drain();
+            auto it = finalizers_.find(obj);
+            finalizerQueue_.push_back(std::move(it->second));
+            finalizers_.erase(it);
+            obj->hasFinalizer_ = false;
+        }
+    }
+
+    size_t freed = 0;
+    Object** link = &allHead_;
+    while (Object* obj = *link) {
+        if (marker.isMarked(obj)) {
+            link = &obj->allNext_;
+            continue;
+        }
+        *link = obj->allNext_;
+        liveBytes_ -= obj->allocSize_;
+        --liveObjects_;
+        stats_.totalFreed += obj->allocSize_;
+        // Poison only the object's own footprint; allocSize_ may
+        // include charged container payloads living elsewhere.
+        size_t size = obj->baseSize_;
+        obj->~Object();
+        if (config_.poisonFreed)
+            std::memset(static_cast<void*>(obj), 0xDD,
+                        size < sizeof(Object) ? sizeof(Object) : size);
+        ::operator delete(obj);
+        ++freed;
+    }
+
+    stats_.heapAlloc = liveBytes_;
+    stats_.heapInuse = liveBytes_;
+    stats_.heapObjects = liveObjects_;
+
+    // Re-pace: next collection when the live heap grows by gcPercent.
+    uint64_t next = liveBytes_ +
+        liveBytes_ * static_cast<uint64_t>(config_.gcPercent) / 100;
+    triggerBytes_ = next < config_.minTriggerBytes
+        ? config_.minTriggerBytes : next;
+    return freed;
+}
+
+size_t
+Heap::runFinalizers()
+{
+    size_t ran = 0;
+    // Finalizers may allocate or set more finalizers; drain by swap.
+    while (!finalizerQueue_.empty()) {
+        std::vector<std::function<void()>> batch;
+        batch.swap(finalizerQueue_);
+        for (auto& fn : batch) {
+            fn();
+            ++ran;
+        }
+    }
+    return ran;
+}
+
+void
+Heap::setFinalizer(Object* obj, std::function<void()> fn)
+{
+    if (!owns(obj))
+        support::panic("gc::Heap::setFinalizer: not my object");
+    obj->hasFinalizer_ = true;
+    finalizers_[obj] = std::move(fn);
+}
+
+bool
+Heap::shouldCollect() const
+{
+    return liveBytes_ >= triggerBytes_;
+}
+
+} // namespace golf::gc

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The managed heap: allocation, sweep, pacing, finalizers, globals.
+ *
+ * The heap knows nothing about goroutines; the collection *cycle*
+ * (root selection, mark iterations, deadlock detection) is driven by
+ * golf::Collector, which owns the policy differences between the
+ * ordinary Go GC and the GOLF extension.
+ */
+#ifndef GOLFCC_GC_HEAP_HPP
+#define GOLFCC_GC_HEAP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gc/memstats.hpp"
+#include "gc/object.hpp"
+#include "gc/root.hpp"
+
+namespace golf::gc {
+
+/** Pacing and debugging knobs. */
+struct HeapConfig
+{
+    /** GOGC analog: grow the trigger by this percentage of the live
+     *  heap after each cycle. */
+    int gcPercent = 100;
+    /** Collection is first requested at this live size. */
+    uint64_t minTriggerBytes = 256 * 1024;
+    /** Fill freed memory with 0xDD to catch use-after-sweep. */
+    bool poisonFreed = true;
+};
+
+class Heap
+{
+  public:
+    explicit Heap(HeapConfig config = {});
+    ~Heap();
+
+    Heap(const Heap&) = delete;
+    Heap& operator=(const Heap&) = delete;
+
+    /** Allocate a managed T (derived from Object). */
+    template <typename T, typename... Args>
+    T*
+    make(Args&&... args)
+    {
+        T* obj = new T(std::forward<Args>(args)...);
+        adopt(obj, sizeof(T));
+        return obj;
+    }
+
+    /** Register an externally constructed object with this heap,
+     *  charging `bytes` to it. Takes ownership. */
+    void adopt(Object* obj, size_t bytes);
+
+    /** Charge extra bytes to an object (e.g. container growth). */
+    void charge(Object* obj, size_t bytes);
+
+    /** Whether this heap manages obj. */
+    bool owns(const Object* obj) const
+    {
+        return obj && obj->heap_ == this;
+    }
+
+    /// @{ Mark state, relative to the current epoch.
+    uint64_t epoch() const { return epoch_; }
+    bool isMarked(const Object* obj) const
+    {
+        return obj->markEpoch_ == epoch_;
+    }
+    /// @}
+
+    /**
+     * Begin a collection cycle: bump the epoch (which whitens every
+     * object) and return a marker. Phase sequencing beyond this is
+     * the collector's job.
+     */
+    Marker beginCycle();
+
+    /**
+     * Sweep: destroy every white object. Objects with finalizers are
+     * resurrected instead (marked, finalizer queued and detached),
+     * matching Go's one-cycle-of-grace finalizer semantics.
+     * Returns the number of objects freed.
+     */
+    size_t sweep(Marker& marker);
+
+    /** Run queued finalizers; returns how many ran. */
+    size_t runFinalizers();
+
+    /** Attach a finalizer to obj (SetFinalizer analog). */
+    void setFinalizer(Object* obj, std::function<void()> fn);
+
+    /** Whether the live heap has outgrown the pacing trigger. */
+    bool shouldCollect() const;
+
+    /** Global data roots (Go's g0-referenced globals, Section 4). */
+    RootList& globalRoots() { return globalRoots_; }
+
+    /// @{ Statistics.
+    MemStats& stats() { return stats_; }
+    const MemStats& stats() const { return stats_; }
+    uint64_t liveBytes() const { return liveBytes_; }
+    uint64_t liveObjects() const { return liveObjects_; }
+    /// @}
+
+    const HeapConfig& config() const { return config_; }
+
+  private:
+    HeapConfig config_;
+    Object* allHead_ = nullptr;     ///< Singly-linked all-objects list.
+    uint64_t epoch_ = 1;
+    uint64_t liveBytes_ = 0;
+    uint64_t liveObjects_ = 0;
+    uint64_t triggerBytes_;
+    MemStats stats_;
+    RootList globalRoots_;
+    std::unordered_map<Object*, std::function<void()>> finalizers_;
+    std::vector<std::function<void()>> finalizerQueue_;
+};
+
+/** RAII global root handle (module-level `var ch = make(...)`). */
+template <typename T>
+class GlobalRoot
+{
+  public:
+    GlobalRoot(Heap& heap, T* obj = nullptr)
+        : obj_(obj), slot_(reinterpret_cast<Object**>(&obj_))
+    {
+        heap.globalRoots().add(&slot_);
+    }
+
+    ~GlobalRoot()
+    {
+        if (slot_.linked())
+            slot_.unlink();
+    }
+
+    GlobalRoot(const GlobalRoot&) = delete;
+    GlobalRoot& operator=(const GlobalRoot&) = delete;
+
+    T* get() const { return obj_; }
+    T* operator->() const { return obj_; }
+    T& operator*() const { return *obj_; }
+    void set(T* obj) { obj_ = obj; }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+  private:
+    T* obj_;
+    RootSlot slot_;
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_HEAP_HPP

@@ -1,0 +1,53 @@
+#include "gc/marker.hpp"
+
+#include "gc/heap.hpp"
+#include "support/masked_ptr.hpp"
+#include "support/panic.hpp"
+
+namespace golf::gc {
+
+Marker::Marker(Heap& heap, uint64_t epoch) : heap_(heap), epoch_(epoch)
+{
+}
+
+void
+Marker::mark(Object* obj)
+{
+    if (!obj)
+        return;
+    ++pointersTraversed_;
+    // Section 5.4: masked addresses (goroutines hidden in allgs, the
+    // semaphore treap) must never reach the marker. On mainstream
+    // 64-bit Linux a genuine user-space pointer never has the top bit
+    // set, so a masked pointer is detectable here.
+    if (support::isMaskedAddress(reinterpret_cast<uintptr_t>(obj)))
+        support::panic("Marker::mark called on a masked address");
+    if (obj->markEpoch_ == epoch_)
+        return;
+    obj->markEpoch_ = epoch_;
+    ++objectsMarked_;
+    bytesMarked_ += obj->allocSize_;
+    if (obj->hasFinalizer_)
+        finalizerSeen_ = true;
+    worklist_.push_back(obj);
+    if (markHook_)
+        markHook_(obj);
+}
+
+bool
+Marker::isMarked(const Object* obj) const
+{
+    return obj->markEpoch_ == epoch_;
+}
+
+void
+Marker::drain()
+{
+    while (!worklist_.empty()) {
+        Object* obj = worklist_.back();
+        worklist_.pop_back();
+        obj->trace(*this);
+    }
+}
+
+} // namespace golf::gc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tricolor worklist marker.
+ *
+ * White = markEpoch behind the heap epoch, grey = on the worklist,
+ * black = marked and drained. The collector runs one or more "mark
+ * iterations" (drains); GOLF's root-set expansion (Section 4.2) adds
+ * newly reachably-live goroutine stacks between drains and counts the
+ * iterations, which lets tests pin the daisy-chain worst case of
+ * Section 5.2.
+ */
+#ifndef GOLFCC_GC_MARKER_HPP
+#define GOLFCC_GC_MARKER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gc/object.hpp"
+
+namespace golf::gc {
+
+class Heap;
+
+/** Worklist marker for one collection cycle. */
+class Marker
+{
+  public:
+    Marker(Heap& heap, uint64_t epoch);
+
+    /**
+     * Shade an object grey if it is still white. Null is ignored.
+     * Every call counts as one pointer traversal (the unit in which
+     * the paper states GOLF performs "the same amount of marking
+     * work" as the ordinary GC).
+     */
+    void mark(Object* obj);
+
+    /** Whether obj has been marked in this cycle. */
+    bool isMarked(const Object* obj) const;
+
+    /** Drain the worklist: trace until no grey objects remain. */
+    void drain();
+
+    /**
+     * Install a hook invoked once per newly shaded object. GOLF's
+     * eager-liveness extension (the Section 5.3 optimization the
+     * paper describes but does not implement) uses it to push the
+     * stacks of goroutines blocked on the object as soon as the
+     * object is discovered, collapsing the root-expansion fixpoint.
+     */
+    void
+    setMarkHook(std::function<void(Object*)> hook)
+    {
+        markHook_ = std::move(hook);
+    }
+
+    /** True when a finalizer-bearing object was newly marked since
+     *  the last call to clearFinalizerSeen() (paper Section 5.5). */
+    bool finalizerSeen() const { return finalizerSeen_; }
+    void clearFinalizerSeen() { finalizerSeen_ = false; }
+
+    /// @{ Marking-work accounting.
+    uint64_t pointersTraversed() const { return pointersTraversed_; }
+    uint64_t objectsMarked() const { return objectsMarked_; }
+    uint64_t bytesMarked() const { return bytesMarked_; }
+    /// @}
+
+  private:
+    Heap& heap_;
+    uint64_t epoch_;
+    std::vector<Object*> worklist_;
+    uint64_t pointersTraversed_ = 0;
+    uint64_t objectsMarked_ = 0;
+    uint64_t bytesMarked_ = 0;
+    bool finalizerSeen_ = false;
+    std::function<void(Object*)> markHook_;
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_MARKER_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Go runtime.MemStats analog, the metric source for Table 2.
+ *
+ * Field names follow the Go API fields cited by the paper
+ * (HeapAlloc, HeapInuse, HeapObjects, StackInuse, PauseTotalNs,
+ * NumGC, GCCPUFraction).
+ */
+#ifndef GOLFCC_GC_MEMSTATS_HPP
+#define GOLFCC_GC_MEMSTATS_HPP
+
+#include <cstdint>
+
+namespace golf::gc {
+
+struct MemStats
+{
+    /** Bytes of live heap objects (after the last sweep). */
+    uint64_t heapAlloc = 0;
+    /** Bytes of heap currently held, including not-yet-swept garbage. */
+    uint64_t heapInuse = 0;
+    /** Number of live heap objects. */
+    uint64_t heapObjects = 0;
+    /** Bytes of goroutine frames (coroutine frames = stacks). */
+    uint64_t stackInuse = 0;
+    /** Cumulative bytes ever allocated. */
+    uint64_t totalAlloc = 0;
+    /** Cumulative bytes ever freed. */
+    uint64_t totalFreed = 0;
+    /** Total stop-the-world pause time, real nanoseconds. */
+    uint64_t pauseTotalNs = 0;
+    /** Completed GC cycles. */
+    uint64_t numGC = 0;
+    /** Fraction of CPU time spent in GC since process start. */
+    double gcCpuFraction = 0.0;
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_MEMSTATS_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Base class for all garbage-collected objects.
+ *
+ * golfcc uses a precise tracing discipline: every managed object
+ * derives from gc::Object and enumerates its outgoing references by
+ * overriding trace(). Stack-like references (goroutine shadow stacks,
+ * global roots) are registered RootSlots. This mirrors what the Go
+ * runtime gets from its pointer bitmaps, and is required for the
+ * soundness argument of the paper (Section 4.3): a false positive
+ * would reclaim live memory.
+ */
+#ifndef GOLFCC_GC_OBJECT_HPP
+#define GOLFCC_GC_OBJECT_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace golf::gc {
+
+class Heap;
+class Marker;
+
+/** Epoch-based mark word: an object is marked iff mark_ == heap epoch. */
+class Object
+{
+  public:
+    Object() = default;
+    virtual ~Object() = default;
+
+    Object(const Object&) = delete;
+    Object& operator=(const Object&) = delete;
+
+    /**
+     * Enumerate outgoing references by calling marker.mark() on each.
+     * The default has no references.
+     */
+    virtual void trace(Marker& marker) { (void)marker; }
+
+    /** Debug name used in reports and tests. */
+    virtual const char* objectName() const { return "object"; }
+
+    /** The heap that owns this object, or nullptr if unmanaged. */
+    Heap* heap() const { return heap_; }
+
+    /** Whether a finalizer is attached (paper Section 5.5). */
+    bool hasFinalizer() const { return hasFinalizer_; }
+
+  private:
+    friend class Heap;
+    friend class Marker;
+
+    Heap* heap_ = nullptr;
+    Object* allNext_ = nullptr;   ///< Heap's all-objects list.
+    size_t allocSize_ = 0;        ///< Bytes charged to this object.
+    size_t baseSize_ = 0;         ///< Actual allocation footprint.
+    uint64_t markEpoch_ = 0;      ///< Epoch at which last marked.
+    bool hasFinalizer_ = false;
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_OBJECT_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * GC root slots and root lists.
+ *
+ * A RootSlot pins one Object* location as a root of whatever RootList
+ * it is registered in. The global heap root list models Go's global
+ * data (always marked, which is why Listing 4's global channel defeats
+ * detection); each goroutine owns a RootList that models its stack.
+ */
+#ifndef GOLFCC_GC_ROOT_HPP
+#define GOLFCC_GC_ROOT_HPP
+
+#include "support/intrusive_list.hpp"
+
+namespace golf::gc {
+
+class Object;
+class Marker;
+
+/** One pinned Object* location. Registered/unregistered by RAII
+ *  handles (gc::Local / gc::GlobalRoot in runtime code). */
+class RootSlot
+{
+  public:
+    RootSlot() = default;
+    explicit RootSlot(Object** slot) : slot_(slot) {}
+
+    Object** slot() const { return slot_; }
+    void setSlot(Object** s) { slot_ = s; }
+
+    bool linked() const { return node_.linked(); }
+    void unlink() { node_.unlink(); }
+
+    support::IListNode node_;
+
+  private:
+    Object** slot_ = nullptr;
+};
+
+/** A set of root slots (a goroutine stack, or the heap's globals). */
+class RootList
+{
+  public:
+    void add(RootSlot* slot) { slots_.pushBack(slot); }
+
+    bool empty() const { return slots_.empty(); }
+    size_t size() const { return slots_.size(); }
+
+    /** Mark every object referenced from a registered slot. */
+    void traceInto(Marker& marker) const;
+
+    /** Visit the object held by each registered slot. */
+    template <typename Fn>
+    void
+    forEachRoot(Fn&& fn) const
+    {
+        slots_.forEach([&](RootSlot* slot) {
+            if (slot->slot() && *slot->slot())
+                fn(*slot->slot());
+        });
+    }
+
+  private:
+    support::IList<RootSlot, &RootSlot::node_> slots_;
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_ROOT_HPP

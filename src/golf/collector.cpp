@@ -1,0 +1,353 @@
+#include "golf/collector.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <unordered_map>
+#include <vector>
+
+#include "gc/heap.hpp"
+#include "gc/marker.hpp"
+#include "runtime/runtime.hpp"
+#include "support/panic.hpp"
+
+namespace golf::detect {
+
+namespace {
+
+uint64_t
+wallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+uint64_t
+cpuNowNs()
+{
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+} // namespace
+
+Collector::Collector(rt::Runtime& rt) : rt_(rt)
+{
+}
+
+void
+Collector::hintInertGoroutine(const rt::Goroutine* g)
+{
+    // Keyed by goroutine id: *g objects are pooled and reused, and a
+    // recycled goroutine gets a fresh id, so stale hints expire.
+    inertGoroutineIds_.insert(g->id());
+}
+
+bool
+Collector::isAlwaysLiveRoot(const rt::Goroutine* g) const
+{
+    switch (g->status()) {
+      case rt::GStatus::Runnable:
+      case rt::GStatus::Running:
+        return true;
+      case rt::GStatus::Waiting:
+        // Wait-reason filter (Section 5.4): only channel/sync waits
+        // are deadlock candidates; everything else is live.
+        return !rt::isDeadlockCandidate(g->waitReason());
+      case rt::GStatus::Deadlocked:
+        // Finalizer-preserving state: treated as live forever (§5.5).
+        return true;
+      case rt::GStatus::Idle:
+      case rt::GStatus::Done:
+      case rt::GStatus::PendingReclaim:
+        return false;
+    }
+    return false;
+}
+
+bool
+Collector::isBlockedCandidate(const rt::Goroutine* g) const
+{
+    return g->status() == rt::GStatus::Waiting &&
+           rt::isDeadlockCandidate(g->waitReason());
+}
+
+bool
+Collector::blockedObjectReachable(gc::Marker& m, const rt::Goroutine* g,
+                                  CycleStats& cs) const
+{
+    // B(g) = {epsilon} for nil-channel operations and zero-case
+    // selects: epsilon is never reachable (Section 4.1).
+    if (g->blockedForever())
+        return false;
+    for (gc::Object* obj : g->blockedOn()) {
+        ++cs.detectChecks;
+        // Conservative fallback (Section 5.3): if the object is not
+        // managed by our heap we cannot check its mark; assume it is
+        // reachable (e.g. a global or foreign object).
+        if (!rt_.heap().owns(obj))
+            return true;
+        if (m.isMarked(obj))
+            return true;
+    }
+    return false;
+}
+
+void
+Collector::markGoroutine(gc::Marker& m, rt::Goroutine* g)
+{
+    g->setLiveAt(rt_.heap().epoch());
+    g->markStack(m);
+}
+
+void
+Collector::handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
+                            CycleStats& cs)
+{
+    ++cs.deadlocksFound;
+    rt_.tracer().record(rt_.clock().now(), rt::TraceEvent::Deadlock,
+                        g->id(), g->waitReason());
+
+    if (!g->reported()) {
+        DeadlockReport report;
+        report.goroutineId = g->id();
+        report.reason = g->waitReason();
+        report.spawnSite = g->spawnSite();
+        report.blockSite = g->blockSite();
+        report.stackBytes = g->frameBytes();
+        report.gcCycle = cycleNo_;
+        report.vtime = rt_.clock().now();
+        log_.add(report);
+        g->setReported();
+        if (rt_.config().verboseReports)
+            std::fprintf(stderr, "%s\n", report.str().c_str());
+    }
+
+    if (rt_.config().recovery == rt::Recovery::ReportOnly) {
+        // Monitoring mode (RQ1(b)): keep the goroutine and its memory
+        // alive forever; the Deadlocked status suppresses re-reports.
+        g->setStatus(rt::GStatus::Deadlocked);
+        markGoroutine(m, g);
+        m.drain();
+        return;
+    }
+
+    // Recovery mode: mark the goroutine's closure so it survives this
+    // cycle's sweep, checking for finalizers while doing so (§5.5).
+    m.clearFinalizerSeen();
+    markGoroutine(m, g);
+    m.drain();
+    if (m.finalizerSeen()) {
+        // A finalizer is reachable only via this deadlocked
+        // goroutine; reclaiming would run it and change program
+        // semantics (Listing 6). Keep the goroutine alive forever.
+        g->setStatus(rt::GStatus::Deadlocked);
+    } else {
+        g->setStatus(rt::GStatus::PendingReclaim);
+        pendingReclaim_.push_back(g);
+    }
+}
+
+void
+Collector::collect()
+{
+    const uint64_t pause0 = wallNowNs();
+    const uint64_t cpu0 = cpuNowNs();
+
+    CycleStats cs;
+    cs.cycle = ++cycleNo_;
+    const bool golfMode = rt_.config().gcMode == rt::GcMode::Golf;
+    const int everyN = rt_.config().detectEveryN < 1
+        ? 1 : rt_.config().detectEveryN;
+    const bool detecting =
+        golfMode && ((cycleNo_ - 1) % static_cast<uint64_t>(everyN)) == 0;
+    cs.detectionRan = detecting;
+
+    // Reclaim goroutines staged by the previous detecting cycle
+    // *before* building roots: their frames unwind now (waiters
+    // deregister from channel queues and the semtable), and the
+    // memory they kept alive goes white for this cycle's sweep.
+    for (rt::Goroutine* g : pendingReclaim_) {
+        if (g->status() == rt::GStatus::PendingReclaim) {
+            rt_.reclaimGoroutine(g);
+            ++cs.reclaimed;
+        }
+    }
+    if (!pendingReclaim_.empty())
+        rt_.semtable().purgeEmpty();
+    pendingReclaim_.clear();
+
+    // Go's poolCleanup: demote/drop sync.Pool caches in the STW
+    // window before marking, so dropped items are swept this cycle.
+    rt_.runPoolCleanups();
+
+    gc::Heap& heap = rt_.heap();
+    gc::Marker marker = heap.beginCycle();
+
+    // Eager-liveness extension (Section 5.3): index blocked
+    // candidates by blocking object, and shade their stacks the
+    // moment the object is discovered during marking.
+    std::unordered_map<gc::Object*, std::vector<rt::Goroutine*>>
+        blockedIndex;
+    if (detecting && rt_.config().eagerLivenessMarking) {
+        rt_.forEachGoroutine([&](rt::Goroutine* g) {
+            if (!isBlockedCandidate(g))
+                return;
+            for (gc::Object* obj : g->blockedOn()) {
+                if (heap.owns(obj))
+                    blockedIndex[obj].push_back(g);
+            }
+        });
+        marker.setMarkHook([&](gc::Object* obj) {
+            auto it = blockedIndex.find(obj);
+            if (it == blockedIndex.end())
+                return;
+            for (rt::Goroutine* g : it->second) {
+                if (!g->liveAt(heap.epoch()))
+                    markGoroutine(marker, g);
+            }
+        });
+    }
+
+    const uint64_t mark0Wall = wallNowNs();
+    const uint64_t mark0Cpu = cpuNowNs();
+
+    // Initial root set. Baseline: all goroutines with frames (the
+    // ordinary Go root set R = G). GOLF: runnable / always-live
+    // goroutines only (R'_0 of Section 4.2). Hinted-inert goroutines
+    // (Section 8 future work) are withheld from the liveness roots.
+    const bool useHints =
+        detecting &&
+        (!inertGlobals_.empty() || !inertGoroutineIds_.empty());
+    rt_.forEachGoroutine([&](rt::Goroutine* g) {
+        if (!g->hasFrames())
+            return;
+        if (detecting && useHints &&
+            inertGoroutineIds_.count(g->id())) {
+            return;
+        }
+        if (!detecting || isAlwaysLiveRoot(g))
+            markGoroutine(marker, g);
+    });
+    // Global data is always a root (g0's references, Section 4) —
+    // which is exactly why Listing 4's global channel defeats GOLF.
+    // With hints, statically-inert globals are withheld here and
+    // marked after detection (memory is retained either way).
+    if (useHints) {
+        heap.globalRoots().forEachRoot([&](gc::Object* obj) {
+            if (!inertGlobals_.count(obj))
+                marker.mark(obj);
+        });
+    } else {
+        heap.globalRoots().traceInto(marker);
+    }
+
+    marker.drain();
+    cs.markIterations = 1;
+
+    if (detecting) {
+        // Root-set expansion fixpoint: R'_{i+1} adds goroutines
+        // blocked on objects that the i'th *completed* mark iteration
+        // reached (Section 4.2 steps 2-3). The round first scans
+        // against the finished marking, then marks the newly live
+        // goroutines and re-runs marking — which is what makes the
+        // daisy chain of Section 5.2 take n iterations.
+        bool expanded = true;
+        while (expanded) {
+            std::vector<rt::Goroutine*> newlyLive;
+            rt_.forEachGoroutine([&](rt::Goroutine* g) {
+                if (!isBlockedCandidate(g) ||
+                    g->liveAt(heap.epoch())) {
+                    return;
+                }
+                if (blockedObjectReachable(marker, g, cs))
+                    newlyLive.push_back(g);
+            });
+            expanded = !newlyLive.empty();
+            if (expanded) {
+                for (rt::Goroutine* g : newlyLive)
+                    markGoroutine(marker, g);
+                marker.drain();
+                ++cs.markIterations;
+            }
+        }
+    }
+
+    cs.markWallNs = wallNowNs() - mark0Wall;
+    cs.markCpuNs = cpuNowNs() - mark0Cpu;
+
+    // The eager hook must not fire during deadlocked-closure
+    // marking: those objects are dead, not newly live.
+    marker.setMarkHook(nullptr);
+
+    if (detecting) {
+        // Any blocked candidate not in the fixpoint is deadlocked.
+        std::vector<rt::Goroutine*> deadlocked;
+        rt_.forEachGoroutine([&](rt::Goroutine* g) {
+            if (isBlockedCandidate(g) && !g->liveAt(heap.epoch()))
+                deadlocked.push_back(g);
+        });
+        for (rt::Goroutine* g : deadlocked)
+            handleDeadlocked(marker, g, cs);
+    }
+
+    // Retention pass for hinted roots: they were excluded from the
+    // liveness computation but their memory must survive the sweep.
+    if (useHints) {
+        for (const gc::Object* obj : inertGlobals_)
+            marker.mark(const_cast<gc::Object*>(obj));
+        rt_.forEachGoroutine([&](rt::Goroutine* g) {
+            if (g->hasFrames() && inertGoroutineIds_.count(g->id()))
+                markGoroutine(marker, g);
+        });
+        marker.drain();
+    }
+
+    cs.pointersTraversed = marker.pointersTraversed();
+    cs.objectsMarked = marker.objectsMarked();
+    cs.bytesMarked = marker.bytesMarked();
+
+    cs.freedObjects = heap.sweep(marker);
+    heap.runFinalizers();
+
+    cs.pauseWallNs = wallNowNs() - pause0;
+    totalMarkWallNs_ += cs.markWallNs;
+    totalMarkCpuNs_ += cs.markCpuNs;
+    totalGcCpuNs_ += cpuNowNs() - cpu0;
+
+    // Modelled GC costs (see rt::Config): concurrent-marking CPU
+    // scales with the live heap; the STW pause carries the GOLF
+    // detection work (checks, extra mark iterations, reclaims).
+    const rt::Config& rc = rt_.config();
+    cs.modeledMarkNs = static_cast<uint64_t>(
+        rc.gcMarkNsPerByte * static_cast<double>(cs.bytesMarked) +
+        rc.gcMarkNsPerObject * static_cast<double>(cs.objectsMarked));
+    cs.modeledStwNs = static_cast<uint64_t>(rc.gcStwFixedNs);
+    if (cs.detectionRan) {
+        cs.modeledStwNs += static_cast<uint64_t>(
+            rc.gcNsPerDetectCheck *
+                static_cast<double>(cs.detectChecks) +
+            static_cast<double>(rc.gcNsPerIteration) *
+                static_cast<double>(cs.markIterations) +
+            static_cast<double>(rc.gcNsPerReclaim) *
+                static_cast<double>(cs.reclaimed +
+                                    cs.deadlocksFound));
+    }
+    totalModeledGcNs_ += cs.modeledMarkNs + cs.modeledStwNs;
+
+    gc::MemStats& stats = heap.stats();
+    stats.numGC = cycleNo_;
+    // PauseTotalNs reports the modelled STW pause (the Table 2
+    // metric); wall-clock phase timings live in CycleStats.
+    // GCCPUFraction is maintained by the runtime, which applies the
+    // pacer's CPU cap when charging GC time to the clock.
+    stats.pauseTotalNs += cs.modeledStwNs;
+
+    history_.push_back(cs);
+}
+
+} // namespace golf::detect

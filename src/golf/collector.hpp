@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The collection cycle driver: ordinary GC and the GOLF extension.
+ *
+ * Implements Figure 2 of the paper. A cycle runs stop-the-world at a
+ * scheduler safepoint:
+ *
+ *   initialization  -> epoch bump (whitens all objects), root setup
+ *   marking         -> worklist drain
+ *   [GOLF] liveness -> root-set expansion fixpoint (Section 4.2)
+ *   [GOLF] detect   -> unmarked blocked candidates are deadlocked;
+ *                      report, then either keep (report-only /
+ *                      finalizers found) or stage for reclaim in the
+ *                      *next* cycle (two-cycle split, Section 5.5)
+ *   sweeping        -> free white objects, run queued finalizers
+ *
+ * In Baseline mode every goroutine is a root and the GOLF phases are
+ * skipped — that is the stock Go collector the paper compares against.
+ */
+#ifndef GOLFCC_GOLF_COLLECTOR_HPP
+#define GOLFCC_GOLF_COLLECTOR_HPP
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "golf/report.hpp"
+
+namespace golf::gc { class Marker; class Object; }
+namespace golf::rt { class Goroutine; class Runtime; }
+
+namespace golf::detect {
+
+/** Per-cycle measurements (the RQ2 instrumentation). */
+struct CycleStats
+{
+    uint64_t cycle = 0;
+    bool detectionRan = false;
+    uint64_t markIterations = 0;
+    uint64_t pointersTraversed = 0;
+    uint64_t objectsMarked = 0;
+    uint64_t bytesMarked = 0;
+    /** (goroutine, blocking object) pairs examined during the
+     *  root-expansion fixpoint — the S factor of Section 5.3. */
+    uint64_t detectChecks = 0;
+    /** Modelled GC costs charged to the virtual clock (see
+     *  rt::Config::chargeGcPause). */
+    uint64_t modeledMarkNs = 0;
+    uint64_t modeledStwNs = 0;
+    /** Marking-phase duration (the Figure 4 metric). */
+    uint64_t markWallNs = 0;
+    uint64_t markCpuNs = 0;
+    /** Whole STW cycle (the PauseTotalNs contribution). */
+    uint64_t pauseWallNs = 0;
+    size_t freedObjects = 0;
+    size_t deadlocksFound = 0;
+    size_t reclaimed = 0;
+};
+
+class Collector
+{
+  public:
+    explicit Collector(rt::Runtime& rt);
+
+    /** Run one full collection cycle (STW). */
+    void collect();
+
+    ReportLog& reports() { return log_; }
+    const ReportLog& reports() const { return log_; }
+
+    const std::vector<CycleStats>& history() const { return history_; }
+    const CycleStats& lastCycle() const { return history_.back(); }
+    uint64_t cycles() const { return cycleNo_; }
+
+    /** Sum of markWallNs / markCpuNs over all cycles. */
+    uint64_t totalMarkWallNs() const { return totalMarkWallNs_; }
+    uint64_t totalMarkCpuNs() const { return totalMarkCpuNs_; }
+
+    /** Total modelled GC virtual time (marking + STW). */
+    uint64_t totalModeledGcNs() const { return totalModeledGcNs_; }
+
+    /** Goroutines staged for reclaim at the next cycle. */
+    size_t pendingReclaim() const { return pendingReclaim_.size(); }
+
+    /// @{ Liveness hints (the paper's Section 8 future work:
+    /// "incorporate static analysis techniques to provide liveness
+    /// hints to the garbage collector in order to boost the deadlock
+    /// detection capability"). A hint asserts that a root does not
+    /// contribute to unblocking anyone: an *inert global* is a
+    /// package-level object no live code will ever operate on again
+    /// (defeats the Listing 4 false negative); an *inert goroutine*
+    /// is a runaway-live pinner — e.g. a heartbeat — whose references
+    /// are never used for channel operations (defeats Listing 5).
+    /// Hints affect liveness only; hinted memory is still retained.
+    /// Soundness becomes conditional on the hints being true.
+
+    /** Exclude a global object from the liveness root set. */
+    void hintInertGlobal(gc::Object* obj)
+    {
+        inertGlobals_.insert(obj);
+    }
+
+    /** Exclude a goroutine's stack from the liveness root set. */
+    void hintInertGoroutine(const rt::Goroutine* g);
+
+    size_t hintCount() const
+    {
+        return inertGlobals_.size() + inertGoroutineIds_.size();
+    }
+    /// @}
+
+  private:
+    bool isAlwaysLiveRoot(const rt::Goroutine* g) const;
+    bool isBlockedCandidate(const rt::Goroutine* g) const;
+    bool blockedObjectReachable(gc::Marker& m, const rt::Goroutine* g,
+                                CycleStats& cs) const;
+    void markGoroutine(gc::Marker& m, rt::Goroutine* g);
+    void handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
+                          CycleStats& cs);
+
+    rt::Runtime& rt_;
+    ReportLog log_;
+    std::vector<CycleStats> history_;
+    std::vector<rt::Goroutine*> pendingReclaim_;
+    std::set<const gc::Object*> inertGlobals_;
+    std::set<uint64_t> inertGoroutineIds_;
+    uint64_t cycleNo_ = 0;
+    uint64_t totalMarkWallNs_ = 0;
+    uint64_t totalMarkCpuNs_ = 0;
+    uint64_t totalGcCpuNs_ = 0;
+    uint64_t totalModeledGcNs_ = 0;
+};
+
+} // namespace golf::detect
+
+#endif // GOLFCC_GOLF_COLLECTOR_HPP

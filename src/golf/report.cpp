@@ -1,0 +1,80 @@
+#include "golf/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace golf::detect {
+
+std::string
+DeadlockReport::dedupKey() const
+{
+    return spawnSite.str() + "|" + blockSite.str();
+}
+
+std::string
+DeadlockReport::str() const
+{
+    std::ostringstream os;
+    os << "partial deadlock! goroutine " << goroutineId
+       << " [" << rt::waitReasonName(reason) << "]"
+       << " Stack size " << stackBytes << " bytes\n"
+       << "  created at:  " << spawnSite.str() << "\n"
+       << "  blocked at:  " << blockSite.str()
+       << " (GC cycle " << gcCycle << ")";
+    return os.str();
+}
+
+std::string
+DeadlockReport::json() const
+{
+    std::ostringstream os;
+    os << "{\"goroutine\":" << goroutineId << ",\"reason\":\""
+       << rt::waitReasonName(reason) << "\",\"spawn\":\""
+       << spawnSite.str() << "\",\"block\":\"" << blockSite.str()
+       << "\",\"stack_bytes\":" << stackBytes << ",\"gc_cycle\":"
+       << gcCycle << ",\"vtime_ns\":" << vtime << "}";
+    return os.str();
+}
+
+void
+ReportLog::add(const DeadlockReport& r)
+{
+    reports_.push_back(r);
+    ++dedup_[r.dedupKey()];
+    if (sink_)
+        sink_(r);
+}
+
+void
+ReportLog::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    out << "[\n";
+    for (size_t i = 0; i < reports_.size(); ++i) {
+        out << "  " << reports_[i].json();
+        if (i + 1 < reports_.size())
+            out << ",";
+        out << "\n";
+    }
+    out << "]\n";
+}
+
+size_t
+ReportLog::countAtSpawnSite(const std::string& fileLine) const
+{
+    size_t n = 0;
+    for (const auto& r : reports_) {
+        if (r.spawnSite.str() == fileLine)
+            ++n;
+    }
+    return n;
+}
+
+void
+ReportLog::clear()
+{
+    reports_.clear();
+    dedup_.clear();
+}
+
+} // namespace golf::detect

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Partial-deadlock reports and the report log.
+ *
+ * Individual reports carry the goroutine id, wait reason, stack size,
+ * the `go` statement site and the blocking-operation site — the same
+ * ingredients as GOLF's "partial deadlock!" runtime message (Artifact
+ * Appendix A.6). Deduplication pairs the spawn site with the blocking
+ * site, exactly the key used for the RQ1(b) deduplicated counts.
+ */
+#ifndef GOLFCC_GOLF_REPORT_HPP
+#define GOLFCC_GOLF_REPORT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::detect {
+
+/** One detected partial deadlock (one goroutine). */
+struct DeadlockReport
+{
+    uint64_t goroutineId = 0;
+    rt::WaitReason reason = rt::WaitReason::None;
+    rt::Site spawnSite;
+    rt::Site blockSite;
+    size_t stackBytes = 0;
+    uint64_t gcCycle = 0;
+    support::VTime vtime = 0;
+
+    /** "spawnFile:line|blockFile:line" — the RQ1(b) dedup key. */
+    std::string dedupKey() const;
+
+    /** Human-readable report, GOLF message style. */
+    std::string str() const;
+
+    /** One JSON object (for structured logging pipelines). */
+    std::string json() const;
+};
+
+/** Accumulates individual reports plus deduplicated counts. */
+class ReportLog
+{
+  public:
+    void add(const DeadlockReport& r);
+
+    /** All individual reports, in detection order. */
+    const std::vector<DeadlockReport>& all() const { return reports_; }
+
+    /** Individual reports per dedup key. */
+    const std::map<std::string, size_t>&
+    dedupCounts() const
+    {
+        return dedup_;
+    }
+
+    size_t total() const { return reports_.size(); }
+    size_t deduplicated() const { return dedup_.size(); }
+
+    /** Individual reports whose spawn site matches file:line. */
+    size_t countAtSpawnSite(const std::string& fileLine) const;
+
+    /**
+     * Install a sink invoked for each new report — the "existing
+     * logging infrastructure" hookup of the RQ1(c) deployment
+     * (reports flow to the service's log pipeline as they happen).
+     */
+    void setSink(std::function<void(const DeadlockReport&)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
+    /** Write all reports as a JSON array. */
+    void writeJson(const std::string& path) const;
+
+    void clear();
+
+  private:
+    std::vector<DeadlockReport> reports_;
+    std::map<std::string, size_t> dedup_;
+    std::function<void(const DeadlockReport&)> sink_;
+};
+
+} // namespace golf::detect
+
+#endif // GOLFCC_GOLF_REPORT_HPP

@@ -1,0 +1,52 @@
+#include "leakdetect/goleak.hpp"
+
+namespace golf::leakdetect {
+
+std::string
+LeakedGoroutine::dedupKey() const
+{
+    return spawnSite.str() + "|" + blockSite.str();
+}
+
+std::map<std::string, size_t>
+GoLeakResult::dedupCounts() const
+{
+    std::map<std::string, size_t> counts;
+    for (const auto& l : leaks)
+        ++counts[l.dedupKey()];
+    return counts;
+}
+
+GoLeakResult
+findLeaks(const rt::Runtime& rt)
+{
+    GoLeakResult result;
+    rt.forEachGoroutine([&](rt::Goroutine* g) {
+        bool lingering = false;
+        switch (g->status()) {
+          case rt::GStatus::Waiting:
+            // Fairness filter (Section 6.1): IO-blocked and sleeping
+            // goroutines are excluded from the GOLEAK comparison.
+            lingering = rt::isDeadlockCandidate(g->waitReason());
+            break;
+          case rt::GStatus::Deadlocked:
+          case rt::GStatus::PendingReclaim:
+            // Already flagged by GOLF; GOLEAK would see them
+            // lingering too (they never terminate).
+            lingering = true;
+            break;
+          default:
+            // Runnable ("runaway live") goroutines are excluded per
+            // the paper's methodology; Done/Idle are terminated.
+            break;
+        }
+        if (lingering) {
+            result.leaks.push_back(LeakedGoroutine{
+                g->id(), g->waitReason(), g->status(),
+                g->spawnSite(), g->blockSite()});
+        }
+    });
+    return result;
+}
+
+} // namespace golf::leakdetect

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GOLEAK baseline (Saioc et al., CGO'24; github.com/uber-go/goleak).
+ *
+ * GOLEAK inspects the runtime state when a test suite terminates and
+ * reports lingering goroutines. Per the paper's RQ1(b) methodology,
+ * the comparison excludes goroutines blocked at IO and runaway live
+ * (runnable) goroutines, leaving exactly the blocked-at-concurrency-
+ * operation population; all GOLF detections are a subset of GOLEAK's
+ * by construction.
+ */
+#ifndef GOLFCC_LEAKDETECT_GOLEAK_HPP
+#define GOLFCC_LEAKDETECT_GOLEAK_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace golf::leakdetect {
+
+/** One lingering goroutine at test end. */
+struct LeakedGoroutine
+{
+    uint64_t id = 0;
+    rt::WaitReason reason = rt::WaitReason::None;
+    rt::GStatus status = rt::GStatus::Idle;
+    rt::Site spawnSite;
+    rt::Site blockSite;
+
+    std::string dedupKey() const;
+};
+
+/** GOLEAK scan result. */
+struct GoLeakResult
+{
+    std::vector<LeakedGoroutine> leaks;
+
+    size_t total() const { return leaks.size(); }
+
+    /** Individual leaks per (spawn site, block site) pair. */
+    std::map<std::string, size_t> dedupCounts() const;
+};
+
+/**
+ * Scan a runtime after its main goroutine finished (the end of a
+ * test). Reports goroutines parked at concurrency operations,
+ * including those GOLF already transitioned to Deadlocked /
+ * PendingReclaim.
+ */
+GoLeakResult findLeaks(const rt::Runtime& rt);
+
+} // namespace golf::leakdetect
+
+#endif // GOLFCC_LEAKDETECT_GOLEAK_HPP

@@ -1,0 +1,34 @@
+#include "leakdetect/leakprof.hpp"
+
+namespace golf::leakdetect {
+
+void
+LeakProf::sample(const rt::Runtime& rt)
+{
+    ++samples_;
+    std::map<std::string, size_t> byBlockSite;
+    rt.forEachGoroutine([&](rt::Goroutine* g) {
+        // A goroutine profile shows every parked goroutine,
+        // including ones GOLF has already classified (they are
+        // still blocked as far as the profile is concerned).
+        const bool parked =
+            (g->status() == rt::GStatus::Waiting &&
+             rt::isDeadlockCandidate(g->waitReason())) ||
+            g->status() == rt::GStatus::Deadlocked ||
+            g->status() == rt::GStatus::PendingReclaim;
+        if (parked)
+            ++byBlockSite[g->blockSite().str()];
+    });
+
+    suspects_.clear();
+    for (const auto& [site, count] : byBlockSite) {
+        if (count >= threshold_) {
+            suspects_.push_back(Suspect{site, count});
+            auto it = everFlagged_.find(site);
+            if (it == everFlagged_.end() || it->second < count)
+                everFlagged_[site] = count;
+        }
+    }
+}
+
+} // namespace golf::leakdetect

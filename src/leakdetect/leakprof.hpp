@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LeakProf baseline (Saioc & Chabbi, 2022).
+ *
+ * LeakProf periodically pulls goroutine profiles from running
+ * services and flags blocking operations with a high concentration of
+ * blocked goroutines. It is featherlight but unsound in both
+ * directions: a busy-but-healthy operation can exceed the threshold
+ * (false positive), and a slow leak stays below it (false negative).
+ * The ablation bench contrasts this with GOLF's sound detection.
+ */
+#ifndef GOLFCC_LEAKDETECT_LEAKPROF_HPP
+#define GOLFCC_LEAKDETECT_LEAKPROF_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace golf::leakdetect {
+
+/** A blocking site flagged by LeakProf. */
+struct Suspect
+{
+    std::string blockSite;
+    size_t blockedCount = 0;
+};
+
+class LeakProf
+{
+  public:
+    /** Flag sites with at least `threshold` blocked goroutines. */
+    explicit LeakProf(size_t threshold) : threshold_(threshold) {}
+
+    /** Take one goroutine-profile sample of the runtime. */
+    void sample(const rt::Runtime& rt);
+
+    /** Sites over threshold in the most recent sample. */
+    const std::vector<Suspect>& suspects() const { return suspects_; }
+
+    /** Sites flagged in any sample so far. */
+    const std::map<std::string, size_t>& everFlagged() const
+    {
+        return everFlagged_;
+    }
+
+    size_t samplesTaken() const { return samples_; }
+
+  private:
+    size_t threshold_;
+    size_t samples_ = 0;
+    std::vector<Suspect> suspects_;
+    std::map<std::string, size_t> everFlagged_;
+};
+
+} // namespace golf::leakdetect
+
+#endif // GOLFCC_LEAKDETECT_LEAKPROF_HPP

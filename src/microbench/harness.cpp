@@ -1,0 +1,135 @@
+#include "microbench/harness.hpp"
+
+#include "golf/collector.hpp"
+
+namespace golf::microbench {
+
+namespace {
+
+/** One pattern instance, started after a small random stagger. The
+ *  stagger routes the instance through a timer wakeup, randomizing
+ *  which virtual processor it (and its children) land on — the
+ *  scheduling noise real runs get for free. */
+rt::Go
+instanceWrapper(PatternCtx* ctx, const Pattern* p,
+                support::VTime delay)
+{
+    co_await rt::sleepFor(delay);
+    ctx->rt->goAt(rt::Site{"<harness>", 0, "spawn"}, p->body, ctx);
+    co_return;
+}
+
+/** The Figure 5 template: spawn n instances, wait, force a GC. */
+rt::Go
+harnessMain(PatternCtx* ctx, const Pattern* p, int n,
+            support::VTime duration)
+{
+    for (int i = 0; i < n; ++i) {
+        auto delay = static_cast<support::VTime>(
+            ctx->rng.nextBelow(200 * support::kMicrosecond));
+        ctx->rt->goAt(rt::Site{"<harness>", 0, "stagger"},
+                      instanceWrapper, ctx, p, delay);
+    }
+    co_await rt::sleepFor(duration);
+    co_await rt::gcNow();
+    co_return;
+}
+
+} // namespace
+
+int
+instancesForFlakiness(int flakiness, int maxInstances)
+{
+    if (flakiness <= 1)
+        return 1;
+    // The artifact scales instance count with the flakiness score;
+    // we clamp to keep single runs fast. Sub-linear growth: rare
+    // bugs get many concurrent chances per run.
+    int n = 2;
+    int f = flakiness;
+    while (f > 10 && n < maxInstances) {
+        f /= 10;
+        n *= 2;
+    }
+    return n > maxInstances ? maxInstances : n;
+}
+
+RunOutcome
+runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
+{
+    rt::Config rc;
+    rc.procs = cfg.procs;
+    rc.seed = cfg.seed;
+    rc.gcMode = cfg.gcMode;
+    rc.recovery = cfg.recovery;
+    rc.detectEveryN = cfg.detectEveryN;
+
+    RunOutcome out;
+
+    rt::Runtime runtime(rc);
+    PatternCtx ctx;
+    ctx.rt = &runtime;
+    ctx.rng = support::Rng(cfg.seed ^ 0xBE7CB37Cull);
+    ctx.procs = cfg.procs;
+
+    const int n = instancesForFlakiness(p.flakiness, cfg.maxInstances);
+    rt::RunResult rr =
+        runtime.runMain(harnessMain, &ctx, &p, n, cfg.duration);
+
+    if (rr.panicked) {
+        out.runtimeFailure = true;
+        out.failureMessage = rr.panicMessage;
+    }
+
+    const auto& log = runtime.collector().reports();
+    out.individualReports = log.total();
+
+    // Match reports to registered leaky sites by spawn location.
+    std::map<std::string, std::string> labelOfSite;
+    for (const auto& [label, site] : ctx.siteOfLabel)
+        labelOfSite[site] = label;
+    for (const auto& r : log.all()) {
+        auto it = labelOfSite.find(r.spawnSite.str());
+        if (it != labelOfSite.end())
+            ++out.detectedPerLabel[it->second];
+        else
+            ++out.unexpectedReports;
+    }
+
+    const auto& collector = runtime.collector();
+    out.gcCycles = collector.cycles();
+    if (out.gcCycles > 0) {
+        out.avgMarkWallUs =
+            static_cast<double>(collector.totalMarkWallNs()) / 1000.0 /
+            static_cast<double>(out.gcCycles);
+        out.avgMarkCpuUs =
+            static_cast<double>(collector.totalMarkCpuNs()) / 1000.0 /
+            static_cast<double>(out.gcCycles);
+    }
+    return out;
+}
+
+std::vector<SiteDetection>
+runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats)
+{
+    std::map<std::string, SiteDetection> bySite;
+    for (const std::string& label : p.leakSites)
+        bySite[label] = SiteDetection{label, 0, repeats};
+
+    support::Rng seeder(cfg.seed);
+    for (int i = 0; i < repeats; ++i) {
+        cfg.seed = seeder.next();
+        RunOutcome out = runPatternOnce(p, cfg);
+        for (const auto& [label, count] : out.detectedPerLabel) {
+            if (count > 0 && bySite.count(label))
+                ++bySite[label].detectedRuns;
+        }
+    }
+
+    std::vector<SiteDetection> result;
+    for (const std::string& label : p.leakSites)
+        result.push_back(bySite[label]);
+    return result;
+}
+
+} // namespace golf::microbench

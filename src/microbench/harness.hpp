@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Microbenchmark execution harness (the artifact's ./tester analog).
+ *
+ * For each benchmark b the harness builds a standalone program that
+ * concurrently runs n instantiations of b — n derived from the
+ * flakiness score — lets it run for five virtual seconds, forces a
+ * GC cycle (the Figure 5 template), and checks which expected leaky
+ * go sites produced a GOLF report. Repeating this over seeds and
+ * GOMAXPROCS values regenerates Table 1; timing the marking phase
+ * against the Baseline GC regenerates Figure 4.
+ */
+#ifndef GOLFCC_MICROBENCH_HARNESS_HPP
+#define GOLFCC_MICROBENCH_HARNESS_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "microbench/registry.hpp"
+#include "support/stats.hpp"
+
+namespace golf::microbench {
+
+struct HarnessConfig
+{
+    int procs = 1;
+    uint64_t seed = 1;
+    rt::GcMode gcMode = rt::GcMode::Golf;
+    rt::Recovery recovery = rt::Recovery::Reclaim;
+    int detectEveryN = 1;
+    /** Virtual runtime before the forced GC (paper: 5 s). */
+    support::VTime duration = 5 * support::kSecond;
+    /** Cap on concurrent pattern instances derived from flakiness. */
+    int maxInstances = 24;
+};
+
+/** Outcome of one program execution. */
+struct RunOutcome
+{
+    /** Leaky labels that produced at least one report. */
+    std::map<std::string, int> detectedPerLabel;
+    /** Individual deadlock reports in this run. */
+    size_t individualReports = 0;
+    /** Unexpected reports (spawn sites never registered). */
+    size_t unexpectedReports = 0;
+    bool runtimeFailure = false; ///< A goroutine panicked.
+    std::string failureMessage;
+    /** GC metrics for the RQ2 comparison. */
+    uint64_t gcCycles = 0;
+    double avgMarkWallUs = 0.0;
+    double avgMarkCpuUs = 0.0;
+};
+
+/** Number of concurrent instances for a flakiness score. */
+int instancesForFlakiness(int flakiness, int maxInstances);
+
+/** Execute one pattern once under the given configuration. */
+RunOutcome runPatternOnce(const Pattern& p, const HarnessConfig& cfg);
+
+/** Per-site detection counts over `repeats` runs (one Table 1 cell
+ *  column entry: how many runs detected a leak at each site). */
+struct SiteDetection
+{
+    std::string label;
+    int detectedRuns = 0;
+    int totalRuns = 0;
+};
+
+std::vector<SiteDetection>
+runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats);
+
+} // namespace golf::microbench
+
+#endif // GOLFCC_MICROBENCH_HARNESS_HPP

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The CGO'24 ("cgo-examples") suite: 6 microbenchmarks with 8 leaky
+ * go sites, distilled from the goroutine-leak patterns reported in
+ * Saioc et al., "Unveiling and Vanquishing Goroutine Leaks in
+ * Enterprise Microservices". All are deterministic (flakiness 1) and
+ * GOLF detects them in 100% of runs (Table 1, "Remaining" rows).
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+// cgo/ex1 — "premature function return": the Listing 7 SendEmail
+// shape. A done channel is returned but the caller never receives.
+rt::Go
+ex1AsyncTask(Channel<Unit>* done)
+{
+    rt::busy(50 * kMicrosecond); // the email send
+    co_await chan::send(done, Unit{});
+    co_return;
+}
+
+rt::Go
+cgoEx1(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<Unit>> done(makeChan<Unit>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cgo/ex1:104", ex1AsyncTask, done.get());
+    // HandleRequest ignores the returned channel.
+    co_return;
+}
+
+// cgo/ex2 — "the timeout leak": caller multiplexes a worker result
+// against a timeout; on timeout the result channel is dropped and
+// the worker's send blocks forever.
+rt::Go
+ex2Worker(Channel<int>* result)
+{
+    co_await rt::sleepFor(20 * kMillisecond); // slow RPC
+    co_await chan::send(result, 42);
+    co_return;
+}
+
+rt::Go
+cgoEx2(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> result(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cgo/ex2:31", ex2Worker, result.get());
+    auto* timeout = rt::after(rt, 1 * kMillisecond);
+    int v = 0;
+    co_await chan::select(chan::recvCase(result.get(), &v),
+                          chan::recvCase(timeout));
+    co_return; // timeout always wins; result is dropped
+}
+
+// cgo/ex3 — "the NCast leak" (first-response-wins): N repliers send
+// to an unbuffered channel, the caller consumes only the first.
+rt::Go
+ex3Replica(Channel<int>* replies, int id)
+{
+    co_await chan::send(replies, id);
+    co_return;
+}
+
+rt::Go
+cgoEx3(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> replies(makeChan<int>(rt, 0));
+    for (int i = 0; i < 4; ++i)
+        GOLF_GO_LEAKY(ctx, "cgo/ex3:55", ex3Replica, replies.get(), i);
+    co_await chan::recv(replies.get()); // first response wins; 3 leak
+    co_return;
+}
+
+// cgo/ex4 — "the double send": an error path sends on the same
+// channel the success path already used; the caller receives once.
+rt::Go
+ex4Fetch(Channel<int>* out)
+{
+    co_await chan::send(out, 1);  // success value
+    // A latent bug: the error handler *also* reports, and the caller
+    // consumed the only receive.
+    co_await chan::send(out, -1);
+    co_return;
+}
+
+rt::Go
+cgoEx4(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> out(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cgo/ex4:73", ex4Fetch, out.get());
+    co_await chan::recv(out.get());
+    co_return;
+}
+
+// cgo/ex5 — "the early return" (Listing 3): two channel-draining
+// goroutines behind an interface; the cleanup method that closes the
+// channels is skipped on an early-return path. Two leaky sites.
+struct FuncManager : gc::Object
+{
+    Channel<int>* e = nullptr;
+    Channel<int>* d = nullptr;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(e);
+        m.mark(d);
+    }
+
+    const char* objectName() const override { return "goFuncManager"; }
+};
+
+rt::Go
+ex5DrainErrors(FuncManager* gfm)
+{
+    while (true) { // for err := range gfm.e
+        auto r = co_await chan::recv(gfm->e);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+rt::Go
+ex5DrainData(FuncManager* gfm)
+{
+    while (true) { // for data := range gfm.d
+        auto r = co_await chan::recv(gfm->d);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+rt::Go
+cgoEx5(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<FuncManager> gfm(rt.make<FuncManager>());
+    gfm->e = makeChan<int>(rt, 0);
+    gfm->d = makeChan<int>(rt, 0);
+    GOLF_GO_LEAKY(ctx, "cgo/ex5:35", ex5DrainErrors, gfm.get());
+    GOLF_GO_LEAKY(ctx, "cgo/ex5:38", ex5DrainData, gfm.get());
+    // ConcurrentTask hits the early-return branch: WaitForResults
+    // (which would close both channels) is never called.
+    co_return;
+}
+
+// cgo/ex6 — "producer without consumer": a batching producer streams
+// into a bounded channel; the consumer goroutine is gated on a
+// readiness flag that the error path never sets. Two leaky sites:
+// the producer (blocked on a full buffer) and the gate waiter.
+rt::Go
+ex6Producer(Channel<int>* batch)
+{
+    for (int i = 0;; ++i)
+        co_await chan::send(batch, i); // fills cap then blocks
+    co_return;
+}
+
+rt::Go
+ex6GateWaiter(Channel<Unit>* gate, Channel<int>* batch)
+{
+    co_await chan::recv(gate); // readiness signal never arrives
+    while (true) {
+        auto r = co_await chan::recv(batch);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+rt::Go
+cgoEx6(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> batch(makeChan<int>(rt, 4));
+    gc::Local<Channel<Unit>> gate(makeChan<Unit>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cgo/ex6:12", ex6Producer, batch.get());
+    GOLF_GO_LEAKY(ctx, "cgo/ex6:19", ex6GateWaiter, gate.get(),
+                  batch.get());
+    // Initialization fails before the gate is opened.
+    co_return;
+}
+
+} // namespace
+
+void
+registerCgoPatterns(Registry& r)
+{
+    r.add({"cgo/ex1", "cgo-examples", {"cgo/ex1:104"}, 1, false,
+           cgoEx1});
+    r.add({"cgo/ex2", "cgo-examples", {"cgo/ex2:31"}, 1, false,
+           cgoEx2});
+    r.add({"cgo/ex3", "cgo-examples", {"cgo/ex3:55"}, 1, false,
+           cgoEx3});
+    r.add({"cgo/ex4", "cgo-examples", {"cgo/ex4:73"}, 1, false,
+           cgoEx4});
+    r.add({"cgo/ex5", "cgo-examples", {"cgo/ex5:35", "cgo/ex5:38"}, 1,
+           false, cgoEx5});
+    r.add({"cgo/ex6", "cgo-examples", {"cgo/ex6:12", "cgo/ex6:19"}, 1,
+           false, cgoEx6});
+}
+
+} // namespace golf::microbench

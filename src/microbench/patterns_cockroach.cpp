@@ -1,0 +1,440 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from CockroachDB issues.
+ * 17 benchmarks; cockroach/6181 and cockroach/7504 are the flaky
+ * Table 1 rows, the rest detect at 100%.
+ *
+ * Flakiness model: where the original bug manifests only on some
+ * executions (unlucky input paths or schedules), the pattern draws
+ * the path from the per-run seeded RNG; the manifestation probability
+ * is calibrated so that, with the harness's flakiness-derived
+ * instance count, per-run detection matches the paper's Table 1 row.
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+/** Drain a channel until it is closed (for v := range ch). */
+rt::Go
+rangeDrain(Channel<int>* ch)
+{
+    while (true) {
+        auto r = co_await chan::recv(ch);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+/** Send a single value, then exit. */
+rt::Go
+sendOnce(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+/** Receive a single value, then exit. */
+rt::Go
+recvOnce(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/584 — gossip bootstrap: a retry worker ranges over a
+// stopper channel that the failed-bootstrap path never closes.
+rt::Go
+cockroach584(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> stopper(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/584:62", rangeDrain, stopper.get());
+    // Bootstrap fails; stopper is dropped without close.
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/1055 — Stopper.Quiesce: three task workers block sending
+// completion on an unbuffered drain channel after the drainer quits.
+rt::Go
+cockroach1055(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> drain(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/1055:38", sendOnce, drain.get(), 1);
+    GOLF_GO_LEAKY(ctx, "cockroach/1055:42", sendOnce, drain.get(), 2);
+    GOLF_GO_LEAKY(ctx, "cockroach/1055:46", sendOnce, drain.get(), 3);
+    // The drainer observes the stop signal before handling any
+    // completion and returns immediately: all three workers strand.
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/2448 — storage queue: producer and monitor both parked on
+// channels owned by a processor that exited early.
+rt::Go
+cockroach2448Monitor(Channel<Unit>* events)
+{
+    for (;;)
+        co_await chan::recv(events);
+    co_return;
+}
+
+rt::Go
+cockroach2448(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> queue(makeChan<int>(rt, 1));
+    gc::Local<Channel<Unit>> events(makeChan<Unit>(rt, 0));
+    co_await chan::send(queue.get(), 0); // pre-fill: next send blocks
+    GOLF_GO_LEAKY(ctx, "cockroach/2448:24", sendOnce, queue.get(), 1);
+    GOLF_GO_LEAKY(ctx, "cockroach/2448:39", cockroach2448Monitor,
+                  events.get());
+    // Processor exits before consuming queue or emitting events.
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/6181 — FLAKY (Table 1 ~97.5%): tryRemoveReplica: two
+// range-scanner goroutines are shut down by a close that only the
+// non-error path performs. The error path is input-dependent.
+rt::Go
+cockroach6181(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> replicaCh(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> errCh(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/6181:58", rangeDrain,
+                  replicaCh.get());
+    GOLF_GO_LEAKY(ctx, "cockroach/6181:65", rangeDrain, errCh.get());
+    co_await rt::yield();
+    if (ctx->rng.chance(0.60))
+        co_return; // error path: scanners leak
+    chan::close(replicaCh.get());
+    chan::close(errCh.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/7504 — FLAKY (Table 1 ~99.75%): leaktest session: index
+// and lease workers signal completion over channels the cancelled
+// request path abandons.
+rt::Go
+cockroach7504(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> leaseDone(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> indexDone(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/7504:170", sendOnce,
+                  leaseDone.get(), 1);
+    GOLF_GO_LEAKY(ctx, "cockroach/7504:177", sendOnce,
+                  indexDone.get(), 1);
+    co_await rt::yield();
+    if (ctx->rng.chance(0.78))
+        co_return; // request cancelled: both completions dropped
+    co_await chan::recv(leaseDone.get());
+    co_await chan::recv(indexDone.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/9935 — DistSender: two RPC replies race into an
+// unbuffered channel; only the first is consumed (and the loser's
+// retry goroutine leaks with it).
+rt::Go
+cockroach9935(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> replies(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/9935:12", sendOnce, replies.get(),
+                  1);
+    GOLF_GO_LEAKY(ctx, "cockroach/9935:14", sendOnce, replies.get(),
+                  2);
+    // The RPC deadline fires before either reply lands; the sender
+    // abandons the reply channel and both responders strand.
+    auto* deadline = rt::after(rt, 500 * kMicrosecond);
+    co_await chan::recv(deadline);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/10214 — raft storage: a worker holds the store mutex
+// while blocked on a response channel nobody serves; a second worker
+// blocks on the mutex. Both leak (mutex + channel entanglement).
+struct Store10214 : gc::Object
+{
+    sync::Mutex* mu = nullptr;
+    Channel<int>* resp = nullptr;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(mu);
+        m.mark(resp);
+    }
+};
+
+rt::Go
+cockroach10214Holder(Store10214* s)
+{
+    co_await s->mu->lock();
+    co_await chan::recv(s->resp); // never served
+    s->mu->unlock();
+    co_return;
+}
+
+rt::Go
+cockroach10214Waiter(Store10214* s)
+{
+    co_await s->mu->lock();
+    s->mu->unlock();
+    co_return;
+}
+
+rt::Go
+cockroach10214(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Store10214> store(rt.make<Store10214>());
+    store->mu = rt.make<sync::Mutex>(rt);
+    store->resp = makeChan<int>(rt, 0);
+    GOLF_GO_LEAKY(ctx, "cockroach/10214:21", cockroach10214Holder,
+                  store.get());
+    co_await rt::sleepFor(kMicrosecond * 100);
+    GOLF_GO_LEAKY(ctx, "cockroach/10214:29", cockroach10214Waiter,
+                  store.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/10790 — replica GC: a beacon goroutine sends on a nil
+// channel when the replica was destroyed before initialization.
+rt::Go
+cockroach10790Beacon(Channel<int>* ch)
+{
+    co_await chan::send(ch, 1); // ch is nil on the destroyed path
+    co_return;
+}
+
+rt::Go
+cockroach10790(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    Channel<int>* ch = nullptr; // destroyed replica: never made
+    GOLF_GO_LEAKY(ctx, "cockroach/10790:17", cockroach10790Beacon,
+                  ch);
+    (void)rt;
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/13197 — txn coordinator: heartbeat loop waits on a done
+// channel from a transaction whose cleanup was skipped.
+rt::Go
+cockroach13197(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> txnDone(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/13197:43", recvOnce, txnDone.get());
+    co_return; // commit path skipped cleanup; txnDone never written
+}
+
+// ---------------------------------------------------------------------
+// cockroach/13755 — rows iterator: the async scanner sends each row
+// to an unbuffered channel; the consumer stops at the first error.
+rt::Go
+cockroach13755Scanner(Channel<int>* rows)
+{
+    for (int i = 0; i < 8; ++i)
+        co_await chan::send(rows, i);
+    chan::close(rows);
+    co_return;
+}
+
+rt::Go
+cockroach13755(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> rows(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/13755:21", cockroach13755Scanner,
+                  rows.get());
+    co_await chan::recv(rows.get());
+    co_await chan::recv(rows.get());
+    co_return; // error after two rows: scanner leaks mid-stream
+}
+
+// ---------------------------------------------------------------------
+// cockroach/16167 — schema change: a lease acquisition and a config
+// gossip both parked on a system-config channel the closer skipped.
+rt::Go
+cockroach16167(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> sysCfg(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/16167:86", recvOnce, sysCfg.get());
+    GOLF_GO_LEAKY(ctx, "cockroach/16167:95", recvOnce, sysCfg.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/18101 — consistency checker: worker waits on a
+// WaitGroup whose Add was double-counted on the retry path.
+rt::Go
+cockroach18101Waiter(sync::WaitGroup* wg)
+{
+    co_await wg->wait();
+    co_return;
+}
+
+rt::Go
+cockroach18101(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::WaitGroup> wg(rt.make<sync::WaitGroup>(rt));
+    wg->add(2); // retry path double-adds
+    GOLF_GO_LEAKY(ctx, "cockroach/18101:30", cockroach18101Waiter,
+                  wg.get());
+    wg->done(); // only one Done ever happens
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/24808 — compactor: the suggestion loop ranges over a
+// channel owned by an engine that failed to start.
+rt::Go
+cockroach24808(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> suggestions(makeChan<int>(rt, 2));
+    co_await chan::send(suggestions.get(), 1);
+    GOLF_GO_LEAKY(ctx, "cockroach/24808:39", rangeDrain,
+                  suggestions.get());
+    co_return; // engine start failed; channel never closed
+}
+
+// ---------------------------------------------------------------------
+// cockroach/25456 — CheckConsistency: the collector waits for a
+// result that the short-circuited evaluation path never sends.
+rt::Go
+cockroach25456(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> result(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/25456:31", recvOnce, result.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/35073 — rangefeed registry: both the event pump and the
+// overflow handler block once the registration is orphaned.
+rt::Go
+cockroach35073Pump(Channel<int>* events)
+{
+    for (int i = 0;; ++i)
+        co_await chan::send(events, i);
+    co_return;
+}
+
+rt::Go
+cockroach35073(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> events(makeChan<int>(rt, 1));
+    gc::Local<Channel<int>> overflow(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "cockroach/35073:12", cockroach35073Pump,
+                  events.get());
+    GOLF_GO_LEAKY(ctx, "cockroach/35073:19", recvOnce,
+                  overflow.get());
+    co_await chan::recv(events.get()); // consume one, then orphan
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/35931 — changefeed sink: the emit goroutine blocks on a
+// full buffered channel after the flusher stopped.
+rt::Go
+cockroach35931(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> sink(makeChan<int>(rt, 1));
+    co_await chan::send(sink.get(), 0); // flusher stopped: stays full
+    GOLF_GO_LEAKY(ctx, "cockroach/35931:26", sendOnce, sink.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// cockroach/7064 — stopper draining: a worker acquires a quiesce
+// RWMutex read lock that the leaked writer path poisoned.
+rt::Go
+cockroach7064Reader(sync::RWMutex* mu)
+{
+    co_await mu->rlock();
+    mu->runlock();
+    co_return;
+}
+
+rt::Go
+cockroach7064(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::RWMutex> mu(rt.make<sync::RWMutex>(rt));
+    co_await mu->lock(); // writer holds and never unlocks
+    GOLF_GO_LEAKY(ctx, "cockroach/7064:45", cockroach7064Reader,
+                  mu.get());
+    co_return;
+}
+
+} // namespace
+
+void
+registerCockroachPatterns(Registry& r)
+{
+    r.add({"cockroach/584", "goker", {"cockroach/584:62"}, 1, false,
+           cockroach584});
+    r.add({"cockroach/1055", "goker",
+           {"cockroach/1055:38", "cockroach/1055:42",
+            "cockroach/1055:46"},
+           1, false, cockroach1055});
+    r.add({"cockroach/2448", "goker",
+           {"cockroach/2448:24", "cockroach/2448:39"}, 1, false,
+           cockroach2448});
+    r.add({"cockroach/6181", "goker",
+           {"cockroach/6181:58", "cockroach/6181:65"}, 100, false,
+           cockroach6181});
+    r.add({"cockroach/7504", "goker",
+           {"cockroach/7504:170", "cockroach/7504:177"}, 100, false,
+           cockroach7504});
+    r.add({"cockroach/9935", "goker",
+           {"cockroach/9935:12", "cockroach/9935:14"}, 1, false,
+           cockroach9935});
+    r.add({"cockroach/10214", "goker",
+           {"cockroach/10214:21", "cockroach/10214:29"}, 1, false,
+           cockroach10214});
+    r.add({"cockroach/10790", "goker", {"cockroach/10790:17"}, 1,
+           false, cockroach10790});
+    r.add({"cockroach/13197", "goker", {"cockroach/13197:43"}, 1,
+           false, cockroach13197});
+    r.add({"cockroach/13755", "goker", {"cockroach/13755:21"}, 1,
+           false, cockroach13755});
+    r.add({"cockroach/16167", "goker",
+           {"cockroach/16167:86", "cockroach/16167:95"}, 1, false,
+           cockroach16167});
+    r.add({"cockroach/18101", "goker", {"cockroach/18101:30"}, 1,
+           false, cockroach18101});
+    r.add({"cockroach/24808", "goker", {"cockroach/24808:39"}, 1,
+           false, cockroach24808});
+    r.add({"cockroach/25456", "goker", {"cockroach/25456:31"}, 1,
+           false, cockroach25456});
+    r.add({"cockroach/35073", "goker",
+           {"cockroach/35073:12", "cockroach/35073:19"}, 1, false,
+           cockroach35073});
+    r.add({"cockroach/35931", "goker", {"cockroach/35931:26"}, 1,
+           false, cockroach35931});
+    r.add({"cockroach/7064", "goker", {"cockroach/7064:45"}, 1, false,
+           cockroach7064});
+}
+
+} // namespace golf::microbench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared includes and helpers for the microbenchmark corpus.
+ *
+ * Pattern files port goroutine-leak patterns from GoBench/goker and
+ * the CGO'24 collection into golfcc's Go-dialect: `rt::Go` coroutine
+ * bodies, GOLF_GO spawns, chan/sync operations. Each leaky `go` site
+ * is registered via ctx->expectLeak with the paper's benchmark:line
+ * label so Table 1 can be regenerated verbatim.
+ */
+#ifndef GOLFCC_MICROBENCH_PATTERNS_COMMON_HPP
+#define GOLFCC_MICROBENCH_PATTERNS_COMMON_HPP
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "microbench/registry.hpp"
+#include "runtime/local.hpp"
+#include "runtime/timeapi.hpp"
+#include "sync/condvar.hpp"
+#include "sync/mutex.hpp"
+#include "sync/rwmutex.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf::microbench {
+
+using chan::Channel;
+using chan::RecvResult;
+using chan::Unit;
+using chan::defaultCase;
+using chan::kSelectDefault;
+using chan::makeChan;
+using chan::recvCase;
+using chan::sendCase;
+using support::VTime;
+using support::kMicrosecond;
+using support::kMillisecond;
+using support::kSecond;
+
+/** Spawn-and-register helper for leaky go sites. */
+#define GOLF_GO_LEAKY(ctx, label, ...) \
+    (ctx)->expectLeak( \
+        (label), GOLF_GO(*(ctx)->rt __VA_OPT__(,) __VA_ARGS__))
+
+} // namespace golf::microbench
+
+#endif // GOLFCC_MICROBENCH_PATTERNS_COMMON_HPP

@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Fixed ("correct") variants for 32 of the microbenchmarks — the
+ * programs behind the "correct" half of Figure 4's marking-phase
+ * comparison (105 programs total: 73 deadlocking + 32 fixed). Each
+ * variant performs the same concurrency work as its buggy original
+ * but applies the upstream fix: channels are closed/ drained, locks
+ * released, WaitGroups balanced. No goroutine leaks; GOLF must stay
+ * silent on all of them (that is asserted by the corpus tests).
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+drainAll(Channel<int>* ch)
+{
+    for (;;) {
+        auto r = co_await chan::recv(ch);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+rt::Go
+sendOnceC(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+rt::Go
+recvOnceC(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+// --------------------------------------------------------------- cgo
+
+rt::Go
+cgoEx1Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<Unit>> done(makeChan<Unit>(rt, 0));
+    GOLF_GO(rt, +[](Channel<Unit>* d) -> rt::Go {
+        rt::busy(50 * kMicrosecond);
+        co_await chan::send(d, Unit{});
+        co_return;
+    }, done.get());
+    co_await chan::recv(done.get()); // fix: consume the completion
+    co_return;
+}
+
+rt::Go
+cgoEx2Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    // Fix: buffered result channel lets the worker finish even when
+    // the caller times out.
+    gc::Local<Channel<int>> result(makeChan<int>(rt, 1));
+    GOLF_GO(rt, +[](Channel<int>* r) -> rt::Go {
+        co_await rt::sleepFor(2 * kMillisecond);
+        co_await chan::send(r, 42);
+        co_return;
+    }, result.get());
+    auto* timeout = rt::after(rt, kMillisecond);
+    int v = 0;
+    co_await chan::select(chan::recvCase(result.get(), &v),
+                          chan::recvCase(timeout));
+    co_await rt::sleepFor(3 * kMillisecond); // worker drains into buf
+    co_return;
+}
+
+rt::Go
+cgoEx3Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    // Fix: capacity matches the fan-out, so losers never block.
+    gc::Local<Channel<int>> replies(makeChan<int>(rt, 4));
+    for (int i = 0; i < 4; ++i)
+        GOLF_GO(rt, sendOnceC, replies.get(), i);
+    co_await chan::recv(replies.get());
+    co_return;
+}
+
+rt::Go
+cgoEx4Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> out(makeChan<int>(rt, 0));
+    GOLF_GO(rt, +[](Channel<int>* o) -> rt::Go {
+        co_await chan::send(o, 1);
+        co_return; // fix: single send
+    }, out.get());
+    co_await chan::recv(out.get());
+    co_return;
+}
+
+rt::Go
+cgoEx5Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> e(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> d(makeChan<int>(rt, 0));
+    GOLF_GO(rt, drainAll, e.get());
+    GOLF_GO(rt, drainAll, d.get());
+    // Fix: WaitForResults is always called.
+    chan::close(e.get());
+    chan::close(d.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cgoEx6Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> batch(makeChan<int>(rt, 4));
+    gc::Local<Channel<Unit>> gate(makeChan<Unit>(rt, 1));
+    GOLF_GO(rt, +[](Channel<int>* b) -> rt::Go {
+        for (int i = 0; i < 8; ++i)
+            co_await chan::send(b, i);
+        chan::close(b); // fix: bounded production + close
+        co_return;
+    }, batch.get());
+    GOLF_GO(rt, +[](Channel<Unit>* g, Channel<int>* b) -> rt::Go {
+        co_await chan::recv(g);
+        for (;;) {
+            auto r = co_await chan::recv(b);
+            if (!r.ok)
+                break;
+        }
+        co_return;
+    }, gate.get(), batch.get());
+    co_await chan::send(gate.get(), Unit{}); // fix: gate is opened
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+// --------------------------------------------------------- cockroach
+
+rt::Go
+cockroach584Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> stopper(makeChan<int>(rt, 0));
+    GOLF_GO(rt, drainAll, stopper.get());
+    chan::close(stopper.get()); // fix: stopper closed on all paths
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cockroach1055Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> drain(makeChan<int>(rt, 3)); // fix: cap
+    GOLF_GO(rt, sendOnceC, drain.get(), 1);
+    GOLF_GO(rt, sendOnceC, drain.get(), 2);
+    GOLF_GO(rt, sendOnceC, drain.get(), 3);
+    co_await chan::recv(drain.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cockroach2448Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> queue(makeChan<int>(rt, 1));
+    gc::Local<Channel<Unit>> events(makeChan<Unit>(rt, 0));
+    co_await chan::send(queue.get(), 0);
+    GOLF_GO(rt, sendOnceC, queue.get(), 1);
+    GOLF_GO(rt, +[](Channel<Unit>* ev) -> rt::Go {
+        for (;;) {
+            auto r = co_await chan::recv(ev);
+            if (!r.ok)
+                break;
+        }
+        co_return;
+    }, events.get());
+    // Fix: processor drains the queue and closes the event stream.
+    co_await chan::recv(queue.get());
+    co_await chan::recv(queue.get());
+    chan::close(events.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cockroach6181Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> replicaCh(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> errCh(makeChan<int>(rt, 0));
+    GOLF_GO(rt, drainAll, replicaCh.get());
+    GOLF_GO(rt, drainAll, errCh.get());
+    // Fix: defer-style close on every path.
+    chan::close(replicaCh.get());
+    chan::close(errCh.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cockroach7504Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> leaseDone(makeChan<int>(rt, 1));
+    gc::Local<Channel<int>> indexDone(makeChan<int>(rt, 1));
+    GOLF_GO(rt, sendOnceC, leaseDone.get(), 1);
+    GOLF_GO(rt, sendOnceC, indexDone.get(), 1);
+    co_await chan::recv(leaseDone.get());
+    co_await chan::recv(indexDone.get());
+    co_return;
+}
+
+rt::Go
+cockroach9935Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> replies(makeChan<int>(rt, 2)); // fix
+    GOLF_GO(rt, sendOnceC, replies.get(), 1);
+    GOLF_GO(rt, sendOnceC, replies.get(), 2);
+    co_await chan::recv(replies.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cockroach13197Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> txnDone(makeChan<int>(rt, 0));
+    GOLF_GO(rt, recvOnceC, txnDone.get());
+    co_await chan::send(txnDone.get(), 1); // fix: cleanup signals
+    co_return;
+}
+
+rt::Go
+cockroach13755Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> rows(makeChan<int>(rt, 0));
+    gc::Local<Channel<Unit>> cancel(makeChan<Unit>(rt, 0));
+    GOLF_GO(rt, +[](Channel<int>* r, Channel<Unit>* c) -> rt::Go {
+        for (int i = 0; i < 8; ++i) {
+            // Fix: the scanner honours cancellation.
+            int idx = co_await chan::select(chan::sendCase(r, i),
+                                            chan::recvCase(c));
+            if (idx == 1)
+                co_return;
+        }
+        chan::close(r);
+        co_return;
+    }, rows.get(), cancel.get());
+    co_await chan::recv(rows.get());
+    co_await chan::recv(rows.get());
+    chan::close(cancel.get()); // fix: consumer cancels on early stop
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+cockroach16167Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> sysCfg(makeChan<int>(rt, 0));
+    GOLF_GO(rt, recvOnceC, sysCfg.get());
+    GOLF_GO(rt, recvOnceC, sysCfg.get());
+    co_await chan::send(sysCfg.get(), 1);
+    co_await chan::send(sysCfg.get(), 2);
+    co_return;
+}
+
+rt::Go
+cockroach18101Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::WaitGroup> wg(rt.make<sync::WaitGroup>(rt));
+    wg->add(1); // fix: one Add per Done
+    GOLF_GO(rt, +[](sync::WaitGroup* w) -> rt::Go {
+        co_await w->wait();
+        co_return;
+    }, wg.get());
+    wg->done();
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+// -------------------------------------------------------------- etcd
+
+rt::Go
+etcd5509Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> sub(makeChan<int>(rt, 0));
+    GOLF_GO(rt, sendOnceC, sub.get(), 1);
+    co_await chan::recv(sub.get()); // fix: drain before unsubscribe
+    co_return;
+}
+
+rt::Go
+etcd6708Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> renew(makeChan<int>(rt, 0));
+    GOLF_GO(rt, recvOnceC, renew.get());
+    co_await chan::send(renew.get(), 1); // fix: stream delivers
+    co_return;
+}
+
+rt::Go
+etcd6873Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> donec(makeChan<int>(rt, 0));
+    GOLF_GO(rt, drainAll, donec.get());
+    chan::close(donec.get()); // fix: watcher closes donec
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+etcd7443Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> grant(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> keepalive(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> session(makeChan<int>(rt, 0));
+    GOLF_GO(rt, recvOnceC, grant.get());
+    GOLF_GO(rt, recvOnceC, keepalive.get());
+    GOLF_GO(rt, sendOnceC, session.get(), 1);
+    GOLF_GO(rt, sendOnceC, session.get(), 2);
+    GOLF_GO(rt, recvOnceC, grant.get());
+    co_await chan::send(grant.get(), 1);
+    co_await chan::send(grant.get(), 2);
+    co_await chan::send(keepalive.get(), 1);
+    co_await chan::recv(session.get());
+    co_await chan::recv(session.get());
+    co_return;
+}
+
+// -------------------------------------------------------------- grpc
+
+rt::Go
+grpc660Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> results(makeChan<int>(rt, 1)); // fix
+    gc::Local<Channel<int>> workerDone(makeChan<int>(rt, 0));
+    GOLF_GO(rt, sendOnceC, results.get(), 1);
+    GOLF_GO(rt, recvOnceC, workerDone.get());
+    co_await chan::send(workerDone.get(), 1);
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+rt::Go
+grpc1275Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> recvBuf(makeChan<int>(rt, 0));
+    GOLF_GO(rt, recvOnceC, recvBuf.get());
+    co_await chan::send(recvBuf.get(), 1); // fix: closer flushes
+    co_return;
+}
+
+rt::Go
+grpc1460Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> ping(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> settings(makeChan<int>(rt, 0));
+    GOLF_GO(rt, sendOnceC, ping.get(), 1);
+    GOLF_GO(rt, sendOnceC, settings.get(), 1);
+    co_await chan::recv(ping.get());
+    co_await chan::recv(settings.get());
+    co_return;
+}
+
+rt::Go
+grpc2166Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> control(makeChan<int>(rt, 1));
+    co_await chan::send(control.get(), 0);
+    GOLF_GO(rt, sendOnceC, control.get(), 1);
+    co_await chan::recv(control.get()); // fix: loop keeps draining
+    co_await chan::recv(control.get());
+    co_return;
+}
+
+rt::Go
+grpc3017Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    // Fix: readiness handed over through a channel, not a racy flag.
+    gc::Local<Channel<Unit>> ready(makeChan<Unit>(rt, 3));
+    GOLF_GO(rt, +[](Channel<Unit>* rdy) -> rt::Go {
+        for (int i = 0; i < 3; ++i)
+            co_await chan::send(rdy, Unit{});
+        co_return;
+    }, ready.get());
+    for (int i = 0; i < 3; ++i) {
+        GOLF_GO(rt, +[](Channel<Unit>* rdy) -> rt::Go {
+            co_await chan::recv(rdy);
+            co_return;
+        }, ready.get());
+    }
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+// -------------------------------------------------------------- hugo
+
+rt::Go
+hugo3261Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> fill(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> ack(makeChan<int>(rt, 0));
+    GOLF_GO(rt, sendOnceC, fill.get(), 1);
+    GOLF_GO(rt, recvOnceC, ack.get());
+    co_await chan::recv(fill.get());
+    co_await chan::send(ack.get(), 1);
+    co_return;
+}
+
+// -------------------------------------------------------- kubernetes
+
+rt::Go
+kubernetes1321Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> stopCh(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> tick(makeChan<int>(rt, 0));
+    GOLF_GO(rt, recvOnceC, stopCh.get());
+    GOLF_GO(rt, sendOnceC, tick.get(), 1);
+    chan::close(stopCh.get()); // fix: deferred close
+    co_await chan::recv(tick.get());
+    co_return;
+}
+
+rt::Go
+kubernetes25331Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> queue(makeChan<int>(rt, 0));
+    GOLF_GO(rt, sendOnceC, queue.get(), 1);
+    co_await chan::recv(queue.get());
+    co_return;
+}
+
+rt::Go
+kubernetes62464Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::RWMutex> mu(rt.make<sync::RWMutex>(rt));
+    co_await mu->lock();
+    mu->unlock(); // fix: deferred unlock on every path
+    GOLF_GO(rt, +[](sync::RWMutex* m) -> rt::Go {
+        co_await m->rlock();
+        m->runlock();
+        co_return;
+    }, mu.get());
+    GOLF_GO(rt, +[](sync::RWMutex* m) -> rt::Go {
+        co_await m->lock();
+        m->unlock();
+        co_return;
+    }, mu.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+// -------------------------------------------------------------- moby
+
+rt::Go
+moby27282Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> logs(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> rotate(makeChan<int>(rt, 0));
+    GOLF_GO(rt, sendOnceC, logs.get(), 1);
+    GOLF_GO(rt, recvOnceC, rotate.get());
+    co_await chan::recv(logs.get());
+    co_await chan::send(rotate.get(), 1);
+    co_return;
+}
+
+rt::Go
+moby30408Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> statsCh(makeChan<int>(rt, 1));
+    gc::Local<Channel<int>> ack(makeChan<int>(rt, 0));
+    co_await chan::send(statsCh.get(), 0);
+    GOLF_GO(rt, sendOnceC, statsCh.get(), 1);
+    GOLF_GO(rt, recvOnceC, ack.get());
+    co_await chan::recv(statsCh.get()); // fix: collector loop lives
+    co_await chan::recv(statsCh.get());
+    co_await chan::send(ack.get(), 1);
+    co_return;
+}
+
+rt::Go
+moby33781Fixed(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> waitC(makeChan<int>(rt, 1)); // fix: cap 1
+    GOLF_GO(rt, sendOnceC, waitC.get(), 0);
+    co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+} // namespace
+
+void
+registerCorrectPatterns(Registry& r)
+{
+    struct Entry
+    {
+        const char* name;
+        const char* suite;
+        rt::Go (*body)(PatternCtx*);
+    };
+    const Entry entries[] = {
+        {"cgo/ex1", "cgo-examples", cgoEx1Fixed},
+        {"cgo/ex2", "cgo-examples", cgoEx2Fixed},
+        {"cgo/ex3", "cgo-examples", cgoEx3Fixed},
+        {"cgo/ex4", "cgo-examples", cgoEx4Fixed},
+        {"cgo/ex5", "cgo-examples", cgoEx5Fixed},
+        {"cgo/ex6", "cgo-examples", cgoEx6Fixed},
+        {"cockroach/584", "goker", cockroach584Fixed},
+        {"cockroach/1055", "goker", cockroach1055Fixed},
+        {"cockroach/2448", "goker", cockroach2448Fixed},
+        {"cockroach/6181", "goker", cockroach6181Fixed},
+        {"cockroach/7504", "goker", cockroach7504Fixed},
+        {"cockroach/9935", "goker", cockroach9935Fixed},
+        {"cockroach/13197", "goker", cockroach13197Fixed},
+        {"cockroach/13755", "goker", cockroach13755Fixed},
+        {"cockroach/16167", "goker", cockroach16167Fixed},
+        {"cockroach/18101", "goker", cockroach18101Fixed},
+        {"etcd/5509", "goker", etcd5509Fixed},
+        {"etcd/6708", "goker", etcd6708Fixed},
+        {"etcd/6873", "goker", etcd6873Fixed},
+        {"etcd/7443", "goker", etcd7443Fixed},
+        {"grpc/660", "goker", grpc660Fixed},
+        {"grpc/1275", "goker", grpc1275Fixed},
+        {"grpc/1460", "goker", grpc1460Fixed},
+        {"grpc/2166", "goker", grpc2166Fixed},
+        {"grpc/3017", "goker", grpc3017Fixed},
+        {"hugo/3261", "goker", hugo3261Fixed},
+        {"kubernetes/1321", "goker", kubernetes1321Fixed},
+        {"kubernetes/25331", "goker", kubernetes25331Fixed},
+        {"kubernetes/62464", "goker", kubernetes62464Fixed},
+        {"moby/27282", "goker", moby27282Fixed},
+        {"moby/30408", "goker", moby30408Fixed},
+        {"moby/33781", "goker", moby33781Fixed},
+    };
+    for (const Entry& e : entries)
+        r.add({e.name, e.suite, {}, 1, true, e.body});
+}
+
+} // namespace golf::microbench

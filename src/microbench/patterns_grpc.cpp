@@ -1,0 +1,274 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from grpc-go issues. 8
+ * benchmarks; grpc/1460 and grpc/3017 are Table 1 flaky rows.
+ * grpc/3017 is the parallelism-gated one: it never manifests on one
+ * virtual core (the cooperative schedule runs the initializer before
+ * the checker) and almost always does on two or more.
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+recvOnceG(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+sendOnceG(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/660 — benchmark client: stat workers send into an unbuffered
+// results channel after the collector timed out. Two sites: the
+// sender and the watchdog that waits for it.
+rt::Go
+grpc660Watchdog(Channel<int>* workerDone)
+{
+    co_await chan::recv(workerDone);
+    co_return;
+}
+
+rt::Go
+grpc660(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> results(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> workerDone(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "grpc/660:79", sendOnceG, results.get(), 1);
+    GOLF_GO_LEAKY(ctx, "grpc/660:84", grpc660Watchdog,
+                  workerDone.get());
+    co_return; // collector timed out and dropped both channels
+}
+
+// ---------------------------------------------------------------------
+// grpc/795 — server stop: the listener-accept loop and the
+// connection closer both park on a quit channel pair the double-stop
+// path abandoned.
+rt::Go
+grpc795(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> quit(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> conns(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "grpc/795:53", recvOnceG, quit.get());
+    GOLF_GO_LEAKY(ctx, "grpc/795:61", recvOnceG, conns.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/862 — dial backoff: the connection retry loop and its
+// deadline watcher survive a cancelled dial context.
+rt::Go
+grpc862Retry(Channel<int>* connected, Channel<int>* backoff)
+{
+    co_await chan::select(chan::recvCase(connected),
+                          chan::recvCase(backoff));
+    co_return;
+}
+
+rt::Go
+grpc862(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> connected(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> backoff(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> notify(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "grpc/862:51", grpc862Retry, connected.get(),
+                  backoff.get());
+    GOLF_GO_LEAKY(ctx, "grpc/862:68", sendOnceG, notify.get(), 1);
+    // Cancelled dial: nobody serves connected/backoff (the retry
+    // select strands) and nobody drains the caller-notification
+    // channel (the notifier strands).
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/1275 — recvBufferReader: the stream reader waits for data
+// that the closed transport never delivers.
+rt::Go
+grpc1275(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> recvBuf(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "grpc/1275:97", recvOnceG, recvBuf.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/1424 — balancer: the address-update forwarder blocks sending
+// to a watcher the closed connection abandoned.
+rt::Go
+grpc1424(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> updates(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "grpc/1424:83", sendOnceG, updates.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/1460 — FLAKY (Table 1 ~98.5%): transport flow control. The
+// ping handler and the settings handler both block when the client
+// tears down mid-handshake — which happens on most but not all
+// schedules.
+rt::Go
+grpc1460(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> ping(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> settings(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "grpc/1460:83", sendOnceG, ping.get(), 1);
+    GOLF_GO_LEAKY(ctx, "grpc/1460:85", sendOnceG, settings.get(), 1);
+    co_await rt::yield();
+    if (ctx->rng.chance(0.65))
+        co_return; // teardown wins the race: both handlers leak
+    co_await chan::recv(ping.get());
+    co_await chan::recv(settings.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/2166 — stream cleanup: a header writer blocks on a full
+// buffered control channel after the control loop stopped.
+rt::Go
+grpc2166(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> control(makeChan<int>(rt, 1));
+    co_await chan::send(control.get(), 0); // loop stopped: stays full
+    GOLF_GO_LEAKY(ctx, "grpc/2166:31", sendOnceG, control.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// grpc/3017 — FLAKY, parallelism-gated (Table 1: 0 at 1 core,
+// ~100% at >=2): resolver state race. A checker goroutine reads a
+// readiness flag that an initializer goroutine (spawned just before
+// it) sets in its first slice. On one virtual core the cooperative
+// FIFO schedule always runs the initializer first; with more cores
+// the two land on different run queues and the checker frequently
+// wins the race, taking the unsynchronized path that parks on
+// channels nobody serves. Three leaky sites.
+struct Resolver3017 : gc::Object
+{
+    bool ready = false;
+    /** 0 = unobserved, 1 = saw ready, 2 = raced (poisoned). The
+     *  first helper to run snapshots the race outcome; the poisoned
+     *  state machine then strands every helper, matching the
+     *  original bug where one racy read corrupts the resolver. */
+    int observed = 0;
+    Channel<int>* updates = nullptr;
+    Channel<int>* lookups = nullptr;
+
+    bool
+    poisoned()
+    {
+        if (observed == 0)
+            observed = ready ? 1 : 2;
+        return observed == 2;
+    }
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(updates);
+        m.mark(lookups);
+    }
+};
+
+rt::Go
+grpc3017Init(Resolver3017* r, VTime wake)
+{
+    co_await rt::sleepUntil(wake);
+    r->ready = true;
+    co_return;
+}
+
+rt::Go
+grpc3017Checker(Resolver3017* r, VTime wake)
+{
+    co_await rt::sleepUntil(wake);
+    if (r->poisoned()) {
+        // Unsynchronized path: wait for an update that only a ready
+        // resolver would publish.
+        co_await chan::recv(r->updates);
+    }
+    co_return;
+}
+
+rt::Go
+grpc3017Lookup(Resolver3017* r, VTime wake)
+{
+    co_await rt::sleepUntil(wake);
+    if (r->poisoned()) {
+        co_await chan::send(r->lookups, 1);
+    }
+    co_return;
+}
+
+rt::Go
+grpc3017Watcher(Resolver3017* r, VTime wake)
+{
+    co_await rt::sleepUntil(wake);
+    if (r->poisoned()) {
+        co_await chan::recv(r->updates);
+    }
+    co_return;
+}
+
+rt::Go
+grpc3017(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Resolver3017> res(rt.make<Resolver3017>());
+    res->updates = makeChan<int>(rt, 0);
+    res->lookups = makeChan<int>(rt, 0);
+    // Initializer and helpers wake at the same instant. On one
+    // virtual core the wakeup order is FIFO (initializer first, it
+    // parked first), so the race is never lost; with parallelism the
+    // scheduler scatters the wakeups across processors and a helper
+    // frequently observes the pre-init state.
+    const VTime wake = rt.clock().now() + 300 * kMicrosecond;
+    GOLF_GO(rt, grpc3017Init, res.get(), wake);
+    GOLF_GO_LEAKY(ctx, "grpc/3017:71", grpc3017Checker, res.get(),
+                  wake);
+    GOLF_GO_LEAKY(ctx, "grpc/3017:97", grpc3017Lookup, res.get(),
+                  wake);
+    GOLF_GO_LEAKY(ctx, "grpc/3017:106", grpc3017Watcher, res.get(),
+                  wake);
+    co_return;
+}
+
+} // namespace
+
+void
+registerGrpcPatterns(Registry& r)
+{
+    r.add({"grpc/660", "goker", {"grpc/660:79", "grpc/660:84"}, 1,
+           false, grpc660});
+    r.add({"grpc/795", "goker", {"grpc/795:53", "grpc/795:61"}, 1,
+           false, grpc795});
+    r.add({"grpc/862", "goker", {"grpc/862:51", "grpc/862:68"}, 1,
+           false, grpc862});
+    r.add({"grpc/1275", "goker", {"grpc/1275:97"}, 1, false,
+           grpc1275});
+    r.add({"grpc/1424", "goker", {"grpc/1424:83"}, 1, false,
+           grpc1424});
+    r.add({"grpc/1460", "goker", {"grpc/1460:83", "grpc/1460:85"},
+           100, false, grpc1460});
+    r.add({"grpc/2166", "goker", {"grpc/2166:31"}, 1, false,
+           grpc2166});
+    r.add({"grpc/3017", "goker",
+           {"grpc/3017:71", "grpc/3017:97", "grpc/3017:106"}, 1000,
+           false, grpc3017});
+}
+
+} // namespace golf::microbench

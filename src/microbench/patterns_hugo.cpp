@@ -1,0 +1,101 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from Hugo issues. 3
+ * benchmarks; hugo/3261 is a Table 1 flaky row (~95.75%, dipping at
+ * high core counts).
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+recvOnceH(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+sendOnceH(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// hugo/3251 — page renderer: a content worker and its error
+// forwarder park on pipeline channels after a template error aborts
+// the site build.
+rt::Go
+hugo3251(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> pages(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> errs(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "hugo/3251:51", recvOnceH, pages.get());
+    GOLF_GO_LEAKY(ctx, "hugo/3251:58", sendOnceH, errs.get(), 1);
+    co_return; // build aborted; pipeline dropped
+}
+
+// ---------------------------------------------------------------------
+// hugo/3261 — FLAKY (Table 1 ~95.75%): .GetPage cache fill. Two
+// goroutines race to fill the page cache through an unbuffered
+// channel; on the unlucky input path the reader that would consume
+// the second fill exits early.
+rt::Go
+hugo3261(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> fill(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> ack(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "hugo/3261:54", sendOnceH, fill.get(), 1);
+    GOLF_GO_LEAKY(ctx, "hugo/3261:62", recvOnceH, ack.get());
+    co_await rt::yield();
+    if (ctx->rng.chance(0.55))
+        co_return; // early-exit path: filler and acker leak
+    co_await chan::recv(fill.get());
+    co_await chan::send(ack.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// hugo/5379 — site server rebuild: the file watcher and the rebuild
+// throttler both wait on events from a watcher that failed to start.
+rt::Go
+hugo5379Throttle(Channel<int>* rebuild)
+{
+    for (;;) {
+        auto r = co_await chan::recv(rebuild);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+rt::Go
+hugo5379(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> events(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> rebuild(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "hugo/5379:33", recvOnceH, events.get());
+    GOLF_GO_LEAKY(ctx, "hugo/5379:41", hugo5379Throttle,
+                  rebuild.get());
+    co_return;
+}
+
+} // namespace
+
+void
+registerHugoPatterns(Registry& r)
+{
+    r.add({"hugo/3251", "goker", {"hugo/3251:51", "hugo/3251:58"}, 1,
+           false, hugo3251});
+    r.add({"hugo/3261", "goker", {"hugo/3261:54", "hugo/3261:62"},
+           100, false, hugo3261});
+    r.add({"hugo/5379", "goker", {"hugo/5379:33", "hugo/5379:41"}, 1,
+           false, hugo5379});
+}
+
+} // namespace golf::microbench

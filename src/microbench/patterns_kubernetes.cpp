@@ -1,0 +1,354 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from Kubernetes issues. 13
+ * benchmarks; kubernetes/1321, 10182, 11298, 25331 and 62464 are the
+ * Table 1 flaky rows (97.5-99.85%).
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+recvOnceK(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+sendOnceK(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+rt::Go
+rangeDrainK(Channel<int>* ch)
+{
+    for (;;) {
+        auto r = co_await chan::recv(ch);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/1321 — FLAKY (~99.75%): util.Until worker pair. Both
+// the ticker loop and the stop forwarder leak when the caller's
+// error path forgets to close the stop channel.
+rt::Go
+kubernetes1321(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> stopCh(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> tick(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/1321:52", recvOnceK, stopCh.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/1321:95", sendOnceK, tick.get(),
+                  1);
+    co_await rt::yield();
+    if (ctx->rng.chance(0.78))
+        co_return; // error path: stop never closed
+    chan::close(stopCh.get());
+    co_await chan::recv(tick.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/5316 — kubelet prober: the exec result reader waits on
+// a probe whose container died before reporting.
+rt::Go
+kubernetes5316(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> probe(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/5316:58", recvOnceK, probe.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/6632 — kubelet runonce: a pod-status sender and the
+// pod-worker drain both park after the sync loop aborts.
+rt::Go
+kubernetes6632(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> statusCh(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> workCh(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/6632:21", sendOnceK,
+                  statusCh.get(), 1);
+    GOLF_GO_LEAKY(ctx, "kubernetes/6632:29", rangeDrainK,
+                  workCh.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/10182 — FLAKY (~99.75%): status manager. The syncBatch
+// goroutine blocks on the status channel when the update path exits
+// between the capacity check and the send.
+rt::Go
+kubernetes10182(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> statusCh(makeChan<int>(rt, 1));
+    co_await chan::send(statusCh.get(), 0); // buffer full
+    GOLF_GO_LEAKY(ctx, "kubernetes/10182:95", sendOnceK,
+                  statusCh.get(), 1);
+    co_await rt::yield();
+    if (ctx->rng.chance(0.78))
+        co_return; // consumer exits early: sender stuck on full buf
+    co_await chan::recv(statusCh.get());
+    co_await chan::recv(statusCh.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/11298 — FLAKY (~99.85%): scheduler event broadcaster.
+// Two subscriber forwarders miss the shutdown broadcast on an
+// unlucky path.
+rt::Go
+kubernetes11298(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> events(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> shutdown(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/11298:20", rangeDrainK,
+                  events.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/11298:106", recvOnceK,
+                  shutdown.get());
+    co_await rt::yield();
+    if (ctx->rng.chance(0.82))
+        co_return;
+    chan::close(events.get());
+    co_await chan::send(shutdown.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/16697 — pv controller: a claim-sync worker holds a
+// mutex-guarded resource while waiting for a binder that quit.
+rt::Go
+kubernetes16697Worker(sync::Mutex* mu, Channel<int>* binder)
+{
+    co_await mu->lock();
+    co_await chan::recv(binder);
+    mu->unlock();
+    co_return;
+}
+
+rt::Go
+kubernetes16697(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::Mutex> mu(rt.make<sync::Mutex>(rt));
+    gc::Local<Channel<int>> binder(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/16697:86", kubernetes16697Worker,
+                  mu.get(), binder.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/25331 — FLAKY (~99%): watch cache expiration. The
+// reflector's resync goroutine blocks sending into the event queue
+// if the consumer errored out first.
+rt::Go
+kubernetes25331(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> queue(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/25331:79", sendOnceK, queue.get(),
+                  1);
+    co_await rt::yield();
+    if (ctx->rng.chance(0.70))
+        co_return; // consumer errored: resync send leaks
+    co_await chan::recv(queue.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/26980 — pod GC: the sweep goroutine and its throttle
+// both park on a quota channel that the cancelled context orphaned.
+rt::Go
+kubernetes26980(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> quota(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> throttle(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/26980:38", recvOnceK,
+                  quota.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/26980:47", sendOnceK,
+                  throttle.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/30872 — federation controller: a three-stage DAG of
+// informer, deliverer and reconciler all stall when the stop signal
+// is consumed by only one of them. Three leaky sites.
+rt::Go
+kubernetes30872(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> informer(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> deliver(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> stop(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/30872:34", rangeDrainK,
+                  informer.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/30872:51", recvOnceK,
+                  deliver.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/30872:63", sendOnceK, stop.get(),
+                  1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/38669 — scheduler cache: the expiration cleanup blocks
+// on a condition variable whose broadcaster exited.
+rt::Go
+kubernetes38669Cleanup(sync::Cond* cond)
+{
+    co_await cond->locker()->lock();
+    co_await cond->wait();
+    cond->locker()->unlock();
+    co_return;
+}
+
+rt::Go
+kubernetes38669(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::Mutex> mu(rt.make<sync::Mutex>(rt));
+    gc::Local<sync::Cond> cond(rt.make<sync::Cond>(rt, mu.get()));
+    GOLF_GO_LEAKY(ctx, "kubernetes/38669:40",
+                  kubernetes38669Cleanup, cond.get());
+    co_return; // broadcaster gone: waiter parked on cond forever
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/58107 — resource quota controller: the replenishment
+// worker and the priority requeuer deadlock against each other's
+// queues (a two-goroutine cycle).
+rt::Go
+kubernetes58107A(Channel<int>* hot, Channel<int>* cold)
+{
+    co_await chan::recv(hot); // waits for B
+    co_await chan::send(cold, 1);
+    co_return;
+}
+
+rt::Go
+kubernetes58107B(Channel<int>* hot, Channel<int>* cold)
+{
+    co_await chan::recv(cold); // waits for A: cycle
+    co_await chan::send(hot, 1);
+    co_return;
+}
+
+rt::Go
+kubernetes58107(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> hot(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> cold(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/58107:13", kubernetes58107A,
+                  hot.get(), cold.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/58107:23", kubernetes58107B,
+                  hot.get(), cold.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/62464 — FLAKY (~97.5%): cpu manager reconcile. The
+// state reader and the checkpoint writer both stall on an RWMutex a
+// poisoned writer path never released.
+rt::Go
+kubernetes62464Reader(sync::RWMutex* mu)
+{
+    co_await mu->rlock();
+    mu->runlock();
+    co_return;
+}
+
+rt::Go
+kubernetes62464Writer(sync::RWMutex* mu)
+{
+    co_await mu->lock();
+    mu->unlock();
+    co_return;
+}
+
+rt::Go
+kubernetes62464(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::RWMutex> mu(rt.make<sync::RWMutex>(rt));
+    const bool poisoned = ctx->rng.chance(0.60);
+    if (poisoned)
+        co_await mu->lock(); // writer path panicked with lock held
+    GOLF_GO_LEAKY(ctx, "kubernetes/62464:115", kubernetes62464Reader,
+                  mu.get());
+    GOLF_GO_LEAKY(ctx, "kubernetes/62464:117", kubernetes62464Writer,
+                  mu.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// kubernetes/70277 — wait.poller: the poll goroutine and the timer
+// forwarder leak when the caller abandons the result channel pair.
+rt::Go
+kubernetes70277(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> result(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> timer(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "kubernetes/70277:26", sendOnceK,
+                  result.get(), 1);
+    GOLF_GO_LEAKY(ctx, "kubernetes/70277:34", recvOnceK,
+                  timer.get());
+    co_return;
+}
+
+} // namespace
+
+void
+registerKubernetesPatterns(Registry& r)
+{
+    r.add({"kubernetes/1321", "goker",
+           {"kubernetes/1321:52", "kubernetes/1321:95"}, 100, false,
+           kubernetes1321});
+    r.add({"kubernetes/5316", "goker", {"kubernetes/5316:58"}, 1,
+           false, kubernetes5316});
+    r.add({"kubernetes/6632", "goker",
+           {"kubernetes/6632:21", "kubernetes/6632:29"}, 1, false,
+           kubernetes6632});
+    r.add({"kubernetes/10182", "goker", {"kubernetes/10182:95"}, 100,
+           false, kubernetes10182});
+    r.add({"kubernetes/11298", "goker",
+           {"kubernetes/11298:20", "kubernetes/11298:106"}, 100,
+           false, kubernetes11298});
+    r.add({"kubernetes/16697", "goker", {"kubernetes/16697:86"}, 1,
+           false, kubernetes16697});
+    r.add({"kubernetes/25331", "goker", {"kubernetes/25331:79"}, 100,
+           false, kubernetes25331});
+    r.add({"kubernetes/26980", "goker",
+           {"kubernetes/26980:38", "kubernetes/26980:47"}, 1, false,
+           kubernetes26980});
+    r.add({"kubernetes/30872", "goker",
+           {"kubernetes/30872:34", "kubernetes/30872:51",
+            "kubernetes/30872:63"},
+           1, false, kubernetes30872});
+    r.add({"kubernetes/38669", "goker", {"kubernetes/38669:40"}, 1,
+           false, kubernetes38669});
+    r.add({"kubernetes/58107", "goker",
+           {"kubernetes/58107:13", "kubernetes/58107:23"}, 1, false,
+           kubernetes58107});
+    r.add({"kubernetes/62464", "goker",
+           {"kubernetes/62464:115", "kubernetes/62464:117"}, 100,
+           false, kubernetes62464});
+    r.add({"kubernetes/70277", "goker",
+           {"kubernetes/70277:26", "kubernetes/70277:34"}, 1, false,
+           kubernetes70277});
+}
+
+} // namespace golf::microbench

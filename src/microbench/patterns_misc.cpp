@@ -1,0 +1,97 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from Istio issues (the
+ * remainder of the corpus lives in patterns_sync.cpp for syncthing
+ * and Knative serving). All deterministic, 100% detection.
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+recvOnceI(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+sendOnceI(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// istio/16224 — config store sync: the event dispatcher blocks on a
+// full 1-slot queue, and the retry scheduler waits for a sync ack
+// the stopped controller never sends.
+rt::Go
+istio16224(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> queue(makeChan<int>(rt, 1));
+    gc::Local<Channel<int>> ack(makeChan<int>(rt, 0));
+    co_await chan::send(queue.get(), 0); // controller stopped: full
+    GOLF_GO_LEAKY(ctx, "istio/16224:38", sendOnceI, queue.get(), 1);
+    GOLF_GO_LEAKY(ctx, "istio/16224:46", recvOnceI, ack.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// istio/17860 — agent proxy: the drain watcher waits for an exit
+// signal the aborted proxy run path never delivers.
+rt::Go
+istio17860(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> exit(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "istio/17860:44", recvOnceI, exit.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// istio/18454 — pilot discovery: a push worker and the debounce
+// timer goroutine both stall on the update channel pair when the
+// connection closes mid-push.
+rt::Go
+istio18454Debounce(Channel<int>* updates, Channel<int>* pushes)
+{
+    // Flush the pending push first (nobody consumes it any more),
+    // so the update sender behind us strands too.
+    co_await chan::send(pushes, 1);
+    co_await chan::recv(updates);
+    co_return;
+}
+
+rt::Go
+istio18454(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> updates(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> pushes(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "istio/18454:20", istio18454Debounce,
+                  updates.get(), pushes.get());
+    GOLF_GO_LEAKY(ctx, "istio/18454:29", sendOnceI, updates.get(), 1);
+    // The connection closed: nobody consumes pushes, so the
+    // debouncer never reaches its receive and the updater strands.
+    co_return;
+}
+
+} // namespace
+
+void
+registerMiscPatterns(Registry& r)
+{
+    r.add({"istio/16224", "goker",
+           {"istio/16224:38", "istio/16224:46"}, 1, false,
+           istio16224});
+    r.add({"istio/17860", "goker", {"istio/17860:44"}, 1, false,
+           istio17860});
+    r.add({"istio/18454", "goker",
+           {"istio/18454:20", "istio/18454:29"}, 1, false,
+           istio18454});
+}
+
+} // namespace golf::microbench

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from Moby (Docker) issues.
+ * 13 benchmarks; moby/27282 and moby/33781 are Table 1 flaky rows
+ * (82.75% and 97%).
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+recvOnceM(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+sendOnceM(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+rt::Go
+rangeDrainM(Channel<int>* ch)
+{
+    for (;;) {
+        auto r = co_await chan::recv(ch);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/4395 — attach stream: the stdin copier blocks on a stream
+// the detached container never reads.
+rt::Go
+moby4395(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> stdinPipe(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/4395:71", sendOnceM, stdinPipe.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/4951 — devmapper: a device-removal worker holds the devices
+// mutex while waiting for an activation signal; a second worker
+// queues on the mutex behind it.
+struct DevSet4951 : gc::Object
+{
+    sync::Mutex* mu = nullptr;
+    Channel<int>* activated = nullptr;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(mu);
+        m.mark(activated);
+    }
+};
+
+rt::Go
+moby4951Remover(DevSet4951* d)
+{
+    co_await d->mu->lock();
+    co_await chan::recv(d->activated);
+    d->mu->unlock();
+    co_return;
+}
+
+rt::Go
+moby4951Creator(DevSet4951* d)
+{
+    co_await d->mu->lock();
+    d->mu->unlock();
+    co_return;
+}
+
+rt::Go
+moby4951(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<DevSet4951> dev(rt.make<DevSet4951>());
+    dev->mu = rt.make<sync::Mutex>(rt);
+    dev->activated = makeChan<int>(rt, 0);
+    GOLF_GO_LEAKY(ctx, "moby/4951:23", moby4951Remover, dev.get());
+    co_await rt::sleepFor(100 * kMicrosecond);
+    GOLF_GO_LEAKY(ctx, "moby/4951:31", moby4951Creator, dev.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/7559 — port allocator: the release worker waits on a nil map
+// channel when the allocator was never initialized.
+rt::Go
+moby7559(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    Channel<int>* uninitialized = nullptr;
+    GOLF_GO_LEAKY(ctx, "moby/7559:44", recvOnceM, uninitialized);
+    (void)rt;
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/17176 — devmapper deactivation: the poll loop waits for a
+// busy-device event the failed udev path never emits.
+rt::Go
+moby17176(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> udev(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/17176:62", recvOnceM, udev.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/21233 — pull progress: the progress pump, the throttler and
+// the cancellation forwarder all strand when the client detaches
+// mid-pull. Three leaky sites.
+rt::Go
+moby21233Pump(Channel<int>* progress)
+{
+    for (int i = 0;; ++i)
+        co_await chan::send(progress, i);
+    co_return;
+}
+
+rt::Go
+moby21233(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> progress(makeChan<int>(rt, 1));
+    gc::Local<Channel<int>> throttled(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> cancel(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/21233:59", moby21233Pump,
+                  progress.get());
+    GOLF_GO_LEAKY(ctx, "moby/21233:74", recvOnceM, throttled.get());
+    GOLF_GO_LEAKY(ctx, "moby/21233:88", sendOnceM, cancel.get(), 1);
+    co_await chan::recv(progress.get()); // client reads once, detaches
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/25384 — volume purge: the unmount waiter waits on a
+// WaitGroup that the skipped mount path never decrements, and the
+// retry goroutine blocks behind it.
+rt::Go
+moby25384Waiter(sync::WaitGroup* wg)
+{
+    co_await wg->wait();
+    co_return;
+}
+
+rt::Go
+moby25384(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::WaitGroup> wg(rt.make<sync::WaitGroup>(rt));
+    gc::Local<Channel<int>> retry(makeChan<int>(rt, 0));
+    wg->add(1); // the matching Done is on the skipped mount path
+    GOLF_GO_LEAKY(ctx, "moby/25384:12", moby25384Waiter, wg.get());
+    GOLF_GO_LEAKY(ctx, "moby/25384:19", recvOnceM, retry.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/27282 — FLAKY (Table 1 82.75%): logs follow. The log watcher
+// keeps following rotated files; the consumer detaches on a timing-
+// dependent path and strands both the follower and its rotation
+// notifier.
+rt::Go
+moby27282(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> logs(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> rotate(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/27282:65", sendOnceM, logs.get(), 1);
+    GOLF_GO_LEAKY(ctx, "moby/27282:213", recvOnceM, rotate.get());
+    co_await rt::yield();
+    if (ctx->rng.chance(0.35))
+        co_return; // consumer detached: follower pair leaks
+    co_await chan::recv(logs.get());
+    co_await chan::send(rotate.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/28462 — health check: the probe runner and the state monitor
+// park on a container-state channel pair after dockerd restarts.
+rt::Go
+moby28462(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> probes(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> state(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/28462:24", rangeDrainM, probes.get());
+    GOLF_GO_LEAKY(ctx, "moby/28462:53", sendOnceM, state.get(), 1);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/29733 — plugin enable: the manifest fetcher waits on a
+// response that the failed handshake path never produces.
+rt::Go
+moby29733(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> manifest(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/29733:31", recvOnceM, manifest.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/30408 — stats collector: the publisher blocks on a full
+// 1-slot stats channel, and the subscriber registrar waits for an
+// ack the dead collector loop never sends.
+rt::Go
+moby30408(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> statsCh(makeChan<int>(rt, 1));
+    gc::Local<Channel<int>> ack(makeChan<int>(rt, 0));
+    co_await chan::send(statsCh.get(), 0);
+    GOLF_GO_LEAKY(ctx, "moby/30408:18", sendOnceM, statsCh.get(), 1);
+    GOLF_GO_LEAKY(ctx, "moby/30408:39", recvOnceM, ack.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/33293 — libcontainerd: the exit-event processor waits on an
+// event stream whose gRPC connection closed uncleanly.
+rt::Go
+moby33293(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> exits(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/33293:36", rangeDrainM, exits.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/33781 — FLAKY (Table 1 97%): container wait. The wait
+// responder sends the exit status after the client's context is
+// cancelled on most schedules.
+rt::Go
+moby33781(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> waitC(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/33781:39", sendOnceM, waitC.get(), 0);
+    co_await rt::yield();
+    if (ctx->rng.chance(0.60))
+        co_return; // context cancelled: nobody reads the status
+    co_await chan::recv(waitC.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// moby/36114 — container restore: the restore worker holds the
+// container lock while awaiting a checkpoint that never loads; the
+// state reader queues behind it.
+rt::Go
+moby36114Restore(sync::Mutex* mu, Channel<int>* checkpoint)
+{
+    co_await mu->lock();
+    co_await chan::recv(checkpoint);
+    mu->unlock();
+    co_return;
+}
+
+rt::Go
+moby36114Reader(sync::Mutex* mu)
+{
+    co_await mu->lock();
+    mu->unlock();
+    co_return;
+}
+
+rt::Go
+moby36114(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::Mutex> mu(rt.make<sync::Mutex>(rt));
+    gc::Local<Channel<int>> checkpoint(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "moby/36114:15", moby36114Restore, mu.get(),
+                  checkpoint.get());
+    co_await rt::sleepFor(100 * kMicrosecond);
+    GOLF_GO_LEAKY(ctx, "moby/36114:23", moby36114Reader, mu.get());
+    co_return;
+}
+
+} // namespace
+
+void
+registerMobyPatterns(Registry& r)
+{
+    r.add({"moby/4395", "goker", {"moby/4395:71"}, 1, false,
+           moby4395});
+    r.add({"moby/4951", "goker", {"moby/4951:23", "moby/4951:31"}, 1,
+           false, moby4951});
+    r.add({"moby/7559", "goker", {"moby/7559:44"}, 1, false,
+           moby7559});
+    r.add({"moby/17176", "goker", {"moby/17176:62"}, 1, false,
+           moby17176});
+    r.add({"moby/21233", "goker",
+           {"moby/21233:59", "moby/21233:74", "moby/21233:88"}, 1,
+           false, moby21233});
+    r.add({"moby/25384", "goker", {"moby/25384:12", "moby/25384:19"},
+           1, false, moby25384});
+    r.add({"moby/27282", "goker", {"moby/27282:65", "moby/27282:213"},
+           100, false, moby27282});
+    r.add({"moby/28462", "goker", {"moby/28462:24", "moby/28462:53"},
+           1, false, moby28462});
+    r.add({"moby/29733", "goker", {"moby/29733:31"}, 1, false,
+           moby29733});
+    r.add({"moby/30408", "goker", {"moby/30408:18", "moby/30408:39"},
+           1, false, moby30408});
+    r.add({"moby/33293", "goker", {"moby/33293:36"}, 1, false,
+           moby33293});
+    r.add({"moby/33781", "goker", {"moby/33781:39"}, 100, false,
+           moby33781});
+    r.add({"moby/36114", "goker", {"moby/36114:15", "moby/36114:23"},
+           1, false, moby36114});
+}
+
+} // namespace golf::microbench

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * goker/GoBench microbenchmarks ported from Syncthing and Knative
+ * Serving issues — the sync-package-heavy end of the corpus. All
+ * deterministic, 100% detection.
+ */
+#include "microbench/patterns_common.hpp"
+
+namespace golf::microbench {
+namespace {
+
+rt::Go
+recvOnceS(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+sendOnceS(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// syncthing/4829 — folder scanner: the progress emitter holds the
+// folder mutex while blocked emitting to a detached UI channel.
+rt::Go
+syncthing4829Emitter(sync::Mutex* mu, Channel<int>* ui)
+{
+    co_await mu->lock();
+    co_await chan::send(ui, 1);
+    mu->unlock();
+    co_return;
+}
+
+rt::Go
+syncthing4829(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::Mutex> mu(rt.make<sync::Mutex>(rt));
+    gc::Local<Channel<int>> ui(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "syncthing/4829:17", syncthing4829Emitter,
+                  mu.get(), ui.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// syncthing/5795 — connection service: the dialer, the listener and
+// the deduplication loop all stall when the service restarts without
+// closing its coordination channels. Three leaky sites.
+rt::Go
+syncthing5795Dedup(Channel<int>* conns)
+{
+    for (;;) {
+        auto r = co_await chan::recv(conns);
+        if (!r.ok)
+            break;
+    }
+    co_return;
+}
+
+rt::Go
+syncthing5795(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> dialed(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> accepted(makeChan<int>(rt, 0));
+    gc::Local<Channel<int>> conns(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "syncthing/5795:49", sendOnceS, dialed.get(),
+                  1);
+    GOLF_GO_LEAKY(ctx, "syncthing/5795:57", sendOnceS,
+                  accepted.get(), 1);
+    GOLF_GO_LEAKY(ctx, "syncthing/5795:66", syncthing5795Dedup,
+                  conns.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// serving/2137 — autoscaler: the stat reporter waits on a WaitGroup
+// the poisoned scrape path never decrements, and the bucket flusher
+// blocks behind the reporter's mutex.
+struct Autoscaler2137 : gc::Object
+{
+    sync::WaitGroup* wg = nullptr;
+    sync::Mutex* mu = nullptr;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(wg);
+        m.mark(mu);
+    }
+};
+
+rt::Go
+serving2137Reporter(Autoscaler2137* a)
+{
+    co_await a->mu->lock();
+    co_await a->wg->wait();
+    a->mu->unlock();
+    co_return;
+}
+
+rt::Go
+serving2137Flusher(Autoscaler2137* a)
+{
+    co_await a->mu->lock();
+    a->mu->unlock();
+    co_return;
+}
+
+rt::Go
+serving2137(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Autoscaler2137> a(rt.make<Autoscaler2137>());
+    a->wg = rt.make<sync::WaitGroup>(rt);
+    a->mu = rt.make<sync::Mutex>(rt);
+    a->wg->add(1); // scrape path panicked before Done
+    GOLF_GO_LEAKY(ctx, "serving/2137:60", serving2137Reporter,
+                  a.get());
+    co_await rt::sleepFor(100 * kMicrosecond);
+    GOLF_GO_LEAKY(ctx, "serving/2137:71", serving2137Flusher,
+                  a.get());
+    co_return;
+}
+
+// ---------------------------------------------------------------------
+// serving/4908 — activator: the request prober waits on a readiness
+// channel that the torn-down revision never signals.
+rt::Go
+serving4908(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<Channel<int>> readiness(makeChan<int>(rt, 0));
+    GOLF_GO_LEAKY(ctx, "serving/4908:33", recvOnceS,
+                  readiness.get());
+    co_return;
+}
+
+} // namespace
+
+void
+registerSyncPatterns(Registry& r)
+{
+    r.add({"syncthing/4829", "goker", {"syncthing/4829:17"}, 1, false,
+           syncthing4829});
+    r.add({"syncthing/5795", "goker",
+           {"syncthing/5795:49", "syncthing/5795:57",
+            "syncthing/5795:66"},
+           1, false, syncthing5795});
+    r.add({"serving/2137", "goker",
+           {"serving/2137:60", "serving/2137:71"}, 1, false,
+           serving2137});
+    r.add({"serving/4908", "goker", {"serving/4908:33"}, 1, false,
+           serving4908});
+}
+
+} // namespace golf::microbench

@@ -1,0 +1,84 @@
+#include "microbench/registry.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace golf::microbench {
+
+Registry&
+Registry::instance()
+{
+    static Registry* reg = [] {
+        auto* r = new Registry();
+        registerCgoPatterns(*r);
+        registerCockroachPatterns(*r);
+        registerEtcdPatterns(*r);
+        registerGrpcPatterns(*r);
+        registerHugoPatterns(*r);
+        registerKubernetesPatterns(*r);
+        registerMobyPatterns(*r);
+        registerMiscPatterns(*r);
+        registerSyncPatterns(*r);
+        registerCorrectPatterns(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+void
+Registry::add(Pattern p)
+{
+    if (!p.body)
+        support::panic("Registry::add: pattern without a body");
+    for (const auto& existing : patterns_) {
+        if (existing.name == p.name && existing.correct == p.correct)
+            support::panic("Registry::add: duplicate pattern " + p.name);
+    }
+    patterns_.push_back(std::move(p));
+}
+
+std::vector<const Pattern*>
+Registry::deadlocking() const
+{
+    std::vector<const Pattern*> out;
+    for (const auto& p : patterns_) {
+        if (!p.correct)
+            out.push_back(&p);
+    }
+    return out;
+}
+
+std::vector<const Pattern*>
+Registry::corrects() const
+{
+    std::vector<const Pattern*> out;
+    for (const auto& p : patterns_) {
+        if (p.correct)
+            out.push_back(&p);
+    }
+    return out;
+}
+
+const Pattern*
+Registry::find(const std::string& name) const
+{
+    for (const auto& p : patterns_) {
+        if (p.name == name && !p.correct)
+            return &p;
+    }
+    return nullptr;
+}
+
+size_t
+Registry::totalLeakSites() const
+{
+    size_t n = 0;
+    for (const auto& p : patterns_) {
+        if (!p.correct)
+            n += p.leakSites.size();
+    }
+    return n;
+}
+
+} // namespace golf::microbench

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmark corpus registry.
+ *
+ * The paper's RQ1(a)/RQ2 corpus: 73 microbenchmarks with known
+ * partial deadlocks (121 leaky `go` instructions) taken from GoBench
+ * ("goker", Yuan et al.) and the CGO'24 leak collection
+ * ("cgo-examples", Saioc et al.), plus 32 fixed ("correct") variants
+ * for the Figure 4 overhead comparison — 105 programs total.
+ *
+ * Each pattern is one standalone program body. Leaky spawn sites are
+ * registered through PatternCtx::expectLeak with the paper's
+ * benchmark:line label, so the harness can match GOLF reports to
+ * expected sites exactly the way the artifact's tester matches its
+ * `// deadlocks:` annotations.
+ */
+#ifndef GOLFCC_MICROBENCH_REGISTRY_HPP
+#define GOLFCC_MICROBENCH_REGISTRY_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace golf::microbench {
+
+/** Per-run context handed to pattern bodies. */
+struct PatternCtx
+{
+    rt::Runtime* rt = nullptr;
+    /** Per-run pattern-internal randomness (seeded by the harness). */
+    support::Rng rng{1};
+    /** GOMAXPROCS of the run; some ported bugs' manifestation
+     *  probability scales with available parallelism. */
+    int procs = 1;
+    /** Label -> spawn-site "file:line" for each leaky go site. */
+    std::map<std::string, std::string> siteOfLabel;
+    /** Expected individual leaks per label for this run. */
+    std::map<std::string, int> expectedLeaks;
+
+    /**
+     * Record that the goroutine just spawned at a leaky `go` site is
+     * expected to (possibly) deadlock. label follows the paper's
+     * "project/issue:line" convention (e.g. "cockroach/6181:58").
+     */
+    void
+    expectLeak(const std::string& label, rt::Goroutine* g)
+    {
+        siteOfLabel[label] = g->spawnSite().str();
+        ++expectedLeaks[label];
+    }
+};
+
+/** A microbenchmark program. */
+struct Pattern
+{
+    /** Paper-style name, e.g. "cockroach/6181" or "cgo/ex1". */
+    std::string name;
+    /** Corpus of origin: "goker" or "cgo-examples". */
+    std::string suite;
+    /** Labels of the leaky go sites this program may produce. */
+    std::vector<std::string> leakSites;
+    /** Flakiness score 1 (deterministic) .. 10000 (Section 6.1). */
+    int flakiness = 1;
+    /** True for fixed variants (no deadlock expected). */
+    bool correct = false;
+    /** The program body; runs as a goroutine, may spawn others. */
+    rt::Go (*body)(PatternCtx*) = nullptr;
+};
+
+class Registry
+{
+  public:
+    /** The process-wide corpus (built on first use). */
+    static Registry& instance();
+
+    void add(Pattern p);
+
+    const std::vector<Pattern>& all() const { return patterns_; }
+
+    std::vector<const Pattern*> deadlocking() const;
+    std::vector<const Pattern*> corrects() const;
+
+    const Pattern* find(const std::string& name) const;
+
+    /** Total leaky go sites across deadlocking patterns. */
+    size_t totalLeakSites() const;
+
+  private:
+    Registry() = default;
+    std::vector<Pattern> patterns_;
+};
+
+/// @{ Per-file registration hooks (called once by Registry::instance).
+void registerCgoPatterns(Registry& r);
+void registerCockroachPatterns(Registry& r);
+void registerEtcdPatterns(Registry& r);
+void registerGrpcPatterns(Registry& r);
+void registerHugoPatterns(Registry& r);
+void registerKubernetesPatterns(Registry& r);
+void registerMobyPatterns(Registry& r);
+void registerMiscPatterns(Registry& r);
+void registerSyncPatterns(Registry& r);
+void registerCorrectPatterns(Registry& r);
+/// @}
+
+} // namespace golf::microbench
+
+#endif // GOLFCC_MICROBENCH_REGISTRY_HPP

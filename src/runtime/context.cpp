@@ -1,0 +1,74 @@
+#include "runtime/context.hpp"
+
+namespace golf::rt {
+
+Context::Context(Runtime& rt, Context* parent)
+    : rt_(rt), parent_(parent),
+      done_(chan::makeChan<chan::Unit>(rt, 0))
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+void
+Context::trace(gc::Marker& m)
+{
+    m.mark(done_);
+    for (Context* child : children_)
+        m.mark(child);
+    // The parent edge is deliberately untraced: a child must not
+    // keep an otherwise-dropped ancestor (and its whole tree) alive.
+}
+
+void
+Context::cancel()
+{
+    if (cancelled_)
+        return;
+    cancelled_ = true;
+    if (timerId_ != 0) {
+        rt_.clock().cancel(timerId_);
+        timerId_ = 0;
+    }
+    if (timerRootId_ != 0) {
+        rt_.unpinTimerRoot(timerRootId_);
+        timerRootId_ = 0;
+    }
+    // Closing the done channel releases every waiter and makes the
+    // done case of any select fire with ok=false — Go semantics.
+    done_->doClose();
+    for (Context* child : children_)
+        child->cancel();
+}
+
+Context*
+background(Runtime& rt)
+{
+    return rt.make<Context>(rt);
+}
+
+Context*
+withCancel(Runtime& rt, Context* parent)
+{
+    return rt.make<Context>(rt, parent);
+}
+
+Context*
+withTimeout(Runtime& rt, Context* parent, support::VTime d)
+{
+    Context* ctx = rt.make<Context>(rt, parent);
+    // The armed timer must keep the context reachable (like
+    // time.After): a goroutine waiting on ctx->done() is live until
+    // the deadline fires.
+    ctx->timerRootId_ = rt.pinTimerRoot(ctx);
+    ctx->timerId_ = rt.clock().scheduleAfter(d, [ctx] {
+        ctx->timerId_ = 0;
+        uint64_t root = ctx->timerRootId_;
+        ctx->timerRootId_ = 0;
+        ctx->cancel();
+        ctx->rt_.unpinTimerRoot(root);
+    });
+    return ctx;
+}
+
+} // namespace golf::rt

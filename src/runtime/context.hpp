@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Go context package analog: cancellation signals delivered through
+ * a done channel, composable into trees (WithCancel) and bounded by
+ * virtual-time deadlines (WithTimeout).
+ *
+ * In Go, `ctx.Done()` is the idiomatic way for goroutines to learn
+ * they should abandon work — and *forgetting* to select on it is a
+ * major source of goroutine leaks. Contexts are managed objects: a
+ * goroutine blocked solely on the done channel of a context nobody
+ * can cancel any more is precisely a partial deadlock, and GOLF
+ * detects it like any other channel wait.
+ */
+#ifndef GOLFCC_RUNTIME_CONTEXT_HPP
+#define GOLFCC_RUNTIME_CONTEXT_HPP
+
+#include <vector>
+
+#include "chan/channel.hpp"
+
+namespace golf::rt {
+
+class Context : public gc::Object
+{
+  public:
+    explicit Context(Runtime& rt, Context* parent = nullptr);
+
+    /** The done channel: closed when the context is cancelled.
+     *  Receive from it in selects, Go style. */
+    chan::Channel<chan::Unit>* done() const { return done_; }
+
+    bool cancelled() const { return cancelled_; }
+
+    /** Cancel this context and its whole subtree. Idempotent. */
+    void cancel();
+
+    Context* parent() const { return parent_; }
+
+    void trace(gc::Marker& m) override;
+
+    const char* objectName() const override { return "context"; }
+
+  private:
+    friend Context* withTimeout(Runtime&, Context*, support::VTime);
+
+    Runtime& rt_;
+    Context* parent_;
+    chan::Channel<chan::Unit>* done_;
+    std::vector<Context*> children_;
+    bool cancelled_ = false;
+    support::TimerId timerId_ = 0;
+    uint64_t timerRootId_ = 0;
+};
+
+/** context.Background(): a root context, never cancelled by time. */
+Context* background(Runtime& rt);
+
+/** context.WithCancel(parent). Cancel via ctx->cancel(). */
+Context* withCancel(Runtime& rt, Context* parent);
+
+/** context.WithTimeout(parent, d): cancels itself after d. */
+Context* withTimeout(Runtime& rt, Context* parent, support::VTime d);
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_CONTEXT_HPP

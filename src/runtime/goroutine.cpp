@@ -1,0 +1,93 @@
+#include "runtime/goroutine.hpp"
+
+#include <sstream>
+
+#include "gc/marker.hpp"
+
+namespace golf::rt {
+
+const char*
+statusName(GStatus s)
+{
+    switch (s) {
+      case GStatus::Idle: return "idle";
+      case GStatus::Runnable: return "runnable";
+      case GStatus::Running: return "running";
+      case GStatus::Waiting: return "waiting";
+      case GStatus::Done: return "done";
+      case GStatus::PendingReclaim: return "pending-reclaim";
+      case GStatus::Deadlocked: return "deadlocked";
+    }
+    return "?";
+}
+
+const char*
+waitReasonName(WaitReason r)
+{
+    switch (r) {
+      case WaitReason::None: return "none";
+      case WaitReason::ChanSend: return "chan send";
+      case WaitReason::ChanRecv: return "chan receive";
+      case WaitReason::Select: return "select";
+      case WaitReason::SelectNoCases: return "select (no cases)";
+      case WaitReason::ChanSendNil: return "chan send (nil chan)";
+      case WaitReason::ChanRecvNil: return "chan receive (nil chan)";
+      case WaitReason::MutexLock: return "sync.Mutex.Lock";
+      case WaitReason::RWMutexRLock: return "sync.RWMutex.RLock";
+      case WaitReason::RWMutexWLock: return "sync.RWMutex.Lock";
+      case WaitReason::WaitGroupWait: return "sync.WaitGroup.Wait";
+      case WaitReason::CondWait: return "sync.Cond.Wait";
+      case WaitReason::SemAcquire: return "semacquire";
+      case WaitReason::Sleep: return "sleep";
+      case WaitReason::Io: return "IO wait";
+      case WaitReason::GcWait: return "GC assist wait";
+      case WaitReason::Internal: return "runtime internal";
+    }
+    return "?";
+}
+
+bool
+isDeadlockCandidate(WaitReason r)
+{
+    switch (r) {
+      case WaitReason::ChanSend:
+      case WaitReason::ChanRecv:
+      case WaitReason::Select:
+      case WaitReason::SelectNoCases:
+      case WaitReason::ChanSendNil:
+      case WaitReason::ChanRecvNil:
+      case WaitReason::MutexLock:
+      case WaitReason::RWMutexRLock:
+      case WaitReason::RWMutexWLock:
+      case WaitReason::WaitGroupWait:
+      case WaitReason::CondWait:
+      case WaitReason::SemAcquire:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Site::str() const
+{
+    std::ostringstream os;
+    os << file << ":" << line;
+    return os.str();
+}
+
+void
+Goroutine::markStack(gc::Marker& marker)
+{
+    roots_.traceInto(marker);
+    for (gc::Object* obj : spawnRefs_)
+        marker.mark(obj);
+    // The objects of the blocking operation are referenced from this
+    // goroutine's stack in Go; marking them here reproduces that.
+    for (gc::Object* obj : blockedOn_) {
+        if (obj->heap())
+            marker.mark(obj);
+    }
+}
+
+} // namespace golf::rt

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Goroutine: the *g structure analog.
+ *
+ * A goroutine owns a chain of coroutine frames (its "stack"), a
+ * shadow-stack root list (the GC-visible references held by those
+ * frames), the set B(g) of concurrency objects it is blocked on
+ * (Section 4.1), and bookkeeping for scheduling and deadlock
+ * reporting. Goroutine objects are pooled and reused, mirroring the
+ * Go runtime's *g reuse described in Section 5.4.
+ */
+#ifndef GOLFCC_RUNTIME_GOROUTINE_HPP
+#define GOLFCC_RUNTIME_GOROUTINE_HPP
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "gc/root.hpp"
+#include "runtime/task.hpp"
+#include "runtime/types.hpp"
+#include "support/masked_ptr.hpp"
+
+namespace golf::gc { class Marker; class Object; }
+
+namespace golf::rt {
+
+class Runtime;
+class Scheduler;
+
+class Goroutine
+{
+  public:
+    using Id = uint64_t;
+
+    /// @{ Identity and lifecycle.
+    Id id() const { return id_; }
+    GStatus status() const { return status_; }
+    void setStatus(GStatus s) { status_ = s; }
+    bool isMain() const { return isMain_; }
+    /** Whether the goroutine still owns live coroutine frames. */
+    bool hasFrames() const { return static_cast<bool>(top_); }
+    /// @}
+
+    /// @{ Wait state: why and on what the goroutine is parked.
+    WaitReason waitReason() const { return waitReason_; }
+    const std::vector<gc::Object*>& blockedOn() const
+    {
+        return blockedOn_;
+    }
+    /** True when parked on an operation that can never fire: nil
+     *  channel or zero-case select (B(g) = {epsilon}, Section 4.1). */
+    bool blockedForever() const { return blockedForever_; }
+    /// @}
+
+    /// @{ Sites for reports: where spawned, where blocked.
+    const Site& spawnSite() const { return spawnSite_; }
+    const Site& blockSite() const { return blockSite_; }
+    /// @}
+
+    /**
+     * Reachable-liveness mark (LIVE+ of Section 4.1): the goroutine
+     * was added to the expanding root set during the GC cycle with
+     * this heap epoch.
+     */
+    bool liveAt(uint64_t epoch) const { return liveEpoch_ == epoch; }
+    void setLiveAt(uint64_t epoch) { liveEpoch_ = epoch; }
+
+    /** Whether a deadlock report was already emitted for this g. */
+    bool reported() const { return reported_; }
+    void setReported() { reported_ = true; }
+
+    /** Mark this goroutine's stack: registered root slots plus the
+     *  references pinned by its spawn arguments. */
+    void markStack(gc::Marker& marker);
+
+    /** The shadow stack: root slots registered by frames. */
+    gc::RootList& roots() { return roots_; }
+
+    /** References pinned for the lifetime of the goroutine by go()
+     *  (the goroutine's argument registers, so to speak). */
+    std::vector<gc::Object*>& spawnRefs() { return spawnRefs_; }
+
+    /** Frame bytes currently charged to this goroutine. */
+    size_t frameBytes() const { return frameBytes_; }
+
+    /** Masked address of the semaphore blocking this g, if any
+     *  (the paper extends *g with exactly this field, §5.4). */
+    support::MaskedPtr<void> blockedSema() const { return blockedSema_; }
+
+  private:
+    friend class Runtime;
+    friend class Scheduler;
+    friend class ParkGuard;
+
+    /// @{ Scheduling internals, manipulated by Runtime/Scheduler.
+    Id id_ = 0;
+    bool isMain_ = false;
+    GStatus status_ = GStatus::Idle;
+    WaitReason waitReason_ = WaitReason::None;
+    std::vector<gc::Object*> blockedOn_;
+    bool blockedForever_ = false;
+    Site spawnSite_;
+    Site blockSite_;
+    Go::Handle top_;                      ///< Outermost frame.
+    std::coroutine_handle<> resumePoint_; ///< Innermost parked frame.
+    gc::RootList roots_;
+    std::vector<gc::Object*> spawnRefs_;
+    size_t frameBytes_ = 0;
+    uint64_t liveEpoch_ = 0;
+    bool reported_ = false;
+    support::MaskedPtr<void> blockedSema_;
+    /** Scratch used by select to record the chosen case. */
+    int selectChoice_ = -1;
+    bool selectDone_ = false;
+    /// @}
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_GOROUTINE_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * gc::Local — a rooted reference held by goroutine code.
+ *
+ * Go scans goroutine stacks precisely using pointer bitmaps; golfcc
+ * instead uses shadow-stack handles: a Local<T> living in a coroutine
+ * frame registers one root slot with the *current goroutine* (or with
+ * the heap's global roots when constructed outside any goroutine,
+ * modelling package-level variables).
+ *
+ * Invariant (documented in README): any reference to a managed object
+ * held across a suspension point must live in a Local, a spawn
+ * argument (pinned via spawnRefs), or an object field (traced by
+ * trace()). Raw pointers are safe only within a single slice, because
+ * collections happen exclusively at scheduling safepoints.
+ */
+#ifndef GOLFCC_RUNTIME_LOCAL_HPP
+#define GOLFCC_RUNTIME_LOCAL_HPP
+
+#include "gc/heap.hpp"
+#include "gc/object.hpp"
+#include "gc/root.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf::gc {
+
+template <typename T>
+class Local
+{
+  public:
+    Local() { init(); }
+    explicit Local(T* obj) : obj_(obj) { init(); }
+
+    Local(const Local& o) : obj_(o.obj_) { init(); }
+
+    Local&
+    operator=(const Local& o)
+    {
+        obj_ = o.obj_;
+        return *this;
+    }
+
+    Local&
+    operator=(T* obj)
+    {
+        obj_ = obj;
+        return *this;
+    }
+
+    ~Local() = default; // slot_ unlinks itself
+
+    T* get() const { return obj_; }
+    T* operator->() const { return obj_; }
+    T& operator*() const { return *obj_; }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+  private:
+    void
+    init()
+    {
+        slot_.setSlot(reinterpret_cast<Object**>(&obj_));
+        rt::Runtime* rt = rt::Runtime::current();
+        if (!rt)
+            return; // unmanaged context (plain unit tests)
+        if (rt::Goroutine* g = rt->currentGoroutine())
+            g->roots().add(&slot_);
+        else
+            rt->heap().globalRoots().add(&slot_);
+    }
+
+    T* obj_ = nullptr;
+    RootSlot slot_;
+};
+
+/**
+ * Root for a value held inside a blocking awaitable (e.g. the payload
+ * of a parked channel send). Only pointer-to-Object payloads need a
+ * root; other payload types instantiate the empty primary template.
+ */
+template <typename T>
+class ValueRoot
+{
+  public:
+    explicit ValueRoot(T&) {}
+};
+
+template <typename U>
+    requires std::is_base_of_v<Object, U>
+class ValueRoot<U*>
+{
+  public:
+    explicit ValueRoot(U*& ref)
+    {
+        slot_.setSlot(reinterpret_cast<Object**>(&ref));
+        rt::Runtime* rt = rt::Runtime::current();
+        if (!rt)
+            return;
+        if (rt::Goroutine* g = rt->currentGoroutine())
+            g->roots().add(&slot_);
+        else
+            rt->heap().globalRoots().add(&slot_);
+    }
+
+  private:
+    RootSlot slot_;
+};
+
+/** Trace helper for container payloads (channel buffers). */
+template <typename T>
+inline void
+traceValue(Marker&, const T&)
+{
+}
+
+template <typename U>
+    requires std::is_base_of_v<Object, U>
+inline void
+traceValue(Marker& m, U* const& v)
+{
+    m.mark(v);
+}
+
+} // namespace golf::gc
+
+#endif // GOLFCC_RUNTIME_LOCAL_HPP

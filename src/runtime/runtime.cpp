@@ -1,0 +1,585 @@
+#include "runtime/runtime.hpp"
+
+#include <ctime>
+#include <sstream>
+
+#include "gc/marker.hpp"
+#include "golf/collector.hpp"
+#include "support/panic.hpp"
+#include "sync/pool.hpp"
+
+namespace golf::rt {
+
+namespace {
+
+/** Innermost-active-runtime stack (the process is single-threaded). */
+std::vector<Runtime*>&
+runtimeStack()
+{
+    static std::vector<Runtime*> stack;
+    return stack;
+}
+
+} // namespace
+
+Runtime*
+Runtime::current()
+{
+    auto& stack = runtimeStack();
+    return stack.empty() ? nullptr : stack.back();
+}
+
+namespace detail {
+
+void
+noteFrameAlloc(size_t bytes)
+{
+    if (Runtime* rt = Runtime::current())
+        rt->noteFrameAlloc(bytes);
+}
+
+void
+noteFrameFree(size_t bytes)
+{
+    if (Runtime* rt = Runtime::current())
+        rt->noteFrameFree(bytes);
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// Promise glue.
+
+void
+Go::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept
+{
+    Goroutine* g = h.promise().g;
+    if (g && Runtime::current())
+        Runtime::current()->onGoroutineDone(g);
+}
+
+void
+Go::promise_type::unhandled_exception()
+{
+    if (Runtime* rt = Runtime::current())
+        rt->onGoroutinePanic(std::current_exception());
+    else
+        support::panic("goroutine exception outside a runtime");
+}
+
+// ---------------------------------------------------------------------
+// Runtime lifecycle.
+
+Runtime::Runtime(Config config)
+    : config_(config),
+      heap_(config.heap),
+      sched_(*this, config.procs, config.seed)
+{
+    startCpuNs_ = processCpuNs();
+    collector_ = std::make_unique<detect::Collector>(*this);
+    runtimeStack().push_back(this);
+}
+
+Runtime::~Runtime()
+{
+    tearingDown_ = true;
+    // Destroy surviving goroutine frames (leaked, deadlocked or
+    // abandoned at main exit) while this runtime is still current:
+    // waiter destructors must be able to reach channels and the
+    // semtable, and frame accounting must resolve to us.
+    for (auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->hasFrames()) {
+            g->top_.destroy();
+            g->top_ = {};
+            g->resumePoint_ = {};
+        }
+    }
+    auto& stack = runtimeStack();
+    if (stack.empty() || stack.back() != this)
+        support::panic("Runtime teardown out of order");
+    stack.pop_back();
+}
+
+// ---------------------------------------------------------------------
+// Goroutine management.
+
+Goroutine*
+Runtime::obtainGoroutine()
+{
+    Goroutine* g;
+    if (!freeg_.empty()) {
+        // Goroutine reuse (Section 5.4): recycle a dead *g.
+        g = freeg_.back();
+        freeg_.pop_back();
+    } else {
+        gStorage_.push_back(std::make_unique<Goroutine>());
+        g = gStorage_.back().get();
+        // The allgs registry stores masked addresses so it never
+        // leaks reachability to the marker (Section 5.4).
+        allg_.push_back(support::MaskedPtr<Goroutine>(g));
+    }
+    g->id_ = nextGoId_++;
+    g->status_ = GStatus::Runnable;
+    return g;
+}
+
+void
+Runtime::resetForReuse(Goroutine* g)
+{
+    // The paper's "special cleanup procedure": reset fields that a
+    // blocking select/semaphore operation may have left behind, so a
+    // deadlock-reclaimed *g is indistinguishable from a normally
+    // terminated one.
+    if (!g->roots_.empty())
+        support::panic("goroutine recycled with registered roots");
+    g->waitReason_ = WaitReason::None;
+    g->blockedOn_.clear();
+    g->blockedForever_ = false;
+    g->spawnRefs_.clear();
+    g->frameBytes_ = 0;
+    g->liveEpoch_ = 0;
+    g->reported_ = false;
+    g->blockedSema_ = support::MaskedPtr<void>();
+    g->selectChoice_ = -1;
+    g->selectDone_ = false;
+    g->isMain_ = false;
+    g->spawnSite_ = Site{};
+    g->blockSite_ = Site{};
+}
+
+Goroutine*
+Runtime::spawn(Go&& task, Site site)
+{
+    if (!task.valid())
+        support::panic("Runtime::spawn: invalid Go task");
+    Goroutine* g = obtainGoroutine();
+    g->top_ = task.release();
+    g->top_.promise().g = g;
+    g->resumePoint_ = g->top_;
+    g->spawnSite_ = site;
+    g->frameBytes_ = lastFrameBytes_;
+    tracer_.record(clock_.now(), TraceEvent::Spawn, g->id());
+    sched_.enqueueSpawn(g);
+    return g;
+}
+
+void
+Runtime::park(Goroutine* g, std::coroutine_handle<> resumePoint,
+              WaitReason reason, std::vector<gc::Object*> blockedOn,
+              bool forever, Site blockSite)
+{
+    if (g->status_ != GStatus::Running)
+        support::panic("park of a non-running goroutine");
+    g->resumePoint_ = resumePoint;
+    g->status_ = GStatus::Waiting;
+    g->waitReason_ = reason;
+    g->blockedOn_ = std::move(blockedOn);
+    g->blockedForever_ = forever;
+    g->blockSite_ = blockSite;
+    tracer_.record(clock_.now(), TraceEvent::Park, g->id(), reason);
+}
+
+void
+Runtime::ready(Goroutine* g)
+{
+    if (g->status_ != GStatus::Waiting)
+        support::panic("ready of a non-waiting goroutine");
+    g->status_ = GStatus::Runnable;
+    g->waitReason_ = WaitReason::None;
+    g->blockedOn_.clear();
+    g->blockedForever_ = false;
+    tracer_.record(clock_.now(), TraceEvent::Ready, g->id());
+    sched_.enqueueReady(g);
+}
+
+void
+Runtime::yieldCurrent(std::coroutine_handle<> h)
+{
+    Goroutine* g = sched_.current();
+    if (!g)
+        support::panic("yield outside a goroutine");
+    g->resumePoint_ = h;
+    g->status_ = GStatus::Runnable;
+    tracer_.record(clock_.now(), TraceEvent::Yield, g->id());
+    sched_.enqueueReady(g);
+}
+
+void
+Runtime::sleepCurrent(std::coroutine_handle<> h, support::VTime d,
+                      WaitReason reason)
+{
+    Goroutine* g = sched_.current();
+    if (!g)
+        support::panic("sleep outside a goroutine");
+    g->resumePoint_ = h;
+    g->status_ = GStatus::Waiting;
+    g->waitReason_ = reason;
+    g->blockedOn_.clear();
+    g->blockedForever_ = false;
+    clock_.scheduleAfter(d < 0 ? 0 : d, [this, g] { ready(g); });
+}
+
+void
+Runtime::onGoroutineDone(Goroutine* g)
+{
+    g->status_ = GStatus::Done;
+    if (g->isMain_)
+        mainDone_ = true;
+}
+
+void
+Runtime::onGoroutinePanic(std::exception_ptr e)
+{
+    result_.panicked = true;
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+        result_.panicMessage = ex.what();
+    } catch (...) {
+        result_.panicMessage = "unknown panic";
+    }
+}
+
+void
+Runtime::finalizeDone(Goroutine* g)
+{
+    tracer_.record(clock_.now(), TraceEvent::Done, g->id());
+    g->top_.destroy();
+    g->top_ = {};
+    g->resumePoint_ = {};
+    resetForReuse(g);
+    g->status_ = GStatus::Idle;
+    freeg_.push_back(g);
+}
+
+void
+Runtime::reclaimGoroutine(Goroutine* g)
+{
+    if (g->status_ != GStatus::PendingReclaim)
+        support::panic("reclaim of a non-pending goroutine");
+    const bool wasMain = g->isMain_;
+    tracer_.record(clock_.now(), TraceEvent::Reclaim, g->id(),
+                   g->waitReason_);
+    // Destroying the outermost frame unwinds the whole frame chain:
+    // Task temporaries destroy callee frames, parked waiters unlink
+    // from channel queues and the semtable, and shadow-stack roots
+    // deregister. This is the forced shutdown of Section 5.4.
+    g->top_.destroy();
+    g->top_ = {};
+    g->resumePoint_ = {};
+    resetForReuse(g);
+    g->status_ = GStatus::Idle;
+    freeg_.push_back(g);
+    if (wasMain) {
+        mainDone_ = true;
+        result_.mainReclaimed = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Introspection.
+
+size_t
+Runtime::countByStatus(GStatus s) const
+{
+    size_t n = 0;
+    for (const auto& mp : allg_) {
+        if (mp.get()->status() == s)
+            ++n;
+    }
+    return n;
+}
+
+void
+Runtime::forEachGoroutine(
+    const std::function<void(Goroutine*)>& fn) const
+{
+    for (const auto& mp : allg_)
+        fn(mp.get());
+}
+
+std::string
+Runtime::dumpGoroutines() const
+{
+    std::ostringstream os;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() == GStatus::Idle)
+            continue;
+        os << "goroutine " << g->id() << " [" << statusName(g->status());
+        if (g->status() == GStatus::Waiting)
+            os << ", " << waitReasonName(g->waitReason());
+        os << "]:\n";
+        os << "  created by " << g->spawnSite().str() << "\n";
+        if (g->status() == GStatus::Waiting ||
+            g->status() == GStatus::Deadlocked ||
+            g->status() == GStatus::PendingReclaim) {
+            os << "  blocked at " << g->blockSite().str() << "\n";
+        }
+        os << "  stack: " << g->frameBytes() << " bytes";
+        if (!g->blockedOn().empty())
+            os << ", blocked on " << g->blockedOn().size()
+               << " object(s)";
+        if (g->blockedForever())
+            os << " (blocked forever)";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::vector<Goroutine*>
+Runtime::blockedCandidates() const
+{
+    std::vector<Goroutine*> out;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() == GStatus::Waiting &&
+            isDeadlockCandidate(g->waitReason())) {
+            out.push_back(g);
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// The run loop.
+
+void
+Runtime::runSlice(Goroutine* g)
+{
+    sched_.setCurrent(g);
+    g->status_ = GStatus::Running;
+    // Virtual time advances per slice, with seeded jitter: this is
+    // what makes timeout races seed- and load-dependent, the source
+    // of microbenchmark flakiness (Section 6.1).
+    support::VTime slice =
+        config_.sliceCost +
+        static_cast<support::VTime>(sched_.rng().nextBelow(
+            static_cast<uint64_t>(config_.sliceCost) + 1));
+    clock_.advance(slice);
+    busyNs_ += slice;
+    g->resumePoint_.resume();
+    sched_.setCurrent(nullptr);
+
+    switch (g->status_) {
+      case GStatus::Done:
+        finalizeDone(g);
+        break;
+      case GStatus::Waiting:
+      case GStatus::Runnable:
+        break; // parked or yielded; queues already updated
+      default:
+        support::panic("goroutine suspended in unexpected status");
+    }
+}
+
+void
+Runtime::collectNow()
+{
+    gcRequested_ = false;
+    tracer_.record(clock_.now(), TraceEvent::GcStart, 0);
+    collector_->collect();
+    tracer_.record(clock_.now(), TraceEvent::GcEnd, 0);
+    if (config_.chargeGcPause) {
+        const auto& cs = collector_->lastCycle();
+        // Go's pacer limits GC CPU to roughly a quarter of the
+        // machine: cap the concurrent-marking charge at a third of
+        // the time elapsed since the previous cycle. The STW pause
+        // is charged in full.
+        support::VTime interval = clock_.now() - lastGcEndVt_;
+        auto markCharge = static_cast<support::VTime>(cs.modeledMarkNs);
+        if (markCharge > interval / 2)
+            markCharge = interval / 2;
+        auto charge =
+            markCharge + static_cast<support::VTime>(cs.modeledStwNs);
+        clock_.advance(charge);
+        busyNs_ += charge;
+        gcChargedNs_ += charge;
+        lastGcEndVt_ = clock_.now();
+        // GCCPUFraction: GC time relative to elapsed execution time
+        // (the service occupies its cores for the whole run).
+        heap_.stats().gcCpuFraction = clock_.now() == 0
+            ? 0.0
+            : static_cast<double>(gcChargedNs_) /
+              static_cast<double>(clock_.now());
+    }
+    for (Goroutine* g : gcWaiters_)
+        ready(g);
+    gcWaiters_.clear();
+}
+
+RunResult
+Runtime::driveLoop()
+{
+    running_ = true;
+    result_ = RunResult{};
+    mainDone_ = false;
+
+    while (true) {
+        if (result_.panicked)
+            break;
+        if (mainDone_) {
+            // Program exit: main returned (or was reclaimed). Like
+            // Go, remaining goroutines are abandoned, not awaited.
+            result_.mainCompleted = !result_.mainReclaimed;
+            break;
+        }
+        if (gcRequested_ || heap_.shouldCollect())
+            collectNow();
+
+        Goroutine* g = sched_.pickNext();
+        if (!g) {
+            if (clock_.hasPending()) {
+                clock_.fireNext();
+                continue;
+            }
+            // No runnable goroutine, no timers: Go's fatal error
+            // "all goroutines are asleep - deadlock!".
+            result_.globalDeadlock = true;
+            break;
+        }
+        runSlice(g);
+    }
+
+    running_ = false;
+    return result_;
+}
+
+// ---------------------------------------------------------------------
+// Timer roots: pending runtime timers that reference channels keep
+// those channels reachable (Go's active timers are GC roots); without
+// this, a goroutine blocked on a time.After channel would be a false
+// positive.
+
+uint64_t
+Runtime::pinTimerRoot(gc::Object* obj)
+{
+    auto entry = std::make_unique<TimerRootEntry>();
+    entry->id = nextTimerRootId_++;
+    entry->obj = obj;
+    entry->slot.setSlot(&entry->obj);
+    heap_.globalRoots().add(&entry->slot);
+    uint64_t id = entry->id;
+    timerRoots_.push_back(std::move(entry));
+    return id;
+}
+
+void
+Runtime::unpinTimerRoot(uint64_t id)
+{
+    for (auto it = timerRoots_.begin(); it != timerRoots_.end(); ++it) {
+        if ((*it)->id == id) {
+            timerRoots_.erase(it); // slot unlinks in its destructor
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// sync.Pool integration.
+
+void
+Runtime::registerPool(sync::PoolBase* pool)
+{
+    pools_.push_back(pool);
+}
+
+void
+Runtime::unregisterPool(sync::PoolBase* pool)
+{
+    if (tearingDown_)
+        return; // registry may already be gone (heap dies last)
+    for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+        if (*it == pool) {
+            pools_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Runtime::runPoolCleanups()
+{
+    for (sync::PoolBase* pool : pools_)
+        pool->gcCleanup();
+}
+
+// ---------------------------------------------------------------------
+// Accounting.
+
+void
+Runtime::noteFrameAlloc(size_t bytes)
+{
+    heap_.stats().stackInuse += bytes;
+    lastFrameBytes_ = bytes;
+}
+
+void
+Runtime::noteFrameFree(size_t bytes)
+{
+    auto& inuse = heap_.stats().stackInuse;
+    inuse = inuse >= bytes ? inuse - bytes : 0;
+}
+
+uint64_t
+Runtime::processCpuNs() const
+{
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// ---------------------------------------------------------------------
+// Awaitable glue.
+
+void
+YieldAwaiter::await_suspend(std::coroutine_handle<> h) const
+{
+    Runtime::current()->yieldCurrent(h);
+}
+
+void
+SleepAwaiter::await_suspend(std::coroutine_handle<> h) const
+{
+    Runtime::current()->sleepCurrent(h, duration, WaitReason::Sleep);
+}
+
+void
+SleepUntilAwaiter::await_suspend(std::coroutine_handle<> h) const
+{
+    Runtime* rt = Runtime::current();
+    support::VTime delay = deadline - rt->clock().now();
+    rt->sleepCurrent(h, delay < 0 ? 0 : delay, WaitReason::Sleep);
+}
+
+void
+IoAwaiter::await_suspend(std::coroutine_handle<> h) const
+{
+    Runtime::current()->sleepCurrent(h, duration, WaitReason::Io);
+}
+
+void
+GcAwaiter::await_suspend(std::coroutine_handle<> h) const
+{
+    Runtime* rt = Runtime::current();
+    Goroutine* g = rt->currentGoroutine();
+    if (!g)
+        support::panic("gcNow outside a goroutine");
+    rt->park(g, h, WaitReason::GcWait, {}, false,
+             Site{"<runtime>", 0, "GC"});
+    rt->addGcWaiter(g);
+    rt->requestGc();
+}
+
+void
+busy(support::VTime d)
+{
+    Runtime* rt = Runtime::current();
+    rt->clock().advance(d);
+    rt->noteBusy(d);
+}
+
+} // namespace golf::rt

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * The Runtime facade: the "Go runtime" of golfcc.
+ *
+ * Owns the managed heap, the scheduler, the virtual clock, the
+ * semtable and the goroutine registry (allgs) + free pool, and drives
+ * the run loop. The GC/deadlock-detection cycle itself lives in
+ * golf::Collector; the runtime decides *when* a cycle runs
+ * (allocation pacing or a forced runtime.GC()), always at a scheduling
+ * safepoint — between goroutine slices — which is the STW window the
+ * paper's detector relies on.
+ */
+#ifndef GOLFCC_RUNTIME_RUNTIME_HPP
+#define GOLFCC_RUNTIME_RUNTIME_HPP
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "gc/heap.hpp"
+#include "runtime/goroutine.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/semtable.hpp"
+#include "runtime/task.hpp"
+#include "runtime/tracer.hpp"
+#include "runtime/types.hpp"
+#include "support/rng.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::detect { class Collector; }
+namespace golf::sync { class PoolBase; }
+
+namespace golf::rt {
+
+/** Which collection algorithm the runtime uses. */
+enum class GcMode
+{
+    Baseline,  ///< Ordinary Go GC: every goroutine is a root.
+    Golf,      ///< GOLF: runnable-only roots + liveness fixpoint.
+};
+
+/** What GOLF does with detected deadlocks (Section 5.5 / 6.1). */
+enum class Recovery
+{
+    ReportOnly,  ///< Report; keep the goroutine (and its memory).
+    Reclaim,     ///< Report, then shut down and reclaim next cycle.
+};
+
+struct Config
+{
+    int procs = 1;              ///< GOMAXPROCS analog.
+    uint64_t seed = 1;          ///< Master seed for all randomness.
+    GcMode gcMode = GcMode::Golf;
+    Recovery recovery = Recovery::Reclaim;
+    /** Run detection only every Nth GC cycle (Section 6.2 closing
+     *  remark); 1 = every cycle, the paper's default. */
+    int detectEveryN = 1;
+    /**
+     * The Section 5.3 optimization the paper leaves as future work:
+     * add blocked goroutines to the root set on the fly, as the
+     * concurrency objects they are attached to are marked. Collapses
+     * the daisy-chain fixpoint from n mark iterations to one and
+     * removes the O(NS) per-round check cost; results are identical
+     * (see the eager-liveness tests and the gc_mark_micro ablation).
+     */
+    bool eagerLivenessMarking = false;
+    gc::HeapConfig heap;
+    /** Virtual time consumed by one scheduling slice. */
+    support::VTime sliceCost = 2 * support::kMicrosecond;
+    /** Print "partial deadlock!" report lines to stderr. */
+    bool verboseReports = false;
+    /**
+     * Charge GC work to the virtual clock. Marking cost (modelled on
+     * Go's concurrent marker: proportional to bytes and objects
+     * marked) steals CPU time from the service — a bloated baseline
+     * heap degrades latency (Table 2). The STW pause carries GOLF's
+     * extra work — root-expansion checks, reclaim — which is why the
+     * paper reports ~2.5x higher pause-per-cycle under GOLF while
+     * GOLF still wins end-to-end on a leaky service.
+     */
+    bool chargeGcPause = true;
+    support::VTime gcStwFixedNs = 50 * support::kMicrosecond;
+    double gcNsPerDetectCheck = 100.0;
+    support::VTime gcNsPerIteration = 10 * support::kMicrosecond;
+    support::VTime gcNsPerReclaim = 20 * support::kMicrosecond;
+    double gcMarkNsPerByte = 1.0;
+    double gcMarkNsPerObject = 20.0;
+};
+
+/** Outcome of Runtime::run(). */
+struct RunResult
+{
+    bool mainCompleted = false;
+    bool globalDeadlock = false;   ///< Go's fatal "all goroutines ...".
+    bool panicked = false;         ///< A goroutine panicked (crash).
+    std::string panicMessage;
+    bool mainReclaimed = false;    ///< main itself was deadlocked.
+
+    bool ok() const { return mainCompleted && !panicked; }
+};
+
+class Runtime
+{
+  public:
+    explicit Runtime(Config config = {});
+    ~Runtime();
+
+    Runtime(const Runtime&) = delete;
+    Runtime& operator=(const Runtime&) = delete;
+
+    /// @{ Component access.
+    gc::Heap& heap() { return heap_; }
+    Scheduler& sched() { return sched_; }
+    support::VClock& clock() { return clock_; }
+    SemTable& semtable() { return semtable_; }
+    Tracer& tracer() { return tracer_; }
+    detect::Collector& collector() { return *collector_; }
+    const Config& config() const { return config_; }
+    /// @}
+
+    /** Allocate a managed object. */
+    template <typename T, typename... Args>
+    T*
+    make(Args&&... args)
+    {
+        return heap_.make<T>(std::forward<Args>(args)...);
+    }
+
+    /**
+     * Spawn a goroutine at an explicit site. fn must be a coroutine
+     * function returning Go; args are copied into the frame, and any
+     * argument that is a pointer to a gc::Object is pinned in the
+     * goroutine's spawnRefs (they are its initial stack contents).
+     * Use the GOLF_GO macro to capture the call site automatically.
+     */
+    template <typename Fn, typename... Args>
+    Goroutine*
+    goAt(Site site, Fn&& fn, Args&&... args)
+    {
+        Go task = std::invoke(std::forward<Fn>(fn), args...);
+        Goroutine* g = spawn(std::move(task), site);
+        (pinArg(g, args), ...);
+        return g;
+    }
+
+    /** Run fn as the main goroutine until it returns (or the program
+     *  dies). The runtime can be run multiple times sequentially. */
+    template <typename Fn, typename... Args>
+    RunResult
+    runMain(Fn&& fn, Args&&... args)
+    {
+        Site site{"<main>", 0, "main"};
+        Go task = std::invoke(std::forward<Fn>(fn), args...);
+        Goroutine* g = spawn(std::move(task), site);
+        g->isMain_ = true;
+        (pinArg(g, args), ...);
+        return driveLoop();
+    }
+
+    /** Request a collection at the next safepoint. */
+    void requestGc() { gcRequested_ = true; }
+
+    /** Number of goroutines in a given status. */
+    size_t countByStatus(GStatus s) const;
+
+    /** Visit every goroutine ever created (the allgs array). */
+    void forEachGoroutine(
+        const std::function<void(Goroutine*)>& fn) const;
+
+    /** Goroutines that are candidates for deadlock right now. */
+    std::vector<Goroutine*> blockedCandidates() const;
+
+    /** Human-readable dump of every goroutine (the SIGQUIT stack
+     *  dump analog): id, status, wait reason, sites, frame bytes. */
+    std::string dumpGoroutines() const;
+
+    gc::MemStats& memStats() { return heap_.stats(); }
+
+    /// @{ Used by awaitables and the collector (not user code).
+    Goroutine* currentGoroutine() const { return sched_.current(); }
+    void park(Goroutine* g, std::coroutine_handle<> resumePoint,
+              WaitReason reason, std::vector<gc::Object*> blockedOn,
+              bool forever, Site blockSite);
+    void ready(Goroutine* g);
+    /** Yield: requeue the current goroutine as runnable. */
+    void yieldCurrent(std::coroutine_handle<> h);
+    /** Park the current goroutine on a virtual-time timer. */
+    void sleepCurrent(std::coroutine_handle<> h, support::VTime d,
+                      WaitReason reason);
+    /** Record the masked semaphore address blocking g (§5.4). */
+    void setBlockedSema(Goroutine* g, const void* sema)
+    {
+        g->blockedSema_ = support::MaskedPtr<void>(
+            const_cast<void*>(sema));
+    }
+    void clearBlockedSema(Goroutine* g)
+    {
+        g->blockedSema_ = support::MaskedPtr<void>();
+    }
+    void onGoroutineDone(Goroutine* g);
+    void onGoroutinePanic(std::exception_ptr e);
+    void noteFrameAlloc(size_t bytes);
+    void noteFrameFree(size_t bytes);
+    /** Forcibly destroy a deadlocked goroutine's frames and recycle
+     *  the Goroutine object (paper Sections 5.4-5.5). */
+    void reclaimGoroutine(Goroutine* g);
+    /** Enqueue a goroutine waiting for a forced GC. */
+    void addGcWaiter(Goroutine* g) { gcWaiters_.push_back(g); }
+    /** Register/unregister a pending-timer root pinning obj. */
+    uint64_t pinTimerRoot(gc::Object* obj);
+    void unpinTimerRoot(uint64_t id);
+    /** sync.Pool integration: pools demote/drop caches per GC cycle
+     *  (Go's poolCleanup, run in the STW window before marking). */
+    void registerPool(sync::PoolBase* pool);
+    void unregisterPool(sync::PoolBase* pool);
+    void runPoolCleanups();
+    /** CPU-time accounting hook used by the collector. */
+    uint64_t processCpuNs() const;
+    uint64_t startCpuNs() const { return startCpuNs_; }
+    /** Virtual time spent doing work (slices, busy, GC pauses), as
+     *  opposed to idle waits — the basis of the CPU%% metric. */
+    support::VTime busyVirtualNs() const { return busyNs_; }
+    void noteBusy(support::VTime d) { busyNs_ += d; }
+    /// @}
+
+    /** The currently active runtime (innermost), or nullptr. */
+    static Runtime* current();
+
+  private:
+    Goroutine* spawn(Go&& task, Site site);
+    Goroutine* obtainGoroutine();
+    void resetForReuse(Goroutine* g);
+    void finalizeDone(Goroutine* g);
+    RunResult driveLoop();
+    void runSlice(Goroutine* g);
+    void collectNow();
+
+    template <typename A>
+    void
+    pinArg(Goroutine* g, A& arg)
+    {
+        if constexpr (std::is_pointer_v<std::remove_reference_t<A>>) {
+            using P = std::remove_pointer_t<std::remove_reference_t<A>>;
+            if constexpr (std::is_base_of_v<gc::Object, P>) {
+                if (arg)
+                    g->spawnRefs().push_back(arg);
+            }
+        }
+    }
+
+    Config config_;
+    gc::Heap heap_;
+    support::VClock clock_;
+    SemTable semtable_;
+    Tracer tracer_;
+    Scheduler sched_;
+    std::unique_ptr<detect::Collector> collector_;
+
+    std::deque<std::unique_ptr<Goroutine>> gStorage_;
+    std::vector<support::MaskedPtr<Goroutine>> allg_;
+    std::vector<Goroutine*> freeg_;
+    uint64_t nextGoId_ = 1;
+
+    bool gcRequested_ = false;
+    std::vector<Goroutine*> gcWaiters_;
+    bool mainDone_ = false;
+    bool running_ = false;
+    RunResult result_;
+    size_t lastFrameBytes_ = 0;
+    uint64_t startCpuNs_ = 0;
+    support::VTime busyNs_ = 0;
+    support::VTime gcChargedNs_ = 0;
+    support::VTime lastGcEndVt_ = 0;
+
+    struct TimerRootEntry
+    {
+        uint64_t id;
+        gc::Object* obj;
+        gc::RootSlot slot;
+    };
+    std::deque<std::unique_ptr<TimerRootEntry>> timerRoots_;
+    uint64_t nextTimerRootId_ = 1;
+    std::vector<sync::PoolBase*> pools_;
+    /** Set during ~Runtime: pool objects deleted by heap teardown
+     *  must not touch the (already destroyed) registry. */
+    bool tearingDown_ = false;
+};
+
+/**
+ * Spawn with automatic call-site capture — the `go` statement:
+ *   GOLF_GO(rt, worker, ch, n);
+ */
+#define GOLF_GO(runtime_, ...) \
+    (runtime_).goAt( \
+        ::golf::rt::Site::from(std::source_location::current()), \
+        __VA_ARGS__)
+
+/// @{ In-goroutine awaitable operations.
+
+/** Cooperative yield (Gosched analog). */
+struct YieldAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+};
+inline YieldAwaiter yield() { return {}; }
+
+/** Park for a duration of virtual time (time.Sleep analog). */
+struct SleepAwaiter
+{
+    support::VTime duration;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+};
+inline SleepAwaiter sleepFor(support::VTime d) { return {d}; }
+
+/** Park until an absolute virtual deadline. Goroutines sharing a
+ *  deadline wake simultaneously; their wakeup placement is the
+ *  scheduler's (parallelism-dependent) choice — the natural way to
+ *  express a tight scheduling race. */
+struct SleepUntilAwaiter
+{
+    support::VTime deadline;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+};
+inline SleepUntilAwaiter sleepUntil(support::VTime t) { return {t}; }
+
+/** Simulated blocking system call (treated as always-live, §5.4). */
+struct IoAwaiter
+{
+    support::VTime duration;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+};
+inline IoAwaiter ioWait(support::VTime d) { return {d}; }
+
+/** Force a GC cycle and wait for it (runtime.GC() analog). */
+struct GcAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const;
+    void await_resume() const noexcept {}
+};
+inline GcAwaiter gcNow() { return {}; }
+
+/** Consume virtual CPU time without suspending. */
+void busy(support::VTime d);
+
+/// @}
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_RUNTIME_HPP

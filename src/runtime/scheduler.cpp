@@ -1,0 +1,74 @@
+#include "runtime/scheduler.hpp"
+
+#include "support/panic.hpp"
+
+namespace golf::rt {
+
+Scheduler::Scheduler(Runtime& rt, int procs, uint64_t seed)
+    : rt_(rt), rng_(seed ^ 0x5CEDC0DEull)
+{
+    if (procs < 1)
+        support::panic("Scheduler: procs must be >= 1");
+    queues_.resize(static_cast<size_t>(procs));
+}
+
+void
+Scheduler::enqueueSpawn(Goroutine* g)
+{
+    // Spawn placement: like Go, a new goroutine lands on a processor
+    // and tends to run soon. Round-robin over processors keeps spawn
+    // order per-processor FIFO; with one processor the global spawn
+    // order is preserved exactly.
+    size_t proc = spawnCount_++ % queues_.size();
+    queues_[proc].push_back(g);
+}
+
+void
+Scheduler::enqueueReady(Goroutine* g)
+{
+    // Wakeup placement is the main source of scheduling
+    // nondeterminism: the woken goroutine lands on a random processor
+    // and occasionally jumps the queue (Go's runnext slot).
+    size_t proc = queues_.size() == 1
+        ? 0 : rng_.nextBelow(queues_.size());
+    if (queues_.size() > 1 && rng_.chance(0.25))
+        queues_[proc].push_front(g);
+    else
+        queues_[proc].push_back(g);
+}
+
+Goroutine*
+Scheduler::pickNext()
+{
+    for (size_t i = 0; i < queues_.size(); ++i) {
+        size_t proc = (rrIndex_ + i) % queues_.size();
+        if (!queues_[proc].empty()) {
+            Goroutine* g = queues_[proc].front();
+            queues_[proc].pop_front();
+            rrIndex_ = (proc + 1) % queues_.size();
+            return g;
+        }
+    }
+    return nullptr;
+}
+
+bool
+Scheduler::anyRunnable() const
+{
+    for (const auto& q : queues_) {
+        if (!q.empty())
+            return true;
+    }
+    return false;
+}
+
+size_t
+Scheduler::runnableCount() const
+{
+    size_t n = 0;
+    for (const auto& q : queues_)
+        n += q.size();
+    return n;
+}
+
+} // namespace golf::rt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cooperative scheduler with P virtual processors.
+ *
+ * Substitution note 1 (DESIGN.md): GOMAXPROCS becomes the number of
+ * per-processor run queues. The scheduler visits processors round-
+ * robin and runs one goroutine slice at a time; spawn and wakeup
+ * placement draw from the seeded RNG, so interleavings vary with
+ * (seed, procs) the way real runs vary with scheduling noise and
+ * core count — the lever behind Table 1's per-core detection rates.
+ */
+#ifndef GOLFCC_RUNTIME_SCHEDULER_HPP
+#define GOLFCC_RUNTIME_SCHEDULER_HPP
+
+#include <deque>
+#include <vector>
+
+#include "runtime/goroutine.hpp"
+#include "support/rng.hpp"
+
+namespace golf::rt {
+
+class Runtime;
+
+class Scheduler
+{
+  public:
+    Scheduler(Runtime& rt, int procs, uint64_t seed);
+
+    /** The goroutine currently executing a slice, if any. */
+    Goroutine* current() const { return current_; }
+    void setCurrent(Goroutine* g) { current_ = g; }
+
+    /** Place a freshly spawned goroutine. */
+    void enqueueSpawn(Goroutine* g);
+
+    /** Place a goroutine that just became runnable. */
+    void enqueueReady(Goroutine* g);
+
+    /** Pop the next goroutine to run, or nullptr. */
+    Goroutine* pickNext();
+
+    bool anyRunnable() const;
+    size_t runnableCount() const;
+
+    int procs() const { return static_cast<int>(queues_.size()); }
+
+    support::Rng& rng() { return rng_; }
+
+  private:
+    Runtime& rt_;
+    std::vector<std::deque<Goroutine*>> queues_;
+    size_t rrIndex_ = 0;
+    uint64_t spawnCount_ = 0;
+    support::Rng rng_;
+    Goroutine* current_ = nullptr;
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_SCHEDULER_HPP

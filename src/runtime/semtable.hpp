@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The semtable: a treap of in-use semaphore addresses.
+ *
+ * The Go runtime parks goroutines blocked on sync-package primitives
+ * in a global treap indexed by semaphore address; GOLF masks those
+ * addresses so the table never leaks reachability to the GC, and adds
+ * logic to drop entries for reclaimed goroutines (Section 5.4). We
+ * reproduce the structure: keys are masked semaphore addresses and
+ * values are intrusive waiter queues. Waiter nodes live in coroutine
+ * frames, so destroying a deadlocked goroutine automatically removes
+ * its entry via ~SemWaiter.
+ */
+#ifndef GOLFCC_RUNTIME_SEMTABLE_HPP
+#define GOLFCC_RUNTIME_SEMTABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "support/intrusive_list.hpp"
+#include "support/masked_ptr.hpp"
+#include "support/treap.hpp"
+
+namespace golf::rt {
+
+class Goroutine;
+
+/** One goroutine parked on a semaphore. Lives in a coroutine frame. */
+struct SemWaiter
+{
+    support::IListNode node;
+    Goroutine* g = nullptr;
+    /** Set when the waiter was granted the semaphore. */
+    bool granted = false;
+};
+
+class SemTable
+{
+  public:
+    using WaiterQueue = support::IList<SemWaiter, &SemWaiter::node>;
+
+    /** Masked key for a semaphore address. */
+    static uintptr_t
+    keyFor(const void* semaAddr)
+    {
+        return support::maskAddress(
+            reinterpret_cast<uintptr_t>(semaAddr));
+    }
+
+    /** Enqueue a waiter for the given semaphore address. */
+    void
+    enqueue(const void* semaAddr, SemWaiter* w)
+    {
+        table_.obtain(keyFor(semaAddr)).pushBack(w);
+    }
+
+    /** Dequeue the longest waiter, or nullptr. Cleans empty entries. */
+    SemWaiter*
+    dequeue(const void* semaAddr)
+    {
+        uintptr_t key = keyFor(semaAddr);
+        WaiterQueue* q = table_.find(key);
+        if (!q)
+            return nullptr;
+        SemWaiter* w = q->popFront();
+        if (q->empty())
+            table_.erase(key);
+        return w;
+    }
+
+    /** Whether any waiter is parked on the semaphore. */
+    bool
+    hasWaiters(const void* semaAddr)
+    {
+        WaiterQueue* q = table_.find(keyFor(semaAddr));
+        return q && !q->empty();
+    }
+
+    /**
+     * Drop a specific waiter (deadlocked-goroutine cleanup path).
+     * Returns whether it was present.
+     */
+    bool
+    remove(const void* semaAddr, SemWaiter* w)
+    {
+        uintptr_t key = keyFor(semaAddr);
+        WaiterQueue* q = table_.find(key);
+        if (!q || !w->node.linked())
+            return false;
+        w->node.unlink();
+        if (q->empty())
+            table_.erase(key);
+        return true;
+    }
+
+    size_t entries() const { return table_.size(); }
+
+    /**
+     * Drop entries whose queue emptied without going through
+     * dequeue() — the forced-shutdown path unlinks waiters from
+     * their coroutine-frame destructors, which cannot reach the
+     * table. This is the paper's "logic for removing deadlocked
+     * goroutine entries from the semaphore treap" (Section 5.4);
+     * the collector runs it after reclaiming goroutines.
+     */
+    size_t
+    purgeEmpty()
+    {
+        std::vector<uintptr_t> dead;
+        table_.forEach([&](uintptr_t key, WaiterQueue& q) {
+            if (q.empty())
+                dead.push_back(key);
+        });
+        for (uintptr_t key : dead)
+            table_.erase(key);
+        return dead.size();
+    }
+
+    /** Invariant check for tests. */
+    bool
+    checkMaskedKeys()
+    {
+        bool ok = table_.checkInvariants();
+        table_.forEach([&](uintptr_t key, WaiterQueue&) {
+            if (!support::isMaskedAddress(key))
+                ok = false;
+        });
+        return ok;
+    }
+
+  private:
+    support::Treap<WaiterQueue> table_;
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_SEMTABLE_HPP

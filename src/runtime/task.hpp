@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Coroutine task types: Go (a goroutine body) and Task<T> (a callee).
+ *
+ * A goroutine is a chain of coroutine frames: the outermost frame has
+ * promise type Go::promise_type; nested calls are Task<T> coroutines
+ * awaited with symmetric transfer. Blocking awaitables suspend the
+ * innermost frame and record it as the goroutine's resume point, so
+ * the scheduler can resume exactly where the goroutine parked.
+ *
+ * Frame bytes are tracked through the promises' operator new/delete;
+ * this is the StackInuse metric of Table 2 and the "Stack size" line
+ * of GOLF's deadlock reports.
+ *
+ * Forced shutdown of a deadlocked goroutine destroys the outermost
+ * frame; Task temporaries living in that frame destroy their callee
+ * frames recursively, and channel/semaphore waiter objects living in
+ * the frames deregister from their wait queues in their destructors —
+ * the C++ shape of the paper's "special cleanup procedure" (§5.4).
+ */
+#ifndef GOLFCC_RUNTIME_TASK_HPP
+#define GOLFCC_RUNTIME_TASK_HPP
+
+#include <coroutine>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "support/panic.hpp"
+
+namespace golf::rt {
+
+class Goroutine;
+
+namespace detail {
+
+/** Frame-byte accounting hooks (implemented in runtime.cpp). */
+void noteFrameAlloc(size_t bytes);
+void noteFrameFree(size_t bytes);
+
+/** Size of the header prefix used to remember the frame size. */
+constexpr size_t kFrameHeader = alignof(std::max_align_t);
+
+/** Mixin giving a promise size-tracked frame allocation. */
+struct FrameAccounting
+{
+    static void*
+    operator new(size_t n)
+    {
+        void* raw = ::operator new(n + kFrameHeader);
+        *static_cast<size_t*>(raw) = n;
+        noteFrameAlloc(n);
+        return static_cast<char*>(raw) + kFrameHeader;
+    }
+
+    static void
+    operator delete(void* p)
+    {
+        void* raw = static_cast<char*>(p) - kFrameHeader;
+        noteFrameFree(*static_cast<size_t*>(raw));
+        ::operator delete(raw);
+    }
+};
+
+} // namespace detail
+
+/**
+ * The return type of a goroutine body. Created suspended; ownership
+ * of the frame passes to the Goroutine at spawn.
+ */
+class Go
+{
+  public:
+    struct promise_type : detail::FrameAccounting
+    {
+        /** Back-pointer to the owning goroutine; set at spawn. */
+        Goroutine* g = nullptr;
+        size_t frameBytes = 0;
+
+        Go
+        get_return_object()
+        {
+            return Go(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+            void await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept;
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception();
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Go() = default;
+    explicit Go(Handle h) : handle_(h) {}
+
+    Go(Go&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+
+    Go&
+    operator=(Go&& o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+
+    ~Go() { reset(); }
+
+    Go(const Go&) = delete;
+    Go& operator=(const Go&) = delete;
+
+    /** Transfer the frame to a spawner. */
+    Handle release() { return std::exchange(handle_, {}); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+
+  private:
+    void
+    reset()
+    {
+        if (handle_)
+            handle_.destroy();
+        handle_ = {};
+    }
+
+    Handle handle_;
+};
+
+/**
+ * A coroutine callee awaited from a goroutine body (or from another
+ * Task). Completion resumes the awaiting frame by symmetric transfer.
+ */
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+template <typename Derived>
+struct TaskPromiseBase : FrameAccounting
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Derived> h) noexcept
+        {
+            return h.promise().continuation;
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        exception = std::current_exception();
+    }
+};
+
+} // namespace detail
+
+template <typename T>
+class Task
+{
+  public:
+    struct promise_type : detail::TaskPromiseBase<promise_type>
+    {
+        std::optional<T> value;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        template <typename U>
+        void
+        return_value(U&& v)
+        {
+            value.emplace(std::forward<U>(v));
+        }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    Task& operator=(Task&&) = delete;
+
+    ~Task()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle_.promise().continuation = parent;
+        return handle_;
+    }
+
+    T
+    await_resume()
+    {
+        auto& p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        return std::move(*p.value);
+    }
+
+  private:
+    explicit Task(Handle h) : handle_(h) {}
+    Handle handle_;
+};
+
+template <>
+class Task<void>
+{
+  public:
+    struct promise_type : detail::TaskPromiseBase<promise_type>
+    {
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        void return_void() {}
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    Task& operator=(Task&&) = delete;
+
+    ~Task()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        handle_.promise().continuation = parent;
+        return handle_;
+    }
+
+    void
+    await_resume()
+    {
+        auto& p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+    }
+
+  private:
+    explicit Task(Handle h) : handle_(h) {}
+    Handle handle_;
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_TASK_HPP

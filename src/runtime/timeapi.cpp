@@ -1,0 +1,59 @@
+#include "runtime/timeapi.hpp"
+
+namespace golf::rt {
+
+chan::Channel<chan::Unit>*
+after(Runtime& rt, support::VTime d)
+{
+    auto* ch = chan::makeChan<chan::Unit>(rt, 1);
+    // Pin the channel until the timer fires: the pending timer is a
+    // GC root, exactly like Go's runtime timers.
+    uint64_t rootId = rt.pinTimerRoot(ch);
+    Runtime* rtp = &rt;
+    rt.clock().scheduleAfter(d, [rtp, ch, rootId] {
+        ch->trySendExternal(chan::Unit{});
+        rtp->unpinTimerRoot(rootId);
+    });
+    return ch;
+}
+
+Ticker::Ticker(Runtime& rt, support::VTime period)
+    : rt_(rt), period_(period),
+      c_(chan::makeChan<chan::Unit>(rt, 1))
+{
+    rootId_ = rt_.pinTimerRoot(this);
+    arm();
+}
+
+void
+Ticker::arm()
+{
+    timerId_ = rt_.clock().scheduleAfter(period_, [this] {
+        if (stopped_)
+            return;
+        // Go tickers drop ticks when the receiver lags.
+        c_->trySendExternal(chan::Unit{});
+        arm();
+    });
+}
+
+void
+Ticker::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    // Cancel the armed timer before releasing the root: once
+    // unpinned the ticker may be swept, and a live timer callback
+    // would touch freed memory.
+    rt_.clock().cancel(timerId_);
+    rt_.unpinTimerRoot(rootId_);
+}
+
+Ticker*
+makeTicker(Runtime& rt, support::VTime period)
+{
+    return rt.heap().make<Ticker>(rt, period);
+}
+
+} // namespace golf::rt

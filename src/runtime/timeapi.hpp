@@ -1,0 +1,59 @@
+/**
+ * @file
+ * time.After / time.Ticker analogs over virtual time.
+ *
+ * GC soundness detail: in Go, an active runtime timer references its
+ * channel and is itself reachable, so a goroutine blocked on a
+ * time.After channel is never deadlocked. golfcc pins the channel as
+ * a timer root (Runtime::pinTimerRoot) until the timer fires — a
+ * select leaking on other channels still gets detected once the
+ * timeout branch has fired and the pin is released.
+ */
+#ifndef GOLFCC_RUNTIME_TIMEAPI_HPP
+#define GOLFCC_RUNTIME_TIMEAPI_HPP
+
+#include "chan/channel.hpp"
+
+namespace golf::rt {
+
+/** time.After(d): capacity-1 channel delivered once after d. */
+chan::Channel<chan::Unit>* after(Runtime& rt, support::VTime d);
+
+/** time.Ticker analog: delivers on .c every period until stopped. */
+class Ticker : public gc::Object
+{
+  public:
+    Ticker(Runtime& rt, support::VTime period);
+
+    chan::Channel<chan::Unit>* c() const { return c_; }
+
+    /** Stop delivering ticks and release the timer root. */
+    void stop();
+
+    bool stopped() const { return stopped_; }
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(c_);
+    }
+
+    const char* objectName() const override { return "time.Ticker"; }
+
+  private:
+    void arm();
+
+    Runtime& rt_;
+    support::VTime period_;
+    chan::Channel<chan::Unit>* c_;
+    bool stopped_ = false;
+    uint64_t rootId_ = 0;
+    support::TimerId timerId_ = 0;
+};
+
+/** Create a ticker (the returned object is heap-managed). */
+Ticker* makeTicker(Runtime& rt, support::VTime period);
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_TIMEAPI_HPP

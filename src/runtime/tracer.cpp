@@ -1,0 +1,89 @@
+#include "runtime/tracer.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace golf::rt {
+
+const char*
+traceEventName(TraceEvent ev)
+{
+    switch (ev) {
+      case TraceEvent::Spawn: return "spawn";
+      case TraceEvent::Park: return "park";
+      case TraceEvent::Ready: return "ready";
+      case TraceEvent::Yield: return "yield";
+      case TraceEvent::Done: return "done";
+      case TraceEvent::Reclaim: return "reclaim";
+      case TraceEvent::Deadlock: return "deadlock";
+      case TraceEvent::GcStart: return "gc-start";
+      case TraceEvent::GcEnd: return "gc-end";
+    }
+    return "?";
+}
+
+size_t
+Tracer::count(TraceEvent ev) const
+{
+    size_t n = 0;
+    for (const auto& r : records_)
+        n += r.event == ev ? 1 : 0;
+    return n;
+}
+
+std::vector<TraceRecord>
+Tracer::forGoroutine(uint64_t gid) const
+{
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+        if (r.goroutineId == gid)
+            out.push_back(r);
+    }
+    return out;
+}
+
+void
+Tracer::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    out << "t_ns,event,goroutine,reason\n";
+    for (const auto& r : records_) {
+        out << r.t << "," << traceEventName(r.event) << ","
+            << r.goroutineId << "," << waitReasonName(r.reason)
+            << "\n";
+    }
+}
+
+void
+Tracer::writeChromeTrace(const std::string& path) const
+{
+    std::ofstream out(path);
+    out << "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+        const TraceRecord& r = records_[i];
+        out << "  {\"name\":\"" << traceEventName(r.event)
+            << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+            << r.t / 1000 << ",\"pid\":1,\"tid\":"
+            << r.goroutineId << ",\"args\":{\"reason\":\""
+            << waitReasonName(r.reason) << "\"}}";
+        if (i + 1 < records_.size())
+            out << ",";
+        out << "\n";
+    }
+    out << "]\n";
+}
+
+std::string
+Tracer::summary() const
+{
+    std::map<TraceEvent, size_t> counts;
+    for (const auto& r : records_)
+        ++counts[r.event];
+    std::ostringstream os;
+    for (const auto& [ev, n] : counts)
+        os << traceEventName(ev) << ": " << n << "\n";
+    return os.str();
+}
+
+} // namespace golf::rt

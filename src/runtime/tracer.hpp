@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Scheduling-event tracer (the GoAT-style observability of related
+ * work, Section 7): when enabled, the runtime records every spawn,
+ * park, ready, completion, GC cycle and deadlock verdict with its
+ * virtual timestamp. Traces can be dumped as CSV for offline
+ * analysis, or summarized; the overhead when disabled is one branch
+ * per event.
+ */
+#ifndef GOLFCC_RUNTIME_TRACER_HPP
+#define GOLFCC_RUNTIME_TRACER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::rt {
+
+enum class TraceEvent : uint8_t
+{
+    Spawn,     ///< go statement executed
+    Park,      ///< goroutine blocked
+    Ready,     ///< goroutine unblocked
+    Yield,     ///< cooperative reschedule
+    Done,      ///< goroutine finished normally
+    Reclaim,   ///< forced shutdown of a deadlocked goroutine
+    Deadlock,  ///< GOLF verdict for a goroutine
+    GcStart,   ///< collection cycle began
+    GcEnd,     ///< collection cycle finished
+};
+
+const char* traceEventName(TraceEvent ev);
+
+struct TraceRecord
+{
+    support::VTime t = 0;
+    TraceEvent event = TraceEvent::Spawn;
+    uint64_t goroutineId = 0;
+    WaitReason reason = WaitReason::None;
+};
+
+class Tracer
+{
+  public:
+    bool enabled() const { return enabled_; }
+    void enable() { enabled_ = true; }
+    void disable() { enabled_ = false; }
+
+    void
+    record(support::VTime t, TraceEvent ev, uint64_t gid,
+           WaitReason reason = WaitReason::None)
+    {
+        if (enabled_)
+            records_.push_back(TraceRecord{t, ev, gid, reason});
+    }
+
+    const std::vector<TraceRecord>& records() const
+    {
+        return records_;
+    }
+
+    size_t count(TraceEvent ev) const;
+
+    /** Events concerning one goroutine, in order. */
+    std::vector<TraceRecord> forGoroutine(uint64_t gid) const;
+
+    /** "t_ns,event,goroutine,reason" rows. */
+    void writeCsv(const std::string& path) const;
+
+    /** Chrome trace-event JSON (open in chrome://tracing or
+     *  Perfetto): one instant event per record, one row ("thread")
+     *  per goroutine, timestamps in virtual microseconds. */
+    void writeChromeTrace(const std::string& path) const;
+
+    /** One line per event kind with counts. */
+    std::string summary() const;
+
+    void clear() { records_.clear(); }
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_TRACER_HPP

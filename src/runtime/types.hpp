@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared runtime vocabulary: goroutine states, wait reasons, sites.
+ *
+ * Wait reasons mirror the Go runtime's decorated wait reasons
+ * (Section 5.4): only goroutines blocked at channel or sync-package
+ * operations are partial-deadlock candidates; sleeping, IO-blocked and
+ * runtime-internal goroutines are always treated as reachably live.
+ */
+#ifndef GOLFCC_RUNTIME_TYPES_HPP
+#define GOLFCC_RUNTIME_TYPES_HPP
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+namespace golf::rt {
+
+/** Goroutine scheduling status (the *g status field analog). */
+enum class GStatus : uint8_t
+{
+    Idle,            ///< In the free pool (Go's _Gdead reuse pool).
+    Runnable,        ///< On a run queue.
+    Running,         ///< Currently executing.
+    Waiting,         ///< Parked on a concurrency operation or timer.
+    Done,            ///< Finished; frames destroyed, awaiting recycle.
+    PendingReclaim,  ///< Deadlock detected; reclaimed next GC cycle.
+    Deadlocked,      ///< Deadlock detected but finalizers reachable:
+                     ///< kept alive forever, reported once (§5.5).
+};
+
+const char* statusName(GStatus s);
+
+/** Why a Waiting goroutine is parked. */
+enum class WaitReason : uint8_t
+{
+    None,
+    // -- Partial-deadlock candidates (channel operations) --
+    ChanSend,
+    ChanRecv,
+    Select,
+    SelectNoCases,   ///< select{} with zero cases: blocked forever.
+    ChanSendNil,     ///< send on a nil channel: blocked forever.
+    ChanRecvNil,     ///< receive on a nil channel: blocked forever.
+    // -- Partial-deadlock candidates (sync package, via semaphores) --
+    MutexLock,
+    RWMutexRLock,
+    RWMutexWLock,
+    WaitGroupWait,
+    CondWait,
+    SemAcquire,
+    // -- Never candidates: always reachably live --
+    Sleep,
+    Io,              ///< Simulated system call / network wait.
+    GcWait,          ///< Waiting for a forced GC to finish.
+    Internal,        ///< Runtime-internal helper goroutine.
+};
+
+const char* waitReasonName(WaitReason r);
+
+/** Whether a wait reason makes the goroutine a deadlock candidate. */
+bool isDeadlockCandidate(WaitReason r);
+
+/** A source location: the go statement or the blocking operation. */
+struct Site
+{
+    const char* file = "";
+    uint32_t line = 0;
+    const char* function = "";
+
+    static Site
+    from(const std::source_location& loc)
+    {
+        return Site{loc.file_name(), loc.line(), loc.function_name()};
+    }
+
+    /** "file:line" string used for report deduplication (§6.1). */
+    std::string str() const;
+
+    bool
+    operator==(const Site& o) const
+    {
+        return line == o.line && str() == o.str();
+    }
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_TYPES_HPP

@@ -1,0 +1,327 @@
+#include "service/corpus.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "leakdetect/goleak.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf::service {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using support::VTime;
+using support::kMillisecond;
+
+enum class Category
+{
+    Full,
+    Timing,
+    Global,
+    Runaway,
+};
+
+const char*
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Full: return "full";
+      case Category::Timing: return "timing";
+      case Category::Global: return "global";
+      case Category::Runaway: return "runaway";
+    }
+    return "?";
+}
+
+struct ClassSpec
+{
+    int id = 0;
+    Category category = Category::Full;
+    /** For `timing`: per-instance probability GOLF catches it. */
+    double detectableFraction = 1.0;
+};
+
+/** One planted bug in one package suite. */
+struct PlantedBug
+{
+    const ClassSpec* cls = nullptr;
+    int instances = 0;
+};
+
+struct SuiteCtx
+{
+    rt::Runtime* rt = nullptr;
+    support::Rng* rng = nullptr;
+    /** Globals planted by `global` bugs; must outlive the run. */
+    std::vector<std::unique_ptr<gc::GlobalRoot<Channel<int>>>> globals;
+};
+
+// ---- the four leak shapes; each category has exactly one leaky
+// ---- go statement, giving it a distinct dedup source pair.
+
+rt::Go
+leakedReceiver(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+timingHolder(Channel<int>* ch, VTime hold)
+{
+    (void)ch; // pinned via spawnRefs while we sleep
+    co_await rt::sleepFor(hold);
+    co_return;
+}
+
+rt::Go
+heartbeatPinner(Channel<int>* ch)
+{
+    (void)ch;
+    for (;;)
+        co_await rt::sleepFor(support::kSecond);
+    co_return;
+}
+
+void
+plantInstance(SuiteCtx* s, const ClassSpec& cls)
+{
+    rt::Runtime& rt = *s->rt;
+    Channel<int>* ch = makeChan<int>(rt, 0);
+    switch (cls.category) {
+      case Category::Full:
+        GOLF_GO(rt, leakedReceiver, ch);
+        break;
+      case Category::Timing: {
+        GOLF_GO(rt, leakedReceiver, ch);
+        // A holder keeps ch reachable; if it outlives the suite's
+        // final GC, GOLF misses this instance.
+        const bool detectable =
+            s->rng->chance(cls.detectableFraction);
+        VTime hold = detectable ? kMillisecond
+                                : 3600 * support::kSecond;
+        GOLF_GO(rt, timingHolder, ch, hold);
+        break;
+      }
+      case Category::Global: {
+        auto root = std::make_unique<gc::GlobalRoot<Channel<int>>>(
+            rt.heap(), ch);
+        s->globals.push_back(std::move(root));
+        GOLF_GO(rt, leakedReceiver, ch);
+        break;
+      }
+      case Category::Runaway:
+        GOLF_GO(rt, leakedReceiver, ch);
+        GOLF_GO(rt, heartbeatPinner, ch);
+        break;
+    }
+}
+
+rt::Go
+suiteMain(SuiteCtx* s, const std::vector<PlantedBug>* bugs)
+{
+    for (const PlantedBug& bug : *bugs) {
+        for (int i = 0; i < bug.instances; ++i)
+            plantInstance(s, *bug.cls);
+    }
+    // Tests run, then the suite quiesces and GOLF's last cycle
+    // fires (the strategically injected GC of Section 6.2).
+    co_await rt::sleepFor(10 * kMillisecond);
+    co_await rt::gcNow();
+    co_return;
+}
+
+/** The spawn-site line of each category's leaky go statement is the
+ *  dedup anchor; resolve it once by planting a probe package. */
+std::map<std::string, Category>
+categorySiteIndex()
+{
+    static std::map<std::string, Category> index = [] {
+        std::map<std::string, Category> idx;
+        rt::Config rc;
+        rc.recovery = rt::Recovery::ReportOnly;
+        rt::Runtime probe(rc);
+        support::Rng rng(42);
+        SuiteCtx ctx{&probe, &rng, {}};
+        ClassSpec specs[] = {
+            {0, Category::Full, 1.0},
+            {1, Category::Timing, 1.0},
+            {2, Category::Global, 1.0},
+            {3, Category::Runaway, 1.0},
+        };
+        std::vector<PlantedBug> bugs;
+        for (auto& cls : specs)
+            bugs.push_back(PlantedBug{&cls, 1});
+        probe.runMain(suiteMain, &ctx, &bugs);
+        leakdetect::GoLeakResult leaks = leakdetect::findLeaks(probe);
+        // Attribute each lingering leakedReceiver spawn site: Full
+        // and Timing instances were detected by GOLF; map all seen
+        // receiver sites. The receiver spawn line differs per
+        // category because each category has its own GOLF_GO call.
+        (void)leaks;
+        // Simpler and robust: rebuild per category, one at a time.
+        idx.clear();
+        for (auto& cls : specs) {
+            rt::Runtime one(rc);
+            SuiteCtx c1{&one, &rng, {}};
+            std::vector<PlantedBug> b1{PlantedBug{&cls, 1}};
+            one.runMain(suiteMain, &c1, &b1);
+            leakdetect::GoLeakResult l1 = leakdetect::findLeaks(one);
+            for (const auto& leak : l1.leaks) {
+                if (leak.reason == rt::WaitReason::ChanRecv)
+                    idx[leak.spawnSite.str()] = cls.category;
+            }
+        }
+        return idx;
+    }();
+    return index;
+}
+
+} // namespace
+
+size_t
+CorpusResult::golfDedup() const
+{
+    size_t n = 0;
+    for (const auto& c : classes)
+        n += c.golfCount > 0 ? 1 : 0;
+    return n;
+}
+
+size_t
+CorpusResult::goleakDedup() const
+{
+    size_t n = 0;
+    for (const auto& c : classes)
+        n += c.goleakCount > 0 ? 1 : 0;
+    return n;
+}
+
+std::vector<double>
+CorpusResult::ratioCurve() const
+{
+    std::vector<double> curve;
+    for (const auto& c : classes) {
+        if (c.golfCount > 0 && c.goleakCount > 0) {
+            curve.push_back(static_cast<double>(c.golfCount) /
+                            static_cast<double>(c.goleakCount));
+        }
+    }
+    std::sort(curve.begin(), curve.end(), std::greater<>());
+    return curve;
+}
+
+CorpusResult
+runCorpus(const CorpusConfig& config)
+{
+    support::Rng rng(config.seed);
+
+    // ---- build the class table ----
+    std::vector<ClassSpec> classTable;
+    const int visible = static_cast<int>(
+        config.visibleShare * config.classes);
+    const int full = static_cast<int>(config.fullShare * visible);
+    for (int i = 0; i < config.classes; ++i) {
+        ClassSpec cls;
+        cls.id = i;
+        if (i < full) {
+            cls.category = Category::Full;
+        } else if (i < visible) {
+            cls.category = Category::Timing;
+            cls.detectableFraction =
+                0.15 + 0.70 * rng.nextDouble();
+        } else {
+            cls.category = rng.chance(0.5) ? Category::Global
+                                           : Category::Runaway;
+        }
+        classTable.push_back(cls);
+    }
+
+    std::map<int, ClassOutcome> outcomes;
+    CorpusResult result;
+
+    // ---- run the packages ----
+    for (int pkg = 0; pkg < config.packages; ++pkg) {
+        ++result.packagesRun;
+        if (!rng.chance(config.leakyPackageShare)) {
+            // A healthy package: still run a (tiny) suite so the
+            // corpus exercises both outcomes.
+            continue;
+        }
+
+        // At most one bug per category per package so reports can be
+        // attributed by spawn site.
+        std::vector<PlantedBug> bugs;
+        std::map<Category, bool> used;
+        int bugCount = 1 + static_cast<int>(rng.nextBelow(3));
+        for (int b = 0; b < bugCount; ++b) {
+            const ClassSpec& cls =
+                classTable[rng.nextBelow(classTable.size())];
+            if (used[cls.category])
+                continue;
+            used[cls.category] = true;
+            // GOLF-visible bug shapes sit on hotter code paths in
+            // this corpus (they are the plain ones); the global /
+            // runaway shapes trigger from fewer tests.
+            const bool visibleCat =
+                cls.category == Category::Full ||
+                cls.category == Category::Timing;
+            int instances = visibleCat
+                ? 3 + static_cast<int>(rng.nextBelow(9))
+                : 1 + static_cast<int>(rng.nextBelow(4));
+            bugs.push_back(PlantedBug{&cls, instances});
+        }
+        if (bugs.empty())
+            continue;
+
+        rt::Config rc;
+        rc.seed = rng.next();
+        rc.procs = 4;
+        rc.recovery = rt::Recovery::ReportOnly; // monitor mode
+        rt::Runtime runtime(rc);
+        support::Rng pkgRng(rng.next());
+        SuiteCtx ctx{&runtime, &pkgRng, {}};
+        runtime.runMain(suiteMain, &ctx, &bugs);
+
+        // ---- attribute GOLF reports and GOLEAK leaks ----
+        const auto& siteIdx = categorySiteIndex();
+        std::map<Category, size_t> golfByCat, goleakByCat;
+        for (const auto& rep :
+             runtime.collector().reports().all()) {
+            auto it = siteIdx.find(rep.spawnSite.str());
+            if (it != siteIdx.end())
+                ++golfByCat[it->second];
+        }
+        leakdetect::GoLeakResult leaks =
+            leakdetect::findLeaks(runtime);
+        for (const auto& leak : leaks.leaks) {
+            auto it = siteIdx.find(leak.spawnSite.str());
+            if (it != siteIdx.end())
+                ++goleakByCat[it->second];
+        }
+
+        for (const PlantedBug& bug : bugs) {
+            ClassOutcome& oc = outcomes[bug.cls->id];
+            oc.classId = bug.cls->id;
+            oc.category = categoryName(bug.cls->category);
+            oc.detectableFraction = bug.cls->detectableFraction;
+            oc.golfCount += golfByCat[bug.cls->category];
+            oc.goleakCount += goleakByCat[bug.cls->category];
+        }
+        ctx.globals.clear(); // unlink before the runtime dies
+    }
+
+    for (auto& [id, oc] : outcomes) {
+        result.golfTotal += oc.golfCount;
+        result.goleakTotal += oc.goleakCount;
+        result.classes.push_back(oc);
+    }
+    return result;
+}
+
+} // namespace golf::service

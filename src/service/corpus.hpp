@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic test-suite corpus: the RQ1(b) / Figure 3 substrate.
+ *
+ * The paper runs GOLF (monitor-only) against GOLEAK over 3 111 Go
+ * packages from Uber's monorepo; we cannot have that code, so the
+ * corpus generator (DESIGN.md substitution 3) produces packages whose
+ * test suites plant leaks drawn from behaviourally distinct classes:
+ *
+ *  - `full`       — plain orphaned channel operations; GOLF detects
+ *                   every instance (reachability collapses at leak
+ *                   time).
+ *  - `timing`     — a holder goroutine keeps the leaked channel
+ *                   reachable for a while; instances whose holder
+ *                   outlives the suite's last GC cycle are GOLF
+ *                   false negatives (per-class detectable fraction).
+ *  - `global`     — the leaked channel is package-global (Listing 4):
+ *                   GOLF-blind, GOLEAK-visible.
+ *  - `runaway`    — a heartbeat goroutine pins the channel
+ *                   (Listing 5): GOLF-blind, GOLEAK-visible.
+ *
+ * Every class corresponds to one distinct (go site, blocking site)
+ * source pair — the paper's deduplication key; multiple packages may
+ * exercise the same class, as third-party code does in the monorepo.
+ */
+#ifndef GOLFCC_SERVICE_CORPUS_HPP
+#define GOLFCC_SERVICE_CORPUS_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace golf::service {
+
+struct CorpusConfig
+{
+    uint64_t seed = 1;
+    /** Packages in the corpus (paper: 3 111). */
+    int packages = 3111;
+    /** Distinct leak classes (paper: 357 deduplicated reports). */
+    int classes = 357;
+    /** Fraction of classes GOLF can see at all (paper: ~50%). */
+    double visibleShare = 0.504;
+    /** Of the visible classes, fraction fully detected (paper: 55%
+     *  of GOLF's dedup reports found every GOLEAK instance). */
+    double fullShare = 0.50;
+    /** Probability a package's test suite plants a leak at all. */
+    double leakyPackageShare = 0.35;
+};
+
+/** Aggregated outcome for one leak class. */
+struct ClassOutcome
+{
+    int classId = 0;
+    std::string category;
+    double detectableFraction = 1.0;
+    size_t golfCount = 0;
+    size_t goleakCount = 0;
+};
+
+struct CorpusResult
+{
+    std::vector<ClassOutcome> classes; ///< Classes that triggered.
+    size_t golfTotal = 0;
+    size_t goleakTotal = 0;
+    size_t packagesRun = 0;
+
+    size_t golfDedup() const;
+    size_t goleakDedup() const;
+
+    /** Figure 3: GOLF/GOLEAK ratio per GOLF-visible dedup report,
+     *  sorted descending. */
+    std::vector<double> ratioCurve() const;
+};
+
+/** Run every package test suite under GOLF (monitor mode) and
+ *  GOLEAK simultaneously, aggregating per-class counts. */
+CorpusResult runCorpus(const CorpusConfig& config);
+
+} // namespace golf::service
+
+#endif // GOLFCC_SERVICE_CORPUS_HPP

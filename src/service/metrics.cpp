@@ -1,0 +1,71 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace golf::service {
+
+LatencySummary
+LatencySummary::ofMillis(const support::Samples& s)
+{
+    LatencySummary out;
+    out.p50 = s.percentile(50);
+    out.p90 = s.percentile(90);
+    out.p95 = s.percentile(95);
+    out.p99 = s.percentile(99);
+    out.p999 = s.percentile(99.9);
+    out.p99995 = s.percentile(99.995);
+    out.max = s.max();
+    return out;
+}
+
+double
+TimeSeries::maxValue() const
+{
+    double m = 0;
+    for (const auto& p : points)
+        m = std::max(m, p.value);
+    return m;
+}
+
+void
+TimeSeries::writeCsv(const std::string& path) const
+{
+    std::ofstream out(path);
+    out << "t_seconds," << name << "\n";
+    for (const auto& p : points) {
+        out << static_cast<double>(p.t) / support::kSecond << ","
+            << p.value << "\n";
+    }
+}
+
+std::string
+TimeSeries::sparkline(size_t width) const
+{
+    static const char* levels = " .:-=+*#%@";
+    if (points.empty() || width == 0)
+        return "";
+    double peak = maxValue();
+    if (peak <= 0)
+        peak = 1;
+    std::string out;
+    for (size_t i = 0; i < width; ++i) {
+        size_t idx = i * points.size() / width;
+        double frac = points[idx].value / peak;
+        int level = static_cast<int>(frac * 9.0);
+        out += levels[std::clamp(level, 0, 9)];
+    }
+    return out;
+}
+
+std::string
+meanPm(const support::Samples& s)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << s.mean() << " +- " << s.stddev();
+    return os.str();
+}
+
+} // namespace golf::service

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Metric collection for the service experiments: latency percentile
+ * summaries (Table 2/3), windowed time series (Figure 1, Table 3
+ * three-minute emission), and CPU utilization derived from the
+ * runtime's busy-virtual-time counter.
+ */
+#ifndef GOLFCC_SERVICE_METRICS_HPP
+#define GOLFCC_SERVICE_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::service {
+
+/** The latency rows of Table 2 (milliseconds). */
+struct LatencySummary
+{
+    double p50 = 0;
+    double p90 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double p999 = 0;
+    double p99995 = 0;
+    double max = 0;
+
+    static LatencySummary ofMillis(const support::Samples& s);
+};
+
+/** One sampled point of a metric over virtual time. */
+struct TimePoint
+{
+    support::VTime t;
+    double value;
+};
+
+/** A named series of samples (blocked-goroutine counts, CPU%...). */
+struct TimeSeries
+{
+    std::string name;
+    std::vector<TimePoint> points;
+
+    void add(support::VTime t, double v) { points.push_back({t, v}); }
+
+    double maxValue() const;
+
+    /** Write "t_seconds,value" rows. */
+    void writeCsv(const std::string& path) const;
+
+    /** Coarse ASCII rendering for terminal output. */
+    std::string sparkline(size_t width) const;
+};
+
+/** mean +- stddev formatting used by Table 3. */
+std::string meanPm(const support::Samples& s);
+
+} // namespace golf::service
+
+#endif // GOLFCC_SERVICE_METRICS_HPP

@@ -1,0 +1,179 @@
+#include "service/service.hpp"
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf::service {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using support::VTime;
+using support::kMillisecond;
+using support::kSecond;
+
+struct ServiceState
+{
+    rt::Runtime* rt = nullptr;
+    const ServiceConfig* cfg = nullptr;
+    support::Rng rng{1};
+    support::Samples latenciesMs;
+    size_t served = 0;
+    VTime warmupEnd = 0;
+    VTime end = 0;
+};
+
+/** Allocate one request-scope map, charging its payload bytes. */
+BigMap*
+makeMap(ServiceState* s)
+{
+    BigMap* map = s->rt->make<BigMap>(s->cfg->mapEntries);
+    // Charge what a Go map of this size occupies (~48 B/entry with
+    // bucket overhead); the backing vector models the payload only.
+    s->rt->heap().charge(map, s->cfg->mapEntries * 48);
+    return map;
+}
+
+/** One DAG sub-task: parallel work, then Done. */
+rt::Go
+dagWorker(ServiceState* s, sync::WaitGroup* wg)
+{
+    co_await rt::sleepFor(s->cfg->dagTaskCost);
+    wg->done();
+    co_return;
+}
+
+/** The child goroutine of each request. On the leaky path it sends
+ *  on both channels one after another — the "double send" pattern
+ *  (Saioc et al. CGO'24) — and the second send deadlocks because the
+ *  parent consumed only the first message and returned. */
+rt::Go
+childTask(ServiceState* s, Channel<Unit>* ch1, Channel<Unit>* ch2,
+          int doubleSend)
+{
+    gc::Local<BigMap> childMap(makeMap(s));
+    rt::busy(200 * support::kMicrosecond); // child computation
+    co_await chan::send(ch1, Unit{});
+    if (doubleSend)
+        co_await chan::send(ch2, Unit{}); // leaks: parent is gone
+    co_return;
+}
+
+/** One request, server side. */
+rt::Task<void>
+handleRequest(ServiceState* s)
+{
+    // One downstream RPC.
+    double rpcMs = s->rng.nextGaussian(s->cfg->rpcLatencyMeanMs,
+                                       s->cfg->rpcLatencyStddevMs);
+    if (rpcMs < 1.0)
+        rpcMs = 1.0;
+    co_await rt::ioWait(static_cast<VTime>(rpcMs * kMillisecond));
+
+    // A DAG of sub-tasks processed in parallel.
+    gc::Local<sync::WaitGroup> wg(s->rt->make<sync::WaitGroup>(*s->rt));
+    for (int i = 0; i < s->cfg->dagTasks; ++i) {
+        wg->add(1);
+        GOLF_GO(*s->rt, dagWorker, s, wg.get());
+    }
+    co_await wg->wait();
+
+    // Parent allocation + parent/child channel protocol.
+    gc::Local<BigMap> parentMap(makeMap(s));
+    gc::Local<Channel<Unit>> ch1(makeChan<Unit>(*s->rt, 0));
+    gc::Local<Channel<Unit>> ch2(makeChan<Unit>(*s->rt, 0));
+    const int leak = s->rng.chance(s->cfg->leakRate) ? 1 : 0;
+    GOLF_GO(*s->rt, childTask, s, ch1.get(), ch2.get(), leak);
+    co_await chan::select(chan::recvCase(ch1.get()),
+                          chan::recvCase(ch2.get()));
+    co_return;
+}
+
+/** One closed-loop client connection. */
+rt::Go
+clientConnection(ServiceState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    while (rt.clock().now() < s->end) {
+        VTime t0 = rt.clock().now();
+        co_await handleRequest(s);
+        VTime t1 = rt.clock().now();
+        ++s->served;
+        if (t0 >= s->warmupEnd) {
+            s->latenciesMs.add(static_cast<double>(t1 - t0) /
+                               kMillisecond);
+        }
+        // Client-side think/serialization time.
+        co_await rt::sleepFor(170 * kMillisecond);
+    }
+    co_return;
+}
+
+rt::Go
+serviceMain(ServiceState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    s->warmupEnd = rt.clock().now() + s->cfg->warmup;
+    s->end = s->warmupEnd + s->cfg->duration;
+    for (int i = 0; i < s->cfg->connections; ++i)
+        GOLF_GO(rt, clientConnection, s);
+    while (rt.clock().now() < s->end)
+        co_await rt::sleepFor(kSecond);
+    co_return;
+}
+
+} // namespace
+
+ControlledResult
+runControlledService(const ServiceConfig& config)
+{
+    rt::Config rc;
+    rc.procs = config.procs;
+    rc.seed = config.seed;
+    rc.gcMode = config.gcMode;
+    rc.recovery = config.recovery;
+    rc.detectEveryN = config.detectEveryN;
+    // A service-sized heap: do not collect for every little burst.
+    rc.heap.minTriggerBytes = 8 * 1024 * 1024;
+
+    rt::Runtime runtime(rc);
+    ServiceState state;
+    state.rt = &runtime;
+    state.cfg = &config;
+    state.rng = support::Rng(config.seed ^ 0x5E471CEull);
+
+    rt::RunResult rr = runtime.runMain(serviceMain, &state);
+
+    ControlledResult out;
+    if (!rr.ok())
+        return out; // all-zero result signals failure to the bench
+
+    const support::Samples& lat = state.latenciesMs;
+    out.latency = LatencySummary::ofMillis(lat);
+    out.throughputRps =
+        static_cast<double>(lat.count()) /
+        (static_cast<double>(config.duration) / kSecond);
+    out.requestsServed = state.served;
+
+    const gc::MemStats& ms = runtime.memStats();
+    out.stackInuse = ms.stackInuse;
+    out.heapAlloc = ms.heapAlloc;
+    out.heapInuse = ms.heapInuse;
+    out.heapObjects = ms.heapObjects;
+    out.gcCpuFraction = ms.gcCpuFraction;
+    out.pauseTotalNs = ms.pauseTotalNs;
+    out.numGC = ms.numGC;
+    out.pausePerCycleNs = ms.numGC == 0
+        ? 0.0
+        : static_cast<double>(ms.pauseTotalNs) /
+          static_cast<double>(ms.numGC);
+    out.deadlocksDetected =
+        runtime.collector().reports().total();
+    return out;
+}
+
+} // namespace golf::service

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The controlled service of Table 2 (Section 6.2, "Services under
+ * controlled settings").
+ *
+ * The paper's setup, rebuilt faithfully: a server whose endpoint
+ * makes one downstream RPC and processes a DAG of sub-tasks in
+ * parallel; each request spawns a child goroutine, parent and child
+ * communicate over two channels, each side allocates a 100K-entry
+ * hash map; the parent waits with a select over both channels and
+ * returns on the first message. The child may "double send" — send
+ * on both channels one after another — so when the parent has already
+ * returned, the second send deadlocks the child, pinning its map
+ * (the leak the experiment injects in 0% / 10% of requests). A
+ * closed-loop client with N connections drives the server for a
+ * fixed duration after a warm-up.
+ */
+#ifndef GOLFCC_SERVICE_SERVICE_HPP
+#define GOLFCC_SERVICE_SERVICE_HPP
+
+#include "gc/memstats.hpp"
+#include "runtime/runtime.hpp"
+#include "service/metrics.hpp"
+
+namespace golf::service {
+
+/** A request-scope allocation standing in for the 100K-entry map. */
+class BigMap : public gc::Object
+{
+  public:
+    explicit BigMap(size_t entries) : data_(entries, 0) {}
+
+    size_t entries() const { return data_.size(); }
+
+    const char* objectName() const override { return "map[100K]"; }
+
+  private:
+    std::vector<int64_t> data_;
+};
+
+struct ServiceConfig
+{
+    int procs = 8;                  ///< Paper: 8 server cores.
+    uint64_t seed = 1;
+    rt::GcMode gcMode = rt::GcMode::Golf;
+    rt::Recovery recovery = rt::Recovery::Reclaim;
+    /** Run detection only every Nth GC cycle (Section 6.2). */
+    int detectEveryN = 1;
+    /** Fraction of requests whose child double-sends (0.0 / 0.10). */
+    double leakRate = 0.0;
+    int connections = 32;           ///< Concurrent closed-loop conns.
+    support::VTime warmup = 5 * support::kSecond;
+    support::VTime duration = 30 * support::kSecond;
+    /** Entries per request-scope map (paper: 100K). */
+    size_t mapEntries = 100000;
+    /** Downstream RPC latency model (normal, ms). */
+    double rpcLatencyMeanMs = 250.0;
+    double rpcLatencyStddevMs = 50.0;
+    /** Parallel DAG sub-tasks per request. */
+    int dagTasks = 4;
+    support::VTime dagTaskCost = 10 * support::kMillisecond;
+};
+
+/** The Table 2 column set for one run. */
+struct ControlledResult
+{
+    // Client side.
+    double throughputRps = 0;
+    LatencySummary latency;
+    // Server side (MemStats names as in the paper).
+    uint64_t stackInuse = 0;
+    uint64_t heapAlloc = 0;
+    uint64_t heapInuse = 0;
+    uint64_t heapObjects = 0;
+    double gcCpuFraction = 0;
+    uint64_t pauseTotalNs = 0;
+    uint64_t numGC = 0;
+    double pausePerCycleNs = 0;
+    // GOLF bookkeeping.
+    size_t deadlocksDetected = 0;
+    size_t requestsServed = 0;
+};
+
+/** Run the controlled client/server experiment once. */
+ControlledResult runControlledService(const ServiceConfig& config);
+
+} // namespace golf::service
+
+#endif // GOLFCC_SERVICE_SERVICE_HPP

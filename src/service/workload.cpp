@@ -1,0 +1,266 @@
+#include "service/workload.hpp"
+
+#include <cmath>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+
+namespace golf::service {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using support::VTime;
+using support::kHour;
+using support::kMillisecond;
+using support::kSecond;
+
+struct ProdState
+{
+    rt::Runtime* rt = nullptr;
+    const ProductionConfig* cfg = nullptr;
+    support::Rng rng{1};
+    VTime start = 0;
+    VTime end = 0;
+    size_t served = 0;
+    /** Latencies within the current sampling window (ms). */
+    support::Samples windowLat;
+    VTime lastBusy = 0;
+    ProductionResult* out = nullptr;
+};
+
+/** Diurnal request rate (requests/second) at virtual time t. */
+double
+rateAt(const ProductionConfig& cfg, VTime t)
+{
+    double hours = static_cast<double>(t) / kHour;
+    double phase = 2.0 * M_PI * (hours - 14.0) / 24.0; // 2pm peak
+    return cfg.baseRps *
+           (1.0 + cfg.diurnalAmplitude * std::cos(phase));
+}
+
+// The three distinct buggy code paths of RQ1(c) (Listing 7): each
+// spawns an async task whose completion send the handler abandons.
+// Three separate functions give three distinct source locations.
+
+rt::Go
+asyncEmailTask(Channel<Unit>* done)
+{
+    rt::busy(100 * support::kMicrosecond); // send the email
+    co_await chan::send(done, Unit{});
+    co_return;
+}
+
+rt::Go
+asyncAuditLog(Channel<Unit>* done)
+{
+    co_await rt::ioWait(2 * kMillisecond); // write the audit record
+    co_await chan::send(done, Unit{});
+    co_return;
+}
+
+rt::Go
+asyncMetricsFlush(Channel<Unit>* done)
+{
+    rt::busy(50 * support::kMicrosecond); // flush counters
+    co_await chan::send(done, Unit{});
+    co_return;
+}
+
+/** Request-scope allocation (decode buffers, handler context). */
+class RequestBuf : public gc::Object
+{
+  public:
+    const char* objectName() const override { return "request-buf"; }
+
+  private:
+    std::array<char, 512> payload_{};
+};
+
+/** One request handler. */
+rt::Go
+handleRequest(ProdState* s, int bugSite, int leak)
+{
+    rt::Runtime& rt = *s->rt;
+    VTime t0 = rt.clock().now();
+
+    // Handler CPU + allocations: this is what gives the service a
+    // CPU profile and keeps the GC pacing ticking in production.
+    gc::Local<RequestBuf> buf(rt.make<RequestBuf>());
+    rt.heap().charge(buf.get(), 16 * 1024);
+    rt::busy(static_cast<VTime>(
+        s->rng.nextGaussian(12.0, 4.0) * kMillisecond));
+
+    double ms = s->rng.nextGaussian(s->cfg->handlerLatencyMeanMs,
+                                    s->cfg->handlerLatencyStddevMs);
+    if (ms < 1.0)
+        ms = 1.0;
+    co_await rt::ioWait(static_cast<VTime>(ms * kMillisecond));
+
+    if (bugSite >= 0) {
+        gc::Local<Channel<Unit>> done(makeChan<Unit>(rt, 0));
+        switch (bugSite) {
+          case 0:
+            GOLF_GO(rt, asyncEmailTask, done.get());
+            break;
+          case 1:
+            GOLF_GO(rt, asyncAuditLog, done.get());
+            break;
+          default:
+            GOLF_GO(rt, asyncMetricsFlush, done.get());
+            break;
+        }
+        if (!leak)
+            co_await chan::recv(done.get());
+        // else: the handler forgets the done channel (Listing 7's
+        // HandleRequest) and the async task deadlocks on its send.
+    }
+
+    ++s->served;
+    s->windowLat.add(static_cast<double>(rt.clock().now() - t0) /
+                     kMillisecond);
+    co_return;
+}
+
+/** Open-loop arrival process. */
+rt::Go
+arrivalLoop(ProdState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    while (rt.clock().now() < s->end) {
+        double rate = rateAt(*s->cfg, rt.clock().now());
+        if (rate < 0.01)
+            rate = 0.01;
+        auto gap = static_cast<VTime>(
+            s->rng.nextExp(1.0 / rate) * kSecond);
+        co_await rt::sleepFor(gap);
+        if (rt.clock().now() >= s->end)
+            break;
+        // Route to a buggy endpoint or the healthy default.
+        int bugSite = -1;
+        int leak = 0;
+        double dice = s->rng.nextDouble();
+        for (const LeakEndpoint& ep : s->cfg->endpoints) {
+            if (dice < ep.trafficShare) {
+                bugSite = ep.bugSite;
+                leak = s->rng.chance(ep.leakProbability) ? 1 : 0;
+                break;
+            }
+            dice -= ep.trafficShare;
+        }
+        GOLF_GO(rt, handleRequest, s, bugSite, leak);
+    }
+    co_return;
+}
+
+/** Metric sampler (the paper's 3-minute emission). */
+rt::Go
+samplerLoop(ProdState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    while (rt.clock().now() < s->end) {
+        co_await rt::sleepFor(s->cfg->samplePeriod);
+        ProductionResult& out = *s->out;
+        if (!s->windowLat.empty()) {
+            out.p50Samples.add(s->windowLat.percentile(50));
+            out.p99Samples.add(s->windowLat.percentile(99));
+        }
+        VTime busy = rt.busyVirtualNs();
+        double cpuPct = 100.0 *
+                        static_cast<double>(busy - s->lastBusy) /
+                        static_cast<double>(s->cfg->samplePeriod);
+        s->lastBusy = busy;
+        out.cpuSamples.add(cpuPct);
+        out.blockedSeries.add(
+            rt.clock().now(),
+            static_cast<double>(rt.blockedCandidates().size()));
+        s->windowLat = support::Samples();
+    }
+    co_return;
+}
+
+rt::Go
+productionMain(ProdState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    s->start = rt.clock().now();
+    s->end = s->start + s->cfg->duration;
+    GOLF_GO(rt, arrivalLoop, s);
+    GOLF_GO(rt, samplerLoop, s);
+    while (rt.clock().now() < s->end)
+        co_await rt::sleepFor(support::kMinute);
+    co_return;
+}
+
+} // namespace
+
+ProductionResult
+runProductionService(const ProductionConfig& config)
+{
+    rt::Config rc;
+    rc.procs = config.procs;
+    rc.seed = config.seed;
+    rc.gcMode = config.gcMode;
+    rc.recovery = config.recovery;
+    rc.heap.minTriggerBytes = 1024 * 1024;
+
+    rt::Runtime runtime(rc);
+    ProductionResult out;
+    ProdState state;
+    state.rt = &runtime;
+    state.cfg = &config;
+    state.rng = support::Rng(config.seed ^ 0x9D0DCEull);
+    state.out = &out;
+
+    rt::RunResult rr = runtime.runMain(productionMain, &state);
+    out.ok = rr.ok();
+    out.requestsServed = state.served;
+    out.deadlocksDetected = runtime.collector().reports().total();
+    out.dedupReports = runtime.collector().reports().deduplicated();
+    return out;
+}
+
+TimeSeries
+runFigure1Deployment(uint64_t seed, int days, double leakProbability)
+{
+    // Weekday mornings redeploy the service (fresh runtime); the
+    // Friday deployment survives the weekend. Leaked goroutines
+    // accumulate within a deployment and vanish at restart — the
+    // sawtooth with weekend spikes of Figure 1.
+    TimeSeries stitched{"blocked_goroutines", {}};
+    VTime offset = 0;
+    int day = 0;
+    support::Rng seeder(seed);
+    while (day < days) {
+        // Day-of-week: 0 = Monday. Deployments start at 09:00 and
+        // last until the next weekday 09:00.
+        int dow = day % 7;
+        int spanDays = dow == 4 ? 3 : 1; // Friday runs the weekend
+        if (dow > 4) { // alignment guard (should not happen)
+            ++day;
+            continue;
+        }
+
+        ProductionConfig cfg;
+        cfg.seed = seeder.next();
+        cfg.gcMode = rt::GcMode::Baseline; // no GOLF: the leak shows
+        cfg.duration = static_cast<VTime>(spanDays) * 24 * kHour;
+        cfg.baseRps = 0.5;
+        cfg.samplePeriod = kHour;
+        cfg.endpoints = {
+            LeakEndpoint{0, leakProbability, 0.30},
+        };
+
+        ProductionResult r = runProductionService(cfg);
+        for (const TimePoint& p : r.blockedSeries.points)
+            stitched.add(offset + p.t, p.value);
+
+        offset += cfg.duration;
+        day += spanDays;
+    }
+    return stitched;
+}
+
+} // namespace golf::service

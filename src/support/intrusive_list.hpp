@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Minimal intrusive doubly-linked list.
+ *
+ * Used for channel waiter queues (the sudog lists of the Go runtime),
+ * goroutine shadow-stack root lists, and semaphore wait queues. The
+ * key property is O(1) unlink of a node that knows only itself, which
+ * is what lets a forcibly-destroyed coroutine frame deregister its
+ * waiters from whatever queue they sit in (Section 5.4 of the paper:
+ * special cleanup of deadlocked goroutines).
+ */
+#ifndef GOLFCC_SUPPORT_INTRUSIVE_LIST_HPP
+#define GOLFCC_SUPPORT_INTRUSIVE_LIST_HPP
+
+#include <cstddef>
+
+#include "support/panic.hpp"
+
+namespace golf::support {
+
+/** A node embedded in the object that wants to live in an IList. */
+class IListNode
+{
+  public:
+    IListNode() = default;
+    ~IListNode() { if (linked()) unlink(); }
+
+    IListNode(const IListNode&) = delete;
+    IListNode& operator=(const IListNode&) = delete;
+
+    /** Whether the node currently sits in a list. */
+    bool linked() const { return next_ != nullptr; }
+
+    /** Remove this node from whatever list holds it. O(1). */
+    void
+    unlink()
+    {
+        if (!linked())
+            panic("IListNode::unlink on unlinked node");
+        prev_->next_ = next_;
+        next_->prev_ = prev_;
+        next_ = nullptr;
+        prev_ = nullptr;
+    }
+
+  private:
+    template <typename T, IListNode T::*> friend class IList;
+
+    IListNode* next_ = nullptr;
+    IListNode* prev_ = nullptr;
+};
+
+/**
+ * Intrusive list of T, where T embeds an IListNode at member pointer
+ * Member. The list does not own its elements.
+ */
+template <typename T, IListNode T::*Member>
+class IList
+{
+  public:
+    IList()
+    {
+        head_.next_ = &head_;
+        head_.prev_ = &head_;
+    }
+
+    ~IList()
+    {
+        // Unhook any survivors so their destructors do not touch us.
+        while (!empty())
+            popFront();
+    }
+
+    IList(const IList&) = delete;
+    IList& operator=(const IList&) = delete;
+
+    bool empty() const { return head_.next_ == &head_; }
+
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (IListNode* p = head_.next_; p != &head_; p = p->next_)
+            ++n;
+        return n;
+    }
+
+    void
+    pushBack(T* elem)
+    {
+        IListNode* n = &(elem->*Member);
+        if (n->linked())
+            panic("IList::pushBack on already-linked node");
+        n->prev_ = head_.prev_;
+        n->next_ = &head_;
+        head_.prev_->next_ = n;
+        head_.prev_ = n;
+    }
+
+    void
+    pushFront(T* elem)
+    {
+        IListNode* n = &(elem->*Member);
+        if (n->linked())
+            panic("IList::pushFront on already-linked node");
+        n->next_ = head_.next_;
+        n->prev_ = &head_;
+        head_.next_->prev_ = n;
+        head_.next_ = n;
+    }
+
+    T*
+    front() const
+    {
+        if (empty())
+            return nullptr;
+        return owner(head_.next_);
+    }
+
+    /** Pop the front element, or nullptr when empty. */
+    T*
+    popFront()
+    {
+        if (empty())
+            return nullptr;
+        IListNode* n = head_.next_;
+        T* elem = owner(n);
+        n->unlink();
+        return elem;
+    }
+
+    /** Visit every element; fn may not unlink the current element. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (IListNode* p = head_.next_; p != &head_;) {
+            IListNode* next = p->next_;
+            fn(owner(p));
+            p = next;
+        }
+    }
+
+  private:
+    static T*
+    owner(IListNode* n)
+    {
+        // Recover T* from the embedded node address.
+        const T* probe = nullptr;
+        auto offset = reinterpret_cast<const char*>(&(probe->*Member)) -
+                      reinterpret_cast<const char*>(probe);
+        return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+    }
+
+    IListNode head_;
+};
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_INTRUSIVE_LIST_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Address obfuscation (paper Section 5.4).
+ *
+ * GOLF flips the highest-order bit of goroutine pointers stored in
+ * global runtime tables (the allgs array and the semaphore treap) so
+ * the marking phase cannot prematurely mark blocked goroutines through
+ * those always-reachable structures. We reproduce the masking exactly:
+ * MaskedPtr stores ptr with the top bit flipped, and the marker
+ * asserts (in debug collectors) that it never traces a masked address.
+ */
+#ifndef GOLFCC_SUPPORT_MASKED_PTR_HPP
+#define GOLFCC_SUPPORT_MASKED_PTR_HPP
+
+#include <cstdint>
+
+namespace golf::support {
+
+/** The high-order bit flipped onto masked addresses. */
+constexpr uintptr_t kAddressMask =
+    uintptr_t{1} << (sizeof(uintptr_t) * 8 - 1);
+
+/** Whether a raw word looks like a masked address. */
+inline bool
+isMaskedAddress(uintptr_t word)
+{
+    return (word & kAddressMask) != 0;
+}
+
+inline uintptr_t
+maskAddress(uintptr_t addr)
+{
+    return addr ^ kAddressMask;
+}
+
+/**
+ * Pointer stored with its top bit flipped. The raw word stored in
+ * memory is never a valid address, which is the paper's mechanism for
+ * hiding blocked goroutines (and semaphore addresses) from the GC.
+ */
+template <typename T>
+class MaskedPtr
+{
+  public:
+    MaskedPtr() : word_(0) {}
+    explicit MaskedPtr(T* p)
+        : word_(p ? maskAddress(reinterpret_cast<uintptr_t>(p)) : 0)
+    {}
+
+    T*
+    get() const
+    {
+        if (!word_)
+            return nullptr;
+        return reinterpret_cast<T*>(maskAddress(word_));
+    }
+
+    /** The obfuscated word as stored (for tests and the marker). */
+    uintptr_t raw() const { return word_; }
+
+    explicit operator bool() const { return word_ != 0; }
+    bool operator==(const MaskedPtr&) const = default;
+
+  private:
+    uintptr_t word_;
+};
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_MASKED_PTR_HPP

@@ -1,0 +1,21 @@
+#include "support/panic.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace golf::support {
+
+void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "runtime panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+goPanic(const std::string& msg)
+{
+    throw GoPanicError(msg);
+}
+
+} // namespace golf::support

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Error-reporting primitives for the golfcc runtime.
+ *
+ * Mirrors the fatal/panic split of the Go runtime (and gem5's
+ * fatal/panic): panic() is for internal invariant violations of the
+ * runtime itself, fatal() for conditions the embedding program caused
+ * (e.g. a global deadlock, Go's "all goroutines are asleep").
+ * GoPanicError models a Go-level panic (e.g. "send on closed channel")
+ * that unwinds the offending goroutine and terminates the scheduler.
+ */
+#ifndef GOLFCC_SUPPORT_PANIC_HPP
+#define GOLFCC_SUPPORT_PANIC_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace golf::support {
+
+/** Internal invariant violation of the runtime itself. Aborts. */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Error state caused by the embedded program. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * A Go-level panic raised by a goroutine, e.g. "send on closed
+ * channel" or "sync: negative WaitGroup counter". Propagates out of
+ * the goroutine's coroutine frames; the scheduler converts it into a
+ * terminated run (the analog of a Go program crashing).
+ */
+class GoPanicError : public std::runtime_error
+{
+  public:
+    explicit GoPanicError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raise a Go-level panic from library code. */
+[[noreturn]] void goPanic(const std::string& msg);
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_PANIC_HPP

@@ -1,0 +1,101 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace golf::support {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    // Lemire-style rejection-free reduction is fine here; bias is
+    // negligible for simulation purposes.
+    return next() % bound;
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(nextBelow(
+        static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExp(double mean)
+{
+    double u = nextDouble();
+    if (u <= 0.0)
+        u = 1e-18;
+    return -mean * std::log(u);
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 1e-18;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xD1B54A32D192ED03ull);
+}
+
+} // namespace golf::support

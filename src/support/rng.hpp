@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The whole simulator is seeded: scheduler interleavings, select-case
+ * shuffles, workload arrivals and corpus generation all draw from Rng
+ * instances derived from the run seed, so every experiment run is
+ * replayable (substitution note 1 in DESIGN.md).
+ */
+#ifndef GOLFCC_SUPPORT_RNG_HPP
+#define GOLFCC_SUPPORT_RNG_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace golf::support {
+
+/** splitmix64-seeded xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Uniform 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound), bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p);
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExp(double mean);
+
+    /** Normally distributed value (Box-Muller). */
+    double nextGaussian(double mean, double stddev);
+
+    /** Derive an independent child generator (for sub-components). */
+    Rng split();
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Container>
+    void
+    shuffle(Container& c)
+    {
+        for (size_t i = c.size(); i > 1; --i) {
+            size_t j = nextBelow(i);
+            using std::swap;
+            swap(c[i - 1], c[j]);
+        }
+    }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_RNG_HPP

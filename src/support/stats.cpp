@@ -1,0 +1,114 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/panic.hpp"
+
+namespace golf::support {
+
+double
+Samples::sum() const
+{
+    double acc = 0;
+    for (double v : values_)
+        acc += v;
+    return acc;
+}
+
+double
+Samples::mean() const
+{
+    if (values_.empty())
+        return 0;
+    return sum() / static_cast<double>(values_.size());
+}
+
+double
+Samples::stddev() const
+{
+    if (values_.size() < 2)
+        return 0;
+    double m = mean();
+    double acc = 0;
+    for (double v : values_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double
+Samples::min() const
+{
+    if (values_.empty())
+        return 0;
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+Samples::max() const
+{
+    if (values_.empty())
+        return 0;
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+void
+Samples::ensureSorted() const
+{
+    if (sorted_.size() != values_.size()) {
+        sorted_ = values_;
+        std::sort(sorted_.begin(), sorted_.end());
+    }
+}
+
+double
+Samples::percentile(double p) const
+{
+    if (values_.empty())
+        return 0;
+    ensureSorted();
+    if (p <= 0)
+        return sorted_.front();
+    if (p >= 100)
+        return sorted_.back();
+    double rank = (p / 100.0) * static_cast<double>(sorted_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] * (1 - frac) + sorted_[lo + 1] * frac;
+}
+
+BoxStats
+BoxStats::of(const Samples& s)
+{
+    return BoxStats{
+        s.min(), s.percentile(25), s.median(), s.percentile(75),
+        s.max(), s.mean(),
+    };
+}
+
+std::string
+BoxStats::str() const
+{
+    std::ostringstream os;
+    os << "min=" << min << " q1=" << q1 << " med=" << median
+       << " q3=" << q3 << " max=" << max << " mean=" << mean;
+    return os.str();
+}
+
+double
+normalizedAuc(const std::vector<double>& ys)
+{
+    if (ys.empty())
+        return 0;
+    if (ys.size() == 1)
+        return ys[0];
+    double area = 0;
+    for (size_t i = 0; i + 1 < ys.size(); ++i)
+        area += (ys[i] + ys[i + 1]) / 2.0;
+    return area / static_cast<double>(ys.size() - 1);
+}
+
+} // namespace golf::support

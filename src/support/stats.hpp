@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sample collections and summary statistics for the experiment
+ * harnesses: latency percentiles (Table 2/3), box-plot summaries of
+ * marking-phase slowdowns (Figure 4), and mean/stddev reporting.
+ */
+#ifndef GOLFCC_SUPPORT_STATS_HPP
+#define GOLFCC_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace golf::support {
+
+/** Accumulates raw samples; computes summary statistics on demand. */
+class Samples
+{
+  public:
+    void add(double v) { values_.push_back(v); }
+    size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    double sum() const;
+    double mean() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Percentile in [0, 100] with linear interpolation between
+     * adjacent order statistics (matches the convention used by
+     * common latency-reporting tools).
+     */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double>& values() const { return values_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+};
+
+/** Five-number summary plus whiskers for box plots (Figure 4). */
+struct BoxStats
+{
+    double min;
+    double q1;
+    double median;
+    double q3;
+    double max;
+    double mean;
+
+    static BoxStats of(const Samples& s);
+    std::string str() const;
+};
+
+/** Trapezoidal area under a curve given as y-values on x=1..n,
+ *  normalized so a constant y=1 curve has area 1 (Figure 3 AUC). */
+double normalizedAuc(const std::vector<double>& ys);
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_STATS_HPP

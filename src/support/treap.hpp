@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Randomized treap (Aragon & Seidel) keyed by uintptr_t.
+ *
+ * The Go runtime keeps a treap of in-use semaphore addresses
+ * ("semtable"), each entry holding the queue of goroutines blocked on
+ * that semaphore. GOLF masks the addresses stored in this table so the
+ * marking phase cannot prematurely reach blocked goroutines through it
+ * (Section 5.4). We reproduce the same structure: sync primitives park
+ * their waiters in a semtable keyed by treap.
+ */
+#ifndef GOLFCC_SUPPORT_TREAP_HPP
+#define GOLFCC_SUPPORT_TREAP_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "support/rng.hpp"
+
+namespace golf::support {
+
+/** Treap map from uintptr_t keys to V values. */
+template <typename V>
+class Treap
+{
+  public:
+    explicit Treap(uint64_t seed = 0xBADC0FFEEull) : rng_(seed) {}
+
+    /** Find the value for key, or nullptr. */
+    V*
+    find(uintptr_t key)
+    {
+        Node* n = root_.get();
+        while (n) {
+            if (key == n->key)
+                return &n->value;
+            n = key < n->key ? n->left.get() : n->right.get();
+        }
+        return nullptr;
+    }
+
+    /** Find or default-construct the value for key. */
+    V&
+    obtain(uintptr_t key)
+    {
+        if (V* v = find(key))
+            return *v;
+        root_ = insert(std::move(root_),
+                       std::make_unique<Node>(key, rng_.next()));
+        return *find(key);
+    }
+
+    /** Remove the entry for key; returns whether it existed. */
+    bool
+    erase(uintptr_t key)
+    {
+        bool found = false;
+        root_ = eraseRec(std::move(root_), key, found);
+        if (found)
+            --size_;
+        return found;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** In-order visit of (key, value&). */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn)
+    {
+        forEachRec(root_.get(), fn);
+    }
+
+    /** Validate BST-order and heap-priority invariants (for tests). */
+    bool
+    checkInvariants() const
+    {
+        return checkRec(root_.get(), 0, UINTPTR_MAX);
+    }
+
+  private:
+    struct Node
+    {
+        Node(uintptr_t k, uint64_t p) : key(k), prio(p) {}
+        uintptr_t key;
+        uint64_t prio;
+        V value{};
+        std::unique_ptr<Node> left;
+        std::unique_ptr<Node> right;
+    };
+
+    using NodePtr = std::unique_ptr<Node>;
+
+    NodePtr
+    rotateRight(NodePtr n)
+    {
+        NodePtr l = std::move(n->left);
+        n->left = std::move(l->right);
+        l->right = std::move(n);
+        return l;
+    }
+
+    NodePtr
+    rotateLeft(NodePtr n)
+    {
+        NodePtr r = std::move(n->right);
+        n->right = std::move(r->left);
+        r->left = std::move(n);
+        return r;
+    }
+
+    NodePtr
+    insert(NodePtr n, NodePtr fresh)
+    {
+        if (!n) {
+            ++size_;
+            return fresh;
+        }
+        if (fresh->key < n->key) {
+            n->left = insert(std::move(n->left), std::move(fresh));
+            if (n->left->prio > n->prio)
+                n = rotateRight(std::move(n));
+        } else {
+            n->right = insert(std::move(n->right), std::move(fresh));
+            if (n->right->prio > n->prio)
+                n = rotateLeft(std::move(n));
+        }
+        return n;
+    }
+
+    NodePtr
+    eraseRec(NodePtr n, uintptr_t key, bool& found)
+    {
+        if (!n)
+            return nullptr;
+        if (key < n->key) {
+            n->left = eraseRec(std::move(n->left), key, found);
+        } else if (key > n->key) {
+            n->right = eraseRec(std::move(n->right), key, found);
+        } else {
+            found = true;
+            // Rotate the doomed node down to a leaf, then drop it.
+            if (!n->left && !n->right)
+                return nullptr;
+            if (!n->left || (n->right && n->right->prio > n->left->prio)) {
+                n = rotateLeft(std::move(n));
+                n->left = eraseRec(std::move(n->left), key, found);
+            } else {
+                n = rotateRight(std::move(n));
+                n->right = eraseRec(std::move(n->right), key, found);
+            }
+        }
+        return n;
+    }
+
+    template <typename Fn>
+    void
+    forEachRec(Node* n, Fn& fn)
+    {
+        if (!n)
+            return;
+        forEachRec(n->left.get(), fn);
+        fn(n->key, n->value);
+        forEachRec(n->right.get(), fn);
+    }
+
+    bool
+    checkRec(const Node* n, uintptr_t lo, uintptr_t hi) const
+    {
+        if (!n)
+            return true;
+        if (n->key < lo || n->key > hi)
+            return false;
+        if (n->left && n->left->prio > n->prio)
+            return false;
+        if (n->right && n->right->prio > n->prio)
+            return false;
+        bool left_ok = !n->left ||
+            (n->key > 0 && checkRec(n->left.get(), lo, n->key - 1));
+        bool right_ok = !n->right ||
+            checkRec(n->right.get(), n->key + 1, hi);
+        return left_ok && right_ok;
+    }
+
+    Rng rng_;
+    NodePtr root_;
+    size_t size_ = 0;
+};
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_TREAP_HPP

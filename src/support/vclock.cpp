@@ -1,0 +1,93 @@
+#include "support/vclock.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace golf::support {
+
+TimerId
+VClock::schedule(VTime when, std::function<void()> fn)
+{
+    TimerId id = nextId_++;
+    heap_.push(Event{when, id, std::move(fn)});
+    ++pendingCount_;
+    return id;
+}
+
+TimerId
+VClock::scheduleAfter(VTime delay, std::function<void()> fn)
+{
+    return schedule(now_ + delay, std::move(fn));
+}
+
+bool
+VClock::cancel(TimerId id)
+{
+    // Lazy cancellation: remember the id; the heap entry is skipped
+    // when popped. Fine for our event volumes.
+    if (cancelled(id))
+        return false;
+    cancelled_.push_back(id);
+    if (pendingCount_ == 0)
+        return false;
+    --pendingCount_;
+    return true;
+}
+
+bool
+VClock::cancelled(TimerId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+}
+
+VTime
+VClock::nextDeadline() const
+{
+    // The top may be a cancelled entry; we cannot pop here (const), so
+    // callers treat the returned deadline as a lower bound. fireNext()
+    // skips stale entries.
+    if (pendingCount_ == 0)
+        return kNoDeadline;
+    return heap_.top().when;
+}
+
+size_t
+VClock::fireNext()
+{
+    // Skip cancelled entries.
+    while (!heap_.empty() && cancelled(heap_.top().id)) {
+        auto it = std::find(cancelled_.begin(), cancelled_.end(),
+                            heap_.top().id);
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+    if (heap_.empty())
+        return 0;
+    VTime deadline = heap_.top().when;
+    if (deadline > now_)
+        now_ = deadline;
+    return firePending();
+}
+
+size_t
+VClock::firePending()
+{
+    size_t fired = 0;
+    while (!heap_.empty() && heap_.top().when <= now_) {
+        Event ev = heap_.top();
+        heap_.pop();
+        auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        --pendingCount_;
+        ++fired;
+        ev.fn();
+    }
+    return fired;
+}
+
+} // namespace golf::support

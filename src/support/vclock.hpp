@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Discrete-event virtual clock with a timer heap.
+ *
+ * Substitution note 5 (DESIGN.md): the paper's multi-hour production
+ * deployments run here on virtual time. Goroutine sleeps, service
+ * request arrivals and redeploy schedules are timer events; when the
+ * scheduler runs out of runnable goroutines it advances the clock to
+ * the next deadline. CPU-time experiments (the GC marking phase of
+ * Figure 4) use real clocks and are unaffected.
+ */
+#ifndef GOLFCC_SUPPORT_VCLOCK_HPP
+#define GOLFCC_SUPPORT_VCLOCK_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace golf::support {
+
+/** Virtual nanoseconds. */
+using VTime = int64_t;
+
+constexpr VTime kMicrosecond = 1000;
+constexpr VTime kMillisecond = 1000 * kMicrosecond;
+constexpr VTime kSecond = 1000 * kMillisecond;
+constexpr VTime kMinute = 60 * kSecond;
+constexpr VTime kHour = 60 * kMinute;
+
+/** A cancellable timer handle. */
+using TimerId = uint64_t;
+
+/** Virtual clock plus pending timer events. */
+class VClock
+{
+  public:
+    VTime now() const { return now_; }
+
+    /** Advance the clock by delta (monotone). */
+    void advance(VTime delta) { now_ += delta; }
+
+    /** Schedule fn to fire at absolute virtual time `when`. */
+    TimerId schedule(VTime when, std::function<void()> fn);
+
+    /** Schedule fn to fire `delay` from now. */
+    TimerId scheduleAfter(VTime delay, std::function<void()> fn);
+
+    /** Cancel a pending timer; returns whether it was still pending. */
+    bool cancel(TimerId id);
+
+    /** Whether any timer is pending. */
+    bool hasPending() const { return pendingCount_ > 0; }
+
+    /** Deadline of the earliest pending timer (kNoDeadline if none). */
+    VTime nextDeadline() const;
+
+    /**
+     * Advance to the next deadline and fire every timer due at it.
+     * Returns the number of timers fired (0 when none pending).
+     */
+    size_t fireNext();
+
+    /** Fire all timers with deadline <= now. */
+    size_t firePending();
+
+    static constexpr VTime kNoDeadline = INT64_MAX;
+
+  private:
+    struct Event
+    {
+        VTime when;
+        TimerId id;
+        std::function<void()> fn;
+        bool operator>(const Event& o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    bool cancelled(TimerId id) const;
+
+    VTime now_ = 0;
+    TimerId nextId_ = 1;
+    size_t pendingCount_ = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::vector<TimerId> cancelled_;
+};
+
+} // namespace golf::support
+
+#endif // GOLFCC_SUPPORT_VCLOCK_HPP

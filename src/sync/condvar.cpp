@@ -1,0 +1,26 @@
+#include "sync/condvar.hpp"
+
+namespace golf::sync {
+
+rt::Task<void>
+Cond::wait(std::source_location loc)
+{
+    l_->unlock();
+    co_await SemParkOp(&sema_, this, rt::WaitReason::CondWait,
+                       rt::Site::from(loc));
+    co_await l_->lock(loc);
+}
+
+void
+Cond::signal()
+{
+    semWake(rt_, &sema_);
+}
+
+void
+Cond::broadcast()
+{
+    semWakeAll(rt_, &sema_);
+}
+
+} // namespace golf::sync

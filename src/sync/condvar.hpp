@@ -1,0 +1,54 @@
+/**
+ * @file
+ * sync.Cond analog: condition variable bound to a Mutex.
+ *
+ * Wait() atomically releases the mutex, parks on the condition's
+ * semaphore (B(g) = {cond}, reason CondWait), and reacquires the
+ * mutex after being signalled. Signal wakes one waiter at random
+ * effect (longest waiter here); Broadcast wakes all (Section 2).
+ */
+#ifndef GOLFCC_SYNC_CONDVAR_HPP
+#define GOLFCC_SYNC_CONDVAR_HPP
+
+#include <source_location>
+
+#include "gc/marker.hpp"
+#include "runtime/task.hpp"
+#include "sync/mutex.hpp"
+
+namespace golf::sync {
+
+class Cond : public gc::Object
+{
+  public:
+    Cond(rt::Runtime& rt, Mutex* l) : rt_(rt), l_(l) {}
+
+    /** co_await cond->wait(); — caller must hold the mutex. */
+    rt::Task<void> wait(
+        std::source_location loc = std::source_location::current());
+
+    /** Wake one waiter if any. */
+    void signal();
+
+    /** Wake all waiters. */
+    void broadcast();
+
+    Mutex* locker() const { return l_; }
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(l_);
+    }
+
+    const char* objectName() const override { return "sync.Cond"; }
+
+  private:
+    rt::Runtime& rt_;
+    Mutex* l_;
+    Sema sema_;
+};
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_CONDVAR_HPP

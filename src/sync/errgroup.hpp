@@ -1,0 +1,104 @@
+/**
+ * @file
+ * x/sync/errgroup analog: structured fan-out with error propagation
+ * and context cancellation.
+ *
+ * A group spawns worker goroutines whose bodies are Task<int>
+ * coroutines returning an error code (0 = nil). The first non-zero
+ * error is retained and, if the group was built over a context,
+ * cancels it so sibling workers can bail out. wait() parks until
+ * every worker finished and yields the first error.
+ *
+ * errgroup is one of the most common sources of goroutine leaks in
+ * real Go code (a worker blocked on a channel nobody drains keeps
+ * the whole group's Wait parked); the tests pin that GOLF sees
+ * through the group: both the stuck worker and the waiter are
+ * reported once the group becomes unreachable.
+ */
+#ifndef GOLFCC_SYNC_ERRGROUP_HPP
+#define GOLFCC_SYNC_ERRGROUP_HPP
+
+#include "runtime/context.hpp"
+#include "runtime/task.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf::sync {
+
+class ErrGroup : public gc::Object
+{
+  public:
+    explicit ErrGroup(rt::Runtime& rt, rt::Context* ctx = nullptr)
+        : rt_(rt), ctx_(ctx), wg_(rt.make<WaitGroup>(rt))
+    {}
+
+    /**
+     * Spawn a worker. fn must be a coroutine function returning
+     * rt::Task<int>; args are copied like goroutine arguments
+     * (pointers to managed objects are pinned for the worker's
+     * lifetime).
+     */
+    template <typename Fn, typename... Args>
+    void
+    spawn(Fn fn, Args... args)
+    {
+        wg_->add(1);
+        rt_.goAt(rt::Site{"<errgroup>", 0, "worker"},
+                 &ErrGroup::runner<Fn, Args...>, this, fn, args...);
+    }
+
+    /** co_await group->wait(): parks until all workers are done,
+     *  returns the first error (0 if none). */
+    rt::Task<int>
+    wait()
+    {
+        co_await wg_->wait();
+        co_return firstErr_;
+    }
+
+    /** The group's context (nullptr when constructed without one). */
+    rt::Context* context() const { return ctx_; }
+
+    /** First recorded error so far (0 = none). */
+    int firstError() const { return firstErr_; }
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(ctx_);
+        m.mark(wg_);
+    }
+
+    const char* objectName() const override { return "errgroup"; }
+
+  private:
+    template <typename Fn, typename... Args>
+    static rt::Go
+    runner(ErrGroup* g, Fn fn, Args... args)
+    {
+        int err = co_await std::invoke(fn, args...);
+        if (err != 0 && g->firstErr_ == 0) {
+            g->firstErr_ = err;
+            if (g->ctx_)
+                g->ctx_->cancel();
+        }
+        g->wg_->done();
+        co_return;
+    }
+
+    rt::Runtime& rt_;
+    rt::Context* ctx_;
+    WaitGroup* wg_;
+    int firstErr_ = 0;
+};
+
+/** errgroup.WithContext: group + derived cancellable context. */
+inline ErrGroup*
+makeErrGroup(rt::Runtime& rt, rt::Context* parent)
+{
+    rt::Context* ctx = rt::withCancel(rt, parent);
+    return rt.make<ErrGroup>(rt, ctx);
+}
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_ERRGROUP_HPP

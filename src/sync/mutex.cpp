@@ -1,0 +1,24 @@
+#include "sync/mutex.hpp"
+
+namespace golf::sync {
+
+bool
+Mutex::tryLock()
+{
+    if (locked_)
+        return false;
+    locked_ = true;
+    return true;
+}
+
+void
+Mutex::unlock()
+{
+    if (!locked_)
+        support::goPanic("sync: unlock of unlocked mutex");
+    if (!semWake(rt_, &sema_))
+        locked_ = false;
+    // else: direct handoff, locked_ stays true for the waiter.
+}
+
+} // namespace golf::sync

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * sync.Mutex analog: a lock flag plus a runtime semaphore.
+ *
+ * Unlock hands the lock directly to the longest waiter (no barging),
+ * which keeps the blocked-set semantics simple: a goroutine parked in
+ * Lock() has B(g) = {mutex}.
+ */
+#ifndef GOLFCC_SYNC_MUTEX_HPP
+#define GOLFCC_SYNC_MUTEX_HPP
+
+#include <coroutine>
+#include <source_location>
+
+#include "sync/semaphore.hpp"
+
+namespace golf::sync {
+
+class Mutex : public gc::Object
+{
+  public:
+    explicit Mutex(rt::Runtime& rt) : rt_(rt) {}
+
+    class LockOp
+    {
+      public:
+        LockOp(Mutex* m, rt::Site site) : m_(m), site_(site) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        bool
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (!m_->locked_) {
+                m_->locked_ = true;
+                return false;
+            }
+            rt::Runtime* rt = rt::Runtime::current();
+            rt::Goroutine* g = rt->currentGoroutine();
+            waiter_.g = g;
+            rt->semtable().enqueue(&m_->sema_, &waiter_);
+            rt->setBlockedSema(g, &m_->sema_);
+            rt->park(g, h, rt::WaitReason::MutexLock, {m_}, false,
+                     site_);
+            return true;
+        }
+
+        void
+        await_resume()
+        {
+            // Granted by unlock(): ownership was handed over with
+            // locked_ still set.
+            rt::Runtime* rt = rt::Runtime::current();
+            rt->clearBlockedSema(rt->currentGoroutine());
+        }
+
+      private:
+        Mutex* m_;
+        rt::Site site_;
+        rt::SemWaiter waiter_;
+    };
+
+    /** co_await m->lock(); */
+    LockOp
+    lock(std::source_location loc = std::source_location::current())
+    {
+        return LockOp(this, rt::Site::from(loc));
+    }
+
+    /** Non-blocking acquire attempt. */
+    bool tryLock();
+
+    /** Release; direct handoff to the longest waiter if any. */
+    void unlock();
+
+    bool locked() const { return locked_; }
+
+    const char* objectName() const override { return "sync.Mutex"; }
+
+  private:
+    friend class Cond;
+
+    rt::Runtime& rt_;
+    bool locked_ = false;
+    Sema sema_;
+};
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_MUTEX_HPP

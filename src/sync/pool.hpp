@@ -1,0 +1,140 @@
+/**
+ * @file
+ * sync.Pool analog with Go's GC-integrated lifetime: pooled objects
+ * survive roughly two collection cycles. At the start of every GC
+ * cycle the primary cache demotes to the victim cache and the old
+ * victims are dropped (become unreachable and are swept in that same
+ * cycle) — exactly Go's poolCleanup, which runs during the STW
+ * window before marking.
+ *
+ * This is a second, smaller instance of the paper's theme: runtime
+ * facilities piggybacking on the collector's cycle structure.
+ */
+#ifndef GOLFCC_SYNC_POOL_HPP
+#define GOLFCC_SYNC_POOL_HPP
+
+#include <functional>
+#include <vector>
+
+#include "gc/marker.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/mutex.hpp"
+
+namespace golf::sync {
+
+/** Type-erased base so the runtime can clean all pools per cycle. */
+class PoolBase : public gc::Object
+{
+  public:
+    /** Demote primary -> victim, drop old victims (poolCleanup). */
+    virtual void gcCleanup() = 0;
+};
+
+template <typename T>
+class Pool : public PoolBase
+{
+  public:
+    /** newFn is invoked by get() when both caches are empty
+     *  (the Pool.New field); may be empty. */
+    explicit Pool(rt::Runtime& rt, std::function<T*()> newFn = {})
+        : rt_(rt), newFn_(std::move(newFn))
+    {
+        rt_.registerPool(this);
+    }
+
+    ~Pool() override { rt_.unregisterPool(this); }
+
+    /** Put returns an object to the pool. */
+    void put(T* obj) { primary_.push_back(obj); }
+
+    /** Get pops a pooled object (primary first, then victim), or
+     *  calls New, or returns nullptr. */
+    T*
+    get()
+    {
+        if (!primary_.empty()) {
+            T* obj = primary_.back();
+            primary_.pop_back();
+            return obj;
+        }
+        if (!victim_.empty()) {
+            T* obj = victim_.back();
+            victim_.pop_back();
+            return obj;
+        }
+        return newFn_ ? newFn_() : nullptr;
+    }
+
+    size_t primarySize() const { return primary_.size(); }
+    size_t victimSize() const { return victim_.size(); }
+
+    void
+    gcCleanup() override
+    {
+        victim_ = std::move(primary_);
+        primary_.clear();
+    }
+
+    void
+    trace(gc::Marker& m) override
+    {
+        for (T* obj : primary_)
+            m.mark(obj);
+        for (T* obj : victim_)
+            m.mark(obj);
+    }
+
+    const char* objectName() const override { return "sync.Pool"; }
+
+  private:
+    rt::Runtime& rt_;
+    std::function<T*()> newFn_;
+    std::vector<T*> primary_;
+    std::vector<T*> victim_;
+};
+
+/**
+ * sync.Once analog: do(fn) runs fn exactly once; concurrent callers
+ * park until the first invocation completes (fn may suspend).
+ */
+class Once : public gc::Object
+{
+  public:
+    explicit Once(rt::Runtime& rt)
+        : mu_(rt.make<Mutex>(rt))
+    {}
+
+    /** co_await once->doOnce(fn) — fn: () -> rt::Task<void>. */
+    template <typename Fn>
+    rt::Task<void>
+    doOnce(Fn fn)
+    {
+        if (done_)
+            co_return;
+        co_await mu_->lock();
+        if (!done_) {
+            co_await fn();
+            done_ = true;
+        }
+        mu_->unlock();
+        co_return;
+    }
+
+    bool done() const { return done_; }
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(mu_);
+    }
+
+    const char* objectName() const override { return "sync.Once"; }
+
+  private:
+    Mutex* mu_;
+    bool done_ = false;
+};
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_POOL_HPP

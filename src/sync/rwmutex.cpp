@@ -1,0 +1,38 @@
+#include "sync/rwmutex.hpp"
+
+namespace golf::sync {
+
+void
+RWMutex::runlock()
+{
+    if (readers_ <= 0)
+        support::goPanic("sync: RUnlock of unlocked RWMutex");
+    --readers_;
+    if (readers_ == 0 && waitingWriters_ > 0) {
+        // Grant the lock to the longest-waiting writer.
+        if (semWake(rt_, &writerSem_)) {
+            --waitingWriters_;
+            writer_ = true;
+        }
+    }
+}
+
+void
+RWMutex::unlock()
+{
+    if (!writer_)
+        support::goPanic("sync: Unlock of unlocked RWMutex");
+    writer_ = false;
+    if (waitingWriters_ > 0) {
+        if (semWake(rt_, &writerSem_)) {
+            --waitingWriters_;
+            writer_ = true;
+            return;
+        }
+    }
+    // No writers: admit every parked reader.
+    while (semWake(rt_, &readerSem_))
+        ++readers_;
+}
+
+} // namespace golf::sync

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * sync.RWMutex analog: writer-preferring reader/writer lock built on
+ * two semaphores, mirroring Go's readerSem/writerSem structure.
+ * Parked readers have B(g) = {rwmutex} with reason RWMutexRLock;
+ * parked writers use RWMutexWLock.
+ */
+#ifndef GOLFCC_SYNC_RWMUTEX_HPP
+#define GOLFCC_SYNC_RWMUTEX_HPP
+
+#include <coroutine>
+#include <source_location>
+
+#include "sync/semaphore.hpp"
+
+namespace golf::sync {
+
+class RWMutex : public gc::Object
+{
+  public:
+    explicit RWMutex(rt::Runtime& rt) : rt_(rt) {}
+
+    class RLockOp
+    {
+      public:
+        RLockOp(RWMutex* m, rt::Site site) : m_(m), site_(site) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        bool
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (!m_->writer_ && m_->waitingWriters_ == 0) {
+                ++m_->readers_;
+                return false;
+            }
+            rt::Runtime* rt = rt::Runtime::current();
+            rt::Goroutine* g = rt->currentGoroutine();
+            waiter_.g = g;
+            rt->semtable().enqueue(&m_->readerSem_, &waiter_);
+            rt->setBlockedSema(g, &m_->readerSem_);
+            rt->park(g, h, rt::WaitReason::RWMutexRLock, {m_}, false,
+                     site_);
+            return true;
+        }
+
+        void
+        await_resume()
+        {
+            rt::Runtime* rt = rt::Runtime::current();
+            rt->clearBlockedSema(rt->currentGoroutine());
+        }
+
+      private:
+        RWMutex* m_;
+        rt::Site site_;
+        rt::SemWaiter waiter_;
+    };
+
+    class WLockOp
+    {
+      public:
+        WLockOp(RWMutex* m, rt::Site site) : m_(m), site_(site) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        bool
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (!m_->writer_ && m_->readers_ == 0) {
+                m_->writer_ = true;
+                return false;
+            }
+            ++m_->waitingWriters_;
+            rt::Runtime* rt = rt::Runtime::current();
+            rt::Goroutine* g = rt->currentGoroutine();
+            waiter_.g = g;
+            rt->semtable().enqueue(&m_->writerSem_, &waiter_);
+            rt->setBlockedSema(g, &m_->writerSem_);
+            rt->park(g, h, rt::WaitReason::RWMutexWLock, {m_}, false,
+                     site_);
+            return true;
+        }
+
+        void
+        await_resume()
+        {
+            rt::Runtime* rt = rt::Runtime::current();
+            rt->clearBlockedSema(rt->currentGoroutine());
+        }
+
+      private:
+        RWMutex* m_;
+        rt::Site site_;
+        rt::SemWaiter waiter_;
+    };
+
+    /** co_await m->rlock(); */
+    RLockOp
+    rlock(std::source_location loc = std::source_location::current())
+    {
+        return RLockOp(this, rt::Site::from(loc));
+    }
+
+    /** co_await m->lock(); (write lock) */
+    WLockOp
+    lock(std::source_location loc = std::source_location::current())
+    {
+        return WLockOp(this, rt::Site::from(loc));
+    }
+
+    void runlock();
+    void unlock();
+
+    int readers() const { return readers_; }
+    bool writerActive() const { return writer_; }
+
+    const char* objectName() const override { return "sync.RWMutex"; }
+
+  private:
+    rt::Runtime& rt_;
+    int readers_ = 0;
+    bool writer_ = false;
+    int waitingWriters_ = 0;
+    Sema readerSem_;
+    Sema writerSem_;
+};
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_RWMUTEX_HPP

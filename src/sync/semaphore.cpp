@@ -1,0 +1,25 @@
+#include "sync/semaphore.hpp"
+
+namespace golf::sync {
+
+bool
+semWake(rt::Runtime& rt, const Sema* sema)
+{
+    rt::SemWaiter* w = rt.semtable().dequeue(sema);
+    if (!w)
+        return false;
+    w->granted = true;
+    rt.ready(w->g);
+    return true;
+}
+
+size_t
+semWakeAll(rt::Runtime& rt, const Sema* sema)
+{
+    size_t n = 0;
+    while (semWake(rt, sema))
+        ++n;
+    return n;
+}
+
+} // namespace golf::sync

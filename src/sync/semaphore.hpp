@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Runtime semaphores: the parking substrate of the sync package.
+ *
+ * Go's sync primitives block goroutines on runtime semaphores; the
+ * runtime records the (semaphore address -> waiting goroutines)
+ * relation in the global semtable treap. GOLF extends *g with the
+ * masked address of the blocking semaphore and sets B(g) to the
+ * owning sync object (Section 5.4). SemParkOp reproduces all three:
+ * it enqueues a SemWaiter in the runtime's semtable under the masked
+ * address, records the masked address on the goroutine, and parks
+ * with B(g) = {owner}.
+ */
+#ifndef GOLFCC_SYNC_SEMAPHORE_HPP
+#define GOLFCC_SYNC_SEMAPHORE_HPP
+
+#include <coroutine>
+#include <source_location>
+
+#include "gc/object.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/semtable.hpp"
+
+namespace golf::sync {
+
+/** Address-only token: the "uint32 sema" field of Go sync structs.
+ *  Only its address matters; it keys the semtable treap. */
+struct Sema
+{
+    uint8_t token = 0;
+};
+
+/** Awaitable that parks the current goroutine on a semaphore. */
+class SemParkOp
+{
+  public:
+    SemParkOp(const Sema* sema, gc::Object* owner,
+              rt::WaitReason reason, rt::Site site)
+        : sema_(sema), owner_(owner), reason_(reason), site_(site)
+    {}
+
+    bool await_ready() const noexcept { return false; }
+
+    bool
+    await_suspend(std::coroutine_handle<> h)
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt::Goroutine* g = rt->currentGoroutine();
+        waiter_.g = g;
+        rt->semtable().enqueue(sema_, &waiter_);
+        rt->setBlockedSema(g, sema_);
+        rt->park(g, h, reason_, {owner_}, false, site_);
+        return true;
+    }
+
+    void
+    await_resume()
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt->clearBlockedSema(rt->currentGoroutine());
+    }
+
+  private:
+    const Sema* sema_;
+    gc::Object* owner_;
+    rt::WaitReason reason_;
+    rt::Site site_;
+    rt::SemWaiter waiter_;
+};
+
+/** Wake the longest waiter on sema; returns false if none waited. */
+bool semWake(rt::Runtime& rt, const Sema* sema);
+
+/** Wake every waiter on sema; returns how many were woken. */
+size_t semWakeAll(rt::Runtime& rt, const Sema* sema);
+
+/**
+ * A counted semaphore as a standalone managed object (used directly
+ * by tests and as a building block; Go exposes the equivalent via
+ * runtime_Semacquire).
+ */
+class Semaphore : public gc::Object
+{
+  public:
+    Semaphore(rt::Runtime& rt, uint32_t initial)
+        : rt_(rt), count_(initial)
+    {}
+
+    /** P(): decrement or park (wait reason "semacquire"). */
+    class AcquireOp
+    {
+      public:
+        AcquireOp(Semaphore* s, rt::Site site) : s_(s), site_(site) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        bool
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (s_->count_ > 0) {
+                --s_->count_;
+                return false;
+            }
+            rt::Runtime* rt = rt::Runtime::current();
+            rt::Goroutine* g = rt->currentGoroutine();
+            waiter_.g = g;
+            rt->semtable().enqueue(&s_->sema_, &waiter_);
+            rt->setBlockedSema(g, &s_->sema_);
+            rt->park(g, h, rt::WaitReason::SemAcquire, {s_}, false,
+                     site_);
+            return true;
+        }
+
+        void
+        await_resume()
+        {
+            rt::Runtime* rt = rt::Runtime::current();
+            rt->clearBlockedSema(rt->currentGoroutine());
+        }
+
+      private:
+        Semaphore* s_;
+        rt::Site site_;
+        rt::SemWaiter waiter_;
+    };
+
+    AcquireOp
+    acquire(std::source_location loc = std::source_location::current())
+    {
+        return AcquireOp(this, rt::Site::from(loc));
+    }
+
+    /** V(): wake a waiter or increment. */
+    void
+    release()
+    {
+        if (!semWake(rt_, &sema_))
+            ++count_;
+    }
+
+    uint32_t count() const { return count_; }
+
+    const char* objectName() const override { return "semaphore"; }
+
+  private:
+    rt::Runtime& rt_;
+    uint32_t count_;
+    Sema sema_;
+};
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_SEMAPHORE_HPP

@@ -1,0 +1,15 @@
+#include "sync/waitgroup.hpp"
+
+namespace golf::sync {
+
+void
+WaitGroup::add(int64_t delta)
+{
+    count_ += delta;
+    if (count_ < 0)
+        support::goPanic("sync: negative WaitGroup counter");
+    if (count_ == 0)
+        semWakeAll(rt_, &sema_);
+}
+
+} // namespace golf::sync

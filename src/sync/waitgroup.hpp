@@ -1,0 +1,87 @@
+/**
+ * @file
+ * sync.WaitGroup analog: a non-negative counter; Wait parks until it
+ * reaches zero. B(g) for a parked waiter is {waitgroup}.
+ *
+ * The artifact notes GOLF patched sync/waitgroup.go to enable
+ * detection of WaitGroup deadlocks; here the parking path flows
+ * through the same semtable machinery as every other sync primitive,
+ * so detection needs no special casing.
+ */
+#ifndef GOLFCC_SYNC_WAITGROUP_HPP
+#define GOLFCC_SYNC_WAITGROUP_HPP
+
+#include <coroutine>
+#include <source_location>
+
+#include "sync/semaphore.hpp"
+
+namespace golf::sync {
+
+class WaitGroup : public gc::Object
+{
+  public:
+    explicit WaitGroup(rt::Runtime& rt) : rt_(rt) {}
+
+    /** Add delta; panics if the counter goes negative. Reaching zero
+     *  releases every parked waiter. */
+    void add(int64_t delta);
+
+    /** Done() = Add(-1). */
+    void done() { add(-1); }
+
+    class WaitOp
+    {
+      public:
+        WaitOp(WaitGroup* wg, rt::Site site) : wg_(wg), site_(site) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        bool
+        await_suspend(std::coroutine_handle<> h)
+        {
+            if (wg_->count_ == 0)
+                return false;
+            rt::Runtime* rt = rt::Runtime::current();
+            rt::Goroutine* g = rt->currentGoroutine();
+            waiter_.g = g;
+            rt->semtable().enqueue(&wg_->sema_, &waiter_);
+            rt->setBlockedSema(g, &wg_->sema_);
+            rt->park(g, h, rt::WaitReason::WaitGroupWait, {wg_},
+                     false, site_);
+            return true;
+        }
+
+        void
+        await_resume()
+        {
+            rt::Runtime* rt = rt::Runtime::current();
+            rt->clearBlockedSema(rt->currentGoroutine());
+        }
+
+      private:
+        WaitGroup* wg_;
+        rt::Site site_;
+        rt::SemWaiter waiter_;
+    };
+
+    /** co_await wg->wait(); */
+    WaitOp
+    wait(std::source_location loc = std::source_location::current())
+    {
+        return WaitOp(this, rt::Site::from(loc));
+    }
+
+    int64_t count() const { return count_; }
+
+    const char* objectName() const override { return "sync.WaitGroup"; }
+
+  private:
+    rt::Runtime& rt_;
+    int64_t count_ = 0;
+    Sema sema_;
+};
+
+} // namespace golf::sync
+
+#endif // GOLFCC_SYNC_WAITGROUP_HPP

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Channel and select semantics tests, following Section 2 of the
+ * paper: unbuffered rendezvous, buffered capacity, close semantics,
+ * nil channels, range-style draining, select with/without default.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/timeapi.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using rt::RunResult;
+using support::kMillisecond;
+
+Go
+sendOne(Channel<int>* ch, int v)
+{
+    co_await chan::send(ch, v);
+    co_return;
+}
+
+Go
+recvInto(Channel<int>* ch, int* out)
+{
+    auto r = co_await chan::recv(ch);
+    *out = r.value;
+    co_return;
+}
+
+TEST(ChannelTest, UnbufferedRendezvous)
+{
+    Runtime rt;
+    int got = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* gotp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, sendOne, ch, 42);
+            auto rr = co_await chan::recv(ch);
+            EXPECT_TRUE(rr.ok);
+            *gotp = rr.value;
+            co_return;
+        },
+        &rt, &got);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(got, 42);
+}
+
+TEST(ChannelTest, UnbufferedSenderBlocksUntilReceiver)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            rt::Goroutine* sender = GOLF_GO(*rtp, sendOne, ch, 1);
+            co_await rt::yield();
+            co_await rt::yield();
+            EXPECT_EQ(sender->status(), rt::GStatus::Waiting);
+            EXPECT_EQ(sender->waitReason(), rt::WaitReason::ChanSend);
+            EXPECT_EQ(sender->blockedOn().size(), 1u);
+            EXPECT_EQ(sender->blockedOn()[0],
+                      static_cast<gc::Object*>(ch));
+            auto rr = co_await chan::recv(ch);
+            EXPECT_EQ(rr.value, 1);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ChannelTest, BufferedSendDoesNotBlockUntilFull)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 2);
+            co_await chan::send(ch, 1);
+            co_await chan::send(ch, 2);
+            EXPECT_EQ(ch->size(), 2u);
+            EXPECT_EQ((co_await chan::recv(ch)).value, 1);
+            EXPECT_EQ((co_await chan::recv(ch)).value, 2);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ChannelTest, BufferedFifoThroughBlockedSender)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 1);
+            co_await chan::send(ch, 1);       // fills the buffer
+            GOLF_GO(*rtp, sendOne, ch, 2);    // blocks: buffer full
+            co_await rt::yield();
+            co_await rt::yield();
+            // Receiving 1 must unblock the sender, whose 2 lands in
+            // the buffer preserving FIFO order.
+            EXPECT_EQ((co_await chan::recv(ch)).value, 1);
+            EXPECT_EQ((co_await chan::recv(ch)).value, 2);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ChannelTest, CloseWakesReceiverWithZeroValue)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                co_await rt::sleepFor(kMillisecond);
+                chan::close(c);
+                co_return;
+            }, ch);
+            auto rr = co_await chan::recv(ch);
+            EXPECT_FALSE(rr.ok);
+            EXPECT_EQ(rr.value, 0);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ChannelTest, RecvDrainsBufferBeforeReportingClosed)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 2);
+            co_await chan::send(ch, 7);
+            co_await chan::send(ch, 8);
+            chan::close(ch);
+            auto a = co_await chan::recv(ch);
+            EXPECT_TRUE(a.ok);
+            EXPECT_EQ(a.value, 7);
+            auto b = co_await chan::recv(ch);
+            EXPECT_TRUE(b.ok);
+            EXPECT_EQ(b.value, 8);
+            auto c = co_await chan::recv(ch);
+            EXPECT_FALSE(c.ok);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ChannelTest, SendOnClosedChannelPanics)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 1);
+            chan::close(ch);
+            co_await chan::send(ch, 1);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_EQ(r.panicMessage, "send on closed channel");
+}
+
+TEST(ChannelTest, CloseWakesBlockedSenderWithPanic)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, sendOne, ch, 1);
+            co_await rt::yield();
+            co_await rt::yield();
+            chan::close(ch);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_EQ(r.panicMessage, "send on closed channel");
+}
+
+TEST(ChannelTest, DoubleClosePanics)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            chan::close(ch);
+            chan::close(ch);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_EQ(r.panicMessage, "close of closed channel");
+}
+
+TEST(ChannelTest, NilChannelBlocksForever)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[]() -> Go {
+                co_await chan::recv(static_cast<Channel<int>*>(nullptr));
+                ADD_FAILURE() << "nil recv returned";
+                co_return;
+            });
+            co_await rt::sleepFor(kMillisecond);
+            auto blocked = rtp->blockedCandidates();
+            EXPECT_EQ(blocked.size(), 1u);
+            if (blocked.empty()) co_return;
+            EXPECT_EQ(blocked[0]->waitReason(),
+                      rt::WaitReason::ChanRecvNil);
+            EXPECT_TRUE(blocked[0]->blockedForever());
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ChannelTest, RangeStyleDrainTerminatesOnClose)
+{
+    Runtime rt;
+    int sum = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* sump) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                for (int i = 1; i <= 4; ++i)
+                    co_await chan::send(c, i);
+                chan::close(c);
+                co_return;
+            }, ch);
+            // for v := range ch { sum += v }
+            while (true) {
+                auto rr = co_await chan::recv(ch);
+                if (!rr.ok)
+                    break;
+                *sump += rr.value;
+            }
+            co_return;
+        },
+        &rt, &sum);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(sum, 10);
+}
+
+TEST(ChannelTest, MultipleReceiversFifoWakeup)
+{
+    Runtime rt;
+    std::vector<int> got;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, std::vector<int>* gotp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            for (int i = 0; i < 3; ++i) {
+                GOLF_GO(*rtp, +[](Channel<int>* c,
+                                  std::vector<int>* out) -> Go {
+                    auto rr = co_await chan::recv(c);
+                    out->push_back(rr.value);
+                    co_return;
+                }, ch, gotp);
+            }
+            co_await rt::sleepFor(kMillisecond);
+            for (int i = 10; i < 13; ++i)
+                co_await chan::send(ch, i);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &got);
+    EXPECT_TRUE(r.ok());
+    ASSERT_EQ(got.size(), 3u);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, (std::vector<int>{10, 11, 12}));
+}
+
+// ---------------------------------------------------------------- select
+
+TEST(SelectTest, DefaultFiresWhenNothingReady)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            int idx = co_await chan::select(chan::recvCase(ch),
+                                            chan::defaultCase());
+            EXPECT_EQ(idx, chan::kSelectDefault);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, ReadyRecvCaseFiresImmediately)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* a = makeChan<int>(*rtp, 1);
+            auto* b = makeChan<int>(*rtp, 1);
+            co_await chan::send(b, 99);
+            int x = 0;
+            bool ok = false;
+            int idx = co_await chan::select(
+                chan::recvCase(a, &x, &ok),
+                chan::recvCase(b, &x, &ok));
+            EXPECT_EQ(idx, 1);
+            EXPECT_TRUE(ok);
+            EXPECT_EQ(x, 99);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, BlocksUntilACaseFires)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* a = makeChan<int>(*rtp, 0);
+            auto* b = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                co_await rt::sleepFor(kMillisecond);
+                co_await chan::send(c, 5);
+                co_return;
+            }, b);
+            int x = 0;
+            int idx = co_await chan::select(chan::recvCase(a, &x),
+                                            chan::recvCase(b, &x));
+            EXPECT_EQ(idx, 1);
+            EXPECT_EQ(x, 5);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, SendCaseDeliversToReceiver)
+{
+    Runtime rt;
+    int got = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* gotp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, recvInto, ch, gotp);
+            co_await rt::sleepFor(kMillisecond);
+            int idx = co_await chan::select(chan::sendCase(ch, 33));
+            EXPECT_EQ(idx, 0);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &got);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(got, 33);
+}
+
+TEST(SelectTest, SelectWithTimeoutPattern)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* work = makeChan<int>(*rtp, 0);
+            auto* timeout = rt::after(*rtp, 2 * kMillisecond);
+            int idx = co_await chan::select(
+                chan::recvCase(work),
+                chan::recvCase(timeout));
+            EXPECT_EQ(idx, 1); // timeout wins: nobody sends on work
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, NilChannelCaseNeverFires)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* live = makeChan<int>(*rtp, 1);
+            co_await chan::send(live, 1);
+            int x = 0;
+            int idx = co_await chan::select(
+                chan::recvCase(static_cast<Channel<int>*>(nullptr), &x),
+                chan::recvCase(live, &x));
+            EXPECT_EQ(idx, 1);
+            EXPECT_EQ(x, 1);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, RecvCaseOnClosedChannelFiresNotOk)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 0);
+            chan::close(ch);
+            int x = 123;
+            bool ok = true;
+            int idx = co_await chan::select(chan::recvCase(ch, &x, &ok));
+            EXPECT_EQ(idx, 0);
+            EXPECT_FALSE(ok);
+            EXPECT_EQ(x, 0);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, BlockedSelectHasAllChannelsInBlockedSet)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* a = makeChan<int>(*rtp, 0);
+            auto* b = makeChan<int>(*rtp, 0);
+            rt::Goroutine* g = GOLF_GO(*rtp,
+                +[](Channel<int>* ca, Channel<int>* cb) -> Go {
+                    co_await chan::select(chan::recvCase(ca),
+                                          chan::sendCase(cb, 1));
+                    co_return;
+                }, a, b);
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(g->status(), rt::GStatus::Waiting);
+            EXPECT_EQ(g->waitReason(), rt::WaitReason::Select);
+            EXPECT_EQ(g->blockedOn().size(), 2u);
+            // Fire one case so the run ends cleanly.
+            co_await chan::send(a, 1);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, ZeroCaseSelectBlocksForever)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[]() -> Go {
+                co_await chan::selectForever();
+                co_return;
+            });
+            co_await rt::sleepFor(kMillisecond);
+            auto blocked = rtp->blockedCandidates();
+            EXPECT_EQ(blocked.size(), 1u);
+            if (blocked.empty()) co_return;
+            EXPECT_EQ(blocked[0]->waitReason(),
+                      rt::WaitReason::SelectNoCases);
+            EXPECT_TRUE(blocked[0]->blockedForever());
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, OnlyOneCaseFiresPerSelect)
+{
+    // Two channels fire "simultaneously": the select must consume
+    // exactly one and leave the other value intact.
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            auto* a = makeChan<int>(*rtp, 1);
+            auto* b = makeChan<int>(*rtp, 1);
+            co_await chan::send(a, 1);
+            co_await chan::send(b, 2);
+            int x = 0;
+            int idx = co_await chan::select(chan::recvCase(a, &x),
+                                            chan::recvCase(b, &x));
+            EXPECT_TRUE(idx == 0 || idx == 1);
+            EXPECT_EQ(a->size() + b->size(), 1u);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(SelectTest, StaleWaiterRemovedAfterSelectResolves)
+{
+    // After a select fires via channel b, its stale waiter on a must
+    // not swallow a later send on a.
+    Runtime rt;
+    int got = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* gotp) -> Go {
+            auto* a = makeChan<int>(*rtp, 0);
+            auto* b = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, +[](Channel<int>* ca, Channel<int>* cb)
+                -> Go {
+                int x = 0;
+                co_await chan::select(chan::recvCase(ca, &x),
+                                      chan::recvCase(cb, &x));
+                co_return;
+            }, a, b);
+            co_await rt::sleepFor(kMillisecond);
+            co_await chan::send(b, 1); // resolves the select via b
+            co_await rt::sleepFor(kMillisecond);
+            // Now a must have no active receiver: a send would block,
+            // so use a fresh receiver goroutine.
+            GOLF_GO(*rtp, recvInto, a, gotp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await chan::send(a, 77);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &got);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(got, 77);
+}
+
+} // namespace
+} // namespace golf

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Context package tests: cancellation trees, timeouts over virtual
+ * time, select integration, GC interaction (a pending deadline pins
+ * the context; dropped uncancellable contexts produce detectable
+ * deadlocks).
+ */
+#include <gtest/gtest.h>
+
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/context.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using rt::Context;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+TEST(ContextTest, CancelClosesDone)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<Context> ctx(rt::withCancel(*rtp,
+                                              rt::background(*rtp)));
+        EXPECT_FALSE(ctx->cancelled());
+        ctx->cancel();
+        EXPECT_TRUE(ctx->cancelled());
+        auto r = co_await chan::recv(ctx->done());
+        EXPECT_FALSE(r.ok); // closed channel
+        ctx->cancel();      // idempotent
+        co_return;
+    }, &rt);
+}
+
+TEST(ContextTest, CancelPropagatesToSubtree)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<Context> root(rt::background(*rtp));
+        gc::Local<Context> a(rt::withCancel(*rtp, root.get()));
+        gc::Local<Context> b(rt::withCancel(*rtp, a.get()));
+        gc::Local<Context> sibling(rt::withCancel(*rtp, root.get()));
+        a->cancel();
+        EXPECT_TRUE(a->cancelled());
+        EXPECT_TRUE(b->cancelled());
+        EXPECT_FALSE(root->cancelled());
+        EXPECT_FALSE(sibling->cancelled());
+        co_return;
+    }, &rt);
+}
+
+TEST(ContextTest, TimeoutFiresOnVirtualClock)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<Context> ctx(rt::withTimeout(
+            *rtp, rt::background(*rtp), 5 * kMillisecond));
+        auto r = co_await chan::recv(ctx->done());
+        EXPECT_FALSE(r.ok);
+        EXPECT_TRUE(ctx->cancelled());
+        EXPECT_GE(rtp->clock().now(), 5 * kMillisecond);
+        co_return;
+    }, &rt);
+}
+
+TEST(ContextTest, SelectOnDoneIsTheGoIdiom)
+{
+    Runtime rt;
+    int outcome = -1;
+    rt.runMain(
+        +[](Runtime* rtp, int* out) -> Go {
+            gc::Local<Context> ctx(rt::withTimeout(
+                *rtp, rt::background(*rtp), 2 * kMillisecond));
+            gc::Local<Channel<int>> work(makeChan<int>(*rtp, 0));
+            // Nobody sends work: the deadline must win.
+            *out = co_await chan::select(
+                chan::recvCase(work.get()),
+                chan::recvCase(ctx->done()));
+            co_return;
+        },
+        &rt, &outcome);
+    EXPECT_EQ(outcome, 1);
+}
+
+TEST(ContextTest, WorkerStopsOnCancel)
+{
+    Runtime rt;
+    int processed = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* processedp) -> Go {
+            gc::Local<Context> ctx(
+                rt::withCancel(*rtp, rt::background(*rtp)));
+            gc::Local<Channel<int>> jobs(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp,
+                +[](Context* c, Channel<int>* j, int* done) -> Go {
+                    while (true) {
+                        int v = 0;
+                        int idx = co_await chan::select(
+                            chan::recvCase(j, &v),
+                            chan::recvCase(c->done()));
+                        if (idx == 1)
+                            break; // ctx.Done(): clean exit
+                        ++*done;
+                    }
+                    co_return;
+                }, ctx.get(), jobs.get(), processedp);
+            for (int i = 0; i < 3; ++i)
+                co_await chan::send(jobs.get(), i);
+            ctx->cancel();
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &processed);
+    EXPECT_EQ(processed, 3);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Waiting), 0u);
+}
+
+TEST(ContextTest, PendingDeadlinePinsContextAgainstGc)
+{
+    // A goroutine blocked only on a with-timeout done channel is
+    // live (the deadline will fire) — GOLF must not flag it.
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[](Runtime* rp) -> Go {
+            Context* ctx = rt::withTimeout(
+                *rp, rt::background(*rp), 50 * kMillisecond);
+            co_await chan::recv(ctx->done());
+            co_return;
+        }, rtp);
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        EXPECT_EQ(rtp->collector().reports().total(), 0u);
+        co_await rt::sleepFor(100 * kMillisecond); // deadline fires
+        EXPECT_EQ(rtp->blockedCandidates().size(), 0u);
+        co_return;
+    }, &rt);
+}
+
+TEST(ContextTest, DroppedUncancellableContextIsADeadlock)
+{
+    // The classic bug: a worker waits on ctx.Done() of a cancellable
+    // context whose cancel function was dropped without being
+    // called. Once the context is unreachable from live code, the
+    // worker can never be released: GOLF reports it.
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[](Context* c) -> Go {
+            co_await chan::recv(c->done());
+            co_return;
+        }, rt::withCancel(*rtp, rt::background(*rtp)));
+        // The context (and its cancel capability) is dropped here.
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        EXPECT_EQ(rtp->collector().reports().total(), 1u);
+        co_return;
+    }, &rt);
+}
+
+TEST(ContextTest, ChildDoesNotPinDroppedParentTree)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        size_t before = rtp->heap().liveObjects();
+        {
+            gc::Local<Context> keepChild;
+            {
+                gc::Local<Context> root(rt::background(*rtp));
+                keepChild = rt::withCancel(*rtp, root.get());
+            }
+            // root dropped; child kept. The child->parent edge is
+            // untraced, so the root may be collected.
+            co_await rt::gcNow();
+            // child + its done channel survive.
+            EXPECT_GE(rtp->heap().liveObjects(), 2u);
+        }
+        co_await rt::gcNow();
+        EXPECT_EQ(rtp->heap().liveObjects(), before);
+        co_return;
+    }, &rt);
+}
+
+} // namespace
+} // namespace golf

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Detection-rate regression tests: the Table 1 mechanisms pinned in
+ * CI with reduced repetition counts. These protect the calibrated
+ * flaky rows — a scheduler or harness change that flattens the
+ * parallelism-gated races would silently wreck the Table 1 shape.
+ */
+#include <gtest/gtest.h>
+
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+
+namespace golf::microbench {
+namespace {
+
+/** Fraction of runs (out of `repeats`) detecting the first site. */
+double
+detectionRate(const char* name, int procs, int repeats,
+              uint64_t seed)
+{
+    const Pattern* p = Registry::instance().find(name);
+    if (!p)
+        return -1.0;
+    HarnessConfig cfg;
+    cfg.procs = procs;
+    cfg.seed = seed;
+    auto sites = runPatternRepeated(*p, cfg, repeats);
+    if (sites.empty())
+        return -1.0;
+    return static_cast<double>(sites[0].detectedRuns) /
+           static_cast<double>(sites[0].totalRuns);
+}
+
+TEST(DetectionRateTest, Grpc3017IsParallelismGated)
+{
+    // Never manifests on one virtual core (FIFO wakeups), (almost)
+    // always on two or more.
+    EXPECT_EQ(detectionRate("grpc/3017", 1, 25, 5), 0.0);
+    EXPECT_GE(detectionRate("grpc/3017", 2, 25, 5), 0.9);
+    EXPECT_GE(detectionRate("grpc/3017", 4, 25, 5), 0.9);
+}
+
+TEST(DetectionRateTest, Etcd7443IsNearZero)
+{
+    // The tightest race of the corpus: essentially invisible below
+    // eight-way parallelism, rare even at ten.
+    EXPECT_LE(detectionRate("etcd/7443", 1, 25, 7), 0.04);
+    EXPECT_LE(detectionRate("etcd/7443", 4, 25, 7), 0.04);
+    EXPECT_LE(detectionRate("etcd/7443", 10, 50, 7), 0.15);
+}
+
+TEST(DetectionRateTest, Cockroach6181IsHighButNotPerfect)
+{
+    double rate = detectionRate("cockroach/6181", 2, 60, 11);
+    EXPECT_GE(rate, 0.85);
+    // With p=0.6 per instance and 4 instances, misses do occur over
+    // enough runs; do not assert < 1.0 on a small sample, but the
+    // single-instance probability must stay well below 1.
+    const Pattern* p = Registry::instance().find("cockroach/6181");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->flakiness, 100);
+}
+
+TEST(DetectionRateTest, Moby27282SitsInTheEightiesBand)
+{
+    double total = 0;
+    for (int procs : {1, 2, 4, 10})
+        total += detectionRate("moby/27282", procs, 40, 13);
+    double avg = total / 4.0;
+    EXPECT_GE(avg, 0.70); // paper: 82.75%
+    EXPECT_LE(avg, 0.95);
+}
+
+TEST(DetectionRateTest, DeterministicRowsAreAlwaysDetected)
+{
+    for (const char* name :
+         {"cgo/ex1", "cockroach/584", "kubernetes/58107",
+          "moby/21233", "syncthing/5795", "istio/18454"}) {
+        for (int procs : {1, 4}) {
+            EXPECT_EQ(detectionRate(name, procs, 10, 17), 1.0)
+                << name << " procs=" << procs;
+        }
+    }
+}
+
+TEST(DetectionRateTest, CorrectVariantsNeverFire)
+{
+    for (const Pattern* p : Registry::instance().corrects()) {
+        HarnessConfig cfg;
+        cfg.procs = 4;
+        cfg.seed = 19;
+        RunOutcome out = runPatternOnce(*p, cfg);
+        EXPECT_EQ(out.individualReports, 0u) << p->name;
+    }
+}
+
+} // namespace
+} // namespace golf::microbench

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * errgroup tests: fan-out/fan-in, first-error retention, context
+ * cancellation of siblings, and GOLF detection of the classic
+ * "worker stuck, Wait never returns" leak.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/errgroup.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+rt::Task<int>
+okWorker(int* counter)
+{
+    co_await rt::yield();
+    ++*counter;
+    co_return 0;
+}
+
+TEST(ErrGroupTest, AllWorkersSucceed)
+{
+    Runtime rt;
+    int done = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* donep) -> Go {
+            gc::Local<sync::ErrGroup> g(
+                rtp->make<sync::ErrGroup>(*rtp));
+            for (int i = 0; i < 6; ++i)
+                g->spawn(okWorker, donep);
+            int err = co_await g->wait();
+            EXPECT_EQ(err, 0);
+            EXPECT_EQ(*donep, 6);
+            co_return;
+        },
+        &rt, &done);
+    EXPECT_EQ(done, 6);
+}
+
+rt::Task<int>
+failing(int code)
+{
+    co_await rt::yield();
+    co_return code;
+}
+
+TEST(ErrGroupTest, FirstErrorWins)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<sync::ErrGroup> g(rtp->make<sync::ErrGroup>(*rtp));
+        g->spawn(failing, 7);
+        co_await rt::sleepFor(kMillisecond);
+        g->spawn(failing, 9);
+        int err = co_await g->wait();
+        EXPECT_EQ(err, 7); // the first error is retained
+        co_return;
+    }, &rt);
+}
+
+rt::Task<int>
+ctxWorker(rt::Context* ctx, Channel<int>* slow, int* bailed)
+{
+    int idx = co_await chan::select(chan::recvCase(slow),
+                                    chan::recvCase(ctx->done()));
+    if (idx == 1) {
+        ++*bailed;
+        co_return 0; // cancelled: clean exit
+    }
+    co_return 0;
+}
+
+TEST(ErrGroupTest, ErrorCancelsSiblingsThroughContext)
+{
+    Runtime rt;
+    int bailed = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* bailedp) -> Go {
+            gc::Local<sync::ErrGroup> g(sync::makeErrGroup(
+                *rtp, rt::background(*rtp)));
+            gc::Local<Channel<int>> slow(makeChan<int>(*rtp, 0));
+            for (int i = 0; i < 4; ++i)
+                g->spawn(ctxWorker, g->context(), slow.get(),
+                         bailedp);
+            co_await rt::sleepFor(kMillisecond);
+            g->spawn(failing, 3); // fails -> cancels the context
+            int err = co_await g->wait();
+            EXPECT_EQ(err, 3);
+            EXPECT_EQ(*bailedp, 4); // every sibling bailed out
+            co_return;
+        },
+        &rt, &bailed);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Waiting), 0u);
+}
+
+rt::Task<int>
+stuckWorker(Channel<int>* never)
+{
+    co_await chan::recv(never);
+    co_return 0;
+}
+
+TEST(ErrGroupTest, StuckWorkerLeakDetectedThroughGroup)
+{
+    // The classic leak: one worker never finishes, so wait() parks
+    // forever. Once the spawning request drops the group, GOLF must
+    // report the stuck worker AND the waiter (two goroutines).
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[](Runtime* rp) -> Go {
+            gc::Local<sync::ErrGroup> g(
+                rp->make<sync::ErrGroup>(*rp));
+            g->spawn(stuckWorker, makeChan<int>(*rp, 0));
+            co_await g->wait(); // never returns
+            co_return;
+        }, rtp);
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        EXPECT_EQ(rtp->collector().reports().total(), 2u);
+        co_await rt::gcNow(); // reclaim both
+        EXPECT_EQ(rtp->blockedCandidates().size(), 0u);
+        EXPECT_EQ(rtp->heap().liveObjects(), 0u);
+        co_return;
+    }, &rt);
+}
+
+TEST(ErrGroupTest, WaitOnEmptyGroupReturnsImmediately)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<sync::ErrGroup> g(rtp->make<sync::ErrGroup>(*rtp));
+        int err = co_await g->wait();
+        EXPECT_EQ(err, 0);
+        co_return;
+    }, &rt);
+}
+
+} // namespace
+} // namespace golf

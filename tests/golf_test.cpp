@@ -1,0 +1,624 @@
+/**
+ * @file
+ * GOLF detector tests: every Listing of the paper as an executable
+ * check, plus the fixpoint daisy-chain of Section 5.2, two-cycle
+ * recovery with finalizer preservation (Section 5.5), report
+ * deduplication, report-only mode, and detection frequency.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/timeapi.hpp"
+#include "sync/mutex.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using rt::RunResult;
+using support::kMillisecond;
+
+Go
+blockedSender(Channel<int>* ch)
+{
+    co_await chan::send(ch, 1);
+    co_return;
+}
+
+Go
+blockedReceiver(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+// --------------------------------------------------------- detection
+
+TEST(GolfTest, DetectsOrphanedSender)
+{
+    // Listing 7 shape: a goroutine sends on a channel the caller
+    // dropped; once the channel is unreachable from live goroutines,
+    // GOLF must flag the sender.
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.collector().reports().total(), 1u);
+    const auto& rep = rt.collector().reports().all()[0];
+    EXPECT_EQ(rep.reason, rt::WaitReason::ChanSend);
+    EXPECT_GT(rep.stackBytes, 0u);
+}
+
+TEST(GolfTest, NoReportWhileChannelStillHeldByLiveGoroutine)
+{
+    // As long as main holds the channel in a Local, the sender is
+    // reachably live and must NOT be reported.
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, blockedSender, ch.get());
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            // Unblock so the run ends cleanly.
+            co_await chan::recv(ch.get());
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(GolfTest, FuncManagerPattern)
+{
+    // Listing 3: NewFuncManager spawns two range-loop goroutines over
+    // embedded channels; ConcurrentTask returns early without calling
+    // WaitForResults, deadlocking both.
+    struct FuncManager : gc::Object
+    {
+        Channel<int>* e = nullptr;
+        Channel<int>* d = nullptr;
+        void
+        trace(gc::Marker& m) override
+        {
+            m.mark(e);
+            m.mark(d);
+        }
+    };
+
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            {
+                gc::Local<FuncManager> gfm(rtp->make<FuncManager>());
+                gfm->e = makeChan<int>(*rtp, 0);
+                gfm->d = makeChan<int>(*rtp, 0);
+                GOLF_GO(*rtp, blockedReceiver, gfm->e); // range gfm.e
+                GOLF_GO(*rtp, blockedReceiver, gfm->d); // range gfm.d
+                co_await rt::sleepFor(kMillisecond);
+                // ConcurrentTask takes the early-return path: gfm
+                // goes out of scope without WaitForResults.
+            }
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.collector().reports().total(), 2u);
+}
+
+TEST(GolfTest, GlobalChannelFalseNegative)
+{
+    // Listing 4: a deadlock on a globally reachable channel cannot be
+    // detected (completeness does not hold).
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::GlobalRoot<Channel<int>> ch(rtp->heap(),
+                                            makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, blockedSender, ch.get());
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    // The sender is genuinely leaked (GOLEAK-visible) but GOLF-blind.
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Waiting), 1u);
+}
+
+TEST(GolfTest, HeartbeatFalseNegative)
+{
+    // Listing 5: a runaway live heartbeat goroutine keeps the
+    // dispatcher (and its channel) reachable, hiding the deadlocked
+    // sender on dispatcher.ch.
+    struct Dispatcher : gc::Object
+    {
+        Channel<Unit>* ch = nullptr;
+        int ticks = 0;
+        void
+        trace(gc::Marker& m) override
+        {
+            m.mark(ch);
+        }
+    };
+
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            Dispatcher* d = rtp->make<Dispatcher>();
+            d->ch = makeChan<Unit>(*rtp, 0);
+            // Heartbeat: sleeps forever, referencing d via spawnRefs.
+            GOLF_GO(*rtp, +[](Dispatcher* dp) -> Go {
+                for (;;) {
+                    co_await rt::sleepFor(support::kSecond);
+                    ++dp->ticks;
+                }
+            }, d);
+            // The doomed sender on d->ch.
+            GOLF_GO(*rtp, +[](Dispatcher* dp) -> Go {
+                co_await chan::send(dp->ch, Unit{});
+                co_return;
+            }, d);
+            co_await rt::sleepFor(5 * kMillisecond);
+            co_await rt::gcNow();
+            // The sender deadlocked, but the heartbeat exposes d.ch:
+            // false negative, exactly as the paper describes.
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(GolfTest, DetectsNilChannelOperation)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[]() -> Go {
+                co_await chan::recv(static_cast<Channel<int>*>(nullptr));
+                co_return;
+            });
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    ASSERT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.collector().reports().all()[0].reason,
+              rt::WaitReason::ChanRecvNil);
+}
+
+TEST(GolfTest, DetectsZeroCaseSelect)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[]() -> Go {
+                co_await chan::selectForever();
+                co_return;
+            });
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    ASSERT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.collector().reports().all()[0].reason,
+              rt::WaitReason::SelectNoCases);
+}
+
+TEST(GolfTest, DetectsLeakedSelect)
+{
+    // select over two dropped channels: B(g) has two elements, both
+    // unreachable.
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[](Channel<int>* a, Channel<int>* b) -> Go {
+                co_await chan::select(chan::recvCase(a),
+                                      chan::recvCase(b));
+                co_return;
+            }, makeChan<int>(*rtp, 0), makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    ASSERT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.collector().reports().all()[0].reason,
+              rt::WaitReason::Select);
+}
+
+TEST(GolfTest, SelectWithReachableTimeoutIsLive)
+{
+    // A select whose channels are dropped but which also waits on a
+    // pending time.After must stay live until the timer fires.
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[](Runtime* rp, Channel<int>* dead) -> Go {
+                auto* t = rt::after(*rp, 50 * kMillisecond);
+                co_await chan::select(chan::recvCase(dead),
+                                      chan::recvCase(t));
+                co_return;
+            }, rtp, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            // Timer pending: not deadlocked.
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            co_await rt::sleepFor(100 * kMillisecond);
+            co_return;
+        },
+        &rt);
+    // After the timeout fired, the goroutine completed: no leak.
+    EXPECT_EQ(rt.collector().reports().total(), 0u);
+}
+
+TEST(GolfTest, DetectsMutexDeadlock)
+{
+    // A goroutine parks on a mutex locked by a completed goroutine;
+    // once the mutex is unreachable, the waiter is deadlocked.
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Mutex* mu = rtp->make<sync::Mutex>(*rtp);
+            EXPECT_TRUE(mu->tryLock()); // locked and never unlocked
+            GOLF_GO(*rtp, +[](sync::Mutex* m) -> Go {
+                co_await m->lock();
+                co_return;
+            }, mu);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    ASSERT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.collector().reports().all()[0].reason,
+              rt::WaitReason::MutexLock);
+}
+
+TEST(GolfTest, DetectsWaitGroupDeadlock)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::WaitGroup* wg = rtp->make<sync::WaitGroup>(*rtp);
+            wg->add(1); // no Done() ever comes
+            GOLF_GO(*rtp, +[](sync::WaitGroup* w) -> Go {
+                co_await w->wait();
+                co_return;
+            }, wg);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    ASSERT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.collector().reports().all()[0].reason,
+              rt::WaitReason::WaitGroupWait);
+}
+
+TEST(GolfTest, MutexHeldByLiveGoroutineNotReported)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            EXPECT_TRUE(mu->tryLock());
+            GOLF_GO(*rtp, +[](sync::Mutex* m) -> Go {
+                co_await m->lock();
+                m->unlock();
+                co_return;
+            }, mu.get());
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            mu->unlock(); // lets the waiter finish
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_EQ(rt.collector().reports().total(), 0u);
+}
+
+// ---------------------------------------------------------- fixpoint
+
+Go
+chainLink(Channel<int>* in, Channel<int>* out)
+{
+    int v = (co_await chan::recv(in)).value;
+    co_await chan::send(out, v);
+    co_return;
+}
+
+TEST(GolfTest, DaisyChainNeedsNMarkIterations)
+{
+    // Section 5.2: a chain g1 <- g2 <- ... <- gn where each link's
+    // liveness is discovered only after the previous link is marked.
+    // Main holds only the head channel; each gi is blocked receiving
+    // on chan i-1 and will later send on chan i.
+    constexpr int kChain = 8;
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<Channel<int>> head(makeChan<int>(*rtp, 0));
+            Channel<int>* prev = head.get();
+            for (int i = 0; i < kChain; ++i) {
+                auto* next = makeChan<int>(*rtp, 0);
+                GOLF_GO(*rtp, chainLink, prev, next);
+                prev = next;
+            }
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            // Nothing deadlocked: the whole chain is reachably live
+            // through main's head channel...
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            // ...but discovering it takes one root-expansion round
+            // per link.
+            EXPECT_GE(rtp->collector().lastCycle().markIterations,
+                      static_cast<uint64_t>(kChain));
+            // Unblock everything.
+            co_await chan::send(head.get(), 1);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+}
+
+// ---------------------------------------------------------- recovery
+
+TEST(GolfTest, ReclaimFreesGoroutineAndMemoryNextCycle)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+
+            uint64_t framesBefore = rtp->memStats().stackInuse;
+            co_await rt::gcNow(); // cycle k: detect + report
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::PendingReclaim),
+                      1u);
+            // Channel still alive: closure marked during cycle k.
+            EXPECT_GE(rtp->heap().liveObjects(), 1u);
+
+            co_await rt::gcNow(); // cycle k+1: forced shutdown + sweep
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::PendingReclaim),
+                      0u);
+            EXPECT_EQ(rtp->heap().liveObjects(), 0u);
+            EXPECT_LT(rtp->memStats().stackInuse, framesBefore);
+            co_return;
+        },
+        &rt);
+}
+
+TEST(GolfTest, ReportOnlyKeepsGoroutineAndMemory)
+{
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::ReportOnly;
+    Runtime rt(cfg);
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Deadlocked), 1u);
+            EXPECT_GE(rtp->heap().liveObjects(), 1u);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            // No re-reports, goroutine and memory still present.
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Deadlocked), 1u);
+            EXPECT_GE(rtp->heap().liveObjects(), 1u);
+            co_return;
+        },
+        &rt);
+}
+
+int gFinalized = 0;
+
+TEST(GolfTest, FinalizerPreventsReclaim)
+{
+    // Listing 6: a deadlocked goroutine whose closure carries a
+    // finalizer must not be reclaimed — the finalizer would run and
+    // change observable semantics.
+    struct Finalizable : gc::Object
+    {
+    };
+
+    gFinalized = 0;
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[](Runtime* rp, Channel<int>* ch) -> Go {
+                gc::Local<Finalizable> vs(rp->make<Finalizable>());
+                rp->heap().setFinalizer(vs.get(), [] { ++gFinalized; });
+                co_await chan::recv(ch); // deadlocks: ch dropped
+                co_return;
+            }, rtp, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+
+            co_await rt::gcNow(); // detect
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            // Finalizer found in the closure: parked as Deadlocked,
+            // never reclaimed.
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Deadlocked), 1u);
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::PendingReclaim),
+                      0u);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Deadlocked), 1u);
+            EXPECT_EQ(gFinalized, 0); // semantics preserved
+            // Reported exactly once despite repeated cycles.
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            co_return;
+        },
+        &rt);
+    EXPECT_EQ(gFinalized, 0);
+}
+
+TEST(GolfTest, ReclaimedGoroutineObjectIsReused)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            rt::Goroutine* leaked =
+                GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            uint64_t leakedId = leaked->id();
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::gcNow(); // reclaimed here
+            EXPECT_EQ(leaked->status(), rt::GStatus::Idle);
+            // Spawning again reuses the pooled object with a new id.
+            rt::Goroutine* fresh = GOLF_GO(*rtp, +[]() -> Go {
+                co_return;
+            });
+            EXPECT_EQ(fresh, leaked);
+            EXPECT_NE(fresh->id(), leakedId);
+            co_await rt::yield();
+            co_return;
+        },
+        &rt);
+}
+
+TEST(GolfTest, SemtableEntryRemovedOnReclaim)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Mutex* mu = rtp->make<sync::Mutex>(*rtp);
+            EXPECT_TRUE(mu->tryLock());
+            GOLF_GO(*rtp, +[](sync::Mutex* m) -> Go {
+                co_await m->lock();
+                co_return;
+            }, mu);
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(rtp->semtable().entries(), 1u);
+            EXPECT_TRUE(rtp->semtable().checkMaskedKeys());
+            co_await rt::gcNow(); // detect
+            co_await rt::gcNow(); // reclaim: waiter destructor runs
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Waiting), 0u);
+            // The waiter was unlinked from the treap queue.
+            rt::Goroutine* any = nullptr;
+            rtp->forEachGoroutine([&](rt::Goroutine* g) {
+                if (g->status() == rt::GStatus::Waiting)
+                    any = g;
+            });
+            EXPECT_EQ(any, nullptr);
+            co_return;
+        },
+        &rt);
+}
+
+// ------------------------------------------------------ configuration
+
+TEST(GolfTest, BaselineModeNeverDetects)
+{
+    rt::Config cfg;
+    cfg.gcMode = rt::GcMode::Baseline;
+    Runtime rt(cfg);
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    EXPECT_EQ(rt.collector().reports().total(), 0u);
+    // The leak persists: goroutine still parked, channel still live.
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Waiting), 1u);
+    EXPECT_GE(rt.heap().liveObjects(), 1u);
+}
+
+TEST(GolfTest, DetectEveryNthCycle)
+{
+    rt::Config cfg;
+    cfg.detectEveryN = 3;
+    Runtime rt(cfg);
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            co_await rt::gcNow(); // cycle 1: detection runs
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow(); // cycle 2: skipped
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            co_await rt::gcNow(); // cycle 3: skipped
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            co_await rt::gcNow(); // cycle 4: detection runs
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            co_return;
+        },
+        &rt);
+    const auto& hist = rt.collector().history();
+    ASSERT_GE(hist.size(), 4u);
+    EXPECT_TRUE(hist[0].detectionRan);
+    EXPECT_FALSE(hist[1].detectionRan);
+    EXPECT_FALSE(hist[2].detectionRan);
+    EXPECT_TRUE(hist[3].detectionRan);
+}
+
+TEST(GolfTest, DedupPairsSpawnAndBlockSites)
+{
+    // Many goroutines from the same go statement blocking at the same
+    // operation must deduplicate to one report key (Section 6.1).
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            for (int i = 0; i < 7; ++i)
+                GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt);
+    EXPECT_EQ(rt.collector().reports().total(), 7u);
+    EXPECT_EQ(rt.collector().reports().deduplicated(), 1u);
+}
+
+TEST(GolfTest, PacedCollectionDetectsWithoutForcedGc)
+{
+    // Detection must also fire on allocation-paced GC cycles, not
+    // only on runtime.GC() (the production deployment mode).
+    rt::Config cfg;
+    cfg.heap.minTriggerBytes = 2048;
+    Runtime rt(cfg);
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            // Allocate garbage until pacing triggers a cycle.
+            for (int i = 0; i < 200; ++i) {
+                rtp->make<Channel<int>>(*rtp, 0);
+                co_await rt::yield();
+            }
+            co_return;
+        },
+        &rt);
+    EXPECT_GE(rt.collector().cycles(), 1u);
+    EXPECT_EQ(rt.collector().reports().total(), 1u);
+}
+
+} // namespace
+} // namespace golf

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for liveness hints (paper Section 8 future work): with a
+ * static-analysis hint that a global or a runaway-live goroutine is
+ * inert, GOLF detects the Listing 4 / Listing 5 false negatives —
+ * while the hinted memory itself is still retained, and wrong-free
+ * behaviour (no hints) is unchanged.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+Go
+blockedSender(Channel<int>* ch)
+{
+    co_await chan::send(ch, 1);
+    co_return;
+}
+
+TEST(HintsTest, InertGlobalDefeatsListing4FalseNegative)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::GlobalRoot<Channel<int>> ch(rtp->heap(),
+                                            makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, blockedSender, ch.get());
+            co_await rt::sleepFor(kMillisecond);
+
+            // Without the hint: invisible (Listing 4).
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+
+            // A static analysis proves the global is never used
+            // again; with the hint the deadlock surfaces.
+            rtp->collector().hintInertGlobal(ch.get());
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            // The hinted global itself survives (memory retained).
+            EXPECT_TRUE(rtp->heap().owns(ch.get()));
+            co_return;
+        },
+        &rt);
+}
+
+struct Dispatcher : gc::Object
+{
+    Channel<Unit>* ch = nullptr;
+    int ticks = 0;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(ch);
+    }
+};
+
+Go
+heartbeat(Dispatcher* d)
+{
+    for (;;) {
+        co_await rt::sleepFor(support::kSecond);
+        ++d->ticks;
+    }
+    co_return;
+}
+
+Go
+doomedSender(Dispatcher* d)
+{
+    co_await chan::send(d->ch, Unit{});
+    co_return;
+}
+
+TEST(HintsTest, InertGoroutineDefeatsListing5FalseNegative)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            Dispatcher* d = rtp->make<Dispatcher>();
+            d->ch = makeChan<Unit>(*rtp, 0);
+            rt::Goroutine* hb = GOLF_GO(*rtp, heartbeat, d);
+            GOLF_GO(*rtp, doomedSender, d);
+            co_await rt::sleepFor(5 * kMillisecond);
+
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+
+            // Hint: the heartbeat only touches d.ticks, never d.ch.
+            rtp->collector().hintInertGoroutine(hb);
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            // The heartbeat and its dispatcher remain alive.
+            EXPECT_TRUE(rtp->heap().owns(d));
+            EXPECT_NE(hb->status(), rt::GStatus::Idle);
+            co_return;
+        },
+        &rt);
+}
+
+TEST(HintsTest, HintedRecoveryReclaimsOnlyTheDeadlocked)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            Dispatcher* d = rtp->make<Dispatcher>();
+            d->ch = makeChan<Unit>(*rtp, 0);
+            rt::Goroutine* hb = GOLF_GO(*rtp, heartbeat, d);
+            GOLF_GO(*rtp, doomedSender, d);
+            co_await rt::sleepFor(5 * kMillisecond);
+            rtp->collector().hintInertGoroutine(hb);
+            co_await rt::gcNow(); // detect
+            co_await rt::gcNow(); // reclaim the sender
+            // No blocked candidate remains (the heartbeat still
+            // counts as Waiting — it is sleeping, not blocked).
+            EXPECT_EQ(rtp->blockedCandidates().size(), 0u);
+            // Heartbeat still running, dispatcher intact.
+            EXPECT_TRUE(rtp->heap().owns(d));
+            int before = d->ticks;
+            co_await rt::sleepFor(3 * support::kSecond);
+            EXPECT_GT(d->ticks, before);
+            co_return;
+        },
+        &rt);
+    EXPECT_EQ(rt.collector().reports().total(), 1u);
+}
+
+TEST(HintsTest, HintsDoNotAffectHealthyPrograms)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::GlobalRoot<Channel<int>> ch(rtp->heap(),
+                                            makeChan<int>(*rtp, 2));
+            // Hinting a global that is genuinely unused for
+            // unblocking: buffered sends complete immediately, so no
+            // goroutine depends on the global's reachability.
+            rtp->collector().hintInertGlobal(ch.get());
+            co_await chan::send(ch.get(), 1);
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            EXPECT_TRUE(rtp->heap().owns(ch.get()));
+            EXPECT_EQ(ch->size(), 1u); // buffered value retained
+            co_return;
+        },
+        &rt);
+}
+
+TEST(HintsTest, StaleGoroutineHintExpiresWithReuse)
+{
+    // Hints key on goroutine ids; a recycled Goroutine object gets a
+    // fresh id, so an old hint must not leak onto it.
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            rt::Goroutine* g = GOLF_GO(*rtp, +[]() -> Go {
+                co_return;
+            });
+            rtp->collector().hintInertGoroutine(g);
+            co_await rt::yield();
+            co_await rt::yield(); // g finished, pooled
+
+            // Reuse the pooled object as a live holder goroutine.
+            gc::Local<Channel<int>> keep(makeChan<int>(*rtp, 0));
+            rt::Goroutine* g2 =
+                GOLF_GO(*rtp, blockedSender, keep.get());
+            EXPECT_EQ(g, g2); // pooled object reused
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            // keep is held by main: the sender is live, not flagged
+            // (a stale hint would have hidden main's... no — a stale
+            // hint on g2 would exclude g2's stack, but g2 is blocked
+            // and keep is rooted by main; the real check: g2 must
+            // not be excluded from candidate handling).
+            EXPECT_EQ(rtp->collector().reports().total(), 0u);
+            co_await chan::recv(keep.get());
+            co_return;
+        },
+        &rt);
+}
+
+} // namespace
+} // namespace golf

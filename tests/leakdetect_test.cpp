@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the comparison baselines: GOLEAK (test-end lingering
+ * goroutine inspection) and LeakProf (blocked-concentration
+ * profiling), including LeakProf's by-design false positives and
+ * false negatives, which GOLF avoids.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "leakdetect/goleak.hpp"
+#include "leakdetect/leakprof.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+Go
+stuckReceiver(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+TEST(GoLeakTest, CleanRunReportsNothing)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+        GOLF_GO(*rtp, stuckReceiver, ch.get());
+        co_await rt::sleepFor(kMillisecond);
+        co_await chan::send(ch.get(), 1);
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt);
+    EXPECT_EQ(leakdetect::findLeaks(rt).total(), 0u);
+}
+
+TEST(GoLeakTest, FindsLingeringGoroutines)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 3; ++i)
+            GOLF_GO(*rtp, stuckReceiver, makeChan<int>(*rtp, 0));
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt);
+    auto leaks = leakdetect::findLeaks(rt);
+    EXPECT_EQ(leaks.total(), 3u);
+    EXPECT_EQ(leaks.dedupCounts().size(), 1u); // same (spawn, block)
+    for (const auto& l : leaks.leaks)
+        EXPECT_EQ(l.reason, rt::WaitReason::ChanRecv);
+}
+
+TEST(GoLeakTest, ExcludesSleepAndIoBlockedGoroutines)
+{
+    // The paper's fairness filter: IO waits and runaway-live
+    // goroutines are not counted in the comparison.
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go {
+            co_await rt::sleepFor(3600 * support::kSecond);
+            co_return;
+        });
+        GOLF_GO(*rtp, +[]() -> Go {
+            co_await rt::ioWait(3600 * support::kSecond);
+            co_return;
+        });
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt);
+    EXPECT_EQ(leakdetect::findLeaks(rt).total(), 0u);
+}
+
+TEST(GoLeakTest, SeesEverythingGolfSees)
+{
+    // All GOLF detections are a subset of GOLEAK's by design: a
+    // goroutine GOLF flagged (Deadlocked / PendingReclaim) is still
+    // lingering when GOLEAK scans.
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::ReportOnly;
+    Runtime rt(cfg);
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, stuckReceiver, makeChan<int>(*rtp, 0));
+        GOLF_GO(*rtp, stuckReceiver, makeChan<int>(*rtp, 0));
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+    size_t golfFound = rt.collector().reports().total();
+    auto leaks = leakdetect::findLeaks(rt);
+    EXPECT_EQ(golfFound, 2u);
+    EXPECT_GE(leaks.total(), golfFound);
+}
+
+// --------------------------------------------------------- LeakProf
+
+TEST(LeakProfTest, FlagsHighConcentrationSites)
+{
+    Runtime rt;
+    leakdetect::LeakProf prof(5);
+    rt.runMain(+[](Runtime* rtp, leakdetect::LeakProf* p) -> Go {
+        for (int i = 0; i < 8; ++i)
+            GOLF_GO(*rtp, stuckReceiver, makeChan<int>(*rtp, 0));
+        co_await rt::sleepFor(kMillisecond);
+        p->sample(*rtp);
+        co_return;
+    }, &rt, &prof);
+    ASSERT_EQ(prof.suspects().size(), 1u);
+    EXPECT_EQ(prof.suspects()[0].blockedCount, 8u);
+}
+
+TEST(LeakProfTest, FalseNegativeBelowThreshold)
+{
+    // A slow leak never crosses the threshold: LeakProf misses what
+    // GOLF reports exactly.
+    Runtime rt;
+    leakdetect::LeakProf prof(5);
+    rt.runMain(+[](Runtime* rtp, leakdetect::LeakProf* p) -> Go {
+        GOLF_GO(*rtp, stuckReceiver, makeChan<int>(*rtp, 0));
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        p->sample(*rtp);
+        co_return;
+    }, &rt, &prof);
+    EXPECT_TRUE(prof.suspects().empty());           // LeakProf: miss
+    EXPECT_EQ(rt.collector().reports().total(), 1u); // GOLF: hit
+}
+
+TEST(LeakProfTest, FalsePositiveOnHealthyCongestion)
+{
+    // Many goroutines legitimately parked at one operation trip the
+    // threshold even though all of them are live; GOLF stays silent.
+    Runtime rt;
+    leakdetect::LeakProf prof(5);
+    rt.runMain(+[](Runtime* rtp, leakdetect::LeakProf* p) -> Go {
+        gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+        for (int i = 0; i < 10; ++i)
+            GOLF_GO(*rtp, stuckReceiver, ch.get());
+        co_await rt::sleepFor(kMillisecond);
+        p->sample(*rtp);
+        co_await rt::gcNow();
+        EXPECT_EQ(rtp->collector().reports().total(), 0u);
+        for (int i = 0; i < 10; ++i)
+            co_await chan::send(ch.get(), i);
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt, &prof);
+    EXPECT_EQ(prof.suspects().size(), 1u); // LeakProf cried wolf
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Waiting), 0u);
+}
+
+TEST(LeakProfTest, EverFlaggedAccumulatesAcrossSamples)
+{
+    Runtime rt;
+    leakdetect::LeakProf prof(2);
+    rt.runMain(+[](Runtime* rtp, leakdetect::LeakProf* p) -> Go {
+        gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+        for (int i = 0; i < 3; ++i)
+            GOLF_GO(*rtp, stuckReceiver, ch.get());
+        co_await rt::sleepFor(kMillisecond);
+        p->sample(*rtp);
+        for (int i = 0; i < 3; ++i)
+            co_await chan::send(ch.get(), i);
+        co_await rt::sleepFor(kMillisecond);
+        p->sample(*rtp); // congestion resolved
+        co_return;
+    }, &rt, &prof);
+    EXPECT_EQ(prof.samplesTaken(), 2u);
+    EXPECT_TRUE(prof.suspects().empty());
+    EXPECT_EQ(prof.everFlagged().size(), 1u);
+}
+
+} // namespace
+} // namespace golf

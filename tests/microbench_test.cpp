@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Corpus validation: the registry must match the paper's counts (73
+ * deadlocking microbenchmarks, 121 leaky go instructions, 8 from the
+ * CGO'24 suite and 113 from goker, 32 fixed variants = 105 programs),
+ * deterministic benchmarks must detect at every site in every run,
+ * and fixed variants must never trigger a report.
+ */
+#include <gtest/gtest.h>
+
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+
+namespace golf::microbench {
+namespace {
+
+TEST(CorpusTest, PaperCounts)
+{
+    Registry& reg = Registry::instance();
+    EXPECT_EQ(reg.deadlocking().size(), 73u);
+    EXPECT_EQ(reg.totalLeakSites(), 121u);
+    EXPECT_EQ(reg.corrects().size(), 32u);
+    EXPECT_EQ(reg.all().size(), 105u);
+
+    size_t cgoPatterns = 0, cgoSites = 0;
+    size_t gokerPatterns = 0, gokerSites = 0;
+    for (const Pattern* p : reg.deadlocking()) {
+        if (p->suite == "cgo-examples") {
+            ++cgoPatterns;
+            cgoSites += p->leakSites.size();
+        } else if (p->suite == "goker") {
+            ++gokerPatterns;
+            gokerSites += p->leakSites.size();
+        } else {
+            ADD_FAILURE() << "unknown suite " << p->suite;
+        }
+    }
+    EXPECT_EQ(cgoPatterns, 6u);
+    EXPECT_EQ(cgoSites, 8u);    // Saioc et al.: 8 go instructions
+    EXPECT_EQ(gokerPatterns, 67u);
+    EXPECT_EQ(gokerSites, 113u); // Yuan et al.: 113 go instructions
+}
+
+TEST(CorpusTest, SiteLabelsAreUniqueAndWellFormed)
+{
+    Registry& reg = Registry::instance();
+    std::set<std::string> seen;
+    for (const Pattern* p : reg.deadlocking()) {
+        EXPECT_FALSE(p->leakSites.empty())
+            << p->name << " declares no leaky sites";
+        for (const std::string& s : p->leakSites) {
+            EXPECT_TRUE(seen.insert(s).second)
+                << "duplicate site label " << s;
+            EXPECT_NE(s.find(':'), std::string::npos) << s;
+            EXPECT_EQ(s.rfind(p->name + ":", 0), 0u)
+                << "site " << s << " not under " << p->name;
+        }
+    }
+}
+
+TEST(CorpusTest, CorrectVariantsShadowDeadlockingOnes)
+{
+    Registry& reg = Registry::instance();
+    for (const Pattern* p : reg.corrects()) {
+        EXPECT_NE(reg.find(p->name), nullptr)
+            << "correct variant " << p->name
+            << " has no deadlocking base";
+        EXPECT_TRUE(p->leakSites.empty());
+    }
+}
+
+class DeterministicPatternTest
+    : public ::testing::TestWithParam<const Pattern*>
+{};
+
+TEST_P(DeterministicPatternTest, DetectsAllSitesInOneRun)
+{
+    const Pattern* p = GetParam();
+    HarnessConfig cfg;
+    cfg.procs = 1;
+    cfg.seed = 12345;
+    RunOutcome out = runPatternOnce(*p, cfg);
+    EXPECT_FALSE(out.runtimeFailure)
+        << p->name << ": " << out.failureMessage;
+    for (const std::string& site : p->leakSites) {
+        EXPECT_GT(out.detectedPerLabel[site], 0)
+            << p->name << " site " << site << " undetected";
+    }
+    EXPECT_EQ(out.unexpectedReports, 0u) << p->name;
+}
+
+std::vector<const Pattern*>
+deterministicPatterns()
+{
+    std::vector<const Pattern*> out;
+    for (const Pattern* p : Registry::instance().deadlocking()) {
+        if (p->flakiness == 1)
+            out.push_back(p);
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DeterministicPatternTest,
+    ::testing::ValuesIn(deterministicPatterns()),
+    [](const auto& info) {
+        std::string n = info.param->name;
+        for (char& c : n) {
+            if (c == '/' || c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+class CorrectPatternTest
+    : public ::testing::TestWithParam<const Pattern*>
+{};
+
+TEST_P(CorrectPatternTest, NeverReports)
+{
+    const Pattern* p = GetParam();
+    HarnessConfig cfg;
+    cfg.procs = 2;
+    cfg.seed = 777;
+    RunOutcome out = runPatternOnce(*p, cfg);
+    EXPECT_FALSE(out.runtimeFailure)
+        << p->name << ": " << out.failureMessage;
+    EXPECT_EQ(out.individualReports, 0u) << p->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorrectPatternTest,
+    ::testing::ValuesIn(Registry::instance().corrects()),
+    [](const auto& info) {
+        std::string n = info.param->name;
+        for (char& c : n) {
+            if (c == '/' || c == '-')
+                c = '_';
+        }
+        return n + "_fixed";
+    });
+
+class FlakyPatternTest : public ::testing::TestWithParam<const Pattern*>
+{};
+
+TEST_P(FlakyPatternTest, RunsWithoutCrashAcrossCores)
+{
+    const Pattern* p = GetParam();
+    for (int procs : {1, 2, 4, 10}) {
+        HarnessConfig cfg;
+        cfg.procs = procs;
+        cfg.seed = 4242 + static_cast<uint64_t>(procs);
+        RunOutcome out = runPatternOnce(*p, cfg);
+        EXPECT_FALSE(out.runtimeFailure)
+            << p->name << " procs=" << procs << ": "
+            << out.failureMessage;
+        EXPECT_EQ(out.unexpectedReports, 0u)
+            << p->name << " procs=" << procs;
+    }
+}
+
+std::vector<const Pattern*>
+flakyPatterns()
+{
+    std::vector<const Pattern*> out;
+    for (const Pattern* p : Registry::instance().deadlocking()) {
+        if (p->flakiness > 1)
+            out.push_back(p);
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FlakyPatternTest, ::testing::ValuesIn(flakyPatterns()),
+    [](const auto& info) {
+        std::string n = info.param->name;
+        for (char& c : n) {
+            if (c == '/' || c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(HarnessTest, ExactLeakCountsPerProgram)
+{
+    // The artifact's `// deadlocks: n` annotations with exact
+    // constants: for deterministic programs the number of individual
+    // reports per instance is fixed.
+    struct Expect
+    {
+        const char* name;
+        size_t perInstance;
+    };
+    const Expect cases[] = {
+        {"cgo/ex1", 1},        // the forgotten async task
+        {"cgo/ex3", 3},        // 4 repliers, first-response-wins
+        {"cgo/ex5", 2},        // both range drainers
+        {"cockroach/1055", 3}, // all three task workers
+        {"etcd/10492", 2},
+        {"kubernetes/30872", 3},
+        {"moby/7559", 1},      // nil-channel receive
+    };
+    for (const auto& c : cases) {
+        const Pattern* p = Registry::instance().find(c.name);
+        ASSERT_NE(p, nullptr) << c.name;
+        ASSERT_EQ(p->flakiness, 1) << c.name;
+        HarnessConfig cfg;
+        cfg.procs = 1;
+        cfg.seed = 23;
+        RunOutcome out = runPatternOnce(*p, cfg);
+        // flakiness 1 => exactly one instance per run.
+        EXPECT_EQ(out.individualReports, c.perInstance) << c.name;
+    }
+}
+
+TEST(HarnessTest, InstancesScaleWithFlakiness)
+{
+    EXPECT_EQ(instancesForFlakiness(1, 24), 1);
+    EXPECT_EQ(instancesForFlakiness(10, 24), 2);
+    EXPECT_EQ(instancesForFlakiness(100, 24), 4);
+    EXPECT_EQ(instancesForFlakiness(1000, 24), 8);
+    EXPECT_EQ(instancesForFlakiness(10000, 24), 16);
+    EXPECT_EQ(instancesForFlakiness(10000, 8), 8); // clamped
+}
+
+TEST(HarnessTest, RepeatedRunsCountPerSiteDetections)
+{
+    const Pattern* p = Registry::instance().find("cgo/ex1");
+    ASSERT_NE(p, nullptr);
+    HarnessConfig cfg;
+    cfg.procs = 2;
+    cfg.seed = 9;
+    auto sites = runPatternRepeated(*p, cfg, 5);
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].totalRuns, 5);
+    EXPECT_EQ(sites[0].detectedRuns, 5); // deterministic bug
+}
+
+} // namespace
+} // namespace golf::microbench

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * sync.Pool / sync.Once tests: Go's two-cycle pooled-object
+ * lifetime (primary -> victim -> swept), New fallback, reuse before
+ * collection, pool-object teardown, and once-exactly semantics with
+ * suspending initializers.
+ */
+#include <gtest/gtest.h>
+
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/pool.hpp"
+
+namespace golf {
+namespace {
+
+using rt::Go;
+using rt::Runtime;
+
+struct Buf : gc::Object
+{
+    int tag = 0;
+    const char* objectName() const override { return "buf"; }
+};
+
+TEST(PoolTest, GetReturnsPutObject)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<sync::Pool<Buf>> pool(
+            rtp->make<sync::Pool<Buf>>(*rtp));
+        Buf* b = rtp->make<Buf>();
+        b->tag = 42;
+        pool->put(b);
+        EXPECT_EQ(pool->get(), b);
+        EXPECT_EQ(pool->get(), nullptr); // empty, no New
+        co_return;
+    }, &rt);
+}
+
+TEST(PoolTest, NewFallback)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<sync::Pool<Buf>> pool(rtp->make<sync::Pool<Buf>>(
+            *rtp, [rtp] { return rtp->make<Buf>(); }));
+        Buf* b = pool->get();
+        EXPECT_NE(b, nullptr);
+        if (!b) co_return;
+        EXPECT_TRUE(rtp->heap().owns(b));
+        co_return;
+    }, &rt);
+}
+
+TEST(PoolTest, PooledObjectSurvivesOneCycleThenIsSwept)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<sync::Pool<Buf>> pool(
+            rtp->make<sync::Pool<Buf>>(*rtp));
+        Buf* b = rtp->make<Buf>();
+        pool->put(b);
+        size_t withBuf = rtp->heap().liveObjects();
+
+        // Cycle 1: primary -> victim; still reachable via the pool.
+        co_await rt::gcNow();
+        EXPECT_EQ(pool->primarySize(), 0u);
+        EXPECT_EQ(pool->victimSize(), 1u);
+        EXPECT_EQ(rtp->heap().liveObjects(), withBuf);
+
+        // Cycle 2: victim dropped before marking -> swept.
+        co_await rt::gcNow();
+        EXPECT_EQ(pool->victimSize(), 0u);
+        EXPECT_EQ(rtp->heap().liveObjects(), withBuf - 1);
+        co_return;
+    }, &rt);
+}
+
+TEST(PoolTest, GetRecoversFromVictimCache)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        gc::Local<sync::Pool<Buf>> pool(
+            rtp->make<sync::Pool<Buf>>(*rtp));
+        Buf* b = rtp->make<Buf>();
+        b->tag = 7;
+        pool->put(b);
+        co_await rt::gcNow(); // demoted to victim
+        Buf* back = pool->get();
+        EXPECT_EQ(back, b);
+        EXPECT_EQ(back->tag, 7);
+        co_return;
+    }, &rt);
+}
+
+TEST(PoolTest, CollectedPoolDeregistersItself)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        {
+            gc::Local<sync::Pool<Buf>> pool(
+                rtp->make<sync::Pool<Buf>>(*rtp));
+            pool->put(rtp->make<Buf>());
+        }
+        // The pool is garbage now; collecting it must not leave a
+        // dangling cleanup registration behind (the next cycles
+        // would crash otherwise).
+        co_await rt::gcNow();
+        co_await rt::gcNow();
+        co_await rt::gcNow();
+        EXPECT_EQ(rtp->heap().liveObjects(), 0u);
+        co_return;
+    }, &rt);
+}
+
+TEST(PoolTest, PoolAliveAtRuntimeTeardownIsSafe)
+{
+    // No GC runs after main returns, so the pool object survives
+    // into ~Runtime, where the heap (destroyed last) deletes it.
+    // Its destructor must not touch the already-dead registry —
+    // ASan builds verify the absence of UB here.
+    {
+        Runtime rt;
+        rt.runMain(+[](Runtime* rtp) -> Go {
+            auto* pool = rtp->make<sync::Pool<Buf>>(*rtp);
+            pool->put(rtp->make<Buf>());
+            co_return;
+        }, &rt);
+    }
+    SUCCEED();
+}
+
+TEST(OnceTest, RunsExactlyOnceAcrossConcurrentCallers)
+{
+    Runtime rt;
+    int runs = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* runsp) -> Go {
+            gc::Local<sync::Once> once(rtp->make<sync::Once>(*rtp));
+            auto init = [runsp]() -> rt::Task<void> {
+                co_await rt::sleepFor(support::kMillisecond);
+                ++*runsp;
+                co_return;
+            };
+            for (int i = 0; i < 5; ++i) {
+                GOLF_GO(*rtp, +[](sync::Once* o, int* r) -> Go {
+                    co_await o->doOnce([r]() -> rt::Task<void> {
+                        co_await rt::sleepFor(support::kMillisecond);
+                        ++*r;
+                        co_return;
+                    });
+                    co_return;
+                }, once.get(), runsp);
+            }
+            co_await rt::sleepFor(10 * support::kMillisecond);
+            EXPECT_TRUE(once->done());
+            (void)init;
+            co_return;
+        },
+        &rt, &runs);
+    EXPECT_EQ(runs, 1);
+}
+
+} // namespace
+} // namespace golf

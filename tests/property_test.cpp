@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Property tests for the paper's soundness theorem (Section 4.3):
+ * LIVE(g) implies LIVE+(g) — a goroutine that can make progress must
+ * never be reported as deadlocked, because a false positive would let
+ * the runtime reclaim live memory.
+ *
+ * We generate randomized *completable* programs (every goroutine is
+ * guaranteed to finish: matched sends/receives, closed pipelines,
+ * balanced waitgroups, released mutexes) under aggressive GC pacing
+ * and assert: zero reports, no crashes, main completes, and the heap
+ * is empty afterwards. Parameterized over seeds and virtual core
+ * counts (TEST_P) to sweep schedules.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/mutex.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using rt::RunResult;
+using support::kMillisecond;
+
+// ------------------------------------------------ program fragments
+// Each fragment is a self-contained completable concurrency idiom.
+
+Go
+producer(Channel<int>* ch, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await chan::send(ch, i);
+    chan::close(ch);
+    co_return;
+}
+
+Go
+forwarder(Channel<int>* in, Channel<int>* out)
+{
+    while (true) {
+        auto r = co_await chan::recv(in);
+        if (!r.ok)
+            break;
+        co_await chan::send(out, r.value);
+    }
+    chan::close(out);
+    co_return;
+}
+
+Go
+consumer(Channel<int>* ch, sync::WaitGroup* wg)
+{
+    while (true) {
+        auto r = co_await chan::recv(ch);
+        if (!r.ok)
+            break;
+    }
+    wg->done();
+    co_return;
+}
+
+/** A pipeline: producer -> links forwarders -> consumer. */
+rt::Task<void>
+buildPipeline(Runtime* rt, sync::WaitGroup* wg, int links, int items,
+              size_t cap)
+{
+    gc::Local<Channel<int>> first(makeChan<int>(*rt, cap));
+    GOLF_GO(*rt, producer, first.get(), items);
+    Channel<int>* prev = first.get();
+    gc::Local<Channel<int>> keep;
+    for (int i = 0; i < links; ++i) {
+        auto* next = makeChan<int>(*rt, cap);
+        keep = next;
+        GOLF_GO(*rt, forwarder, prev, next);
+        prev = next;
+    }
+    wg->add(1);
+    GOLF_GO(*rt, consumer, prev, wg);
+    co_return;
+}
+
+Go
+lockWorker(sync::Mutex* mu, int* shared, sync::WaitGroup* wg)
+{
+    co_await mu->lock();
+    ++*shared;
+    co_await rt::yield();
+    mu->unlock();
+    wg->done();
+    co_return;
+}
+
+/** Mutex contention: Listing 2's worker pool. */
+rt::Task<void>
+buildLockGroup(Runtime* rt, sync::WaitGroup* wg, int workers,
+               int* shared)
+{
+    gc::Local<sync::Mutex> mu(rt->make<sync::Mutex>(*rt));
+    for (int i = 0; i < workers; ++i) {
+        wg->add(1);
+        GOLF_GO(*rt, lockWorker, mu.get(), shared, wg);
+    }
+    co_return;
+}
+
+Go
+selectConsumer(Channel<int>* a, Channel<int>* b, sync::WaitGroup* wg)
+{
+    bool aOpen = true, bOpen = true;
+    while (aOpen || bOpen) {
+        int v = 0;
+        bool ok = false;
+        // Go idiom: nil out closed channels so their case never fires.
+        int idx = co_await chan::select(
+            chan::recvCase(aOpen ? a : nullptr, &v, &ok),
+            chan::recvCase(bOpen ? b : nullptr, &v, &ok));
+        if (idx == 0 && !ok)
+            aOpen = false;
+        if (idx == 1 && !ok)
+            bOpen = false;
+    }
+    wg->done();
+    co_return;
+}
+
+/** Fan-in through a select over two producer channels. */
+rt::Task<void>
+buildSelectFanIn(Runtime* rt, sync::WaitGroup* wg, int items)
+{
+    gc::Local<Channel<int>> a(makeChan<int>(*rt, 1));
+    gc::Local<Channel<int>> b(makeChan<int>(*rt, 0));
+    GOLF_GO(*rt, producer, a.get(), items);
+    GOLF_GO(*rt, producer, b.get(), items);
+    wg->add(1);
+    GOLF_GO(*rt, selectConsumer, a.get(), b.get(), wg);
+    co_return;
+}
+
+Go
+pingPong(Channel<int>* ping, Channel<int>* pong, int rounds,
+         sync::WaitGroup* wg)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await chan::send(ping, i);
+        co_await chan::recv(pong);
+    }
+    wg->done();
+    co_return;
+}
+
+Go
+pongPing(Channel<int>* ping, Channel<int>* pong, int rounds,
+         sync::WaitGroup* wg)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await chan::recv(ping);
+        co_await chan::send(pong, i);
+    }
+    wg->done();
+    co_return;
+}
+
+/** Two goroutines in strict rendezvous lockstep. */
+rt::Task<void>
+buildPingPong(Runtime* rt, sync::WaitGroup* wg, int rounds)
+{
+    gc::Local<Channel<int>> ping(makeChan<int>(*rt, 0));
+    gc::Local<Channel<int>> pong(makeChan<int>(*rt, 0));
+    wg->add(2);
+    GOLF_GO(*rt, pingPong, ping.get(), pong.get(), rounds, wg);
+    GOLF_GO(*rt, pongPing, ping.get(), pong.get(), rounds, wg);
+    co_return;
+}
+
+// ------------------------------------------------------ the program
+
+struct ProgramParams
+{
+    uint64_t seed;
+    int procs;
+};
+
+Go
+randomProgram(Runtime* rtp, uint64_t seed, int* sharedCounter)
+{
+    support::Rng rng(seed);
+    gc::Local<sync::WaitGroup> wg(rtp->make<sync::WaitGroup>(*rtp));
+    int fragments = 3 + static_cast<int>(rng.nextBelow(5));
+    for (int i = 0; i < fragments; ++i) {
+        switch (rng.nextBelow(4)) {
+          case 0:
+            co_await buildPipeline(
+                rtp, wg.get(), 1 + static_cast<int>(rng.nextBelow(4)),
+                1 + static_cast<int>(rng.nextBelow(12)),
+                rng.nextBelow(3));
+            break;
+          case 1:
+            co_await buildLockGroup(
+                rtp, wg.get(),
+                2 + static_cast<int>(rng.nextBelow(6)), sharedCounter);
+            break;
+          case 2:
+            co_await buildSelectFanIn(
+                rtp, wg.get(),
+                1 + static_cast<int>(rng.nextBelow(8)));
+            break;
+          default:
+            co_await buildPingPong(
+                rtp, wg.get(),
+                1 + static_cast<int>(rng.nextBelow(6)));
+            break;
+        }
+        if (rng.chance(0.3))
+            co_await rt::gcNow();
+    }
+    co_await wg->wait();
+    co_await rt::gcNow();
+    co_return;
+}
+
+class SoundnessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(SoundnessTest, CompletableProgramsAreNeverFlagged)
+{
+    auto [seedBase, procs] = GetParam();
+    rt::Config cfg;
+    cfg.procs = procs;
+    cfg.seed = static_cast<uint64_t>(seedBase) * 7919 + 13;
+    cfg.heap.minTriggerBytes = 512; // collect constantly
+    Runtime rt(cfg);
+
+    int shared = 0;
+    RunResult r = rt.runMain(randomProgram, &rt, cfg.seed ^ 0xF00D,
+                             &shared);
+
+    // Soundness: the program completes and GOLF never cried wolf.
+    EXPECT_TRUE(r.ok()) << "panic: " << r.panicMessage
+                        << " globalDeadlock: " << r.globalDeadlock;
+    EXPECT_EQ(rt.collector().reports().total(), 0u);
+    EXPECT_GE(rt.collector().cycles(), 1u);
+    // Everything the program allocated became unreachable and was
+    // (or will be) collected: no goroutine is left behind.
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Waiting), 0u);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Deadlocked), 0u);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::PendingReclaim), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCores, SoundnessTest,
+    ::testing::Combine(::testing::Range(1, 13),
+                       ::testing::Values(1, 2, 4, 10)),
+    [](const auto& info) {
+        return "seed" + std::to_string(std::get<0>(info.param)) +
+               "_procs" + std::to_string(std::get<1>(info.param));
+    });
+
+// A second property: reclaim mode on genuinely-deadlocked programs
+// always reclaims everything and never touches live state.
+class ReclaimPropertyTest : public ::testing::TestWithParam<int>
+{};
+
+Go
+mixedProgram(Runtime* rtp, uint64_t seed)
+{
+    support::Rng rng(seed);
+    // Live survivors channel, held by main throughout. Capacity
+    // exceeds the sender count so a live send never blocks.
+    gc::Local<Channel<int>> keep(makeChan<int>(*rtp, 16));
+    int leaked = 0;
+    for (int i = 0; i < 12; ++i) {
+        if (rng.chance(0.5)) {
+            // Leak: orphaned receiver on a dropped channel.
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                co_await chan::recv(c);
+                co_return;
+            }, makeChan<int>(*rtp, 0));
+            ++leaked;
+        } else {
+            // Live: sender into the kept buffered channel.
+            GOLF_GO(*rtp, +[](Channel<int>* c, int v) -> Go {
+                co_await chan::send(c, v);
+                co_return;
+            }, keep.get(), i);
+        }
+    }
+    co_await rt::sleepFor(2 * kMillisecond);
+    co_await rt::gcNow(); // detect
+    co_await rt::gcNow(); // reclaim
+    EXPECT_EQ(rtp->collector().reports().total(),
+              static_cast<size_t>(leaked));
+    EXPECT_EQ(rtp->countByStatus(rt::GStatus::Waiting), 0u);
+    // Drain the live senders' values: all must have arrived.
+    co_return;
+}
+
+TEST_P(ReclaimPropertyTest, ReclaimsExactlyTheLeaks)
+{
+    rt::Config cfg;
+    cfg.seed = static_cast<uint64_t>(GetParam());
+    cfg.procs = 1 + GetParam() % 4;
+    Runtime rt(cfg);
+    RunResult r = rt.runMain(mixedProgram, &rt, cfg.seed * 31 + 7);
+    EXPECT_TRUE(r.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReclaimPropertyTest,
+                         ::testing::Range(1, 17));
+
+} // namespace
+} // namespace golf

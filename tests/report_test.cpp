@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Report plumbing tests: the "partial deadlock!" message format,
+ * dedup keys, the live sink (RQ1(c)'s logging-infrastructure hook),
+ * and JSON emission.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+detect::DeadlockReport
+sampleReport()
+{
+    detect::DeadlockReport r;
+    r.goroutineId = 12;
+    r.reason = rt::WaitReason::ChanSend;
+    r.spawnSite = rt::Site{"svc.go", 104, "SendEmail"};
+    r.blockSite = rt::Site{"svc.go", 105, "func1"};
+    r.stackBytes = 256;
+    r.gcCycle = 3;
+    r.vtime = 5000;
+    return r;
+}
+
+TEST(ReportTest, MessageFormat)
+{
+    std::string msg = sampleReport().str();
+    EXPECT_NE(msg.find("partial deadlock!"), std::string::npos);
+    EXPECT_NE(msg.find("goroutine 12"), std::string::npos);
+    EXPECT_NE(msg.find("chan send"), std::string::npos);
+    EXPECT_NE(msg.find("Stack size 256"), std::string::npos);
+    EXPECT_NE(msg.find("svc.go:104"), std::string::npos);
+    EXPECT_NE(msg.find("svc.go:105"), std::string::npos);
+}
+
+TEST(ReportTest, DedupKeyPairsSpawnAndBlock)
+{
+    EXPECT_EQ(sampleReport().dedupKey(), "svc.go:104|svc.go:105");
+}
+
+TEST(ReportTest, JsonFields)
+{
+    std::string j = sampleReport().json();
+    EXPECT_NE(j.find("\"goroutine\":12"), std::string::npos);
+    EXPECT_NE(j.find("\"reason\":\"chan send\""), std::string::npos);
+    EXPECT_NE(j.find("\"spawn\":\"svc.go:104\""), std::string::npos);
+    EXPECT_NE(j.find("\"stack_bytes\":256"), std::string::npos);
+    EXPECT_NE(j.find("\"gc_cycle\":3"), std::string::npos);
+}
+
+TEST(ReportTest, SinkFiresPerReportAsTheyHappen)
+{
+    Runtime rt;
+    std::vector<std::string> logged;
+    rt.collector().reports().setSink(
+        [&](const detect::DeadlockReport& r) {
+            logged.push_back(r.json());
+        });
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 3; ++i) {
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                co_await chan::recv(c);
+                co_return;
+            }, makeChan<int>(*rtp, 0));
+        }
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+    EXPECT_EQ(logged.size(), 3u);
+    for (const auto& line : logged)
+        EXPECT_NE(line.find("chan receive"), std::string::npos);
+}
+
+TEST(ReportTest, WriteJsonArray)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 2; ++i) {
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                co_await chan::send(c, 1);
+                co_return;
+            }, makeChan<int>(*rtp, 0));
+        }
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+
+    std::string path = "/tmp/golfcc_reports_test.json";
+    rt.collector().reports().writeJson(path);
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(all.front(), '[');
+    size_t objects = 0;
+    for (size_t pos = 0;
+         (pos = all.find("\"goroutine\"", pos)) != std::string::npos;
+         ++pos)
+        ++objects;
+    EXPECT_EQ(objects, 2u);
+}
+
+} // namespace
+} // namespace golf

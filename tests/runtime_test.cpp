@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Runtime core tests: spawning, scheduling, sleeping, yielding,
+ * nested Task calls, goroutine reuse, panics, global deadlock
+ * detection, frame accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/timeapi.hpp"
+
+namespace golf {
+namespace {
+
+using rt::Config;
+using rt::GStatus;
+using rt::Go;
+using rt::Runtime;
+using rt::RunResult;
+using support::kMillisecond;
+using support::kSecond;
+
+int gCounter = 0;
+
+Go
+bumpCounter(int amount)
+{
+    gCounter += amount;
+    co_return;
+}
+
+TEST(RuntimeTest, MainRunsToCompletion)
+{
+    gCounter = 0;
+    Runtime rt;
+    RunResult r = rt.runMain(bumpCounter, 5);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.mainCompleted);
+    EXPECT_EQ(gCounter, 5);
+}
+
+Go
+spawnChildren(Runtime* rt, int n)
+{
+    for (int i = 0; i < n; ++i)
+        GOLF_GO(*rt, bumpCounter, 1);
+    // Children are abandoned if main exits immediately; yield until
+    // they have run.
+    for (int i = 0; i < n + 2; ++i)
+        co_await rt::yield();
+    co_return;
+}
+
+TEST(RuntimeTest, SpawnedGoroutinesRun)
+{
+    gCounter = 0;
+    Runtime rt;
+    RunResult r = rt.runMain(spawnChildren, &rt, 10);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(gCounter, 10);
+}
+
+TEST(RuntimeTest, MainExitAbandonsRunnableGoroutines)
+{
+    gCounter = 0;
+    Runtime rt;
+    // Spawn but never yield: children never get a slice.
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            for (int i = 0; i < 3; ++i)
+                GOLF_GO(*rtp, bumpCounter, 1);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(gCounter, 0);
+}
+
+Go
+sleeper(Runtime* rt, int* order, int tag)
+{
+    co_await rt::sleepFor(tag * kMillisecond);
+    *order = *order * 10 + tag;
+    co_return;
+}
+
+TEST(RuntimeTest, SleepWakesInDeadlineOrder)
+{
+    int order = 0;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* orderp) -> Go {
+            GOLF_GO(*rtp, sleeper, rtp, orderp, 3);
+            GOLF_GO(*rtp, sleeper, rtp, orderp, 1);
+            GOLF_GO(*rtp, sleeper, rtp, orderp, 2);
+            co_await rt::sleepFor(10 * kMillisecond);
+            co_return;
+        },
+        &rt, &order);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(order, 123);
+}
+
+TEST(RuntimeTest, VirtualClockAdvancesDuringSleep)
+{
+    Runtime rt;
+    rt.runMain(+[]() -> Go {
+        co_await rt::sleepFor(5 * kSecond);
+        co_return;
+    });
+    EXPECT_GE(rt.clock().now(), 5 * kSecond);
+}
+
+rt::Task<int>
+addAsync(int a, int b)
+{
+    co_await rt::yield();
+    co_return a + b;
+}
+
+rt::Task<int>
+addTwice(int a, int b)
+{
+    int first = co_await addAsync(a, b);
+    int second = co_await addAsync(first, b);
+    co_return second;
+}
+
+TEST(RuntimeTest, NestedTasksReturnValues)
+{
+    int result = 0;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](int* out) -> Go {
+            *out = co_await addTwice(1, 2);
+            co_return;
+        },
+        &result);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(result, 5);
+}
+
+TEST(RuntimeTest, GlobalDeadlockIsFatal)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(+[](Runtime* rtp) -> Go {
+        auto* ch = chan::makeChan<int>(*rtp, 0);
+        co_await chan::recv(ch); // nobody will ever send
+        co_return;
+    }, &rt);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.globalDeadlock);
+    EXPECT_FALSE(r.mainCompleted);
+}
+
+TEST(RuntimeTest, GoroutinePanicStopsRun)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(+[]() -> Go {
+        support::goPanic("boom");
+        co_return;
+    });
+    EXPECT_TRUE(r.panicked);
+    EXPECT_EQ(r.panicMessage, "boom");
+}
+
+TEST(RuntimeTest, GoroutineObjectsAreReused)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            for (int round = 0; round < 5; ++round) {
+                for (int i = 0; i < 4; ++i)
+                    GOLF_GO(*rtp, bumpCounter, 0);
+                for (int i = 0; i < 8; ++i)
+                    co_await rt::yield();
+            }
+            co_return;
+        },
+        &rt);
+    // 5 rounds x 4 goroutines + main ran, but the pool should have
+    // kept the peak allocation near 4-5 Goroutine objects.
+    size_t total = 0;
+    rt.forEachGoroutine([&](rt::Goroutine*) { ++total; });
+    EXPECT_LE(total, 8u);
+}
+
+TEST(RuntimeTest, FreshGoroutineIdsAfterReuse)
+{
+    Runtime rt;
+    std::vector<uint64_t> ids;
+    rt.runMain(
+        +[](Runtime* rtp, std::vector<uint64_t>* idsp) -> Go {
+            for (int round = 0; round < 3; ++round) {
+                rt::Goroutine* g = GOLF_GO(*rtp, bumpCounter, 0);
+                idsp->push_back(g->id());
+                co_await rt::yield();
+                co_await rt::yield();
+            }
+            co_return;
+        },
+        &rt, &ids);
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_NE(ids[0], ids[1]);
+    EXPECT_NE(ids[1], ids[2]);
+}
+
+TEST(RuntimeTest, FrameBytesTracked)
+{
+    Runtime rt;
+    EXPECT_EQ(rt.memStats().stackInuse, 0u);
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        rt::Goroutine* g = GOLF_GO(*rtp, bumpCounter, 1);
+        EXPECT_GT(g->frameBytes(), 0u);
+        EXPECT_GT(rtp->memStats().stackInuse, 0u);
+        co_await rt::yield();
+        co_return;
+    }, &rt);
+    // All frames destroyed after the run.
+    EXPECT_EQ(rt.memStats().stackInuse, 0u);
+}
+
+TEST(RuntimeTest, BusyAdvancesVirtualClock)
+{
+    Runtime rt;
+    rt.runMain(+[]() -> Go {
+        rt::busy(100 * kMillisecond);
+        co_return;
+    });
+    EXPECT_GE(rt.clock().now(), 100 * kMillisecond);
+}
+
+TEST(RuntimeTest, IoWaitIsNotDeadlockCandidate)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go {
+            co_await rt::ioWait(2 * kMillisecond);
+            co_return;
+        });
+        co_await rt::sleepFor(1 * kMillisecond);
+        EXPECT_EQ(rtp->blockedCandidates().size(), 0u);
+        co_await rt::sleepFor(5 * kMillisecond);
+        co_return;
+    }, &rt);
+}
+
+TEST(RuntimeTest, MultipleSequentialRuns)
+{
+    gCounter = 0;
+    Runtime rt;
+    EXPECT_TRUE(rt.runMain(bumpCounter, 1).ok());
+    EXPECT_TRUE(rt.runMain(bumpCounter, 2).ok());
+    EXPECT_EQ(gCounter, 3);
+}
+
+TEST(SchedulerTest, ProcsAffectInterleaving)
+{
+    // The same seeded program produces different completion orders
+    // under different virtual core counts.
+    auto run = [](int procs) {
+        std::vector<int> order;
+        Config cfg;
+        cfg.procs = procs;
+        cfg.seed = 99;
+        Runtime rt(cfg);
+        rt.runMain(
+            +[](Runtime* rtp, std::vector<int>* orderp) -> Go {
+                for (int i = 0; i < 6; ++i) {
+                    GOLF_GO(*rtp, +[](std::vector<int>* op, int tag)
+                        -> Go {
+                        co_await rt::yield();
+                        op->push_back(tag);
+                        co_return;
+                    }, orderp, i);
+                }
+                for (int i = 0; i < 16; ++i)
+                    co_await rt::yield();
+                co_return;
+            },
+            &rt, &order);
+        return order;
+    };
+    auto o1 = run(1);
+    auto o4 = run(4);
+    ASSERT_EQ(o1.size(), 6u);
+    ASSERT_EQ(o4.size(), 6u);
+    EXPECT_NE(o1, o4);
+}
+
+TEST(SchedulerTest, SingleProcSpawnOrderFifo)
+{
+    std::vector<int> order;
+    Config cfg;
+    cfg.procs = 1;
+    Runtime rt(cfg);
+    rt.runMain(
+        +[](Runtime* rtp, std::vector<int>* orderp) -> Go {
+            for (int i = 0; i < 5; ++i) {
+                GOLF_GO(*rtp, +[](std::vector<int>* op, int tag) -> Go {
+                    op->push_back(tag);
+                    co_return;
+                }, orderp, i);
+            }
+            for (int i = 0; i < 8; ++i)
+                co_await rt::yield();
+            co_return;
+        },
+        &rt, &order);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimeApiTest, AfterFires)
+{
+    Runtime rt;
+    bool fired = false;
+    rt.runMain(
+        +[](Runtime* rtp, bool* firedp) -> Go {
+            auto* ch = rt::after(*rtp, 3 * kMillisecond);
+            auto r = co_await chan::recv(ch);
+            *firedp = r.ok;
+            co_return;
+        },
+        &rt, &fired);
+    EXPECT_TRUE(fired);
+    EXPECT_GE(rt.clock().now(), 3 * kMillisecond);
+}
+
+TEST(TimeApiTest, TickerDeliversAndStops)
+{
+    Runtime rt;
+    int ticks = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* ticksp) -> Go {
+            rt::Ticker* t = rt::makeTicker(*rtp, 2 * kMillisecond);
+            for (int i = 0; i < 3; ++i) {
+                co_await chan::recv(t->c());
+                ++*ticksp;
+            }
+            t->stop();
+            co_return;
+        },
+        &rt, &ticks);
+    EXPECT_EQ(ticks, 3);
+}
+
+} // namespace
+} // namespace golf

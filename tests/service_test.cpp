@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Service-simulator tests: the controlled Table 2 service, the
+ * production workload (diurnal traffic, leak endpoints, sampling),
+ * the Figure 1 redeploy stitching, and the Figure 3 corpus
+ * generator's bookkeeping.
+ */
+#include <gtest/gtest.h>
+
+#include "service/corpus.hpp"
+#include "service/metrics.hpp"
+#include "service/service.hpp"
+#include "service/workload.hpp"
+
+namespace golf::service {
+namespace {
+
+using support::kHour;
+using support::kSecond;
+
+ServiceConfig
+smallService()
+{
+    ServiceConfig cfg;
+    cfg.duration = 4 * kSecond;
+    cfg.warmup = kSecond;
+    cfg.connections = 8;
+    cfg.mapEntries = 2000;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(ControlledServiceTest, HealthyRunServesRequests)
+{
+    ServiceConfig cfg = smallService();
+    auto r = runControlledService(cfg);
+    EXPECT_GT(r.requestsServed, 0u);
+    EXPECT_GT(r.throughputRps, 0.0);
+    EXPECT_GT(r.latency.p50, 0.0);
+    EXPECT_LE(r.latency.p50, r.latency.p99);
+    EXPECT_LE(r.latency.p99, r.latency.max);
+    EXPECT_EQ(r.deadlocksDetected, 0u);
+}
+
+TEST(ControlledServiceTest, LeakRateProducesDetections)
+{
+    ServiceConfig cfg = smallService();
+    cfg.leakRate = 0.5;
+    auto r = runControlledService(cfg);
+    EXPECT_GT(r.deadlocksDetected, 0u);
+    // Roughly half the requests leak.
+    double rate = static_cast<double>(r.deadlocksDetected) /
+                  static_cast<double>(r.requestsServed);
+    EXPECT_GT(rate, 0.2);
+    EXPECT_LT(rate, 0.8);
+}
+
+TEST(ControlledServiceTest, BaselineRetainsLeakedMemory)
+{
+    ServiceConfig cfg = smallService();
+    cfg.duration = 8 * kSecond;
+    cfg.mapEntries = 20000; // ~1 MB per request-scope map
+    cfg.leakRate = 0.5;
+    cfg.gcMode = rt::GcMode::Baseline;
+    auto base = runControlledService(cfg);
+    cfg.gcMode = rt::GcMode::Golf;
+    auto gol = runControlledService(cfg);
+    EXPECT_EQ(base.deadlocksDetected, 0u);
+    EXPECT_GT(base.heapAlloc, 4 * gol.heapAlloc);
+    EXPECT_GT(base.stackInuse, gol.stackInuse);
+}
+
+TEST(ControlledServiceTest, GolfPausePerCycleHigher)
+{
+    ServiceConfig cfg = smallService();
+    cfg.gcMode = rt::GcMode::Baseline;
+    auto base = runControlledService(cfg);
+    cfg.gcMode = rt::GcMode::Golf;
+    auto gol = runControlledService(cfg);
+    EXPECT_GT(gol.pausePerCycleNs, base.pausePerCycleNs);
+}
+
+TEST(ProductionServiceTest, HealthyServiceIsQuiet)
+{
+    ProductionConfig cfg;
+    cfg.duration = kHour / 2;
+    cfg.baseRps = 2.0;
+    cfg.seed = 3;
+    auto r = runProductionService(cfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_GT(r.requestsServed, 100u);
+    EXPECT_EQ(r.deadlocksDetected, 0u);
+    EXPECT_GT(r.p50Samples.count(), 0u);
+    EXPECT_GT(r.cpuSamples.count(), 0u);
+}
+
+TEST(ProductionServiceTest, LeakEndpointsYieldDedupedErrors)
+{
+    ProductionConfig cfg;
+    cfg.duration = 2 * kHour;
+    cfg.baseRps = 3.0;
+    cfg.seed = 5;
+    cfg.endpoints = {
+        {0, 0.05, 0.2},
+        {1, 0.05, 0.2},
+        {2, 0.05, 0.2},
+    };
+    auto r = runProductionService(cfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_GT(r.deadlocksDetected, 3u);
+    // Three buggy code paths: exactly three dedup keys.
+    EXPECT_EQ(r.dedupReports, 3u);
+}
+
+TEST(ProductionServiceTest, DiurnalTrafficVariesCpu)
+{
+    ProductionConfig cfg;
+    cfg.duration = 24 * kHour;
+    cfg.baseRps = 1.0;
+    cfg.samplePeriod = kHour;
+    cfg.seed = 9;
+    auto r = runProductionService(cfg);
+    ASSERT_GT(r.cpuSamples.count(), 10u);
+    // Peak-hour CPU well above trough-hour CPU.
+    EXPECT_GT(r.cpuSamples.max(), 1.5 * r.cpuSamples.min());
+}
+
+TEST(Figure1Test, WeekendAccumulationExceedsWeekdays)
+{
+    TimeSeries s = runFigure1Deployment(77, 7, 0.08);
+    ASSERT_FALSE(s.points.empty());
+    // The series must span the full week.
+    EXPECT_GT(s.points.back().t, 6 * 24 * kHour);
+    // Last-day peak (weekend tail) far above the first day's peak.
+    double firstDayPeak = 0, tailPeak = 0;
+    for (const auto& p : s.points) {
+        if (p.t < 24 * kHour)
+            firstDayPeak = std::max(firstDayPeak, p.value);
+        if (p.t > 5 * 24 * kHour)
+            tailPeak = std::max(tailPeak, p.value);
+    }
+    EXPECT_GT(tailPeak, 1.5 * firstDayPeak);
+}
+
+TEST(CorpusTest2, SmallCorpusHasPaperStructure)
+{
+    CorpusConfig cfg;
+    cfg.packages = 200;
+    cfg.classes = 80;
+    cfg.seed = 13;
+    CorpusResult r = runCorpus(cfg);
+    EXPECT_EQ(r.packagesRun, 200u);
+    EXPECT_GT(r.goleakTotal, 0u);
+    EXPECT_GT(r.golfTotal, 0u);
+    // GOLF's detections are a strict subset of GOLEAK's.
+    EXPECT_LT(r.golfTotal, r.goleakTotal);
+    EXPECT_LE(r.golfDedup(), r.goleakDedup());
+    for (const auto& c : r.classes)
+        EXPECT_LE(c.golfCount, c.goleakCount) << c.classId;
+    // GOLF-blind categories never produce GOLF reports.
+    for (const auto& c : r.classes) {
+        if (c.category == "global" || c.category == "runaway") {
+            EXPECT_EQ(c.golfCount, 0u) << c.classId;
+        }
+        if (c.category == "full" && c.goleakCount > 0) {
+            EXPECT_EQ(c.golfCount, c.goleakCount) << c.classId;
+        }
+    }
+}
+
+TEST(CorpusTest2, RatioCurveIsSortedAndBounded)
+{
+    CorpusConfig cfg;
+    cfg.packages = 150;
+    cfg.classes = 60;
+    cfg.seed = 29;
+    CorpusResult r = runCorpus(cfg);
+    auto curve = r.ratioCurve();
+    for (size_t i = 0; i + 1 < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i + 1]);
+    for (double v : curve) {
+        EXPECT_GT(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(MetricsTest, LatencySummaryOrdering)
+{
+    support::Samples s;
+    for (int i = 1; i <= 1000; ++i)
+        s.add(static_cast<double>(i));
+    auto sum = LatencySummary::ofMillis(s);
+    EXPECT_LE(sum.p50, sum.p90);
+    EXPECT_LE(sum.p90, sum.p95);
+    EXPECT_LE(sum.p95, sum.p99);
+    EXPECT_LE(sum.p99, sum.p999);
+    EXPECT_LE(sum.p999, sum.p99995);
+    EXPECT_LE(sum.p99995, sum.max);
+}
+
+TEST(MetricsTest, SparklineAndCsv)
+{
+    TimeSeries ts{"x", {}};
+    for (int i = 0; i < 50; ++i)
+        ts.add(i * kSecond, static_cast<double>(i % 10));
+    EXPECT_EQ(ts.sparkline(20).size(), 20u);
+    EXPECT_DOUBLE_EQ(ts.maxValue(), 9.0);
+}
+
+} // namespace
+} // namespace golf::service

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Unit tests for the support layer: intrusive list, treap, RNG,
+ * virtual clock, statistics, masked pointers.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/intrusive_list.hpp"
+#include "support/masked_ptr.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/treap.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::support {
+namespace {
+
+// ---------------------------------------------------------------- IList
+
+struct Node
+{
+    explicit Node(int v) : value(v) {}
+    int value;
+    IListNode link;
+};
+
+using NodeList = IList<Node, &Node::link>;
+
+TEST(IListTest, StartsEmpty)
+{
+    NodeList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_EQ(list.popFront(), nullptr);
+    EXPECT_EQ(list.front(), nullptr);
+}
+
+TEST(IListTest, PushBackPopFrontIsFifo)
+{
+    NodeList list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.popFront()->value, 1);
+    EXPECT_EQ(list.popFront()->value, 2);
+    EXPECT_EQ(list.popFront()->value, 3);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(IListTest, PushFront)
+{
+    NodeList list;
+    Node a(1), b(2);
+    list.pushBack(&a);
+    list.pushFront(&b);
+    EXPECT_EQ(list.popFront()->value, 2);
+    EXPECT_EQ(list.popFront()->value, 1);
+}
+
+TEST(IListTest, UnlinkFromMiddle)
+{
+    NodeList list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    b.link.unlink();
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.popFront()->value, 1);
+    EXPECT_EQ(list.popFront()->value, 3);
+}
+
+TEST(IListTest, NodeDestructorUnlinks)
+{
+    NodeList list;
+    Node a(1);
+    {
+        Node b(2);
+        list.pushBack(&a);
+        list.pushBack(&b);
+        EXPECT_EQ(list.size(), 2u);
+    }
+    EXPECT_EQ(list.size(), 1u);
+    EXPECT_EQ(list.front()->value, 1);
+}
+
+TEST(IListTest, ForEachVisitsInOrder)
+{
+    NodeList list;
+    Node a(1), b(2), c(3);
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    std::vector<int> seen;
+    list.forEach([&](Node* n) { seen.push_back(n->value); });
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(IListTest, LinkedFlagTracksMembership)
+{
+    NodeList list;
+    Node a(1);
+    EXPECT_FALSE(a.link.linked());
+    list.pushBack(&a);
+    EXPECT_TRUE(a.link.linked());
+    list.popFront();
+    EXPECT_FALSE(a.link.linked());
+}
+
+// ---------------------------------------------------------------- Treap
+
+TEST(TreapTest, InsertFindErase)
+{
+    Treap<int> t;
+    EXPECT_TRUE(t.empty());
+    t.obtain(10) = 100;
+    t.obtain(20) = 200;
+    t.obtain(5) = 50;
+    EXPECT_EQ(t.size(), 3u);
+    ASSERT_NE(t.find(10), nullptr);
+    EXPECT_EQ(*t.find(10), 100);
+    EXPECT_EQ(*t.find(5), 50);
+    EXPECT_EQ(t.find(7), nullptr);
+    EXPECT_TRUE(t.erase(10));
+    EXPECT_FALSE(t.erase(10));
+    EXPECT_EQ(t.find(10), nullptr);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TreapTest, ObtainIsIdempotent)
+{
+    Treap<int> t;
+    t.obtain(1) = 11;
+    t.obtain(1) = 12;
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.find(1), 12);
+}
+
+TEST(TreapTest, InvariantsHoldUnderRandomWorkload)
+{
+    Treap<int> t(42);
+    Rng rng(7);
+    std::set<uintptr_t> keys;
+    for (int i = 0; i < 2000; ++i) {
+        uintptr_t k = rng.nextBelow(500) + 1;
+        if (rng.chance(0.6)) {
+            t.obtain(k) = static_cast<int>(k);
+            keys.insert(k);
+        } else {
+            t.erase(k);
+            keys.erase(k);
+        }
+        if (i % 97 == 0)
+            ASSERT_TRUE(t.checkInvariants()) << "at step " << i;
+    }
+    EXPECT_EQ(t.size(), keys.size());
+    EXPECT_TRUE(t.checkInvariants());
+    for (uintptr_t k : keys)
+        EXPECT_NE(t.find(k), nullptr) << "key " << k;
+}
+
+TEST(TreapTest, ForEachIsInKeyOrder)
+{
+    Treap<int> t;
+    for (uintptr_t k : {50u, 10u, 30u, 20u, 40u})
+        t.obtain(k) = static_cast<int>(k);
+    std::vector<uintptr_t> seen;
+    t.forEach([&](uintptr_t k, int&) { seen.push_back(k); });
+    EXPECT_EQ(seen, (std::vector<uintptr_t>{10, 20, 30, 40, 50}));
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(10);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(12);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ExpMeanApproximatelyCorrect)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExp(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.3);
+}
+
+TEST(RngTest, ShufflePermutes)
+{
+    Rng rng(14);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+// --------------------------------------------------------------- VClock
+
+TEST(VClockTest, StartsAtZero)
+{
+    VClock c;
+    EXPECT_EQ(c.now(), 0);
+    EXPECT_FALSE(c.hasPending());
+    EXPECT_EQ(c.nextDeadline(), VClock::kNoDeadline);
+}
+
+TEST(VClockTest, AdvanceMovesNow)
+{
+    VClock c;
+    c.advance(100);
+    EXPECT_EQ(c.now(), 100);
+}
+
+TEST(VClockTest, FireNextAdvancesToDeadline)
+{
+    VClock c;
+    int fired = 0;
+    c.schedule(500, [&] { ++fired; });
+    EXPECT_TRUE(c.hasPending());
+    EXPECT_EQ(c.fireNext(), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(c.now(), 500);
+    EXPECT_FALSE(c.hasPending());
+}
+
+TEST(VClockTest, FiresInDeadlineOrder)
+{
+    VClock c;
+    std::vector<int> order;
+    c.schedule(300, [&] { order.push_back(3); });
+    c.schedule(100, [&] { order.push_back(1); });
+    c.schedule(200, [&] { order.push_back(2); });
+    while (c.hasPending())
+        c.fireNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(VClockTest, SameDeadlineFifoByScheduleOrder)
+{
+    VClock c;
+    std::vector<int> order;
+    c.schedule(100, [&] { order.push_back(1); });
+    c.schedule(100, [&] { order.push_back(2); });
+    c.fireNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(VClockTest, CancelPreventsFiring)
+{
+    VClock c;
+    int fired = 0;
+    TimerId id = c.schedule(100, [&] { ++fired; });
+    c.schedule(200, [&] { ++fired; });
+    EXPECT_TRUE(c.cancel(id));
+    while (c.hasPending())
+        c.fireNext();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(c.now(), 200);
+}
+
+TEST(VClockTest, FirePendingRunsAllDue)
+{
+    VClock c;
+    int fired = 0;
+    c.schedule(50, [&] { ++fired; });
+    c.schedule(60, [&] { ++fired; });
+    c.schedule(500, [&] { ++fired; });
+    c.advance(100);
+    EXPECT_EQ(c.firePending(), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(c.hasPending());
+}
+
+TEST(VClockTest, TimerMayScheduleAnotherTimer)
+{
+    VClock c;
+    int fired = 0;
+    c.schedule(10, [&] {
+        ++fired;
+        c.scheduleAfter(10, [&] { ++fired; });
+    });
+    c.fireNext();
+    EXPECT_EQ(fired, 1);
+    c.fireNext();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(c.now(), 20);
+}
+
+// --------------------------------------------------------------- Stats
+
+TEST(StatsTest, EmptySamples)
+{
+    Samples s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.mean(), 0);
+    EXPECT_EQ(s.percentile(50), 0);
+}
+
+TEST(StatsTest, MeanMinMax)
+{
+    Samples s;
+    for (double v : {4.0, 1.0, 3.0, 2.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    Samples s;
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(StatsTest, PercentileAfterLateAdd)
+{
+    Samples s;
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.median(), 1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0); // re-sorts after growth
+}
+
+TEST(StatsTest, StddevOfConstantIsZero)
+{
+    Samples s;
+    for (int i = 0; i < 5; ++i)
+        s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, BoxStats)
+{
+    Samples s;
+    for (int i = 1; i <= 9; ++i)
+        s.add(static_cast<double>(i));
+    BoxStats b = BoxStats::of(s);
+    EXPECT_DOUBLE_EQ(b.min, 1.0);
+    EXPECT_DOUBLE_EQ(b.median, 5.0);
+    EXPECT_DOUBLE_EQ(b.max, 9.0);
+    EXPECT_DOUBLE_EQ(b.q1, 3.0);
+    EXPECT_DOUBLE_EQ(b.q3, 7.0);
+}
+
+TEST(StatsTest, NormalizedAuc)
+{
+    EXPECT_DOUBLE_EQ(normalizedAuc({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(normalizedAuc({1.0, 0.0}), 0.5);
+    EXPECT_DOUBLE_EQ(normalizedAuc({}), 0.0);
+}
+
+// ---------------------------------------------------------- MaskedPtr
+
+TEST(MaskedPtrTest, RoundTrip)
+{
+    int x = 5;
+    MaskedPtr<int> p(&x);
+    EXPECT_EQ(p.get(), &x);
+    EXPECT_TRUE(static_cast<bool>(p));
+}
+
+TEST(MaskedPtrTest, NullStaysNull)
+{
+    MaskedPtr<int> p;
+    EXPECT_EQ(p.get(), nullptr);
+    EXPECT_FALSE(static_cast<bool>(p));
+    EXPECT_EQ(p.raw(), 0u);
+}
+
+TEST(MaskedPtrTest, StoredWordHasHighBitFlipped)
+{
+    int x = 5;
+    MaskedPtr<int> p(&x);
+    // The raw stored word must not be a valid user-space address.
+    EXPECT_TRUE(isMaskedAddress(p.raw()));
+    EXPECT_NE(p.raw(), reinterpret_cast<uintptr_t>(&x));
+}
+
+TEST(MaskedPtrTest, MaskIsInvolution)
+{
+    uintptr_t addr = 0x7f00deadbeefull;
+    EXPECT_EQ(maskAddress(maskAddress(addr)), addr);
+}
+
+} // namespace
+} // namespace golf::support

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * sync package tests: Mutex, RWMutex, WaitGroup, Cond, Semaphore,
+ * and the semtable treap bookkeeping behind them.
+ */
+#include <gtest/gtest.h>
+
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/condvar.hpp"
+#include "sync/mutex.hpp"
+#include "sync/rwmutex.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf {
+namespace {
+
+using rt::Go;
+using rt::Runtime;
+using rt::RunResult;
+using support::kMillisecond;
+
+// ----------------------------------------------------------- Mutex
+
+Go
+criticalSection(sync::Mutex* mu, int* counter, int* maxSeen)
+{
+    co_await mu->lock();
+    int v = ++*counter;
+    if (v > *maxSeen)
+        *maxSeen = v;
+    co_await rt::yield(); // invite interleaving inside the section
+    --*counter;
+    mu->unlock();
+    co_return;
+}
+
+TEST(MutexTest, MutualExclusionUnderContention)
+{
+    Runtime rt;
+    int inside = 0, maxSeen = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* insidep, int* maxp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            for (int i = 0; i < 8; ++i)
+                GOLF_GO(*rtp, criticalSection, mu.get(), insidep, maxp);
+            co_await rt::sleepFor(5 * kMillisecond);
+            co_return;
+        },
+        &rt, &inside, &maxSeen);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(inside, 0);
+    EXPECT_EQ(maxSeen, 1); // never two goroutines inside
+}
+
+TEST(MutexTest, UnlockOfUnlockedPanics)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Mutex* mu = rtp->make<sync::Mutex>(*rtp);
+            mu->unlock();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_EQ(r.panicMessage, "sync: unlock of unlocked mutex");
+}
+
+TEST(MutexTest, TryLock)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Mutex* mu = rtp->make<sync::Mutex>(*rtp);
+            EXPECT_TRUE(mu->tryLock());
+            EXPECT_TRUE(mu->locked());
+            EXPECT_FALSE(mu->tryLock());
+            mu->unlock();
+            EXPECT_TRUE(mu->tryLock());
+            mu->unlock();
+            co_return;
+        },
+        &rt);
+}
+
+TEST(MutexTest, HandoffIsFifo)
+{
+    Runtime rt;
+    std::vector<int> order;
+    rt.runMain(
+        +[](Runtime* rtp, std::vector<int>* orderp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            EXPECT_TRUE(mu->tryLock());
+            for (int i = 0; i < 3; ++i) {
+                GOLF_GO(*rtp, +[](sync::Mutex* m,
+                                  std::vector<int>* op, int tag) -> Go {
+                    co_await m->lock();
+                    op->push_back(tag);
+                    m->unlock();
+                    co_return;
+                }, mu.get(), orderp, i);
+                // Let the goroutine park before spawning the next so
+                // queueing order is deterministic.
+                co_await rt::sleepFor(kMillisecond);
+            }
+            mu->unlock();
+            co_await rt::sleepFor(5 * kMillisecond);
+            co_return;
+        },
+        &rt, &order);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// -------------------------------------------------------- WaitGroup
+
+TEST(WaitGroupTest, WaitReleasesWhenCounterHitsZero)
+{
+    // Listing 2's shape: N workers, one waiter.
+    Runtime rt;
+    int done = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* donep) -> Go {
+            gc::Local<sync::WaitGroup> wg(
+                rtp->make<sync::WaitGroup>(*rtp));
+            for (int i = 0; i < 10; ++i) {
+                wg->add(1);
+                GOLF_GO(*rtp, +[](sync::WaitGroup* w, int* d) -> Go {
+                    co_await rt::sleepFor(kMillisecond);
+                    ++*d;
+                    w->done();
+                    co_return;
+                }, wg.get(), donep);
+            }
+            co_await wg->wait();
+            EXPECT_EQ(*donep, 10);
+            co_return;
+        },
+        &rt, &done);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(done, 10);
+}
+
+TEST(WaitGroupTest, WaitWithZeroCounterDoesNotBlock)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::WaitGroup* wg = rtp->make<sync::WaitGroup>(*rtp);
+            co_await wg->wait();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(WaitGroupTest, NegativeCounterPanics)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::WaitGroup* wg = rtp->make<sync::WaitGroup>(*rtp);
+            wg->done();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_EQ(r.panicMessage, "sync: negative WaitGroup counter");
+}
+
+TEST(WaitGroupTest, MultipleWaitersAllReleased)
+{
+    Runtime rt;
+    int released = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* releasedp) -> Go {
+            gc::Local<sync::WaitGroup> wg(
+                rtp->make<sync::WaitGroup>(*rtp));
+            wg->add(1);
+            for (int i = 0; i < 4; ++i) {
+                GOLF_GO(*rtp, +[](sync::WaitGroup* w, int* r) -> Go {
+                    co_await w->wait();
+                    ++*r;
+                    co_return;
+                }, wg.get(), releasedp);
+            }
+            co_await rt::sleepFor(kMillisecond);
+            wg->done();
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &released);
+    EXPECT_EQ(released, 4);
+}
+
+// ---------------------------------------------------------- RWMutex
+
+TEST(RWMutexTest, ConcurrentReaders)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::RWMutex* m = rtp->make<sync::RWMutex>(*rtp);
+            co_await m->rlock();
+            co_await m->rlock();
+            EXPECT_EQ(m->readers(), 2);
+            m->runlock();
+            m->runlock();
+            EXPECT_EQ(m->readers(), 0);
+            co_return;
+        },
+        &rt);
+}
+
+TEST(RWMutexTest, WriterExcludesReaders)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::RWMutex> m(rtp->make<sync::RWMutex>(*rtp));
+            co_await m->lock();
+            rt::Goroutine* reader = GOLF_GO(*rtp,
+                +[](sync::RWMutex* rw) -> Go {
+                    co_await rw->rlock();
+                    rw->runlock();
+                    co_return;
+                }, m.get());
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(reader->status(), rt::GStatus::Waiting);
+            EXPECT_EQ(reader->waitReason(),
+                      rt::WaitReason::RWMutexRLock);
+            m->unlock();
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(reader->status(), rt::GStatus::Idle); // finished
+            co_return;
+        },
+        &rt);
+}
+
+TEST(RWMutexTest, WriterPreferredOverNewReaders)
+{
+    Runtime rt;
+    std::vector<std::string> order;
+    rt.runMain(
+        +[](Runtime* rtp, std::vector<std::string>* orderp) -> Go {
+            gc::Local<sync::RWMutex> m(rtp->make<sync::RWMutex>(*rtp));
+            co_await m->rlock(); // reader holds
+            GOLF_GO(*rtp, +[](sync::RWMutex* rw,
+                              std::vector<std::string>* op) -> Go {
+                co_await rw->lock();
+                op->push_back("writer");
+                rw->unlock();
+                co_return;
+            }, m.get(), orderp);
+            co_await rt::sleepFor(kMillisecond);
+            // A new reader must queue behind the waiting writer.
+            GOLF_GO(*rtp, +[](sync::RWMutex* rw,
+                              std::vector<std::string>* op) -> Go {
+                co_await rw->rlock();
+                op->push_back("reader");
+                rw->runlock();
+                co_return;
+            }, m.get(), orderp);
+            co_await rt::sleepFor(kMillisecond);
+            m->runlock();
+            co_await rt::sleepFor(5 * kMillisecond);
+            co_return;
+        },
+        &rt, &order);
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"writer", "reader"}));
+}
+
+TEST(RWMutexTest, UnlockErrorsPanic)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::RWMutex* m = rtp->make<sync::RWMutex>(*rtp);
+            m->runlock();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+}
+
+// ------------------------------------------------------------- Cond
+
+TEST(CondTest, SignalWakesOneWaiter)
+{
+    Runtime rt;
+    int woken = 0;
+    rt.runMain(
+        +[](Runtime* rtp, int* wokenp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            gc::Local<sync::Cond> cond(
+                rtp->make<sync::Cond>(*rtp, mu.get()));
+            for (int i = 0; i < 3; ++i) {
+                GOLF_GO(*rtp, +[](sync::Cond* c, int* w) -> Go {
+                    co_await c->locker()->lock();
+                    co_await c->wait();
+                    ++*w;
+                    c->locker()->unlock();
+                    co_return;
+                }, cond.get(), wokenp);
+            }
+            co_await rt::sleepFor(kMillisecond);
+            cond->signal();
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(*wokenp, 1);
+            cond->broadcast();
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(*wokenp, 3);
+            co_return;
+        },
+        &rt, &woken);
+    EXPECT_EQ(woken, 3);
+}
+
+TEST(CondTest, SignalWithNoWaitersIsNoop)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Mutex* mu = rtp->make<sync::Mutex>(*rtp);
+            sync::Cond* cond = rtp->make<sync::Cond>(*rtp, mu);
+            cond->signal();
+            cond->broadcast();
+            co_return;
+        },
+        &rt);
+}
+
+TEST(CondTest, WaitReacquiresMutex)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            gc::Local<sync::Cond> cond(
+                rtp->make<sync::Cond>(*rtp, mu.get()));
+            bool holding = false;
+            GOLF_GO(*rtp, +[](sync::Cond* c, bool* h) -> Go {
+                co_await c->locker()->lock();
+                co_await c->wait();
+                *h = c->locker()->locked();
+                c->locker()->unlock();
+                co_return;
+            }, cond.get(), &holding);
+            co_await rt::sleepFor(kMillisecond);
+            // Waiter released the mutex while parked.
+            EXPECT_TRUE(mu->tryLock());
+            mu->unlock();
+            cond->signal();
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_TRUE(holding);
+            co_return;
+        },
+        &rt);
+}
+
+// -------------------------------------------------------- Semaphore
+
+TEST(SemaphoreTest, AcquireReleaseCounting)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Semaphore* s = rtp->make<sync::Semaphore>(*rtp, 2);
+            co_await s->acquire();
+            co_await s->acquire();
+            EXPECT_EQ(s->count(), 0u);
+            s->release();
+            EXPECT_EQ(s->count(), 1u);
+            co_return;
+        },
+        &rt);
+}
+
+TEST(SemaphoreTest, BlockedAcquireWokenByRelease)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::Semaphore> s(
+                rtp->make<sync::Semaphore>(*rtp, 0));
+            rt::Goroutine* g = GOLF_GO(*rtp,
+                +[](sync::Semaphore* sem) -> Go {
+                    co_await sem->acquire();
+                    co_return;
+                }, s.get());
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(g->status(), rt::GStatus::Waiting);
+            EXPECT_EQ(g->waitReason(), rt::WaitReason::SemAcquire);
+            // The goroutine's masked semaphore pointer is recorded.
+            EXPECT_TRUE(static_cast<bool>(g->blockedSema()));
+            EXPECT_TRUE(rtp->semtable().checkMaskedKeys());
+            s->release();
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(g->status(), rt::GStatus::Idle);
+            co_return;
+        },
+        &rt);
+}
+
+TEST(SemTableTest, EntriesTrackWaiters)
+{
+    Runtime rt;
+    rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::Semaphore> a(
+                rtp->make<sync::Semaphore>(*rtp, 0));
+            gc::Local<sync::Semaphore> b(
+                rtp->make<sync::Semaphore>(*rtp, 0));
+            auto acquirer = +[](sync::Semaphore* sem) -> Go {
+                co_await sem->acquire();
+                co_return;
+            };
+            GOLF_GO(*rtp, acquirer, a.get());
+            GOLF_GO(*rtp, acquirer, a.get());
+            GOLF_GO(*rtp, acquirer, b.get());
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(rtp->semtable().entries(), 2u);
+            a->release();
+            a->release();
+            b->release();
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_EQ(rtp->semtable().entries(), 0u);
+            co_return;
+        },
+        &rt);
+}
+
+} // namespace
+} // namespace golf

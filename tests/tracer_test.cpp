@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tracer tests: event capture across a goroutine's lifecycle, the
+ * deadlock/reclaim trail, GC bracketing, CSV output, and the
+ * disabled-by-default contract.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using rt::TraceEvent;
+using support::kMillisecond;
+
+TEST(TracerTest, DisabledByDefaultRecordsNothing)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go { co_return; });
+        co_await rt::yield();
+        co_return;
+    }, &rt);
+    EXPECT_TRUE(rt.tracer().records().empty());
+}
+
+TEST(TracerTest, LifecycleTrail)
+{
+    Runtime rt;
+    rt.tracer().enable();
+    uint64_t childId = 0;
+    rt.runMain(
+        +[](Runtime* rtp, uint64_t* idp) -> Go {
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            rt::Goroutine* g = GOLF_GO(*rtp,
+                +[](Channel<int>* c) -> Go {
+                    co_await chan::recv(c);
+                    co_return;
+                }, ch.get());
+            *idp = g->id();
+            co_await rt::sleepFor(kMillisecond);
+            co_await chan::send(ch.get(), 1);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &childId);
+
+    auto trail = rt.tracer().forGoroutine(childId);
+    ASSERT_GE(trail.size(), 4u);
+    // spawn -> park(chan recv) -> ready -> done, in time order.
+    EXPECT_EQ(trail.front().event, TraceEvent::Spawn);
+    EXPECT_EQ(trail.back().event, TraceEvent::Done);
+    bool sawPark = false, sawReady = false;
+    for (const auto& r : trail) {
+        if (r.event == TraceEvent::Park) {
+            sawPark = true;
+            EXPECT_EQ(r.reason, rt::WaitReason::ChanRecv);
+            EXPECT_FALSE(sawReady);
+        }
+        if (r.event == TraceEvent::Ready)
+            sawReady = true;
+    }
+    EXPECT_TRUE(sawPark);
+    EXPECT_TRUE(sawReady);
+    for (size_t i = 1; i < trail.size(); ++i)
+        EXPECT_GE(trail[i].t, trail[i - 1].t);
+}
+
+TEST(TracerTest, DeadlockAndReclaimEventsEmitted)
+{
+    Runtime rt;
+    rt.tracer().enable();
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+            co_await chan::recv(c);
+            co_return;
+        }, makeChan<int>(*rtp, 0));
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+
+    EXPECT_EQ(rt.tracer().count(TraceEvent::Deadlock), 1u);
+    EXPECT_EQ(rt.tracer().count(TraceEvent::Reclaim), 1u);
+    EXPECT_GE(rt.tracer().count(TraceEvent::GcStart), 2u);
+    EXPECT_EQ(rt.tracer().count(TraceEvent::GcStart),
+              rt.tracer().count(TraceEvent::GcEnd));
+}
+
+TEST(TracerTest, SummaryAndCsv)
+{
+    Runtime rt;
+    rt.tracer().enable();
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go {
+            co_await rt::yield();
+            co_return;
+        });
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt);
+
+    std::string summary = rt.tracer().summary();
+    EXPECT_NE(summary.find("spawn: 2"), std::string::npos);
+    EXPECT_NE(summary.find("done:"), std::string::npos);
+
+    std::string path = "/tmp/golfcc_trace_test.csv";
+    rt.tracer().writeCsv(path);
+    std::ifstream in(path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "t_ns,event,goroutine,reason");
+    size_t lines = 0;
+    for (std::string line; std::getline(in, line);)
+        ++lines;
+    EXPECT_EQ(lines, rt.tracer().records().size());
+}
+
+TEST(TracerTest, ChromeTraceIsWellFormedJson)
+{
+    Runtime rt;
+    rt.tracer().enable();
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go { co_return; });
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt);
+
+    std::string path = "/tmp/golfcc_chrome_trace_test.json";
+    rt.tracer().writeChromeTrace(path);
+    std::ifstream in(path);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    ASSERT_FALSE(all.empty());
+    EXPECT_EQ(all.front(), '[');
+    size_t events = 0;
+    for (size_t pos = 0;
+         (pos = all.find("\"ph\":\"i\"", pos)) != std::string::npos;
+         ++pos)
+        ++events;
+    EXPECT_EQ(events, rt.tracer().records().size());
+}
+
+} // namespace
+} // namespace golf

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * golf-tester: the artifact's testing harness (Appendix A.4.2) as a
+ * command-line tool over the built-in corpus.
+ *
+ * Usage:
+ *   golf_tester [options]
+ *     -match <regex>    only run benchmarks whose name matches
+ *     -repeats <n>      repetitions per configuration (default 10)
+ *     -procs <list>     comma-separated core counts (default 1,2,4,10)
+ *     -report <path>    write the coverage report there (default
+ *                       ./golf-tester-report.txt)
+ *     -perf             performance mode: compare marking phase
+ *                       against the Baseline GC; writes
+ *                       results-perf.csv and results.tex (a pgfplots
+ *                       box plot, as the artifact does)
+ *     -seed <n>         master seed (default 1)
+ *
+ * Coverage mode prints a Table 1-style aggregate; trace lines for
+ * detected deadlocks use the runtime's "partial deadlock!" format.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace golf;
+using namespace golf::microbench;
+
+struct Options
+{
+    std::string match;
+    int repeats = 10;
+    std::vector<int> procs{1, 2, 4, 10};
+    std::string report = "./golf-tester-report.txt";
+    bool perf = false;
+    uint64_t seed = 1;
+};
+
+bool
+parseArgs(int argc, char** argv, Options& opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "-match") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.match = v;
+        } else if (arg == "-repeats") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.repeats = std::atoi(v);
+        } else if (arg == "-procs") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.procs.clear();
+            std::stringstream ss(v);
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                opt.procs.push_back(std::atoi(tok.c_str()));
+        } else if (arg == "-report") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.report = v;
+        } else if (arg == "-perf") {
+            opt.perf = true;
+        } else if (arg == "-seed") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.seed = static_cast<uint64_t>(std::atoll(v));
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<const Pattern*>
+selectPatterns(const Options& opt, bool includeCorrect)
+{
+    std::vector<const Pattern*> out;
+    std::regex re(opt.match.empty() ? ".*" : opt.match);
+    for (const Pattern& p : Registry::instance().all()) {
+        if (p.correct && !includeCorrect)
+            continue;
+        if (std::regex_search(p.name, re))
+            out.push_back(&p);
+    }
+    return out;
+}
+
+int
+runCoverage(const Options& opt)
+{
+    auto patterns = selectPatterns(opt, /*includeCorrect=*/false);
+    if (patterns.empty()) {
+        std::fprintf(stderr, "no benchmarks match '%s'\n",
+                     opt.match.c_str());
+        return 1;
+    }
+
+    std::ofstream report(opt.report);
+    report << "Benchmark";
+    for (int p : opt.procs)
+        report << " " << p << "P";
+    report << " Total\n";
+
+    size_t shown = 0, remaining = 0, remainingBenchmarks = 0;
+    double aggDetected = 0, aggRuns = 0;
+
+    for (const Pattern* p : patterns) {
+        std::map<std::string, std::map<int, int>> detected;
+        for (int procs : opt.procs) {
+            HarnessConfig cfg;
+            cfg.procs = procs;
+            cfg.seed = opt.seed * 7919 +
+                       static_cast<uint64_t>(procs);
+            auto sites = runPatternRepeated(*p, cfg, opt.repeats);
+            for (const auto& s : sites)
+                detected[s.label][procs] = s.detectedRuns;
+        }
+        bool allPerfect = true;
+        for (const auto& [label, byProcs] : detected) {
+            long total = 0;
+            for (int procs : opt.procs)
+                total += byProcs.count(procs) ? byProcs.at(procs) : 0;
+            aggDetected += static_cast<double>(total);
+            aggRuns += static_cast<double>(opt.procs.size()) *
+                       opt.repeats;
+            if (total ==
+                static_cast<long>(opt.procs.size()) * opt.repeats) {
+                ++remaining;
+                continue;
+            }
+            allPerfect = false;
+            ++shown;
+            report << label;
+            for (int procs : opt.procs)
+                report << " " << byProcs.at(procs);
+            report << " "
+                   << 100.0 * static_cast<double>(total) /
+                          (static_cast<double>(opt.procs.size()) *
+                           opt.repeats)
+                   << "%\n";
+        }
+        if (allPerfect)
+            ++remainingBenchmarks;
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+
+    report << "Remaining " << remaining << " go instruction ("
+           << remainingBenchmarks << " benchmarks) 100.00%\n";
+    report << "Aggregated "
+           << 100.0 * aggDetected / (aggRuns > 0 ? aggRuns : 1)
+           << "%\n";
+    std::printf("coverage report written to %s (%zu flaky sites, "
+                "%zu at 100%%)\n",
+                opt.report.c_str(), shown, remaining);
+    return 0;
+}
+
+/** pgfplots box plot of the Mark clock columns (artifact A.5.2). */
+void
+writeTex(const std::string& path, const support::Samples& correct,
+         const support::Samples& deadlock)
+{
+    auto box = [](const support::Samples& s) {
+        support::BoxStats b = support::BoxStats::of(s);
+        std::ostringstream os;
+        os << "    \\addplot+[boxplot prepared={lower whisker="
+           << b.min << ", lower quartile=" << b.q1 << ", median="
+           << b.median << ", upper quartile=" << b.q3
+           << ", upper whisker=" << b.max
+           << "}] coordinates {};\n";
+        return os.str();
+    };
+    std::ofstream tex(path);
+    tex << "\\documentclass{standalone}\n"
+        << "\\usepackage{pgfplots}\n"
+        << "\\usepgfplotslibrary{statistics}\n"
+        << "\\begin{document}\n"
+        << "\\begin{tikzpicture}\n"
+        << "  \\begin{axis}[boxplot/draw direction=y,\n"
+        << "      ylabel={GOLF mark clock slowdown ($\\times$)},\n"
+        << "      xtick={1,2},\n"
+        << "      xticklabels={correct, deadlocking}]\n"
+        << box(correct) << box(deadlock) << "  \\end{axis}\n"
+        << "\\end{tikzpicture}\n"
+        << "\\end{document}\n";
+}
+
+int
+runPerf(const Options& opt)
+{
+    auto patterns = selectPatterns(opt, /*includeCorrect=*/true);
+    std::ofstream csv("results-perf.csv");
+    csv << "benchmark,kind,Mark clock OFF (us),Mark clock ON (us),"
+           "slowdown\n";
+
+    support::Samples slowCorrect, slowDeadlock;
+    for (const Pattern* p : patterns) {
+        auto measure = [&](rt::GcMode mode) {
+            support::Samples s;
+            for (int i = 0; i < opt.repeats; ++i) {
+                HarnessConfig cfg;
+                cfg.procs = 1;
+                cfg.seed = opt.seed + static_cast<uint64_t>(i);
+                cfg.gcMode = mode;
+                auto out = runPatternOnce(*p, cfg);
+                if (out.gcCycles > 0)
+                    s.add(out.avgMarkCpuUs);
+            }
+            return s.mean();
+        };
+        double off = measure(rt::GcMode::Baseline);
+        double on = measure(rt::GcMode::Golf);
+        if (off <= 0 || on <= 0)
+            continue;
+        double slowdown = on / off;
+        (p->correct ? slowCorrect : slowDeadlock).add(slowdown);
+        csv << p->name << ","
+            << (p->correct ? "correct" : "deadlock") << "," << off
+            << "," << on << "," << slowdown << "\n";
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+
+    writeTex("results.tex", slowCorrect, slowDeadlock);
+    std::printf("perf results: results-perf.csv, box plot: "
+                "results.tex\n");
+    std::printf("correct: %s\n",
+                support::BoxStats::of(slowCorrect).str().c_str());
+    std::printf("deadlocking: %s\n",
+                support::BoxStats::of(slowDeadlock).str().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        std::fprintf(
+            stderr,
+            "usage: golf_tester [-match re] [-repeats n] "
+            "[-procs 1,2,4] [-report path] [-perf] [-seed n]\n");
+        return 2;
+    }
+    return opt.perf ? runPerf(opt) : runCoverage(opt);
+}
