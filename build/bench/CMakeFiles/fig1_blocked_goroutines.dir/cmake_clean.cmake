@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_blocked_goroutines.dir/fig1_blocked_goroutines.cpp.o"
+  "CMakeFiles/fig1_blocked_goroutines.dir/fig1_blocked_goroutines.cpp.o.d"
+  "fig1_blocked_goroutines"
+  "fig1_blocked_goroutines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_blocked_goroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_golf_vs_goleak.dir/fig3_golf_vs_goleak.cpp.o"
+  "CMakeFiles/fig3_golf_vs_goleak.dir/fig3_golf_vs_goleak.cpp.o.d"
+  "fig3_golf_vs_goleak"
+  "fig3_golf_vs_goleak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_golf_vs_goleak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_golf_vs_goleak.
+# This may be replaced when dependencies are built.

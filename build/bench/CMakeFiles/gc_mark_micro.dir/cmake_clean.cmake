@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_mark_micro.dir/gc_mark_micro.cpp.o"
+  "CMakeFiles/gc_mark_micro.dir/gc_mark_micro.cpp.o.d"
+  "gc_mark_micro"
+  "gc_mark_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_mark_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

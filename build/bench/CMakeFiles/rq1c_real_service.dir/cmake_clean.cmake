@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq1c_real_service.dir/rq1c_real_service.cpp.o"
+  "CMakeFiles/rq1c_real_service.dir/rq1c_real_service.cpp.o.d"
+  "rq1c_real_service"
+  "rq1c_real_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq1c_real_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

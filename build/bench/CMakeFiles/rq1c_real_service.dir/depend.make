@@ -1,0 +1,2 @@
+# Empty dependencies file for rq1c_real_service.
+# This may be replaced when dependencies are built.

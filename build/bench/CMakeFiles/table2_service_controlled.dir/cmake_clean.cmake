@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_service_controlled.dir/table2_service_controlled.cpp.o"
+  "CMakeFiles/table2_service_controlled.dir/table2_service_controlled.cpp.o.d"
+  "table2_service_controlled"
+  "table2_service_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_service_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_service_production.dir/table3_service_production.cpp.o"
+  "CMakeFiles/table3_service_production.dir/table3_service_production.cpp.o.d"
+  "table3_service_production"
+  "table3_service_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_service_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_service.dir/email_service.cpp.o"
+  "CMakeFiles/email_service.dir/email_service.cpp.o.d"
+  "email_service"
+  "email_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

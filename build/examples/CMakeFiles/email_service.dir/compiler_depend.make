@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for email_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_negatives.dir/false_negatives.cpp.o"
+  "CMakeFiles/false_negatives.dir/false_negatives.cpp.o.d"
+  "false_negatives"
+  "false_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finalizer_semantics.dir/finalizer_semantics.cpp.o"
+  "CMakeFiles/finalizer_semantics.dir/finalizer_semantics.cpp.o.d"
+  "finalizer_semantics"
+  "finalizer_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finalizer_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

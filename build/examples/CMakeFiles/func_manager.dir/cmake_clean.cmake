@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/func_manager.dir/func_manager.cpp.o"
+  "CMakeFiles/func_manager.dir/func_manager.cpp.o.d"
+  "func_manager"
+  "func_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/func_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

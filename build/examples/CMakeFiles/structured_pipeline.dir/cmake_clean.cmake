@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_pipeline.dir/structured_pipeline.cpp.o"
+  "CMakeFiles/structured_pipeline.dir/structured_pipeline.cpp.o.d"
+  "structured_pipeline"
+  "structured_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;golf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_func_manager "/root/repo/build/examples/func_manager")
+set_tests_properties(example_func_manager PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;golf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_email_service "/root/repo/build/examples/email_service")
+set_tests_properties(example_email_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;golf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_finalizer_semantics "/root/repo/build/examples/finalizer_semantics")
+set_tests_properties(example_finalizer_semantics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;golf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_false_negatives "/root/repo/build/examples/false_negatives")
+set_tests_properties(example_false_negatives PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;golf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_structured_pipeline "/root/repo/build/examples/structured_pipeline")
+set_tests_properties(example_structured_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;golf_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/heap.cpp" "src/CMakeFiles/golfcc.dir/gc/heap.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/gc/heap.cpp.o.d"
+  "/root/repo/src/gc/marker.cpp" "src/CMakeFiles/golfcc.dir/gc/marker.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/gc/marker.cpp.o.d"
+  "/root/repo/src/golf/collector.cpp" "src/CMakeFiles/golfcc.dir/golf/collector.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/golf/collector.cpp.o.d"
+  "/root/repo/src/golf/report.cpp" "src/CMakeFiles/golfcc.dir/golf/report.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/golf/report.cpp.o.d"
+  "/root/repo/src/leakdetect/goleak.cpp" "src/CMakeFiles/golfcc.dir/leakdetect/goleak.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/leakdetect/goleak.cpp.o.d"
+  "/root/repo/src/leakdetect/leakprof.cpp" "src/CMakeFiles/golfcc.dir/leakdetect/leakprof.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/leakdetect/leakprof.cpp.o.d"
+  "/root/repo/src/microbench/harness.cpp" "src/CMakeFiles/golfcc.dir/microbench/harness.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/harness.cpp.o.d"
+  "/root/repo/src/microbench/patterns_cgo.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_cgo.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_cgo.cpp.o.d"
+  "/root/repo/src/microbench/patterns_cockroach.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_cockroach.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_cockroach.cpp.o.d"
+  "/root/repo/src/microbench/patterns_correct.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_correct.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_correct.cpp.o.d"
+  "/root/repo/src/microbench/patterns_etcd.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_etcd.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_etcd.cpp.o.d"
+  "/root/repo/src/microbench/patterns_grpc.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_grpc.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_grpc.cpp.o.d"
+  "/root/repo/src/microbench/patterns_hugo.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_hugo.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_hugo.cpp.o.d"
+  "/root/repo/src/microbench/patterns_kubernetes.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_kubernetes.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_kubernetes.cpp.o.d"
+  "/root/repo/src/microbench/patterns_misc.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_misc.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_misc.cpp.o.d"
+  "/root/repo/src/microbench/patterns_moby.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_moby.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_moby.cpp.o.d"
+  "/root/repo/src/microbench/patterns_sync.cpp" "src/CMakeFiles/golfcc.dir/microbench/patterns_sync.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/patterns_sync.cpp.o.d"
+  "/root/repo/src/microbench/registry.cpp" "src/CMakeFiles/golfcc.dir/microbench/registry.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/microbench/registry.cpp.o.d"
+  "/root/repo/src/runtime/context.cpp" "src/CMakeFiles/golfcc.dir/runtime/context.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/runtime/context.cpp.o.d"
+  "/root/repo/src/runtime/goroutine.cpp" "src/CMakeFiles/golfcc.dir/runtime/goroutine.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/runtime/goroutine.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/golfcc.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/golfcc.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/timeapi.cpp" "src/CMakeFiles/golfcc.dir/runtime/timeapi.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/runtime/timeapi.cpp.o.d"
+  "/root/repo/src/runtime/tracer.cpp" "src/CMakeFiles/golfcc.dir/runtime/tracer.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/runtime/tracer.cpp.o.d"
+  "/root/repo/src/service/corpus.cpp" "src/CMakeFiles/golfcc.dir/service/corpus.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/service/corpus.cpp.o.d"
+  "/root/repo/src/service/metrics.cpp" "src/CMakeFiles/golfcc.dir/service/metrics.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/service/metrics.cpp.o.d"
+  "/root/repo/src/service/service.cpp" "src/CMakeFiles/golfcc.dir/service/service.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/service/service.cpp.o.d"
+  "/root/repo/src/service/workload.cpp" "src/CMakeFiles/golfcc.dir/service/workload.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/service/workload.cpp.o.d"
+  "/root/repo/src/support/panic.cpp" "src/CMakeFiles/golfcc.dir/support/panic.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/support/panic.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/golfcc.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/golfcc.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/vclock.cpp" "src/CMakeFiles/golfcc.dir/support/vclock.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/support/vclock.cpp.o.d"
+  "/root/repo/src/sync/condvar.cpp" "src/CMakeFiles/golfcc.dir/sync/condvar.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/sync/condvar.cpp.o.d"
+  "/root/repo/src/sync/mutex.cpp" "src/CMakeFiles/golfcc.dir/sync/mutex.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/sync/mutex.cpp.o.d"
+  "/root/repo/src/sync/rwmutex.cpp" "src/CMakeFiles/golfcc.dir/sync/rwmutex.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/sync/rwmutex.cpp.o.d"
+  "/root/repo/src/sync/semaphore.cpp" "src/CMakeFiles/golfcc.dir/sync/semaphore.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/sync/semaphore.cpp.o.d"
+  "/root/repo/src/sync/waitgroup.cpp" "src/CMakeFiles/golfcc.dir/sync/waitgroup.cpp.o" "gcc" "src/CMakeFiles/golfcc.dir/sync/waitgroup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

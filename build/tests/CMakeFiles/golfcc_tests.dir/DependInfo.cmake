@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chan_model_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/chan_model_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/chan_model_test.cpp.o.d"
+  "/root/repo/tests/chan_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/chan_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/chan_test.cpp.o.d"
+  "/root/repo/tests/collector_stats_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/collector_stats_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/collector_stats_test.cpp.o.d"
+  "/root/repo/tests/context_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/context_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/context_test.cpp.o.d"
+  "/root/repo/tests/detection_rate_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/detection_rate_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/detection_rate_test.cpp.o.d"
+  "/root/repo/tests/eager_liveness_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/eager_liveness_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/eager_liveness_test.cpp.o.d"
+  "/root/repo/tests/errgroup_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/errgroup_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/errgroup_test.cpp.o.d"
+  "/root/repo/tests/gc_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/gc_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/gc_test.cpp.o.d"
+  "/root/repo/tests/golf_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/golf_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/golf_test.cpp.o.d"
+  "/root/repo/tests/hints_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/hints_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/hints_test.cpp.o.d"
+  "/root/repo/tests/leakdetect_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/leakdetect_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/leakdetect_test.cpp.o.d"
+  "/root/repo/tests/microbench_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/microbench_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/microbench_test.cpp.o.d"
+  "/root/repo/tests/pool_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/pool_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/pool_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/reclaim_injection_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/reclaim_injection_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/reclaim_injection_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/runtime_edge_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/runtime_edge_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/runtime_edge_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/select_fairness_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/select_fairness_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/select_fairness_test.cpp.o.d"
+  "/root/repo/tests/service_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/service_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/service_test.cpp.o.d"
+  "/root/repo/tests/soak_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/soak_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/soak_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/sync_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/sync_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/tracer_test.cpp" "tests/CMakeFiles/golfcc_tests.dir/tracer_test.cpp.o" "gcc" "tests/CMakeFiles/golfcc_tests.dir/tracer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/golfcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golf_tester.dir/golf_tester.cpp.o"
+  "CMakeFiles/golf_tester.dir/golf_tester.cpp.o.d"
+  "golf_tester"
+  "golf_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golf_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
