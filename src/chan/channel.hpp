@@ -189,6 +189,18 @@ class Channel : public gc::Object
 
     const char* objectName() const override { return "chan"; }
 
+    std::string
+    validate() const override
+    {
+        if (cap_ > 0 && buf_.size() > cap_)
+            return "buffer exceeds capacity";
+        if (const char* bad = validateQueue(sendq_, rt::WaitReason::ChanSend))
+            return bad;
+        if (const char* bad = validateQueue(recvq_, rt::WaitReason::ChanRecv))
+            return bad;
+        return {};
+    }
+
   private:
     using Queue = support::IList<WaiterBase, &WaiterBase::node>;
 
@@ -199,6 +211,14 @@ class Channel : public gc::Object
     {
         while (WaiterBase* w = q.front()) {
             if (w->sel && w->sel->claimed) {
+                w->node.unlink();
+                continue;
+            }
+            if (w->g &&
+                w->g->status() == rt::GStatus::Quarantined) {
+                // A quarantined goroutine's waiters may survive in
+                // the queue (its unwind failed); no wakeup must ever
+                // reach it.
                 w->node.unlink();
                 continue;
             }
@@ -223,6 +243,42 @@ class Channel : public gc::Object
 
     Waiter<T>* popRecvWaiter() { return popActive(recvq_); }
     Waiter<T>* popSendWaiter() { return popActive(sendq_); }
+
+    /** verifyInvariants() support: every enqueued waiter must belong
+     *  to a goroutine in a state that can legitimately hold one. */
+    const char*
+    validateQueue(const Queue& q, rt::WaitReason reason) const
+    {
+        const char* bad = nullptr;
+        q.forEach([&](WaiterBase* w) {
+            if (bad)
+                return;
+            if (w->sel && w->sel->claimed)
+                return; // stale select waiter, unlinked lazily
+            if (!w->g) {
+                bad = "enqueued waiter with a null goroutine";
+                return;
+            }
+            const rt::GStatus s = w->g->status();
+            const bool ok =
+                s == rt::GStatus::Waiting ||
+                s == rt::GStatus::Deadlocked ||
+                s == rt::GStatus::PendingReclaim ||
+                s == rt::GStatus::Quarantined ||
+                (s == rt::GStatus::Runnable && w->g->spuriousWake());
+            if (!ok) {
+                bad = "waiter whose goroutine is neither parked nor "
+                      "pending unwind";
+                return;
+            }
+            if (!w->sel && s != rt::GStatus::Quarantined &&
+                w->g->waitReason() != reason) {
+                bad = "waiter whose goroutine reports a different "
+                      "wait reason";
+            }
+        });
+        return bad;
+    }
 
     rt::Runtime& rt_;
     size_t cap_;
@@ -263,6 +319,7 @@ class SendOp
     bool
     await_suspend(std::coroutine_handle<> h)
     {
+        rt::checkFault(rt::FaultSite::ChanSend);
         rt::Runtime* rt = rt::Runtime::current();
         rt::Goroutine* g = rt->currentGoroutine();
         if (!ch_) {
@@ -317,6 +374,7 @@ class RecvOp
     bool
     await_suspend(std::coroutine_handle<> h)
     {
+        rt::checkFault(rt::FaultSite::ChanRecv);
         rt::Runtime* rt = rt::Runtime::current();
         rt::Goroutine* g = rt->currentGoroutine();
         if (!ch_) {

@@ -305,6 +305,7 @@ class SelectOp
     bool
     await_suspend(std::coroutine_handle<> h)
     {
+        rt::checkFault(rt::FaultSite::Select);
         rt::Runtime* rt = rt::Runtime::current();
         rt::Goroutine* g = rt->currentGoroutine();
         state_.g = g;
@@ -428,6 +429,7 @@ class SelectForeverOp
     void
     await_suspend(std::coroutine_handle<> h)
     {
+        rt::checkFault(rt::FaultSite::Select);
         rt::Runtime* rt = rt::Runtime::current();
         rt->park(rt->currentGoroutine(), h,
                  rt::WaitReason::SelectNoCases, {}, true, site_);

@@ -48,9 +48,30 @@ class Heap
     T*
     make(Args&&... args)
     {
+        // The pre-allocation hook may throw (simulated OOM under
+        // fault injection) — before anything is constructed.
+        if (allocHook_)
+            allocHook_(sizeof(T));
         T* obj = new T(std::forward<Args>(args)...);
         adopt(obj, sizeof(T));
         return obj;
+    }
+
+    /** Install a hook consulted before every managed allocation. */
+    void
+    setAllocHook(std::function<void(size_t)> hook)
+    {
+        allocHook_ = std::move(hook);
+    }
+
+    /** Visit every live object (the all-objects list); fn must not
+     *  allocate or free. */
+    template <typename Fn>
+    void
+    forEachObject(Fn&& fn) const
+    {
+        for (Object* obj = allHead_; obj; obj = obj->allNext_)
+            fn(obj);
     }
 
     /** Register an externally constructed object with this heap,
@@ -119,6 +140,7 @@ class Heap
     uint64_t triggerBytes_;
     MemStats stats_;
     RootList globalRoots_;
+    std::function<void(size_t)> allocHook_;
     std::unordered_map<Object*, std::function<void()>> finalizers_;
     std::vector<std::function<void()>> finalizerQueue_;
 };

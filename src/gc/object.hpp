@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace golf::gc {
 
@@ -40,8 +41,19 @@ class Object
     /** Debug name used in reports and tests. */
     virtual const char* objectName() const { return "object"; }
 
+    /**
+     * Self-check of the object's internal invariants, used by
+     * rt::Runtime::verifyInvariants() (chaos mode). Returns an empty
+     * string when consistent, else a description of the violation.
+     * Must not mutate, allocate or free.
+     */
+    virtual std::string validate() const { return {}; }
+
     /** The heap that owns this object, or nullptr if unmanaged. */
     Heap* heap() const { return heap_; }
+
+    /** Bytes currently charged to this object. */
+    size_t allocSize() const { return allocSize_; }
 
     /** Whether a finalizer is attached (paper Section 5.5). */
     bool hasFinalizer() const { return hasFinalizer_; }

@@ -65,6 +65,11 @@ Collector::isAlwaysLiveRoot(const rt::Goroutine* g) const
       case rt::GStatus::Done:
       case rt::GStatus::PendingReclaim:
         return false;
+      case rt::GStatus::Quarantined:
+        // Unwinding failed mid-reclaim: the goroutine is isolated
+        // from the root set for good; whatever its frames still
+        // reference is allowed to die.
+        return false;
     }
     return false;
 }
@@ -174,7 +179,14 @@ Collector::collect()
     for (rt::Goroutine* g : pendingReclaim_) {
         if (g->status() == rt::GStatus::PendingReclaim) {
             rt_.reclaimGoroutine(g);
-            ++cs.reclaimed;
+            // Unwinding can fail (injected ReclaimFailure or a defer
+            // that throws while the frame is torn down); the runtime
+            // quarantines the goroutine instead of completing the
+            // reclaim.
+            if (g->status() == rt::GStatus::Quarantined)
+                ++cs.quarantined;
+            else
+                ++cs.reclaimed;
         }
     }
     if (!pendingReclaim_.empty())
@@ -225,6 +237,12 @@ Collector::collect()
         (!inertGlobals_.empty() || !inertGoroutineIds_.empty());
     rt_.forEachGoroutine([&](rt::Goroutine* g) {
         if (!g->hasFrames())
+            return;
+        // Quarantined goroutines may still hold intact frames (the
+        // failure happened before frame destruction began), but they
+        // are excluded from every root set in both modes: their
+        // memory is unreferenced by construction.
+        if (g->status() == rt::GStatus::Quarantined)
             return;
         if (detecting && useHints &&
             inertGoroutineIds_.count(g->id())) {
@@ -301,8 +319,11 @@ Collector::collect()
         for (const gc::Object* obj : inertGlobals_)
             marker.mark(const_cast<gc::Object*>(obj));
         rt_.forEachGoroutine([&](rt::Goroutine* g) {
-            if (g->hasFrames() && inertGoroutineIds_.count(g->id()))
+            if (g->hasFrames() &&
+                g->status() != rt::GStatus::Quarantined &&
+                inertGoroutineIds_.count(g->id())) {
                 markGoroutine(marker, g);
+            }
         });
         marker.drain();
     }

@@ -55,6 +55,8 @@ struct CycleStats
     size_t freedObjects = 0;
     size_t deadlocksFound = 0;
     size_t reclaimed = 0;
+    /** Reclaims whose unwind failed; the goroutine was isolated. */
+    size_t quarantined = 0;
 };
 
 class Collector

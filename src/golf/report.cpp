@@ -36,6 +36,16 @@ DeadlockReport::json() const
     return os.str();
 }
 
+std::string
+QuarantineRecord::str() const
+{
+    std::ostringstream os;
+    os << "quarantine! goroutine " << goroutineId
+       << ": forced shutdown failed (" << reason << ") at t="
+       << vtime << "ns; goroutine isolated";
+    return os.str();
+}
+
 void
 ReportLog::add(const DeadlockReport& r)
 {
@@ -71,9 +81,18 @@ ReportLog::countAtSpawnSite(const std::string& fileLine) const
 }
 
 void
+ReportLog::addQuarantine(uint64_t goroutineId, std::string reason,
+                         support::VTime vtime)
+{
+    quarantines_.push_back(
+        QuarantineRecord{goroutineId, std::move(reason), vtime});
+}
+
+void
 ReportLog::clear()
 {
     reports_.clear();
+    quarantines_.clear();
     dedup_.clear();
 }
 

@@ -43,11 +43,32 @@ struct DeadlockReport
     std::string json() const;
 };
 
+/** A goroutine whose forced shutdown failed mid-unwind and was
+ *  isolated instead of recycled (crash-safe reclaim). */
+struct QuarantineRecord
+{
+    uint64_t goroutineId = 0;
+    std::string reason;
+    support::VTime vtime = 0;
+
+    std::string str() const;
+};
+
 /** Accumulates individual reports plus deduplicated counts. */
 class ReportLog
 {
   public:
     void add(const DeadlockReport& r);
+
+    /** Record a quarantined goroutine (reclaim-unwind failure). */
+    void addQuarantine(uint64_t goroutineId, std::string reason,
+                       support::VTime vtime);
+
+    /** All quarantine records, in order. */
+    const std::vector<QuarantineRecord>& quarantines() const
+    {
+        return quarantines_;
+    }
 
     /** All individual reports, in detection order. */
     const std::vector<DeadlockReport>& all() const { return reports_; }
@@ -82,6 +103,7 @@ class ReportLog
 
   private:
     std::vector<DeadlockReport> reports_;
+    std::vector<QuarantineRecord> quarantines_;
     std::map<std::string, size_t> dedup_;
     std::function<void(const DeadlockReport&)> sink_;
 };

@@ -63,6 +63,8 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.gcMode = cfg.gcMode;
     rc.recovery = cfg.recovery;
     rc.detectEveryN = cfg.detectEveryN;
+    rc.faults = cfg.faults;
+    rc.verifyEveryGc = cfg.verifyInvariants;
 
     RunOutcome out;
 
@@ -106,6 +108,15 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
             static_cast<double>(collector.totalMarkCpuNs()) / 1000.0 /
             static_cast<double>(out.gcCycles);
     }
+
+    if (cfg.faults.enabled) {
+        out.faultsInjected = runtime.faults().injected();
+        out.containedPanics = runtime.containedPanics();
+        out.quarantined = log.quarantines().size();
+        out.faultTrace = runtime.faults().trace();
+    }
+    if (cfg.verifyInvariants)
+        out.invariantViolations = runtime.verifyInvariants();
     return out;
 }
 

@@ -33,6 +33,11 @@ struct HarnessConfig
     support::VTime duration = 5 * support::kSecond;
     /** Cap on concurrent pattern instances derived from flakiness. */
     int maxInstances = 24;
+    /** Fault-injection ("chaos") configuration, off by default. */
+    rt::FaultConfig faults;
+    /** Cross-check runtime invariants after every GC cycle and once
+     *  at the end of the run. */
+    bool verifyInvariants = false;
 };
 
 /** Outcome of one program execution. */
@@ -50,6 +55,16 @@ struct RunOutcome
     uint64_t gcCycles = 0;
     double avgMarkWallUs = 0.0;
     double avgMarkCpuUs = 0.0;
+    /** Chaos accounting (zero unless cfg.faults.enabled). */
+    uint64_t faultsInjected = 0;
+    uint64_t containedPanics = 0;
+    uint64_t quarantined = 0;
+    /** Per-fault decision log, one line per injection; identical for
+     *  identical (seed, config) — the determinism contract. */
+    std::string faultTrace;
+    /** Invariant violations found by verifyInvariants (empty when the
+     *  check is disabled or everything held). */
+    std::vector<std::string> invariantViolations;
 };
 
 /** Number of concurrent instances for a flakiness score. */

@@ -1,0 +1,53 @@
+#include "runtime/defer.hpp"
+
+#include "runtime/goroutine.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf::rt {
+
+Defer::~Defer() noexcept(false)
+{
+    if (!fn_)
+        return;
+    const bool unwinding =
+        std::uncaught_exceptions() > uncaughtAtEntry_;
+    if (!unwinding) {
+        // Normal scope exit or forced frame destruction: a throw here
+        // propagates (reclaim turns it into a quarantine).
+        fn_();
+        return;
+    }
+    // Running while a panic unwinds the frame. A second exception
+    // escaping the deferred body would std::terminate, so it is
+    // swallowed; Go similarly replaces rather than doubles panics.
+    try {
+        fn_();
+    } catch (...) {
+    }
+}
+
+std::optional<std::string>
+recover()
+{
+    Runtime* rt = Runtime::current();
+    if (!rt)
+        return std::nullopt;
+    Goroutine* g = rt->currentGoroutine();
+    if (!g || !g->panicking_)
+        return std::nullopt;
+    g->panicking_ = false;
+    g->recoverArmed_ = true;
+    return g->panicMessage_;
+}
+
+bool
+panicking()
+{
+    Runtime* rt = Runtime::current();
+    if (!rt)
+        return false;
+    Goroutine* g = rt->currentGoroutine();
+    return g && g->panicking_;
+}
+
+} // namespace golf::rt

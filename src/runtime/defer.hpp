@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Go-style defer/recover for goroutine bodies.
+ *
+ * GOLF_DEFER registers a cleanup that runs when the enclosing scope
+ * exits — on normal return, while a Go-level panic unwinds the frame
+ * chain, or when the collector force-destroys a deadlocked goroutine's
+ * frames (the Section 5.4 forced shutdown). Deferred functions run in
+ * LIFO order per scope, exactly like C++ destructors, which is how Go
+ * orders defers within a function.
+ *
+ * recover(): inside a deferred function running during a panic unwind,
+ * returns the panic message and arms the goroutine so the *enclosing
+ * coroutine frame* swallows the exception and completes with its zero
+ * value — Go's "recover stops the panic at the enclosing function"
+ * semantics, mapped onto coroutine frames. Outside an unwind it
+ * returns nullopt and has no effect.
+ *
+ * Forced-reclaim interaction: frame destruction runs Defer bodies with
+ * no exception in flight, so a *throwing* deferred function propagates
+ * out of Handle::destroy() — that is the hook the chaos tests use to
+ * exercise the collector's quarantine path (~Defer is noexcept(false)
+ * for exactly this reason).
+ */
+#ifndef GOLFCC_RUNTIME_DEFER_HPP
+#define GOLFCC_RUNTIME_DEFER_HPP
+
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace golf::rt {
+
+class Defer
+{
+  public:
+    template <typename Fn>
+    explicit Defer(Fn&& fn)
+        : fn_(std::forward<Fn>(fn)),
+          uncaughtAtEntry_(std::uncaught_exceptions())
+    {}
+
+    /** noexcept(false): a deferred function that throws during frame
+     *  destruction (no panic in flight) must propagate so reclaim can
+     *  quarantine the goroutine instead of std::terminate'ing. */
+    ~Defer() noexcept(false);
+
+    Defer(const Defer&) = delete;
+    Defer& operator=(const Defer&) = delete;
+
+  private:
+    std::function<void()> fn_;
+    /** Exception-in-flight count at construction; a higher count at
+     *  destruction means we are unwinding a panic. */
+    int uncaughtAtEntry_;
+};
+
+/**
+ * Go's recover(): meaningful only inside a deferred function while a
+ * panic unwinds the current goroutine. Returns the panic message and
+ * stops the panic at the enclosing coroutine frame; returns nullopt
+ * (and does nothing) otherwise.
+ */
+std::optional<std::string> recover();
+
+/** Whether the current goroutine is unwinding a panic right now. */
+bool panicking();
+
+#define GOLF_DEFER_CONCAT2(a, b) a##b
+#define GOLF_DEFER_CONCAT(a, b) GOLF_DEFER_CONCAT2(a, b)
+
+/** GOLF_DEFER([&]{ ... }); — the `defer` statement. */
+#define GOLF_DEFER(...) \
+    ::golf::rt::Defer GOLF_DEFER_CONCAT(golfDefer_, __COUNTER__)( \
+        __VA_ARGS__)
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_DEFER_HPP

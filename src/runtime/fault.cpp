@@ -1,0 +1,130 @@
+#include "runtime/fault.hpp"
+
+#include <sstream>
+
+namespace golf::rt {
+
+const char*
+faultSiteName(FaultSite s)
+{
+    switch (s) {
+      case FaultSite::ChanSend: return "chan-send";
+      case FaultSite::ChanRecv: return "chan-recv";
+      case FaultSite::Select: return "select";
+      case FaultSite::MutexLock: return "mutex-lock";
+      case FaultSite::RWMutexRLock: return "rwmutex-rlock";
+      case FaultSite::RWMutexWLock: return "rwmutex-wlock";
+      case FaultSite::WaitGroupWait: return "waitgroup-wait";
+      case FaultSite::CondWait: return "cond-wait";
+      case FaultSite::SemAcquire: return "sem-acquire";
+      case FaultSite::Park: return "park";
+      case FaultSite::Wakeup: return "wakeup";
+      case FaultSite::HeapAlloc: return "heap-alloc";
+      case FaultSite::GcSafepoint: return "gc-safepoint";
+      case FaultSite::Reclaim: return "reclaim";
+    }
+    return "?";
+}
+
+const char*
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None: return "none";
+      case FaultKind::Panic: return "panic";
+      case FaultKind::SpuriousWakeup: return "spurious-wakeup";
+      case FaultKind::DelayedWakeup: return "delayed-wakeup";
+      case FaultKind::AllocFail: return "alloc-fail";
+      case FaultKind::ForceGc: return "force-gc";
+      case FaultKind::ReclaimFailure: return "reclaim-failure";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, uint64_t masterSeed)
+    : cfg_(cfg),
+      // Decorrelate from the scheduler's stream while staying a pure
+      // function of the master seed.
+      rng_(masterSeed ^ 0xC4A05F0D5EEDull)
+{
+}
+
+FaultKind
+FaultInjector::decide(FaultSite site, support::VTime now, uint64_t gid)
+{
+    if (!cfg_.enabled)
+        return FaultKind::None;
+    ++decisions_;
+    if (log_.size() >= cfg_.maxFaults)
+        return FaultKind::None;
+
+    // One uniform draw per decision; each site offers a menu of fault
+    // kinds selected by cumulative probability thresholds.
+    const double u = rng_.nextDouble();
+    FaultKind kind = FaultKind::None;
+    switch (site) {
+      case FaultSite::Park:
+        if (u < cfg_.spuriousWakeupProb)
+            kind = FaultKind::SpuriousWakeup;
+        break;
+      case FaultSite::Wakeup:
+        if (u < cfg_.delayedWakeupProb)
+            kind = FaultKind::DelayedWakeup;
+        break;
+      case FaultSite::HeapAlloc:
+        if (u < cfg_.allocFailProb)
+            kind = FaultKind::AllocFail;
+        break;
+      case FaultSite::GcSafepoint:
+        if (u < cfg_.forceGcProb)
+            kind = FaultKind::ForceGc;
+        break;
+      case FaultSite::Reclaim:
+        if (u < cfg_.reclaimFailureProb)
+            kind = FaultKind::ReclaimFailure;
+        break;
+      default:
+        // Blocking-operation sites: panic first, then a forced GC
+        // timed adversarially right at the park.
+        if (u < cfg_.panicProb)
+            kind = FaultKind::Panic;
+        else if (u < cfg_.panicProb + cfg_.forceGcProb)
+            kind = FaultKind::ForceGc;
+        break;
+    }
+
+    if (kind != FaultKind::None)
+        log_.push_back(FaultRecord{log_.size(), now, site, kind, gid});
+    return kind;
+}
+
+support::VTime
+FaultInjector::drawDelay()
+{
+    const auto max = static_cast<uint64_t>(
+        cfg_.delayMaxNs > 0 ? cfg_.delayMaxNs : 1);
+    return static_cast<support::VTime>(rng_.nextBelow(max) + 1);
+}
+
+uint64_t
+FaultInjector::countOf(FaultKind k) const
+{
+    uint64_t n = 0;
+    for (const auto& r : log_)
+        n += r.kind == k ? 1 : 0;
+    return n;
+}
+
+std::string
+FaultInjector::trace() const
+{
+    std::ostringstream os;
+    for (const auto& r : log_) {
+        os << r.seq << " t=" << r.vtime << " g=" << r.goroutineId
+           << " " << faultSiteName(r.site) << " "
+           << faultKindName(r.kind) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace golf::rt

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic fault injection ("chaos") for the golfcc runtime.
+ *
+ * The paper's recovery story (Sections 5.4-5.5) depends on forced
+ * shutdown being safe no matter where a goroutine was parked; related
+ * work on dynamic deadlock prediction stresses that such bugs "only
+ * occur under specific schedulings". The FaultInjector explores those
+ * schedulings systematically: every scheduling point (channel park,
+ * sync acquire, heap allocation, GC safepoint, reclaim) consults the
+ * injector, which draws from an RNG derived from the master seed —
+ * so any failure reproduces exactly from (seed, config).
+ *
+ * Fault kinds:
+ *  - Panic: throw InjectedFault into the parking goroutine's frame
+ *    chain (propagates out of the co_await per [expr.await]);
+ *  - SpuriousWakeup: requeue a parked goroutine without granting the
+ *    operation; it burns a slice and re-parks (futex-style);
+ *  - DelayedWakeup: postpone a genuine wakeup by a bounded interval;
+ *  - AllocFail: simulated OOM, triggering one emergency collection
+ *    before a second failure surfaces FatalError;
+ *  - ForceGc: adversarially timed collection at the next safepoint;
+ *  - ReclaimFailure: make the forced shutdown of a PendingReclaim
+ *    goroutine throw, exercising the quarantine path.
+ */
+#ifndef GOLFCC_RUNTIME_FAULT_HPP
+#define GOLFCC_RUNTIME_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/panic.hpp"
+#include "support/rng.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::rt {
+
+/** Where in the runtime a fault decision is being made. */
+enum class FaultSite : uint8_t
+{
+    ChanSend,      ///< Blocking channel send about to park.
+    ChanRecv,      ///< Blocking channel receive about to park.
+    Select,        ///< Select statement about to park.
+    MutexLock,     ///< sync.Mutex.Lock about to park.
+    RWMutexRLock,  ///< sync.RWMutex.RLock about to park.
+    RWMutexWLock,  ///< sync.RWMutex.Lock about to park.
+    WaitGroupWait, ///< sync.WaitGroup.Wait about to park.
+    CondWait,      ///< sync.Cond.Wait about to park.
+    SemAcquire,    ///< Semaphore acquire about to park.
+    Park,          ///< A goroutine just parked (spurious-wake draw).
+    Wakeup,        ///< A goroutine is being woken (delay draw).
+    HeapAlloc,     ///< Managed allocation (simulated OOM draw).
+    GcSafepoint,   ///< Scheduler safepoint (forced-collection draw).
+    Reclaim,       ///< Forced shutdown of a PendingReclaim goroutine.
+};
+
+const char* faultSiteName(FaultSite s);
+
+/** What the injector decided to do at a site. */
+enum class FaultKind : uint8_t
+{
+    None,
+    Panic,
+    SpuriousWakeup,
+    DelayedWakeup,
+    AllocFail,
+    ForceGc,
+    ReclaimFailure,
+};
+
+constexpr size_t kFaultKindCount = 7;
+
+const char* faultKindName(FaultKind k);
+
+/** Injection knobs, carried inside rt::Config. */
+struct FaultConfig
+{
+    bool enabled = false;
+    /** P(injected panic) per blocking-operation park. */
+    double panicProb = 0.0;
+    /** P(spurious wakeup) per completed park. */
+    double spuriousWakeupProb = 0.0;
+    /** P(delayed wakeup) per genuine wakeup. */
+    double delayedWakeupProb = 0.0;
+    /** P(simulated OOM) per managed allocation. */
+    double allocFailProb = 0.0;
+    /** P(forced collection) per safepoint and per blocking park. */
+    double forceGcProb = 0.0;
+    /** P(throwing unwind) per forced reclaim. */
+    double reclaimFailureProb = 0.0;
+    /** Upper bound on spurious/delayed wakeup scheduling horizons. */
+    support::VTime delayMaxNs = 500 * support::kMicrosecond;
+    /** Stop injecting after this many faults (determinism intact). */
+    uint64_t maxFaults = UINT64_MAX;
+    /**
+     * When true (default), an injected panic kills only the goroutine
+     * it hit — the chaos analog of a per-request recover() — instead
+     * of crashing the whole run like a real Go panic would.
+     */
+    bool containInjectedPanics = true;
+};
+
+/** One injected fault, as logged for replay comparison. */
+struct FaultRecord
+{
+    uint64_t seq = 0;
+    support::VTime vtime = 0;
+    FaultSite site = FaultSite::Park;
+    FaultKind kind = FaultKind::None;
+    uint64_t goroutineId = 0;
+};
+
+/**
+ * The exception thrown into a goroutine by an injected panic. Derives
+ * GoPanicError so defer/recover and the panic bookkeeping treat it
+ * exactly like a user-level panic.
+ */
+class InjectedFault : public support::GoPanicError
+{
+  public:
+    explicit InjectedFault(const std::string& msg)
+        : support::GoPanicError(msg)
+    {}
+};
+
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    FaultInjector(const FaultConfig& cfg, uint64_t masterSeed);
+
+    bool enabled() const { return cfg_.enabled; }
+
+    /** Mutable so tests can phase probabilities mid-run. */
+    FaultConfig& config() { return cfg_; }
+    const FaultConfig& config() const { return cfg_; }
+
+    /**
+     * Decide whether a fault fires at this site. Exactly one RNG draw
+     * per call when enabled, so the decision stream is a pure function
+     * of (seed, sequence of decide calls) — i.e. of the schedule.
+     * Injected faults are appended to the log.
+     */
+    FaultKind decide(FaultSite site, support::VTime now, uint64_t gid);
+
+    /** Deterministic wakeup delay in (0, delayMaxNs]. */
+    support::VTime drawDelay();
+
+    const std::vector<FaultRecord>& log() const { return log_; }
+    uint64_t injected() const { return log_.size(); }
+    uint64_t decisions() const { return decisions_; }
+    uint64_t countOf(FaultKind k) const;
+
+    /**
+     * Byte-stable text dump of the fault schedule: identical seed +
+     * config + program must yield an identical string (the chaos
+     * runner's reproducibility check).
+     */
+    std::string trace() const;
+
+  private:
+    FaultConfig cfg_;
+    support::Rng rng_{1};
+    std::vector<FaultRecord> log_;
+    uint64_t decisions_ = 0;
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_FAULT_HPP

@@ -17,6 +17,7 @@ statusName(GStatus s)
       case GStatus::Done: return "done";
       case GStatus::PendingReclaim: return "pending-reclaim";
       case GStatus::Deadlocked: return "deadlocked";
+      case GStatus::Quarantined: return "quarantined";
     }
     return "?";
 }

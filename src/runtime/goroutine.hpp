@@ -14,6 +14,8 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "gc/root.hpp"
@@ -88,10 +90,20 @@ class Goroutine
      *  (the paper extends *g with exactly this field, §5.4). */
     support::MaskedPtr<void> blockedSema() const { return blockedSema_; }
 
+    /** Whether an injected spurious wakeup put this goroutine on the
+     *  run queue without granting its blocking operation. */
+    bool spuriousWake() const { return spuriousWake_; }
+
+    /** Whether a panic is currently unwinding this goroutine. */
+    bool panicking() const { return panicking_; }
+
   private:
     friend class Runtime;
     friend class Scheduler;
     friend class ParkGuard;
+    friend std::optional<std::string> recover();
+    friend bool panicking();
+    friend bool detail::consumeRecover();
 
     /// @{ Scheduling internals, manipulated by Runtime/Scheduler.
     Id id_ = 0;
@@ -113,6 +125,20 @@ class Goroutine
     /** Scratch used by select to record the chosen case. */
     int selectChoice_ = -1;
     bool selectDone_ = false;
+    /// @}
+
+    /// @{ Panic/recover and fault-injection state.
+    /** A Go-level panic is unwinding this goroutine's frames. */
+    bool panicking_ = false;
+    /** Message captured when the panic was raised (recover() result —
+     *  std::current_exception is unusable inside unwinding defers). */
+    std::string panicMessage_;
+    /** recover() ran: the enclosing frame swallows the exception and
+     *  completes with its zero value. */
+    bool recoverArmed_ = false;
+    /** Runnable due to an injected spurious wakeup; wait state fields
+     *  are retained so the goroutine can re-park unchanged. */
+    bool spuriousWake_ = false;
     /// @}
 };
 

@@ -1,7 +1,10 @@
 #include "runtime/runtime.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <ctime>
 #include <sstream>
+#include <unordered_set>
 
 #include "gc/marker.hpp"
 #include "golf/collector.hpp"
@@ -18,6 +21,32 @@ runtimeStack()
 {
     static std::vector<Runtime*> stack;
     return stack;
+}
+
+/** goPanic observer: capture the panic message on the current
+ *  goroutine at throw time — std::current_exception is unusable from
+ *  a deferred function running during unwinding, so recover() reads
+ *  this instead. */
+void
+observeGoPanic(const std::string& msg)
+{
+    if (Runtime* rt = Runtime::current())
+        rt->notePanicking(msg);
+}
+
+/** Install the process-wide panic hooks (idempotent). */
+void
+installPanicHooks()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    support::setGoPanicObserver(&observeGoPanic);
+    support::setPanicFlushHook([] {
+        if (Runtime* rt = Runtime::current())
+            rt->flushPostMortem();
+    });
 }
 
 } // namespace
@@ -45,6 +74,44 @@ noteFrameFree(size_t bytes)
         rt->noteFrameFree(bytes);
 }
 
+bool
+consumeRecover()
+{
+    Runtime* rt = Runtime::current();
+    if (!rt)
+        return false;
+    Goroutine* g = rt->currentGoroutine();
+    if (!g || !g->recoverArmed_)
+        return false;
+    g->recoverArmed_ = false;
+    g->panicking_ = false;
+    g->panicMessage_.clear();
+    return true;
+}
+
+bool
+forcedUnwindActive()
+{
+    Runtime* rt = Runtime::current();
+    return rt && rt->forcedUnwindActive();
+}
+
+void
+noteForcedUnwindFailure()
+{
+    Runtime* rt = Runtime::current();
+    if (!rt)
+        return;
+    std::string why = "unknown error";
+    try {
+        throw;
+    } catch (const std::exception& ex) {
+        why = ex.what();
+    } catch (...) {
+    }
+    rt->noteForcedUnwindFailure(why);
+}
+
 } // namespace detail
 
 // ---------------------------------------------------------------------
@@ -62,6 +129,14 @@ Go::promise_type::FinalAwaiter::await_suspend(
 void
 Go::promise_type::unhandled_exception()
 {
+    if (detail::forcedUnwindActive()) {
+        detail::noteForcedUnwindFailure();
+        return;
+    }
+    // recover() in a deferred function of the goroutine body itself:
+    // the panic stops here and the goroutine completes normally.
+    if (detail::consumeRecover())
+        return;
     if (Runtime* rt = Runtime::current())
         rt->onGoroutinePanic(std::current_exception());
     else
@@ -74,10 +149,13 @@ Go::promise_type::unhandled_exception()
 Runtime::Runtime(Config config)
     : config_(config),
       heap_(config.heap),
-      sched_(*this, config.procs, config.seed)
+      sched_(*this, config.procs, config.seed),
+      injector_(config.faults, config.seed)
 {
     startCpuNs_ = processCpuNs();
     collector_ = std::make_unique<detect::Collector>(*this);
+    installPanicHooks();
+    heap_.setAllocHook([this](size_t bytes) { onAllocCheck(bytes); });
     runtimeStack().push_back(this);
 }
 
@@ -91,7 +169,16 @@ Runtime::~Runtime()
     for (auto& mp : allg_) {
         Goroutine* g = mp.get();
         if (g->hasFrames()) {
-            g->top_.destroy();
+            forcedUnwind_ = true;
+            forcedUnwindFailed_ = false;
+            try {
+                g->top_.destroy();
+            } catch (...) {
+                // A deferred function threw during teardown; there is
+                // nobody left to unwind into.
+            }
+            forcedUnwind_ = false;
+            forcedUnwindFailed_ = false;
             g->top_ = {};
             g->resumePoint_ = {};
         }
@@ -144,6 +231,10 @@ Runtime::resetForReuse(Goroutine* g)
     g->blockedSema_ = support::MaskedPtr<void>();
     g->selectChoice_ = -1;
     g->selectDone_ = false;
+    g->panicking_ = false;
+    g->panicMessage_.clear();
+    g->recoverArmed_ = false;
+    g->spuriousWake_ = false;
     g->isMain_ = false;
     g->spawnSite_ = Site{};
     g->blockSite_ = Site{};
@@ -179,11 +270,68 @@ Runtime::park(Goroutine* g, std::coroutine_handle<> resumePoint,
     g->blockedForever_ = forever;
     g->blockSite_ = blockSite;
     tracer_.record(clock_.now(), TraceEvent::Park, g->id(), reason);
+
+    if (injector_.enabled() && isDeadlockCandidate(reason) &&
+        injector_.decide(FaultSite::Park, clock_.now(), g->id()) ==
+            FaultKind::SpuriousWakeup) {
+        // Futex-style spurious wakeup: requeue the goroutine without
+        // granting its operation. The wait-state fields are retained
+        // and the waiter stays enqueued, so runSlice can re-park it
+        // WITHOUT resuming; a genuine wakeup racing the spurious one
+        // fuses in readyNow().
+        const uint64_t gid = g->id();
+        clock_.scheduleAfter(injector_.drawDelay(), [this, g, gid] {
+            if (g->id() != gid || g->status_ != GStatus::Waiting)
+                return; // recycled, woken or reclaimed meanwhile
+            g->spuriousWake_ = true;
+            g->status_ = GStatus::Runnable;
+            tracer_.record(clock_.now(), TraceEvent::SpuriousWake,
+                           g->id(), g->waitReason_);
+            sched_.enqueueReady(g);
+        });
+    }
 }
 
 void
 Runtime::ready(Goroutine* g)
 {
+    if (injector_.enabled() && g->status_ == GStatus::Waiting &&
+        injector_.decide(FaultSite::Wakeup, clock_.now(), g->id()) ==
+            FaultKind::DelayedWakeup) {
+        // Postpone the grant. The waker has already dequeued this
+        // goroutine's waiter (the operation IS granted); only the
+        // resume is late. The wait reason is rewritten to Sleep so
+        // the detector sees a slow goroutine, not a deadlocked one —
+        // it holds a granted operation and will certainly run.
+        g->waitReason_ = WaitReason::Sleep;
+        g->blockedOn_.clear();
+        g->blockedForever_ = false;
+        tracer_.record(clock_.now(), TraceEvent::DelayedWake, g->id());
+        const uint64_t gid = g->id();
+        clock_.scheduleAfter(injector_.drawDelay(), [this, g, gid] {
+            if (g->id() != gid)
+                return; // recycled: the wakeup became moot
+            readyNow(g);
+        });
+        return;
+    }
+    readyNow(g);
+}
+
+void
+Runtime::readyNow(Goroutine* g)
+{
+    if (g->spuriousWake_ && g->status_ == GStatus::Runnable) {
+        // Fuse: the goroutine is already on the run queue from an
+        // injected spurious wakeup. Clearing the retained wait state
+        // converts that pending resume into the genuine one.
+        g->spuriousWake_ = false;
+        g->waitReason_ = WaitReason::None;
+        g->blockedOn_.clear();
+        g->blockedForever_ = false;
+        tracer_.record(clock_.now(), TraceEvent::Ready, g->id());
+        return;
+    }
     if (g->status_ != GStatus::Waiting)
         support::panic("ready of a non-waiting goroutine");
     g->status_ = GStatus::Runnable;
@@ -232,12 +380,27 @@ Runtime::onGoroutineDone(Goroutine* g)
 void
 Runtime::onGoroutinePanic(std::exception_ptr e)
 {
-    result_.panicked = true;
+    if (Goroutine* g = sched_.current()) {
+        g->panicking_ = false;
+        g->panicMessage_.clear();
+        g->recoverArmed_ = false;
+    }
     try {
         std::rethrow_exception(e);
+    } catch (const InjectedFault& ex) {
+        if (injector_.config().containInjectedPanics) {
+            // The injected panic killed this goroutine only; the run
+            // survives (the chaos analog of a per-request recover()).
+            ++containedPanics_;
+            return;
+        }
+        result_.panicked = true;
+        result_.panicMessage = ex.what();
     } catch (const std::exception& ex) {
+        result_.panicked = true;
         result_.panicMessage = ex.what();
     } catch (...) {
+        result_.panicked = true;
         result_.panicMessage = "unknown panic";
     }
 }
@@ -265,8 +428,52 @@ Runtime::reclaimGoroutine(Goroutine* g)
     // Destroying the outermost frame unwinds the whole frame chain:
     // Task temporaries destroy callee frames, parked waiters unlink
     // from channel queues and the semtable, and shadow-stack roots
-    // deregister. This is the forced shutdown of Section 5.4.
-    g->top_.destroy();
+    // deregister. This is the forced shutdown of Section 5.4. The
+    // unwind runs user code (deferred functions, destructors) and so
+    // can itself fail: a failure quarantines the goroutine instead of
+    // crashing the run (crash-safe reclaim).
+    bool destroyStarted = false;
+    try {
+        if (injector_.enabled() &&
+            injector_.decide(FaultSite::Reclaim, clock_.now(),
+                             g->id()) == FaultKind::ReclaimFailure) {
+            throw InjectedFault("injected reclaim failure");
+        }
+        destroyStarted = true;
+        forcedUnwind_ = true;
+        forcedUnwindFailed_ = false;
+        g->top_.destroy();
+        forcedUnwind_ = false;
+        if (forcedUnwindFailed_) {
+            // A defer or destructor threw mid-unwind; the compiler
+            // routed it into the promise, which recorded it here (an
+            // exception must not escape destroy()). The frame chain
+            // is partially destroyed: abandon it and quarantine.
+            forcedUnwindFailed_ = false;
+            quarantineGoroutine(g, forcedUnwindWhy_,
+                                /*framesLost=*/true);
+            if (wasMain) {
+                mainDone_ = true;
+                result_.mainReclaimed = true;
+            }
+            return;
+        }
+    } catch (...) {
+        forcedUnwind_ = false;
+        std::string why = "unknown error";
+        try {
+            throw;
+        } catch (const std::exception& ex) {
+            why = ex.what();
+        } catch (...) {
+        }
+        quarantineGoroutine(g, why, destroyStarted);
+        if (wasMain) {
+            mainDone_ = true;
+            result_.mainReclaimed = true;
+        }
+        return;
+    }
     g->top_ = {};
     g->resumePoint_ = {};
     resetForReuse(g);
@@ -275,6 +482,41 @@ Runtime::reclaimGoroutine(Goroutine* g)
     if (wasMain) {
         mainDone_ = true;
         result_.mainReclaimed = true;
+    }
+}
+
+void
+Runtime::quarantineGoroutine(Goroutine* g, const std::string& why,
+                             bool framesLost)
+{
+    if (framesLost) {
+        // destroy() itself threw: the frame chain is partially
+        // destroyed and destroying it again would be undefined
+        // behavior. Deliberately abandon what remains.
+        g->top_ = {};
+    }
+    // else: the failure fired before unwinding began; the (intact)
+    // frames are destroyed at runtime teardown.
+    g->resumePoint_ = {};
+    g->status_ = GStatus::Quarantined;
+    g->blockedOn_.clear();
+    g->blockedForever_ = false;
+    g->panicking_ = false;
+    g->panicMessage_.clear();
+    g->recoverArmed_ = false;
+    g->spuriousWake_ = false;
+    g->blockedSema_ = support::MaskedPtr<void>();
+    // Scrub every wait queue: no wakeup must ever reach this
+    // goroutine again. Channel queues drop quarantined waiters
+    // lazily (Channel::firstActive); the semtable is purged here.
+    semtable_.purgeGoroutine(g);
+    tracer_.record(clock_.now(), TraceEvent::Quarantine, g->id(),
+                   g->waitReason_);
+    collector_->reports().addQuarantine(g->id(), why, clock_.now());
+    if (config_.verboseReports) {
+        std::fprintf(stderr, "quarantine! goroutine %llu: %s\n",
+                     static_cast<unsigned long long>(g->id()),
+                     why.c_str());
     }
 }
 
@@ -349,6 +591,24 @@ Runtime::blockedCandidates() const
 void
 Runtime::runSlice(Goroutine* g)
 {
+    if (g->spuriousWake_) {
+        // Injected spurious wakeup: the goroutine burns a slice and
+        // re-parks. It is NOT resumed — its waiter is still enqueued
+        // and its wait state was retained; resuming would complete an
+        // operation that was never granted.
+        g->spuriousWake_ = false;
+        support::VTime slice =
+            config_.sliceCost +
+            static_cast<support::VTime>(sched_.rng().nextBelow(
+                static_cast<uint64_t>(config_.sliceCost) + 1));
+        clock_.advance(slice);
+        busyNs_ += slice;
+        g->status_ = GStatus::Waiting;
+        tracer_.record(clock_.now(), TraceEvent::Park, g->id(),
+                       g->waitReason_);
+        return;
+    }
+
     sched_.setCurrent(g);
     g->status_ = GStatus::Running;
     // Virtual time advances per slice, with seeded jitter: this is
@@ -362,6 +622,11 @@ Runtime::runSlice(Goroutine* g)
     busyNs_ += slice;
     g->resumePoint_.resume();
     sched_.setCurrent(nullptr);
+    // A user-level `catch` of a GoPanicError can strand the panic
+    // bookkeeping set at throw time; it must not leak into a later
+    // unhandled_exception and swallow an unrelated panic.
+    g->panicking_ = false;
+    g->recoverArmed_ = false;
 
     switch (g->status_) {
       case GStatus::Done:
@@ -382,6 +647,14 @@ Runtime::collectNow()
     tracer_.record(clock_.now(), TraceEvent::GcStart, 0);
     collector_->collect();
     tracer_.record(clock_.now(), TraceEvent::GcEnd, 0);
+    if (oomPending_) {
+        // The emergency collection for an injected allocation failure
+        // has now run; the next failure starts a fresh OOM episode.
+        oomPending_ = false;
+        ++emergencyGcs_;
+    }
+    if (config_.verifyEveryGc)
+        assertInvariants("post-GC");
     if (config_.chargeGcPause) {
         const auto& cs = collector_->lastCycle();
         // Go's pacer limits GC CPU to roughly a quarter of the
@@ -425,6 +698,11 @@ Runtime::driveLoop()
             // Go, remaining goroutines are abandoned, not awaited.
             result_.mainCompleted = !result_.mainReclaimed;
             break;
+        }
+        if (injector_.enabled() &&
+            injector_.decide(FaultSite::GcSafepoint, clock_.now(),
+                             0) == FaultKind::ForceGc) {
+            gcRequested_ = true; // adversarially timed collection
         }
         if (gcRequested_ || heap_.shouldCollect())
             collectNow();
@@ -530,6 +808,307 @@ Runtime::processCpuNs() const
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
     return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
            static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (chaos mode).
+
+void
+Runtime::notePanicking(const std::string& msg)
+{
+    Goroutine* g = sched_.current();
+    if (!g)
+        return;
+    g->panicking_ = true;
+    g->panicMessage_ = msg;
+    g->recoverArmed_ = false;
+}
+
+void
+Runtime::noteForcedUnwindFailure(const std::string& why)
+{
+    // Keep the first failure: later ones in the same unwind come
+    // from frames skipped by the compiler's cleanup rerouting.
+    if (!forcedUnwindFailed_) {
+        forcedUnwindFailed_ = true;
+        forcedUnwindWhy_ = why;
+    }
+}
+
+void
+Runtime::checkFaultAt(FaultSite site)
+{
+    if (!injector_.enabled())
+        return;
+    Goroutine* g = sched_.current();
+    if (!g)
+        return;
+    switch (injector_.decide(site, clock_.now(), g->id())) {
+      case FaultKind::Panic: {
+        tracer_.record(clock_.now(), TraceEvent::Fault, g->id());
+        std::string msg =
+            std::string("injected panic at ") + faultSiteName(site);
+        // This throw bypasses support::goPanic, so record the panic
+        // on the goroutine directly for recover().
+        g->panicking_ = true;
+        g->panicMessage_ = msg;
+        g->recoverArmed_ = false;
+        throw InjectedFault(msg);
+      }
+      case FaultKind::ForceGc:
+        tracer_.record(clock_.now(), TraceEvent::Fault, g->id());
+        gcRequested_ = true;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Runtime::onAllocCheck(size_t bytes)
+{
+    (void)bytes;
+    if (!injector_.enabled() || !running_)
+        return;
+    Goroutine* g = sched_.current();
+    if (!g)
+        return; // out-of-goroutine allocation (setup): never fails
+    if (injector_.decide(FaultSite::HeapAlloc, clock_.now(),
+                         g->id()) != FaultKind::AllocFail) {
+        return;
+    }
+    tracer_.record(clock_.now(), TraceEvent::Fault, g->id());
+    if (oomPending_) {
+        // A second failure before the emergency collection got to
+        // run: Go's runtime throws a fatal out-of-memory error.
+        support::goPanic("out of memory (injected allocation failure)");
+    }
+    // First failure: a collection cannot run here — cycles only run
+    // at scheduler safepoints, and raw pointers may be live within
+    // the current slice — so request an emergency collection at the
+    // next safepoint and let this allocation succeed from the
+    // reserve.
+    oomPending_ = true;
+    gcRequested_ = true;
+}
+
+void
+checkFault(FaultSite site)
+{
+    if (Runtime* rt = Runtime::current())
+        rt->checkFaultAt(site);
+}
+
+// ---------------------------------------------------------------------
+// Invariant verification (chaos mode).
+
+std::vector<std::string>
+Runtime::verifyInvariants()
+{
+    std::vector<std::string> violations;
+    auto fail = [&violations](std::string msg) {
+        violations.push_back(std::move(msg));
+    };
+
+    // Heap: counters must agree with the all-objects list, and every
+    // object must pass its own self-check (e.g. Channel waiter-queue
+    // consistency).
+    std::unordered_set<const gc::Object*> live;
+    uint64_t liveBytes = 0;
+    heap_.forEachObject([&](gc::Object* obj) {
+        live.insert(obj);
+        liveBytes += obj->allocSize();
+        std::string bad = obj->validate();
+        if (!bad.empty())
+            fail(std::string(obj->objectName()) + ": " + bad);
+    });
+    if (live.size() != heap_.liveObjects()) {
+        std::ostringstream os;
+        os << "heap liveObjects=" << heap_.liveObjects()
+           << " but the all-objects list has " << live.size();
+        fail(os.str());
+    }
+    if (liveBytes != heap_.liveBytes()) {
+        std::ostringstream os;
+        os << "heap liveBytes=" << heap_.liveBytes()
+           << " but charged object bytes sum to " << liveBytes;
+        fail(os.str());
+    }
+
+    // Goroutines: per-status consistency, including the chaos states.
+    size_t pendingReclaim = 0;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        std::ostringstream os;
+        os << "goroutine " << g->id() << " ["
+           << statusName(g->status()) << "] ";
+        const std::string who = os.str();
+        switch (g->status()) {
+          case GStatus::Idle:
+            if (g->hasFrames())
+                fail(who + "is idle but still owns frames");
+            if (!g->roots_.empty())
+                fail(who + "is idle with registered roots");
+            break;
+          case GStatus::Running:
+            if (g != sched_.current())
+                fail(who + "is running but not scheduled");
+            break;
+          case GStatus::Runnable:
+            if (!g->hasFrames())
+                fail(who + "is runnable without frames");
+            if (g->spuriousWake_) {
+                if (g->waitReason_ == WaitReason::None)
+                    fail(who +
+                         "spurious-runnable lost its wait state");
+            } else if (g->waitReason_ != WaitReason::None) {
+                fail(who + "is runnable with a stale wait reason");
+            }
+            break;
+          case GStatus::Waiting: {
+            if (!g->hasFrames())
+                fail(who + "is waiting without frames");
+            if (g->waitReason_ == WaitReason::None)
+                fail(who + "is waiting with no wait reason");
+            const bool semBacked =
+                g->waitReason_ == WaitReason::MutexLock ||
+                g->waitReason_ == WaitReason::RWMutexRLock ||
+                g->waitReason_ == WaitReason::RWMutexWLock ||
+                g->waitReason_ == WaitReason::WaitGroupWait ||
+                g->waitReason_ == WaitReason::CondWait ||
+                g->waitReason_ == WaitReason::SemAcquire;
+            if (semBacked) {
+                void* sema = g->blockedSema().get();
+                if (!sema)
+                    fail(who + "sem-blocked with no blockedSema");
+                else if (!semtable_.hasWaiterOf(g, sema))
+                    fail(who + "sem-blocked but absent from semtable");
+            }
+            for (gc::Object* obj : g->blockedOn()) {
+                if (live.find(obj) == live.end())
+                    fail(who + "blocked on a freed object");
+            }
+            break;
+          }
+          case GStatus::Deadlocked:
+          case GStatus::PendingReclaim:
+            if (!g->hasFrames())
+                fail(who + "lost its frames before reclaim");
+            for (gc::Object* obj : g->blockedOn()) {
+                if (live.find(obj) == live.end())
+                    fail(who + "blocked on a freed object");
+            }
+            if (g->status() == GStatus::PendingReclaim)
+                ++pendingReclaim;
+            break;
+          case GStatus::Quarantined:
+            if (!g->blockedOn().empty())
+                fail(who + "quarantined with a retained blocked set");
+            break;
+          case GStatus::Done:
+            // Done is transient within runSlice and must never be
+            // observable at a safepoint.
+            fail(who + "observed Done at a verification point");
+            break;
+        }
+    }
+    if (pendingReclaim != collector_->pendingReclaim()) {
+        std::ostringstream os;
+        os << "PendingReclaim goroutine count " << pendingReclaim
+           << " != collector staged count "
+           << collector_->pendingReclaim();
+        fail(os.str());
+    }
+
+    // Semtable: masked keys, and every waiter must belong to a
+    // goroutine that can still legitimately be woken or unwound.
+    if (!semtable_.checkMaskedKeys())
+        fail("semtable keys unmasked or treap invariants broken");
+    semtable_.forEachWaiter([&](uintptr_t, SemWaiter* w) {
+        if (!w->g) {
+            fail("semtable waiter with a null goroutine");
+            return;
+        }
+        Goroutine* wg = w->g;
+        if (wg->status() == GStatus::Quarantined) {
+            fail("semtable waiter survived the quarantine purge");
+            return;
+        }
+        const bool ok =
+            wg->status() == GStatus::Waiting ||
+            wg->status() == GStatus::Deadlocked ||
+            wg->status() == GStatus::PendingReclaim ||
+            (wg->status() == GStatus::Runnable && wg->spuriousWake());
+        if (!ok) {
+            std::ostringstream os;
+            os << "semtable waiter for goroutine " << wg->id()
+               << " in status " << statusName(wg->status());
+            fail(os.str());
+        }
+    });
+
+    return violations;
+}
+
+void
+Runtime::assertInvariants(const char* when)
+{
+    std::vector<std::string> v = verifyInvariants();
+    if (v.empty())
+        return;
+    std::ostringstream os;
+    os << "invariant violation (" << when << "):";
+    for (const std::string& s : v)
+        os << "\n  " << s;
+    support::panic(os.str());
+}
+
+void
+Runtime::flushPostMortem() const
+{
+    std::ostringstream os;
+    os << "\n--- golfcc post-mortem ---\n";
+    const detect::ReportLog& log = collector_->reports();
+    if (!log.all().empty()) {
+        os << "deadlock reports (" << log.all().size() << "):\n";
+        for (const auto& r : log.all())
+            os << r.str() << "\n";
+    }
+    if (!log.quarantines().empty()) {
+        os << "quarantines (" << log.quarantines().size() << "):\n";
+        for (const auto& q : log.quarantines())
+            os << q.str() << "\n";
+    }
+    if (injector_.injected() > 0) {
+        const auto& faults = injector_.log();
+        size_t start = faults.size() > 32 ? faults.size() - 32 : 0;
+        os << "injected faults (" << faults.size() << "):\n";
+        if (start > 0)
+            os << "  ... " << start << " earlier faults elided\n";
+        for (size_t i = start; i < faults.size(); ++i) {
+            const FaultRecord& f = faults[i];
+            os << "  #" << f.seq << " t=" << f.vtime << " g="
+               << f.goroutineId << " " << faultSiteName(f.site) << " "
+               << faultKindName(f.kind) << "\n";
+        }
+    }
+    const auto& recs = tracer_.records();
+    if (!recs.empty()) {
+        size_t start = recs.size() > 64 ? recs.size() - 64 : 0;
+        os << "trace tail (" << recs.size() - start << " of "
+           << recs.size() << " events):\n";
+        for (size_t i = start; i < recs.size(); ++i) {
+            const TraceRecord& r = recs[i];
+            os << "  t=" << r.t << " g=" << r.goroutineId << " "
+               << traceEventName(r.event);
+            if (r.reason != WaitReason::None)
+                os << " (" << waitReasonName(r.reason) << ")";
+            os << "\n";
+        }
+    }
+    os << dumpGoroutines();
+    os << "--- end post-mortem ---\n";
+    std::fputs(os.str().c_str(), stderr);
 }
 
 // ---------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gc/heap.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/goroutine.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/semtable.hpp"
@@ -83,6 +84,11 @@ struct Config
      * GOLF still wins end-to-end on a leaky service.
      */
     bool chargeGcPause = true;
+    /** Deterministic fault injection (chaos mode; see fault.hpp). */
+    FaultConfig faults;
+    /** Run verifyInvariants() at every collection safepoint and
+     *  panic on a violation (chaos mode; expensive). */
+    bool verifyEveryGc = false;
     support::VTime gcStwFixedNs = 50 * support::kMicrosecond;
     double gcNsPerDetectCheck = 100.0;
     support::VTime gcNsPerIteration = 10 * support::kMicrosecond;
@@ -164,6 +170,28 @@ class Runtime
     /** Request a collection at the next safepoint. */
     void requestGc() { gcRequested_ = true; }
 
+    /// @{ Fault injection and invariant checking (chaos mode).
+    FaultInjector& faults() { return injector_; }
+    /** Injected panics that killed a single goroutine without
+     *  crashing the run (FaultConfig::containInjectedPanics). */
+    uint64_t containedPanics() const { return containedPanics_; }
+    /** Injected allocation failures absorbed by an emergency GC. */
+    uint64_t emergencyGcs() const { return emergencyGcs_; }
+    /**
+     * Cross-check waiter queues, the semtable, the goroutine registry
+     * and the heap against each other. Returns one human-readable
+     * string per violation (empty = consistent). Used after every
+     * fault by the chaos runner, and at GC safepoints when
+     * Config::verifyEveryGc is set.
+     */
+    std::vector<std::string> verifyInvariants();
+    /** verifyInvariants() + support::panic on any violation. */
+    void assertInvariants(const char* when);
+    /** Dump post-mortem state (reports, quarantines, fault log,
+     *  trace tail, goroutine dump) to stderr. */
+    void flushPostMortem() const;
+    /// @}
+
     /** Number of goroutines in a given status. */
     size_t countByStatus(GStatus s) const;
 
@@ -203,6 +231,15 @@ class Runtime
     }
     void onGoroutineDone(Goroutine* g);
     void onGoroutinePanic(std::exception_ptr e);
+    /** Fault-injection probe body (see the free checkFault()). */
+    void checkFaultAt(FaultSite site);
+    /** See detail::forcedUnwindActive() in task.hpp. */
+    bool forcedUnwindActive() const { return forcedUnwind_; }
+    /** See detail::noteForcedUnwindFailure() in task.hpp. */
+    void noteForcedUnwindFailure(const std::string& why);
+    /** goPanic observer target: record the in-flight panic message
+     *  on the current goroutine so recover() can return it. */
+    void notePanicking(const std::string& msg);
     void noteFrameAlloc(size_t bytes);
     void noteFrameFree(size_t bytes);
     /** Forcibly destroy a deadlocked goroutine's frames and recycle
@@ -238,6 +275,15 @@ class Runtime
     RunResult driveLoop();
     void runSlice(Goroutine* g);
     void collectNow();
+    /** Deliver a wakeup immediately (no delayed-wakeup injection);
+     *  fuses with a pending injected spurious wakeup. */
+    void readyNow(Goroutine* g);
+    /** Mid-unwind failure during forced reclaim: isolate g forever.
+     *  framesLost = destroy() itself threw (frames are poison). */
+    void quarantineGoroutine(Goroutine* g, const std::string& why,
+                             bool framesLost);
+    /** Heap allocation hook: injected OOM + emergency-GC retry. */
+    void onAllocCheck(size_t bytes);
 
     template <typename A>
     void
@@ -258,7 +304,15 @@ class Runtime
     SemTable semtable_;
     Tracer tracer_;
     Scheduler sched_;
+    FaultInjector injector_;
     std::unique_ptr<detect::Collector> collector_;
+
+    uint64_t containedPanics_ = 0;
+    uint64_t emergencyGcs_ = 0;
+    /** An injected allocation failure is pending: the next safepoint
+     *  runs an emergency collection; a second failure before that
+     *  relief arrives is a fatal OOM. */
+    bool oomPending_ = false;
 
     std::deque<std::unique_ptr<Goroutine>> gStorage_;
     std::vector<support::MaskedPtr<Goroutine>> allg_;
@@ -288,6 +342,14 @@ class Runtime
     /** Set during ~Runtime: pool objects deleted by heap teardown
      *  must not touch the (already destroyed) registry. */
     bool tearingDown_ = false;
+    /** Set while force-destroying a goroutine's frames (reclaim or
+     *  teardown): a throwing defer is routed by the compiler into
+     *  promise.unhandled_exception(), which records it here instead
+     *  of treating it as a goroutine panic; the reclaim path reads
+     *  the slot after destroy() and quarantines the goroutine. */
+    bool forcedUnwind_ = false;
+    bool forcedUnwindFailed_ = false;
+    std::string forcedUnwindWhy_;
 };
 
 /**
@@ -354,6 +416,15 @@ inline GcAwaiter gcNow() { return {}; }
 
 /** Consume virtual CPU time without suspending. */
 void busy(support::VTime d);
+
+/**
+ * Fault-injection probe, called by every blocking awaitable at the
+ * top of await_suspend (i.e. at a scheduling point, before any waiter
+ * state is published). May throw InjectedFault — which propagates out
+ * of the co_await exactly like a Go panic raised at that point.
+ * No-op when no runtime is active or injection is disabled.
+ */
+void checkFault(FaultSite site);
 
 /// @}
 

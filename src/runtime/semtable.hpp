@@ -95,6 +95,50 @@ class SemTable
 
     size_t entries() const { return table_.size(); }
 
+    /** Visit every (masked key, waiter) pair; fn must not unlink. */
+    template <typename Fn>
+    void
+    forEachWaiter(Fn&& fn)
+    {
+        table_.forEach([&](uintptr_t key, WaiterQueue& q) {
+            q.forEach([&](SemWaiter* w) { fn(key, w); });
+        });
+    }
+
+    /** Whether goroutine g has a waiter parked on semaAddr. */
+    bool
+    hasWaiterOf(const Goroutine* g, const void* semaAddr)
+    {
+        WaiterQueue* q = table_.find(keyFor(semaAddr));
+        if (!q)
+            return false;
+        bool found = false;
+        q->forEach([&](SemWaiter* w) {
+            if (w->g == g)
+                found = true;
+        });
+        return found;
+    }
+
+    /**
+     * Unlink every waiter belonging to g, across all queues — the
+     * quarantine scrub: a goroutine whose forced shutdown failed may
+     * have left waiters enqueued, and no wakeup must ever reach it.
+     */
+    size_t
+    purgeGoroutine(const Goroutine* g)
+    {
+        std::vector<SemWaiter*> doomed;
+        forEachWaiter([&](uintptr_t, SemWaiter* w) {
+            if (w->g == g)
+                doomed.push_back(w);
+        });
+        for (SemWaiter* w : doomed)
+            w->node.unlink();
+        purgeEmpty();
+        return doomed.size();
+    }
+
     /**
      * Drop entries whose queue emptied without going through
      * dequeue() — the forced-shutdown path unlinks waiters from

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <exception>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "support/panic.hpp"
@@ -38,6 +39,32 @@ namespace detail {
 /** Frame-byte accounting hooks (implemented in runtime.cpp). */
 void noteFrameAlloc(size_t bytes);
 void noteFrameFree(size_t bytes);
+
+/**
+ * recover() support (implemented in runtime.cpp): true when a
+ * deferred function in the frame that just threw called recover(),
+ * meaning this frame absorbs the panic and completes with its zero
+ * value instead of propagating the exception.
+ */
+bool consumeRecover();
+
+/**
+ * True while the runtime is force-destroying a goroutine's frames
+ * (reclaim or teardown). Compilers route an exception thrown by a
+ * local's destructor during coroutine destroy() into
+ * promise.unhandled_exception(); during a forced unwind the promise
+ * must not treat that as a goroutine panic — it records the failure
+ * on the runtime with noteForcedUnwindFailure() and returns, letting
+ * destroy() finish. The reclaim path then quarantines the goroutine.
+ * (Exceptions must never escape destroy(): the call sites are
+ * noexcept destructors, and a potentially-throwing ~Task ICEs GCC's
+ * coroutine lowering.)
+ */
+bool forcedUnwindActive();
+
+/** Record a defer/destructor failure observed during a forced
+ *  unwind; the reclaim/teardown path reads it after destroy(). */
+void noteForcedUnwindFailure();
 
 /** Size of the header prefix used to remember the frame size. */
 constexpr size_t kFrameHeader = alignof(std::max_align_t);
@@ -152,6 +179,8 @@ struct TaskPromiseBase : FrameAccounting
 {
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
+    /** Panic stopped here by recover(): yield the zero value. */
+    bool recovered = false;
 
     std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -173,6 +202,17 @@ struct TaskPromiseBase : FrameAccounting
     void
     unhandled_exception()
     {
+        if (forcedUnwindActive()) {
+            noteForcedUnwindFailure();
+            return;
+        }
+        // Go semantics: recover() in a deferred function stops the
+        // panic at the enclosing function, which returns its zero
+        // value. The defers ran during unwinding, before we get here.
+        if (consumeRecover()) {
+            recovered = true;
+            return;
+        }
         exception = std::current_exception();
     }
 };
@@ -229,6 +269,14 @@ class Task
         auto& p = handle_.promise();
         if (p.exception)
             std::rethrow_exception(p.exception);
+        if (p.recovered) {
+            if constexpr (std::is_default_constructible_v<T>)
+                return T{};
+            else
+                support::panic(
+                    "recover() in a Task whose value type has no "
+                    "zero value");
+        }
         return std::move(*p.value);
     }
 

@@ -19,6 +19,10 @@ traceEventName(TraceEvent ev)
       case TraceEvent::Deadlock: return "deadlock";
       case TraceEvent::GcStart: return "gc-start";
       case TraceEvent::GcEnd: return "gc-end";
+      case TraceEvent::Fault: return "fault";
+      case TraceEvent::SpuriousWake: return "spurious-wake";
+      case TraceEvent::DelayedWake: return "delayed-wake";
+      case TraceEvent::Quarantine: return "quarantine";
     }
     return "?";
 }

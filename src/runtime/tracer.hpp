@@ -30,6 +30,10 @@ enum class TraceEvent : uint8_t
     Deadlock,  ///< GOLF verdict for a goroutine
     GcStart,   ///< collection cycle began
     GcEnd,     ///< collection cycle finished
+    Fault,         ///< injected fault fired (chaos mode)
+    SpuriousWake,  ///< injected spurious wakeup delivered
+    DelayedWake,   ///< genuine wakeup postponed by injection
+    Quarantine,    ///< reclaim unwind failed; goroutine isolated
 };
 
 const char* traceEventName(TraceEvent ev);

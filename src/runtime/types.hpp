@@ -27,6 +27,8 @@ enum class GStatus : uint8_t
     PendingReclaim,  ///< Deadlock detected; reclaimed next GC cycle.
     Deadlocked,      ///< Deadlock detected but finalizers reachable:
                      ///< kept alive forever, reported once (§5.5).
+    Quarantined,     ///< Forced shutdown threw mid-unwind: isolated,
+                     ///< excluded from roots and wakeups, never reused.
 };
 
 const char* statusName(GStatus s);

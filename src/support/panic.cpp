@@ -5,16 +5,50 @@
 
 namespace golf::support {
 
+namespace {
+
+std::function<void()>&
+flushHook()
+{
+    static std::function<void()> hook;
+    return hook;
+}
+
+void (*g_goPanicObserver)(const std::string&) = nullptr;
+
+} // namespace
+
+void
+setPanicFlushHook(std::function<void()> hook)
+{
+    flushHook() = std::move(hook);
+}
+
 void
 panic(const std::string& msg)
 {
     std::fprintf(stderr, "runtime panic: %s\n", msg.c_str());
+    // Guard against a panic raised from inside the flush itself.
+    static bool flushing = false;
+    if (!flushing && flushHook()) {
+        flushing = true;
+        flushHook()();
+        flushing = false;
+    }
     std::abort();
+}
+
+void
+setGoPanicObserver(void (*observer)(const std::string&))
+{
+    g_goPanicObserver = observer;
 }
 
 void
 goPanic(const std::string& msg)
 {
+    if (g_goPanicObserver)
+        g_goPanicObserver(msg);
     throw GoPanicError(msg);
 }
 

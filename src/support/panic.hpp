@@ -12,6 +12,7 @@
 #ifndef GOLFCC_SUPPORT_PANIC_HPP
 #define GOLFCC_SUPPORT_PANIC_HPP
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -19,6 +20,15 @@ namespace golf::support {
 
 /** Internal invariant violation of the runtime itself. Aborts. */
 [[noreturn]] void panic(const std::string& msg);
+
+/**
+ * Install a hook run once by panic() between printing the message and
+ * aborting. The runtime uses it to flush post-mortem state (deadlock
+ * ReportLog, tracer ring, goroutine dump) to stderr so an invariant
+ * violation doesn't take its evidence down with it. Re-entrant panics
+ * skip the hook.
+ */
+void setPanicFlushHook(std::function<void()> hook);
 
 /** Error state caused by the embedded program. */
 class FatalError : public std::runtime_error
@@ -45,6 +55,14 @@ class GoPanicError : public std::runtime_error
 
 /** Raise a Go-level panic from library code. */
 [[noreturn]] void goPanic(const std::string& msg);
+
+/**
+ * Observer invoked with the message of every goPanic *before* the
+ * exception is thrown. The runtime registers one to capture panic
+ * state on the current goroutine — recover() needs the message while
+ * the stack is unwinding, where std::current_exception is unusable.
+ */
+void setGoPanicObserver(void (*observer)(const std::string&));
 
 } // namespace golf::support
 

@@ -31,6 +31,7 @@ class Mutex : public gc::Object
         bool
         await_suspend(std::coroutine_handle<> h)
         {
+            rt::checkFault(rt::FaultSite::MutexLock);
             if (!m_->locked_) {
                 m_->locked_ = true;
                 return false;

@@ -30,6 +30,7 @@ class RWMutex : public gc::Object
         bool
         await_suspend(std::coroutine_handle<> h)
         {
+            rt::checkFault(rt::FaultSite::RWMutexRLock);
             if (!m_->writer_ && m_->waitingWriters_ == 0) {
                 ++m_->readers_;
                 return false;
@@ -67,6 +68,7 @@ class RWMutex : public gc::Object
         bool
         await_suspend(std::coroutine_handle<> h)
         {
+            rt::checkFault(rt::FaultSite::RWMutexWLock);
             if (!m_->writer_ && m_->readers_ == 0) {
                 m_->writer_ = true;
                 return false;

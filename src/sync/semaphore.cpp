@@ -5,12 +5,19 @@ namespace golf::sync {
 bool
 semWake(rt::Runtime& rt, const Sema* sema)
 {
-    rt::SemWaiter* w = rt.semtable().dequeue(sema);
-    if (!w)
-        return false;
-    w->granted = true;
-    rt.ready(w->g);
-    return true;
+    rt::SemWaiter* w;
+    while ((w = rt.semtable().dequeue(sema)) != nullptr) {
+        // Defensive: waiters of a quarantined goroutine are purged at
+        // quarantine time, but no wakeup must ever reach one.
+        if (w->g &&
+            w->g->status() == rt::GStatus::Quarantined) {
+            continue;
+        }
+        w->granted = true;
+        rt.ready(w->g);
+        return true;
+    }
+    return false;
 }
 
 size_t

@@ -30,6 +30,23 @@ struct Sema
     uint8_t token = 0;
 };
 
+/** FaultSite for a sync-package park, by wait reason. */
+inline rt::FaultSite
+faultSiteFor(rt::WaitReason r)
+{
+    switch (r) {
+      case rt::WaitReason::MutexLock: return rt::FaultSite::MutexLock;
+      case rt::WaitReason::RWMutexRLock:
+        return rt::FaultSite::RWMutexRLock;
+      case rt::WaitReason::RWMutexWLock:
+        return rt::FaultSite::RWMutexWLock;
+      case rt::WaitReason::WaitGroupWait:
+        return rt::FaultSite::WaitGroupWait;
+      case rt::WaitReason::CondWait: return rt::FaultSite::CondWait;
+      default: return rt::FaultSite::SemAcquire;
+    }
+}
+
 /** Awaitable that parks the current goroutine on a semaphore. */
 class SemParkOp
 {
@@ -44,6 +61,7 @@ class SemParkOp
     bool
     await_suspend(std::coroutine_handle<> h)
     {
+        rt::checkFault(faultSiteFor(reason_));
         rt::Runtime* rt = rt::Runtime::current();
         rt::Goroutine* g = rt->currentGoroutine();
         waiter_.g = g;
@@ -97,6 +115,7 @@ class Semaphore : public gc::Object
         bool
         await_suspend(std::coroutine_handle<> h)
         {
+            rt::checkFault(rt::FaultSite::SemAcquire);
             if (s_->count_ > 0) {
                 --s_->count_;
                 return false;

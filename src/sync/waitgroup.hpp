@@ -40,6 +40,7 @@ class WaitGroup : public gc::Object
         bool
         await_suspend(std::coroutine_handle<> h)
         {
+            rt::checkFault(rt::FaultSite::WaitGroupWait);
             if (wg_->count_ == 0)
                 return false;
             rt::Runtime* rt = rt::Runtime::current();

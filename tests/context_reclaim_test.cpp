@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Context cancellation interacting with forced reclaim: a withTimeout
+ * context created by a goroutine that later gets reclaimed must still
+ * fire at its deadline, cancel cleanly, and never touch the waiter
+ * entries that were freed when its owner's frames unwound.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/context.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::RunResult;
+using rt::Runtime;
+using support::kMillisecond;
+
+/** Creates a timed context, hands it to a waiter, then leaks itself
+ *  on an unreachable channel (the reclaim candidate). */
+rt::Go
+owner(Runtime* rt, bool* cancelled, bool* okFlag)
+{
+    rt::Context* ctx =
+        rt::withTimeout(*rt, rt::background(*rt), 5 * kMillisecond);
+    GOLF_GO(*rt, +[](rt::Context* c, bool* done, bool* ok) -> Go {
+        auto got = co_await chan::recv(c->done());
+        *done = true;
+        *ok = got.ok; // closed channel: ok == false
+        co_return;
+    }, ctx, cancelled, okFlag);
+    co_await chan::recv(chan::makeChan<int>(*rt, 0)); // leaks
+    co_return;
+}
+
+TEST(ContextReclaimTest, TimeoutFiresAfterOwnerReclaimed)
+{
+    Runtime rt;
+    bool cancelled = false;
+    bool okFlag = true;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, bool* cancelledp, bool* okp) -> Go {
+            GOLF_GO(*rtp, owner, rtp, cancelledp, okp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow(); // detect the owner
+            co_await rt::gcNow(); // reclaim the owner
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            EXPECT_FALSE(*cancelledp);
+            // The armed timer keeps the context (and the waiter)
+            // alive; at the deadline the waiter must wake normally.
+            co_await rt::sleepFor(10 * kMillisecond);
+            EXPECT_TRUE(*cancelledp);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Waiting), 0u);
+            EXPECT_EQ(rtp->heap().liveObjects(), 0u);
+            EXPECT_EQ(rtp->semtable().entries(), 0u);
+            co_return;
+        },
+        &rt, &cancelled, &okFlag);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(cancelled);
+    EXPECT_FALSE(okFlag);
+}
+
+TEST(ContextReclaimTest, OrphanedTimeoutContextFiresSafely)
+{
+    // Nobody but the reclaimed owner ever referenced the context: the
+    // deadline must still fire (on the timer root) without touching
+    // any freed state, and the context must be collectable after.
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[](Runtime* rp) -> Go {
+                rt::withTimeout(*rp, rt::background(*rp),
+                                5 * kMillisecond);
+                co_await chan::recv(
+                    chan::makeChan<int>(*rp, 0)); // leaks
+                co_return;
+            }, rtp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            co_await rt::sleepFor(10 * kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Waiting), 0u);
+            EXPECT_EQ(rtp->heap().liveObjects(), 0u);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(ContextReclaimTest, SelectingWaiterGetsDoneCaseAfterReclaim)
+{
+    // The surviving waiter selects on {ctx.done, never-ready}: after
+    // its owner is reclaimed it must still take the done case at the
+    // deadline, and the select's waiter entries on the never-ready
+    // channel must unwind without residue.
+    Runtime rt;
+    bool woke = false;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, bool* wokep) -> Go {
+            gc::Local<Channel<int>> never(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Runtime* rp, Channel<int>* nv,
+                              bool* w) -> Go {
+                rt::Context* ctx = rt::withTimeout(
+                    *rp, rt::background(*rp), 5 * kMillisecond);
+                GOLF_GO(*rp, +[](rt::Context* c, Channel<int>* n,
+                                 bool* wp) -> Go {
+                    co_await chan::select(chan::recvCase(c->done()),
+                                          chan::recvCase(n));
+                    *wp = true;
+                    co_return;
+                }, ctx, nv, w);
+                co_await chan::recv(
+                    chan::makeChan<int>(*rp, 0)); // leaks
+                co_return;
+            }, rtp, never.get(), wokep);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_FALSE(*wokep);
+            co_await rt::sleepFor(10 * kMillisecond);
+            EXPECT_TRUE(*wokep);
+            // No select residue on the survivor channel: a send
+            // would park rather than find a stale waiter.
+            EXPECT_FALSE(never.get()->hasBlockedReceivers());
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Waiting), 0u);
+            co_return;
+        },
+        &rt, &woke);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(woke);
+}
+
+} // namespace
+} // namespace golf

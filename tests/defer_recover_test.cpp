@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Go-style defer/recover semantics: LIFO ordering on normal return,
+ * panic unwinding with recovery at the enclosing coroutine frame,
+ * cleanup on forced reclaim of a deadlocked goroutine, and the
+ * send-on-closed-channel panic raised from inside a select arm.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/defer.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "support/panic.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::RunResult;
+using rt::Runtime;
+using support::kMillisecond;
+
+TEST(DeferTest, LifoOrderOnNormalReturn)
+{
+    std::vector<int> order;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](std::vector<int>* out) -> Go {
+            GOLF_DEFER([out] { out->push_back(1); });
+            GOLF_DEFER([out] { out->push_back(2); });
+            GOLF_DEFER([out] { out->push_back(3); });
+            co_await rt::yield();
+            co_return;
+        },
+        &order);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+rt::Task<void>
+innerWithDefer(std::vector<std::string>* out)
+{
+    GOLF_DEFER([out] { out->push_back("inner"); });
+    co_await rt::yield();
+    co_return;
+}
+
+TEST(DeferTest, DefersRunPerCoroutineFrame)
+{
+    std::vector<std::string> order;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](std::vector<std::string>* out) -> Go {
+            GOLF_DEFER([out] { out->push_back("outer"); });
+            co_await innerWithDefer(out);
+            out->push_back("between");
+            co_return;
+        },
+        &order);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(order, (std::vector<std::string>{"inner", "between",
+                                               "outer"}));
+}
+
+TEST(DeferTest, RecoverOutsidePanicReturnsNullopt)
+{
+    bool sawNullopt = false;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](bool* saw) -> Go {
+            EXPECT_FALSE(rt::panicking());
+            EXPECT_FALSE(rt::recover().has_value());
+            GOLF_DEFER([saw] {
+                *saw = !rt::recover().has_value();
+            });
+            co_await rt::yield();
+            co_return;
+        },
+        &sawNullopt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(sawNullopt);
+}
+
+TEST(RecoverTest, RecoverStopsPanicAtGoroutineFrame)
+{
+    std::string captured;
+    bool reachedAfterPanic = false;
+    int delivered = 0;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, std::string* msg, bool* after,
+            int* dlv) -> Go {
+            GOLF_GO(*rtp, +[](std::string* m, bool* a) -> Go {
+                GOLF_DEFER([m] {
+                    if (auto got = rt::recover())
+                        *m = *got;
+                });
+                support::goPanic("boom");
+                *a = true; // unreachable
+                co_return;
+            }, msg, after);
+            // A survivor sharing the scheduler keeps working.
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                for (int i = 0; i < 3; ++i)
+                    co_await chan::send(c, i);
+                co_return;
+            }, ch.get());
+            for (int i = 0; i < 3; ++i) {
+                auto got = co_await chan::recv(ch.get());
+                *dlv += got.ok ? 1 : 0;
+            }
+            co_return;
+        },
+        &rt, &captured, &reachedAfterPanic, &delivered);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(captured, "boom");
+    EXPECT_FALSE(reachedAfterPanic);
+    EXPECT_EQ(delivered, 3);
+}
+
+rt::Task<int>
+panicsButRecovers(std::string* msg)
+{
+    GOLF_DEFER([msg] {
+        if (auto got = rt::recover())
+            *msg = *got;
+    });
+    support::goPanic("inner panic");
+    co_return 42; // unreachable
+}
+
+TEST(RecoverTest, RecoverInNestedTaskYieldsZeroValue)
+{
+    std::string captured;
+    int value = -1;
+    bool continued = false;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](std::string* msg, int* out, bool* cont) -> Go {
+            *out = co_await panicsButRecovers(msg);
+            *cont = true;
+            co_return;
+        },
+        &captured, &value, &continued);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(captured, "inner panic");
+    EXPECT_EQ(value, 0); // Go zero value after a recovered panic
+    EXPECT_TRUE(continued);
+}
+
+TEST(RecoverTest, UnrecoveredPanicFailsRun)
+{
+    bool deferRan = false;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, bool* ran) -> Go {
+            GOLF_GO(*rtp, +[](bool* rp) -> Go {
+                GOLF_DEFER([rp] { *rp = true; });
+                support::goPanic("die");
+                co_return;
+            }, ran);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &deferRan);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.panicked);
+    EXPECT_NE(r.panicMessage.find("die"), std::string::npos);
+    EXPECT_TRUE(deferRan); // defers still ran during the unwind
+}
+
+TEST(RecoverTest, DefersRunLifoOnForcedReclaim)
+{
+    std::vector<int> order;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, std::vector<int>* out) -> Go {
+            GOLF_GO(*rtp, +[](Runtime* rp,
+                              std::vector<int>* o) -> Go {
+                GOLF_DEFER([o] { o->push_back(1); });
+                GOLF_DEFER([o] { o->push_back(2); });
+                co_await chan::recv(
+                    chan::makeChan<int>(*rp, 0)); // leaks forever
+                co_return;
+            }, rtp, out);
+            co_await rt::sleepFor(kMillisecond);
+            EXPECT_TRUE(out->empty());
+            co_await rt::gcNow(); // detect
+            co_await rt::gcNow(); // reclaim: frames unwind, defers run
+            co_return;
+        },
+        &rt, &order);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+/** Satellite: send-on-closed-channel panic raised from a select arm.
+ *  The offending goroutine unwinds (running its defers) and, with a
+ *  recover, everything else keeps running. */
+TEST(RecoverTest, SendOnClosedChannelInSelectArmRecovered)
+{
+    std::string captured;
+    int delivered = 0;
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, std::string* msg, int* dlv) -> Go {
+            gc::Local<Channel<int>> doomed(makeChan<int>(*rtp, 0));
+            gc::Local<Channel<int>> never(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* d,
+                              Channel<int>* n,
+                              std::string* m) -> Go {
+                GOLF_DEFER([m] {
+                    if (auto got = rt::recover())
+                        *m = *got;
+                });
+                // Parks with a send case pending; the close() below
+                // wakes it and the resume panics Go-style.
+                co_await chan::select(chan::sendCase(d, 7),
+                                      chan::recvCase(n));
+                co_return;
+            }, doomed.get(), never.get(), msg);
+            co_await rt::sleepFor(kMillisecond);
+            chan::close(doomed.get());
+            co_await rt::sleepFor(kMillisecond);
+
+            // Survivors: a full rendezvous still works.
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                for (int i = 0; i < 4; ++i)
+                    co_await chan::send(c, i);
+                co_return;
+            }, ch.get());
+            for (int i = 0; i < 4; ++i) {
+                auto got = co_await chan::recv(ch.get());
+                *dlv += got.ok ? 1 : 0;
+            }
+            co_return;
+        },
+        &rt, &captured, &delivered);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(captured, "send on closed channel");
+    EXPECT_EQ(delivered, 4);
+}
+
+TEST(RecoverTest, SendOnClosedChannelInSelectArmUnrecovered)
+{
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<Channel<int>> doomed(makeChan<int>(*rtp, 0));
+            gc::Local<Channel<int>> never(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* d, Channel<int>* n) -> Go {
+                co_await chan::select(chan::sendCase(d, 7),
+                                      chan::recvCase(n));
+                co_return;
+            }, doomed.get(), never.get());
+            co_await rt::sleepFor(kMillisecond);
+            chan::close(doomed.get());
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_NE(r.panicMessage.find("send on closed channel"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace golf

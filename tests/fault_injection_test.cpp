@@ -1,0 +1,329 @@
+/**
+ * @file
+ * FaultInjector behavior: determinism of the fault schedule, panic
+ * containment, liveness under spurious/delayed wakeups, emergency
+ * collection on simulated OOM, and the quarantine path when forced
+ * reclaim fails mid-unwind.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "runtime/defer.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/mutex.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::FaultKind;
+using rt::Go;
+using rt::RunResult;
+using rt::Runtime;
+using support::kMicrosecond;
+using support::kMillisecond;
+
+microbench::HarnessConfig
+chaosConfig(uint64_t seed)
+{
+    microbench::HarnessConfig cfg;
+    cfg.seed = seed;
+    cfg.faults.enabled = true;
+    cfg.faults.panicProb = 0.02;
+    cfg.faults.spuriousWakeupProb = 0.2;
+    cfg.faults.delayedWakeupProb = 0.2;
+    cfg.faults.allocFailProb = 0.002;
+    cfg.faults.forceGcProb = 0.02;
+    cfg.faults.reclaimFailureProb = 0.5;
+    return cfg;
+}
+
+TEST(FaultInjectionTest, IdenticalSeedReproducesIdenticalTrace)
+{
+    // Sparse patterns hit very few injection-eligible sites, so
+    // aggregate the schedule over a slice of the corpus: identical
+    // seed and config must reproduce the combined trace byte for
+    // byte, and it must not be empty.
+    auto corpus = microbench::Registry::instance().deadlocking();
+    ASSERT_GE(corpus.size(), 5u);
+    microbench::HarnessConfig cfg = chaosConfig(42);
+    cfg.faults.spuriousWakeupProb = 0.5;
+    cfg.faults.delayedWakeupProb = 0.5;
+    std::string traceA, traceB;
+    uint64_t injectedA = 0, injectedB = 0;
+    uint64_t containedA = 0, containedB = 0;
+    for (size_t i = 0; i < 5; ++i) {
+        microbench::RunOutcome a =
+            microbench::runPatternOnce(*corpus[i], cfg);
+        microbench::RunOutcome b =
+            microbench::runPatternOnce(*corpus[i], cfg);
+        traceA += a.faultTrace;
+        traceB += b.faultTrace;
+        injectedA += a.faultsInjected;
+        injectedB += b.faultsInjected;
+        containedA += a.containedPanics;
+        containedB += b.containedPanics;
+    }
+    EXPECT_FALSE(traceA.empty());
+    EXPECT_EQ(traceA, traceB);
+    EXPECT_EQ(injectedA, injectedB);
+    EXPECT_EQ(containedA, containedB);
+}
+
+TEST(FaultInjectionTest, InjectedPanicsAreContained)
+{
+    rt::Config rc;
+    rc.faults.enabled = true;
+    rc.faults.panicProb = 1.0;
+    Runtime rt(rc);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            for (int i = 0; i < 4; ++i) {
+                GOLF_GO(*rtp, +[](Runtime* rp) -> Go {
+                    // First blocking operation draws an injected
+                    // panic; the goroutine dies alone.
+                    co_await chan::send(
+                        chan::makeChan<int>(*rp, 0), 1);
+                    co_return;
+                }, rtp);
+            }
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.containedPanics(), 4u);
+    EXPECT_GE(rt.faults().countOf(FaultKind::Panic), 4u);
+}
+
+TEST(FaultInjectionTest, SpuriousWakeupsDoNotBreakMutualExclusion)
+{
+    rt::Config rc;
+    rc.faults.enabled = true;
+    rc.faults.spuriousWakeupProb = 1.0;
+    rc.faults.delayMaxNs = 20 * kMicrosecond;
+    Runtime rt(rc);
+    int counter = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* ctr) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            gc::Local<sync::WaitGroup> wg(
+                rtp->make<sync::WaitGroup>(*rtp));
+            wg->add(2);
+            for (int w = 0; w < 2; ++w) {
+                GOLF_GO(*rtp, +[](sync::Mutex* m, sync::WaitGroup* g,
+                                  int* c) -> Go {
+                    for (int i = 0; i < 5; ++i) {
+                        co_await m->lock();
+                        ++*c;
+                        m->unlock();
+                        co_await rt::yield();
+                    }
+                    g->done();
+                    co_return;
+                }, mu.get(), wg.get(), ctr);
+            }
+            co_await wg->wait();
+            co_return;
+        },
+        &rt, &counter);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(counter, 10);
+    EXPECT_GT(rt.faults().countOf(FaultKind::SpuriousWakeup), 0u);
+}
+
+TEST(FaultInjectionTest, DelayedWakeupsPreserveDelivery)
+{
+    rt::Config rc;
+    rc.faults.enabled = true;
+    rc.faults.delayedWakeupProb = 1.0;
+    rc.faults.delayMaxNs = 20 * kMicrosecond;
+    Runtime rt(rc);
+    int sum = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* out) -> Go {
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                for (int i = 1; i <= 10; ++i)
+                    co_await chan::send(c, i);
+                co_return;
+            }, ch.get());
+            for (int i = 0; i < 10; ++i) {
+                auto got = co_await chan::recv(ch.get());
+                *out += got.value;
+            }
+            co_return;
+        },
+        &rt, &sum);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(sum, 55);
+    EXPECT_GT(rt.faults().countOf(FaultKind::DelayedWakeup), 0u);
+}
+
+TEST(FaultInjectionTest, SpacedAllocFailuresSurviveViaEmergencyGc)
+{
+    rt::Config rc;
+    rc.faults.enabled = true;
+    rc.faults.allocFailProb = 1.0;
+    Runtime rt(rc);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            for (int i = 0; i < 5; ++i) {
+                rtp->make<sync::Mutex>(*rtp);
+                // Reaching a safepoint lets the emergency collection
+                // clear the pending-OOM state before the next alloc.
+                co_await rt::sleepFor(kMillisecond);
+            }
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_GE(rt.emergencyGcs(), 4u);
+    EXPECT_GE(rt.faults().countOf(FaultKind::AllocFail), 5u);
+}
+
+TEST(FaultInjectionTest, BackToBackAllocFailureIsFatalOom)
+{
+    rt::Config rc;
+    rc.faults.enabled = true;
+    rc.faults.allocFailProb = 1.0;
+    Runtime rt(rc);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            // Two failed allocations with no safepoint between them:
+            // the emergency collection never gets to run.
+            rtp->make<sync::Mutex>(*rtp);
+            rtp->make<sync::Mutex>(*rtp);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.panicked);
+    EXPECT_NE(r.panicMessage.find("injected allocation failure"),
+              std::string::npos);
+}
+
+TEST(FaultInjectionTest, ReclaimFailureQuarantinesAndRunContinues)
+{
+    rt::Config rc;
+    rc.faults.enabled = true;
+    rc.faults.reclaimFailureProb = 1.0;
+    Runtime rt(rc);
+    int delivered = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, int* dlv) -> Go {
+            auto doomed = +[](Runtime* rp) -> Go {
+                co_await chan::recv(chan::makeChan<int>(*rp, 0));
+                co_return;
+            };
+            GOLF_GO(*rtp, doomed, rtp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow(); // detect
+            co_await rt::gcNow(); // reclaim -> injected failure
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Quarantined),
+                      1u);
+            EXPECT_EQ(
+                rtp->collector().reports().quarantines().size(), 1u);
+
+            // Survivors make progress alongside the quarantined one.
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                for (int i = 0; i < 3; ++i)
+                    co_await chan::send(c, i);
+                co_return;
+            }, ch.get());
+            for (int i = 0; i < 3; ++i) {
+                auto got = co_await chan::recv(ch.get());
+                *dlv += got.ok ? 1 : 0;
+            }
+
+            // Later cycles still detect and (with the fault off)
+            // reclaim new deadlocks normally.
+            rtp->faults().config().reclaimFailureProb = 0.0;
+            GOLF_GO(*rtp, doomed, rtp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Quarantined),
+                      1u);
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Waiting), 0u);
+            EXPECT_EQ(rtp->collector().reports().total(), 2u);
+            co_return;
+        },
+        &rt, &delivered);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(delivered, 3);
+}
+
+TEST(FaultInjectionTest, ThrowingDeferDuringReclaimQuarantines)
+{
+    // No injector at all: a user defer that throws while the
+    // collector destroys the frames exercises the same quarantine
+    // path as an injected reclaim failure.
+    Runtime rt;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, +[](Runtime* rp) -> Go {
+                GOLF_DEFER([] {
+                    throw std::runtime_error("defer exploded");
+                });
+                co_await chan::recv(chan::makeChan<int>(*rp, 0));
+                co_return;
+            }, rtp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->countByStatus(rt::GStatus::Quarantined),
+                      1u);
+            const auto& q =
+                rtp->collector().reports().quarantines();
+            EXPECT_EQ(q.size(), 1u);
+            if (!q.empty()) {
+                EXPECT_NE(q[0].reason.find("defer exploded"),
+                          std::string::npos);
+            }
+
+            // The scheduler keeps working around the quarantined
+            // goroutine.
+            gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+                co_await chan::send(c, 9);
+                co_return;
+            }, ch.get());
+            auto got = co_await chan::recv(ch.get());
+            EXPECT_EQ(got.value, 9);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(FaultInjectionTest, ChaosSweepHoldsInvariants)
+{
+    auto corpus = microbench::Registry::instance().deadlocking();
+    ASSERT_GE(corpus.size(), 3u);
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        for (size_t i = 0; i < 3; ++i) {
+            microbench::HarnessConfig cfg = chaosConfig(seed * 977);
+            cfg.verifyInvariants = true;
+            microbench::RunOutcome out =
+                microbench::runPatternOnce(*corpus[i], cfg);
+            EXPECT_TRUE(out.invariantViolations.empty())
+                << corpus[i]->name << " seed " << seed << ": "
+                << (out.invariantViolations.empty()
+                        ? ""
+                        : out.invariantViolations.front());
+        }
+    }
+}
+
+} // namespace
+} // namespace golf

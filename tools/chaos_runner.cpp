@@ -1,0 +1,317 @@
+/**
+ * @file
+ * chaos_runner: deterministic fault-injection sweep over the
+ * microbench corpus.
+ *
+ * For each seed the runner executes a rotating slice of the corpus
+ * with the FaultInjector enabled, cross-checks the runtime invariants
+ * after every GC cycle and at end of run, and (with -repro) replays
+ * each run to assert the fault schedule is byte-identical — the
+ * determinism contract of seed-driven chaos.
+ *
+ * Usage:
+ *   chaos_runner [options]
+ *     -seeds <n>          number of seeds to sweep (default 25)
+ *     -seed-base <n>      first master seed (default 1)
+ *     -match <regex>      only run patterns whose name matches
+ *     -per-seed <n>       corpus patterns per seed, rotating so the
+ *                         sweep covers the whole corpus (default 6;
+ *                         0 = whole corpus every seed)
+ *     -procs <list>       comma-separated GOMAXPROCS values cycled
+ *                         across runs (default 1,2,4)
+ *     -panic-prob <p>     injected-panic probability    (default 0.002)
+ *     -spurious-prob <p>  spurious-wakeup probability   (default 0.01)
+ *     -delayed-prob <p>   delayed-wakeup probability    (default 0.01)
+ *     -allocfail-prob <p> simulated-OOM probability     (default 0.002)
+ *     -forcegc-prob <p>   forced-collection probability (default 0.005)
+ *     -reclaimfail-prob <p> throwing-reclaim probability (default 0.05)
+ *     -repro              run every configuration twice and require
+ *                         byte-identical fault traces
+ *     -v                  per-run output
+ *
+ * Exit status: 0 iff zero invariant violations, zero reproducibility
+ * mismatches and zero unexpected runtime failures.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+
+namespace {
+
+using namespace golf;
+using namespace golf::microbench;
+
+struct Options
+{
+    int seeds = 25;
+    uint64_t seedBase = 1;
+    std::string match;
+    int perSeed = 6;
+    std::vector<int> procs{1, 2, 4};
+    rt::FaultConfig faults;
+    bool repro = false;
+    bool verbose = false;
+};
+
+bool
+parseArgs(int argc, char** argv, Options& opt)
+{
+    opt.faults.enabled = true;
+    opt.faults.panicProb = 0.02;
+    opt.faults.spuriousWakeupProb = 0.10;
+    opt.faults.delayedWakeupProb = 0.10;
+    opt.faults.allocFailProb = 0.01;
+    opt.faults.forceGcProb = 0.05;
+    opt.faults.reclaimFailureProb = 0.25;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        // Accept both -flag and --flag spellings.
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-')
+            arg.erase(0, 1);
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        auto nextD = [&](double& out) {
+            const char* v = next();
+            if (!v)
+                return false;
+            out = std::atof(v);
+            if (out < 0.0 || out > 1.0) {
+                std::fprintf(stderr,
+                             "probability out of [0,1]: %s %s\n",
+                             argv[i - 1], v);
+                return false;
+            }
+            return true;
+        };
+        if (arg == "-seeds") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.seeds = std::atoi(v);
+        } else if (arg == "-seed-base") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.seedBase = static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-match") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.match = v;
+        } else if (arg == "-per-seed") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.perSeed = std::atoi(v);
+        } else if (arg == "-procs") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.procs.clear();
+            std::stringstream ss(v);
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                opt.procs.push_back(std::atoi(tok.c_str()));
+        } else if (arg == "-panic-prob") {
+            if (!nextD(opt.faults.panicProb))
+                return false;
+        } else if (arg == "-spurious-prob") {
+            if (!nextD(opt.faults.spuriousWakeupProb))
+                return false;
+        } else if (arg == "-delayed-prob") {
+            if (!nextD(opt.faults.delayedWakeupProb))
+                return false;
+        } else if (arg == "-allocfail-prob") {
+            if (!nextD(opt.faults.allocFailProb))
+                return false;
+        } else if (arg == "-forcegc-prob") {
+            if (!nextD(opt.faults.forceGcProb))
+                return false;
+        } else if (arg == "-reclaimfail-prob") {
+            if (!nextD(opt.faults.reclaimFailureProb))
+                return false;
+        } else if (arg == "-repro") {
+            opt.repro = true;
+        } else if (arg == "-v") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+            return false;
+        }
+    }
+    return opt.seeds > 0 && !opt.procs.empty();
+}
+
+/** True for the one fault outcome that legitimately ends a run: a
+ *  second injected allocation failure before the emergency collection
+ *  could complete (the simulated double-OOM). */
+bool
+isInjectedOom(const RunOutcome& out)
+{
+    return out.failureMessage.find("injected allocation failure") !=
+           std::string::npos;
+}
+
+struct Totals
+{
+    uint64_t runs = 0;
+    uint64_t faults = 0;
+    uint64_t containedPanics = 0;
+    uint64_t quarantined = 0;
+    uint64_t injectedOoms = 0;
+    uint64_t deadlockReports = 0;
+    uint64_t violations = 0;
+    uint64_t reproMismatches = 0;
+    uint64_t unexpectedFailures = 0;
+    std::vector<std::string> failureLines;
+};
+
+void
+noteFailure(Totals& t, const std::string& line)
+{
+    if (t.failureLines.size() < 20)
+        t.failureLines.push_back(line);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        std::fprintf(
+            stderr,
+            "usage: chaos_runner [-seeds n] [-seed-base n] "
+            "[-match re] [-per-seed n] [-procs 1,2,4] "
+            "[-<kind>-prob p ...] [-repro] [-v]\n");
+        return 2;
+    }
+
+    std::vector<const Pattern*> corpus;
+    std::regex re(opt.match.empty() ? ".*" : opt.match);
+    for (const Pattern& p : Registry::instance().all()) {
+        if (std::regex_search(p.name, re))
+            corpus.push_back(&p);
+    }
+    if (corpus.empty()) {
+        std::fprintf(stderr, "no patterns match '%s'\n",
+                     opt.match.c_str());
+        return 2;
+    }
+
+    const size_t perSeed =
+        opt.perSeed <= 0 ? corpus.size()
+                         : std::min(static_cast<size_t>(opt.perSeed),
+                                    corpus.size());
+    Totals t;
+    size_t rot = 0;
+
+    for (int s = 0; s < opt.seeds; ++s) {
+        const uint64_t seed =
+            opt.seedBase + static_cast<uint64_t>(s) * 2654435761ull;
+        for (size_t j = 0; j < perSeed; ++j, ++rot) {
+            const Pattern& p = *corpus[rot % corpus.size()];
+
+            HarnessConfig cfg;
+            cfg.procs = opt.procs[rot % opt.procs.size()];
+            cfg.seed = seed;
+            cfg.faults = opt.faults;
+            cfg.verifyInvariants = true;
+
+            RunOutcome out = runPatternOnce(p, cfg);
+            ++t.runs;
+            t.faults += out.faultsInjected;
+            t.containedPanics += out.containedPanics;
+            t.quarantined += out.quarantined;
+            t.deadlockReports += out.individualReports;
+            t.violations += out.invariantViolations.size();
+            for (const auto& v : out.invariantViolations) {
+                noteFailure(t, p.name + " seed=" +
+                                   std::to_string(seed) +
+                                   ": invariant: " + v);
+            }
+            if (out.runtimeFailure) {
+                if (isInjectedOom(out)) {
+                    ++t.injectedOoms;
+                } else {
+                    ++t.unexpectedFailures;
+                    noteFailure(t, p.name + " seed=" +
+                                       std::to_string(seed) +
+                                       ": runtime failure: " +
+                                       out.failureMessage);
+                }
+            }
+
+            if (opt.repro) {
+                RunOutcome again = runPatternOnce(p, cfg);
+                if (again.faultTrace != out.faultTrace) {
+                    ++t.reproMismatches;
+                    noteFailure(t, p.name + " seed=" +
+                                       std::to_string(seed) +
+                                       ": fault trace differs on "
+                                       "replay");
+                }
+            }
+
+            if (opt.verbose) {
+                std::printf("%-28s seed=%-12llu procs=%d "
+                            "faults=%-4llu panics=%-3llu quar=%-2llu "
+                            "reports=%-3zu viol=%zu\n",
+                            p.name.c_str(),
+                            static_cast<unsigned long long>(seed),
+                            cfg.procs,
+                            static_cast<unsigned long long>(
+                                out.faultsInjected),
+                            static_cast<unsigned long long>(
+                                out.containedPanics),
+                            static_cast<unsigned long long>(
+                                out.quarantined),
+                            out.individualReports,
+                            out.invariantViolations.size());
+            }
+        }
+        if (!opt.verbose)
+            std::fprintf(stderr, ".");
+    }
+    if (!opt.verbose)
+        std::fprintf(stderr, "\n");
+
+    std::printf("chaos: %llu runs over %zu patterns, %d seeds\n",
+                static_cast<unsigned long long>(t.runs), corpus.size(),
+                opt.seeds);
+    std::printf("  faults injected:      %llu\n",
+                static_cast<unsigned long long>(t.faults));
+    std::printf("  contained panics:     %llu\n",
+                static_cast<unsigned long long>(t.containedPanics));
+    std::printf("  quarantined:          %llu\n",
+                static_cast<unsigned long long>(t.quarantined));
+    std::printf("  injected double-OOMs: %llu\n",
+                static_cast<unsigned long long>(t.injectedOoms));
+    std::printf("  deadlock reports:     %llu\n",
+                static_cast<unsigned long long>(t.deadlockReports));
+    std::printf("  invariant violations: %llu\n",
+                static_cast<unsigned long long>(t.violations));
+    if (opt.repro) {
+        std::printf("  repro mismatches:     %llu\n",
+                    static_cast<unsigned long long>(t.reproMismatches));
+    }
+    std::printf("  unexpected failures:  %llu\n",
+                static_cast<unsigned long long>(t.unexpectedFailures));
+    for (const auto& line : t.failureLines)
+        std::fprintf(stderr, "FAIL %s\n", line.c_str());
+
+    const bool ok = t.violations == 0 && t.reproMismatches == 0 &&
+                    t.unexpectedFailures == 0;
+    std::printf("%s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
