@@ -96,10 +96,18 @@ class Channel : public gc::Object
         if (Waiter<T>* w = popRecvWaiter()) {
             *w->slot = std::move(v);
             w->success = true;
+            // Direct handoff: the rendezvous synchronizes both sides
+            // (send HB recv completing, recv HB send returning).
+            if (auto* rd = rt_.raceDetector())
+                rd->channelPair(rt_.currentGoroutine(), w->g, this);
             rt_.ready(w->g);
             return OpStatus::Done;
         }
         if (buf_.size() < cap_) {
+            // Buffered send: release into the channel's clock; the
+            // eventual receive acquires it (send HB recv).
+            if (auto* rd = rt_.raceDetector())
+                rd->release(rt_.currentGoroutine(), this);
             buf_.push_back(std::move(v));
             return OpStatus::Done;
         }
@@ -112,10 +120,18 @@ class Channel : public gc::Object
     tryRecv(T* out, bool* ok)
     {
         if (!buf_.empty()) {
+            // Buffered receive: acquire the channel's clock (the
+            // matching send released into it).
+            if (auto* rd = rt_.raceDetector())
+                rd->acquire(rt_.currentGoroutine(), this);
             *out = std::move(buf_.front());
             buf_.pop_front();
             // A parked sender can now place its value in the buffer.
             if (Waiter<T>* w = popSendWaiter()) {
+                // The granted sender's value enters the buffer now:
+                // publish its clock for the value's eventual receiver.
+                if (auto* rd = rt_.raceDetector())
+                    rd->release(w->g, this);
                 buf_.push_back(std::move(*w->slot));
                 w->success = true;
                 rt_.ready(w->g);
@@ -124,7 +140,9 @@ class Channel : public gc::Object
             return OpStatus::Done;
         }
         if (Waiter<T>* w = popSendWaiter()) {
-            // Unbuffered handoff.
+            // Unbuffered handoff: full rendezvous.
+            if (auto* rd = rt_.raceDetector())
+                rd->channelPair(rt_.currentGoroutine(), w->g, this);
             *out = std::move(*w->slot);
             w->success = true;
             rt_.ready(w->g);
@@ -132,6 +150,9 @@ class Channel : public gc::Object
             return OpStatus::Done;
         }
         if (closed_) {
+            // close(ch) HB a receive observing the close.
+            if (auto* rd = rt_.raceDetector())
+                rd->acquire(rt_.currentGoroutine(), this);
             *out = T{};
             *ok = false;
             return OpStatus::Done;
@@ -146,6 +167,11 @@ class Channel : public gc::Object
         if (closed_)
             support::goPanic("close of closed channel");
         closed_ = true;
+        // close(ch) releases; woken receivers inherit the closer's
+        // clock through the wakeup edge, later receivers through the
+        // acquire in tryRecv's closed path.
+        if (auto* rd = rt_.raceDetector())
+            rd->release(rt_.currentGoroutine(), this);
         while (Waiter<T>* w = popRecvWaiter()) {
             *w->slot = T{};
             w->success = false;

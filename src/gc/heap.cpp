@@ -28,6 +28,8 @@ Heap::~Heap()
     Object* obj = allHead_;
     while (obj) {
         Object* next = obj->allNext_;
+        if (freeHook_)
+            freeHook_(obj);
         delete obj;
         obj = next;
     }
@@ -100,6 +102,8 @@ Heap::sweep(Marker& marker)
         // Poison only the object's own footprint; allocSize_ may
         // include charged container payloads living elsewhere.
         size_t size = obj->baseSize_;
+        if (freeHook_)
+            freeHook_(obj);
         obj->~Object();
         if (config_.poisonFreed)
             std::memset(static_cast<void*>(obj), 0xDD,

@@ -64,6 +64,18 @@ class Heap
         allocHook_ = std::move(hook);
     }
 
+    /**
+     * Install a hook invoked just before an object is destroyed —
+     * both at sweep and at heap teardown. Used by the race detector
+     * to drop shadow state for the freed address range before it can
+     * be reused by a later allocation.
+     */
+    void
+    setFreeHook(std::function<void(Object*)> hook)
+    {
+        freeHook_ = std::move(hook);
+    }
+
     /** Visit every live object (the all-objects list); fn must not
      *  allocate or free. */
     template <typename Fn>
@@ -141,6 +153,7 @@ class Heap
     MemStats stats_;
     RootList globalRoots_;
     std::function<void(size_t)> allocHook_;
+    std::function<void(Object*)> freeHook_;
     std::unordered_map<Object*, std::function<void()>> finalizers_;
     std::vector<std::function<void()>> finalizerQueue_;
 };

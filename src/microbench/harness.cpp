@@ -65,6 +65,7 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.detectEveryN = cfg.detectEveryN;
     rc.faults = cfg.faults;
     rc.verifyEveryGc = cfg.verifyInvariants;
+    rc.race = cfg.race;
 
     RunOutcome out;
 
@@ -117,6 +118,13 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     }
     if (cfg.verifyInvariants)
         out.invariantViolations = runtime.verifyInvariants();
+    if (const race::Detector* rd = runtime.raceDetector()) {
+        out.raceStats = rd->stats();
+        for (const auto& r : rd->log().races())
+            out.raceReportLines.push_back(r.str());
+        for (const auto& r : rd->log().lockOrders())
+            out.raceReportLines.push_back(r.str());
+    }
     return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "microbench/registry.hpp"
+#include "race/detector.hpp"
 #include "support/stats.hpp"
 
 namespace golf::microbench {
@@ -38,6 +39,9 @@ struct HarnessConfig
     /** Cross-check runtime invariants after every GC cycle and once
      *  at the end of the run. */
     bool verifyInvariants = false;
+    /** Run under the race detector (-race analog): happens-before
+     *  race checking plus predictive lock-order analysis. */
+    bool race = false;
 };
 
 /** Outcome of one program execution. */
@@ -65,6 +69,10 @@ struct RunOutcome
     /** Invariant violations found by verifyInvariants (empty when the
      *  check is disabled or everything held). */
     std::vector<std::string> invariantViolations;
+    /** Race-analysis counters (all zero unless cfg.race). */
+    race::DetectorStats raceStats;
+    /** Formatted race and lock-order reports (empty unless cfg.race). */
+    std::vector<std::string> raceReportLines;
 };
 
 /** Number of concurrent instances for a flakiness score. */

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory-access annotations for the race detector.
+ *
+ * Go's -race instruments every load and store at compile time; a
+ * library runtime cannot, so shared locations are annotated instead:
+ * either with the free functions (race::read / race::write on any
+ * address) or by wrapping the field in race::Shared<T>, whose load()
+ * and store() annotate automatically with the caller's source
+ * location. All annotations compile down to a single null check when
+ * rt::Config::race is off.
+ */
+#ifndef GOLFCC_RACE_ANNOTATE_HPP
+#define GOLFCC_RACE_ANNOTATE_HPP
+
+#include <source_location>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+
+namespace golf::race {
+
+/** Annotate a read of [addr, addr+size). */
+inline void
+read(const void* addr, size_t size, const char* name = nullptr,
+     std::source_location loc = std::source_location::current())
+{
+    rt::Runtime* rt = rt::Runtime::current();
+    if (rt == nullptr)
+        return;
+    if (Detector* rd = rt->raceDetector()) {
+        rd->memRead(rt->currentGoroutine(), addr, size,
+                    rt::Site::from(loc), name);
+    }
+}
+
+/** Annotate a write of [addr, addr+size). */
+inline void
+write(const void* addr, size_t size, const char* name = nullptr,
+      std::source_location loc = std::source_location::current())
+{
+    rt::Runtime* rt = rt::Runtime::current();
+    if (rt == nullptr)
+        return;
+    if (Detector* rd = rt->raceDetector()) {
+        rd->memWrite(rt->currentGoroutine(), addr, size,
+                     rt::Site::from(loc), name);
+    }
+}
+
+/**
+ * A shared variable with annotated accesses — the moral equivalent of
+ * a plain Go variable under `go build -race`. Embed it in a managed
+ * object (or any structure reachable by several goroutines) and use
+ * load()/store(); unsynchronized conflicting accesses are reported.
+ */
+template <typename T>
+class Shared
+{
+  public:
+    explicit Shared(const char* name, T init = T{})
+        : name_(name), v_(std::move(init))
+    {}
+
+    T
+    load(std::source_location loc =
+             std::source_location::current()) const
+    {
+        read(&v_, sizeof(T), name_, loc);
+        return v_;
+    }
+
+    void
+    store(T v,
+          std::source_location loc = std::source_location::current())
+    {
+        write(&v_, sizeof(T), name_, loc);
+        v_ = std::move(v);
+    }
+
+    /** load-modify-store (v++ and friends): one read + one write. */
+    template <typename Fn>
+    void
+    update(Fn&& fn,
+           std::source_location loc = std::source_location::current())
+    {
+        read(&v_, sizeof(T), name_, loc);
+        write(&v_, sizeof(T), name_, loc);
+        v_ = fn(v_);
+    }
+
+    /** Unannotated access (initialization, post-run assertions). */
+    const T& unsafeRef() const { return v_; }
+    T& unsafeRef() { return v_; }
+
+  private:
+    const char* name_;
+    T v_;
+};
+
+} // namespace golf::race
+
+#endif // GOLFCC_RACE_ANNOTATE_HPP

@@ -1,0 +1,486 @@
+#include "race/detector.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "gc/object.hpp"
+#include "golf/report.hpp"
+#include "runtime/goroutine.hpp"
+
+namespace golf::race {
+
+Detector::Detector(DetectorConfig config, const support::VClock* clock)
+    : config_(config), clock_(clock)
+{
+}
+
+Detector::GState&
+Detector::stateOf(const rt::Goroutine* g)
+{
+    const uint64_t gid = g->id();
+    auto it = indexOfGid_.find(gid);
+    if (it != indexOfGid_.end())
+        return gs_[it->second];
+    const auto idx = static_cast<uint32_t>(gs_.size());
+    indexOfGid_.emplace(gid, idx);
+    GState gs;
+    gs.gid = gid;
+    gs.slot = idx;
+    gs.spawnSite = g->spawnSite();
+    gs.vc.set(gs.slot, 1); // Epoch 0 means "never ran".
+    gs_.push_back(std::move(gs));
+    return gs_.back();
+}
+
+VectorClock&
+Detector::syncClock(const void* obj)
+{
+    return syncVc_[reinterpret_cast<uintptr_t>(obj)];
+}
+
+void
+Detector::onSpawn(const rt::Goroutine* parent, const rt::Goroutine* child)
+{
+    if (child == nullptr)
+        return;
+    if (parent == nullptr) {
+        (void)stateOf(child);
+        return;
+    }
+    (void)stateOf(parent);
+    (void)stateOf(child); // May reallocate gs_: re-look-up below.
+    GState& p = stateOf(parent);
+    GState& c = stateOf(child);
+    c.vc.join(p.vc); // go statement: everything before it HB child.
+    p.vc.tick(p.slot);
+    ++syncOps_;
+}
+
+void
+Detector::onFinish(const rt::Goroutine* g)
+{
+    if (g == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    gs.vc.tick(gs.slot);
+    // A finished goroutine cannot hold locks; drop leftovers (panic
+    // unwinding past a held lock) so they cannot guard later edges.
+    for (const auto& h : gs.held) {
+        auto& hv = holders_[h.lockId];
+        auto it = std::find(hv.begin(), hv.end(), gs.gid);
+        if (it != hv.end())
+            hv.erase(it);
+    }
+    gs.held.clear();
+}
+
+void
+Detector::onWakeEdge(const rt::Goroutine* waker, const rt::Goroutine* woken)
+{
+    if (waker == nullptr || woken == nullptr || waker == woken)
+        return;
+    (void)stateOf(waker);
+    (void)stateOf(woken);
+    GState& a = stateOf(waker);
+    GState& b = stateOf(woken);
+    b.vc.join(a.vc); // The wakeup itself orders waker before woken.
+    a.vc.tick(a.slot);
+    ++syncOps_;
+}
+
+void
+Detector::acquire(const rt::Goroutine* g, const void* obj)
+{
+    if (g == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    gs.vc.join(syncClock(obj));
+    ++syncOps_;
+}
+
+void
+Detector::release(const rt::Goroutine* g, const void* obj)
+{
+    if (g == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    syncClock(obj).join(gs.vc);
+    gs.vc.tick(gs.slot);
+    ++syncOps_;
+}
+
+void
+Detector::channelPair(const rt::Goroutine* a, const rt::Goroutine* b,
+                      const void* ch)
+{
+    if (a == nullptr || b == nullptr || a == b)
+        return;
+    (void)stateOf(a);
+    (void)stateOf(b);
+    GState& x = stateOf(a);
+    GState& y = stateOf(b);
+    // Rendezvous: both sides observe each other (Go memory model — an
+    // unbuffered send HB the receive *and* the receive completing HB
+    // the send returning).
+    VectorClock& c = syncClock(ch);
+    c.join(x.vc);
+    c.join(y.vc);
+    x.vc.join(c);
+    y.vc.join(c);
+    x.vc.tick(x.slot);
+    y.vc.tick(y.slot);
+    ++syncOps_;
+}
+
+uint32_t
+Detector::lockIdOf(const gc::Object* lock)
+{
+    const auto addr = reinterpret_cast<uintptr_t>(lock);
+    auto it = lockIdByAddr_.find(addr);
+    if (it != lockIdByAddr_.end())
+        return it->second;
+    const auto id = static_cast<uint32_t>(lockLabels_.size());
+    lockIdByAddr_.emplace(addr, id);
+    lockLabels_.push_back(std::string(lock->objectName()) + "#" +
+                          std::to_string(id));
+    return id;
+}
+
+void
+Detector::lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
+                      bool exclusive, bool blocking, rt::Site site)
+{
+    if (g == nullptr || lock == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    gs.vc.join(syncClock(lock)); // The HB acquire edge.
+    ++syncOps_;
+    ++lockAcquires_;
+
+    const uint32_t id = lockIdOf(lock);
+    if (blocking && !gs.held.empty()) {
+        // The guard set is everything held at this acquisition: two
+        // edges whose guards intersect cannot interleave into a
+        // deadlock (the gate-lock criterion).
+        std::vector<uint32_t> guard;
+        guard.reserve(gs.held.size());
+        for (const auto& h : gs.held)
+            guard.push_back(h.lockId);
+        std::sort(guard.begin(), guard.end());
+        guard.erase(std::unique(guard.begin(), guard.end()),
+                    guard.end());
+        for (const auto& h : gs.held) {
+            if (h.lockId == id)
+                continue; // Re-acquisition (RLock) is not an edge.
+            auto& insts = edges_[{h.lockId, id}];
+            if (insts.size() < 8) {
+                EdgeInst e;
+                e.gid = gs.gid;
+                e.spawnSite = gs.spawnSite;
+                e.fromSite = h.site;
+                e.toSite = site;
+                e.sharedTarget = !exclusive;
+                e.guard = guard;
+                insts.push_back(std::move(e));
+            }
+        }
+    }
+    gs.held.push_back(GState::Held{id, site});
+    holders_[id].push_back(gs.gid);
+}
+
+void
+Detector::lockRelease(const rt::Goroutine* g, const gc::Object* lock)
+{
+    if (g == nullptr || lock == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    syncClock(lock).join(gs.vc); // The HB release edge.
+    gs.vc.tick(gs.slot);
+    ++syncOps_;
+
+    const uint32_t id = lockIdOf(lock);
+    auto dropHeld = [this, id](uint64_t gid) {
+        auto it = indexOfGid_.find(gid);
+        if (it == indexOfGid_.end())
+            return;
+        auto& held = gs_[it->second].held;
+        for (auto h = held.rbegin(); h != held.rend(); ++h) {
+            if (h->lockId == id) {
+                held.erase(std::next(h).base());
+                return;
+            }
+        }
+    };
+    auto& hv = holders_[id];
+    auto self = std::find(hv.begin(), hv.end(), gs.gid);
+    if (self != hv.end()) {
+        hv.erase(self);
+        dropHeld(gs.gid);
+    } else if (!hv.empty()) {
+        // Unlocked by a goroutine that did not lock it (Go permits
+        // this for Mutex): release on behalf of some actual holder so
+        // the stale entry cannot guard that goroutine's later edges.
+        const uint64_t owner = hv.back();
+        hv.pop_back();
+        dropHeld(owner);
+    }
+}
+
+Detector::Access
+Detector::accessOf(const GState& gs, bool write, rt::Site site)
+{
+    Access a;
+    a.epoch = gs.vc.epochOf(gs.slot);
+    a.gid = gs.gid;
+    a.write = write;
+    a.site = site;
+    a.spawnSite = gs.spawnSite;
+    return a;
+}
+
+void
+Detector::reportRace(const Access& prior, const Access& cur,
+                     uintptr_t addr, const ShadowWord& word)
+{
+    RaceReport r;
+    r.prior = AccessRecord{prior.gid, prior.write, prior.site,
+                           prior.spawnSite};
+    r.current =
+        AccessRecord{cur.gid, cur.write, cur.site, cur.spawnSite};
+    r.addr = addr;
+    r.size = word.size;
+    r.objectName = word.name != nullptr ? word.name : "memory";
+    r.vtime = clock_ != nullptr ? clock_->now() : 0;
+    if (log_.races().size() >= config_.maxReports) {
+        log_.countInstance();
+        return;
+    }
+    if (log_.add(std::move(r)) && config_.verbose)
+        std::cerr << log_.races().back().str() << "\n";
+}
+
+void
+Detector::memRead(const rt::Goroutine* g, const void* addr, size_t size,
+                  rt::Site site, const char* objName)
+{
+    if (g == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    ++memAccesses_;
+    ShadowWord& w = shadow_[reinterpret_cast<uintptr_t>(addr)];
+    w.size = size;
+    if (objName != nullptr)
+        w.name = objName;
+    const Access cur = accessOf(gs, false, site);
+    if (w.hasWrite && w.write.gid != gs.gid &&
+        !gs.vc.covers(w.write.epoch))
+        reportRace(w.write, cur,
+                   reinterpret_cast<uintptr_t>(addr), w);
+    // Keep the read set maximal-concurrent: drop reads this access
+    // happens-after, then record this one (replacing our own slot).
+    std::erase_if(w.reads, [&](const Access& r) {
+        return r.gid == gs.gid || gs.vc.covers(r.epoch);
+    });
+    w.reads.push_back(cur);
+}
+
+void
+Detector::memWrite(const rt::Goroutine* g, const void* addr, size_t size,
+                   rt::Site site, const char* objName)
+{
+    if (g == nullptr)
+        return;
+    GState& gs = stateOf(g);
+    ++memAccesses_;
+    ShadowWord& w = shadow_[reinterpret_cast<uintptr_t>(addr)];
+    w.size = size;
+    if (objName != nullptr)
+        w.name = objName;
+    const Access cur = accessOf(gs, true, site);
+    const auto a = reinterpret_cast<uintptr_t>(addr);
+    if (w.hasWrite && w.write.gid != gs.gid &&
+        !gs.vc.covers(w.write.epoch))
+        reportRace(w.write, cur, a, w);
+    for (const Access& r : w.reads) {
+        if (r.gid != gs.gid && !gs.vc.covers(r.epoch))
+            reportRace(r, cur, a, w);
+    }
+    w.hasWrite = true;
+    w.write = cur;
+    w.reads.clear();
+    gs.vc.tick(gs.slot); // Distinct writes get distinct epochs.
+}
+
+void
+Detector::onObjectFree(const gc::Object* obj)
+{
+    const auto lo = reinterpret_cast<uintptr_t>(obj);
+    const uintptr_t hi = lo + std::max<size_t>(obj->allocSize(), 1);
+    shadow_.erase(shadow_.lower_bound(lo), shadow_.lower_bound(hi));
+    syncVc_.erase(syncVc_.lower_bound(lo), syncVc_.lower_bound(hi));
+    // Lock ids stay allocated (labels outlive the object in reports);
+    // only the address binding dies with the allocation.
+    for (auto it = lockIdByAddr_.lower_bound(lo);
+         it != lockIdByAddr_.end() && it->first < hi;)
+        it = lockIdByAddr_.erase(it);
+}
+
+bool
+Detector::cycleInstances(const std::vector<uint32_t>& nodes,
+                         std::vector<LockOrderEdge>& out) const
+{
+    // Pick one dynamic instance per hop such that the goroutines are
+    // pairwise distinct and the guard sets pairwise disjoint (and not
+    // every hop acquires a shared lock — readers never deadlock with
+    // readers). Instance lists are capped at 8, cycles at length 4,
+    // so brute force is bounded by 8^4.
+    const size_t n = nodes.size();
+    std::vector<const std::vector<EdgeInst>*> lists(n);
+    for (size_t i = 0; i < n; ++i) {
+        auto it = edges_.find({nodes[i], nodes[(i + 1) % n]});
+        if (it == edges_.end() || it->second.empty())
+            return false;
+        lists[i] = &it->second;
+    }
+    std::vector<size_t> pick(n, 0);
+    while (true) {
+        bool ok = true;
+        bool anyExclusive = false;
+        for (size_t i = 0; i < n && ok; ++i) {
+            const EdgeInst& a = (*lists[i])[pick[i]];
+            if (!a.sharedTarget)
+                anyExclusive = true;
+            for (size_t j = i + 1; j < n && ok; ++j) {
+                const EdgeInst& b = (*lists[j])[pick[j]];
+                if (a.gid == b.gid) {
+                    ok = false;
+                    break;
+                }
+                // Guards are sorted: linear intersection test.
+                size_t x = 0;
+                size_t y = 0;
+                while (x < a.guard.size() && y < b.guard.size()) {
+                    if (a.guard[x] == b.guard[y]) {
+                        ok = false; // A common gate lock.
+                        break;
+                    }
+                    if (a.guard[x] < b.guard[y])
+                        ++x;
+                    else
+                        ++y;
+                }
+            }
+        }
+        if (ok && anyExclusive) {
+            out.clear();
+            for (size_t i = 0; i < n; ++i) {
+                const EdgeInst& e = (*lists[i])[pick[i]];
+                LockOrderEdge hop;
+                hop.lockA = lockLabels_[nodes[i]];
+                hop.lockB = lockLabels_[nodes[(i + 1) % n]];
+                hop.goroutineId = e.gid;
+                hop.firstSite = e.fromSite;
+                hop.secondSite = e.toSite;
+                hop.spawnSite = e.spawnSite;
+                out.push_back(std::move(hop));
+            }
+            return true;
+        }
+        // Advance the odometer.
+        size_t i = 0;
+        for (; i < n; ++i) {
+            if (++pick[i] < lists[i]->size())
+                break;
+            pick[i] = 0;
+        }
+        if (i == n)
+            return false;
+    }
+}
+
+void
+Detector::finalize(const detect::ReportLog& golfLog)
+{
+    // Enumerate simple cycles of length 2..maxCycleLength in the
+    // lock-acquisition graph. Each cycle is discovered exactly once
+    // by rooting the DFS at its smallest node and only walking
+    // through larger ones.
+    std::map<uint32_t, std::vector<uint32_t>> adj;
+    for (const auto& [key, insts] : edges_) {
+        if (!insts.empty())
+            adj[key.first].push_back(key.second);
+    }
+    const size_t maxLen = std::max<size_t>(config_.maxCycleLength, 2);
+
+    std::vector<uint32_t> path;
+    std::vector<LockOrderEdge> hops;
+    auto report = [&](const std::vector<uint32_t>& nodes) {
+        if (log_.lockOrders().size() >= config_.maxReports)
+            return;
+        if (!cycleInstances(nodes, hops))
+            return;
+        LockOrderReport r;
+        r.cycle = hops;
+        r.vtime = clock_ != nullptr ? clock_->now() : 0;
+        for (const auto& golf : golfLog.all()) {
+            for (const auto& hop : r.cycle) {
+                if (golf.blockSite == hop.secondSite) {
+                    r.confirmedByGolf = true;
+                    break;
+                }
+            }
+            if (r.confirmedByGolf)
+                break;
+        }
+        if (log_.addLockOrder(std::move(r)) && config_.verbose)
+            std::cerr << log_.lockOrders().back().str() << "\n";
+    };
+
+    std::function<void(uint32_t, uint32_t)> dfs =
+        [&](uint32_t root, uint32_t node) {
+            auto it = adj.find(node);
+            if (it == adj.end())
+                return;
+            for (uint32_t next : it->second) {
+                if (next == root && path.size() >= 2) {
+                    report(path);
+                    continue;
+                }
+                if (next <= root || path.size() >= maxLen)
+                    continue;
+                if (std::find(path.begin(), path.end(), next) !=
+                    path.end())
+                    continue;
+                path.push_back(next);
+                dfs(root, next);
+                path.pop_back();
+            }
+        };
+    for (const auto& [root, _] : adj) {
+        path.assign(1, root);
+        dfs(root, root);
+    }
+}
+
+DetectorStats
+Detector::stats() const
+{
+    DetectorStats s;
+    s.goroutines = gs_.size();
+    s.syncOps = syncOps_;
+    s.memAccesses = memAccesses_;
+    s.shadowCells = shadow_.size();
+    s.lockAcquires = lockAcquires_;
+    s.lockGraphEdges = edges_.size();
+    s.raceInstances = log_.raceInstances();
+    s.raceReports = log_.races().size();
+    s.lockOrderCycles = log_.lockOrders().size();
+    for (const auto& r : log_.lockOrders()) {
+        if (r.confirmedByGolf)
+            ++s.confirmedCycles;
+    }
+    return s;
+}
+
+} // namespace golf::race

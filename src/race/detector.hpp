@@ -1,0 +1,235 @@
+/**
+ * @file
+ * golf::race — FastTrack-style happens-before race detection plus
+ * predictive lock-order analysis over the managed runtime.
+ *
+ * One instrumentation layer, two analyses over the same trace:
+ *
+ *  1. *Happens-before race detection.* Every goroutine carries a
+ *     vector clock; every synchronization edge the runtime already
+ *     has — spawn, channel send/recv/close rendezvous, semaphore
+ *     acquire/release underneath Mutex/RWMutex/WaitGroup/Cond/
+ *     Semaphore, and scheduler wakeups — joins clocks exactly the way
+ *     Go's -race (TSan) models sync. Annotated memory accesses
+ *     (race::read / race::write, see annotate.hpp) check against
+ *     per-address shadow words and report conflicting unordered
+ *     access pairs with both sites.
+ *
+ *  2. *Predictive lock-order analysis.* Every blocking lock
+ *     acquisition records a lock-acquisition-graph edge keyed by the
+ *     held-lock set (the classic gate-lock construction). Cycles are
+ *     reported as *potential* deadlocks even when the observed
+ *     schedule completed cleanly — the dynamic analog of van den
+ *     Heuvel et al.'s partial-order deadlock prediction — and are
+ *     cross-checked against what golf::Collector actually caught.
+ *
+ * The detector is owned by rt::Runtime and only exists when
+ * rt::Config::race is set; every hook in the primitives is a single
+ * null-pointer check when it is off (Go's -race build-flag contract:
+ * zero overhead unless enabled).
+ */
+#ifndef GOLFCC_RACE_DETECTOR_HPP
+#define GOLFCC_RACE_DETECTOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "race/report.hpp"
+#include "race/vclock.hpp"
+#include "runtime/types.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::gc { class Object; }
+namespace golf::rt { class Goroutine; }
+namespace golf::detect { class ReportLog; }
+
+namespace golf::race {
+
+struct DetectorConfig
+{
+    /** Print each new race / cycle report to stderr as found. */
+    bool verbose = false;
+    /** Cap on deduplicated reports kept per category. */
+    size_t maxReports = 256;
+    /** Longest lock-order cycle searched for (>= 2). */
+    size_t maxCycleLength = 4;
+};
+
+/** Per-run analysis counters (surfaced via service::AnalysisStats). */
+struct DetectorStats
+{
+    uint64_t goroutines = 0;     ///< Goroutines ever registered.
+    uint64_t syncOps = 0;        ///< Acquire/release/pair edges.
+    uint64_t memAccesses = 0;    ///< Annotated reads + writes checked.
+    uint64_t shadowCells = 0;    ///< Live shadow words.
+    uint64_t lockAcquires = 0;   ///< Lock acquisitions tracked.
+    uint64_t lockGraphEdges = 0; ///< Distinct held->acquired edges.
+    uint64_t raceInstances = 0;  ///< Dynamic race hits (pre-dedup).
+    uint64_t raceReports = 0;    ///< Deduplicated race reports.
+    uint64_t lockOrderCycles = 0;///< Deduplicated cycle reports.
+    uint64_t confirmedCycles = 0;///< Cycles GOLF also caught.
+};
+
+class Detector
+{
+  public:
+    Detector(DetectorConfig config, const support::VClock* clock);
+
+    Detector(const Detector&) = delete;
+    Detector& operator=(const Detector&) = delete;
+
+    /// @{ Goroutine lifecycle edges (runtime/).
+    /** Child inherits the parent's frontier; parent ticks. */
+    void onSpawn(const rt::Goroutine* parent,
+                 const rt::Goroutine* child);
+    /** Final clock published (joins via WaitGroup/channel, not here). */
+    void onFinish(const rt::Goroutine* g);
+    /** waker -> woken causality (park/wakeup edge). */
+    void onWakeEdge(const rt::Goroutine* waker,
+                    const rt::Goroutine* woken);
+    /// @}
+
+    /// @{ Sync-object edges (chan/, sync/). Null goroutines (timer
+    /// or driver context) contribute no edge and are ignored.
+    /** VC[g] joins the sync object's clock (lock grant, recv). */
+    void acquire(const rt::Goroutine* g, const void* obj);
+    /** Sync object's clock joins VC[g]; g ticks (unlock, send). */
+    void release(const rt::Goroutine* g, const void* obj);
+    /** Unbuffered-channel rendezvous: both sides synchronize. */
+    void channelPair(const rt::Goroutine* a, const rt::Goroutine* b,
+                     const void* ch);
+    /// @}
+
+    /// @{ Lock-order analysis (Mutex / RWMutex).
+    /** Lock granted to g. Blocking acquisitions add graph edges from
+     *  every held lock; tryLock never blocks, so it only extends the
+     *  held set. `exclusive` is false for RLock. Also performs the
+     *  happens-before acquire edge. */
+    void lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
+                     bool exclusive, bool blocking, rt::Site site);
+    /** Lock released (possibly by a goroutine that did not acquire
+     *  it — Go allows that for Mutex). Also the HB release edge. */
+    void lockRelease(const rt::Goroutine* g, const gc::Object* lock);
+    /// @}
+
+    /// @{ Annotated memory accesses (race::read / race::write).
+    /// `objName` labels the report ("counter", "ring buffer", ...);
+    /// nullptr falls back to "memory".
+    void memRead(const rt::Goroutine* g, const void* addr,
+                 size_t size, rt::Site site,
+                 const char* objName = nullptr);
+    void memWrite(const rt::Goroutine* g, const void* addr,
+                  size_t size, rt::Site site,
+                  const char* objName = nullptr);
+    /// @}
+
+    /** Heap sweep hook: drop shadow/sync state for a freed object so
+     *  address reuse cannot alias stale clocks. */
+    void onObjectFree(const gc::Object* obj);
+
+    /**
+     * End of run: detect lock-order cycles, apply the gate-lock and
+     * distinct-goroutine filters, and cross-check each cycle against
+     * GOLF's deadlock reports. Idempotent across repeated runs of the
+     * same runtime (reports are deduplicated).
+     */
+    void finalize(const detect::ReportLog& golfLog);
+
+    const RaceLog& log() const { return log_; }
+    RaceLog& log() { return log_; }
+
+    DetectorStats stats() const;
+
+  private:
+    /** Per-goroutine analysis state. */
+    struct GState
+    {
+        uint64_t gid = 0;
+        Slot slot = 0;
+        VectorClock vc;
+        rt::Site spawnSite;
+        /** Currently held locks: stable id + acquisition site. */
+        struct Held
+        {
+            uint32_t lockId;
+            rt::Site site;
+        };
+        std::vector<Held> held;
+    };
+
+    /** One dynamic instance of a lock-graph edge. */
+    struct EdgeInst
+    {
+        uint64_t gid = 0;
+        rt::Site spawnSite;
+        rt::Site fromSite;
+        rt::Site toSite;
+        bool sharedTarget = false;
+        std::vector<uint32_t> guard; ///< Held-set at acquisition.
+    };
+
+    /** FastTrack shadow word for one annotated address. */
+    struct Access
+    {
+        Epoch epoch;
+        uint64_t gid = 0;
+        bool write = false;
+        rt::Site site;
+        rt::Site spawnSite;
+    };
+    struct ShadowWord
+    {
+        bool hasWrite = false;
+        Access write;
+        std::vector<Access> reads; ///< Maximal concurrent read set.
+        size_t size = 0;
+        const char* name = nullptr; ///< Annotation label, if any.
+    };
+
+    GState& stateOf(const rt::Goroutine* g);
+    VectorClock& syncClock(const void* obj);
+    uint32_t lockIdOf(const gc::Object* lock);
+    void reportRace(const Access& prior, const Access& cur,
+                    uintptr_t addr, const ShadowWord& word);
+    static Access accessOf(const GState& gs, bool write,
+                           rt::Site site);
+    bool cycleInstances(const std::vector<uint32_t>& nodes,
+                        std::vector<LockOrderEdge>& out) const;
+
+    DetectorConfig config_;
+    const support::VClock* clock_;
+    RaceLog log_;
+
+    std::unordered_map<uint64_t, uint32_t> indexOfGid_;
+    std::vector<GState> gs_;
+
+    /** Sync-object clocks, keyed by address; ordered so object free
+     *  can range-erase every clock inside the freed allocation. */
+    std::map<uintptr_t, VectorClock> syncVc_;
+
+    /** Stable lock identities (labels survive object free). */
+    std::map<uintptr_t, uint32_t> lockIdByAddr_;
+    std::vector<std::string> lockLabels_;
+
+    /** Goroutines currently holding each lock (unlock may come from
+     *  a goroutine other than the one that locked — legal in Go). */
+    std::unordered_map<uint32_t, std::vector<uint64_t>> holders_;
+
+    /** Lock-acquisition graph: (from,to) -> dynamic instances. */
+    std::map<std::pair<uint32_t, uint32_t>, std::vector<EdgeInst>>
+        edges_;
+
+    /** Shadow memory, ordered so object free can range-erase. */
+    std::map<uintptr_t, ShadowWord> shadow_;
+
+    uint64_t syncOps_ = 0;
+    uint64_t memAccesses_ = 0;
+    uint64_t lockAcquires_ = 0;
+};
+
+} // namespace golf::race
+
+#endif // GOLFCC_RACE_DETECTOR_HPP

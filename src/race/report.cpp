@@ -1,0 +1,159 @@
+#include "race/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace golf::race {
+
+std::string
+AccessRecord::str() const
+{
+    std::ostringstream os;
+    os << (write ? "write" : "read") << " by goroutine "
+       << goroutineId << " at " << site.str() << " (created at "
+       << spawnSite.str() << ")";
+    return os.str();
+}
+
+std::string
+RaceReport::dedupKey() const
+{
+    std::string a = prior.site.str() + (prior.write ? "+w" : "+r");
+    std::string b =
+        current.site.str() + (current.write ? "+w" : "+r");
+    // Order-normalize: the same static pair reports once regardless
+    // of which side the detector saw first.
+    return a < b ? a + "|" + b : b + "|" + a;
+}
+
+std::string
+RaceReport::str() const
+{
+    std::ostringstream os;
+    os << "data race! on " << objectName << " (" << size
+       << " bytes)\n"
+       << "  " << current.str() << "\n"
+       << "  conflicts with previous " << prior.str();
+    return os.str();
+}
+
+std::string
+RaceReport::json() const
+{
+    auto side = [](const AccessRecord& a) {
+        std::ostringstream os;
+        os << "{\"goroutine\":" << a.goroutineId << ",\"kind\":\""
+           << (a.write ? "write" : "read") << "\",\"site\":\""
+           << a.site.str() << "\",\"spawn\":\"" << a.spawnSite.str()
+           << "\"}";
+        return os.str();
+    };
+    std::ostringstream os;
+    os << "{\"object\":\"" << objectName << "\",\"size\":" << size
+       << ",\"current\":" << side(current) << ",\"prior\":"
+       << side(prior) << ",\"vtime_ns\":" << vtime << "}";
+    return os.str();
+}
+
+std::string
+LockOrderEdge::str() const
+{
+    std::ostringstream os;
+    os << "goroutine " << goroutineId << " acquired " << lockB
+       << " at " << secondSite.str() << " while holding " << lockA
+       << " (acquired at " << firstSite.str() << "; created at "
+       << spawnSite.str() << ")";
+    return os.str();
+}
+
+std::string
+LockOrderReport::dedupKey() const
+{
+    // Normalize by rotating the cycle so the lexicographically
+    // smallest hop comes first: the same static cycle keys equal no
+    // matter where the DFS entered it.
+    std::vector<std::string> hops;
+    hops.reserve(cycle.size());
+    for (const auto& e : cycle)
+        hops.push_back(e.lockA + ">" + e.lockB + "@" +
+                       e.secondSite.str());
+    size_t best = 0;
+    for (size_t i = 1; i < hops.size(); ++i) {
+        if (hops[i] < hops[best])
+            best = i;
+    }
+    std::string key;
+    for (size_t i = 0; i < hops.size(); ++i)
+        key += hops[(best + i) % hops.size()] + "|";
+    return key;
+}
+
+std::string
+LockOrderReport::str() const
+{
+    std::ostringstream os;
+    os << "potential deadlock! lock-order cycle of length "
+       << cycle.size()
+       << (confirmedByGolf ? " (confirmed by GOLF)"
+                           : " (run completed cleanly)")
+       << "\n";
+    for (const auto& e : cycle)
+        os << "  " << e.str() << "\n";
+    os << "  a schedule interleaving these acquisitions deadlocks";
+    return os.str();
+}
+
+std::string
+LockOrderReport::json() const
+{
+    std::ostringstream os;
+    os << "{\"cycle\":[";
+    for (size_t i = 0; i < cycle.size(); ++i) {
+        const LockOrderEdge& e = cycle[i];
+        os << "{\"held\":\"" << e.lockA << "\",\"acquired\":\""
+           << e.lockB << "\",\"goroutine\":" << e.goroutineId
+           << ",\"held_site\":\"" << e.firstSite.str()
+           << "\",\"acquire_site\":\"" << e.secondSite.str() << "\"}";
+        if (i + 1 < cycle.size())
+            os << ",";
+    }
+    os << "],\"confirmed_by_golf\":"
+       << (confirmedByGolf ? "true" : "false") << ",\"vtime_ns\":"
+       << vtime << "}";
+    return os.str();
+}
+
+bool
+RaceLog::add(RaceReport r)
+{
+    ++raceInstances_;
+    const std::string key = r.dedupKey();
+    if (++raceCounts_[key] > 1)
+        return false;
+    if (sink_)
+        sink_(r);
+    races_.push_back(std::move(r));
+    return true;
+}
+
+bool
+RaceLog::addLockOrder(LockOrderReport r)
+{
+    const std::string key = r.dedupKey();
+    if (++lockOrderCounts_[key] > 1)
+        return false;
+    lockOrders_.push_back(std::move(r));
+    return true;
+}
+
+void
+RaceLog::clear()
+{
+    races_.clear();
+    lockOrders_.clear();
+    raceCounts_.clear();
+    lockOrderCounts_.clear();
+    raceInstances_ = 0;
+}
+
+} // namespace golf::race

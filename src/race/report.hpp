@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Race and potential-deadlock (lock-order) reports, GOLF-report-style.
+ *
+ * A data race report carries *both* conflicting accesses — goroutine
+ * id, access kind, the access site and the goroutine's `go` statement
+ * site (the two-frame "stack" this runtime attributes everything to,
+ * exactly the ingredients of detect::DeadlockReport). A lock-order
+ * report carries one acquisition cycle: each hop names the two locks,
+ * the goroutine that ordered them, and the two acquisition sites.
+ * Deduplication mirrors the RQ1(b) scheme: the site pair (respectively
+ * the normalized cycle site list) is the key, so repeated dynamic
+ * instances of one static bug count once.
+ */
+#ifndef GOLFCC_RACE_REPORT_HPP
+#define GOLFCC_RACE_REPORT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::race {
+
+/** One side of a data race: who accessed, how, where, spawned where. */
+struct AccessRecord
+{
+    uint64_t goroutineId = 0;
+    bool write = false;
+    rt::Site site;       ///< The annotated access.
+    rt::Site spawnSite;  ///< The goroutine's `go` statement.
+
+    std::string str() const;
+};
+
+/** One detected data race (a pair of unordered conflicting accesses). */
+struct RaceReport
+{
+    AccessRecord prior;    ///< The access already in the shadow word.
+    AccessRecord current;  ///< The access that exposed the race.
+    uintptr_t addr = 0;
+    size_t size = 0;
+    /** objectName() of the owning heap object, or "memory". */
+    std::string objectName = "memory";
+    support::VTime vtime = 0;
+
+    /** Normalized "siteA|siteB" pair — the dedup key. */
+    std::string dedupKey() const;
+
+    /** Human-readable report, GOLF message style. */
+    std::string str() const;
+
+    /** One JSON object (structured logging pipelines). */
+    std::string json() const;
+};
+
+/** One hop of a lock-order cycle: lockB acquired while holding lockA. */
+struct LockOrderEdge
+{
+    std::string lockA;     ///< Label of the held lock.
+    std::string lockB;     ///< Label of the lock acquired under it.
+    uint64_t goroutineId = 0;
+    rt::Site firstSite;    ///< Where lockA was acquired.
+    rt::Site secondSite;   ///< Where lockB was acquired (under lockA).
+    rt::Site spawnSite;    ///< The goroutine's `go` statement.
+
+    std::string str() const;
+};
+
+/** A cyclic lock-acquisition order: a *potential* deadlock, reported
+ *  even when the observed schedule completed cleanly. */
+struct LockOrderReport
+{
+    std::vector<LockOrderEdge> cycle;
+    /** golf::Collector caught a sync-package deadlock at one of the
+     *  cycle's acquisition sites: the prediction manifested. */
+    bool confirmedByGolf = false;
+    support::VTime vtime = 0;
+
+    /** Normalized cycle site list — the dedup key. */
+    std::string dedupKey() const;
+
+    std::string str() const;
+    std::string json() const;
+};
+
+/** Accumulates race and lock-order reports with deduplication. */
+class RaceLog
+{
+  public:
+    /** Record a race; returns true when it is a new (deduped) one. */
+    bool add(RaceReport r);
+
+    /** Record a lock-order cycle; returns true when new. */
+    bool addLockOrder(LockOrderReport r);
+
+    /** Deduplicated races, in detection order. */
+    const std::vector<RaceReport>& races() const { return races_; }
+
+    /** Deduplicated lock-order cycles, in detection order. */
+    const std::vector<LockOrderReport>&
+    lockOrders() const
+    {
+        return lockOrders_;
+    }
+
+    /** Dynamic instances per race dedup key. */
+    const std::map<std::string, size_t>&
+    raceCounts() const
+    {
+        return raceCounts_;
+    }
+
+    /** Total dynamic race instances (>= races().size()). */
+    size_t raceInstances() const { return raceInstances_; }
+
+    /** Count a dynamic instance dropped by the report cap. */
+    void countInstance() { ++raceInstances_; }
+
+    /** Sink invoked for each *new* race report as it is found (the
+     *  logging-pipeline hookup, like ReportLog::setSink). */
+    void setSink(std::function<void(const RaceReport&)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
+    void clear();
+
+  private:
+    std::vector<RaceReport> races_;
+    std::vector<LockOrderReport> lockOrders_;
+    std::map<std::string, size_t> raceCounts_;
+    std::map<std::string, size_t> lockOrderCounts_;
+    size_t raceInstances_ = 0;
+    std::function<void(const RaceReport&)> sink_;
+};
+
+} // namespace golf::race
+
+#endif // GOLFCC_RACE_REPORT_HPP

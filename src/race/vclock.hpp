@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Vector clocks for the happens-before race detector.
+ *
+ * One clock component per goroutine ever observed by the detector;
+ * components are addressed by a dense slot index assigned at spawn
+ * (goroutine ids themselves are 64-bit and ever-growing, so they are
+ * mapped down once). A (slot, clock) pair is an *epoch* — FastTrack's
+ * compressed representation of "the last access by one goroutine" —
+ * and `Epoch e` happens-before `VectorClock v` iff e.clock <=
+ * v.get(e.slot), the O(1) check that makes the common same-goroutine
+ * access path cheap.
+ */
+#ifndef GOLFCC_RACE_VCLOCK_HPP
+#define GOLFCC_RACE_VCLOCK_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace golf::race {
+
+/** Scalar clock value of one goroutine component. */
+using Clock = uint32_t;
+
+/** Dense slot index of a goroutine in every vector clock. */
+using Slot = uint32_t;
+
+/** One goroutine's last operation: FastTrack's epoch. */
+struct Epoch
+{
+    Slot slot = 0;
+    Clock clock = 0;
+};
+
+class VectorClock
+{
+  public:
+    /** Component for slot (0 when never written). */
+    Clock
+    get(Slot s) const
+    {
+        return s < c_.size() ? c_[s] : 0;
+    }
+
+    void
+    set(Slot s, Clock v)
+    {
+        if (s >= c_.size())
+            c_.resize(s + 1, 0);
+        c_[s] = v;
+    }
+
+    /** Pointwise maximum (the join of the two clock frontiers). */
+    void
+    join(const VectorClock& o)
+    {
+        if (o.c_.size() > c_.size())
+            c_.resize(o.c_.size(), 0);
+        for (size_t i = 0; i < o.c_.size(); ++i) {
+            if (o.c_[i] > c_[i])
+                c_[i] = o.c_[i];
+        }
+    }
+
+    /** Advance the own component (a release point). */
+    void
+    tick(Slot s)
+    {
+        set(s, get(s) + 1);
+    }
+
+    /** The epoch of slot s in this clock. */
+    Epoch
+    epochOf(Slot s) const
+    {
+        return Epoch{s, get(s)};
+    }
+
+    /** Whether the operation stamped `e` happens-before this frontier. */
+    bool
+    covers(const Epoch& e) const
+    {
+        return e.clock <= get(e.slot);
+    }
+
+    size_t size() const { return c_.size(); }
+
+  private:
+    std::vector<Clock> c_;
+};
+
+} // namespace golf::race
+
+#endif // GOLFCC_RACE_VCLOCK_HPP

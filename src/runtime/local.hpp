@@ -18,6 +18,7 @@
 #define GOLFCC_RUNTIME_LOCAL_HPP
 
 #include "gc/heap.hpp"
+#include "gc/marker.hpp"
 #include "gc/object.hpp"
 #include "gc/root.hpp"
 #include "runtime/runtime.hpp"

@@ -74,6 +74,26 @@ noteFrameFree(size_t bytes)
         rt->noteFrameFree(bytes);
 }
 
+/** Header prefix remembering the frame size for frameFree. */
+constexpr size_t kFrameHeader = alignof(std::max_align_t);
+
+void*
+frameAlloc(size_t n)
+{
+    void* raw = ::operator new(n + kFrameHeader);
+    *static_cast<size_t*>(raw) = n;
+    noteFrameAlloc(n);
+    return static_cast<char*>(raw) + kFrameHeader;
+}
+
+void
+frameFree(void* p)
+{
+    void* raw = static_cast<char*>(p) - kFrameHeader;
+    noteFrameFree(*static_cast<size_t*>(raw));
+    ::operator delete(raw);
+}
+
 bool
 consumeRecover()
 {
@@ -156,6 +176,12 @@ Runtime::Runtime(Config config)
     collector_ = std::make_unique<detect::Collector>(*this);
     installPanicHooks();
     heap_.setAllocHook([this](size_t bytes) { onAllocCheck(bytes); });
+    if (config_.race) {
+        race_ = std::make_unique<race::Detector>(config_.raceCfg,
+                                                 &clock_);
+        heap_.setFreeHook(
+            [this](gc::Object* obj) { race_->onObjectFree(obj); });
+    }
     runtimeStack().push_back(this);
 }
 
@@ -252,6 +278,8 @@ Runtime::spawn(Go&& task, Site site)
     g->spawnSite_ = site;
     g->frameBytes_ = lastFrameBytes_;
     tracer_.record(clock_.now(), TraceEvent::Spawn, g->id());
+    if (race_)
+        race_->onSpawn(sched_.current(), g);
     sched_.enqueueSpawn(g);
     return g;
 }
@@ -321,6 +349,8 @@ Runtime::ready(Goroutine* g)
 void
 Runtime::readyNow(Goroutine* g)
 {
+    if (race_)
+        race_->onWakeEdge(sched_.current(), g);
     if (g->spuriousWake_ && g->status_ == GStatus::Runnable) {
         // Fuse: the goroutine is already on the run queue from an
         // injected spurious wakeup. Clearing the retained wait state
@@ -373,6 +403,8 @@ void
 Runtime::onGoroutineDone(Goroutine* g)
 {
     g->status_ = GStatus::Done;
+    if (race_)
+        race_->onFinish(g);
     if (g->isMain_)
         mainDone_ = true;
 }
@@ -721,6 +753,8 @@ Runtime::driveLoop()
         runSlice(g);
     }
 
+    if (race_)
+        race_->finalize(collector_->reports());
     running_ = false;
     return result_;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gc/heap.hpp"
+#include "race/detector.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/goroutine.hpp"
 #include "runtime/scheduler.hpp"
@@ -89,6 +90,15 @@ struct Config
     /** Run verifyInvariants() at every collection safepoint and
      *  panic on a violation (chaos mode; expensive). */
     bool verifyEveryGc = false;
+    /**
+     * The -race build analog: happens-before race detection plus
+     * predictive lock-order analysis (race::Detector). Off by
+     * default; when off, every instrumentation hook is one inlined
+     * null-pointer check — zero overhead, matching Go's contract
+     * that an un-instrumented build pays nothing.
+     */
+    bool race = false;
+    race::DetectorConfig raceCfg;
     support::VTime gcStwFixedNs = 50 * support::kMicrosecond;
     double gcNsPerDetectCheck = 100.0;
     support::VTime gcNsPerIteration = 10 * support::kMicrosecond;
@@ -126,6 +136,9 @@ class Runtime
     Tracer& tracer() { return tracer_; }
     detect::Collector& collector() { return *collector_; }
     const Config& config() const { return config_; }
+    /** The race detector, or nullptr when Config::race is off. Every
+     *  instrumentation site is gated on exactly this null check. */
+    race::Detector* raceDetector() const { return race_.get(); }
     /// @}
 
     /** Allocate a managed object. */
@@ -299,6 +312,9 @@ class Runtime
     }
 
     Config config_;
+    /** Declared before heap_: the free hook installed on the heap
+     *  calls into the detector, so it must outlive heap teardown. */
+    std::unique_ptr<race::Detector> race_;
     gc::Heap heap_;
     support::VClock clock_;
     SemTable semtable_;

@@ -41,6 +41,17 @@ void noteFrameAlloc(size_t bytes);
 void noteFrameFree(size_t bytes);
 
 /**
+ * Size-tracked coroutine-frame allocation (implemented in
+ * runtime.cpp). Out of line on purpose: the size header lives at a
+ * negative offset from the returned pointer, and when GCC inlines
+ * that pointer arithmetic into a coroutine's ramp function its
+ * -Wmismatched-new-delete analysis misattributes the underlying
+ * allocator pair.
+ */
+void* frameAlloc(size_t n);
+void frameFree(void* p);
+
+/**
  * recover() support (implemented in runtime.cpp): true when a
  * deferred function in the frame that just threw called recover(),
  * meaning this frame absorbs the panic and completes with its zero
@@ -66,28 +77,11 @@ bool forcedUnwindActive();
  *  unwind; the reclaim/teardown path reads it after destroy(). */
 void noteForcedUnwindFailure();
 
-/** Size of the header prefix used to remember the frame size. */
-constexpr size_t kFrameHeader = alignof(std::max_align_t);
-
 /** Mixin giving a promise size-tracked frame allocation. */
 struct FrameAccounting
 {
-    static void*
-    operator new(size_t n)
-    {
-        void* raw = ::operator new(n + kFrameHeader);
-        *static_cast<size_t*>(raw) = n;
-        noteFrameAlloc(n);
-        return static_cast<char*>(raw) + kFrameHeader;
-    }
-
-    static void
-    operator delete(void* p)
-    {
-        void* raw = static_cast<char*>(p) - kFrameHeader;
-        noteFrameFree(*static_cast<size_t*>(raw));
-        ::operator delete(raw);
-    }
+    static void* operator new(size_t n) { return frameAlloc(n); }
+    static void operator delete(void* p) { frameFree(p); }
 };
 
 } // namespace detail

@@ -6,6 +6,23 @@
 
 namespace golf::service {
 
+std::string
+AnalysisStats::str() const
+{
+    std::ostringstream os;
+    os << "race: goroutines=" << d.goroutines
+       << " sync_ops=" << d.syncOps
+       << " mem_accesses=" << d.memAccesses
+       << " shadow_cells=" << d.shadowCells
+       << " lock_acquires=" << d.lockAcquires
+       << " lock_graph_edges=" << d.lockGraphEdges
+       << " races=" << d.raceReports
+       << " race_instances=" << d.raceInstances
+       << " lock_order_cycles=" << d.lockOrderCycles
+       << " confirmed_cycles=" << d.confirmedCycles;
+    return os.str();
+}
+
 LatencySummary
 LatencySummary::ofMillis(const support::Samples& s)
 {

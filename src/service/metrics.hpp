@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "race/detector.hpp"
 #include "support/stats.hpp"
 #include "support/vclock.hpp"
 
@@ -56,6 +57,27 @@ struct TimeSeries
 
 /** mean +- stddev formatting used by Table 3. */
 std::string meanPm(const support::Samples& s);
+
+/**
+ * Per-run race-analysis statistics, emitted next to the GC metrics
+ * when a run executes under -race: how much the detector observed
+ * (sync edges, annotated accesses, lock acquisitions) and what it
+ * concluded (deduplicated races, lock-order cycles, GOLF-confirmed
+ * cycles).
+ */
+struct AnalysisStats
+{
+    race::DetectorStats d;
+
+    static AnalysisStats
+    of(const race::Detector& det)
+    {
+        return AnalysisStats{det.stats()};
+    }
+
+    /** One "key=value ..." summary line for logs and tool output. */
+    std::string str() const;
+};
 
 } // namespace golf::service
 

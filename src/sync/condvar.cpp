@@ -14,12 +14,16 @@ Cond::wait(std::source_location loc)
 void
 Cond::signal()
 {
+    if (auto* rd = rt_.raceDetector())
+        rd->release(rt_.currentGoroutine(), this);
     semWake(rt_, &sema_);
 }
 
 void
 Cond::broadcast()
 {
+    if (auto* rd = rt_.raceDetector())
+        rd->release(rt_.currentGoroutine(), this);
     semWakeAll(rt_, &sema_);
 }
 

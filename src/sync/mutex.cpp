@@ -3,11 +3,19 @@
 namespace golf::sync {
 
 bool
-Mutex::tryLock()
+Mutex::tryLock(std::source_location loc)
 {
     if (locked_)
         return false;
     locked_ = true;
+    // A non-blocking acquisition still guards later lock-order edges
+    // (it is in the held set) but never adds an incoming edge: a
+    // tryLock cannot wait, so it cannot close a deadlock cycle.
+    if (auto* rd = rt_.raceDetector()) {
+        rd->lockAcquire(rt_.currentGoroutine(), this,
+                        /*exclusive=*/true, /*blocking=*/false,
+                        rt::Site::from(loc));
+    }
     return true;
 }
 
@@ -16,6 +24,8 @@ Mutex::unlock()
 {
     if (!locked_)
         support::goPanic("sync: unlock of unlocked mutex");
+    if (auto* rd = rt_.raceDetector())
+        rd->lockRelease(rt_.currentGoroutine(), this);
     if (!semWake(rt_, &sema_))
         locked_ = false;
     // else: direct handoff, locked_ stays true for the waiter.

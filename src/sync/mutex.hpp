@@ -34,8 +34,14 @@ class Mutex : public gc::Object
             rt::checkFault(rt::FaultSite::MutexLock);
             if (!m_->locked_) {
                 m_->locked_ = true;
+                if (auto* rd = m_->rt_.raceDetector()) {
+                    rd->lockAcquire(m_->rt_.currentGoroutine(), m_,
+                                    /*exclusive=*/true,
+                                    /*blocking=*/true, site_);
+                }
                 return false;
             }
+            parked_ = true;
             rt::Runtime* rt = rt::Runtime::current();
             rt::Goroutine* g = rt->currentGoroutine();
             waiter_.g = g;
@@ -51,14 +57,22 @@ class Mutex : public gc::Object
         {
             // Granted by unlock(): ownership was handed over with
             // locked_ still set.
+            if (!parked_)
+                return;
             rt::Runtime* rt = rt::Runtime::current();
             rt->clearBlockedSema(rt->currentGoroutine());
+            if (auto* rd = rt->raceDetector()) {
+                rd->lockAcquire(rt->currentGoroutine(), m_,
+                                /*exclusive=*/true, /*blocking=*/true,
+                                site_);
+            }
         }
 
       private:
         Mutex* m_;
         rt::Site site_;
         rt::SemWaiter waiter_;
+        bool parked_ = false;
     };
 
     /** co_await m->lock(); */
@@ -69,7 +83,8 @@ class Mutex : public gc::Object
     }
 
     /** Non-blocking acquire attempt. */
-    bool tryLock();
+    bool tryLock(
+        std::source_location loc = std::source_location::current());
 
     /** Release; direct handoff to the longest waiter if any. */
     void unlock();

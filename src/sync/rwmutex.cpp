@@ -7,6 +7,8 @@ RWMutex::runlock()
 {
     if (readers_ <= 0)
         support::goPanic("sync: RUnlock of unlocked RWMutex");
+    if (auto* rd = rt_.raceDetector())
+        rd->lockRelease(rt_.currentGoroutine(), this);
     --readers_;
     if (readers_ == 0 && waitingWriters_ > 0) {
         // Grant the lock to the longest-waiting writer.
@@ -22,6 +24,8 @@ RWMutex::unlock()
 {
     if (!writer_)
         support::goPanic("sync: Unlock of unlocked RWMutex");
+    if (auto* rd = rt_.raceDetector())
+        rd->lockRelease(rt_.currentGoroutine(), this);
     writer_ = false;
     if (waitingWriters_ > 0) {
         if (semWake(rt_, &writerSem_)) {

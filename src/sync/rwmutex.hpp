@@ -33,8 +33,14 @@ class RWMutex : public gc::Object
             rt::checkFault(rt::FaultSite::RWMutexRLock);
             if (!m_->writer_ && m_->waitingWriters_ == 0) {
                 ++m_->readers_;
+                if (auto* rd = m_->rt_.raceDetector()) {
+                    rd->lockAcquire(m_->rt_.currentGoroutine(), m_,
+                                    /*exclusive=*/false,
+                                    /*blocking=*/true, site_);
+                }
                 return false;
             }
+            parked_ = true;
             rt::Runtime* rt = rt::Runtime::current();
             rt::Goroutine* g = rt->currentGoroutine();
             waiter_.g = g;
@@ -48,14 +54,22 @@ class RWMutex : public gc::Object
         void
         await_resume()
         {
+            if (!parked_)
+                return;
             rt::Runtime* rt = rt::Runtime::current();
             rt->clearBlockedSema(rt->currentGoroutine());
+            if (auto* rd = rt->raceDetector()) {
+                rd->lockAcquire(rt->currentGoroutine(), m_,
+                                /*exclusive=*/false,
+                                /*blocking=*/true, site_);
+            }
         }
 
       private:
         RWMutex* m_;
         rt::Site site_;
         rt::SemWaiter waiter_;
+        bool parked_ = false;
     };
 
     class WLockOp
@@ -71,8 +85,14 @@ class RWMutex : public gc::Object
             rt::checkFault(rt::FaultSite::RWMutexWLock);
             if (!m_->writer_ && m_->readers_ == 0) {
                 m_->writer_ = true;
+                if (auto* rd = m_->rt_.raceDetector()) {
+                    rd->lockAcquire(m_->rt_.currentGoroutine(), m_,
+                                    /*exclusive=*/true,
+                                    /*blocking=*/true, site_);
+                }
                 return false;
             }
+            parked_ = true;
             ++m_->waitingWriters_;
             rt::Runtime* rt = rt::Runtime::current();
             rt::Goroutine* g = rt->currentGoroutine();
@@ -87,14 +107,22 @@ class RWMutex : public gc::Object
         void
         await_resume()
         {
+            if (!parked_)
+                return;
             rt::Runtime* rt = rt::Runtime::current();
             rt->clearBlockedSema(rt->currentGoroutine());
+            if (auto* rd = rt->raceDetector()) {
+                rd->lockAcquire(rt->currentGoroutine(), m_,
+                                /*exclusive=*/true,
+                                /*blocking=*/true, site_);
+            }
         }
 
       private:
         RWMutex* m_;
         rt::Site site_;
         rt::SemWaiter waiter_;
+        bool parked_ = false;
     };
 
     /** co_await m->rlock(); */

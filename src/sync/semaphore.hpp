@@ -76,6 +76,10 @@ class SemParkOp
     {
         rt::Runtime* rt = rt::Runtime::current();
         rt->clearBlockedSema(rt->currentGoroutine());
+        // The waker released into the owner's clock (signal,
+        // broadcast, release); complete the acquire side.
+        if (auto* rd = rt->raceDetector())
+            rd->acquire(rt->currentGoroutine(), owner_);
     }
 
   private:
@@ -118,8 +122,11 @@ class Semaphore : public gc::Object
             rt::checkFault(rt::FaultSite::SemAcquire);
             if (s_->count_ > 0) {
                 --s_->count_;
+                if (auto* rd = s_->rt_.raceDetector())
+                    rd->acquire(s_->rt_.currentGoroutine(), s_);
                 return false;
             }
+            parked_ = true;
             rt::Runtime* rt = rt::Runtime::current();
             rt::Goroutine* g = rt->currentGoroutine();
             waiter_.g = g;
@@ -133,14 +140,19 @@ class Semaphore : public gc::Object
         void
         await_resume()
         {
+            if (!parked_)
+                return;
             rt::Runtime* rt = rt::Runtime::current();
             rt->clearBlockedSema(rt->currentGoroutine());
+            if (auto* rd = rt->raceDetector())
+                rd->acquire(rt->currentGoroutine(), s_);
         }
 
       private:
         Semaphore* s_;
         rt::Site site_;
         rt::SemWaiter waiter_;
+        bool parked_ = false;
     };
 
     AcquireOp
@@ -153,6 +165,8 @@ class Semaphore : public gc::Object
     void
     release()
     {
+        if (auto* rd = rt_.raceDetector())
+            rd->release(rt_.currentGoroutine(), this);
         if (!semWake(rt_, &sema_))
             ++count_;
     }

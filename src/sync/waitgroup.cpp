@@ -8,6 +8,10 @@ WaitGroup::add(int64_t delta)
     count_ += delta;
     if (count_ < 0)
         support::goPanic("sync: negative WaitGroup counter");
+    // Every Add/Done HB the Wait it releases (Go memory model:
+    // "Done happens before the return of any Wait it unblocks").
+    if (auto* rd = rt_.raceDetector())
+        rd->release(rt_.currentGoroutine(), this);
     if (count_ == 0)
         semWakeAll(rt_, &sema_);
 }

@@ -41,8 +41,13 @@ class WaitGroup : public gc::Object
         await_suspend(std::coroutine_handle<> h)
         {
             rt::checkFault(rt::FaultSite::WaitGroupWait);
-            if (wg_->count_ == 0)
+            if (wg_->count_ == 0) {
+                if (auto* rd = wg_->rt_.raceDetector()) {
+                    rd->acquire(wg_->rt_.currentGoroutine(), wg_);
+                }
                 return false;
+            }
+            parked_ = true;
             rt::Runtime* rt = rt::Runtime::current();
             rt::Goroutine* g = rt->currentGoroutine();
             waiter_.g = g;
@@ -56,14 +61,19 @@ class WaitGroup : public gc::Object
         void
         await_resume()
         {
+            if (!parked_)
+                return;
             rt::Runtime* rt = rt::Runtime::current();
             rt->clearBlockedSema(rt->currentGoroutine());
+            if (auto* rd = rt->raceDetector())
+                rd->acquire(rt->currentGoroutine(), wg_);
         }
 
       private:
         WaitGroup* wg_;
         rt::Site site_;
         rt::SemWaiter waiter_;
+        bool parked_ = false;
     };
 
     /** co_await wg->wait(); */

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Race-detector corpus: seeded true positives (an unsynchronized
+ * heap write, a racy channel-adjacent access, an ABBA lock cycle
+ * that never deadlocks in the observed schedule) and true negatives
+ * (every sync primitive used correctly). Counts are exact under the
+ * fixed seeds: the detector deduplicates by site pair, so each
+ * seeded bug is one report no matter how the schedule interleaves.
+ */
+#include <gtest/gtest.h>
+
+#include "chan/channel.hpp"
+#include "race/annotate.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/condvar.hpp"
+#include "sync/mutex.hpp"
+#include "sync/rwmutex.hpp"
+#include "sync/semaphore.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::RunResult;
+using rt::Runtime;
+using support::kMillisecond;
+
+rt::Config
+raceConfig(uint64_t seed = 7)
+{
+    rt::Config cfg;
+    cfg.race = true;
+    cfg.seed = seed;
+    return cfg;
+}
+
+// ----------------------------------------------------- true positives
+
+Go
+racyWriter(race::Shared<int>* x, int v)
+{
+    co_await rt::yield();
+    x->store(v);
+    co_return;
+}
+
+TEST(RaceTest, UnsynchronizedWriteReportedOnce)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("counter", 0);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+            GOLF_GO(*rtp, racyWriter, xp, 1);
+            GOLF_GO(*rtp, racyWriter, xp, 2);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x);
+    EXPECT_TRUE(r.ok());
+
+    const race::RaceLog& log = rt.raceDetector()->log();
+    ASSERT_EQ(log.races().size(), 1u);
+    const race::RaceReport& rep = log.races()[0];
+    EXPECT_TRUE(rep.prior.write);
+    EXPECT_TRUE(rep.current.write);
+    EXPECT_EQ(rep.objectName, "counter");
+    // Both "stacks": each side carries its access site and the
+    // goroutine's go statement.
+    EXPECT_NE(rep.prior.site.line, 0u);
+    EXPECT_NE(rep.current.site.line, 0u);
+    EXPECT_NE(rep.prior.spawnSite.line, 0u);
+    EXPECT_NE(rep.current.spawnSite.line, 0u);
+    EXPECT_NE(rep.str().find("data race!"), std::string::npos);
+    EXPECT_EQ(log.lockOrders().size(), 0u);
+    EXPECT_EQ(rt.raceDetector()->stats().raceReports, 1u);
+}
+
+Go
+adjacentSender(Channel<int>* ch, race::Shared<int>* x)
+{
+    co_await chan::send(ch, 1);
+    // Published *after* the send: the receiver's acquire at recv
+    // does not cover this write. The classic off-by-one-release.
+    x->store(42);
+    co_return;
+}
+
+Go
+adjacentReceiver(Channel<int>* ch, race::Shared<int>* x, int* seen)
+{
+    (void)co_await chan::recv(ch);
+    *seen = x->load();
+    co_return;
+}
+
+TEST(RaceTest, ChannelAdjacentAccessReported)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("payload", 0);
+    int seen = -1;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp, int* seenp) -> Go {
+            auto* ch = makeChan<int>(*rtp, 1);
+            GOLF_GO(*rtp, adjacentSender, ch, xp);
+            GOLF_GO(*rtp, adjacentReceiver, ch, xp, seenp);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x, &seen);
+    EXPECT_TRUE(r.ok());
+
+    const race::RaceLog& log = rt.raceDetector()->log();
+    ASSERT_EQ(log.races().size(), 1u);
+    const race::RaceReport& rep = log.races()[0];
+    // One side is the sender's late write, the other the receiver's
+    // read; detection order depends on the schedule, the pair not.
+    EXPECT_NE(rep.prior.write, rep.current.write);
+    EXPECT_EQ(rep.objectName, "payload");
+    EXPECT_EQ(log.lockOrders().size(), 0u);
+}
+
+Go
+lockAThenB(sync::Mutex* a, sync::Mutex* b, Channel<int>* done)
+{
+    co_await a->lock();
+    co_await b->lock();
+    b->unlock();
+    a->unlock();
+    co_await chan::send(done, 1);
+    co_return;
+}
+
+Go
+lockBThenA(sync::Mutex* a, sync::Mutex* b, Channel<int>* done)
+{
+    // Strictly after the other goroutine released both locks: the
+    // observed schedule cannot deadlock, the acquisition order can.
+    (void)co_await chan::recv(done);
+    co_await b->lock();
+    co_await a->lock();
+    a->unlock();
+    b->unlock();
+    co_return;
+}
+
+TEST(RaceTest, AbbaLockCycleReportedOnCleanRun)
+{
+    Runtime rt(raceConfig());
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::Mutex> a(rtp->make<sync::Mutex>(*rtp));
+            gc::Local<sync::Mutex> b(rtp->make<sync::Mutex>(*rtp));
+            auto* done = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, lockAThenB, a.get(), b.get(), done);
+            GOLF_GO(*rtp, lockBThenA, a.get(), b.get(), done);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok()); // the run itself completed cleanly
+
+    const race::RaceLog& log = rt.raceDetector()->log();
+    EXPECT_EQ(log.races().size(), 0u);
+    ASSERT_EQ(log.lockOrders().size(), 1u);
+    const race::LockOrderReport& rep = log.lockOrders()[0];
+    ASSERT_EQ(rep.cycle.size(), 2u);
+    EXPECT_FALSE(rep.confirmedByGolf);
+    for (const race::LockOrderEdge& hop : rep.cycle) {
+        EXPECT_NE(hop.firstSite.line, 0u);
+        EXPECT_NE(hop.secondSite.line, 0u);
+        EXPECT_NE(hop.spawnSite.line, 0u);
+    }
+    EXPECT_NE(rep.str().find("potential deadlock!"),
+              std::string::npos);
+    EXPECT_NE(rep.str().find("run completed cleanly"),
+              std::string::npos);
+}
+
+TEST(RaceTest, ReportsAreDeterministicAcrossSeeds)
+{
+    // The same seeded bugs under different schedules: the deduped
+    // report set is schedule-independent.
+    for (uint64_t seed : {1ull, 99ull, 4242ull}) {
+        Runtime rt(raceConfig(seed));
+        race::Shared<int> x("counter", 0);
+        RunResult r = rt.runMain(
+            +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+                GOLF_GO(*rtp, racyWriter, xp, 1);
+                GOLF_GO(*rtp, racyWriter, xp, 2);
+                co_await rt::sleepFor(kMillisecond);
+                co_return;
+            },
+            &rt, &x);
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(rt.raceDetector()->log().races().size(), 1u)
+            << "seed " << seed;
+    }
+}
+
+// ----------------------------------------------------- true negatives
+
+Go
+lockedIncrement(sync::Mutex* mu, race::Shared<int>* x)
+{
+    co_await mu->lock();
+    x->update([](int v) { return v + 1; });
+    mu->unlock();
+    co_return;
+}
+
+TEST(RaceTest, MutexProtectedCounterNoReports)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("counter", 0);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            for (int i = 0; i < 4; ++i)
+                GOLF_GO(*rtp, lockedIncrement, mu.get(), xp);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(x.unsafeRef(), 4);
+    EXPECT_EQ(rt.raceDetector()->log().races().size(), 0u);
+    EXPECT_EQ(rt.raceDetector()->log().lockOrders().size(), 0u);
+}
+
+Go
+handoffSender(Channel<int>* ch, race::Shared<int>* x)
+{
+    x->store(42); // published *before* the send: properly ordered
+    co_await chan::send(ch, 1);
+    co_return;
+}
+
+TEST(RaceTest, ChannelHandoffNoReports)
+{
+    for (int cap : {0, 1}) {
+        Runtime rt(raceConfig());
+        race::Shared<int> x("payload", 0);
+        int seen = -1;
+        RunResult r = rt.runMain(
+            +[](Runtime* rtp, race::Shared<int>* xp, int* seenp,
+                int capacity) -> Go {
+                auto* ch = makeChan<int>(*rtp, capacity);
+                GOLF_GO(*rtp, handoffSender, ch, xp);
+                GOLF_GO(*rtp, adjacentReceiver, ch, xp, seenp);
+                co_await rt::sleepFor(kMillisecond);
+                co_return;
+            },
+            &rt, &x, &seen, cap);
+        EXPECT_TRUE(r.ok());
+        EXPECT_EQ(seen, 42);
+        EXPECT_EQ(rt.raceDetector()->log().races().size(), 0u)
+            << "capacity " << cap;
+    }
+}
+
+Go
+wgWorker(sync::WaitGroup* wg, race::Shared<int>* x)
+{
+    x->store(7);
+    wg->done();
+    co_return;
+}
+
+TEST(RaceTest, WaitGroupNoReports)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("result", 0);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+            gc::Local<sync::WaitGroup> wg(
+                rtp->make<sync::WaitGroup>(*rtp));
+            wg->add(1);
+            GOLF_GO(*rtp, wgWorker, wg.get(), xp);
+            co_await wg->wait();
+            EXPECT_EQ(xp->load(), 7); // ordered by done -> wait
+            co_return;
+        },
+        &rt, &x);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.raceDetector()->log().races().size(), 0u);
+}
+
+Go
+rwReader(sync::RWMutex* mu, race::Shared<int>* x, int* sum)
+{
+    co_await mu->rlock();
+    *sum += x->load();
+    mu->runlock();
+    co_return;
+}
+
+Go
+rwWriter(sync::RWMutex* mu, race::Shared<int>* x)
+{
+    co_await mu->lock();
+    x->store(5);
+    mu->unlock();
+    co_return;
+}
+
+TEST(RaceTest, RWMutexNoReports)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("guarded", 0);
+    int sum = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp, int* sump) -> Go {
+            gc::Local<sync::RWMutex> mu(
+                rtp->make<sync::RWMutex>(*rtp));
+            GOLF_GO(*rtp, rwWriter, mu.get(), xp);
+            GOLF_GO(*rtp, rwReader, mu.get(), xp, sump);
+            GOLF_GO(*rtp, rwReader, mu.get(), xp, sump);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x, &sum);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.raceDetector()->log().races().size(), 0u);
+    EXPECT_EQ(rt.raceDetector()->log().lockOrders().size(), 0u);
+}
+
+Go
+condConsumer(sync::Cond* cond, race::Shared<int>* x, int* seen)
+{
+    co_await cond->locker()->lock();
+    while (x->load() == 0)
+        co_await cond->wait();
+    *seen = x->load();
+    cond->locker()->unlock();
+    co_return;
+}
+
+TEST(RaceTest, CondNoReports)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("flag", 0);
+    int seen = 0;
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp, int* seenp) -> Go {
+            gc::Local<sync::Mutex> mu(rtp->make<sync::Mutex>(*rtp));
+            gc::Local<sync::Cond> cond(
+                rtp->make<sync::Cond>(*rtp, mu.get()));
+            GOLF_GO(*rtp, condConsumer, cond.get(), xp, seenp);
+            co_await rt::sleepFor(kMillisecond);
+            co_await mu->lock();
+            xp->store(9);
+            mu->unlock();
+            cond->signal();
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x, &seen);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(seen, 9);
+    EXPECT_EQ(rt.raceDetector()->log().races().size(), 0u);
+}
+
+Go
+semWorker(sync::Semaphore* sem, race::Shared<int>* x)
+{
+    co_await sem->acquire();
+    x->update([](int v) { return v + 1; });
+    sem->release();
+    co_return;
+}
+
+TEST(RaceTest, SemaphoreNoReports)
+{
+    Runtime rt(raceConfig());
+    race::Shared<int> x("counter", 0);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+            gc::Local<sync::Semaphore> sem(
+                rtp->make<sync::Semaphore>(*rtp, 1));
+            for (int i = 0; i < 3; ++i)
+                GOLF_GO(*rtp, semWorker, sem.get(), xp);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(x.unsafeRef(), 3);
+    EXPECT_EQ(rt.raceDetector()->log().races().size(), 0u);
+}
+
+Go
+orderedABLocker(sync::Mutex* a, sync::Mutex* b)
+{
+    co_await a->lock();
+    co_await b->lock();
+    b->unlock();
+    a->unlock();
+    co_return;
+}
+
+TEST(RaceTest, ConsistentLockOrderNoCycle)
+{
+    Runtime rt(raceConfig());
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::Mutex> a(rtp->make<sync::Mutex>(*rtp));
+            gc::Local<sync::Mutex> b(rtp->make<sync::Mutex>(*rtp));
+            GOLF_GO(*rtp, orderedABLocker, a.get(), b.get());
+            GOLF_GO(*rtp, orderedABLocker, a.get(), b.get());
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.raceDetector()->log().lockOrders().size(), 0u);
+}
+
+// ----------------------------------------------------- gating
+
+TEST(RaceTest, DetectorAbsentByDefault)
+{
+    Runtime rt;
+    EXPECT_EQ(rt.raceDetector(), nullptr);
+    race::Shared<int> x("off", 0);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+            // Annotations degrade to plain accesses when race is off.
+            GOLF_GO(*rtp, racyWriter, xp, 1);
+            GOLF_GO(*rtp, racyWriter, xp, 2);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.raceDetector(), nullptr);
+}
+
+} // namespace
+} // namespace golf

@@ -79,7 +79,7 @@ TEST(RuntimeTest, MainExitAbandonsRunnableGoroutines)
 }
 
 Go
-sleeper(Runtime* rt, int* order, int tag)
+sleeper(Runtime* /*rt*/, int* order, int tag)
 {
     co_await rt::sleepFor(tag * kMillisecond);
     *order = *order * 10 + tag;

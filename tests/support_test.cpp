@@ -155,8 +155,9 @@ TEST(TreapTest, InvariantsHoldUnderRandomWorkload)
             t.erase(k);
             keys.erase(k);
         }
-        if (i % 97 == 0)
+        if (i % 97 == 0) {
             ASSERT_TRUE(t.checkInvariants()) << "at step " << i;
+        }
     }
     EXPECT_EQ(t.size(), keys.size());
     EXPECT_TRUE(t.checkInvariants());

@@ -27,6 +27,9 @@
  *     -reclaimfail-prob <p> throwing-reclaim probability (default 0.05)
  *     -repro              run every configuration twice and require
  *                         byte-identical fault traces
+ *     -race               run under the race detector (happens-before
+ *                         race checking + lock-order analysis); race
+ *                         and cycle totals are reported per sweep
  *     -v                  per-run output
  *
  * Exit status: 0 iff zero invariant violations, zero reproducibility
@@ -57,6 +60,7 @@ struct Options
     std::vector<int> procs{1, 2, 4};
     rt::FaultConfig faults;
     bool repro = false;
+    bool race = false;
     bool verbose = false;
 };
 
@@ -141,6 +145,8 @@ parseArgs(int argc, char** argv, Options& opt)
                 return false;
         } else if (arg == "-repro") {
             opt.repro = true;
+        } else if (arg == "-race") {
+            opt.race = true;
         } else if (arg == "-v") {
             opt.verbose = true;
         } else {
@@ -172,7 +178,11 @@ struct Totals
     uint64_t violations = 0;
     uint64_t reproMismatches = 0;
     uint64_t unexpectedFailures = 0;
+    uint64_t races = 0;
+    uint64_t lockOrderCycles = 0;
+    uint64_t confirmedCycles = 0;
     std::vector<std::string> failureLines;
+    std::vector<std::string> raceLines;
 };
 
 void
@@ -193,7 +203,7 @@ main(int argc, char** argv)
             stderr,
             "usage: chaos_runner [-seeds n] [-seed-base n] "
             "[-match re] [-per-seed n] [-procs 1,2,4] "
-            "[-<kind>-prob p ...] [-repro] [-v]\n");
+            "[-<kind>-prob p ...] [-repro] [-race] [-v]\n");
         return 2;
     }
 
@@ -227,6 +237,7 @@ main(int argc, char** argv)
             cfg.seed = seed;
             cfg.faults = opt.faults;
             cfg.verifyInvariants = true;
+            cfg.race = opt.race;
 
             RunOutcome out = runPatternOnce(p, cfg);
             ++t.runs;
@@ -235,6 +246,15 @@ main(int argc, char** argv)
             t.quarantined += out.quarantined;
             t.deadlockReports += out.individualReports;
             t.violations += out.invariantViolations.size();
+            t.races += out.raceStats.raceReports;
+            t.lockOrderCycles += out.raceStats.lockOrderCycles;
+            t.confirmedCycles += out.raceStats.confirmedCycles;
+            for (const auto& line : out.raceReportLines) {
+                if (t.raceLines.size() < 20)
+                    t.raceLines.push_back(p.name + " seed=" +
+                                          std::to_string(seed) + ": " +
+                                          line);
+            }
             for (const auto& v : out.invariantViolations) {
                 noteFailure(t, p.name + " seed=" +
                                    std::to_string(seed) +
@@ -304,6 +324,16 @@ main(int argc, char** argv)
     if (opt.repro) {
         std::printf("  repro mismatches:     %llu\n",
                     static_cast<unsigned long long>(t.reproMismatches));
+    }
+    if (opt.race) {
+        std::printf("  data races:           %llu\n",
+                    static_cast<unsigned long long>(t.races));
+        std::printf("  lock-order cycles:    %llu (%llu confirmed "
+                    "by GOLF)\n",
+                    static_cast<unsigned long long>(t.lockOrderCycles),
+                    static_cast<unsigned long long>(t.confirmedCycles));
+        for (const auto& line : t.raceLines)
+            std::fprintf(stderr, "RACE %s\n", line.c_str());
     }
     std::printf("  unexpected failures:  %llu\n",
                 static_cast<unsigned long long>(t.unexpectedFailures));

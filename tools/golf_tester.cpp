@@ -14,6 +14,11 @@
  *                       against the Baseline GC; writes
  *                       results-perf.csv and results.tex (a pgfplots
  *                       box plot, as the artifact does)
+ *     -race             race-analysis mode: run the whole corpus
+ *                       (including the correct patterns) under the
+ *                       happens-before race detector and lock-order
+ *                       analyzer; prints one analysis-stats line per
+ *                       benchmark and every deduplicated report
  *     -seed <n>         master seed (default 1)
  *
  * Coverage mode prints a Table 1-style aggregate; trace lines for
@@ -29,6 +34,7 @@
 
 #include "microbench/harness.hpp"
 #include "microbench/registry.hpp"
+#include "service/metrics.hpp"
 #include "support/stats.hpp"
 
 namespace {
@@ -43,6 +49,7 @@ struct Options
     std::vector<int> procs{1, 2, 4, 10};
     std::string report = "./golf-tester-report.txt";
     bool perf = false;
+    bool race = false;
     uint64_t seed = 1;
 };
 
@@ -80,6 +87,8 @@ parseArgs(int argc, char** argv, Options& opt)
             opt.report = v;
         } else if (arg == "-perf") {
             opt.perf = true;
+        } else if (arg == "-race") {
+            opt.race = true;
         } else if (arg == "-seed") {
             const char* v = next();
             if (!v)
@@ -254,6 +263,69 @@ runPerf(const Options& opt)
     return 0;
 }
 
+/**
+ * Race-analysis sweep: every corpus pattern — correct ones included,
+ * they are the false-positive regression suite — runs under the
+ * detector across the -procs configurations, with the per-benchmark
+ * aggregate emitted as a service::AnalysisStats line.
+ */
+int
+runRace(const Options& opt)
+{
+    auto patterns = selectPatterns(opt, /*includeCorrect=*/true);
+    if (patterns.empty()) {
+        std::fprintf(stderr, "no benchmarks match '%s'\n",
+                     opt.match.c_str());
+        return 1;
+    }
+
+    uint64_t totalRaces = 0, totalCycles = 0, totalConfirmed = 0;
+    for (const Pattern* p : patterns) {
+        service::AnalysisStats agg;
+        std::vector<std::string> lines;
+        for (int procs : opt.procs) {
+            for (int i = 0; i < opt.repeats; ++i) {
+                HarnessConfig cfg;
+                cfg.procs = procs;
+                cfg.seed = opt.seed * 7919 +
+                           static_cast<uint64_t>(procs) * 131 +
+                           static_cast<uint64_t>(i);
+                cfg.race = true;
+                RunOutcome out = runPatternOnce(*p, cfg);
+                agg.d.goroutines += out.raceStats.goroutines;
+                agg.d.syncOps += out.raceStats.syncOps;
+                agg.d.memAccesses += out.raceStats.memAccesses;
+                agg.d.shadowCells += out.raceStats.shadowCells;
+                agg.d.lockAcquires += out.raceStats.lockAcquires;
+                agg.d.lockGraphEdges += out.raceStats.lockGraphEdges;
+                agg.d.raceInstances += out.raceStats.raceInstances;
+                agg.d.raceReports += out.raceStats.raceReports;
+                agg.d.lockOrderCycles += out.raceStats.lockOrderCycles;
+                agg.d.confirmedCycles += out.raceStats.confirmedCycles;
+                for (const auto& line : out.raceReportLines) {
+                    if (lines.size() < 8)
+                        lines.push_back("  seed=" +
+                                        std::to_string(cfg.seed) +
+                                        " " + line);
+                }
+            }
+        }
+        totalRaces += agg.d.raceReports;
+        totalCycles += agg.d.lockOrderCycles;
+        totalConfirmed += agg.d.confirmedCycles;
+        std::printf("%-28s %s\n", p->name.c_str(), agg.str().c_str());
+        for (const auto& line : lines)
+            std::printf("%s\n", line.c_str());
+    }
+    std::printf("race sweep: %zu benchmarks, %llu races, "
+                "%llu lock-order cycles (%llu confirmed by GOLF)\n",
+                patterns.size(),
+                static_cast<unsigned long long>(totalRaces),
+                static_cast<unsigned long long>(totalCycles),
+                static_cast<unsigned long long>(totalConfirmed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -264,8 +336,11 @@ main(int argc, char** argv)
         std::fprintf(
             stderr,
             "usage: golf_tester [-match re] [-repeats n] "
-            "[-procs 1,2,4] [-report path] [-perf] [-seed n]\n");
+            "[-procs 1,2,4] [-report path] [-perf] [-race] "
+            "[-seed n]\n");
         return 2;
     }
+    if (opt.race)
+        return runRace(opt);
     return opt.perf ? runPerf(opt) : runCoverage(opt);
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer tier: build and run the full test suite under ASan and
+# UBSan (GOLF_SANITIZE=address / =undefined). Each sanitizer gets its
+# own build tree so the instrumented objects never mix with the
+# default build.
+#
+# Usage: tools/run_sanitizers.sh [address] [undefined]
+#   (no arguments = both tiers)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+tiers=("$@")
+if [ ${#tiers[@]} -eq 0 ]; then
+    tiers=(address undefined)
+fi
+
+# Quarantined goroutines abandon their frames by design; see the
+# suppression file for why that is not a bug.
+export LSAN_OPTIONS="suppressions=$root/tools/lsan.supp${LSAN_OPTIONS:+:$LSAN_OPTIONS}"
+
+for san in "${tiers[@]}"; do
+    bdir="$root/build-$san"
+    echo "== sanitizer tier: $san ($bdir) =="
+    cmake -S "$root" -B "$bdir" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DGOLF_SANITIZE="$san" >/dev/null
+    cmake --build "$bdir" -j "$jobs"
+    ctest --test-dir "$bdir" --output-on-failure -j "$jobs"
+done
+echo "sanitizer tiers passed: ${tiers[*]}"
