@@ -52,8 +52,13 @@ class Object
     /** The heap that owns this object, or nullptr if unmanaged. */
     Heap* heap() const { return heap_; }
 
-    /** Bytes currently charged to this object. */
+    /** Bytes currently charged to this object. May exceed the
+     *  object's own footprint: Heap::charge() adds payloads that
+     *  live elsewhere (container backing stores). */
     size_t allocSize() const { return allocSize_; }
+
+    /** The object's actual allocation footprint in bytes. */
+    size_t baseSize() const { return baseSize_; }
 
     /** Whether a finalizer is attached (paper Section 5.5). */
     bool hasFinalizer() const { return hasFinalizer_; }

@@ -38,6 +38,12 @@ Detector::syncClock(const void* obj)
     return syncVc_[reinterpret_cast<uintptr_t>(obj)];
 }
 
+VectorClock&
+Detector::readClock(const void* obj)
+{
+    return readVc_[reinterpret_cast<uintptr_t>(obj)];
+}
+
 void
 Detector::onSpawn(const rt::Goroutine* parent, const rt::Goroutine* child)
 {
@@ -154,6 +160,8 @@ Detector::lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
         return;
     GState& gs = stateOf(g);
     gs.vc.join(syncClock(lock)); // The HB acquire edge.
+    if (exclusive)
+        gs.vc.join(readClock(lock)); // Writers order after readers.
     ++syncOps_;
     ++lockAcquires_;
 
@@ -179,7 +187,6 @@ Detector::lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
                 e.spawnSite = gs.spawnSite;
                 e.fromSite = h.site;
                 e.toSite = site;
-                e.sharedTarget = !exclusive;
                 e.guard = guard;
                 insts.push_back(std::move(e));
             }
@@ -190,12 +197,20 @@ Detector::lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
 }
 
 void
-Detector::lockRelease(const rt::Goroutine* g, const gc::Object* lock)
+Detector::lockRelease(const rt::Goroutine* g, const gc::Object* lock,
+                      bool exclusive)
 {
     if (g == nullptr || lock == nullptr)
         return;
     GState& gs = stateOf(g);
-    syncClock(lock).join(gs.vc); // The HB release edge.
+    // The HB release edge. Exclusive releases are seen by every later
+    // acquirer; shared releases (RUnlock) go into the read clock that
+    // only write acquisitions join — a reader's clock must not flow
+    // to other readers, or a buggy write under RLock is hidden.
+    if (exclusive)
+        syncClock(lock).join(gs.vc);
+    else
+        readClock(lock).join(gs.vc);
     gs.vc.tick(gs.slot);
     ++syncOps_;
 
@@ -261,6 +276,45 @@ Detector::reportRace(const Access& prior, const Access& cur,
 }
 
 void
+Detector::checkWord(const GState& gs, const Access& cur,
+                    uintptr_t addr, const ShadowWord& w)
+{
+    if (w.hasWrite && w.write.gid != gs.gid &&
+        !gs.vc.covers(w.write.epoch))
+        reportRace(w.write, cur, addr, w);
+    if (!cur.write)
+        return;
+    for (const Access& r : w.reads) {
+        if (r.gid != gs.gid && !gs.vc.covers(r.epoch))
+            reportRace(r, cur, addr, w);
+    }
+}
+
+void
+Detector::checkOverlaps(const GState& gs, const Access& cur,
+                        uintptr_t lo, size_t size)
+{
+    // Shadow words are keyed by annotation base address, so accesses
+    // to one location through different bases (write(p, 8) vs
+    // read(p + 4, 4)) land in different entries. Compare against
+    // every neighbor whose [base, base+size) intersects this access;
+    // the backward scan is bounded by the largest size ever recorded.
+    const uintptr_t hi = lo + std::max<size_t>(size, 1);
+    auto it = shadow_.lower_bound(lo);
+    for (auto back = it; back != shadow_.begin();) {
+        --back;
+        if (back->first + maxShadowSize_ <= lo)
+            break;
+        if (back->first + std::max<size_t>(back->second.size, 1) > lo)
+            checkWord(gs, cur, back->first, back->second);
+    }
+    for (; it != shadow_.end() && it->first < hi; ++it) {
+        if (it->first != lo) // lo is the caller's own entry.
+            checkWord(gs, cur, it->first, it->second);
+    }
+}
+
+void
 Detector::memRead(const rt::Goroutine* g, const void* addr, size_t size,
                   rt::Site site, const char* objName)
 {
@@ -268,6 +322,7 @@ Detector::memRead(const rt::Goroutine* g, const void* addr, size_t size,
         return;
     GState& gs = stateOf(g);
     ++memAccesses_;
+    maxShadowSize_ = std::max(maxShadowSize_, size);
     ShadowWord& w = shadow_[reinterpret_cast<uintptr_t>(addr)];
     w.size = size;
     if (objName != nullptr)
@@ -277,6 +332,7 @@ Detector::memRead(const rt::Goroutine* g, const void* addr, size_t size,
         !gs.vc.covers(w.write.epoch))
         reportRace(w.write, cur,
                    reinterpret_cast<uintptr_t>(addr), w);
+    checkOverlaps(gs, cur, reinterpret_cast<uintptr_t>(addr), size);
     // Keep the read set maximal-concurrent: drop reads this access
     // happens-after, then record this one (replacing our own slot).
     std::erase_if(w.reads, [&](const Access& r) {
@@ -293,6 +349,7 @@ Detector::memWrite(const rt::Goroutine* g, const void* addr, size_t size,
         return;
     GState& gs = stateOf(g);
     ++memAccesses_;
+    maxShadowSize_ = std::max(maxShadowSize_, size);
     ShadowWord& w = shadow_[reinterpret_cast<uintptr_t>(addr)];
     w.size = size;
     if (objName != nullptr)
@@ -306,6 +363,7 @@ Detector::memWrite(const rt::Goroutine* g, const void* addr, size_t size,
         if (r.gid != gs.gid && !gs.vc.covers(r.epoch))
             reportRace(r, cur, a, w);
     }
+    checkOverlaps(gs, cur, a, size);
     w.hasWrite = true;
     w.write = cur;
     w.reads.clear();
@@ -315,10 +373,15 @@ Detector::memWrite(const rt::Goroutine* g, const void* addr, size_t size,
 void
 Detector::onObjectFree(const gc::Object* obj)
 {
+    // Erase exactly the object's own footprint: allocSize() also
+    // counts bytes charged for payloads living elsewhere, and a
+    // range that wide would clobber neighboring live allocations'
+    // shadow words, sync clocks and lock-id bindings.
     const auto lo = reinterpret_cast<uintptr_t>(obj);
-    const uintptr_t hi = lo + std::max<size_t>(obj->allocSize(), 1);
+    const uintptr_t hi = lo + std::max<size_t>(obj->baseSize(), 1);
     shadow_.erase(shadow_.lower_bound(lo), shadow_.lower_bound(hi));
     syncVc_.erase(syncVc_.lower_bound(lo), syncVc_.lower_bound(hi));
+    readVc_.erase(readVc_.lower_bound(lo), readVc_.lower_bound(hi));
     // Lock ids stay allocated (labels outlive the object in reports);
     // only the address binding dies with the allocation.
     for (auto it = lockIdByAddr_.lower_bound(lo);
@@ -331,10 +394,12 @@ Detector::cycleInstances(const std::vector<uint32_t>& nodes,
                          std::vector<LockOrderEdge>& out) const
 {
     // Pick one dynamic instance per hop such that the goroutines are
-    // pairwise distinct and the guard sets pairwise disjoint (and not
-    // every hop acquires a shared lock — readers never deadlock with
-    // readers). Instance lists are capped at 8, cycles at length 4,
-    // so brute force is bounded by 8^4.
+    // pairwise distinct and the guard sets pairwise disjoint. Cycles
+    // of pure read-locks are kept: RWMutex is writer-preferring, so
+    // RLock blocks whenever a writer waits and opposite-order reader
+    // pairs can genuinely deadlock once writers queue in between.
+    // Instance lists are capped at 8, cycles at length 4, so brute
+    // force is bounded by 8^4.
     const size_t n = nodes.size();
     std::vector<const std::vector<EdgeInst>*> lists(n);
     for (size_t i = 0; i < n; ++i) {
@@ -346,11 +411,8 @@ Detector::cycleInstances(const std::vector<uint32_t>& nodes,
     std::vector<size_t> pick(n, 0);
     while (true) {
         bool ok = true;
-        bool anyExclusive = false;
         for (size_t i = 0; i < n && ok; ++i) {
             const EdgeInst& a = (*lists[i])[pick[i]];
-            if (!a.sharedTarget)
-                anyExclusive = true;
             for (size_t j = i + 1; j < n && ok; ++j) {
                 const EdgeInst& b = (*lists[j])[pick[j]];
                 if (a.gid == b.gid) {
@@ -372,7 +434,7 @@ Detector::cycleInstances(const std::vector<uint32_t>& nodes,
                 }
             }
         }
-        if (ok && anyExclusive) {
+        if (ok) {
             out.clear();
             for (size_t i = 0; i < n; ++i) {
                 const EdgeInst& e = (*lists[i])[pick[i]];

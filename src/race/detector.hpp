@@ -111,8 +111,14 @@ class Detector
     void lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
                      bool exclusive, bool blocking, rt::Site site);
     /** Lock released (possibly by a goroutine that did not acquire
-     *  it — Go allows that for Mutex). Also the HB release edge. */
-    void lockRelease(const rt::Goroutine* g, const gc::Object* lock);
+     *  it — Go allows that for Mutex). Also the HB release edge:
+     *  exclusive releases publish into the lock's write clock seen
+     *  by every later acquirer; shared (RUnlock) releases publish
+     *  into a separate read clock joined only by write acquisitions,
+     *  so readers never inherit each other's clocks (TSan's RWLock
+     *  model — reader-to-reader HB would hide writes-under-RLock). */
+    void lockRelease(const rt::Goroutine* g, const gc::Object* lock,
+                     bool exclusive = true);
     /// @}
 
     /// @{ Annotated memory accesses (race::read / race::write).
@@ -167,7 +173,6 @@ class Detector
         rt::Site spawnSite;
         rt::Site fromSite;
         rt::Site toSite;
-        bool sharedTarget = false;
         std::vector<uint32_t> guard; ///< Held-set at acquisition.
     };
 
@@ -191,11 +196,16 @@ class Detector
 
     GState& stateOf(const rt::Goroutine* g);
     VectorClock& syncClock(const void* obj);
+    VectorClock& readClock(const void* obj);
     uint32_t lockIdOf(const gc::Object* lock);
     void reportRace(const Access& prior, const Access& cur,
                     uintptr_t addr, const ShadowWord& word);
     static Access accessOf(const GState& gs, bool write,
                            rt::Site site);
+    void checkWord(const GState& gs, const Access& cur,
+                   uintptr_t addr, const ShadowWord& w);
+    void checkOverlaps(const GState& gs, const Access& cur,
+                       uintptr_t lo, size_t size);
     bool cycleInstances(const std::vector<uint32_t>& nodes,
                         std::vector<LockOrderEdge>& out) const;
 
@@ -209,6 +219,10 @@ class Detector
     /** Sync-object clocks, keyed by address; ordered so object free
      *  can range-erase every clock inside the freed allocation. */
     std::map<uintptr_t, VectorClock> syncVc_;
+
+    /** Read-release clocks (RUnlock publishes here; only write
+     *  acquisitions join). Keyed/erased like syncVc_. */
+    std::map<uintptr_t, VectorClock> readVc_;
 
     /** Stable lock identities (labels survive object free). */
     std::map<uintptr_t, uint32_t> lockIdByAddr_;
@@ -224,6 +238,10 @@ class Detector
 
     /** Shadow memory, ordered so object free can range-erase. */
     std::map<uintptr_t, ShadowWord> shadow_;
+
+    /** Largest annotated access size seen; bounds the backward scan
+     *  when looking for shadow entries overlapping an access. */
+    size_t maxShadowSize_ = 0;
 
     uint64_t syncOps_ = 0;
     uint64_t memAccesses_ = 0;

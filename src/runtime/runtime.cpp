@@ -349,12 +349,14 @@ Runtime::ready(Goroutine* g)
 void
 Runtime::readyNow(Goroutine* g)
 {
-    if (race_)
-        race_->onWakeEdge(sched_.current(), g);
     if (g->spuriousWake_ && g->status_ == GStatus::Runnable) {
         // Fuse: the goroutine is already on the run queue from an
         // injected spurious wakeup. Clearing the retained wait state
-        // converts that pending resume into the genuine one.
+        // converts that pending resume into the genuine one. No race
+        // wake edge: the resume the goroutine will run from is the
+        // injected one, which is not synchronization — the genuine
+        // waker's ordering is carried by the primitive's own
+        // acquire/release hooks.
         g->spuriousWake_ = false;
         g->waitReason_ = WaitReason::None;
         g->blockedOn_.clear();
@@ -364,6 +366,8 @@ Runtime::readyNow(Goroutine* g)
     }
     if (g->status_ != GStatus::Waiting)
         support::panic("ready of a non-waiting goroutine");
+    if (race_)
+        race_->onWakeEdge(sched_.current(), g);
     g->status_ = GStatus::Runnable;
     g->waitReason_ = WaitReason::None;
     g->blockedOn_.clear();

@@ -8,7 +8,8 @@ RWMutex::runlock()
     if (readers_ <= 0)
         support::goPanic("sync: RUnlock of unlocked RWMutex");
     if (auto* rd = rt_.raceDetector())
-        rd->lockRelease(rt_.currentGoroutine(), this);
+        rd->lockRelease(rt_.currentGoroutine(), this,
+                        /*exclusive=*/false);
     --readers_;
     if (readers_ == 0 && waitingWriters_ > 0) {
         // Grant the lock to the longest-waiting writer.

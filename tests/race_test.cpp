@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "chan/channel.hpp"
+#include "gc/heap.hpp"
 #include "race/annotate.hpp"
 #include "runtime/local.hpp"
 #include "runtime/runtime.hpp"
@@ -417,6 +418,163 @@ TEST(RaceTest, ConsistentLockOrderNoCycle)
         &rt);
     EXPECT_TRUE(r.ok());
     EXPECT_EQ(rt.raceDetector()->log().lockOrders().size(), 0u);
+}
+
+// ------------------------------------------------- model regressions
+
+Go
+rlockedWriter(sync::RWMutex* mu, race::Shared<int>* x, int v)
+{
+    co_await mu->rlock();
+    x->store(v); // The bug under test: a write under a read-lock.
+    mu->runlock();
+    co_return;
+}
+
+TEST(RaceTest, WriteUnderRLockReported)
+{
+    // RUnlock must not publish the reader's clock into the lock's
+    // write clock: a later reader would inherit the first reader's
+    // buggy write and the race would be hidden (the single-clock
+    // RWMutex model's false negative).
+    Runtime rt(raceConfig());
+    race::Shared<int> x("guarded", 0);
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, race::Shared<int>* xp) -> Go {
+            gc::Local<sync::RWMutex> mu(
+                rtp->make<sync::RWMutex>(*rtp));
+            GOLF_GO(*rtp, rlockedWriter, mu.get(), xp, 1);
+            GOLF_GO(*rtp, rlockedWriter, mu.get(), xp, 2);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, &x);
+    EXPECT_TRUE(r.ok());
+    const race::RaceLog& log = rt.raceDetector()->log();
+    ASSERT_EQ(log.races().size(), 1u);
+    EXPECT_TRUE(log.races()[0].prior.write);
+    EXPECT_TRUE(log.races()[0].current.write);
+}
+
+Go
+rlockAThenB(sync::RWMutex* a, sync::RWMutex* b, Channel<int>* done)
+{
+    co_await a->rlock();
+    co_await b->rlock();
+    b->runlock();
+    a->runlock();
+    co_await chan::send(done, 1);
+    co_return;
+}
+
+Go
+rlockBThenA(sync::RWMutex* a, sync::RWMutex* b, Channel<int>* done)
+{
+    (void)co_await chan::recv(done);
+    co_await b->rlock();
+    co_await a->rlock();
+    a->runlock();
+    b->runlock();
+    co_return;
+}
+
+TEST(RaceTest, ReaderOnlyLockCycleReported)
+{
+    // RLock is writer-preferring: it blocks whenever a writer is
+    // queued, so opposite-order read-locks can genuinely deadlock
+    // once writers arrive in between. An all-reader cycle must not
+    // be dismissed as reader-harmless.
+    Runtime rt(raceConfig());
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::Local<sync::RWMutex> a(rtp->make<sync::RWMutex>(*rtp));
+            gc::Local<sync::RWMutex> b(rtp->make<sync::RWMutex>(*rtp));
+            auto* done = makeChan<int>(*rtp, 0);
+            GOLF_GO(*rtp, rlockAThenB, a.get(), b.get(), done);
+            GOLF_GO(*rtp, rlockBThenA, a.get(), b.get(), done);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok()); // the observed schedule completed cleanly
+    const race::RaceLog& log = rt.raceDetector()->log();
+    EXPECT_EQ(log.races().size(), 0u);
+    ASSERT_EQ(log.lockOrders().size(), 1u);
+    EXPECT_EQ(log.lockOrders()[0].cycle.size(), 2u);
+}
+
+Go
+bufWriter(char* buf)
+{
+    co_await rt::yield();
+    race::write(buf, 8, "buffer");
+    co_return;
+}
+
+Go
+bufTailReader(char* buf)
+{
+    co_await rt::yield();
+    race::read(buf + 4, 4, "buffer");
+    co_return;
+}
+
+TEST(RaceTest, OverlappingAnnotationBasesReported)
+{
+    // Shadow words are keyed by annotation base address; a conflict
+    // between write(p, 8) and read(p + 4, 4) spans two entries and
+    // must still be found via the neighbor-overlap scan.
+    Runtime rt(raceConfig());
+    alignas(8) char buf[8] = {};
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp, char* bp) -> Go {
+            GOLF_GO(*rtp, bufWriter, bp);
+            GOLF_GO(*rtp, bufTailReader, bp);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt, static_cast<char*>(buf));
+    EXPECT_TRUE(r.ok());
+    const race::RaceLog& log = rt.raceDetector()->log();
+    ASSERT_EQ(log.races().size(), 1u);
+    EXPECT_NE(log.races()[0].prior.write, log.races()[0].current.write);
+}
+
+Go
+pokeNeighbor(char* p)
+{
+    co_await rt::yield();
+    race::write(p, 4, "neighbor");
+    co_return;
+}
+
+TEST(RaceTest, FreeErasesOnlyTheObjectFootprint)
+{
+    // A freed object's shadow erase must cover baseSize(), not
+    // allocSize(): bytes charged for payloads living elsewhere would
+    // widen the range over live neighbors' shadow words and swallow
+    // this race.
+    Runtime rt(raceConfig());
+    RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::Mutex* doomed = rtp->make<sync::Mutex>(*rtp);
+            rtp->heap().charge(doomed, 1 << 20);
+            // Inside the charged range, past the actual footprint:
+            // this shadow word must survive the free below.
+            char* p = reinterpret_cast<char*>(doomed) +
+                      doomed->baseSize() + 64;
+            GOLF_GO(*rtp, pokeNeighbor, p);
+            for (int i = 0; i < 4; ++i)
+                co_await rt::yield();
+            co_await rt::gcNow(); // doomed is unrooted: freed here
+            GOLF_GO(*rtp, pokeNeighbor, p);
+            for (int i = 0; i < 4; ++i)
+                co_await rt::yield();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.raceDetector()->log().races().size(), 1u);
 }
 
 // ----------------------------------------------------- gating
