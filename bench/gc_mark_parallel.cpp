@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Parallel-marking throughput sweep: objects/second through the
+ * gc::ParallelMarker pool at 1, 2, 4 and 8 workers over one wide
+ * seeded object graph, emitted as BENCH_gc_parallel.json.
+ *
+ * The sweep doubles as a correctness smoke: every worker count must
+ * mark exactly the same number of objects, bytes and pointer edges
+ * as the serial marker (the differential contract of DESIGN.md
+ * Section 8), and the run exits non-zero on any mismatch — which is
+ * how the `bench_gc_parallel_smoke` ctest wires it into tier-1.
+ *
+ * Speedup expectations are hardware-bound: the pool cannot beat the
+ * serial marker on a single-core host (the JSON records
+ * hardware_concurrency precisely so readers can judge the speedup
+ * numbers in context). On a >= 4-core host, workers=4 is expected to
+ * reach >= 2.5x the serial throughput.
+ *
+ * Usage:
+ *   gc_mark_parallel [--smoke]
+ * Environment:
+ *   GOLF_PAR_NODES    graph size        (default 1000000; smoke 60000)
+ *   GOLF_PAR_REPS     timed reps/count  (default 5; smoke 3)
+ *   GOLF_RESULTS_DIR  where the JSON goes (default .)
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gc/heap.hpp"
+#include "gc/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace golf;
+
+/** A wide graph node: ~4 outgoing edges gives the stealing pool
+ *  plenty of width (unlike the daisy-chain worst case). */
+struct Node final : gc::Object
+{
+    std::vector<Node*> out;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        for (Node* n : out)
+            m.mark(n);
+    }
+
+    const char* objectName() const override { return "bench-node"; }
+};
+
+struct Sample
+{
+    int workers = 0;
+    uint64_t bestNs = 0;
+    uint64_t objectsMarked = 0;
+    uint64_t bytesMarked = 0;
+    uint64_t pointersTraversed = 0;
+    uint64_t parallelJobs = 0;
+    double objectsPerSec = 0.0;
+};
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+    const size_t nodes = static_cast<size_t>(
+        bench::envInt("GOLF_PAR_NODES", smoke ? 60000 : 1000000));
+    const int reps = bench::envInt("GOLF_PAR_REPS", smoke ? 3 : 5);
+
+    // One heap, one graph; each measured cycle re-whitens everything
+    // by bumping the epoch, so the same graph is marked repeatedly.
+    gc::Heap heap;
+    support::Rng rng(20260805);
+    std::vector<Node*> graph;
+    graph.reserve(nodes);
+    for (size_t i = 0; i < nodes; ++i)
+        graph.push_back(heap.make<Node>());
+    uint64_t edges = 0;
+    for (size_t i = 0; i < nodes; ++i) {
+        const size_t degree = 2 + rng.nextBelow(5); // mean 4
+        for (size_t e = 0; e < degree; ++e)
+            graph[i]->out.push_back(graph[rng.nextBelow(nodes)]);
+        edges += degree;
+    }
+    // Roots: a thin sample; everything else is reached by tracing.
+    std::vector<Node*> roots;
+    for (size_t r = 0; r < 1 + nodes / 1000; ++r)
+        roots.push_back(graph[rng.nextBelow(nodes)]);
+
+    std::vector<Sample> samples;
+    bool ok = true;
+    for (int workers : {1, 2, 4, 8}) {
+        Sample s;
+        s.workers = workers;
+        for (int rep = 0; rep < reps; ++rep) {
+            gc::ParallelMarker& pool = heap.beginCycleParallel(workers);
+            gc::Marker& m = pool.coordinator();
+            const uint64_t t0 = nowNs();
+            for (Node* r : roots)
+                m.mark(r);
+            m.drain();
+            const uint64_t dt = nowNs() - t0;
+            if (rep == 0 || dt < s.bestNs)
+                s.bestNs = dt;
+            s.objectsMarked = m.objectsMarked();
+            s.bytesMarked = m.bytesMarked();
+            s.pointersTraversed = m.pointersTraversed();
+            s.parallelJobs = pool.parallelJobsThisCycle();
+        }
+        s.objectsPerSec = s.bestNs == 0
+            ? 0.0
+            : static_cast<double>(s.objectsMarked) * 1e9 /
+              static_cast<double>(s.bestNs);
+        samples.push_back(s);
+
+        // Differential check against the workers=1 row.
+        const Sample& base = samples.front();
+        if (s.objectsMarked != base.objectsMarked ||
+            s.bytesMarked != base.bytesMarked ||
+            s.pointersTraversed != base.pointersTraversed) {
+            std::fprintf(stderr,
+                         "MISMATCH at workers=%d: marked %llu/%llu "
+                         "bytes %llu/%llu edges %llu/%llu\n",
+                         workers,
+                         static_cast<unsigned long long>(
+                             s.objectsMarked),
+                         static_cast<unsigned long long>(
+                             base.objectsMarked),
+                         static_cast<unsigned long long>(s.bytesMarked),
+                         static_cast<unsigned long long>(
+                             base.bytesMarked),
+                         static_cast<unsigned long long>(
+                             s.pointersTraversed),
+                         static_cast<unsigned long long>(
+                             base.pointersTraversed));
+            ok = false;
+        }
+    }
+
+    const double baseRate = samples.front().objectsPerSec;
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    std::printf("gc_mark_parallel: %zu nodes, %llu edges, %d reps, "
+                "hw_concurrency=%u%s\n",
+                nodes, static_cast<unsigned long long>(edges), reps, hw,
+                smoke ? " (smoke)" : "");
+    for (const Sample& s : samples) {
+        std::printf(
+            "  workers=%d  best=%8.3f ms  %12.0f objects/s  "
+            "speedup=%.2fx  jobs=%llu\n",
+            s.workers, static_cast<double>(s.bestNs) / 1e6,
+            s.objectsPerSec,
+            baseRate == 0.0 ? 0.0 : s.objectsPerSec / baseRate,
+            static_cast<unsigned long long>(s.parallelJobs));
+    }
+
+    const std::string path =
+        bench::csvPath("BENCH_gc_parallel.json");
+    std::ofstream js(path);
+    js << "{\n"
+       << "  \"bench\": \"gc_mark_parallel\",\n"
+       << "  \"nodes\": " << nodes << ",\n"
+       << "  \"edges\": " << edges << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"results\": [\n";
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const Sample& s = samples[i];
+        js << "    {\"workers\": " << s.workers
+           << ", \"best_ns\": " << s.bestNs
+           << ", \"objects_marked\": " << s.objectsMarked
+           << ", \"pointers_traversed\": " << s.pointersTraversed
+           << ", \"objects_per_sec\": "
+           << static_cast<uint64_t>(s.objectsPerSec)
+           << ", \"speedup_vs_serial\": "
+           << (baseRate == 0.0 ? 0.0 : s.objectsPerSec / baseRate)
+           << ", \"parallel_jobs\": " << s.parallelJobs << "}"
+           << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n"
+       << "  \"differential_ok\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+    js.close();
+    std::printf("wrote %s\n", path.c_str());
+
+    return ok ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "gc/marker.hpp"
+#include "gc/parallel.hpp"
 #include "support/panic.hpp"
 
 namespace golf::gc {
@@ -70,6 +71,18 @@ Heap::beginCycle()
 {
     ++epoch_;
     return Marker(*this, epoch_);
+}
+
+ParallelMarker&
+Heap::beginCycleParallel(int workers)
+{
+    if (workers < 1)
+        workers = 1;
+    ++epoch_;
+    if (!markerPool_ || markerPool_->workers() != workers)
+        markerPool_ = std::make_unique<ParallelMarker>(*this, workers);
+    markerPool_->beginEpoch(epoch_);
+    return *markerPool_;
 }
 
 size_t

@@ -10,8 +10,10 @@
 #ifndef GOLFCC_GC_HEAP_HPP
 #define GOLFCC_GC_HEAP_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -21,6 +23,8 @@
 #include "gc/root.hpp"
 
 namespace golf::gc {
+
+class ParallelMarker;
 
 /** Pacing and debugging knobs. */
 struct HeapConfig
@@ -103,7 +107,8 @@ class Heap
     uint64_t epoch() const { return epoch_; }
     bool isMarked(const Object* obj) const
     {
-        return obj->markEpoch_ == epoch_;
+        return obj->markEpoch_.load(std::memory_order_relaxed) ==
+               epoch_;
     }
     /// @}
 
@@ -113,6 +118,18 @@ class Heap
      * the collector's job.
      */
     Marker beginCycle();
+
+    /**
+     * Begin a collection cycle marked by the persistent worker pool
+     * instead of a standalone marker. The pool is created on first
+     * use (and recreated if `workers` changes); its coordinator view
+     * is what the collector marks and sweeps through. workers == 1
+     * behaves exactly like beginCycle().
+     */
+    ParallelMarker& beginCycleParallel(int workers);
+
+    /** The worker pool, if beginCycleParallel has ever run. */
+    ParallelMarker* markerPool() { return markerPool_.get(); }
 
     /**
      * Sweep: destroy every white object. Objects with finalizers are
@@ -151,6 +168,7 @@ class Heap
     uint64_t liveObjects_ = 0;
     uint64_t triggerBytes_;
     MemStats stats_;
+    std::unique_ptr<ParallelMarker> markerPool_;
     RootList globalRoots_;
     std::function<void(size_t)> allocHook_;
     std::function<void(Object*)> freeHook_;

@@ -1,6 +1,9 @@
 #include "gc/marker.hpp"
 
+#include <utility>
+
 #include "gc/heap.hpp"
+#include "gc/parallel.hpp"
 #include "support/masked_ptr.hpp"
 #include "support/panic.hpp"
 
@@ -8,6 +11,32 @@ namespace golf::gc {
 
 Marker::Marker(Heap& heap, uint64_t epoch) : heap_(heap), epoch_(epoch)
 {
+    hookRef_ = &ownHook_;
+}
+
+Marker::Marker(Marker&& other) noexcept
+    : heap_(other.heap_),
+      epoch_(other.epoch_),
+      grey_(std::move(other.grey_)),
+      pointersTraversed_(other.pointersTraversed_),
+      objectsMarked_(other.objectsMarked_),
+      bytesMarked_(other.bytesMarked_),
+      finalizerSeen_(other.finalizerSeen_),
+      ownHook_(std::move(other.ownHook_))
+{
+    // Only standalone markers move (Heap::beginCycle returns by
+    // value); their hook reference must follow the moved-to hook.
+    hookRef_ = &ownHook_;
+}
+
+Marker::Marker(ParallelMarker& pool, Heap& heap, int workerIdx)
+    : heap_(heap),
+      epoch_(0),
+      pool_(&pool),
+      workerIdx_(workerIdx),
+      concurrent_(pool.parallelEnabled())
+{
+    hookRef_ = &pool.hook_;
 }
 
 void
@@ -22,32 +51,118 @@ Marker::mark(Object* obj)
     // set, so a masked pointer is detectable here.
     if (support::isMaskedAddress(reinterpret_cast<uintptr_t>(obj)))
         support::panic("Marker::mark called on a masked address");
-    if (obj->markEpoch_ == epoch_)
-        return;
-    obj->markEpoch_ = epoch_;
+    if (concurrent_) {
+        // Several workers may race to shade the same object; the CAS
+        // winner greys it (pushes it on a grey stack exactly once),
+        // everyone else treats it as already marked. The mark word
+        // carries no payload another thread reads before the trace,
+        // so relaxed ordering suffices — the pool's job barriers
+        // provide the cross-thread happens-before for object bodies.
+        uint64_t seen = obj->markEpoch_.load(std::memory_order_relaxed);
+        if (seen == epoch_)
+            return;
+        if (!obj->markEpoch_.compare_exchange_strong(
+                seen, epoch_, std::memory_order_relaxed,
+                std::memory_order_relaxed))
+            return; // Another worker won the shade.
+    } else {
+        if (obj->markEpoch_.load(std::memory_order_relaxed) == epoch_)
+            return;
+        obj->markEpoch_.store(epoch_, std::memory_order_relaxed);
+    }
     ++objectsMarked_;
     bytesMarked_ += obj->allocSize_;
     if (obj->hasFinalizer_)
         finalizerSeen_ = true;
-    worklist_.push_back(obj);
-    if (markHook_)
-        markHook_(obj);
+    grey_.push_back(obj);
 }
 
-bool
-Marker::isMarked(const Object* obj) const
+void
+Marker::traceOne(Object* obj)
 {
-    return obj->markEpoch_ == epoch_;
+    // The hook fires here — at pop time, from the iterative loop —
+    // never from inside mark(), so hook-driven marking (the eager
+    // liveness daisy chain) cannot nest C++ stack frames.
+    if (*hookRef_)
+        (*hookRef_)(*this, obj);
+    obj->trace(*this);
+}
+
+void
+Marker::drainLocal()
+{
+    while (!grey_.empty()) {
+        Object* obj = grey_.back();
+        grey_.pop_back();
+        traceOne(obj);
+    }
 }
 
 void
 Marker::drain()
 {
-    while (!worklist_.empty()) {
-        Object* obj = worklist_.back();
-        worklist_.pop_back();
-        obj->trace(*this);
+    if (pool_ && pool_->parallelEnabled()) {
+        if (workerIdx_ != 0)
+            support::panic("Marker::drain on a non-coordinator view");
+        pool_->drainFromCoordinator();
+        return;
     }
+    drainLocal();
+}
+
+void
+Marker::setMarkHook(MarkHook hook)
+{
+    if (pool_) {
+        pool_->setMarkHook(std::move(hook));
+        return;
+    }
+    ownHook_ = std::move(hook);
+}
+
+bool
+Marker::finalizerSeen() const
+{
+    return pool_ ? pool_->finalizerSeen() : finalizerSeen_;
+}
+
+void
+Marker::clearFinalizerSeen()
+{
+    if (pool_) {
+        pool_->clearFinalizerSeen();
+        return;
+    }
+    finalizerSeen_ = false;
+}
+
+uint64_t
+Marker::pointersTraversed() const
+{
+    return pool_ ? pool_->pointersTraversed() : pointersTraversed_;
+}
+
+uint64_t
+Marker::objectsMarked() const
+{
+    return pool_ ? pool_->objectsMarked() : objectsMarked_;
+}
+
+uint64_t
+Marker::bytesMarked() const
+{
+    return pool_ ? pool_->bytesMarked() : bytesMarked_;
+}
+
+void
+Marker::resetForEpoch(uint64_t epoch)
+{
+    epoch_ = epoch;
+    grey_.clear();
+    pointersTraversed_ = 0;
+    objectsMarked_ = 0;
+    bytesMarked_ = 0;
+    finalizerSeen_ = false;
 }
 
 } // namespace golf::gc

@@ -1,13 +1,31 @@
 /**
  * @file
- * Tricolor worklist marker.
+ * Tricolor worklist marker — serial view and parallel worker view.
  *
- * White = markEpoch behind the heap epoch, grey = on the worklist,
- * black = marked and drained. The collector runs one or more "mark
+ * White = markEpoch behind the heap epoch, grey = on a grey stack,
+ * black = marked and traced. The collector runs one or more "mark
  * iterations" (drains); GOLF's root-set expansion (Section 4.2) adds
  * newly reachably-live goroutine stacks between drains and counts the
  * iterations, which lets tests pin the daisy-chain worst case of
  * Section 5.2.
+ *
+ * A Marker is either *standalone* (Heap::beginCycle — the historical
+ * single-threaded marker, used directly by tests) or a *worker view*
+ * owned by a gc::ParallelMarker pool (Heap::beginCycleParallel). In
+ * pool mode each mark worker owns one view: mark() claims the object
+ * via a CAS on its mark epoch and pushes it on the view's private
+ * grey stack; drain() delegates to the pool, which balances grey
+ * objects across workers with Chase–Lev stealing deques. Stats are
+ * kept per view and aggregated by the pool, so every accessor below
+ * reports cycle totals in both modes.
+ *
+ * The mark hook fires from the worklist loop when an object is
+ * popped for tracing — NOT from inside mark(). Firing it inside
+ * mark() would recurse (hook marks an object, whose hook marks an
+ * object, ...): with eager-liveness marking a daisy chain of blocked
+ * goroutines used to nest one stack frame per link, so a long enough
+ * chain overflowed the C++ stack. Hook dispatch from the iterative
+ * loop bounds stack depth at O(1) regardless of graph depth.
  */
 #ifndef GOLFCC_GC_MARKER_HPP
 #define GOLFCC_GC_MARKER_HPP
@@ -21,60 +39,110 @@
 namespace golf::gc {
 
 class Heap;
+class Marker;
+class ParallelMarker;
 
-/** Worklist marker for one collection cycle. */
+/** Hook invoked once per newly shaded object, from the worklist loop
+ *  of whichever worker pops the object. The Marker& argument is that
+ *  worker's view: hook code must mark through it (and only it). */
+using MarkHook = std::function<void(Marker&, Object*)>;
+
+/** Worklist marker for one collection cycle (one worker's view). */
 class Marker
 {
   public:
+    /** Standalone single-threaded marker (Heap::beginCycle). */
     Marker(Heap& heap, uint64_t epoch);
+
+    Marker(const Marker&) = delete;
+    Marker& operator=(const Marker&) = delete;
+    /** Standalone markers are movable (Heap::beginCycle returns by
+     *  value); pool views never move — the pool owns them. */
+    Marker(Marker&& other) noexcept;
 
     /**
      * Shade an object grey if it is still white. Null is ignored.
      * Every call counts as one pointer traversal (the unit in which
      * the paper states GOLF performs "the same amount of marking
-     * work" as the ordinary GC).
+     * work" as the ordinary GC). Safe to call concurrently from
+     * different worker views during a parallel drain: the mark-epoch
+     * CAS elects exactly one greyer per object.
      */
     void mark(Object* obj);
 
     /** Whether obj has been marked in this cycle. */
-    bool isMarked(const Object* obj) const;
+    bool isMarked(const Object* obj) const
+    {
+        return obj->markEpoch_.load(std::memory_order_relaxed) ==
+               epoch_;
+    }
 
-    /** Drain the worklist: trace until no grey objects remain. */
+    /**
+     * Drain until no grey objects remain. On a standalone marker (or
+     * a pool of one worker) this is the historical serial loop; on a
+     * parallel pool's coordinator view it runs the whole pool and
+     * returns once global termination is detected. Must only be
+     * called on a standalone marker or the pool's coordinator view.
+     */
     void drain();
 
     /**
-     * Install a hook invoked once per newly shaded object. GOLF's
-     * eager-liveness extension (the Section 5.3 optimization the
-     * paper describes but does not implement) uses it to push the
-     * stacks of goroutines blocked on the object as soon as the
-     * object is discovered, collapsing the root-expansion fixpoint.
+     * Install a hook invoked once per newly shaded object, when the
+     * object is popped for tracing. GOLF's eager-liveness extension
+     * (the Section 5.3 optimization the paper describes but does not
+     * implement) uses it to push the stacks of goroutines blocked on
+     * the object as soon as the object is discovered, collapsing the
+     * root-expansion fixpoint. Coordinator/standalone only; applies
+     * to every view of a pool.
      */
-    void
-    setMarkHook(std::function<void(Object*)> hook)
-    {
-        markHook_ = std::move(hook);
-    }
+    void setMarkHook(MarkHook hook);
 
     /** True when a finalizer-bearing object was newly marked since
-     *  the last call to clearFinalizerSeen() (paper Section 5.5). */
-    bool finalizerSeen() const { return finalizerSeen_; }
-    void clearFinalizerSeen() { finalizerSeen_ = false; }
+     *  the last call to clearFinalizerSeen() (paper Section 5.5).
+     *  Aggregated across all pool views. */
+    bool finalizerSeen() const;
+    void clearFinalizerSeen();
 
-    /// @{ Marking-work accounting.
-    uint64_t pointersTraversed() const { return pointersTraversed_; }
-    uint64_t objectsMarked() const { return objectsMarked_; }
-    uint64_t bytesMarked() const { return bytesMarked_; }
+    /// @{ Marking-work accounting (cycle totals; pool-aggregated).
+    uint64_t pointersTraversed() const;
+    uint64_t objectsMarked() const;
+    uint64_t bytesMarked() const;
     /// @}
 
+    uint64_t epoch() const { return epoch_; }
+
   private:
+    friend class ParallelMarker;
+
+    /** Pool-view constructor (workerIdx 0 is the coordinator). */
+    Marker(ParallelMarker& pool, Heap& heap, int workerIdx);
+
+    /** Pop-and-trace one object: fire the hook, then obj->trace().
+     *  The single place tracing happens, serial or parallel. */
+    void traceOne(Object* obj);
+
+    /** Serial drain of this view's private grey stack only. */
+    void drainLocal();
+
+    /** Reset per-cycle state for a new epoch (pool views). */
+    void resetForEpoch(uint64_t epoch);
+
     Heap& heap_;
     uint64_t epoch_;
-    std::vector<Object*> worklist_;
+    ParallelMarker* pool_ = nullptr;
+    int workerIdx_ = 0;
+    /** Whether mark() must use the CAS path (any pool with >1
+     *  workers, even outside drains — cross-view visibility). */
+    bool concurrent_ = false;
+    std::vector<Object*> grey_;  ///< Private grey stack.
     uint64_t pointersTraversed_ = 0;
     uint64_t objectsMarked_ = 0;
     uint64_t bytesMarked_ = 0;
     bool finalizerSeen_ = false;
-    std::function<void(Object*)> markHook_;
+    /** Standalone mode: the hook itself. Pool views share the pool's
+     *  hook instead (hookRef_ points at it either way). */
+    MarkHook ownHook_;
+    const MarkHook* hookRef_ = nullptr;
 };
 
 } // namespace golf::gc

@@ -13,6 +13,7 @@
 #ifndef GOLFCC_GC_OBJECT_HPP
 #define GOLFCC_GC_OBJECT_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -66,12 +67,19 @@ class Object
   private:
     friend class Heap;
     friend class Marker;
+    friend class ParallelMarker;
 
     Heap* heap_ = nullptr;
     Object* allNext_ = nullptr;   ///< Heap's all-objects list.
     size_t allocSize_ = 0;        ///< Bytes charged to this object.
     size_t baseSize_ = 0;         ///< Actual allocation footprint.
-    uint64_t markEpoch_ = 0;      ///< Epoch at which last marked.
+    /**
+     * Epoch at which last marked. Atomic because parallel mark
+     * workers race to shade the same object; the CAS winner owns
+     * greying it (pushes it on a grey stack exactly once). With one
+     * mark worker the accesses compile to plain loads/stores.
+     */
+    std::atomic<uint64_t> markEpoch_{0};
     bool hasFinalizer_ = false;
 };
 

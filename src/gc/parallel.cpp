@@ -1,0 +1,437 @@
+#include "gc/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gc/heap.hpp"
+#include "support/panic.hpp"
+
+namespace golf::gc {
+
+namespace {
+
+/** Grey objects a worker keeps private before donating half to its
+ *  public deque (when that deque looks empty). */
+constexpr size_t kDonateThreshold = 2;
+/** Cap on objects donated per donation, to bound deque churn. */
+constexpr size_t kMaxDonate = 256;
+/** Objects the coordinator drains alone before waking the pool: a
+ *  heap smaller than this never pays for thread wakeups. */
+constexpr size_t kSerialBudget = 4096;
+/** Smallest for-section worth fanning out. */
+constexpr size_t kMinParallelFor = 32;
+/** Initial deque capacity (grows geometrically). */
+constexpr size_t kInitialDequeCap = 1024;
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// WorkDeque
+// ---------------------------------------------------------------------------
+
+WorkDeque::Buffer::Buffer(size_t capacity)
+    : cap(capacity), slots(new std::atomic<Object*>[capacity])
+{
+}
+
+WorkDeque::WorkDeque()
+{
+    all_.push_back(std::make_unique<Buffer>(kInitialDequeCap));
+    buffer_.store(all_.back().get(), std::memory_order_relaxed);
+}
+
+WorkDeque::~WorkDeque() = default;
+
+WorkDeque::Buffer*
+WorkDeque::grow(Buffer* old, int64_t top, int64_t bottom)
+{
+    auto bigger = std::make_unique<Buffer>(old->cap * 2);
+    for (int64_t i = top; i < bottom; ++i)
+        bigger->put(i, old->get(i));
+    Buffer* raw = bigger.get();
+    // The old buffer stays alive (a slow thief may still read it);
+    // it is reclaimed at the next quiescent reset(). The release
+    // store publishes the copied slots to thieves that acquire-load
+    // buffer_.
+    all_.push_back(std::move(bigger));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+}
+
+void
+WorkDeque::push(Object* obj)
+{
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(buf->cap))
+        buf = grow(buf, t, b);
+    buf->put(b, obj);
+    // Release: a thief that observes bottom > t also observes the
+    // slot write for every index below bottom.
+    bottom_.store(b + 1, std::memory_order_release);
+}
+
+Object*
+WorkDeque::pop()
+{
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // The seq_cst store/load pair orders "reserve the bottom slot"
+    // before "read top" — the classic Chase–Lev owner/thief duel,
+    // expressed on the atomics themselves rather than with fences so
+    // TSan models it.
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+        // Empty: undo the reservation.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    Object* obj = buf->get(b);
+    if (t != b)
+        return obj; // More than one entry: no race possible.
+    // Exactly one entry: duel with thieves via the top CAS.
+    bool won = top_.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won ? obj : nullptr;
+}
+
+Object*
+WorkDeque::steal()
+{
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b)
+        return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    Object* obj = buf->get(t);
+    // Claim the slot; failure means another thief (or the owner's
+    // last-entry pop) beat us to it.
+    if (!top_.compare_exchange_strong(t, t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+        return nullptr;
+    return obj;
+}
+
+void
+WorkDeque::reset()
+{
+    if (!looksEmpty())
+        support::panic("WorkDeque::reset on a non-empty deque");
+    if (all_.size() > 1) {
+        // Keep only the largest (current) buffer.
+        std::unique_ptr<Buffer> keep = std::move(all_.back());
+        all_.clear();
+        all_.push_back(std::move(keep));
+        buffer_.store(all_.back().get(), std::memory_order_relaxed);
+    }
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelMarker
+// ---------------------------------------------------------------------------
+
+ParallelMarker::ParallelMarker(Heap& heap, int workers)
+    : heap_(heap), workers_(workers < 1 ? 1 : workers)
+{
+    views_.reserve(static_cast<size_t>(workers_));
+    deques_.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+        views_.emplace_back(new Marker(*this, heap_, w));
+        deques_.push_back(std::make_unique<WorkDeque>());
+    }
+}
+
+ParallelMarker::~ParallelMarker()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    jobCv_.notify_all();
+    for (std::thread& t : threads_)
+        t.join();
+}
+
+void
+ParallelMarker::beginEpoch(uint64_t epoch)
+{
+    if (jobActive_)
+        support::panic("ParallelMarker::beginEpoch during a job");
+    for (auto& view : views_)
+        view->resetForEpoch(epoch);
+    for (auto& dq : deques_)
+        dq->reset();
+    hook_ = MarkHook{};
+    jobsThisCycle_ = 0;
+}
+
+void
+ParallelMarker::setMarkHook(MarkHook hook)
+{
+    if (jobActive_)
+        support::panic("ParallelMarker::setMarkHook during a job");
+    hook_ = std::move(hook);
+}
+
+uint64_t
+ParallelMarker::pointersTraversed() const
+{
+    uint64_t total = 0;
+    for (const auto& view : views_)
+        total += view->pointersTraversed_;
+    return total;
+}
+
+uint64_t
+ParallelMarker::objectsMarked() const
+{
+    uint64_t total = 0;
+    for (const auto& view : views_)
+        total += view->objectsMarked_;
+    return total;
+}
+
+uint64_t
+ParallelMarker::bytesMarked() const
+{
+    uint64_t total = 0;
+    for (const auto& view : views_)
+        total += view->bytesMarked_;
+    return total;
+}
+
+bool
+ParallelMarker::finalizerSeen() const
+{
+    for (const auto& view : views_)
+        if (view->finalizerSeen_)
+            return true;
+    return false;
+}
+
+void
+ParallelMarker::clearFinalizerSeen()
+{
+    for (auto& view : views_)
+        view->finalizerSeen_ = false;
+}
+
+void
+ParallelMarker::drainFromCoordinator()
+{
+    Marker& coord = *views_[0];
+    // Serial fast path: most cycles in unit tests and small services
+    // never overflow this budget, so they never wake a thread (and
+    // with one worker the budget loop *is* the whole drain).
+    size_t budget = kSerialBudget;
+    while (!coord.grey_.empty() && budget > 0) {
+        Object* obj = coord.grey_.back();
+        coord.grey_.pop_back();
+        coord.traceOne(obj);
+        --budget;
+    }
+    if (coord.grey_.empty())
+        return;
+    if (!parallelEnabled()) {
+        coord.drainLocal();
+        return;
+    }
+    forFn_ = nullptr;
+    forCount_ = 0;
+    runJob();
+}
+
+void
+ParallelMarker::forEachThenDrain(
+    size_t count, const std::function<void(size_t, Marker&)>& fn)
+{
+    Marker& coord = *views_[0];
+    if (!parallelEnabled() || count < kMinParallelFor) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i, coord);
+        coord.drain(); // Serial-budget fast path / pool drain.
+        return;
+    }
+    forFn_ = &fn;
+    forCount_ = count;
+    forGrain_ = std::max<size_t>(
+        16, count / (static_cast<size_t>(workers_) * 8));
+    forNext_.store(0, std::memory_order_relaxed);
+    runJob();
+    forFn_ = nullptr;
+}
+
+void
+ParallelMarker::ensureThreads()
+{
+    if (!threads_.empty())
+        return;
+    threads_.reserve(static_cast<size_t>(workers_ - 1));
+    for (int w = 1; w < workers_; ++w)
+        threads_.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+ParallelMarker::runJob()
+{
+    ensureThreads();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Everything the workers read without synchronization during
+        // the job (forFn_/forCount_, the views' epoch and grey
+        // stacks, object bodies mutated since the last cycle) was
+        // written before this critical section, so the workers' wait
+        // on mu_ gives the necessary happens-before edge.
+        ++jobGen_;
+        finished_ = 0;
+        idle_.store(0, std::memory_order_relaxed);
+        jobActive_ = true;
+    }
+    jobCv_.notify_all();
+    workLoop(0); // The coordinator is worker 0.
+    {
+        // Join barrier: every worker's writes (marks, stats, per-
+        // index slot output) happen-before the return from runJob.
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [this] { return finished_ == workers_ - 1; });
+        jobActive_ = false;
+    }
+    ++jobsThisCycle_;
+}
+
+void
+ParallelMarker::workerMain(int w)
+{
+    uint64_t seenGen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            jobCv_.wait(lock, [this, seenGen] {
+                return shutdown_ || jobGen_ != seenGen;
+            });
+            if (shutdown_)
+                return;
+            seenGen = jobGen_;
+        }
+        workLoop(w);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++finished_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+void
+ParallelMarker::workLoop(int w)
+{
+    Marker& view = *views_[w];
+    // For-section: grab contiguous chunks of [0, forCount_) until
+    // exhausted. fn may mark, filling this view's grey stack.
+    if (forFn_) {
+        for (;;) {
+            size_t begin =
+                forNext_.fetch_add(forGrain_, std::memory_order_relaxed);
+            if (begin >= forCount_)
+                break;
+            size_t end = std::min(begin + forGrain_, forCount_);
+            for (size_t i = begin; i < end; ++i)
+                (*forFn_)(i, view);
+            maybeDonate(w, view);
+        }
+    }
+    // Mark loop: drain private work, then public, then steal; when
+    // all three fail, enter the idle protocol.
+    for (;;) {
+        Object* obj = takeWork(w, view);
+        if (obj) {
+            view.traceOne(obj);
+            maybeDonate(w, view);
+            continue;
+        }
+        if (idleUntilWorkOrDone(w))
+            return;
+    }
+}
+
+Object*
+ParallelMarker::takeWork(int w, Marker& view)
+{
+    if (!view.grey_.empty()) {
+        Object* obj = view.grey_.back();
+        view.grey_.pop_back();
+        return obj;
+    }
+    if (Object* obj = deques_[static_cast<size_t>(w)]->pop())
+        return obj;
+    return trySteal(w);
+}
+
+Object*
+ParallelMarker::trySteal(int w)
+{
+    for (int hop = 1; hop < workers_; ++hop) {
+        int victim = (w + hop) % workers_;
+        if (Object* obj = deques_[static_cast<size_t>(victim)]->steal())
+            return obj;
+    }
+    return nullptr;
+}
+
+void
+ParallelMarker::maybeDonate(int w, Marker& view)
+{
+    // Keep idle workers fed: whenever our public deque looks empty
+    // and we are hoarding grey objects, publish half of them. The
+    // *oldest* entries (bottom of the vector) go public — they tend
+    // to root the larger untraced subgraphs.
+    if (view.grey_.size() < kDonateThreshold)
+        return;
+    WorkDeque& dq = *deques_[static_cast<size_t>(w)];
+    if (!dq.looksEmpty())
+        return;
+    size_t donate = std::min(view.grey_.size() / 2, kMaxDonate);
+    for (size_t i = 0; i < donate; ++i)
+        dq.push(view.grey_[i]);
+    view.grey_.erase(view.grey_.begin(),
+                     view.grey_.begin() + static_cast<ptrdiff_t>(donate));
+}
+
+bool
+ParallelMarker::idleUntilWorkOrDone(int)
+{
+    // Invariant: a worker increments idle_ only when its private
+    // stack and public deque are empty and a full steal sweep just
+    // failed; it decrements before touching work again. An idle
+    // worker publishes nothing, so once idle_ == workers_ every
+    // source of work is empty and will stay empty: terminate.
+    idle_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+        if (idle_.load(std::memory_order_seq_cst) == workers_)
+            return true;
+        bool anyVisible = false;
+        for (int v = 0; v < workers_; ++v) {
+            if (!deques_[static_cast<size_t>(v)]->looksEmpty()) {
+                anyVisible = true;
+                break;
+            }
+        }
+        if (anyVisible) {
+            idle_.fetch_sub(1, std::memory_order_seq_cst);
+            return false; // Re-engage via takeWork.
+        }
+        // Single-core friendliness: never spin against the OS
+        // scheduler — the worker that owns the remaining work may
+        // need this CPU to finish it.
+        std::this_thread::yield();
+    }
+}
+
+} // namespace golf::gc

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Parallel marking: a persistent pool of mark workers with per-worker
+ * grey stacks and Chase–Lev work stealing.
+ *
+ * The paper piggybacks GOLF on Go's *parallel* background marking and
+ * prices detection as a marking-slowdown factor (Section 5.3, Fig. 4);
+ * this pool is the reproduction's analog of Go's gcBgMarkWorkers. One
+ * ParallelMarker lives on the Heap and is reused across collection
+ * cycles (worker threads are spawned lazily on the first drain that
+ * actually overflows the serial budget, and parked on a condition
+ * variable between jobs).
+ *
+ * Work distribution: each worker owns
+ *   - a private grey stack (plain vector, zero atomics) where its own
+ *     mark() calls accumulate, and
+ *   - a public Chase–Lev deque other workers steal from; a worker
+ *     donates half of its private stack to its public deque whenever
+ *     the deque looks empty, so idle workers always find food.
+ *
+ * Termination detection: a seq_cst idle counter. A worker increments
+ * it only after its private stack is empty, its own deque is empty
+ * and a full steal sweep failed; it decrements before re-engaging.
+ * Since only a non-idle worker can push, observing idle == workers
+ * proves every deque was empty at that instant and will stay empty —
+ * the drain is globally complete (see DESIGN.md Section 8 for the
+ * invariant argument).
+ *
+ * Determinism: the *final* mark set is the reachability closure of
+ * the roots, independent of worker count or steal interleaving; the
+ * mark-epoch CAS elects exactly one greyer per object, so each object
+ * is traced exactly once and each pointer edge traversed exactly
+ * once. All cycle statistics are either per-object/per-edge totals
+ * (sums over workers — order-independent) or computed by the
+ * coordinator between barriers, which is why GOLF's deadlock reports
+ * and MemStats are byte-identical across gcWorkers settings.
+ */
+#ifndef GOLFCC_GC_PARALLEL_HPP
+#define GOLFCC_GC_PARALLEL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gc/marker.hpp"
+
+namespace golf::gc {
+
+class Heap;
+
+/**
+ * Chase–Lev work-stealing deque of grey objects. The owning worker
+ * pushes and pops at the bottom; thieves steal from the top. Written
+ * fence-free (orderings on the atomics themselves) so TSan can reason
+ * about it. Buffers grow geometrically; retired buffers are kept
+ * until reset() because a slow thief may still be reading one.
+ */
+class WorkDeque
+{
+  public:
+    WorkDeque();
+    ~WorkDeque();
+
+    WorkDeque(const WorkDeque&) = delete;
+    WorkDeque& operator=(const WorkDeque&) = delete;
+
+    /** Owner: publish one grey object. */
+    void push(Object* obj);
+
+    /** Owner: take the most recently pushed object, or null. */
+    Object* pop();
+
+    /** Thief: take the oldest object, or null (empty or lost race). */
+    Object* steal();
+
+    /** Racy emptiness hint (exact when the pool is quiescent). */
+    bool
+    looksEmpty() const
+    {
+        return bottom_.load(std::memory_order_relaxed) <=
+               top_.load(std::memory_order_relaxed);
+    }
+
+    /** Quiescent only: drop retired buffers, rewind the indices. */
+    void reset();
+
+  private:
+    struct Buffer
+    {
+        explicit Buffer(size_t capacity);
+
+        Object*
+        get(int64_t i) const
+        {
+            return slots[static_cast<size_t>(i) & (cap - 1)].load(
+                std::memory_order_relaxed);
+        }
+
+        void
+        put(int64_t i, Object* obj)
+        {
+            slots[static_cast<size_t>(i) & (cap - 1)].store(
+                obj, std::memory_order_relaxed);
+        }
+
+        size_t cap; ///< Power of two.
+        std::unique_ptr<std::atomic<Object*>[]> slots;
+    };
+
+    Buffer* grow(Buffer* old, int64_t top, int64_t bottom);
+
+    /** top_ and bottom_ on separate cache lines: thieves hammer top_
+     *  with CAS while the owner spins on bottom_. */
+    alignas(64) std::atomic<int64_t> top_{0};
+    alignas(64) std::atomic<int64_t> bottom_{0};
+    std::atomic<Buffer*> buffer_;
+    /** Every buffer ever grown this job; freed on reset(). */
+    std::vector<std::unique_ptr<Buffer>> all_;
+};
+
+/**
+ * The persistent mark-worker pool. Owns one Marker view and one
+ * WorkDeque per worker; view 0 is the coordinator's, used by the
+ * collector between barriers. With workers == 1 every entry point
+ * degenerates to the historical serial code path (no threads are
+ * ever created, no atomics beyond the relaxed mark-word accesses).
+ */
+class ParallelMarker
+{
+  public:
+    ParallelMarker(Heap& heap, int workers);
+    ~ParallelMarker();
+
+    ParallelMarker(const ParallelMarker&) = delete;
+    ParallelMarker& operator=(const ParallelMarker&) = delete;
+
+    /** Start a new collection cycle: reset views, deques, the hook
+     *  and the per-cycle counters. Pool must be quiescent. */
+    void beginEpoch(uint64_t epoch);
+
+    /** The coordinator's view — what the collector marks through. */
+    Marker& coordinator() { return *views_[0]; }
+
+    int workers() const { return workers_; }
+    bool parallelEnabled() const { return workers_ > 1; }
+
+    /**
+     * Run fn(i, view) for every i in [0, count) distributed over the
+     * pool in contiguous chunks, then drain all resulting grey work
+     * to completion; one barrier at the end. Output written into
+     * index-addressed slots is deterministic regardless of which
+     * worker processed an index. Serial (coordinator-only) when the
+     * pool has one worker or count is tiny.
+     */
+    void forEachThenDrain(
+        size_t count,
+        const std::function<void(size_t, Marker&)>& fn);
+
+    /// @{ Cycle-total aggregation over all views.
+    uint64_t pointersTraversed() const;
+    uint64_t objectsMarked() const;
+    uint64_t bytesMarked() const;
+    bool finalizerSeen() const;
+    void clearFinalizerSeen();
+    /// @}
+
+    void setMarkHook(MarkHook hook);
+
+    /** Parallel jobs actually dispatched this cycle (0 = every drain
+     *  fit the serial budget; observability for stats/tests). */
+    uint64_t parallelJobsThisCycle() const { return jobsThisCycle_; }
+
+    /** Whether a pool job is currently running (STW assertions). */
+    bool jobActive() const { return jobActive_; }
+
+  private:
+    friend class Marker;
+
+    /** Marker::drain() on the coordinator view lands here. */
+    void drainFromCoordinator();
+
+    void ensureThreads();
+    void runJob();
+    void workerMain(int w);
+    void workLoop(int w);
+    Object* takeWork(int w, Marker& view);
+    Object* trySteal(int w);
+    void maybeDonate(int w, Marker& view);
+    /** Idle protocol; true = drain globally complete. */
+    bool idleUntilWorkOrDone(int w);
+
+    Heap& heap_;
+    int workers_;
+    std::vector<std::unique_ptr<Marker>> views_;
+    std::vector<std::unique_ptr<WorkDeque>> deques_;
+    MarkHook hook_;
+
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable jobCv_;   ///< Workers wait for a job.
+    std::condition_variable doneCv_;  ///< Coordinator waits for join.
+    uint64_t jobGen_ = 0;
+    int finished_ = 0;
+    bool shutdown_ = false;
+    bool jobActive_ = false;
+    uint64_t jobsThisCycle_ = 0;
+
+    /** Current job's for-section ([0,count) fanned out by chunk);
+     *  null for a pure drain job. */
+    const std::function<void(size_t, Marker&)>* forFn_ = nullptr;
+    size_t forCount_ = 0;
+    size_t forGrain_ = 1;
+    std::atomic<size_t> forNext_{0};
+
+    /** Termination detection (see file comment). */
+    std::atomic<int> idle_{0};
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_PARALLEL_HPP

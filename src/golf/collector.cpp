@@ -8,6 +8,7 @@
 
 #include "gc/heap.hpp"
 #include "gc/marker.hpp"
+#include "gc/parallel.hpp"
 #include "runtime/runtime.hpp"
 #include "support/panic.hpp"
 
@@ -82,21 +83,21 @@ Collector::isBlockedCandidate(const rt::Goroutine* g) const
 }
 
 bool
-Collector::blockedObjectReachable(gc::Marker& m, const rt::Goroutine* g,
-                                  CycleStats& cs) const
+Collector::blockedObjectReachable(const rt::Goroutine* g,
+                                  uint64_t& checks) const
 {
     // B(g) = {epsilon} for nil-channel operations and zero-case
     // selects: epsilon is never reachable (Section 4.1).
     if (g->blockedForever())
         return false;
     for (gc::Object* obj : g->blockedOn()) {
-        ++cs.detectChecks;
+        ++checks;
         // Conservative fallback (Section 5.3): if the object is not
         // managed by our heap we cannot check its mark; assume it is
         // reachable (e.g. a global or foreign object).
         if (!rt_.heap().owns(obj))
             return true;
-        if (m.isMarked(obj))
+        if (rt_.heap().isMarked(obj))
             return true;
     }
     return false;
@@ -105,8 +106,13 @@ Collector::blockedObjectReachable(gc::Marker& m, const rt::Goroutine* g,
 void
 Collector::markGoroutine(gc::Marker& m, rt::Goroutine* g)
 {
-    g->setLiveAt(rt_.heap().epoch());
-    g->markStack(m);
+    // CAS claim: with parallel marking several workers can race to
+    // add the same goroutine to the root set (the eager-liveness
+    // hook fires wherever its blocking object is traced); exactly
+    // the claim winner marks the stack, so every stack edge is
+    // traversed once per cycle no matter the worker count.
+    if (g->claimLiveAt(rt_.heap().epoch()))
+        g->markStack(m);
 }
 
 void
@@ -198,11 +204,17 @@ Collector::collect()
     rt_.runPoolCleanups();
 
     gc::Heap& heap = rt_.heap();
-    gc::Marker marker = heap.beginCycle();
+    gc::ParallelMarker& pool =
+        heap.beginCycleParallel(rt_.config().resolvedGcWorkers());
+    gc::Marker& marker = pool.coordinator();
+    cs.gcWorkers = pool.workers();
 
     // Eager-liveness extension (Section 5.3): index blocked
     // candidates by blocking object, and shade their stacks the
-    // moment the object is discovered during marking.
+    // moment the object is discovered during marking. The index is
+    // frozen before marking starts; workers only read it. The hook
+    // runs on whichever worker pops the object and must mark through
+    // that worker's view, not the coordinator's.
     std::unordered_map<gc::Object*, std::vector<rt::Goroutine*>>
         blockedIndex;
     if (detecting && rt_.config().eagerLivenessMarking) {
@@ -214,15 +226,14 @@ Collector::collect()
                     blockedIndex[obj].push_back(g);
             }
         });
-        marker.setMarkHook([&](gc::Object* obj) {
-            auto it = blockedIndex.find(obj);
-            if (it == blockedIndex.end())
-                return;
-            for (rt::Goroutine* g : it->second) {
-                if (!g->liveAt(heap.epoch()))
-                    markGoroutine(marker, g);
-            }
-        });
+        marker.setMarkHook(
+            [&blockedIndex, this](gc::Marker& m, gc::Object* obj) {
+                auto it = blockedIndex.find(obj);
+                if (it == blockedIndex.end())
+                    return;
+                for (rt::Goroutine* g : it->second)
+                    markGoroutine(m, g);
+            });
     }
 
     const uint64_t mark0Wall = wallNowNs();
@@ -274,22 +285,46 @@ Collector::collect()
         // against the finished marking, then marks the newly live
         // goroutines and re-runs marking — which is what makes the
         // daisy chain of Section 5.2 take n iterations.
+        //
+        // Both halves of a round run on the pool, separated by its
+        // job barriers. The scan half is read-only (it checks mark
+        // bits, marks nothing) so every goroutine is judged against
+        // the same completed marking as in the serial code — were the
+        // scan allowed to observe the expansion half's in-progress
+        // marks, the round count (and the modelled pause derived from
+        // it) would depend on worker timing. Results land in
+        // index-addressed slots, making them independent of which
+        // worker scanned which goroutine.
         bool expanded = true;
         while (expanded) {
-            std::vector<rt::Goroutine*> newlyLive;
+            std::vector<rt::Goroutine*> blocked;
             rt_.forEachGoroutine([&](rt::Goroutine* g) {
-                if (!isBlockedCandidate(g) ||
-                    g->liveAt(heap.epoch())) {
-                    return;
-                }
-                if (blockedObjectReachable(marker, g, cs))
-                    newlyLive.push_back(g);
+                if (isBlockedCandidate(g) && !g->liveAt(heap.epoch()))
+                    blocked.push_back(g);
             });
+            std::vector<uint8_t> reachable(blocked.size(), 0);
+            std::vector<uint64_t> checks(blocked.size(), 0);
+            pool.forEachThenDrain(
+                blocked.size(),
+                [&](size_t i, gc::Marker&) {
+                    reachable[i] =
+                        blockedObjectReachable(blocked[i], checks[i])
+                            ? 1 : 0;
+                });
+            for (uint64_t c : checks)
+                cs.detectChecks += c;
+            std::vector<rt::Goroutine*> newlyLive;
+            for (size_t i = 0; i < blocked.size(); ++i) {
+                if (reachable[i])
+                    newlyLive.push_back(blocked[i]);
+            }
             expanded = !newlyLive.empty();
             if (expanded) {
-                for (rt::Goroutine* g : newlyLive)
-                    markGoroutine(marker, g);
-                marker.drain();
+                pool.forEachThenDrain(
+                    newlyLive.size(),
+                    [&](size_t i, gc::Marker& view) {
+                        markGoroutine(view, newlyLive[i]);
+                    });
                 ++cs.markIterations;
             }
         }
@@ -333,6 +368,7 @@ Collector::collect()
     cs.bytesMarked = marker.bytesMarked();
 
     cs.freedObjects = heap.sweep(marker);
+    cs.parallelMarkJobs = pool.parallelJobsThisCycle();
     heap.runFinalizers();
 
     cs.pauseWallNs = wallNowNs() - pause0;

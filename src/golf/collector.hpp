@@ -37,6 +37,13 @@ struct CycleStats
     uint64_t cycle = 0;
     bool detectionRan = false;
     uint64_t markIterations = 0;
+    /** Mark workers the cycle ran with (rt::Config::gcWorkers,
+     *  resolved). Cycle results are identical for every value. */
+    int gcWorkers = 1;
+    /** Pool jobs actually dispatched to worker threads (0 = all
+     *  marking fit the coordinator's serial budget). Scheduling
+     *  detail, NOT deterministic across worker counts. */
+    uint64_t parallelMarkJobs = 0;
     uint64_t pointersTraversed = 0;
     uint64_t objectsMarked = 0;
     uint64_t bytesMarked = 0;
@@ -114,8 +121,11 @@ class Collector
   private:
     bool isAlwaysLiveRoot(const rt::Goroutine* g) const;
     bool isBlockedCandidate(const rt::Goroutine* g) const;
-    bool blockedObjectReachable(gc::Marker& m, const rt::Goroutine* g,
-                                CycleStats& cs) const;
+    /** Whether any of g's B(g) objects is marked; `checks` counts the
+     *  (goroutine, object) pairs examined. Read-only on the heap, so
+     *  the fixpoint's residency scan can fan it out over the pool. */
+    bool blockedObjectReachable(const rt::Goroutine* g,
+                                uint64_t& checks) const;
     void markGoroutine(gc::Marker& m, rt::Goroutine* g);
     void handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
                           CycleStats& cs);

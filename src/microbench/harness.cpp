@@ -63,6 +63,7 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.gcMode = cfg.gcMode;
     rc.recovery = cfg.recovery;
     rc.detectEveryN = cfg.detectEveryN;
+    rc.gcWorkers = cfg.gcWorkers;
     rc.faults = cfg.faults;
     rc.verifyEveryGc = cfg.verifyInvariants;
     rc.race = cfg.race;

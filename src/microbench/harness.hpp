@@ -30,6 +30,9 @@ struct HarnessConfig
     rt::GcMode gcMode = rt::GcMode::Golf;
     rt::Recovery recovery = rt::Recovery::Reclaim;
     int detectEveryN = 1;
+    /** GC mark workers (rt::Config::gcWorkers): 0 = auto, 1 =
+     *  serial. Outcomes are identical for every value. */
+    int gcWorkers = 0;
     /** Virtual runtime before the forced GC (paper: 5 s). */
     support::VTime duration = 5 * support::kSecond;
     /** Cap on concurrent pattern instances derived from flakiness. */

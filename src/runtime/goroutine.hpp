@@ -12,6 +12,7 @@
 #ifndef GOLFCC_RUNTIME_GOROUTINE_HPP
 #define GOLFCC_RUNTIME_GOROUTINE_HPP
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <optional>
@@ -65,8 +66,29 @@ class Goroutine
      * was added to the expanding root set during the GC cycle with
      * this heap epoch.
      */
-    bool liveAt(uint64_t epoch) const { return liveEpoch_ == epoch; }
-    void setLiveAt(uint64_t epoch) { liveEpoch_ = epoch; }
+    bool liveAt(uint64_t epoch) const
+    {
+        return liveEpoch_.load(std::memory_order_relaxed) == epoch;
+    }
+    void setLiveAt(uint64_t epoch)
+    {
+        liveEpoch_.store(epoch, std::memory_order_relaxed);
+    }
+    /**
+     * Atomically claim this goroutine for the cycle's root set: true
+     * for exactly one caller per epoch. Parallel mark workers race
+     * here via the eager-liveness hook; the winner (and only the
+     * winner) marks the stack.
+     */
+    bool claimLiveAt(uint64_t epoch)
+    {
+        uint64_t seen = liveEpoch_.load(std::memory_order_relaxed);
+        if (seen == epoch)
+            return false;
+        return liveEpoch_.compare_exchange_strong(
+            seen, epoch, std::memory_order_relaxed,
+            std::memory_order_relaxed);
+    }
 
     /** Whether a deadlock report was already emitted for this g. */
     bool reported() const { return reported_; }
@@ -119,7 +141,7 @@ class Goroutine
     gc::RootList roots_;
     std::vector<gc::Object*> spawnRefs_;
     size_t frameBytes_ = 0;
-    uint64_t liveEpoch_ = 0;
+    std::atomic<uint64_t> liveEpoch_{0};
     bool reported_ = false;
     support::MaskedPtr<void> blockedSema_;
     /** Scratch used by select to record the chosen case. */

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "gc/marker.hpp"
+#include "gc/parallel.hpp"
 #include "golf/collector.hpp"
 #include "support/panic.hpp"
 #include "sync/pool.hpp"
@@ -252,7 +253,7 @@ Runtime::resetForReuse(Goroutine* g)
     g->blockedForever_ = false;
     g->spawnRefs_.clear();
     g->frameBytes_ = 0;
-    g->liveEpoch_ = 0;
+    g->liveEpoch_.store(0, std::memory_order_relaxed);
     g->reported_ = false;
     g->blockedSema_ = support::MaskedPtr<void>();
     g->selectChoice_ = -1;
@@ -627,6 +628,8 @@ Runtime::blockedCandidates() const
 void
 Runtime::runSlice(Goroutine* g)
 {
+    if (stwDepth_ != 0)
+        support::panic("goroutine resumed during stop-the-world");
     if (g->spuriousWake_) {
         // Injected spurious wakeup: the goroutine burns a slice and
         // re-parks. It is NOT resumed — its waiter is still enqueued
@@ -677,11 +680,32 @@ Runtime::runSlice(Goroutine* g)
 }
 
 void
+Runtime::stopTheWorld()
+{
+    if (sched_.current())
+        support::panic("stopTheWorld outside a scheduling safepoint");
+    ++stwDepth_;
+}
+
+void
+Runtime::startTheWorld()
+{
+    if (stwDepth_ <= 0)
+        support::panic("startTheWorld without stopTheWorld");
+    gc::ParallelMarker* pool = heap_.markerPool();
+    if (pool && pool->jobActive())
+        support::panic("startTheWorld with mark workers running");
+    --stwDepth_;
+}
+
+void
 Runtime::collectNow()
 {
     gcRequested_ = false;
     tracer_.record(clock_.now(), TraceEvent::GcStart, 0);
+    stopTheWorld();
     collector_->collect();
+    startTheWorld();
     tracer_.record(clock_.now(), TraceEvent::GcEnd, 0);
     if (oomPending_) {
         // The emergency collection for an injected allocation failure

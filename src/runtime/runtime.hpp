@@ -19,6 +19,7 @@
 #include <memory>
 #include <source_location>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gc/heap.hpp"
@@ -70,6 +71,15 @@ struct Config
      * (see the eager-liveness tests and the gc_mark_micro ablation).
      */
     bool eagerLivenessMarking = false;
+    /**
+     * Mark workers for parallel GC marking and the parallel GOLF
+     * fixpoint (GOMAXPROCS for the collector, the paper's parallel
+     * background marking). 0 = auto (hardware concurrency); 1 = the
+     * exact historical serial behavior; N > 1 = a persistent pool of
+     * N workers with work stealing. Deadlock reports and MemStats
+     * are identical for every value (see DESIGN.md Section 8).
+     */
+    int gcWorkers = 0;
     gc::HeapConfig heap;
     /** Virtual time consumed by one scheduling slice. */
     support::VTime sliceCost = 2 * support::kMicrosecond;
@@ -105,6 +115,16 @@ struct Config
     support::VTime gcNsPerReclaim = 20 * support::kMicrosecond;
     double gcMarkNsPerByte = 1.0;
     double gcMarkNsPerObject = 20.0;
+
+    /** gcWorkers with 0 resolved to the machine's concurrency. */
+    int
+    resolvedGcWorkers() const
+    {
+        if (gcWorkers > 0)
+            return gcWorkers;
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }
 };
 
 /** Outcome of Runtime::run(). */
@@ -182,6 +202,16 @@ class Runtime
 
     /** Request a collection at the next safepoint. */
     void requestGc() { gcRequested_ = true; }
+
+    /// @{ Stop-the-world handshake. Collection always runs at a
+    /// scheduling safepoint, but parallel marking adds real OS
+    /// threads, so the boundary is now explicit: the world is stopped
+    /// for the whole cycle (mark workers may run; goroutines may
+    /// not), and the scheduler enforces it.
+    void stopTheWorld();
+    void startTheWorld();
+    bool stwActive() const { return stwDepth_ > 0; }
+    /// @}
 
     /// @{ Fault injection and invariant checking (chaos mode).
     FaultInjector& faults() { return injector_; }
@@ -336,6 +366,7 @@ class Runtime
     uint64_t nextGoId_ = 1;
 
     bool gcRequested_ = false;
+    int stwDepth_ = 0;
     std::vector<Goroutine*> gcWaiters_;
     bool mainDone_ = false;
     bool running_ = false;

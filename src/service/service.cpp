@@ -137,6 +137,7 @@ runControlledService(const ServiceConfig& config)
     rc.gcMode = config.gcMode;
     rc.recovery = config.recovery;
     rc.detectEveryN = config.detectEveryN;
+    rc.gcWorkers = config.gcWorkers;
     // A service-sized heap: do not collect for every little burst.
     rc.heap.minTriggerBytes = 8 * 1024 * 1024;
 
@@ -173,6 +174,9 @@ runControlledService(const ServiceConfig& config)
           static_cast<double>(ms.numGC);
     out.deadlocksDetected =
         runtime.collector().reports().total();
+    out.gcWorkers = rc.resolvedGcWorkers();
+    for (const auto& cycle : runtime.collector().history())
+        out.parallelMarkJobs += cycle.parallelMarkJobs;
     return out;
 }
 

@@ -46,6 +46,9 @@ struct ServiceConfig
     rt::Recovery recovery = rt::Recovery::Reclaim;
     /** Run detection only every Nth GC cycle (Section 6.2). */
     int detectEveryN = 1;
+    /** GC mark workers (rt::Config::gcWorkers): 0 = auto, 1 =
+     *  serial. Table 2 metrics are identical for every value. */
+    int gcWorkers = 0;
     /** Fraction of requests whose child double-sends (0.0 / 0.10). */
     double leakRate = 0.0;
     int connections = 32;           ///< Concurrent closed-loop conns.
@@ -79,6 +82,10 @@ struct ControlledResult
     // GOLF bookkeeping.
     size_t deadlocksDetected = 0;
     size_t requestsServed = 0;
+    // Collector parallelism (not a Table 2 column; recorded so runs
+    // at different gcWorkers are distinguishable in logs).
+    int gcWorkers = 1;
+    uint64_t parallelMarkJobs = 0;
 };
 
 /** Run the controlled client/server experiment once. */

@@ -1,0 +1,851 @@
+/**
+ * @file
+ * Differential-equivalence suite for parallel marking.
+ *
+ * The contract under test (DESIGN.md Section 8): every observable GC
+ * and GOLF result — the marked set, the survivor set after sweep, the
+ * deadlock report set, every MemStats field — is byte-identical for
+ * every value of rt::Config::gcWorkers. Worker count is allowed to
+ * change only wall-clock timings and the parallelMarkJobs scheduling
+ * counter.
+ *
+ * Layers:
+ *  - WorkDequeTest: the Chase–Lev deque in isolation, including a
+ *    multi-threaded steal stress (every element taken exactly once).
+ *  - ParallelMarkerTest: twin-heap differentials on seeded random
+ *    object graphs — serial marker vs pools of 2/4/8 workers.
+ *  - DeepChainTest: the 1M-node regression for the iterative worklist
+ *    and for hook dispatch at pop (the old eager-liveness hook fired
+ *    inside mark() and nested one C++ frame per daisy-chain link).
+ *  - RuntimeDifferentialTest: full runs (own scenario + microbench
+ *    corpus subset) compared field by field across worker counts.
+ *  - FuzzDifferentialTest: randomized graphs against a GC-free BFS
+ *    oracle, and fault-injected corpus runs (forced GCs, throwing
+ *    reclaims, quarantines) replayed at different worker counts.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "gc/heap.hpp"
+#include "gc/parallel.hpp"
+#include "golf/collector.hpp"
+#include "golf/report.hpp"
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+// ---------------------------------------------------------------------------
+// WorkDequeTest
+// ---------------------------------------------------------------------------
+
+/** Plain unmanaged objects are fine as deque payload. */
+std::vector<std::unique_ptr<gc::Object>>
+makePayload(size_t n)
+{
+    std::vector<std::unique_ptr<gc::Object>> objs;
+    objs.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        objs.push_back(std::make_unique<gc::Object>());
+    return objs;
+}
+
+TEST(WorkDequeTest, OwnerPushPopIsLifo)
+{
+    gc::WorkDeque dq;
+    auto objs = makePayload(100);
+    for (auto& o : objs)
+        dq.push(o.get());
+    for (size_t i = objs.size(); i-- > 0;)
+        EXPECT_EQ(dq.pop(), objs[i].get());
+    EXPECT_EQ(dq.pop(), nullptr);
+    EXPECT_TRUE(dq.looksEmpty());
+}
+
+TEST(WorkDequeTest, StealTakesOldestFirst)
+{
+    gc::WorkDeque dq;
+    auto objs = makePayload(100);
+    for (auto& o : objs)
+        dq.push(o.get());
+    for (size_t i = 0; i < objs.size(); ++i)
+        EXPECT_EQ(dq.steal(), objs[i].get());
+    EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(WorkDequeTest, GrowsPastInitialCapacityWithoutLoss)
+{
+    gc::WorkDeque dq;
+    // Well past the initial ring size, forcing at least two grows.
+    auto objs = makePayload(5000);
+    for (auto& o : objs)
+        dq.push(o.get());
+    std::set<gc::Object*> taken;
+    while (gc::Object* o = dq.pop())
+        taken.insert(o);
+    EXPECT_EQ(taken.size(), objs.size());
+    for (auto& o : objs)
+        EXPECT_TRUE(taken.count(o.get()));
+}
+
+TEST(WorkDequeTest, ResetAllowsReuse)
+{
+    gc::WorkDeque dq;
+    auto objs = makePayload(3000);
+    for (auto& o : objs)
+        dq.push(o.get());
+    while (dq.pop() != nullptr) {
+    }
+    dq.reset();
+    EXPECT_TRUE(dq.looksEmpty());
+    dq.push(objs[0].get());
+    EXPECT_EQ(dq.steal(), objs[0].get());
+    EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WorkDequeTest, ConcurrentStealsTakeEveryObjectExactlyOnce)
+{
+    // One owner pushing (and occasionally popping) against three
+    // thieves. Afterwards the union of everything taken must be an
+    // exact partition of everything pushed — no element lost to a
+    // grow or a CAS duel, none handed out twice.
+    constexpr size_t kObjects = 20000;
+    constexpr int kThieves = 3;
+    gc::WorkDeque dq;
+    auto objs = makePayload(kObjects);
+
+    std::atomic<bool> ownerDone{false};
+    std::vector<std::vector<gc::Object*>> takenBy(kThieves + 1);
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < kThieves; ++t) {
+        thieves.emplace_back([&, t] {
+            auto& mine = takenBy[static_cast<size_t>(t) + 1];
+            for (;;) {
+                if (gc::Object* o = dq.steal())
+                    mine.push_back(o);
+                else if (ownerDone.load(std::memory_order_acquire))
+                    break;
+                else
+                    std::this_thread::yield();
+            }
+            // Final sweep: nothing published after ownerDone.
+            while (gc::Object* o = dq.steal())
+                mine.push_back(o);
+        });
+    }
+
+    auto& ownerTaken = takenBy[0];
+    for (size_t i = 0; i < kObjects; ++i) {
+        dq.push(objs[i].get());
+        // Pop a little from our own end to exercise the bottom-end
+        // CAS duel against concurrent steals.
+        if (i % 7 == 0) {
+            if (gc::Object* o = dq.pop())
+                ownerTaken.push_back(o);
+        }
+    }
+    while (gc::Object* o = dq.pop())
+        ownerTaken.push_back(o);
+    ownerDone.store(true, std::memory_order_release);
+    for (auto& th : thieves)
+        th.join();
+
+    std::map<gc::Object*, int> count;
+    for (const auto& v : takenBy)
+        for (gc::Object* o : v)
+            ++count[o];
+    EXPECT_EQ(count.size(), kObjects);
+    for (auto& o : objs) {
+        ASSERT_EQ(count[o.get()], 1)
+            << "object taken " << count[o.get()] << " times";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random object graphs (shared by the heap-level suites)
+// ---------------------------------------------------------------------------
+
+/** A graph node: traced edges in `out`, plus one edge (`hookNext`)
+ *  that trace() deliberately ignores — only a mark hook can follow
+ *  it, standing in for GOLF's eager-liveness edges. */
+struct Node final : gc::Object
+{
+    explicit Node(size_t nodeId) : id(nodeId) {}
+
+    size_t id;
+    std::vector<Node*> out;
+    Node* hookNext = nullptr;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        for (Node* n : out)
+            m.mark(n);
+    }
+
+    const char* objectName() const override { return "node"; }
+};
+
+struct Graph
+{
+    std::vector<Node*> nodes;
+    std::vector<size_t> roots; ///< Indices into nodes.
+};
+
+/**
+ * Build a seeded random graph: random edges (which freely create
+ * cycles), a root sample, and a disconnected tail of garbage nodes
+ * that nothing points at. Identical (seed, n) always produces the
+ * same shape, so two heaps built from the same inputs are twins
+ * related by node index.
+ */
+Graph
+buildGraph(gc::Heap& heap, uint64_t seed, size_t n)
+{
+    support::Rng rng(seed);
+    Graph g;
+    g.nodes.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        g.nodes.push_back(heap.make<Node>(i));
+    // The last eighth is garbage: no inbound edges, never a root.
+    const size_t connectable = n - n / 8;
+    for (size_t i = 0; i < connectable; ++i) {
+        const size_t degree = rng.nextBelow(4);
+        for (size_t e = 0; e < degree; ++e) {
+            g.nodes[i]->out.push_back(
+                g.nodes[rng.nextBelow(connectable)]);
+        }
+    }
+    const size_t rootCount = 1 + n / 100;
+    for (size_t r = 0; r < rootCount; ++r)
+        g.roots.push_back(rng.nextBelow(connectable));
+    return g;
+}
+
+/** GC-free reachability oracle: plain BFS over the traced edges. */
+std::set<size_t>
+oracleReachable(const Graph& g)
+{
+    std::set<size_t> seen;
+    std::vector<Node*> work;
+    for (size_t r : g.roots) {
+        if (seen.insert(g.nodes[r]->id).second)
+            work.push_back(g.nodes[r]);
+    }
+    while (!work.empty()) {
+        Node* n = work.back();
+        work.pop_back();
+        for (Node* o : n->out) {
+            if (seen.insert(o->id).second)
+                work.push_back(o);
+        }
+    }
+    return seen;
+}
+
+/** Everything one marked cycle observably produced. */
+struct CycleOutcome
+{
+    std::vector<uint8_t> marked; ///< By node index, before sweep.
+    uint64_t objectsMarked = 0;
+    uint64_t bytesMarked = 0;
+    uint64_t pointersTraversed = 0;
+    size_t freed = 0;
+    std::set<size_t> survivors; ///< Node ids alive after sweep.
+};
+
+/** Run one mark+sweep over a fresh twin graph. workers == 0 uses the
+ *  historical standalone marker (Heap::beginCycle); workers >= 1
+ *  uses the pool. */
+CycleOutcome
+runGraphCycle(uint64_t seed, size_t n, int workers)
+{
+    gc::Heap heap;
+    Graph g = buildGraph(heap, seed, n);
+
+    CycleOutcome out;
+    auto finish = [&](gc::Marker& m) {
+        for (Node* node : g.nodes)
+            out.marked.push_back(m.isMarked(node) ? 1 : 0);
+        out.objectsMarked = m.objectsMarked();
+        out.bytesMarked = m.bytesMarked();
+        out.pointersTraversed = m.pointersTraversed();
+        out.freed = heap.sweep(m);
+        heap.forEachObject([&](gc::Object* o) {
+            out.survivors.insert(static_cast<Node*>(o)->id);
+        });
+    };
+
+    if (workers == 0) {
+        gc::Marker m = heap.beginCycle();
+        for (size_t r : g.roots)
+            m.mark(g.nodes[r]);
+        m.drain();
+        finish(m);
+    } else {
+        gc::ParallelMarker& pool = heap.beginCycleParallel(workers);
+        gc::Marker& m = pool.coordinator();
+        for (size_t r : g.roots)
+            m.mark(g.nodes[r]);
+        m.drain();
+        finish(m);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelMarkerTest — twin-heap differentials
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMarkerTest, TwinHeapsMarkIdenticallyAcrossWorkerCounts)
+{
+    for (uint64_t seed : {11ull, 42ull, 1234ull}) {
+        const CycleOutcome serial = runGraphCycle(seed, 6000, 0);
+        for (int workers : {1, 2, 4, 8}) {
+            const CycleOutcome par = runGraphCycle(seed, 6000, workers);
+            EXPECT_EQ(par.marked, serial.marked)
+                << "seed=" << seed << " workers=" << workers;
+            EXPECT_EQ(par.objectsMarked, serial.objectsMarked);
+            EXPECT_EQ(par.bytesMarked, serial.bytesMarked);
+            EXPECT_EQ(par.pointersTraversed, serial.pointersTraversed);
+            EXPECT_EQ(par.freed, serial.freed);
+            EXPECT_EQ(par.survivors, serial.survivors);
+        }
+    }
+}
+
+TEST(ParallelMarkerTest, MarkedSetEqualsOracleReachability)
+{
+    gc::Heap heap;
+    Graph g = buildGraph(heap, 77, 4000);
+    const std::set<size_t> oracle = oracleReachable(g);
+
+    gc::ParallelMarker& pool = heap.beginCycleParallel(4);
+    gc::Marker& m = pool.coordinator();
+    for (size_t r : g.roots)
+        m.mark(g.nodes[r]);
+    m.drain();
+
+    std::set<size_t> marked;
+    for (Node* n : g.nodes) {
+        if (m.isMarked(n))
+            marked.insert(n->id);
+    }
+    EXPECT_EQ(marked, oracle);
+    EXPECT_EQ(m.objectsMarked(), oracle.size());
+}
+
+TEST(ParallelMarkerTest, LargeGraphDispatchesParallelJobs)
+{
+    // Enough reachable objects to overflow the coordinator's serial
+    // drain budget, so the pool must actually wake worker threads.
+    gc::Heap heap;
+    Graph g = buildGraph(heap, 5, 50000);
+    gc::ParallelMarker& pool = heap.beginCycleParallel(4);
+    gc::Marker& m = pool.coordinator();
+    for (size_t r : g.roots)
+        m.mark(g.nodes[r]);
+    m.drain();
+    EXPECT_GT(m.objectsMarked(), 4096u);
+    EXPECT_GE(pool.parallelJobsThisCycle(), 1u);
+    EXPECT_FALSE(pool.jobActive());
+}
+
+TEST(ParallelMarkerTest, MarkHookFiresExactlyOncePerMarkedObject)
+{
+    // The CAS on the mark epoch elects exactly one greyer per object,
+    // so the hook (fired at pop) runs once per object even when four
+    // workers race over a cyclic graph.
+    constexpr size_t kNodes = 30000;
+    gc::Heap heap;
+    Graph g = buildGraph(heap, 9, kNodes);
+
+    std::vector<std::atomic<uint32_t>> pops(kNodes);
+    gc::ParallelMarker& pool = heap.beginCycleParallel(4);
+    pool.setMarkHook([&pops](gc::Marker&, gc::Object* o) {
+        pops[static_cast<Node*>(o)->id].fetch_add(
+            1, std::memory_order_relaxed);
+    });
+    gc::Marker& m = pool.coordinator();
+    for (size_t r : g.roots)
+        m.mark(g.nodes[r]);
+    m.drain();
+
+    uint64_t totalPops = 0;
+    for (size_t i = 0; i < kNodes; ++i) {
+        const uint32_t c = pops[i].load(std::memory_order_relaxed);
+        ASSERT_LE(c, 1u) << "node " << i << " popped " << c << " times";
+        ASSERT_EQ(c == 1, m.isMarked(g.nodes[i]))
+            << "hook fired iff marked, node " << i;
+        totalPops += c;
+    }
+    EXPECT_EQ(totalPops, m.objectsMarked());
+}
+
+TEST(ParallelMarkerTest, HookDiscoveredEdgesReachHookOnlyNodes)
+{
+    // hookNext edges are invisible to trace(); only the hook marks
+    // them — the shape of GOLF's eager-liveness extension. A pool of
+    // 4 must reach exactly the same closure as the serial marker.
+    auto run = [](int workers) {
+        gc::Heap heap;
+        Graph g = buildGraph(heap, 21, 8000);
+        support::Rng rng(99);
+        // Chain half the garbage tail behind random reachable nodes
+        // via hook-only edges.
+        const size_t firstGarbage = g.nodes.size() - g.nodes.size() / 8;
+        for (size_t i = firstGarbage;
+             i < firstGarbage + g.nodes.size() / 16; ++i) {
+            g.nodes[rng.nextBelow(firstGarbage)]->hookNext = g.nodes[i];
+        }
+        gc::MarkHook hook = [](gc::Marker& m, gc::Object* o) {
+            if (Node* n = static_cast<Node*>(o)->hookNext)
+                m.mark(n);
+        };
+        std::vector<uint8_t> marked;
+        if (workers == 0) {
+            gc::Marker m = heap.beginCycle();
+            m.setMarkHook(hook);
+            for (size_t r : g.roots)
+                m.mark(g.nodes[r]);
+            m.drain();
+            for (Node* n : g.nodes)
+                marked.push_back(m.isMarked(n) ? 1 : 0);
+        } else {
+            gc::ParallelMarker& pool = heap.beginCycleParallel(workers);
+            pool.setMarkHook(hook);
+            gc::Marker& m = pool.coordinator();
+            for (size_t r : g.roots)
+                m.mark(g.nodes[r]);
+            m.drain();
+            for (Node* n : g.nodes)
+                marked.push_back(m.isMarked(n) ? 1 : 0);
+        }
+        return marked;
+    };
+    const auto serial = run(0);
+    EXPECT_GT(std::count(serial.begin(), serial.end(), 1), 0);
+    EXPECT_EQ(run(4), serial);
+    EXPECT_EQ(run(2), serial);
+}
+
+TEST(ParallelMarkerTest, FinalizerSeenAggregatesAcrossViews)
+{
+    gc::Heap heap;
+    Graph g = buildGraph(heap, 3, 20000);
+    // A finalizer deep in the graph, likely traced by a non-zero
+    // worker view; the aggregate accessor must still see it.
+    const std::set<size_t> reach = oracleReachable(g);
+    ASSERT_FALSE(reach.empty());
+    heap.setFinalizer(g.nodes[*reach.rbegin()], [] {});
+
+    gc::ParallelMarker& pool = heap.beginCycleParallel(4);
+    gc::Marker& m = pool.coordinator();
+    EXPECT_FALSE(m.finalizerSeen());
+    for (size_t r : g.roots)
+        m.mark(g.nodes[r]);
+    m.drain();
+    EXPECT_TRUE(m.finalizerSeen());
+    m.clearFinalizerSeen();
+    EXPECT_FALSE(m.finalizerSeen());
+}
+
+TEST(ParallelMarkerTest, PoolIsReusableAcrossCycles)
+{
+    gc::Heap heap;
+    Graph g = buildGraph(heap, 8, 10000);
+    uint64_t firstMarked = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        gc::ParallelMarker& pool = heap.beginCycleParallel(4);
+        gc::Marker& m = pool.coordinator();
+        for (size_t r : g.roots)
+            m.mark(g.nodes[r]);
+        m.drain();
+        if (cycle == 0)
+            firstMarked = m.objectsMarked();
+        else
+            EXPECT_EQ(m.objectsMarked(), firstMarked);
+        heap.sweep(m);
+        // After the first sweep only survivors remain; re-collecting
+        // the closed survivor set frees nothing further.
+        if (cycle > 0) {
+            EXPECT_EQ(heap.liveObjects(), firstMarked);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DeepChainTest — the 1M-node iterative-worklist regression
+// ---------------------------------------------------------------------------
+
+/** Lean two-pointer node so a million of them stay cheap. */
+struct ChainNode final : gc::Object
+{
+    ChainNode* next = nullptr;     ///< Traced.
+    ChainNode* hookNext = nullptr; ///< Hook-only (eager liveness).
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(next);
+    }
+};
+
+constexpr size_t kChain = 1000000;
+
+/** Build a kChain-long chain linked through the given member. */
+ChainNode*
+buildChain(gc::Heap& heap, ChainNode* ChainNode::*link)
+{
+    ChainNode* head = heap.make<ChainNode>();
+    ChainNode* cur = head;
+    for (size_t i = 1; i < kChain; ++i) {
+        ChainNode* n = heap.make<ChainNode>();
+        cur->*link = n;
+        cur = n;
+    }
+    return head;
+}
+
+TEST(DeepChainTest, MillionNodeTraceChainSerial)
+{
+    gc::Heap heap;
+    ChainNode* head = buildChain(heap, &ChainNode::next);
+    gc::Marker m = heap.beginCycle();
+    m.mark(head);
+    m.drain(); // Would overflow the C++ stack if drain recursed.
+    EXPECT_EQ(m.objectsMarked(), kChain);
+    EXPECT_EQ(heap.sweep(m), 0u);
+}
+
+TEST(DeepChainTest, MillionNodeHookDaisyChainSerial)
+{
+    // The regression proper: a daisy chain reachable only through
+    // the mark hook. The old implementation dispatched the hook
+    // inside mark(), nesting one native frame per link — a chain
+    // this long crashed long before completing. Hook-at-pop keeps
+    // stack depth O(1).
+    gc::Heap heap;
+    ChainNode* head = buildChain(heap, &ChainNode::hookNext);
+    gc::Marker m = heap.beginCycle();
+    m.setMarkHook([](gc::Marker& mm, gc::Object* o) {
+        if (ChainNode* n = static_cast<ChainNode*>(o)->hookNext)
+            mm.mark(n);
+    });
+    m.mark(head);
+    m.drain();
+    EXPECT_EQ(m.objectsMarked(), kChain);
+    EXPECT_EQ(heap.sweep(m), 0u);
+}
+
+TEST(DeepChainTest, MillionNodeChainParallelPool)
+{
+    // A chain has no width to parallelize, which makes it the worst
+    // case for the pool: continuous donate/steal pressure with one
+    // live edge. Must still terminate and mark everything.
+    gc::Heap heap;
+    ChainNode* head = buildChain(heap, &ChainNode::next);
+    gc::ParallelMarker& pool = heap.beginCycleParallel(4);
+    gc::Marker& m = pool.coordinator();
+    m.mark(head);
+    m.drain();
+    EXPECT_EQ(m.objectsMarked(), kChain);
+    EXPECT_EQ(m.bytesMarked(), kChain * sizeof(ChainNode));
+    EXPECT_EQ(heap.sweep(m), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeDifferentialTest — full runs across gcWorkers
+// ---------------------------------------------------------------------------
+
+/** Every deterministic observable of one full runtime run. */
+struct RunSnapshot
+{
+    std::vector<std::string> reportKeys; ///< Sorted dedup keys.
+    gc::MemStats ms;
+    std::vector<std::string> cycleSignatures;
+    int resolvedWorkers = 0;
+};
+
+/** Deterministic per-cycle fields only: wall-clock phase timings and
+ *  the parallelMarkJobs scheduling counter are excluded by design. */
+std::string
+signatureOf(const detect::CycleStats& cs)
+{
+    std::ostringstream os;
+    os << cs.cycle << '|' << cs.detectionRan << '|'
+       << cs.markIterations << '|' << cs.pointersTraversed << '|'
+       << cs.objectsMarked << '|' << cs.bytesMarked << '|'
+       << cs.detectChecks << '|' << cs.modeledMarkNs << '|'
+       << cs.modeledStwNs << '|' << cs.freedObjects << '|'
+       << cs.deadlocksFound << '|' << cs.reclaimed << '|'
+       << cs.quarantined;
+    return os.str();
+}
+
+void
+expectSameMemStats(const gc::MemStats& a, const gc::MemStats& b,
+                   const std::string& what)
+{
+    EXPECT_EQ(a.heapAlloc, b.heapAlloc) << what;
+    EXPECT_EQ(a.heapInuse, b.heapInuse) << what;
+    EXPECT_EQ(a.heapObjects, b.heapObjects) << what;
+    EXPECT_EQ(a.stackInuse, b.stackInuse) << what;
+    EXPECT_EQ(a.totalAlloc, b.totalAlloc) << what;
+    EXPECT_EQ(a.totalFreed, b.totalFreed) << what;
+    EXPECT_EQ(a.pauseTotalNs, b.pauseTotalNs) << what;
+    EXPECT_EQ(a.numGC, b.numGC) << what;
+    EXPECT_EQ(a.gcCpuFraction, b.gcCpuFraction) << what;
+}
+
+/** A goroutine that blocks forever on a channel only it can reach —
+ *  the canonical partial deadlock. */
+Go
+orphanReceiver(Runtime* rtp)
+{
+    gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+    co_await chan::recv(ch.get());
+    co_return;
+}
+
+/** Blocked-but-live: parked on a channel main still holds. */
+Go
+liveReceiver(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+/** Mixed scenario: leaks, live blocked goroutines, garbage, several
+ *  forced collections. */
+Go
+scenarioMain(Runtime* rtp)
+{
+    // Garbage: a list only this frame holds, dropped before the GC.
+    {
+        gc::Local<Channel<int>> junk(makeChan<int>(*rtp, 16));
+        for (int i = 0; i < 16; ++i)
+            co_await chan::send(junk.get(), i);
+    }
+    // Three orphaned receivers (deadlocks to detect and reclaim).
+    for (int i = 0; i < 3; ++i)
+        GOLF_GO(*rtp, orphanReceiver, rtp);
+    // Five live receivers parked on a channel we keep.
+    gc::Local<Channel<int>> held(makeChan<int>(*rtp, 0));
+    for (int i = 0; i < 5; ++i)
+        GOLF_GO(*rtp, liveReceiver, held.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_await rt::gcNow();
+    co_await rt::gcNow();
+    // Release the live ones; their frames become garbage.
+    for (int i = 0; i < 5; ++i)
+        co_await chan::send(held.get(), i);
+    co_await rt::sleepFor(kMillisecond);
+    co_await rt::gcNow();
+    co_return;
+}
+
+RunSnapshot
+runScenario(int gcWorkers)
+{
+    rt::Config cfg;
+    cfg.seed = 1337;
+    cfg.gcMode = rt::GcMode::Golf;
+    cfg.gcWorkers = gcWorkers;
+    Runtime rt(cfg);
+    rt::RunResult rr = rt.runMain(scenarioMain, &rt);
+    EXPECT_TRUE(rr.ok());
+
+    RunSnapshot snap;
+    for (const auto& r : rt.collector().reports().all())
+        snap.reportKeys.push_back(r.dedupKey());
+    std::sort(snap.reportKeys.begin(), snap.reportKeys.end());
+    snap.ms = rt.memStats();
+    for (const auto& cs : rt.collector().history()) {
+        snap.cycleSignatures.push_back(signatureOf(cs));
+        EXPECT_EQ(cs.gcWorkers, cfg.resolvedGcWorkers());
+    }
+    snap.resolvedWorkers = cfg.resolvedGcWorkers();
+    return snap;
+}
+
+TEST(RuntimeDifferentialTest, ScenarioIdenticalAcrossWorkerCounts)
+{
+    const RunSnapshot base = runScenario(1);
+    EXPECT_FALSE(base.reportKeys.empty());
+    EXPECT_FALSE(base.cycleSignatures.empty());
+    for (int workers : {2, 4, 8}) {
+        const RunSnapshot s = runScenario(workers);
+        const std::string what = "gcWorkers=" + std::to_string(workers);
+        EXPECT_EQ(s.reportKeys, base.reportKeys) << what;
+        EXPECT_EQ(s.cycleSignatures, base.cycleSignatures) << what;
+        expectSameMemStats(s.ms, base.ms, what);
+        EXPECT_EQ(s.resolvedWorkers, workers);
+    }
+}
+
+TEST(RuntimeDifferentialTest, AutoWorkerCountResolvesToHardware)
+{
+    rt::Config cfg; // gcWorkers defaults to 0 = auto.
+    const unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(cfg.resolvedGcWorkers(),
+              hw == 0 ? 1 : static_cast<int>(hw));
+    cfg.gcWorkers = 3;
+    EXPECT_EQ(cfg.resolvedGcWorkers(), 3);
+}
+
+TEST(RuntimeDifferentialTest, CorpusSubsetIdenticalAcrossWorkerCounts)
+{
+    using microbench::HarnessConfig;
+    using microbench::Registry;
+    using microbench::RunOutcome;
+    using microbench::runPatternOnce;
+
+    auto deadlocking = Registry::instance().deadlocking();
+    auto corrects = Registry::instance().corrects();
+    ASSERT_GE(deadlocking.size(), 3u);
+    ASSERT_GE(corrects.size(), 1u);
+    std::vector<const microbench::Pattern*> subset(
+        deadlocking.begin(), deadlocking.begin() + 3);
+    subset.push_back(corrects.front());
+
+    for (const auto* p : subset) {
+        HarnessConfig cfg;
+        cfg.seed = 4242;
+        cfg.procs = 4;
+        cfg.gcWorkers = 1;
+        const RunOutcome base = runPatternOnce(*p, cfg);
+        for (int workers : {4, 8}) {
+            cfg.gcWorkers = workers;
+            const RunOutcome out = runPatternOnce(*p, cfg);
+            const std::string what =
+                p->name + " gcWorkers=" + std::to_string(workers);
+            EXPECT_EQ(out.detectedPerLabel, base.detectedPerLabel)
+                << what;
+            EXPECT_EQ(out.individualReports, base.individualReports)
+                << what;
+            EXPECT_EQ(out.unexpectedReports, base.unexpectedReports)
+                << what;
+            EXPECT_EQ(out.gcCycles, base.gcCycles) << what;
+            EXPECT_EQ(out.runtimeFailure, base.runtimeFailure) << what;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FuzzDifferentialTest — randomized property checks
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDifferentialTest, RandomGraphSweepMatchesBfsOracle)
+{
+    // Property over random graphs: after a parallel mark + sweep,
+    // the survivor set equals the GC-free BFS closure — no live
+    // object swept, no dead object retained — at every worker count.
+    support::Rng meta(20260805);
+    for (int iter = 0; iter < 12; ++iter) {
+        const uint64_t seed = meta.next();
+        const size_t n = 500 + meta.nextBelow(7000);
+        const int workers = 2 << meta.nextBelow(3); // 2, 4 or 8
+
+        gc::Heap heap;
+        Graph g = buildGraph(heap, seed, n);
+        const std::set<size_t> oracle = oracleReachable(g);
+
+        gc::ParallelMarker& pool = heap.beginCycleParallel(workers);
+        gc::Marker& m = pool.coordinator();
+        for (size_t r : g.roots)
+            m.mark(g.nodes[r]);
+        m.drain();
+        const size_t freed = heap.sweep(m);
+
+        std::set<size_t> survivors;
+        heap.forEachObject([&](gc::Object* o) {
+            survivors.insert(static_cast<Node*>(o)->id);
+        });
+        EXPECT_EQ(survivors, oracle)
+            << "iter=" << iter << " seed=" << seed << " n=" << n
+            << " workers=" << workers;
+        EXPECT_EQ(freed, n - oracle.size());
+    }
+}
+
+TEST(FuzzDifferentialTest, FaultInjectedRunsIdenticalAcrossWorkers)
+{
+    // Chaos differential: forced collections, throwing reclaims and
+    // injected panics exercise GC entry from every odd state. The
+    // fault schedule itself is virtual-clock driven, so it — and the
+    // report set, and the quarantine count — must not depend on
+    // gcWorkers either.
+    using microbench::HarnessConfig;
+    using microbench::Registry;
+    using microbench::RunOutcome;
+    using microbench::runPatternOnce;
+
+    auto deadlocking = Registry::instance().deadlocking();
+    ASSERT_GE(deadlocking.size(), 2u);
+
+    for (size_t pi = 0; pi < 2; ++pi) {
+        const auto* p = deadlocking[pi];
+        for (uint64_t seed : {7ull, 991ull}) {
+            HarnessConfig cfg;
+            cfg.seed = seed;
+            cfg.procs = 2;
+            cfg.verifyInvariants = true;
+            cfg.faults.enabled = true;
+            cfg.faults.forceGcProb = 0.20;
+            cfg.faults.reclaimFailureProb = 0.30;
+            cfg.faults.panicProb = 0.01;
+            cfg.faults.spuriousWakeupProb = 0.05;
+            cfg.faults.delayedWakeupProb = 0.05;
+
+            cfg.gcWorkers = 1;
+            const RunOutcome base = runPatternOnce(*p, cfg);
+            EXPECT_TRUE(base.invariantViolations.empty())
+                << p->name << " seed=" << seed << " serial: "
+                << (base.invariantViolations.empty()
+                        ? ""
+                        : base.invariantViolations.front());
+
+            cfg.gcWorkers = 4;
+            const RunOutcome out = runPatternOnce(*p, cfg);
+            const std::string what =
+                p->name + " seed=" + std::to_string(seed);
+            EXPECT_EQ(out.faultTrace, base.faultTrace) << what;
+            EXPECT_EQ(out.faultsInjected, base.faultsInjected) << what;
+            EXPECT_EQ(out.individualReports, base.individualReports)
+                << what;
+            EXPECT_EQ(out.detectedPerLabel, base.detectedPerLabel)
+                << what;
+            EXPECT_EQ(out.quarantined, base.quarantined) << what;
+            EXPECT_EQ(out.containedPanics, base.containedPanics)
+                << what;
+            EXPECT_TRUE(out.invariantViolations.empty()) << what;
+            EXPECT_EQ(out.runtimeFailure, base.runtimeFailure) << what;
+        }
+    }
+}
+
+} // namespace
+} // namespace golf

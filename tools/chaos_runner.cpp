@@ -58,6 +58,7 @@ struct Options
     std::string match;
     int perSeed = 6;
     std::vector<int> procs{1, 2, 4};
+    int gcWorkers = 0; // 0 = auto (hardware concurrency)
     rt::FaultConfig faults;
     bool repro = false;
     bool race = false;
@@ -125,6 +126,11 @@ parseArgs(int argc, char** argv, Options& opt)
             std::string tok;
             while (std::getline(ss, tok, ','))
                 opt.procs.push_back(std::atoi(tok.c_str()));
+        } else if (arg == "-gc-workers") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.gcWorkers = std::atoi(v);
         } else if (arg == "-panic-prob") {
             if (!nextD(opt.faults.panicProb))
                 return false;
@@ -203,6 +209,7 @@ main(int argc, char** argv)
             stderr,
             "usage: chaos_runner [-seeds n] [-seed-base n] "
             "[-match re] [-per-seed n] [-procs 1,2,4] "
+            "[-gc-workers n] "
             "[-<kind>-prob p ...] [-repro] [-race] [-v]\n");
         return 2;
     }
@@ -235,6 +242,7 @@ main(int argc, char** argv)
             HarnessConfig cfg;
             cfg.procs = opt.procs[rot % opt.procs.size()];
             cfg.seed = seed;
+            cfg.gcWorkers = opt.gcWorkers;
             cfg.faults = opt.faults;
             cfg.verifyInvariants = true;
             cfg.race = opt.race;

@@ -20,6 +20,8 @@
  *                       analyzer; prints one analysis-stats line per
  *                       benchmark and every deduplicated report
  *     -seed <n>         master seed (default 1)
+ *     -gc-workers <n>   GC mark workers (0 = auto, 1 = serial;
+ *                       results are identical for every value)
  *
  * Coverage mode prints a Table 1-style aggregate; trace lines for
  * detected deadlocks use the runtime's "partial deadlock!" format.
@@ -51,6 +53,7 @@ struct Options
     bool perf = false;
     bool race = false;
     uint64_t seed = 1;
+    int gcWorkers = 0; // 0 = auto (hardware concurrency)
 };
 
 bool
@@ -94,6 +97,11 @@ parseArgs(int argc, char** argv, Options& opt)
             if (!v)
                 return false;
             opt.seed = static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-gc-workers") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.gcWorkers = std::atoi(v);
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return false;
@@ -140,6 +148,7 @@ runCoverage(const Options& opt)
         for (int procs : opt.procs) {
             HarnessConfig cfg;
             cfg.procs = procs;
+            cfg.gcWorkers = opt.gcWorkers;
             cfg.seed = opt.seed * 7919 +
                        static_cast<uint64_t>(procs);
             auto sites = runPatternRepeated(*p, cfg, opt.repeats);
@@ -232,6 +241,7 @@ runPerf(const Options& opt)
             for (int i = 0; i < opt.repeats; ++i) {
                 HarnessConfig cfg;
                 cfg.procs = 1;
+                cfg.gcWorkers = opt.gcWorkers;
                 cfg.seed = opt.seed + static_cast<uint64_t>(i);
                 cfg.gcMode = mode;
                 auto out = runPatternOnce(*p, cfg);
@@ -287,6 +297,7 @@ runRace(const Options& opt)
             for (int i = 0; i < opt.repeats; ++i) {
                 HarnessConfig cfg;
                 cfg.procs = procs;
+                cfg.gcWorkers = opt.gcWorkers;
                 cfg.seed = opt.seed * 7919 +
                            static_cast<uint64_t>(procs) * 131 +
                            static_cast<uint64_t>(i);

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Sanitizer tier: build and run the full test suite under ASan and
-# UBSan (GOLF_SANITIZE=address / =undefined). Each sanitizer gets its
+# Sanitizer tier: build and run the test suite under ASan and UBSan
+# (GOLF_SANITIZE=address / =undefined), plus the parallel-marking
+# suite under TSan (GOLF_SANITIZE=thread). Each sanitizer gets its
 # own build tree so the instrumented objects never mix with the
 # default build.
 #
-# Usage: tools/run_sanitizers.sh [address] [undefined]
-#   (no arguments = both tiers)
+# The thread tier runs `ctest -L parallel` only: the rest of the
+# runtime is single-threaded by construction, so TSan has nothing to
+# check there — the mark-worker pool (Chase-Lev deques, termination
+# protocol, CAS mark words) is the one genuinely concurrent subsystem.
+#
+# Usage: tools/run_sanitizers.sh [address] [undefined] [thread]
+#   (no arguments = all three tiers)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc)}"
 tiers=("$@")
 if [ ${#tiers[@]} -eq 0 ]; then
-    tiers=(address undefined)
+    tiers=(address undefined thread)
 fi
 
 # Quarantined goroutines abandon their frames by design; see the
@@ -26,6 +32,11 @@ for san in "${tiers[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DGOLF_SANITIZE="$san" >/dev/null
     cmake --build "$bdir" -j "$jobs"
-    ctest --test-dir "$bdir" --output-on-failure -j "$jobs"
+    if [ "$san" = thread ]; then
+        ctest --test-dir "$bdir" --output-on-failure -j "$jobs" \
+            -L parallel
+    else
+        ctest --test-dir "$bdir" --output-on-failure -j "$jobs"
+    fi
 done
 echo "sanitizer tiers passed: ${tiers[*]}"
