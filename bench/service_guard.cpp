@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Goodput across the recovery ladder under a 10% leak rate, emitted
+ * as BENCH_service_guard.json.
+ *
+ * The experiment: the guarded service (src/service/guard_service.*)
+ * runs once leak-free at the Detect rung — the baseline nothing can
+ * beat — then at leakRate=0.10 on every rung of the ladder. On the
+ * Detect rung the leaked children and their 100K-entry maps pile up
+ * for the whole run; Cancel delivers DeadlockErrors that the children
+ * recover, freeing their closures; Reclaim unwinds them from the
+ * collector; Quarantine escalates cancel -> reclaim. The JSON records
+ * goodput (OK requests after warmup per second) per rung plus the
+ * ratio against the leak-free baseline.
+ *
+ * Acceptance (wired into `bench_service_guard_smoke`): the Cancel
+ * rung must sustain >= 90% of leak-free goodput, and every rung must
+ * report zero resurrections and a clean run. Deterministic per seed.
+ *
+ * Usage:
+ *   service_guard [--smoke]
+ * Environment:
+ *   GOLF_GUARD_WARMUP_S    warmup seconds    (default 2)
+ *   GOLF_GUARD_DURATION_S  measured seconds  (default 10; smoke 6)
+ *   GOLF_GUARD_SEED        master seed       (default 1)
+ *   GOLF_RESULTS_DIR       where the JSON goes (default .)
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/guard_service.hpp"
+
+using namespace golf;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    rt::Recovery recovery;
+    double leakRate;
+    service::GuardResult r;
+};
+
+service::GuardResult
+runOnce(rt::Recovery recovery, double leakRate, uint64_t seed,
+        support::VTime warmup, support::VTime duration)
+{
+    service::GuardServiceConfig cfg;
+    cfg.recovery = recovery;
+    cfg.leakRate = leakRate;
+    cfg.seed = seed;
+    cfg.warmup = warmup;
+    cfg.duration = duration;
+    return service::runGuardService(cfg);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const uint64_t seed =
+        static_cast<uint64_t>(bench::envInt("GOLF_GUARD_SEED", 1));
+    const support::VTime warmup =
+        static_cast<support::VTime>(
+            bench::envInt("GOLF_GUARD_WARMUP_S", 2)) *
+        support::kSecond;
+    const support::VTime duration =
+        static_cast<support::VTime>(bench::envInt(
+            "GOLF_GUARD_DURATION_S", smoke ? 6 : 10)) *
+        support::kSecond;
+
+    std::printf("service_guard: leak-free baseline...\n");
+    service::GuardResult base =
+        runOnce(rt::Recovery::Detect, 0.0, seed, warmup, duration);
+
+    std::vector<Row> rows;
+    for (rt::Recovery rung :
+         {rt::Recovery::Detect, rt::Recovery::Cancel,
+          rt::Recovery::Reclaim, rt::Recovery::Quarantine}) {
+        std::printf("service_guard: rung=%s leak=0.10...\n",
+                    rt::recoveryName(rung));
+        rows.push_back(Row{rt::recoveryName(rung), rung, 0.10,
+                           runOnce(rung, 0.10, seed, warmup,
+                                   duration)});
+    }
+
+    const std::string path =
+        bench::csvPath("BENCH_service_guard.json");
+    std::ofstream out(path);
+    out << "{\n  \"baseline_goodput_rps\": " << base.goodputRps
+        << ",\n  \"seed\": " << seed << ",\n  \"rungs\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        const double ratio = base.goodputRps > 0
+            ? row.r.goodputRps / base.goodputRps : 0.0;
+        out << "    {\"rung\": \"" << row.name
+            << "\", \"leak_rate\": " << row.leakRate
+            << ", \"goodput_rps\": " << row.r.goodputRps
+            << ", \"goodput_vs_baseline\": " << ratio
+            << ", \"deadlocks_detected\": " << row.r.deadlocksDetected
+            << ", \"cancels\": " << row.r.metrics.cancelled
+            << ", \"recovered\": " << row.r.metrics.recovered
+            << ", \"shed\": " << row.r.metrics.shed
+            << ", \"retried\": " << row.r.metrics.retried
+            << ", \"timed_out\": " << row.r.metrics.timedOut
+            << ", \"resurrections\": " << row.r.metrics.resurrections
+            << ", \"watchdog_triggers\": "
+            << row.r.metrics.watchdogTriggers
+            << ", \"heap_inuse\": " << row.r.heapInuse
+            << ", \"num_gc\": " << row.r.numGC << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+
+    std::printf("\n%-12s %12s %8s %10s %10s %8s %12s\n", "rung",
+                "goodput_rps", "vs_base", "detected", "recovered",
+                "shed", "heap_inuse");
+    bool ok = !base.failed && base.goodputRps > 0;
+    double cancelRatio = 0;
+    for (const Row& row : rows) {
+        const double ratio = base.goodputRps > 0
+            ? row.r.goodputRps / base.goodputRps : 0.0;
+        if (row.recovery == rt::Recovery::Cancel)
+            cancelRatio = ratio;
+        std::printf("%-12s %12.2f %7.1f%% %10zu %10zu %8zu %12llu\n",
+                    row.name.c_str(), row.r.goodputRps, 100 * ratio,
+                    row.r.deadlocksDetected, row.r.metrics.recovered,
+                    row.r.metrics.shed,
+                    static_cast<unsigned long long>(row.r.heapInuse));
+        if (row.r.failed) {
+            std::fprintf(stderr, "FAIL rung %s: run panicked\n",
+                         row.name.c_str());
+            ok = false;
+        }
+        if (row.r.metrics.resurrections != 0) {
+            std::fprintf(stderr,
+                         "FAIL rung %s: %zu resurrections "
+                         "(false positives)\n",
+                         row.name.c_str(),
+                         row.r.metrics.resurrections);
+            ok = false;
+        }
+    }
+    if (cancelRatio < 0.90) {
+        std::fprintf(stderr,
+                     "FAIL cancel-rung goodput %.1f%% of baseline "
+                     "(need >= 90%%)\n",
+                     100 * cancelRatio);
+        ok = false;
+    }
+    std::printf("results: %s\n%s\n", path.c_str(),
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

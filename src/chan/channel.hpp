@@ -91,6 +91,8 @@ class Channel : public gc::Object
     OpStatus
     trySend(T& v)
     {
+        if (poisoned())
+            rt_.onResurrection(this, "chan send");
         if (closed_)
             return OpStatus::Closed;
         if (Waiter<T>* w = popRecvWaiter()) {
@@ -119,6 +121,8 @@ class Channel : public gc::Object
     OpStatus
     tryRecv(T* out, bool* ok)
     {
+        if (poisoned())
+            rt_.onResurrection(this, "chan recv");
         if (!buf_.empty()) {
             // Buffered receive: acquire the channel's clock (the
             // matching send released into it).
@@ -164,6 +168,8 @@ class Channel : public gc::Object
     void
     doClose()
     {
+        if (poisoned())
+            rt_.onResurrection(this, "chan close");
         if (closed_)
             support::goPanic("close of closed channel");
         closed_ = true;
@@ -248,6 +254,13 @@ class Channel : public gc::Object
                 w->node.unlink();
                 continue;
             }
+            if (w->g && w->g->cancelPending()) {
+                // A DeadlockError was delivered while this waiter
+                // was parked: the goroutine is already Runnable and
+                // throws on resume. Never hand it a value.
+                w->node.unlink();
+                continue;
+            }
             return w;
         }
         return nullptr;
@@ -291,13 +304,15 @@ class Channel : public gc::Object
                 s == rt::GStatus::Deadlocked ||
                 s == rt::GStatus::PendingReclaim ||
                 s == rt::GStatus::Quarantined ||
-                (s == rt::GStatus::Runnable && w->g->spuriousWake());
+                (s == rt::GStatus::Runnable &&
+                 (w->g->spuriousWake() || w->g->cancelPending()));
             if (!ok) {
                 bad = "waiter whose goroutine is neither parked nor "
                       "pending unwind";
                 return;
             }
             if (!w->sel && s != rt::GStatus::Quarantined &&
+                !w->g->cancelPending() &&
                 w->g->waitReason() != reason) {
                 bad = "waiter whose goroutine reports a different "
                       "wait reason";
@@ -372,6 +387,10 @@ class SendOp
     void
     await_resume()
     {
+        // Cancel wins over any concurrent wake: the thrown
+        // DeadlockError unwinds the frame, and ~Waiter unlinks us
+        // from the send queue.
+        rt::checkCancel();
         if (panicClosed_ || waiter_.closedWake)
             support::goPanic("send on closed channel");
     }
@@ -422,6 +441,7 @@ class RecvOp
     RecvResult<T>
     await_resume()
     {
+        rt::checkCancel();
         if (!immediate_)
             ok_ = waiter_.success;
         return RecvResult<T>{std::move(value_), ok_};

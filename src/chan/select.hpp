@@ -357,6 +357,9 @@ class SelectOp
     int
     await_resume()
     {
+        // Cancel wins over any concurrent claim; the per-case state
+        // dtors unlink every registered waiter during unwind.
+        rt::checkCancel();
         if (suspended_) {
             chosen_ = state_.chosenIndex;
             forEachCase([](auto& spec, auto& st, int) {
@@ -435,7 +438,9 @@ class SelectForeverOp
                  rt::WaitReason::SelectNoCases, {}, true, site_);
     }
 
-    void await_resume() const noexcept {}
+    // Not noexcept: a zero-case select can only resume through a
+    // cancel delivery (nothing else ever wakes it).
+    void await_resume() const { rt::checkCancel(); }
 
   private:
     rt::Site site_;

@@ -64,6 +64,19 @@ class Object
     /** Whether a finalizer is attached (paper Section 5.5). */
     bool hasFinalizer() const { return hasFinalizer_; }
 
+    /// @{ Resurrection poisoning (guard subsystem, DESIGN.md §9).
+    /// Set on the B(g) objects of a goroutine declared deadlocked:
+    /// any later operation on a poisoned object is a GOLF false
+    /// positive — the paper's unsafe.Pointer hazard — which the
+    /// runtime detects and heals instead of corrupting wait queues.
+    /// By GOLF soundness true positives' B(g) objects are
+    /// unreachable and swept the same cycle, so the flag outlives
+    /// the cycle only on an actual false positive.
+    bool poisoned() const { return poisoned_; }
+    void setPoisoned() { poisoned_ = true; }
+    void clearPoisoned() { poisoned_ = false; }
+    /// @}
+
   private:
     friend class Heap;
     friend class Marker;
@@ -81,6 +94,7 @@ class Object
      */
     std::atomic<uint64_t> markEpoch_{0};
     bool hasFinalizer_ = false;
+    bool poisoned_ = false;       ///< Resurrection tripwire (§9).
 };
 
 } // namespace golf::gc

@@ -138,17 +138,46 @@ Collector::handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
             std::fprintf(stderr, "%s\n", report.str().c_str());
     }
 
-    if (rt_.config().recovery == rt::Recovery::ReportOnly) {
-        // Monitoring mode (RQ1(b)): keep the goroutine and its memory
-        // alive forever; the Deadlocked status suppresses re-reports.
-        g->setStatus(rt::GStatus::Deadlocked);
+    const rt::Recovery recovery = rt_.config().recovery;
+
+    // Cancel-capable rungs deliver a DeadlockError while attempts
+    // remain: the goroutine rejoins the run queue, so its closure
+    // must survive this cycle's sweep. No poisoning — nothing about
+    // the goroutine is torn down yet.
+    if ((recovery == rt::Recovery::Cancel ||
+         recovery == rt::Recovery::Quarantine) &&
+        g->cancelDeliveries() < rt_.config().guard.cancelAttempts) {
+        std::string msg =
+            std::string("deadlock: cancelled while blocked [") +
+            rt::waitReasonName(g->waitReason()) + "] at " +
+            g->blockSite().str();
+        log_.addCancel(g->id(), g->waitReason(),
+                       g->cancelDeliveries() + 1, rt_.clock().now());
+        rt_.deliverCancel(g, msg);
         markGoroutine(m, g);
         m.drain();
+        ++cs.cancelled;
         return;
     }
 
-    // Recovery mode: mark the goroutine's closure so it survives this
-    // cycle's sweep, checking for finalizers while doing so (§5.5).
+    if (recovery == rt::Recovery::Detect ||
+        recovery == rt::Recovery::Cancel) {
+        // Detect rung (monitoring mode, RQ1(b)) — or Cancel with its
+        // delivery attempts exhausted: keep the goroutine and its
+        // memory alive forever; the Deadlocked status suppresses
+        // re-reports. Poison B(g) so a false-positive wakeup is
+        // detected and healed instead of panicking the waker.
+        g->setStatus(rt::GStatus::Deadlocked);
+        markGoroutine(m, g);
+        m.drain();
+        poisonBlockedOn(g);
+        return;
+    }
+
+    // Reclaim rung (the paper's recovery, and Quarantine once cancel
+    // attempts are exhausted): mark the goroutine's closure so it
+    // survives this cycle's sweep, checking for finalizers while
+    // doing so (§5.5).
     m.clearFinalizerSeen();
     markGoroutine(m, g);
     m.drain();
@@ -160,6 +189,33 @@ Collector::handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
     } else {
         g->setStatus(rt::GStatus::PendingReclaim);
         pendingReclaim_.push_back(g);
+    }
+    poisonBlockedOn(g);
+}
+
+void
+Collector::poisonBlockedOn(rt::Goroutine* g)
+{
+    // By GOLF soundness a true positive's B(g) objects are
+    // unreachable and die in an imminent sweep, taking the flag with
+    // them; the flag survives only when the verdict was wrong and
+    // someone still holds a reference — exactly the case the
+    // tripwire exists for.
+    for (gc::Object* obj : g->blockedOn()) {
+        if (rt_.heap().owns(obj))
+            obj->setPoisoned();
+    }
+}
+
+void
+Collector::unstage(rt::Goroutine* g)
+{
+    for (auto it = pendingReclaim_.begin();
+         it != pendingReclaim_.end(); ++it) {
+        if (*it == g) {
+            pendingReclaim_.erase(it);
+            return;
+        }
     }
 }
 
@@ -174,9 +230,14 @@ Collector::collect()
     const bool golfMode = rt_.config().gcMode == rt::GcMode::Golf;
     const int everyN = rt_.config().detectEveryN < 1
         ? 1 : rt_.config().detectEveryN;
-    const bool detecting =
-        golfMode && ((cycleNo_ - 1) % static_cast<uint64_t>(everyN)) == 0;
+    // The watchdog may force an off-cycle detection pass (§9); the
+    // flag is consumed unconditionally so a pending force does not
+    // leak into a later, unrelated cycle.
+    const bool forced = rt_.consumeForceDetect();
+    const bool detecting = golfMode &&
+        (((cycleNo_ - 1) % static_cast<uint64_t>(everyN)) == 0 || forced);
     cs.detectionRan = detecting;
+    cs.watchdogTriggered = forced;
 
     // Reclaim goroutines staged by the previous detecting cycle
     // *before* building roots: their frames unwind now (waiters

@@ -64,6 +64,10 @@ struct CycleStats
     size_t reclaimed = 0;
     /** Reclaims whose unwind failed; the goroutine was isolated. */
     size_t quarantined = 0;
+    /** DeadlockErrors delivered this cycle (Cancel/Quarantine rung). */
+    size_t cancelled = 0;
+    /** This detection pass was forced off-cycle by the watchdog. */
+    bool watchdogTriggered = false;
 };
 
 class Collector
@@ -90,6 +94,10 @@ class Collector
 
     /** Goroutines staged for reclaim at the next cycle. */
     size_t pendingReclaim() const { return pendingReclaim_.size(); }
+
+    /** Resurrection heal (Runtime::onResurrection): remove a falsely
+     *  staged goroutine from the reclaim list before it is unwound. */
+    void unstage(rt::Goroutine* g);
 
     /// @{ Liveness hints (the paper's Section 8 future work:
     /// "incorporate static analysis techniques to provide liveness
@@ -129,6 +137,8 @@ class Collector
     void markGoroutine(gc::Marker& m, rt::Goroutine* g);
     void handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
                           CycleStats& cs);
+    /** Arm the resurrection tripwire on g's B(g) objects (§9). */
+    void poisonBlockedOn(rt::Goroutine* g);
 
     rt::Runtime& rt_;
     ReportLog log_;

@@ -88,11 +88,49 @@ ReportLog::addQuarantine(uint64_t goroutineId, std::string reason,
         QuarantineRecord{goroutineId, std::move(reason), vtime});
 }
 
+std::string
+CancelRecord::str() const
+{
+    std::ostringstream os;
+    os << "cancel! goroutine " << goroutineId << " ["
+       << rt::waitReasonName(reason) << "] delivery #" << attempt
+       << " at t=" << vtime << "ns";
+    return os.str();
+}
+
+std::string
+ResurrectionRecord::str() const
+{
+    std::ostringstream os;
+    os << "resurrection! " << object << " touched via " << op
+       << " after its waiter was declared deadlocked (t=" << vtime
+       << "ns); poison cleared, goroutine revived";
+    return os.str();
+}
+
+void
+ReportLog::addCancel(uint64_t goroutineId, rt::WaitReason reason,
+                     int attempt, support::VTime vtime)
+{
+    cancels_.push_back(
+        CancelRecord{goroutineId, reason, attempt, vtime});
+}
+
+void
+ReportLog::addResurrection(std::string object, std::string op,
+                           support::VTime vtime)
+{
+    resurrections_.push_back(ResurrectionRecord{
+        std::move(object), std::move(op), vtime});
+}
+
 void
 ReportLog::clear()
 {
     reports_.clear();
     quarantines_.clear();
+    cancels_.clear();
+    resurrections_.clear();
     dedup_.clear();
 }
 

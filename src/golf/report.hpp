@@ -54,6 +54,29 @@ struct QuarantineRecord
     std::string str() const;
 };
 
+/** A DeadlockError delivered to a blocked goroutine (Cancel rung). */
+struct CancelRecord
+{
+    uint64_t goroutineId = 0;
+    rt::WaitReason reason = rt::WaitReason::None;
+    /** Deliveries to this goroutine including this one. */
+    int attempt = 0;
+    support::VTime vtime = 0;
+
+    std::string str() const;
+};
+
+/** A poisoned concurrency object was touched after its waiter was
+ *  declared deadlocked: a detected (and healed) false positive. */
+struct ResurrectionRecord
+{
+    std::string object;  ///< objectName() of the poisoned object.
+    std::string op;      ///< The operation that tripped the poison.
+    support::VTime vtime = 0;
+
+    std::string str() const;
+};
+
 /** Accumulates individual reports plus deduplicated counts. */
 class ReportLog
 {
@@ -64,10 +87,30 @@ class ReportLog
     void addQuarantine(uint64_t goroutineId, std::string reason,
                        support::VTime vtime);
 
+    /** Record a Cancel-rung DeadlockError delivery. */
+    void addCancel(uint64_t goroutineId, rt::WaitReason reason,
+                   int attempt, support::VTime vtime);
+
+    /** Record a detected resurrection (healed false positive). */
+    void addResurrection(std::string object, std::string op,
+                         support::VTime vtime);
+
     /** All quarantine records, in order. */
     const std::vector<QuarantineRecord>& quarantines() const
     {
         return quarantines_;
+    }
+
+    /** All cancellation deliveries, in order. */
+    const std::vector<CancelRecord>& cancels() const
+    {
+        return cancels_;
+    }
+
+    /** All detected resurrections, in order. */
+    const std::vector<ResurrectionRecord>& resurrections() const
+    {
+        return resurrections_;
     }
 
     /** All individual reports, in detection order. */
@@ -104,6 +147,8 @@ class ReportLog
   private:
     std::vector<DeadlockReport> reports_;
     std::vector<QuarantineRecord> quarantines_;
+    std::vector<CancelRecord> cancels_;
+    std::vector<ResurrectionRecord> resurrections_;
     std::map<std::string, size_t> dedup_;
     std::function<void(const DeadlockReport&)> sink_;
 };

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DeadlockError: the cancellation outcome delivered to a blocked
+ * goroutine by the Cancel rung of the recovery ladder.
+ *
+ * The paper's only recovery is forced reclaim (Section 5.4): destroy
+ * the deadlocked goroutine's frames and scrub its wait-queue entries.
+ * The guard subsystem adds a softer rung below it — instead of tearing
+ * the goroutine down, the runtime wakes it with a DeadlockError
+ * "thrown from the blocking operation", exactly as if the co_await
+ * had panicked. Because DeadlockError derives GoPanicError, the whole
+ * defer/recover machinery applies unchanged: a goroutine that guards
+ * its blocking calls with GOLF_DEFER + rt::recover() observes the
+ * cancellation as a recoverable panic, runs its cleanup, and may
+ * return an application-level error — the graceful-degradation path
+ * the service layer builds on.
+ *
+ * Delivery protocol (see Runtime::deliverCancel): the collector
+ * flags the goroutine at STW and requeues it Runnable; the *blocked
+ * awaitable itself* notices the flag in await_resume (before touching
+ * the un-granted operation state) and calls rt::checkCancel(), which
+ * throws. An un-recovered DeadlockError kills only that goroutine —
+ * Runtime::onGoroutinePanic contains it like an injected fault — so
+ * cancellation never escalates into whole-process failure.
+ */
+#ifndef GOLFCC_GUARD_CANCEL_HPP
+#define GOLFCC_GUARD_CANCEL_HPP
+
+#include <string>
+
+#include "support/panic.hpp"
+
+namespace golf::guard {
+
+/**
+ * The panic object a cancelled blocking operation throws. Recoverable
+ * via GOLF_DEFER + rt::recover() like any Go panic; if unrecovered it
+ * terminates the goroutine (not the run).
+ */
+class DeadlockError : public support::GoPanicError
+{
+  public:
+    explicit DeadlockError(const std::string& msg)
+        : support::GoPanicError(msg)
+    {}
+};
+
+} // namespace golf::guard
+
+#endif // GOLFCC_GUARD_CANCEL_HPP

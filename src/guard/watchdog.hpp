@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Watchdog and recovery-ladder policy knobs (carried in rt::Config).
+ *
+ * The paper couples detection latency to GC pacing: a partial
+ * deadlock is noticed only when the allocation rate next triggers a
+ * collection (Section 6 discusses the resulting delay). The watchdog
+ * decouples them. The scheduler stamps the virtual time at which each
+ * goroutine parks on a deadlock-candidate operation; the drive loop
+ * polls at a fixed virtual-time interval, and when any blocked
+ * candidate has been waiting longer than the threshold it requests an
+ * off-cycle GOLF detection pass. Detection latency is then bounded by
+ *
+ *     blockedThresholdNs + pollIntervalNs + (time to next safepoint)
+ *
+ * independent of heap growth. Because the forced pass runs through
+ * the ordinary collectNow() path at a deterministic virtual time, the
+ * entire fault/report/trace stream stays a pure function of
+ * (seed, config) — watchdog runs replay byte-identically.
+ */
+#ifndef GOLFCC_GUARD_WATCHDOG_HPP
+#define GOLFCC_GUARD_WATCHDOG_HPP
+
+#include "support/vclock.hpp"
+
+namespace golf::guard {
+
+/** Virtual-time watchdog configuration (rt::Config::watchdog). */
+struct WatchdogConfig
+{
+    /** Off by default: zero behavior (and trace) change. */
+    bool enabled = false;
+    /** A deadlock-candidate goroutine blocked at least this long
+     *  triggers an off-cycle detection pass. */
+    support::VTime blockedThresholdNs = 100 * support::kMillisecond;
+    /** How often the drive loop examines blocked durations. */
+    support::VTime pollIntervalNs = 20 * support::kMillisecond;
+};
+
+/** Escalation policy for the recovery ladder (rt::Config::guard). */
+struct GuardPolicy
+{
+    /** Cancel deliveries attempted per goroutine before the ladder
+     *  escalates (Cancel rung: give up and keep it Deadlocked;
+     *  Quarantine rung: escalate to reclaim). */
+    int cancelAttempts = 1;
+};
+
+} // namespace golf::guard
+
+#endif // GOLFCC_GUARD_WATCHDOG_HPP

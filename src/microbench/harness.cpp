@@ -67,6 +67,8 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.faults = cfg.faults;
     rc.verifyEveryGc = cfg.verifyInvariants;
     rc.race = cfg.race;
+    rc.watchdog = cfg.watchdog;
+    rc.guard = cfg.guard;
 
     RunOutcome out;
 
@@ -111,12 +113,16 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
             static_cast<double>(out.gcCycles);
     }
 
+    out.quarantined = log.quarantines().size();
     if (cfg.faults.enabled) {
         out.faultsInjected = runtime.faults().injected();
         out.containedPanics = runtime.containedPanics();
-        out.quarantined = log.quarantines().size();
         out.faultTrace = runtime.faults().trace();
     }
+    out.cancelsDelivered = runtime.cancelsDelivered();
+    out.cancelDeaths = runtime.cancelDeaths();
+    out.resurrections = runtime.resurrections();
+    out.watchdogTriggers = runtime.watchdogTriggers();
     if (cfg.verifyInvariants)
         out.invariantViolations = runtime.verifyInvariants();
     if (const race::Detector* rd = runtime.raceDetector()) {
@@ -130,7 +136,8 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
 }
 
 std::vector<SiteDetection>
-runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats)
+runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats,
+                   std::vector<std::string>* failures)
 {
     std::map<std::string, SiteDetection> bySite;
     for (const std::string& label : p.leakSites)
@@ -143,6 +150,17 @@ runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats)
         for (const auto& [label, count] : out.detectedPerLabel) {
             if (count > 0 && bySite.count(label))
                 ++bySite[label].detectedRuns;
+        }
+        if (failures) {
+            const std::string at =
+                p.name + " seed=" + std::to_string(cfg.seed) + ": ";
+            for (const auto& v : out.invariantViolations)
+                failures->push_back(at + "invariant: " + v);
+            if (out.runtimeFailure)
+                failures->push_back(at + "runtime failure: " +
+                                    out.failureMessage);
+            if (out.quarantined > 0 && !cfg.faults.enabled)
+                failures->push_back(at + "unexpected quarantine");
         }
     }
 

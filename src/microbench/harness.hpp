@@ -45,6 +45,11 @@ struct HarnessConfig
     /** Run under the race detector (-race analog): happens-before
      *  race checking plus predictive lock-order analysis. */
     bool race = false;
+    /** Blocked-goroutine watchdog (off by default; purely virtual
+     *  time, so enabling it keeps runs deterministic per seed). */
+    guard::WatchdogConfig watchdog;
+    /** Recovery-ladder escalation policy (cancel attempts). */
+    guard::GuardPolicy guard;
 };
 
 /** Outcome of one program execution. */
@@ -72,6 +77,11 @@ struct RunOutcome
     /** Invariant violations found by verifyInvariants (empty when the
      *  check is disabled or everything held). */
     std::vector<std::string> invariantViolations;
+    /** Guard accounting (§9): ladder + watchdog activity. */
+    uint64_t cancelsDelivered = 0;
+    uint64_t cancelDeaths = 0;
+    uint64_t resurrections = 0;
+    uint64_t watchdogTriggers = 0;
     /** Race-analysis counters (all zero unless cfg.race). */
     race::DetectorStats raceStats;
     /** Formatted race and lock-order reports (empty unless cfg.race). */
@@ -93,8 +103,12 @@ struct SiteDetection
     int totalRuns = 0;
 };
 
+/** When `failures` is given, one line per invariant violation,
+ *  runtime failure or unexpected (fault-free) quarantine is appended
+ *  to it, each prefixed with the pattern name and failing seed. */
 std::vector<SiteDetection>
-runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats);
+runPatternRepeated(const Pattern& p, HarnessConfig cfg, int repeats,
+                   std::vector<std::string>* failures = nullptr);
 
 } // namespace golf::microbench
 

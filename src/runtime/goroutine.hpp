@@ -23,6 +23,7 @@
 #include "runtime/task.hpp"
 #include "runtime/types.hpp"
 #include "support/masked_ptr.hpp"
+#include "support/vclock.hpp"
 
 namespace golf::gc { class Marker; class Object; }
 
@@ -119,6 +120,18 @@ class Goroutine
     /** Whether a panic is currently unwinding this goroutine. */
     bool panicking() const { return panicking_; }
 
+    /** Whether a Cancel-rung DeadlockError delivery is pending (the
+     *  goroutine is Runnable; its awaitable will throw on resume). */
+    bool cancelPending() const { return cancelPending_; }
+
+    /** DeadlockError deliveries to this goroutine so far (ladder
+     *  escalation counter, reset on reuse). */
+    int cancelDeliveries() const { return cancelDeliveries_; }
+
+    /** Virtual time at which the goroutine parked on its current
+     *  deadlock-candidate operation (watchdog input; 0 = n/a). */
+    support::VTime blockedSinceVt() const { return blockedSinceVt_; }
+
   private:
     friend class Runtime;
     friend class Scheduler;
@@ -161,6 +174,18 @@ class Goroutine
     /** Runnable due to an injected spurious wakeup; wait state fields
      *  are retained so the goroutine can re-park unchanged. */
     bool spuriousWake_ = false;
+    /// @}
+
+    /// @{ Guard (cancellation + watchdog) state.
+    /** A DeadlockError delivery awaits consumption by the blocked
+     *  awaitable's await_resume (see Runtime::deliverCancel). */
+    bool cancelPending_ = false;
+    /** Message carried by the pending DeadlockError. */
+    std::string cancelMessage_;
+    /** Deliveries so far (ladder escalation; reset on reuse). */
+    int cancelDeliveries_ = 0;
+    /** Virtual park time of the current candidate block (watchdog). */
+    support::VTime blockedSinceVt_ = 0;
     /// @}
 };
 

@@ -59,6 +59,36 @@ Runtime::current()
     return stack.empty() ? nullptr : stack.back();
 }
 
+bool
+parseRecovery(const std::string& name, Recovery& out)
+{
+    if (name == "detect" || name == "reportonly" ||
+        name == "report-only") {
+        out = Recovery::Detect;
+    } else if (name == "cancel") {
+        out = Recovery::Cancel;
+    } else if (name == "reclaim") {
+        out = Recovery::Reclaim;
+    } else if (name == "quarantine") {
+        out = Recovery::Quarantine;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char*
+recoveryName(Recovery r)
+{
+    switch (r) {
+      case Recovery::Detect: return "detect";
+      case Recovery::Cancel: return "cancel";
+      case Recovery::Reclaim: return "reclaim";
+      case Recovery::Quarantine: return "quarantine";
+    }
+    return "?";
+}
+
 namespace detail {
 
 void
@@ -262,6 +292,10 @@ Runtime::resetForReuse(Goroutine* g)
     g->panicMessage_.clear();
     g->recoverArmed_ = false;
     g->spuriousWake_ = false;
+    g->cancelPending_ = false;
+    g->cancelMessage_.clear();
+    g->cancelDeliveries_ = 0;
+    g->blockedSinceVt_ = 0;
     g->isMain_ = false;
     g->spawnSite_ = Site{};
     g->blockSite_ = Site{};
@@ -298,6 +332,11 @@ Runtime::park(Goroutine* g, std::coroutine_handle<> resumePoint,
     g->blockedOn_ = std::move(blockedOn);
     g->blockedForever_ = forever;
     g->blockSite_ = blockSite;
+    // Watchdog input: when the goroutine parked on this candidate
+    // operation. (A spurious-wake re-park retains the original stamp:
+    // the goroutine never stopped waiting for the operation.)
+    if (isDeadlockCandidate(reason))
+        g->blockedSinceVt_ = clock_.now();
     tracer_.record(clock_.now(), TraceEvent::Park, g->id(), reason);
 
     if (injector_.enabled() && isDeadlockCandidate(reason) &&
@@ -433,6 +472,13 @@ Runtime::onGoroutinePanic(std::exception_ptr e)
         }
         result_.panicked = true;
         result_.panicMessage = ex.what();
+    } catch (const guard::DeadlockError&) {
+        // An unrecovered cancellation (Cancel rung) kills only the
+        // goroutine it woke; the frames were freed by the ordinary
+        // exception unwind and the run survives — cancellation must
+        // never escalate a partial deadlock into process failure.
+        ++cancelDeaths_;
+        return;
     } catch (const std::exception& ex) {
         result_.panicked = true;
         result_.panicMessage = ex.what();
@@ -542,6 +588,9 @@ Runtime::quarantineGoroutine(Goroutine* g, const std::string& why,
     g->panicMessage_.clear();
     g->recoverArmed_ = false;
     g->spuriousWake_ = false;
+    g->cancelPending_ = false;
+    g->cancelMessage_.clear();
+    g->blockedSinceVt_ = 0;
     g->blockedSema_ = support::MaskedPtr<void>();
     // Scrub every wait queue: no wakeup must ever reach this
     // goroutine again. Channel queues drop quarantined waiters
@@ -555,6 +604,210 @@ Runtime::quarantineGoroutine(Goroutine* g, const std::string& why,
                      static_cast<unsigned long long>(g->id()),
                      why.c_str());
     }
+}
+
+// ---------------------------------------------------------------------
+// Guard subsystem: cancellation delivery, resurrection healing and
+// the virtual-time watchdog (DESIGN.md Section 9).
+
+void
+Runtime::deliverCancel(Goroutine* g, const std::string& msg)
+{
+    tracer_.record(clock_.now(), TraceEvent::Cancel, g->id(),
+                   g->waitReason_);
+    g->cancelPending_ = true;
+    g->cancelMessage_ = msg;
+    ++g->cancelDeliveries_;
+    ++cancelsDelivered_;
+    // Scrub semaphore waiters eagerly: the operation is not granted,
+    // so no waker may ever pop this goroutine's SemWaiter and ready()
+    // it. Channel/select waiters live in the coroutine frames and are
+    // unlinked by the unwind (or skipped lazily by firstActive).
+    semtable_.purgeGoroutine(g);
+    clearBlockedSema(g);
+    g->status_ = GStatus::Runnable;
+    g->waitReason_ = WaitReason::None;
+    g->blockedOn_.clear();
+    g->blockedForever_ = false;
+    g->blockedSinceVt_ = 0;
+    g->spuriousWake_ = false;
+    // Direct enqueue at STW: no delayed-wakeup injection draw, no
+    // race wake edge — the delivery point is a collector decision,
+    // fully determined by (seed, config).
+    sched_.enqueueReady(g);
+}
+
+void
+Runtime::checkCancelCurrent()
+{
+    Goroutine* g = sched_.current();
+    if (!g || !g->cancelPending_)
+        return;
+    std::string msg = std::move(g->cancelMessage_);
+    g->cancelPending_ = false;
+    g->cancelMessage_.clear();
+    // Same bookkeeping as an injected panic: recover() must observe
+    // the message while the DeadlockError unwinds the frame chain.
+    g->panicking_ = true;
+    g->panicMessage_ = msg;
+    g->recoverArmed_ = false;
+    throw guard::DeadlockError(msg);
+}
+
+void
+Runtime::onResurrection(gc::Object* obj, const char* what)
+{
+    ++resurrections_;
+    obj->clearPoisoned();
+    collector_->reports().addResurrection(obj->objectName(), what,
+                                          clock_.now());
+    // Heal: a goroutine declared deadlocked on obj is demonstrably
+    // reachable — the verdict was a false positive (the paper's
+    // unsafe.Pointer hazard). Revive it to Waiting so the operation
+    // now in progress can wake it through the ordinary path instead
+    // of corrupting the wait queues.
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() != GStatus::Deadlocked &&
+            g->status() != GStatus::PendingReclaim)
+            continue;
+        bool onObj = false;
+        for (gc::Object* b : g->blockedOn_) {
+            if (b == obj)
+                onObj = true;
+        }
+        if (!onObj)
+            continue;
+        if (g->status() == GStatus::PendingReclaim)
+            collector_->unstage(g);
+        g->status_ = GStatus::Waiting;
+        // The whole verdict for g was wrong, so disarm the tripwire
+        // on all of B(g) — e.g. a select's other channels — lest one
+        // revival report as several.
+        for (gc::Object* b : g->blockedOn_)
+            b->clearPoisoned();
+        tracer_.record(clock_.now(), TraceEvent::Resurrect, g->id(),
+                       g->waitReason_);
+    }
+    if (config_.verboseReports) {
+        std::fprintf(stderr, "resurrection! %s touched via %s\n",
+                     obj->objectName(), what);
+    }
+}
+
+size_t
+Runtime::watchdogPressure() const
+{
+    if (!config_.watchdog.enabled)
+        return 0;
+    const support::VTime now = clock_.now();
+    size_t n = 0;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() == GStatus::Waiting &&
+            isDeadlockCandidate(g->waitReason()) &&
+            now - g->blockedSinceVt_ >=
+                config_.watchdog.blockedThresholdNs) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+bool
+Runtime::watchdogPoll()
+{
+    if (!config_.watchdog.enabled)
+        return false;
+    const support::VTime now = clock_.now();
+    if (now < nextWatchdogPollVt_)
+        return false;
+    nextWatchdogPollVt_ = now + config_.watchdog.pollIntervalNs;
+    // Count over-threshold candidates and re-arm them: a live-but-
+    // slow goroutine triggers at most one forced pass per threshold
+    // period instead of one per poll.
+    size_t over = 0;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() == GStatus::Waiting &&
+            isDeadlockCandidate(g->waitReason()) &&
+            now - g->blockedSinceVt_ >=
+                config_.watchdog.blockedThresholdNs) {
+            ++over;
+            g->blockedSinceVt_ = now;
+        }
+    }
+    if (over == 0)
+        return false;
+    ++watchdogTriggers_;
+    tracer_.record(now, TraceEvent::WatchdogTrigger, 0);
+    forceDetect_ = true;
+    gcRequested_ = true;
+    return true;
+}
+
+support::VTime
+Runtime::watchdogNextWake() const
+{
+    if (!config_.watchdog.enabled)
+        return support::VClock::kNoDeadline;
+    support::VTime wake = support::VClock::kNoDeadline;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() != GStatus::Waiting ||
+            !isDeadlockCandidate(g->waitReason()))
+            continue;
+        const support::VTime cross =
+            g->blockedSinceVt_ + config_.watchdog.blockedThresholdNs;
+        wake = std::min(wake, std::max(cross, nextWatchdogPollVt_));
+    }
+    return wake;
+}
+
+bool
+Runtime::watchdogRescue()
+{
+    if (!config_.watchdog.enabled)
+        return false;
+    // No runnable goroutine and no pending timer: without the
+    // watchdog this is Go's fatal global deadlock. Force a detection
+    // pass instead; every rung changes the status of each processed
+    // candidate (Deadlocked, cancelled-Runnable, PendingReclaim), so
+    // repeated rescues strictly shrink the candidate set and the
+    // loop terminates.
+    size_t candidates = 0;
+    for (const auto& mp : allg_) {
+        Goroutine* g = mp.get();
+        if (g->status() == GStatus::Waiting &&
+            isDeadlockCandidate(g->waitReason()))
+            ++candidates;
+    }
+    if (candidates == 0 && collector_->pendingReclaim() == 0)
+        return false;
+    ++watchdogTriggers_;
+    tracer_.record(clock_.now(), TraceEvent::WatchdogTrigger, 0);
+    forceDetect_ = true;
+    collectNow();
+    const auto& cs = collector_->lastCycle();
+    return cs.deadlocksFound > 0 || cs.cancelled > 0 ||
+           cs.reclaimed > 0 || cs.quarantined > 0;
+}
+
+bool
+cancelPending()
+{
+    Runtime* rt = Runtime::current();
+    if (!rt)
+        return false;
+    Goroutine* g = rt->currentGoroutine();
+    return g && g->cancelPending();
+}
+
+void
+checkCancel()
+{
+    if (Runtime* rt = Runtime::current())
+        rt->checkCancelCurrent();
 }
 
 // ---------------------------------------------------------------------
@@ -749,6 +1002,9 @@ Runtime::driveLoop()
     running_ = true;
     result_ = RunResult{};
     mainDone_ = false;
+    forceDetect_ = false;
+    nextWatchdogPollVt_ =
+        clock_.now() + config_.watchdog.pollIntervalNs;
 
     while (true) {
         if (result_.panicked)
@@ -764,15 +1020,30 @@ Runtime::driveLoop()
                              0) == FaultKind::ForceGc) {
             gcRequested_ = true; // adversarially timed collection
         }
+        watchdogPoll();
         if (gcRequested_ || heap_.shouldCollect())
             collectNow();
 
         Goroutine* g = sched_.pickNext();
         if (!g) {
             if (clock_.hasPending()) {
+                // Don't let the idle clock jump past a watchdog
+                // deadline: a blocked candidate crossing its
+                // threshold must be noticed at threshold + poll, not
+                // at the next (possibly much later) timer fire.
+                const support::VTime wake = watchdogNextWake();
+                if (wake < clock_.nextDeadline()) {
+                    clock_.advance(std::max<support::VTime>(
+                        0, wake - clock_.now()));
+                    continue;
+                }
                 clock_.fireNext();
                 continue;
             }
+            // The watchdog turns a would-be global deadlock into a
+            // forced detection pass; the ladder may free goroutines.
+            if (watchdogRescue())
+                continue;
             // No runnable goroutine, no timers: Go's fatal error
             // "all goroutines are asleep - deadlock!".
             result_.globalDeadlock = true;

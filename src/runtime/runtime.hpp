@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "gc/heap.hpp"
+#include "guard/cancel.hpp"
+#include "guard/watchdog.hpp"
 #include "race/detector.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/goroutine.hpp"
@@ -46,12 +48,39 @@ enum class GcMode
     Golf,      ///< GOLF: runnable-only roots + liveness fixpoint.
 };
 
-/** What GOLF does with detected deadlocks (Section 5.5 / 6.1). */
+/**
+ * What GOLF does with detected deadlocks — the graded recovery
+ * ladder (DESIGN.md Section 9). Each rung names the *strongest*
+ * action the collector may take; rungs above Detect subsume the
+ * reporting of the rungs below.
+ *
+ *   Detect     report only; keep the goroutine (and its memory).
+ *   Cancel     deliver a guard::DeadlockError into the blocked
+ *              operation (observable via GOLF_DEFER/rt::recover());
+ *              after Config::guard.cancelAttempts deliveries the
+ *              goroutine is kept as Deadlocked — never torn down.
+ *   Reclaim    the paper's recovery: report, then forcibly shut the
+ *              goroutine down and reclaim next cycle. (No cancel
+ *              pass — bit-identical to the historical binary mode.)
+ *   Quarantine the full ladder: cancel first; if the goroutine
+ *              deadlocks again with its attempts exhausted, escalate
+ *              to reclaim; a failed unwind quarantines it.
+ *
+ * ReportOnly is the historical name for Detect and stays valid.
+ */
 enum class Recovery
 {
-    ReportOnly,  ///< Report; keep the goroutine (and its memory).
+    Detect,      ///< Report; keep the goroutine (and its memory).
+    Cancel,      ///< Deliver DeadlockError; never tear down.
     Reclaim,     ///< Report, then shut down and reclaim next cycle.
+    Quarantine,  ///< Cancel, then escalate to reclaim/quarantine.
+    ReportOnly = Detect, ///< Historical alias.
 };
+
+/** Parse "detect|cancel|reclaim|quarantine" (also "reportonly");
+ *  returns false on an unknown name. */
+bool parseRecovery(const std::string& name, Recovery& out);
+const char* recoveryName(Recovery r);
 
 struct Config
 {
@@ -109,6 +138,11 @@ struct Config
      */
     bool race = false;
     race::DetectorConfig raceCfg;
+    /** Virtual-time blocked-goroutine watchdog (off by default; see
+     *  guard/watchdog.hpp). Triggers off-cycle detection passes. */
+    guard::WatchdogConfig watchdog;
+    /** Recovery-ladder escalation policy (guard/watchdog.hpp). */
+    guard::GuardPolicy guard;
     support::VTime gcStwFixedNs = 50 * support::kMicrosecond;
     double gcNsPerDetectCheck = 100.0;
     support::VTime gcNsPerIteration = 10 * support::kMicrosecond;
@@ -233,6 +267,48 @@ class Runtime
     /** Dump post-mortem state (reports, quarantines, fault log,
      *  trace tail, goroutine dump) to stderr. */
     void flushPostMortem() const;
+    /// @}
+
+    /// @{ Recovery ladder + watchdog (guard subsystem).
+    /**
+     * Cancel rung delivery, called by the collector at STW: flag the
+     * deadlocked goroutine, scrub its semtable waiters, and requeue
+     * it Runnable. The blocked awaitable notices the flag when it
+     * resumes and throws guard::DeadlockError via rt::checkCancel().
+     */
+    void deliverCancel(Goroutine* g, const std::string& msg);
+    /** Body of the free checkCancel(): consume the pending flag and
+     *  throw guard::DeadlockError with panic bookkeeping armed. */
+    void checkCancelCurrent();
+    /** DeadlockErrors delivered so far (Cancel/Quarantine rungs). */
+    uint64_t cancelsDelivered() const { return cancelsDelivered_; }
+    /** Cancelled goroutines that died without recovering. */
+    uint64_t cancelDeaths() const { return cancelDeaths_; }
+    /**
+     * A poisoned concurrency object was touched after its blocked
+     * goroutine was declared deadlocked — a GOLF false positive the
+     * paper's unsafe.Pointer hazard would have turned into silent
+     * corruption. Records a resurrection report, clears the poison
+     * and revives any staged-for-reclaim goroutine parked on obj so
+     * the wakeup proceeds legitimately.
+     */
+    void onResurrection(gc::Object* obj, const char* what);
+    /** Resurrections detected (and healed) so far. */
+    uint64_t resurrections() const { return resurrections_; }
+    /** Deadlock-candidate goroutines blocked longer than the watchdog
+     *  threshold right now (the service layer's shedding signal). */
+    size_t watchdogPressure() const;
+    /** Off-cycle detection passes the watchdog has triggered. */
+    uint64_t watchdogTriggers() const { return watchdogTriggers_; }
+    /** Collector-side: consume the watchdog's force-detect request
+     *  (true at most once per trigger). */
+    bool
+    consumeForceDetect()
+    {
+        bool f = forceDetect_;
+        forceDetect_ = false;
+        return f;
+    }
     /// @}
 
     /** Number of goroutines in a given status. */
@@ -365,7 +441,20 @@ class Runtime
     std::vector<Goroutine*> freeg_;
     uint64_t nextGoId_ = 1;
 
+    /** Watchdog poll in the drive loop; also the no-runnable rescue
+     *  that turns would-be global deadlocks into detection passes. */
+    bool watchdogPoll();
+    bool watchdogRescue();
+    support::VTime watchdogNextWake() const;
+
     bool gcRequested_ = false;
+    /** Watchdog asked for an off-cycle detection pass. */
+    bool forceDetect_ = false;
+    support::VTime nextWatchdogPollVt_ = 0;
+    uint64_t watchdogTriggers_ = 0;
+    uint64_t cancelsDelivered_ = 0;
+    uint64_t cancelDeaths_ = 0;
+    uint64_t resurrections_ = 0;
     int stwDepth_ = 0;
     std::vector<Goroutine*> gcWaiters_;
     bool mainDone_ = false;
@@ -472,6 +561,23 @@ void busy(support::VTime d);
  * No-op when no runtime is active or injection is disabled.
  */
 void checkFault(FaultSite site);
+
+/**
+ * True when the current goroutine has a pending cancellation
+ * (delivered by the Cancel rung) that has not yet been consumed.
+ * Non-consuming: awaitables use it to roll back partial wait state
+ * before throwing via checkCancel().
+ */
+bool cancelPending();
+
+/**
+ * Consume a pending cancellation and throw guard::DeadlockError,
+ * arming the panic bookkeeping so defer/recover observe it exactly
+ * like a Go panic. No-op when no cancellation is pending. Called by
+ * every blocking awaitable at the top of await_resume, before it
+ * touches the (never granted) operation state.
+ */
+void checkCancel();
 
 /// @}
 

@@ -23,6 +23,9 @@ traceEventName(TraceEvent ev)
       case TraceEvent::SpuriousWake: return "spurious-wake";
       case TraceEvent::DelayedWake: return "delayed-wake";
       case TraceEvent::Quarantine: return "quarantine";
+      case TraceEvent::Cancel: return "cancel";
+      case TraceEvent::WatchdogTrigger: return "watchdog-trigger";
+      case TraceEvent::Resurrect: return "resurrect";
     }
     return "?";
 }

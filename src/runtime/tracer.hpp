@@ -34,6 +34,9 @@ enum class TraceEvent : uint8_t
     SpuriousWake,  ///< injected spurious wakeup delivered
     DelayedWake,   ///< genuine wakeup postponed by injection
     Quarantine,    ///< reclaim unwind failed; goroutine isolated
+    Cancel,          ///< DeadlockError delivered (Cancel rung)
+    WatchdogTrigger, ///< watchdog forced an off-cycle detection
+    Resurrect,       ///< poisoned object touched; goroutine revived
 };
 
 const char* traceEventName(TraceEvent ev);

@@ -1,0 +1,232 @@
+#include "service/guard_service.hpp"
+
+#include "chan/channel.hpp"
+#include "chan/select.hpp"
+#include "golf/collector.hpp"
+#include "runtime/context.hpp"
+#include "runtime/defer.hpp"
+#include "runtime/local.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf::service {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using support::VTime;
+using support::kMillisecond;
+using support::kSecond;
+
+enum RequestStatus
+{
+    ReqOk,
+    ReqTimeout,
+};
+
+struct GuardState
+{
+    rt::Runtime* rt = nullptr;
+    const GuardServiceConfig* cfg = nullptr;
+    support::Rng rng{1};
+    support::Samples latenciesMs;
+    GuardMetrics m;
+    VTime warmupEnd = 0;
+    VTime end = 0;
+    // Circuit breaker (shared by all connections, like a client-side
+    // proxy would).
+    int consecutiveTimeouts = 0;
+    bool breakerOpen = false;
+    VTime breakerReopenAt = 0;
+};
+
+BigMap*
+makeMap(GuardState* s)
+{
+    BigMap* map = s->rt->make<BigMap>(s->cfg->mapEntries);
+    s->rt->heap().charge(map, s->cfg->mapEntries * 48);
+    return map;
+}
+
+rt::Go
+dagWorker(GuardState* s, sync::WaitGroup* wg)
+{
+    co_await rt::sleepFor(s->cfg->dagTaskCost);
+    wg->done();
+    co_return;
+}
+
+/** The double-send child, now with a deadlock guard: a Cancel-rung
+ *  DeadlockError delivered mid-send is recovered here, the goroutine
+ *  exits normally, and its map becomes garbage. */
+rt::Go
+guardChildTask(GuardState* s, Channel<Unit>* ch1, Channel<Unit>* ch2,
+               int doubleSend)
+{
+    GOLF_DEFER([s] {
+        if (rt::recover())
+            ++s->m.recovered;
+    });
+    gc::Local<BigMap> childMap(makeMap(s));
+    rt::busy(200 * support::kMicrosecond);
+    co_await chan::send(ch1, Unit{});
+    if (doubleSend)
+        co_await chan::send(ch2, Unit{}); // leaks: parent is gone
+    co_return;
+}
+
+/** One request, server side, with a deadline. */
+rt::Task<RequestStatus>
+handleRequest(GuardState* s)
+{
+    double rpcMs = s->rng.nextGaussian(s->cfg->rpcLatencyMeanMs,
+                                       s->cfg->rpcLatencyStddevMs);
+    if (rpcMs < 1.0)
+        rpcMs = 1.0;
+    co_await rt::ioWait(static_cast<VTime>(rpcMs * kMillisecond));
+
+    gc::Local<sync::WaitGroup> wg(s->rt->make<sync::WaitGroup>(*s->rt));
+    for (int i = 0; i < s->cfg->dagTasks; ++i) {
+        wg->add(1);
+        GOLF_GO(*s->rt, dagWorker, s, wg.get());
+    }
+    co_await wg->wait();
+
+    gc::Local<BigMap> parentMap(makeMap(s));
+    gc::Local<Channel<Unit>> ch1(makeChan<Unit>(*s->rt, 0));
+    gc::Local<Channel<Unit>> ch2(makeChan<Unit>(*s->rt, 0));
+    const int leak = s->rng.chance(s->cfg->leakRate) ? 1 : 0;
+    GOLF_GO(*s->rt, guardChildTask, s, ch1.get(), ch2.get(), leak);
+
+    // Per-request deadline. Parentless on purpose: registering under
+    // a run-long parent context would accumulate every request in its
+    // children list. The armed timer keeps the context alive; cancel
+    // on the happy path releases it.
+    gc::Local<rt::Context> ctx(rt::withTimeout(
+        *s->rt, nullptr, s->cfg->requestTimeout));
+    const int which =
+        co_await chan::select(chan::recvCase(ch1.get()),
+                              chan::recvCase(ch2.get()),
+                              chan::recvCase(ctx->done()));
+    ctx->cancel();
+    co_return which == 2 ? ReqTimeout : ReqOk;
+}
+
+/** One closed-loop client connection: admission control, retries
+ *  with exponential backoff + seeded jitter, breaker accounting. */
+rt::Go
+clientConnection(GuardState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    const GuardServiceConfig& cfg = *s->cfg;
+    while (rt.clock().now() < s->end) {
+        const VTime now = rt.clock().now();
+        if (s->breakerOpen && now >= s->breakerReopenAt) {
+            s->breakerOpen = false;
+            s->consecutiveTimeouts = 0;
+        }
+        if (s->breakerOpen ||
+            rt.watchdogPressure() >= cfg.shedPressureLimit) {
+            ++s->m.shed;
+            co_await rt::sleepFor(cfg.backoffBase);
+            continue;
+        }
+
+        const VTime t0 = rt.clock().now();
+        RequestStatus status = ReqTimeout;
+        for (int attempt = 0; ; ++attempt) {
+            status = co_await handleRequest(s);
+            if (status == ReqOk || attempt >= cfg.maxRetries)
+                break;
+            ++s->m.retried;
+            VTime backoff = cfg.backoffBase << attempt;
+            backoff += s->rng.nextBelow(backoff / 2 + 1); // jitter
+            co_await rt::sleepFor(backoff);
+        }
+        const VTime t1 = rt.clock().now();
+
+        if (status == ReqOk) {
+            s->consecutiveTimeouts = 0;
+            ++s->m.served;
+            if (t0 >= s->warmupEnd) {
+                ++s->m.goodput;
+                s->latenciesMs.add(static_cast<double>(t1 - t0) /
+                                   kMillisecond);
+            }
+        } else {
+            ++s->m.timedOut;
+            if (++s->consecutiveTimeouts >= cfg.breakerWindow &&
+                !s->breakerOpen) {
+                s->breakerOpen = true;
+                s->breakerReopenAt =
+                    rt.clock().now() + cfg.breakerCooldown;
+                ++s->m.breakerOpens;
+            }
+        }
+        co_await rt::sleepFor(170 * kMillisecond);
+    }
+    co_return;
+}
+
+rt::Go
+serviceMain(GuardState* s)
+{
+    rt::Runtime& rt = *s->rt;
+    s->warmupEnd = rt.clock().now() + s->cfg->warmup;
+    s->end = s->warmupEnd + s->cfg->duration;
+    for (int i = 0; i < s->cfg->connections; ++i)
+        GOLF_GO(rt, clientConnection, s);
+    while (rt.clock().now() < s->end)
+        co_await rt::sleepFor(kSecond);
+    co_return;
+}
+
+} // namespace
+
+GuardResult
+runGuardService(const GuardServiceConfig& config)
+{
+    rt::Config rc;
+    rc.procs = config.procs;
+    rc.seed = config.seed;
+    rc.gcMode = config.gcMode;
+    rc.recovery = config.recovery;
+    rc.detectEveryN = config.detectEveryN;
+    rc.gcWorkers = config.gcWorkers;
+    rc.watchdog = config.watchdog;
+    rc.guard = config.guard;
+    rc.heap.minTriggerBytes = 8 * 1024 * 1024;
+
+    rt::Runtime runtime(rc);
+    GuardState state;
+    state.rt = &runtime;
+    state.cfg = &config;
+    state.rng = support::Rng(config.seed ^ 0x5E471CEull);
+
+    rt::RunResult rr = runtime.runMain(serviceMain, &state);
+
+    GuardResult out;
+    if (!rr.ok()) {
+        out.failed = true;
+        return out;
+    }
+
+    out.latency = LatencySummary::ofMillis(state.latenciesMs);
+    out.goodputRps =
+        static_cast<double>(state.m.goodput) /
+        (static_cast<double>(config.duration) / kSecond);
+    out.metrics = state.m;
+    out.metrics.cancelled = runtime.cancelsDelivered();
+    out.metrics.cancelDeaths = runtime.cancelDeaths();
+    out.metrics.resurrections = runtime.resurrections();
+    out.metrics.watchdogTriggers = runtime.watchdogTriggers();
+    out.deadlocksDetected = runtime.collector().reports().total();
+
+    const gc::MemStats& ms = runtime.memStats();
+    out.heapInuse = ms.heapInuse;
+    out.numGC = ms.numGC;
+    out.pauseTotalNs = ms.pauseTotalNs;
+    return out;
+}
+
+} // namespace golf::service

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Graceful service degradation on top of the controlled service (§9).
+ *
+ * The same double-send workload as service.hpp, but the service now
+ * *defends itself* instead of merely leaking:
+ *
+ *  - every request carries a virtual-time deadline (rt::withTimeout);
+ *    the parent selects over {ch1, ch2, ctx->done()} and abandons the
+ *    request when the deadline fires;
+ *  - child goroutines recover guard::DeadlockError via GOLF_DEFER +
+ *    rt::recover(), so a Cancel-rung delivery turns a leaked child
+ *    into a clean exit that frees its request-scope map;
+ *  - the client retries failed requests with exponential backoff and
+ *    seeded jitter (deterministic per seed);
+ *  - admission control sheds load while the watchdog reports blocked
+ *    pressure above a limit, and a circuit breaker opens after a run
+ *    of consecutive timeouts, cooling down before re-admitting.
+ *
+ * The bench (bench/service_guard.cpp) drives this service across the
+ * recovery ladder at leakRate=0.10 and compares goodput against the
+ * leak-free baseline — the RQ1(c)-style "does recovery keep the
+ * service alive" experiment.
+ */
+#ifndef GOLFCC_SERVICE_GUARD_SERVICE_HPP
+#define GOLFCC_SERVICE_GUARD_SERVICE_HPP
+
+#include "service/service.hpp"
+
+namespace golf::service {
+
+struct GuardServiceConfig : ServiceConfig
+{
+    /** Blocked-goroutine watchdog; on by default here — the guard
+     *  service is the watchdog's intended deployment. */
+    guard::WatchdogConfig watchdog{/*enabled=*/true};
+    guard::GuardPolicy guard;
+    /** Per-request deadline (rt::withTimeout). */
+    support::VTime requestTimeout = 2 * support::kSecond;
+    /** Client retries per request after a timeout. */
+    int maxRetries = 2;
+    /** First retry backoff; doubles per attempt, plus seeded jitter. */
+    support::VTime backoffBase = 50 * support::kMillisecond;
+    /** Shed new requests while watchdogPressure() >= this. */
+    size_t shedPressureLimit = 8;
+    /** Consecutive client-observed timeouts that open the breaker. */
+    int breakerWindow = 5;
+    /** How long an open breaker sheds before re-admitting. */
+    support::VTime breakerCooldown = 1 * support::kSecond;
+};
+
+/** Degradation counters (the new Metrics fields of §9). */
+struct GuardMetrics
+{
+    size_t served = 0;       ///< Requests completed OK (any time).
+    size_t goodput = 0;      ///< Requests completed OK after warmup.
+    size_t recovered = 0;    ///< DeadlockErrors recovered in children.
+    size_t cancelled = 0;    ///< Cancel deliveries by the runtime.
+    size_t cancelDeaths = 0; ///< Unrecovered cancels (contained).
+    size_t shed = 0;         ///< Requests refused at admission.
+    size_t retried = 0;      ///< Client retry attempts.
+    size_t timedOut = 0;     ///< Requests failed after all retries.
+    size_t breakerOpens = 0; ///< Circuit-breaker open transitions.
+    size_t resurrections = 0; ///< Detected false-positive revivals.
+    uint64_t watchdogTriggers = 0;
+};
+
+struct GuardResult
+{
+    /** Goodput: OK requests after warmup per second of duration. */
+    double goodputRps = 0;
+    LatencySummary latency;
+    GuardMetrics metrics;
+    size_t deadlocksDetected = 0;
+    uint64_t heapInuse = 0;
+    uint64_t numGC = 0;
+    uint64_t pauseTotalNs = 0;
+    bool failed = false; ///< The run itself panicked.
+};
+
+/** Run the guarded service once. Deterministic per (seed, config). */
+GuardResult runGuardService(const GuardServiceConfig& config);
+
+} // namespace golf::service
+
+#endif // GOLFCC_SERVICE_GUARD_SERVICE_HPP

@@ -6,6 +6,10 @@ rt::Task<void>
 Cond::wait(std::source_location loc)
 {
     l_->unlock();
+    // NOTE: a guard cancellation (DeadlockError) delivered during the
+    // park propagates out of here with the mutex NOT held — the wait
+    // was unwound before the reacquire. Recovering callers must not
+    // unlock.
     co_await SemParkOp(&sema_, this, rt::WaitReason::CondWait,
                        rt::Site::from(loc));
     co_await l_->lock(loc);
@@ -14,6 +18,8 @@ Cond::wait(std::source_location loc)
 void
 Cond::signal()
 {
+    if (poisoned())
+        rt_.onResurrection(this, "cond signal");
     if (auto* rd = rt_.raceDetector())
         rd->release(rt_.currentGoroutine(), this);
     semWake(rt_, &sema_);
@@ -22,6 +28,8 @@ Cond::signal()
 void
 Cond::broadcast()
 {
+    if (poisoned())
+        rt_.onResurrection(this, "cond broadcast");
     if (auto* rd = rt_.raceDetector())
         rd->release(rt_.currentGoroutine(), this);
     semWakeAll(rt_, &sema_);

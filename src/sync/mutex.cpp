@@ -22,6 +22,8 @@ Mutex::tryLock(std::source_location loc)
 void
 Mutex::unlock()
 {
+    if (poisoned())
+        rt_.onResurrection(this, "mutex unlock");
     if (!locked_)
         support::goPanic("sync: unlock of unlocked mutex");
     if (auto* rd = rt_.raceDetector())

@@ -55,6 +55,10 @@ class Mutex : public gc::Object
         void
         await_resume()
         {
+            // A cancelled waiter never received the handoff (its
+            // semtable entry was purged at delivery), so ownership
+            // needs no rollback before the throw.
+            rt::checkCancel();
             // Granted by unlock(): ownership was handed over with
             // locked_ still set.
             if (!parked_)

@@ -5,6 +5,8 @@ namespace golf::sync {
 void
 RWMutex::runlock()
 {
+    if (poisoned())
+        rt_.onResurrection(this, "rwmutex runlock");
     if (readers_ <= 0)
         support::goPanic("sync: RUnlock of unlocked RWMutex");
     if (auto* rd = rt_.raceDetector())
@@ -23,6 +25,8 @@ RWMutex::runlock()
 void
 RWMutex::unlock()
 {
+    if (poisoned())
+        rt_.onResurrection(this, "rwmutex unlock");
     if (!writer_)
         support::goPanic("sync: Unlock of unlocked RWMutex");
     if (auto* rd = rt_.raceDetector())

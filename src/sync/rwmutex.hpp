@@ -54,6 +54,7 @@ class RWMutex : public gc::Object
         void
         await_resume()
         {
+            rt::checkCancel();
             if (!parked_)
                 return;
             rt::Runtime* rt = rt::Runtime::current();
@@ -107,6 +108,12 @@ class RWMutex : public gc::Object
         void
         await_resume()
         {
+            // A parked writer raised waitingWriters_ (it gates new
+            // readers); roll that back before a cancel throw, or the
+            // lock would shut out readers forever.
+            if (parked_ && rt::cancelPending())
+                --m_->waitingWriters_;
+            rt::checkCancel();
             if (!parked_)
                 return;
             rt::Runtime* rt = rt::Runtime::current();

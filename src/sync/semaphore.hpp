@@ -74,6 +74,9 @@ class SemParkOp
     void
     await_resume()
     {
+        // Cancel delivery already purged our semtable entry and the
+        // blocked-sema record; nothing to roll back before throwing.
+        rt::checkCancel();
         rt::Runtime* rt = rt::Runtime::current();
         rt->clearBlockedSema(rt->currentGoroutine());
         // The waker released into the owner's clock (signal,
@@ -140,6 +143,7 @@ class Semaphore : public gc::Object
         void
         await_resume()
         {
+            rt::checkCancel();
             if (!parked_)
                 return;
             rt::Runtime* rt = rt::Runtime::current();
@@ -165,6 +169,8 @@ class Semaphore : public gc::Object
     void
     release()
     {
+        if (poisoned())
+            rt_.onResurrection(this, "sema release");
         if (auto* rd = rt_.raceDetector())
             rd->release(rt_.currentGoroutine(), this);
         if (!semWake(rt_, &sema_))

@@ -5,6 +5,8 @@ namespace golf::sync {
 void
 WaitGroup::add(int64_t delta)
 {
+    if (poisoned())
+        rt_.onResurrection(this, "waitgroup add");
     count_ += delta;
     if (count_ < 0)
         support::goPanic("sync: negative WaitGroup counter");

@@ -61,6 +61,7 @@ class WaitGroup : public gc::Object
         void
         await_resume()
         {
+            rt::checkCancel();
             if (!parked_)
                 return;
             rt::Runtime* rt = rt::Runtime::current();

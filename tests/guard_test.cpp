@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Tests for the guard subsystem (§9): the virtual-time watchdog, the
+ * Cancel rung's DeadlockError delivery and its defer/recover
+ * observability, cancel-attempt exhaustion, the recovery ladder over
+ * the microbench corpus (exact per-seed counts, gcWorkers
+ * independence), and resurrection poisoning (false positives healed,
+ * true positives silent).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chan/channel.hpp"
+#include "golf/collector.hpp"
+#include "guard/cancel.hpp"
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "runtime/defer.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+#include "sync/rwmutex.hpp"
+#include "sync/waitgroup.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+using support::kSecond;
+
+// Cross-goroutine probes: runMain is synchronous, so namespace-scope
+// state reset at the top of each test is race-free.
+std::string g_recoveredMsg;
+bool g_sendCompleted = false;
+bool g_writerCancelled = false;
+bool g_readerAdmitted = false;
+
+Go
+blockedSender(Channel<int>* ch)
+{
+    co_await chan::send(ch, 1);
+    g_sendCompleted = true;
+    co_return;
+}
+
+Go
+guardedSender(Channel<int>* ch)
+{
+    GOLF_DEFER([] {
+        if (auto m = rt::recover())
+            g_recoveredMsg = *m;
+    });
+    co_await chan::send(ch, 1);
+    g_sendCompleted = true;
+    co_return;
+}
+
+/** Swallows every cancellation in-body and re-blocks on the same
+ *  channel: exercises attempt exhaustion. */
+Go
+stubbornSender(Channel<int>* ch)
+{
+    for (;;) {
+        try {
+            co_await chan::send(ch, 1);
+            co_return;
+        } catch (const guard::DeadlockError&) {
+            // Refuse the hint; park again.
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Watchdog: off-cycle detection bounded by threshold + poll.
+// ---------------------------------------------------------------
+
+TEST(GuardTest, WatchdogForcesOffCycleDetection)
+{
+    rt::Config cfg;
+    cfg.watchdog.enabled = true;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            // No rt::gcNow() and a tiny heap: only the watchdog can
+            // force a detection pass.
+            co_await rt::sleepFor(500 * kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_GE(rt.watchdogTriggers(), 1u);
+    ASSERT_EQ(rt.collector().reports().total(), 1u);
+
+    // Detection latency is bounded by threshold + poll interval
+    // (plus the safepoint, immediate here), not by heap growth.
+    const detect::DeadlockReport& rep =
+        rt.collector().reports().all()[0];
+    const guard::WatchdogConfig& wd = rt.config().watchdog;
+    EXPECT_GE(rep.vtime, wd.blockedThresholdNs);
+    EXPECT_LE(rep.vtime,
+              wd.blockedThresholdNs + 2 * wd.pollIntervalNs +
+                  10 * kMillisecond);
+}
+
+TEST(GuardTest, WatchdogDisabledMeansNoOffCycleDetection)
+{
+    Runtime rt; // watchdog off by default: zero behavior change
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(500 * kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.watchdogTriggers(), 0u);
+    EXPECT_EQ(rt.collector().reports().total(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Cancel rung: delivery, recover(), containment, exhaustion.
+// ---------------------------------------------------------------
+
+TEST(GuardTest, CancelObservableViaDeferRecover)
+{
+    g_recoveredMsg.clear();
+    g_sendCompleted = false;
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::Cancel;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, guardedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            // Let the cancelled goroutine run its recovery.
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.cancelsDelivered(), 1u);
+    EXPECT_EQ(rt.cancelDeaths(), 0u);
+    EXPECT_FALSE(g_sendCompleted);
+    EXPECT_NE(g_recoveredMsg.find("deadlock: cancelled while blocked"),
+              std::string::npos)
+        << g_recoveredMsg;
+    EXPECT_NE(g_recoveredMsg.find("chan send"), std::string::npos)
+        << g_recoveredMsg;
+
+    // The delivery is attributed in the report log.
+    const detect::ReportLog& log = rt.collector().reports();
+    EXPECT_EQ(log.total(), 1u);
+    ASSERT_EQ(log.cancels().size(), 1u);
+    EXPECT_EQ(log.cancels()[0].reason, rt::WaitReason::ChanSend);
+    EXPECT_EQ(log.cancels()[0].attempt, 1);
+    // The cancelled goroutine is gone, not Deadlocked or reclaimed.
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Deadlocked), 0u);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::PendingReclaim), 0u);
+}
+
+TEST(GuardTest, UnrecoveredCancelIsContained)
+{
+    g_sendCompleted = false;
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::Cancel;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow();
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    // The goroutine died of an unrecovered DeadlockError; the run
+    // itself is fine (containment, like an injected fault).
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.cancelsDelivered(), 1u);
+    EXPECT_EQ(rt.cancelDeaths(), 1u);
+    EXPECT_FALSE(g_sendCompleted);
+}
+
+TEST(GuardTest, CancelExhaustionEscalatesToDeadlocked)
+{
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::Cancel;
+    cfg.guard.cancelAttempts = 1;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, stubbornSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow(); // detect + cancel (attempt 1)
+            co_await rt::sleepFor(kMillisecond); // re-blocks
+            co_await rt::gcNow(); // attempts exhausted: keep it
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.cancelsDelivered(), 1u);
+    EXPECT_EQ(rt.cancelDeaths(), 0u);
+    // Second detection found it again but the ladder floor (Detect)
+    // applied: kept alive, reported once, never re-cancelled.
+    EXPECT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Deadlocked), 1u);
+}
+
+// ---------------------------------------------------------------
+// sync-object cancellation: a cancelled parked writer must roll
+// back its waitingWriters_ elevation or readers starve forever.
+// ---------------------------------------------------------------
+
+Go
+readerHolder(sync::RWMutex* m, Channel<int>* never)
+{
+    co_await m->rlock();
+    co_await chan::recv(never); // deadlocks holding the read lock
+    co_return;
+}
+
+Go
+writerThenReader(sync::RWMutex* m)
+{
+    try {
+        co_await m->lock();
+        m->unlock(); // not reached
+    } catch (const guard::DeadlockError&) {
+        g_writerCancelled = true;
+    }
+    // After the cancelled write attempt, read admission must still
+    // work: the parked writer's pending count was rolled back.
+    co_await m->rlock();
+    m->runlock();
+    g_readerAdmitted = true;
+    co_return;
+}
+
+TEST(GuardTest, CancelledWriterRollsBackWaitingWriters)
+{
+    g_writerCancelled = false;
+    g_readerAdmitted = false;
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::Cancel;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            sync::RWMutex* m = rtp->make<sync::RWMutex>(*rtp);
+            GOLF_GO(*rtp, readerHolder, m,
+                    makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond); // reader locks
+            GOLF_GO(*rtp, writerThenReader, m);
+            co_await rt::sleepFor(kMillisecond); // writer parks
+            co_await rt::gcNow(); // both candidates cancelled
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(g_writerCancelled);
+    EXPECT_TRUE(g_readerAdmitted);
+    EXPECT_EQ(rt.cancelsDelivered(), 2u);
+    EXPECT_EQ(rt.cancelDeaths(), 1u); // readerHolder had no guard
+}
+
+// ---------------------------------------------------------------
+// Watchdog rescue: a global deadlock becomes a recovered run.
+// ---------------------------------------------------------------
+
+Go
+rescuedChild(Runtime* rtp, sync::WaitGroup* wg)
+{
+    Channel<int>* ch = makeChan<int>(*rtp, 0);
+    try {
+        co_await chan::send(ch, 1); // no receiver will ever come
+    } catch (const guard::DeadlockError&) {
+    }
+    wg->done();
+    co_return;
+}
+
+TEST(GuardTest, WatchdogRescuesGlobalDeadlock)
+{
+    rt::Config cfg;
+    cfg.watchdog.enabled = true;
+    cfg.recovery = rt::Recovery::Cancel;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            // Rooted globally so the liveness fixpoint keeps main
+            // alive: only the child is a true partial deadlock.
+            gc::GlobalRoot<sync::WaitGroup> wg(
+                rtp->heap(), rtp->make<sync::WaitGroup>(*rtp));
+            wg->add(1);
+            GOLF_GO(*rtp, rescuedChild, rtp, wg.get());
+            // With no runnable goroutine and no pending timer this
+            // wait is Go's fatal global deadlock; the watchdog
+            // rescue cancels the child instead and the run finishes.
+            co_await wg->wait();
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.globalDeadlock);
+    EXPECT_GE(rt.watchdogTriggers(), 1u);
+    EXPECT_EQ(rt.cancelsDelivered(), 1u);
+    EXPECT_EQ(rt.cancelDeaths(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Resurrection poisoning: a hint-induced false positive is healed
+// when the "dead" channel is touched; true positives stay silent.
+// ---------------------------------------------------------------
+
+TEST(GuardTest, ResurrectionHealsFalsePositive)
+{
+    g_sendCompleted = false;
+    Runtime rt; // Detect rung: the false positive is kept, poisoned
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            gc::GlobalRoot<Channel<int>> ch(rtp->heap(),
+                                            makeChan<int>(*rtp, 0));
+            GOLF_GO(*rtp, blockedSender, ch.get());
+            co_await rt::sleepFor(kMillisecond);
+            // A wrong inert hint defeats Listing 4 in the bad
+            // direction: the sender is declared deadlocked even
+            // though main still uses the channel.
+            rtp->collector().hintInertGlobal(ch.get());
+            co_await rt::gcNow();
+            EXPECT_EQ(rtp->collector().reports().total(), 1u);
+            // Touch the poisoned channel: the tripwire must heal
+            // the verdict instead of corrupting the rendezvous.
+            chan::RecvResult<int> v =
+                co_await chan::recv(ch.get());
+            EXPECT_TRUE(v.ok);
+            EXPECT_EQ(v.value, 1);
+            co_await rt::sleepFor(kMillisecond);
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.resurrections(), 1u);
+    // The healed sender completed its send and exited normally.
+    EXPECT_TRUE(g_sendCompleted);
+    EXPECT_EQ(rt.countByStatus(rt::GStatus::Deadlocked), 0u);
+
+    const detect::ReportLog& log = rt.collector().reports();
+    ASSERT_EQ(log.resurrections().size(), 1u);
+    EXPECT_EQ(log.resurrections()[0].op, "chan recv");
+}
+
+TEST(GuardTest, TruePositiveNeverResurrects)
+{
+    rt::Config cfg;
+    cfg.recovery = rt::Recovery::Reclaim;
+    Runtime rt(cfg);
+    rt::RunResult r = rt.runMain(
+        +[](Runtime* rtp) -> Go {
+            GOLF_GO(*rtp, blockedSender, makeChan<int>(*rtp, 0));
+            co_await rt::sleepFor(kMillisecond);
+            co_await rt::gcNow(); // detect + stage
+            co_await rt::gcNow(); // reclaim
+            co_return;
+        },
+        &rt);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(rt.collector().reports().total(), 1u);
+    EXPECT_EQ(rt.resurrections(), 0u);
+}
+
+// ---------------------------------------------------------------
+// The ladder over the microbench corpus: exact per-seed counts,
+// run-to-run determinism, gcWorkers independence.
+// ---------------------------------------------------------------
+
+struct LadderCounts
+{
+    size_t reports = 0;
+    uint64_t cancels = 0;
+    uint64_t cancelDeaths = 0;
+    uint64_t quarantined = 0;
+    uint64_t resurrections = 0;
+    int detectedAtLabel = 0;
+
+    bool
+    operator==(const LadderCounts& o) const
+    {
+        return reports == o.reports && cancels == o.cancels &&
+               cancelDeaths == o.cancelDeaths &&
+               quarantined == o.quarantined &&
+               resurrections == o.resurrections &&
+               detectedAtLabel == o.detectedAtLabel;
+    }
+};
+
+LadderCounts
+runLadder(const microbench::Pattern& p, rt::Recovery rung,
+          int gcWorkers, bool watchdog)
+{
+    microbench::HarnessConfig hc;
+    hc.seed = 7;
+    hc.recovery = rung;
+    hc.gcWorkers = gcWorkers;
+    hc.verifyInvariants = true;
+    hc.watchdog.enabled = watchdog;
+    microbench::RunOutcome o = microbench::runPatternOnce(p, hc);
+    EXPECT_TRUE(o.invariantViolations.empty())
+        << p.name << ": " << o.invariantViolations.front();
+    EXPECT_FALSE(o.runtimeFailure) << o.failureMessage;
+    LadderCounts c;
+    c.reports = o.individualReports;
+    c.cancels = o.cancelsDelivered;
+    c.cancelDeaths = o.cancelDeaths;
+    c.quarantined = o.quarantined;
+    c.resurrections = o.resurrections;
+    for (const auto& [label, n] : o.detectedPerLabel)
+        c.detectedAtLabel += n;
+    return c;
+}
+
+TEST(GuardTest, LadderRungsOnCorpusAreExactAndDeterministic)
+{
+    const microbench::Pattern* p =
+        microbench::Registry::instance().find("cgo/ex1");
+    ASSERT_NE(p, nullptr);
+
+    for (rt::Recovery rung :
+         {rt::Recovery::Detect, rt::Recovery::Cancel,
+          rt::Recovery::Reclaim, rt::Recovery::Quarantine}) {
+        SCOPED_TRACE(rt::recoveryName(rung));
+        LadderCounts base = runLadder(*p, rung, /*gcWorkers=*/1,
+                                      /*watchdog=*/false);
+        // cgo/ex1 is deterministic with one expected leak site: each
+        // rung must see exactly one deadlock, and the cancel-capable
+        // rungs exactly one delivery (the pattern has no recover, so
+        // the delivery is a contained death).
+        EXPECT_EQ(base.reports, 1u);
+        EXPECT_EQ(base.detectedAtLabel, 1);
+        EXPECT_EQ(base.resurrections, 0u);
+        EXPECT_EQ(base.quarantined, 0u);
+        const bool cancels = rung == rt::Recovery::Cancel ||
+                             rung == rt::Recovery::Quarantine;
+        EXPECT_EQ(base.cancels, cancels ? 1u : 0u);
+        EXPECT_EQ(base.cancelDeaths, cancels ? 1u : 0u);
+
+        // Same (seed, config) twice: byte-identical accounting.
+        EXPECT_TRUE(base == runLadder(*p, rung, 1, false));
+        // Parallel marking must not change any guard outcome.
+        EXPECT_TRUE(base == runLadder(*p, rung, 2, false));
+        EXPECT_TRUE(base == runLadder(*p, rung, 4, false));
+    }
+}
+
+TEST(GuardTest, WatchdogKeepsCorpusCountsIntact)
+{
+    const microbench::Pattern* p =
+        microbench::Registry::instance().find("cgo/ex2");
+    ASSERT_NE(p, nullptr);
+    LadderCounts off = runLadder(*p, rt::Recovery::Reclaim, 1, false);
+    LadderCounts on = runLadder(*p, rt::Recovery::Reclaim, 1, true);
+    // The watchdog may detect *earlier* but never more, fewer, or
+    // different deadlocks on a deterministic pattern.
+    EXPECT_EQ(off.reports, on.reports);
+    EXPECT_EQ(off.detectedAtLabel, on.detectedAtLabel);
+    EXPECT_EQ(on.resurrections, 0u);
+}
+
+} // namespace
+} // namespace golf

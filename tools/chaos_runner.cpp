@@ -26,14 +26,21 @@
  *     -forcegc-prob <p>   forced-collection probability (default 0.005)
  *     -reclaimfail-prob <p> throwing-reclaim probability (default 0.05)
  *     -repro              run every configuration twice and require
- *                         byte-identical fault traces
+ *                         byte-identical fault traces plus identical
+ *                         report/cancel counts
  *     -race               run under the race detector (happens-before
  *                         race checking + lock-order analysis); race
  *                         and cycle totals are reported per sweep
+ *     -watchdog           enable the blocked-goroutine watchdog
+ *                         (forces off-cycle detection passes)
+ *     -recovery <rung>    recovery ladder rung: detect, cancel,
+ *                         reclaim (default) or quarantine; the
+ *                         -recovery=<rung> spelling also works
  *     -v                  per-run output
  *
  * Exit status: 0 iff zero invariant violations, zero reproducibility
- * mismatches and zero unexpected runtime failures.
+ * mismatches, zero unexpected runtime failures and zero unexpected
+ * quarantines (quarantines with reclaim-fault injection disabled).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +69,8 @@ struct Options
     rt::FaultConfig faults;
     bool repro = false;
     bool race = false;
+    bool watchdog = false;
+    rt::Recovery recovery = rt::Recovery::Reclaim;
     bool verbose = false;
 };
 
@@ -153,6 +162,18 @@ parseArgs(int argc, char** argv, Options& opt)
             opt.repro = true;
         } else if (arg == "-race") {
             opt.race = true;
+        } else if (arg == "-watchdog") {
+            opt.watchdog = true;
+        } else if (arg == "-recovery" ||
+                   arg.rfind("-recovery=", 0) == 0) {
+            const char* v = arg == "-recovery"
+                ? next() : arg.c_str() + std::strlen("-recovery=");
+            if (!v || !rt::parseRecovery(v, opt.recovery)) {
+                std::fprintf(stderr,
+                             "-recovery wants detect|cancel|reclaim|"
+                             "quarantine\n");
+                return false;
+            }
         } else if (arg == "-v") {
             opt.verbose = true;
         } else {
@@ -184,6 +205,11 @@ struct Totals
     uint64_t violations = 0;
     uint64_t reproMismatches = 0;
     uint64_t unexpectedFailures = 0;
+    uint64_t unexpectedQuarantines = 0;
+    uint64_t cancels = 0;
+    uint64_t cancelDeaths = 0;
+    uint64_t resurrections = 0;
+    uint64_t watchdogTriggers = 0;
     uint64_t races = 0;
     uint64_t lockOrderCycles = 0;
     uint64_t confirmedCycles = 0;
@@ -209,8 +235,8 @@ main(int argc, char** argv)
             stderr,
             "usage: chaos_runner [-seeds n] [-seed-base n] "
             "[-match re] [-per-seed n] [-procs 1,2,4] "
-            "[-gc-workers n] "
-            "[-<kind>-prob p ...] [-repro] [-race] [-v]\n");
+            "[-gc-workers n] [-<kind>-prob p ...] [-repro] [-race] "
+            "[-watchdog] [-recovery rung] [-v]\n");
         return 2;
     }
 
@@ -246,6 +272,8 @@ main(int argc, char** argv)
             cfg.faults = opt.faults;
             cfg.verifyInvariants = true;
             cfg.race = opt.race;
+            cfg.recovery = opt.recovery;
+            cfg.watchdog.enabled = opt.watchdog;
 
             RunOutcome out = runPatternOnce(p, cfg);
             ++t.runs;
@@ -254,6 +282,20 @@ main(int argc, char** argv)
             t.quarantined += out.quarantined;
             t.deadlockReports += out.individualReports;
             t.violations += out.invariantViolations.size();
+            t.cancels += out.cancelsDelivered;
+            t.cancelDeaths += out.cancelDeaths;
+            t.resurrections += out.resurrections;
+            t.watchdogTriggers += out.watchdogTriggers;
+            if (out.quarantined > 0 &&
+                opt.faults.reclaimFailureProb == 0.0) {
+                // Quarantine is strictly a reclaim-unwind-failure
+                // outcome; without injected reclaim faults any
+                // occurrence is a real bug.
+                t.unexpectedQuarantines += out.quarantined;
+                noteFailure(t, p.name + " seed=" +
+                                   std::to_string(seed) +
+                                   ": unexpected quarantine");
+            }
             t.races += out.raceStats.raceReports;
             t.lockOrderCycles += out.raceStats.lockOrderCycles;
             t.confirmedCycles += out.raceStats.confirmedCycles;
@@ -282,12 +324,15 @@ main(int argc, char** argv)
 
             if (opt.repro) {
                 RunOutcome again = runPatternOnce(p, cfg);
-                if (again.faultTrace != out.faultTrace) {
+                if (again.faultTrace != out.faultTrace ||
+                    again.individualReports != out.individualReports ||
+                    again.cancelsDelivered != out.cancelsDelivered ||
+                    again.resurrections != out.resurrections) {
                     ++t.reproMismatches;
                     noteFailure(t, p.name + " seed=" +
                                        std::to_string(seed) +
-                                       ": fault trace differs on "
-                                       "replay");
+                                       ": fault trace or guard counts "
+                                       "differ on replay");
                 }
             }
 
@@ -327,6 +372,18 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(t.injectedOoms));
     std::printf("  deadlock reports:     %llu\n",
                 static_cast<unsigned long long>(t.deadlockReports));
+    if (opt.recovery == rt::Recovery::Cancel ||
+        opt.recovery == rt::Recovery::Quarantine) {
+        std::printf("  cancels delivered:    %llu (%llu unrecovered)\n",
+                    static_cast<unsigned long long>(t.cancels),
+                    static_cast<unsigned long long>(t.cancelDeaths));
+    }
+    if (opt.watchdog) {
+        std::printf("  watchdog triggers:    %llu\n",
+                    static_cast<unsigned long long>(t.watchdogTriggers));
+    }
+    std::printf("  resurrections:        %llu\n",
+                static_cast<unsigned long long>(t.resurrections));
     std::printf("  invariant violations: %llu\n",
                 static_cast<unsigned long long>(t.violations));
     if (opt.repro) {
@@ -349,7 +406,8 @@ main(int argc, char** argv)
         std::fprintf(stderr, "FAIL %s\n", line.c_str());
 
     const bool ok = t.violations == 0 && t.reproMismatches == 0 &&
-                    t.unexpectedFailures == 0;
+                    t.unexpectedFailures == 0 &&
+                    t.unexpectedQuarantines == 0;
     std::printf("%s\n", ok ? "OK" : "FAILED");
     return ok ? 0 : 1;
 }

@@ -22,6 +22,14 @@
  *     -seed <n>         master seed (default 1)
  *     -gc-workers <n>   GC mark workers (0 = auto, 1 = serial;
  *                       results are identical for every value)
+ *     -verify           cross-check runtime invariants after every GC
+ *                       and at end of run; any violation, runtime
+ *                       failure or unexpected quarantine prints a
+ *                       one-line FAIL with the seed and exits 1
+ *     -watchdog         enable the blocked-goroutine watchdog
+ *     -recovery <rung>  recovery ladder rung: detect, cancel, reclaim
+ *                       (default) or quarantine (-recovery=<rung>
+ *                       also accepted)
  *
  * Coverage mode prints a Table 1-style aggregate; trace lines for
  * detected deadlocks use the runtime's "partial deadlock!" format.
@@ -54,6 +62,9 @@ struct Options
     bool race = false;
     uint64_t seed = 1;
     int gcWorkers = 0; // 0 = auto (hardware concurrency)
+    bool verify = false;
+    bool watchdog = false;
+    rt::Recovery recovery = rt::Recovery::Reclaim;
 };
 
 bool
@@ -102,6 +113,20 @@ parseArgs(int argc, char** argv, Options& opt)
             if (!v)
                 return false;
             opt.gcWorkers = std::atoi(v);
+        } else if (arg == "-verify") {
+            opt.verify = true;
+        } else if (arg == "-watchdog") {
+            opt.watchdog = true;
+        } else if (arg == "-recovery" ||
+                   arg.rfind("-recovery=", 0) == 0) {
+            const char* v = arg == "-recovery"
+                ? next() : arg.c_str() + std::strlen("-recovery=");
+            if (!v || !rt::parseRecovery(v, opt.recovery)) {
+                std::fprintf(stderr,
+                             "-recovery wants detect|cancel|reclaim|"
+                             "quarantine\n");
+                return false;
+            }
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             return false;
@@ -142,6 +167,7 @@ runCoverage(const Options& opt)
 
     size_t shown = 0, remaining = 0, remainingBenchmarks = 0;
     double aggDetected = 0, aggRuns = 0;
+    std::vector<std::string> failures;
 
     for (const Pattern* p : patterns) {
         std::map<std::string, std::map<int, int>> detected;
@@ -151,7 +177,11 @@ runCoverage(const Options& opt)
             cfg.gcWorkers = opt.gcWorkers;
             cfg.seed = opt.seed * 7919 +
                        static_cast<uint64_t>(procs);
-            auto sites = runPatternRepeated(*p, cfg, opt.repeats);
+            cfg.verifyInvariants = opt.verify;
+            cfg.watchdog.enabled = opt.watchdog;
+            cfg.recovery = opt.recovery;
+            auto sites = runPatternRepeated(*p, cfg, opt.repeats,
+                                            &failures);
             for (const auto& s : sites)
                 detected[s.label][procs] = s.detectedRuns;
         }
@@ -193,7 +223,9 @@ runCoverage(const Options& opt)
     std::printf("coverage report written to %s (%zu flaky sites, "
                 "%zu at 100%%)\n",
                 opt.report.c_str(), shown, remaining);
-    return 0;
+    for (const auto& line : failures)
+        std::fprintf(stderr, "FAIL %s\n", line.c_str());
+    return failures.empty() ? 0 : 1;
 }
 
 /** pgfplots box plot of the Mark clock columns (artifact A.5.2). */
@@ -348,7 +380,7 @@ main(int argc, char** argv)
             stderr,
             "usage: golf_tester [-match re] [-repeats n] "
             "[-procs 1,2,4] [-report path] [-perf] [-race] "
-            "[-seed n]\n");
+            "[-seed n] [-verify] [-watchdog] [-recovery rung]\n");
         return 2;
     }
     if (opt.race)
