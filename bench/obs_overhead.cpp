@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Telemetry overhead, emitted as BENCH_obs_overhead.json. Two
+ * workloads, three telemetry modes:
+ *
+ *   obs-off      rt::Config::obs.enabled = false — the runtime holds
+ *                no Obs object and every trace-event site costs one
+ *                predictable branch (asserted structurally below);
+ *   flight-on    default telemetry: flight-recorder rings + metrics
+ *                registry + park histograms, no contention profiles;
+ *   full-tracer  obs off, legacy full-fidelity rt::Tracer enabled
+ *                (unbounded in-order vector).
+ *
+ * Workload 1 (churn) is a worst case: spawn/park/ready/yield events
+ * with almost no work between them, reported as events per wall
+ * second (the virtual event count is identical across modes by
+ * determinism). Workload 2 (gc-mark) is the paper's setting: GC
+ * cycles over a large live object graph, where marking dominates and
+ * telemetry sees only the per-cycle events.
+ *
+ * Each mode runs `repeats` times; the score is the run's median wall
+ * time. Repeats are interleaved round-robin across modes so machine
+ * drift hits all modes equally.
+ *
+ * Acceptance (wired into `bench_obs_overhead_smoke`): flight-on must
+ * sustain >= 95% of obs-off throughput on the gc-mark workload —
+ * always-on telemetry costs at most 5% of a marking-bound run — and
+ * the obs-off run must be structurally bare (no Obs object, no
+ * tracer records). Churn ratios are reported but not gated: with
+ * ~tens of ns of total work per event there is no 5% to hide in.
+ *
+ * Usage:
+ *   obs_overhead [--smoke]
+ * Environment:
+ *   GOLF_OBS_ROUNDS   churn spawn rounds per run (default 100; smoke 60)
+ *   GOLF_OBS_SPAWNS   goroutines per round       (default 500)
+ *   GOLF_OBS_NODES    gc-mark live graph size    (default 200000)
+ *   GOLF_OBS_CYCLES   gc-mark GC cycles per run  (default 40; smoke 25)
+ *   GOLF_OBS_REPEATS  runs per mode              (default 7; smoke 5)
+ *   GOLF_RESULTS_DIR  where the JSON goes        (default .)
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chan/channel.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+using namespace golf;
+using support::kMicrosecond;
+using support::kMillisecond;
+
+namespace {
+
+// ------------------------------------------------------------------
+// Workload 1: event churn.
+
+rt::Go
+worker(chan::Channel<int>* ch)
+{
+    co_await rt::sleepFor(10 * kMicrosecond);
+    for (int i = 0; i < 2; ++i)
+        co_await rt::yield();
+    co_await chan::send(ch, 1);
+    co_return;
+}
+
+rt::Go
+drain(chan::Channel<int>* ch, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await chan::recv(ch);
+    co_return;
+}
+
+rt::Go
+churnMain(rt::Runtime* rtp, int rounds, int spawns)
+{
+    for (int r = 0; r < rounds; ++r) {
+        gc::Local<chan::Channel<int>> ch(
+            chan::makeChan<int>(*rtp, 8));
+        GOLF_GO(*rtp, drain, ch.get(), spawns);
+        for (int i = 0; i < spawns; ++i)
+            GOLF_GO(*rtp, worker, ch.get());
+        co_await rt::sleepFor(kMillisecond);
+        if (r % 16 == 0)
+            co_await rt::gcNow();
+    }
+    co_return;
+}
+
+// ------------------------------------------------------------------
+// Workload 2: gc-mark. A long singly-linked live list; every gcNow()
+// marks the whole graph through the tricolor worklist while obs sees
+// only the per-cycle GcStart/GcEnd events and cycle stats.
+
+struct Node : gc::Object
+{
+    Node* next = nullptr;
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(next);
+    }
+};
+
+rt::Go
+markMain(rt::Runtime* rtp, int nodes, int cycles)
+{
+    gc::Local<Node> head(rtp->make<Node>());
+    Node* cur = head.get();
+    for (int i = 1; i < nodes; ++i) {
+        Node* n = rtp->make<Node>();
+        cur->next = n;
+        cur = n;
+    }
+    for (int c = 0; c < cycles; ++c)
+        co_await rt::gcNow();
+    co_return;
+}
+
+// ------------------------------------------------------------------
+
+enum Mode
+{
+    ObsOff,
+    FlightOn,
+    FullTracer,
+};
+
+const char*
+modeName(Mode m)
+{
+    switch (m) {
+      case ObsOff: return "obs-off";
+      case FlightOn: return "flight-on";
+      case FullTracer: return "full-tracer";
+    }
+    return "?";
+}
+
+enum Workload
+{
+    Churn,
+    GcMark,
+};
+
+struct RunStats
+{
+    uint64_t wallNs = 0;
+    uint64_t eventsAppended = 0; // flight-on only
+};
+
+RunStats
+runOnce(Workload w, Mode mode, int a, int b)
+{
+    rt::Config rc;
+    rc.seed = 1;
+    rc.obs.enabled = mode == FlightOn;
+    if (w == GcMark)
+        rc.heap.minTriggerBytes = 1ull << 30; // only forced GCs
+    rt::Runtime rt(rc);
+    if (mode == FullTracer)
+        rt.tracer().enable();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    rt::RunResult rr = w == Churn
+        ? rt.runMain(churnMain, &rt, a, b)
+        : rt.runMain(markMain, &rt, a, b);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!rr.ok()) {
+        std::fprintf(stderr, "FAIL %s run panicked: %s\n",
+                     modeName(mode), rr.panicMessage.c_str());
+        std::exit(1);
+    }
+
+    if (mode == ObsOff) {
+        // Structural form of the "one branch per event" contract:
+        // with obs off and the tracer disarmed the runtime holds no
+        // telemetry sinks at all, so emitEvent() can only take its
+        // single eventsArmed_ test-and-skip.
+        if (rt.obs() != nullptr || rt.tracer().enabled() ||
+            !rt.tracer().records().empty()) {
+            std::fprintf(stderr,
+                         "FAIL obs-off run is not bare: obs=%p "
+                         "tracer=%d records=%zu\n",
+                         static_cast<void*>(rt.obs()),
+                         rt.tracer().enabled() ? 1 : 0,
+                         rt.tracer().records().size());
+            std::exit(1);
+        }
+    }
+
+    RunStats s;
+    s.wallNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    if (mode == FlightOn && rt.obs() && rt.obs()->flight())
+        s.eventsAppended = rt.obs()->flight()->appended();
+    if (mode == FullTracer &&
+        rt.tracer().records().size() + rt.tracer().dropped() == 0) {
+        std::fprintf(stderr, "FAIL full-tracer recorded nothing\n");
+        std::exit(1);
+    }
+    return s;
+}
+
+uint64_t
+median(std::vector<uint64_t> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+struct WorkloadResult
+{
+    uint64_t medianWallNs[3] = {0, 0, 0};
+    uint64_t events = 0; // flight-on appended count
+};
+
+WorkloadResult
+runWorkload(Workload w, const char* name, int a, int b, int repeats)
+{
+    // Warm up allocators and page cache once per mode.
+    for (Mode m : {ObsOff, FlightOn, FullTracer})
+        runOnce(w, m, a / 2 + 1, b);
+
+    std::vector<uint64_t> wall[3];
+    WorkloadResult res;
+    for (int i = 0; i < repeats; ++i) {
+        for (Mode m : {ObsOff, FlightOn, FullTracer}) {
+            RunStats s = runOnce(w, m, a, b);
+            wall[m].push_back(s.wallNs);
+            if (m == FlightOn)
+                res.events = s.eventsAppended;
+        }
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+    for (Mode m : {ObsOff, FlightOn, FullTracer}) {
+        res.medianWallNs[m] = median(wall[m]);
+        std::printf("  %-8s %-12s median %8.3f ms\n", name,
+                    modeName(m),
+                    static_cast<double>(res.medianWallNs[m]) / 1e6);
+    }
+    return res;
+}
+
+double
+ratioVsOff(const WorkloadResult& r, Mode m)
+{
+    // Throughput ratio = inverse wall-time ratio.
+    return static_cast<double>(r.medianWallNs[ObsOff]) /
+           static_cast<double>(r.medianWallNs[m]);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const int rounds =
+        bench::envInt("GOLF_OBS_ROUNDS", smoke ? 60 : 100);
+    const int spawns = bench::envInt("GOLF_OBS_SPAWNS", 500);
+    const int nodes = bench::envInt("GOLF_OBS_NODES", 200000);
+    const int cycles =
+        bench::envInt("GOLF_OBS_CYCLES", smoke ? 25 : 40);
+    const int repeats =
+        bench::envInt("GOLF_OBS_REPEATS", smoke ? 5 : 7);
+
+    std::printf("obs_overhead: churn %d rounds x %d spawns, gc-mark "
+                "%d nodes x %d cycles, %d repeats per mode\n",
+                rounds, spawns, nodes, cycles, repeats);
+
+    const WorkloadResult churn =
+        runWorkload(Churn, "churn", rounds, spawns, repeats);
+    const WorkloadResult mark =
+        runWorkload(GcMark, "gc-mark", nodes, cycles, repeats);
+
+    double churnEps[3];
+    for (Mode m : {ObsOff, FlightOn, FullTracer})
+        churnEps[m] =
+            static_cast<double>(churn.events) /
+            (static_cast<double>(churn.medianWallNs[m]) / 1e9);
+    const double churnFlight = ratioVsOff(churn, FlightOn);
+    const double churnTracer = ratioVsOff(churn, FullTracer);
+    const double markFlight = ratioVsOff(mark, FlightOn);
+    const double markTracer = ratioVsOff(mark, FullTracer);
+    std::printf("  churn:   %.0f events/run; flight-on/off %.3f, "
+                "full-tracer/off %.3f\n",
+                static_cast<double>(churn.events), churnFlight,
+                churnTracer);
+    std::printf("  gc-mark: flight-on/off %.3f, full-tracer/off "
+                "%.3f\n",
+                markFlight, markTracer);
+
+    const std::string path = bench::csvPath("BENCH_obs_overhead.json");
+    std::ofstream out(path);
+    out << "{\n  \"rounds\": " << rounds << ",\n  \"spawns\": "
+        << spawns << ",\n  \"nodes\": " << nodes
+        << ",\n  \"cycles\": " << cycles << ",\n  \"repeats\": "
+        << repeats << ",\n  \"churn_events_per_run\": "
+        << churn.events << ",\n  \"modes\": [\n";
+    for (Mode m : {ObsOff, FlightOn, FullTracer}) {
+        out << "    {\"mode\": \"" << modeName(m)
+            << "\", \"churn_median_wall_ns\": "
+            << churn.medianWallNs[m]
+            << ", \"churn_events_per_sec\": " << churnEps[m]
+            << ", \"gc_mark_median_wall_ns\": "
+            << mark.medianWallNs[m] << "}"
+            << (m == FullTracer ? "" : ",") << "\n";
+    }
+    out << "  ],\n  \"churn_flight_on_vs_off\": " << churnFlight
+        << ",\n  \"churn_full_tracer_vs_off\": " << churnTracer
+        << ",\n  \"gc_mark_flight_on_vs_off\": " << markFlight
+        << ",\n  \"gc_mark_full_tracer_vs_off\": " << markTracer
+        << "\n}\n";
+
+    bool ok = true;
+    if (!(markFlight >= 0.95)) {
+        std::fprintf(stderr,
+                     "FAIL flight-on gc-mark throughput %.1f%% of "
+                     "obs-off (need >= 95%%)\n",
+                     100 * markFlight);
+        ok = false;
+    }
+    if (churn.events == 0) {
+        std::fprintf(stderr, "FAIL no events recorded\n");
+        ok = false;
+    }
+    std::printf("results: %s\n%s\n", path.c_str(),
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -18,7 +18,12 @@
  * report zero resurrections and a clean run. Deterministic per seed.
  *
  * Usage:
- *   service_guard [--smoke]
+ *   service_guard [--smoke] [-metrics <path>] [-prom <path>]
+ *                 [-gctrace] [-flight <records>] [-blockprofile <ns>]
+ *                 [-mutexprofile <ns>] [-no-obs]
+ *
+ * -metrics / -prom write the Quarantine-rung run's metrics snapshot
+ * (JSON / Prometheus exposition text) after the ladder completes.
  * Environment:
  *   GOLF_GUARD_WARMUP_S    warmup seconds    (default 2)
  *   GOLF_GUARD_DURATION_S  measured seconds  (default 10; smoke 6)
@@ -26,6 +31,7 @@
  *   GOLF_RESULTS_DIR       where the JSON goes (default .)
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -46,9 +52,17 @@ struct Row
     service::GuardResult r;
 };
 
+struct ObsOptions
+{
+    obs::Config obs;
+    std::string metricsPath;
+    std::string promPath;
+};
+
 service::GuardResult
 runOnce(rt::Recovery recovery, double leakRate, uint64_t seed,
-        support::VTime warmup, support::VTime duration)
+        support::VTime warmup, support::VTime duration,
+        const ObsOptions& oo, bool capture)
 {
     service::GuardServiceConfig cfg;
     cfg.recovery = recovery;
@@ -56,6 +70,8 @@ runOnce(rt::Recovery recovery, double leakRate, uint64_t seed,
     cfg.seed = seed;
     cfg.warmup = warmup;
     cfg.duration = duration;
+    cfg.obs = oo.obs;
+    cfg.captureObs = capture;
     return service::runGuardService(cfg);
 }
 
@@ -64,8 +80,47 @@ runOnce(rt::Recovery recovery, double leakRate, uint64_t seed,
 int
 main(int argc, char** argv)
 {
-    const bool smoke =
-        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bool smoke = false;
+    ObsOptions oo;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--smoke" || arg == "-smoke") {
+            smoke = true;
+        } else if (arg == "-metrics") {
+            const char* v = next();
+            if (v)
+                oo.metricsPath = v;
+        } else if (arg == "-prom") {
+            const char* v = next();
+            if (v)
+                oo.promPath = v;
+        } else if (arg == "-gctrace") {
+            oo.obs.gctrace = true;
+        } else if (arg == "-flight") {
+            const char* v = next();
+            if (v)
+                oo.obs.flightRecords =
+                    static_cast<size_t>(std::atoll(v));
+        } else if (arg == "-blockprofile") {
+            const char* v = next();
+            if (v)
+                oo.obs.blockProfileRateNs =
+                    static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-mutexprofile") {
+            const char* v = next();
+            if (v)
+                oo.obs.mutexProfileRateNs =
+                    static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-no-obs") {
+            oo.obs.enabled = false;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        }
+    }
     const uint64_t seed =
         static_cast<uint64_t>(bench::envInt("GOLF_GUARD_SEED", 1));
     const support::VTime warmup =
@@ -79,17 +134,36 @@ main(int argc, char** argv)
 
     std::printf("service_guard: leak-free baseline...\n");
     service::GuardResult base =
-        runOnce(rt::Recovery::Detect, 0.0, seed, warmup, duration);
+        runOnce(rt::Recovery::Detect, 0.0, seed, warmup, duration,
+                oo, /*capture=*/false);
 
+    const bool wantCapture =
+        !oo.metricsPath.empty() || !oo.promPath.empty();
     std::vector<Row> rows;
     for (rt::Recovery rung :
          {rt::Recovery::Detect, rt::Recovery::Cancel,
           rt::Recovery::Reclaim, rt::Recovery::Quarantine}) {
         std::printf("service_guard: rung=%s leak=0.10...\n",
                     rt::recoveryName(rung));
+        // Snapshot metrics off the Quarantine rung: it exercises the
+        // whole ladder (cancel -> reclaim -> quarantine counters).
+        const bool capture =
+            wantCapture && rung == rt::Recovery::Quarantine;
         rows.push_back(Row{rt::recoveryName(rung), rung, 0.10,
                            runOnce(rung, 0.10, seed, warmup,
-                                   duration)});
+                                   duration, oo, capture)});
+    }
+    if (!oo.metricsPath.empty()) {
+        std::ofstream mf(oo.metricsPath);
+        mf << rows.back().r.metricsJson;
+        std::printf("metrics snapshot written to %s\n",
+                    oo.metricsPath.c_str());
+    }
+    if (!oo.promPath.empty()) {
+        std::ofstream pf(oo.promPath);
+        pf << rows.back().r.prometheus;
+        std::printf("prometheus snapshot written to %s\n",
+                    oo.promPath.c_str());
     }
 
     const std::string path =

@@ -120,8 +120,14 @@ Collector::handleDeadlocked(gc::Marker& m, rt::Goroutine* g,
                             CycleStats& cs)
 {
     ++cs.deadlocksFound;
-    rt_.tracer().record(rt_.clock().now(), rt::TraceEvent::Deadlock,
-                        g->id(), g->waitReason());
+    rt_.emitEvent(rt::TraceEvent::Deadlock, g->id(),
+                  g->waitReason());
+    if (auto* o = rt_.obs()) {
+        // Park-to-verdict latency off the PR 4 watchdog stamp (the
+        // stamp is re-armed by polls, so this measures from the last
+        // poll that saw the goroutine — the operational signal).
+        o->onDeadlockVerdict(rt_.clock().now() - g->blockedSinceVt());
+    }
 
     if (!g->reported()) {
         DeadlockReport report;

@@ -5,20 +5,26 @@ namespace golf::leakdetect {
 void
 LeakProf::sample(const rt::Runtime& rt)
 {
+    sample(obs::collectGoroutineProfile(rt));
+}
+
+void
+LeakProf::sample(const obs::GoroutineProfile& prof)
+{
     ++samples_;
     std::map<std::string, size_t> byBlockSite;
-    rt.forEachGoroutine([&](rt::Goroutine* g) {
+    for (const obs::GoroutineProfileEntry& e : prof.entries) {
         // A goroutine profile shows every parked goroutine,
         // including ones GOLF has already classified (they are
         // still blocked as far as the profile is concerned).
         const bool parked =
-            (g->status() == rt::GStatus::Waiting &&
-             rt::isDeadlockCandidate(g->waitReason())) ||
-            g->status() == rt::GStatus::Deadlocked ||
-            g->status() == rt::GStatus::PendingReclaim;
+            (e.status == rt::GStatus::Waiting &&
+             rt::isDeadlockCandidate(e.reason)) ||
+            e.status == rt::GStatus::Deadlocked ||
+            e.status == rt::GStatus::PendingReclaim;
         if (parked)
-            ++byBlockSite[g->blockSite().str()];
-    });
+            ++byBlockSite[e.blockSite];
+    }
 
     suspects_.clear();
     for (const auto& [site, count] : byBlockSite) {

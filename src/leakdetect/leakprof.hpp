@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile.hpp"
 #include "runtime/runtime.hpp"
 
 namespace golf::leakdetect {
@@ -33,8 +34,13 @@ class LeakProf
     /** Flag sites with at least `threshold` blocked goroutines. */
     explicit LeakProf(size_t threshold) : threshold_(threshold) {}
 
-    /** Take one goroutine-profile sample of the runtime. */
+    /** Take one goroutine-profile sample of the runtime (pulls an
+     *  obs goroutine profile — exactly what the real LeakProf does
+     *  against pprof, instead of reaching into runtime internals). */
     void sample(const rt::Runtime& rt);
+
+    /** Consume an already-collected goroutine profile. */
+    void sample(const obs::GoroutineProfile& prof);
 
     /** Sites over threshold in the most recent sample. */
     const std::vector<Suspect>& suspects() const { return suspects_; }

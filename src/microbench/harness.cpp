@@ -1,6 +1,10 @@
 #include "microbench/harness.hpp"
 
+#include <sstream>
+
 #include "golf/collector.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
 
 namespace golf::microbench {
 
@@ -69,6 +73,7 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.race = cfg.race;
     rc.watchdog = cfg.watchdog;
     rc.guard = cfg.guard;
+    rc.obs = cfg.obs;
 
     RunOutcome out;
 
@@ -125,6 +130,21 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     out.watchdogTriggers = runtime.watchdogTriggers();
     if (cfg.verifyInvariants)
         out.invariantViolations = runtime.verifyInvariants();
+    if (cfg.captureObs) {
+        if (obs::Obs* o = runtime.obs()) {
+            out.obsMetricsJson = o->metricsJson();
+            out.obsPrometheus = o->prometheusText();
+            out.obsGoroutineProfile =
+                obs::collectGoroutineProfile(runtime).str();
+            out.obsBlockProfile = o->blockProfile().folded();
+            out.obsMutexProfile = o->mutexProfile().folded();
+            if (obs::FlightRecorder* f = o->flight()) {
+                std::ostringstream os;
+                rt::writeTraceCsv(os, f->drain());
+                out.obsFlightCsv = os.str();
+            }
+        }
+    }
     if (const race::Detector* rd = runtime.raceDetector()) {
         out.raceStats = rd->stats();
         for (const auto& r : rd->log().races())

@@ -50,6 +50,12 @@ struct HarnessConfig
     guard::WatchdogConfig watchdog;
     /** Recovery-ladder escalation policy (cancel attempts). */
     guard::GuardPolicy guard;
+    /** Telemetry configuration (obs is on by default). */
+    obs::Config obs;
+    /** Capture obs output strings (metrics JSON, Prometheus text,
+     *  profiles, flight-recorder drain) into the RunOutcome after the
+     *  run — the replay byte-identity surface. */
+    bool captureObs = false;
 };
 
 /** Outcome of one program execution. */
@@ -86,6 +92,14 @@ struct RunOutcome
     race::DetectorStats raceStats;
     /** Formatted race and lock-order reports (empty unless cfg.race). */
     std::vector<std::string> raceReportLines;
+    /** Obs capture (empty unless cfg.captureObs): every field here
+     *  must be byte-identical across gcWorkers for a fixed seed. */
+    std::string obsMetricsJson;
+    std::string obsPrometheus;
+    std::string obsGoroutineProfile;
+    std::string obsBlockProfile;
+    std::string obsMutexProfile;
+    std::string obsFlightCsv;
 };
 
 /** Number of concurrent instances for a flakiness score. */

@@ -1,0 +1,100 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+
+namespace golf::obs {
+namespace {
+
+size_t
+ceilPow2(size_t v)
+{
+    size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(int rings, size_t perRingCapacity)
+{
+    if (rings < 1)
+        rings = 1;
+    const size_t nrings = ceilPow2(static_cast<size_t>(rings));
+    size_t cap = ceilPow2(perRingCapacity == 0 ? 1 : perRingCapacity);
+    // nrings and kMaxTotalRecords are both powers of two, so the
+    // clamp stays a power of two.
+    const size_t maxPerRing = kMaxTotalRecords / nrings;
+    if (cap > maxPerRing)
+        cap = maxPerRing;
+    capacity_ = cap;
+    capMask_ = cap - 1;
+    ringMask_ = nrings - 1;
+    rings_.resize(nrings);
+    for (Ring& r : rings_)
+        r.words.assign(capacity_ * 2, 0);
+}
+
+size_t
+FlightRecorder::size() const
+{
+    size_t n = 0;
+    for (const Ring& r : rings_)
+        n += r.count;
+    return n;
+}
+
+std::vector<rt::TraceRecord>
+FlightRecorder::drain() const
+{
+    struct Decoded
+    {
+        rt::TraceRecord rec;
+        int64_t rel; // sign-extended seq delta vs. newest append
+    };
+    std::vector<Decoded> all;
+    all.reserve(size());
+    for (const Ring& r : rings_) {
+        // Oldest record sits at head when full, at 0 otherwise.
+        const size_t start =
+            r.count == capacity_ ? r.head : 0;
+        for (size_t i = 0; i < r.count; ++i) {
+            const size_t slot = (start + i) & capMask_;
+            const uint64_t t = r.words[slot * 2];
+            const uint64_t w = r.words[slot * 2 + 1];
+            const uint64_t seq = (w >> 38) & kSeqMask;
+            Decoded d;
+            d.rec.t = t;
+            d.rec.goroutineId = (w >> 12) & kGidMask;
+            d.rec.event = static_cast<rt::TraceEvent>((w >> 6) & 63u);
+            d.rec.reason = static_cast<rt::WaitReason>(w & 63u);
+            // 26-bit wrapping delta, sign-extended: negative for all
+            // live records (seq_ is one past the newest).
+            const uint64_t delta = (seq - seq_) & kSeqMask;
+            d.rel = static_cast<int64_t>(delta << (64 - kSeqBits)) >>
+                    (64 - kSeqBits);
+            all.push_back(d);
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Decoded& a, const Decoded& b) {
+                  return a.rel < b.rel;
+              });
+    std::vector<rt::TraceRecord> out;
+    out.reserve(all.size());
+    for (const Decoded& d : all)
+        out.push_back(d.rec);
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    for (Ring& r : rings_) {
+        r.head = 0;
+        r.count = 0;
+    }
+    dropped_ = 0;
+}
+
+} // namespace golf::obs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Flight recorder: fixed-capacity per-P ring buffers holding the
+ * most recent trace events in a compact 16-byte binary encoding.
+ * This is the always-on tracing path — unlike the legacy
+ * full-fidelity `rt::Tracer` it never grows, so soak runs can leave
+ * it enabled for billions of virtual nanoseconds and still drain the
+ * recent-history window after a crash or on demand.
+ *
+ * Encoding (two little-endian u64 words per record):
+ *
+ *     word0: virtual timestamp, ns
+ *     word1: [seq:26][gid:26][event:6][reason:6]
+ *
+ * `seq` is the low 26 bits of a global append counter; it breaks
+ * timestamp ties when rings are merged at drain time. The merge
+ * compares sequence numbers by sign-extended 26-bit *delta*, which is
+ * exact while every live record lies within a 2^25-record window of
+ * the newest — guaranteed by clamping total ring capacity below that.
+ * `gid` stores goroutine ids modulo 2^26 (ids are sequential;
+ * collisions would need 67M goroutines inside one ring window).
+ *
+ * Events are appended to ring `gid & ringMask` — a static,
+ * deterministic P assignment (the virtual scheduler has no migration
+ * to track), so ring contents and drains are byte-identical across
+ * gcWorkers. Ring count and per-ring capacity are rounded up to
+ * powers of two so the per-event path is mask arithmetic only, with
+ * no integer division.
+ */
+#ifndef GOLFCC_OBS_FLIGHT_HPP
+#define GOLFCC_OBS_FLIGHT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/tracer.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::obs {
+
+class FlightRecorder
+{
+  public:
+    /** `rings` = one per P; `perRingCapacity` in records. Both are
+     *  rounded up to powers of two, then the capacity is clamped so
+     *  the total stays below the 2^25 merge window. */
+    FlightRecorder(int rings, size_t perRingCapacity);
+
+    void
+    record(support::VTime t, rt::TraceEvent ev, uint64_t gid,
+           rt::WaitReason reason)
+    {
+        Ring& r = rings_[gid & ringMask_];
+        if (r.count == capacity_)
+            ++dropped_;
+        else
+            ++r.count;
+        const size_t head = r.head;
+        r.words[head * 2] = t;
+        r.words[head * 2 + 1] = pack(seq_++, gid, ev, reason);
+        r.head = (head + 1) & capMask_;
+    }
+
+    /** Records currently held across all rings. */
+    size_t size() const;
+    size_t perRingCapacity() const { return capacity_; }
+    int rings() const { return static_cast<int>(rings_.size()); }
+    /** Records overwritten since start (oldest-first eviction). */
+    uint64_t dropped() const { return dropped_; }
+    /** Total records ever appended. */
+    uint64_t appended() const { return seq_; }
+
+    /** Decode every ring and merge into one time-ordered record
+     *  vector, suitable for the rt::writeTrace* writers. */
+    std::vector<rt::TraceRecord> drain() const;
+
+    void clear();
+
+  private:
+    struct Ring
+    {
+        std::vector<uint64_t> words; // 2 per record
+        size_t head = 0;             // next slot, in records
+        size_t count = 0;
+    };
+
+    static constexpr uint64_t kSeqBits = 26;
+    static constexpr uint64_t kGidBits = 26;
+    static constexpr uint64_t kSeqMask = (1ull << kSeqBits) - 1;
+    static constexpr uint64_t kGidMask = (1ull << kGidBits) - 1;
+    // Keep every live record within half the 26-bit sequence space
+    // so delta comparison at drain time is exact.
+    static constexpr uint64_t kMaxTotalRecords = 1ull << 25;
+
+    static uint64_t
+    pack(uint64_t seq, uint64_t gid, rt::TraceEvent ev,
+         rt::WaitReason reason)
+    {
+        return ((seq & kSeqMask) << 38) | ((gid & kGidMask) << 12) |
+               ((static_cast<uint64_t>(ev) & 63u) << 6) |
+               (static_cast<uint64_t>(reason) & 63u);
+    }
+
+    size_t capacity_ = 0;
+    uint64_t capMask_ = 0;  // capacity_ - 1 (capacity_ is pow2)
+    uint64_t ringMask_ = 0; // rings_.size() - 1 (pow2)
+    uint64_t seq_ = 0;
+    uint64_t dropped_ = 0;
+    std::vector<Ring> rings_;
+};
+
+} // namespace golf::obs
+
+#endif // GOLFCC_OBS_FLIGHT_HPP

@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+namespace golf::obs {
+
+Histogram::Histogram(std::vector<uint64_t> boundaries)
+    : boundaries_(std::move(boundaries)),
+      counts_(boundaries_.size() + 1, 0)
+{
+}
+
+void
+Histogram::observe(uint64_t v)
+{
+    size_t i = 0;
+    while (i < boundaries_.size() && v > boundaries_[i])
+        ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += v;
+}
+
+std::vector<uint64_t>
+Histogram::expBoundaries(uint64_t lo, uint64_t hi)
+{
+    // 1-2-5 series per decade: 1us, 2us, 5us, 10us, ... , hi.
+    std::vector<uint64_t> out;
+    for (uint64_t base = lo; base <= hi && base != 0; base *= 10) {
+        out.push_back(base);
+        if (base * 2 <= hi)
+            out.push_back(base * 2);
+        if (base * 5 <= hi)
+            out.push_back(base * 5);
+    }
+    return out;
+}
+
+Counter*
+Registry::counter(const std::string& name, const std::string& help)
+{
+    Entry& e = entries_[name];
+    if (!e.counter) {
+        e.help = help;
+        e.counter = std::make_unique<Counter>();
+    }
+    return e.counter.get();
+}
+
+Gauge*
+Registry::gauge(const std::string& name, const std::string& help)
+{
+    Entry& e = entries_[name];
+    if (!e.gauge) {
+        e.help = help;
+        e.gauge = std::make_unique<Gauge>();
+    }
+    return e.gauge.get();
+}
+
+Histogram*
+Registry::histogram(const std::string& name, const std::string& help,
+                    std::vector<uint64_t> boundaries)
+{
+    Entry& e = entries_[name];
+    if (!e.histogram) {
+        e.help = help;
+        e.histogram =
+            std::make_unique<Histogram>(std::move(boundaries));
+    }
+    return e.histogram.get();
+}
+
+const Counter*
+Registry::findCounter(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge*
+Registry::findGauge(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram*
+Registry::findHistogram(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr
+                                : it->second.histogram.get();
+}
+
+namespace {
+
+/** Gauges hold counts and byte totals; print integral values without
+ *  a fractional part so snapshots are stable and readable. */
+std::string
+formatGauge(double v)
+{
+    std::ostringstream os;
+    if (v == static_cast<double>(static_cast<int64_t>(v)))
+        os << static_cast<int64_t>(v);
+    else
+        os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+Registry::snapshotJson() const
+{
+    std::ostringstream os;
+    os << "{\"metrics\":[";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\":\"" << name << "\",";
+        if (e.counter) {
+            os << "\"kind\":\"counter\",\"value\":"
+               << e.counter->value();
+        } else if (e.gauge) {
+            os << "\"kind\":\"gauge\",\"value\":"
+               << formatGauge(e.gauge->value());
+        } else if (e.histogram) {
+            const Histogram& h = *e.histogram;
+            os << "\"kind\":\"histogram\",\"count\":" << h.count()
+               << ",\"sum\":" << h.sum() << ",\"buckets\":[";
+            const auto& bs = h.boundaries();
+            const auto& cs = h.bucketCounts();
+            for (size_t i = 0; i < cs.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << "{\"le\":";
+                if (i < bs.size())
+                    os << bs[i];
+                else
+                    os << "\"+Inf\"";
+                os << ",\"count\":" << cs[i] << "}";
+            }
+            os << "]";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+std::string
+Registry::promName(const std::string& path)
+{
+    std::string out = "golf";
+    bool sep = true; // fold runs of separators into one '_'
+    for (char c : path) {
+        const bool alnum = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9');
+        if (alnum) {
+            if (sep)
+                out += '_';
+            out += c;
+            sep = false;
+        } else {
+            sep = true;
+        }
+    }
+    return out;
+}
+
+std::string
+Registry::prometheus() const
+{
+    std::ostringstream os;
+    for (const auto& [name, e] : entries_) {
+        const std::string pn = promName(name);
+        os << "# HELP " << pn << " " << e.help << "\n";
+        if (e.counter) {
+            os << "# TYPE " << pn << " counter\n";
+            os << pn << " " << e.counter->value() << "\n";
+        } else if (e.gauge) {
+            os << "# TYPE " << pn << " gauge\n";
+            os << pn << " " << formatGauge(e.gauge->value()) << "\n";
+        } else if (e.histogram) {
+            const Histogram& h = *e.histogram;
+            os << "# TYPE " << pn << " histogram\n";
+            const auto& bs = h.boundaries();
+            const auto& cs = h.bucketCounts();
+            uint64_t cum = 0;
+            for (size_t i = 0; i < cs.size(); ++i) {
+                cum += cs[i];
+                os << pn << "_bucket{le=\"";
+                if (i < bs.size())
+                    os << bs[i];
+                else
+                    os << "+Inf";
+                os << "\"} " << cum << "\n";
+            }
+            os << pn << "_sum " << h.sum() << "\n";
+            os << pn << "_count " << h.count() << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace golf::obs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Metrics registry modeled on Go's runtime/metrics: subsystems
+ * register named counters, gauges and fixed-bucket histograms at
+ * init and update them at safepoints; readers take JSON snapshots or
+ * Prometheus text exposition at any time without stopping the world.
+ *
+ * Names follow the runtime/metrics path convention,
+ * "/subsystem/name:unit" (e.g. "/gc/pause:ns"). Prometheus
+ * exposition sanitizes paths to "golf_subsystem_name_unit".
+ *
+ * Determinism contract: every value fed into the registry must be
+ * derived from the virtual clock or modeled cost accounting — never
+ * wall/CPU time, worker counts, or anything else that varies across
+ * `gcWorkers` — so snapshots are byte-identical for a fixed seed
+ * regardless of marking parallelism. Iteration order is the sorted
+ * name order of an std::map, so exposition is stable too.
+ */
+#ifndef GOLFCC_OBS_METRICS_HPP
+#define GOLFCC_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace golf::obs {
+
+class Counter
+{
+  public:
+    void add(uint64_t n) { value_ += n; }
+    void inc() { ++value_; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Fixed-boundary histogram. Bucket i counts observations v with
+ *  v <= boundaries[i] (and > boundaries[i-1]); one implicit overflow
+ *  bucket catches the rest. Boundaries are fixed at registration so
+ *  the shape never depends on the data. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<uint64_t> boundaries);
+
+    void observe(uint64_t v);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    const std::vector<uint64_t>& boundaries() const
+    {
+        return boundaries_;
+    }
+    /** boundaries().size() + 1 entries; last is the overflow bucket. */
+    const std::vector<uint64_t>& bucketCounts() const
+    {
+        return counts_;
+    }
+
+    /** Exponential boundaries: `perDecade` buckets per power of ten
+     *  from `lo` up to and including `hi` (both powers of ten). The
+     *  default registry histograms use (1us, 10s) in ns. */
+    static std::vector<uint64_t> expBoundaries(uint64_t lo,
+                                               uint64_t hi);
+
+  private:
+    std::vector<uint64_t> boundaries_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+};
+
+class Registry
+{
+  public:
+    Counter* counter(const std::string& name,
+                     const std::string& help);
+    Gauge* gauge(const std::string& name, const std::string& help);
+    Histogram* histogram(const std::string& name,
+                         const std::string& help,
+                         std::vector<uint64_t> boundaries);
+
+    /** Lookups for readers (nullptr when absent). */
+    const Counter* findCounter(const std::string& name) const;
+    const Gauge* findGauge(const std::string& name) const;
+    const Histogram* findHistogram(const std::string& name) const;
+
+    /** {"metrics":[{"name":...,"kind":...,...},...]} sorted by name. */
+    std::string snapshotJson() const;
+
+    /** Prometheus text exposition format (# HELP/# TYPE + samples). */
+    std::string prometheus() const;
+
+    /** "golf" + path with non-alphanumerics folded to '_'. */
+    static std::string promName(const std::string& path);
+
+  private:
+    struct Entry
+    {
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace golf::obs
+
+#endif // GOLFCC_OBS_METRICS_HPP

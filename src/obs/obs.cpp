@@ -1,0 +1,287 @@
+#include "obs/obs.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "gc/memstats.hpp"
+#include "golf/collector.hpp"
+#include "runtime/goroutine.hpp"
+
+namespace golf::obs {
+namespace {
+
+/** "sync.Mutex.Lock" -> "sync-mutex-lock", "GC assist wait" ->
+ *  "gc-assist-wait": lowercase, non-alphanumerics folded to '-'. */
+std::string
+slug(const char* s)
+{
+    std::string out;
+    bool sep = false;
+    for (const char* p = s; *p; ++p) {
+        char c = *p;
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+        const bool alnum = (c >= 'a' && c <= 'z') ||
+                           (c >= '0' && c <= '9');
+        if (alnum) {
+            if (sep && !out.empty())
+                out += '-';
+            out += c;
+            sep = false;
+        } else {
+            sep = true;
+        }
+    }
+    return out;
+}
+
+bool
+isMutexFamily(rt::WaitReason r)
+{
+    switch (r) {
+      case rt::WaitReason::MutexLock:
+      case rt::WaitReason::RWMutexRLock:
+      case rt::WaitReason::RWMutexWLock:
+      case rt::WaitReason::CondWait:
+      case rt::WaitReason::SemAcquire:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::string
+parkMetricName(rt::WaitReason r)
+{
+    return "/sched/park/" + slug(rt::waitReasonName(r)) + ":ns";
+}
+
+Obs::Obs(const Config& cfg, int procs, uint64_t seed)
+    : cfg_(cfg),
+      blockProfile_(cfg.blockProfileRateNs, seed ^ 0xB10CB10Cull),
+      mutexProfile_(cfg.mutexProfileRateNs, seed ^ 0x5E3A704Eull)
+{
+    if (cfg_.flightRecords > 0) {
+        flight_ = std::make_unique<FlightRecorder>(
+            procs, cfg_.flightRecords);
+    }
+
+    // Metric catalog (DESIGN.md §10.3). Event-derived counters:
+    spawned_ = registry_.counter("/sched/goroutines/spawned:count",
+                                 "Goroutines spawned");
+    done_ = registry_.counter("/sched/goroutines/done:count",
+                              "Goroutines finished normally");
+    verdicts_ = registry_.counter("/golf/verdicts:count",
+                                  "GOLF deadlock verdicts");
+    cancels_ = registry_.counter(
+        "/guard/cancels:count",
+        "DeadlockError deliveries (Cancel rung)");
+    reclaims_ = registry_.counter("/guard/reclaims:count",
+                                  "Deadlocked goroutines reclaimed");
+    quarantines_ = registry_.counter(
+        "/guard/quarantines:count",
+        "Reclaim unwinds that failed; goroutine isolated");
+    resurrections_ = registry_.counter(
+        "/guard/resurrections:count",
+        "Poisoned objects touched; goroutines revived");
+    watchdogTriggers_ = registry_.counter(
+        "/guard/watchdog/triggers:count",
+        "Off-cycle detections forced by the watchdog");
+    faults_ = registry_.counter("/chaos/faults:count",
+                                "Injected faults fired");
+
+    // Per-cycle counters and histograms:
+    gcCycles_ = registry_.counter("/gc/cycles:count",
+                                  "Completed GC cycles");
+    objectsMarked_ = registry_.counter("/gc/marked:objects",
+                                       "Objects marked, cumulative");
+    bytesMarked_ = registry_.counter("/gc/marked:bytes",
+                                     "Bytes marked, cumulative");
+    objectsFreed_ = registry_.counter("/gc/freed:objects",
+                                      "Objects swept, cumulative");
+    detectChecks_ = registry_.counter(
+        "/golf/detect/checks:count",
+        "(goroutine, object) pairs examined by the fixpoint");
+    modeledMarkNs_ = registry_.counter(
+        "/gc/mark:ns", "Modeled marking time, virtual ns");
+    gcPause_ = registry_.histogram(
+        "/gc/pause:ns", "Modeled stop-the-world pause, virtual ns",
+        Histogram::expBoundaries(1000, 10'000'000'000ull));
+    detectLatency_ = registry_.histogram(
+        "/golf/detect/latency:ns",
+        "Park-to-verdict latency (watchdog stamps), virtual ns",
+        Histogram::expBoundaries(1000, 10'000'000'000ull));
+
+    // Heap gauges (sampled from MemStats at each cycle end):
+    heapLive_ = registry_.gauge("/memory/heap/live:bytes",
+                                "Live heap bytes after last sweep");
+    heapObjects_ = registry_.gauge("/memory/heap/objects:count",
+                                   "Live heap objects");
+    heapInuse_ = registry_.gauge(
+        "/memory/heap/inuse:bytes",
+        "Heap bytes held, including unswept garbage");
+    stackInuse_ = registry_.gauge("/memory/stack/inuse:bytes",
+                                  "Goroutine frame bytes");
+
+    pressure_ = registry_.gauge(
+        "/guard/watchdog/pressure:goroutines",
+        "Candidates blocked past the watchdog threshold");
+    flightDropped_ = registry_.gauge(
+        "/obs/flight/dropped:records",
+        "Flight-recorder records overwritten");
+    blockSamples_ = registry_.gauge("/obs/profile/block:samples",
+                                    "Block-profile samples taken");
+    mutexSamples_ = registry_.gauge("/obs/profile/mutex:samples",
+                                    "Mutex-profile samples taken");
+
+    // One park-duration histogram per wait reason.
+    const auto bounds =
+        Histogram::expBoundaries(1000, 10'000'000'000ull);
+    for (int i = 1; i < static_cast<int>(parkHists_.size()); ++i) {
+        const auto r = static_cast<rt::WaitReason>(i);
+        parkHists_[static_cast<size_t>(i)] = registry_.histogram(
+            parkMetricName(r),
+            std::string("Park duration, ") + rt::waitReasonName(r) +
+                ", virtual ns",
+            bounds);
+    }
+}
+
+Obs::~Obs() = default;
+
+void
+Obs::onEvent(support::VTime t, rt::TraceEvent ev, uint64_t gid,
+             rt::WaitReason reason)
+{
+    if (flight_)
+        flight_->record(t, ev, gid, reason);
+    switch (ev) {
+      case rt::TraceEvent::Spawn: spawned_->inc(); break;
+      case rt::TraceEvent::Done: done_->inc(); break;
+      case rt::TraceEvent::Deadlock: verdicts_->inc(); break;
+      case rt::TraceEvent::Cancel: cancels_->inc(); break;
+      case rt::TraceEvent::Reclaim: reclaims_->inc(); break;
+      case rt::TraceEvent::Quarantine: quarantines_->inc(); break;
+      case rt::TraceEvent::Resurrect: resurrections_->inc(); break;
+      case rt::TraceEvent::WatchdogTrigger:
+        watchdogTriggers_->inc();
+        break;
+      case rt::TraceEvent::Fault: faults_->inc(); break;
+      default: break;
+    }
+}
+
+void
+Obs::onUnpark(support::VTime now, const rt::Goroutine& g)
+{
+    const rt::WaitReason reason = g.waitReason();
+    const support::VTime start = g.parkStartVt();
+    if (reason == rt::WaitReason::None || start == 0 || now < start)
+        return;
+    const uint64_t d = now - start;
+    parkHists_[static_cast<size_t>(reason)]->observe(d);
+    if (blockProfile_.enabled() && rt::isDeadlockCandidate(reason)) {
+        blockProfile_.observe(g.spawnSite().str() + ";" +
+                                  g.blockSite().str() + ";" +
+                                  slug(rt::waitReasonName(reason)),
+                              d);
+    }
+    if (mutexProfile_.enabled() && isMutexFamily(reason)) {
+        mutexProfile_.observe(g.spawnSite().str() + ";" +
+                                  g.blockSite().str() + ";" +
+                                  slug(rt::waitReasonName(reason)),
+                              d);
+    }
+}
+
+void
+Obs::onGcCycle(const detect::CycleStats& cs,
+               uint64_t /*heapAllocBefore*/,
+               const gc::MemStats& after)
+{
+    gcCycles_->inc();
+    objectsMarked_->add(cs.objectsMarked);
+    bytesMarked_->add(cs.bytesMarked);
+    objectsFreed_->add(cs.freedObjects);
+    detectChecks_->add(cs.detectChecks);
+    modeledMarkNs_->add(cs.modeledMarkNs);
+    gcPause_->observe(cs.modeledStwNs);
+    heapLive_->set(static_cast<double>(after.heapAlloc));
+    heapObjects_->set(static_cast<double>(after.heapObjects));
+    heapInuse_->set(static_cast<double>(after.heapInuse));
+    stackInuse_->set(static_cast<double>(after.stackInuse));
+}
+
+void
+Obs::onDeadlockVerdict(uint64_t latencyNs)
+{
+    detectLatency_->observe(latencyNs);
+}
+
+void
+Obs::setWatchdogPressure(size_t pressure)
+{
+    pressure_->set(static_cast<double>(pressure));
+}
+
+double
+Obs::watchdogPressure() const
+{
+    return pressure_->value();
+}
+
+void
+Obs::refreshDerivedGauges()
+{
+    flightDropped_->set(
+        flight_ ? static_cast<double>(flight_->dropped()) : 0.0);
+    blockSamples_->set(static_cast<double>(blockProfile_.samples()));
+    mutexSamples_->set(static_cast<double>(mutexProfile_.samples()));
+}
+
+std::string
+Obs::metricsJson()
+{
+    refreshDerivedGauges();
+    return registry_.snapshotJson();
+}
+
+std::string
+Obs::prometheusText()
+{
+    refreshDerivedGauges();
+    return registry_.prometheus();
+}
+
+std::string
+Obs::gctraceLine(const detect::CycleStats& cs,
+                 uint64_t heapAllocBefore, const gc::MemStats& after,
+                 support::VTime now) const
+{
+    // gc 3 @1.204s: 4->3 MB, 120 objs freed, 2 mark iters,
+    //   0.5 ms pause, 2 workers, golf: 1 deadlocked 1 cancelled
+    //   0 reclaimed 0 quarantined [watchdog]
+    std::ostringstream os;
+    os << "gc " << cs.cycle << " @" << now / 1'000'000'000ull << "."
+       << std::setw(3) << std::setfill('0')
+       << (now / 1'000'000ull) % 1000 << std::setfill(' ') << "s: "
+       << heapAllocBefore / (1024 * 1024) << "->"
+       << after.heapAlloc / (1024 * 1024) << " MB, "
+       << cs.freedObjects << " objs freed, " << cs.markIterations
+       << " mark iters, " << cs.modeledStwNs / 1'000'000ull << "."
+       << std::setw(3) << std::setfill('0')
+       << (cs.modeledStwNs / 1000ull) % 1000 << std::setfill(' ')
+       << " ms pause, " << cs.gcWorkers << " workers";
+    if (cs.detectionRan) {
+        os << ", golf: " << cs.deadlocksFound << " deadlocked "
+           << cs.cancelled << " cancelled " << cs.reclaimed
+           << " reclaimed " << cs.quarantined << " quarantined";
+    }
+    if (cs.watchdogTriggered)
+        os << " [watchdog]";
+    return os.str();
+}
+
+} // namespace golf::obs

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * golf::obs — always-on runtime telemetry.
+ *
+ * One facade object owned by the runtime bundles the four pillars:
+ *
+ *   - FlightRecorder: per-P compact ring buffers of recent trace
+ *     events (the always-on replacement for the unbounded tracer).
+ *   - Registry: runtime/metrics-style named counters / gauges /
+ *     histograms, registered here at init, updated by the runtime,
+ *     collector and guard layers at safepoints, snapshot anytime.
+ *   - Contention profiles: block + mutex profiles weighted by
+ *     virtual park time, plus on-demand goroutine profiles
+ *     (profile.hpp).
+ *   - gctrace: one GODEBUG-style line per GC/GOLF cycle on stderr.
+ *
+ * Everything here is fed exclusively from virtual-clock timestamps
+ * and modeled cost accounting, so for a fixed seed every output
+ * (metrics JSON, Prometheus text, profiles, flight drains) is
+ * byte-identical across gcWorkers values. The one exception is the
+ * gctrace line, which prints the resolved worker count and is
+ * explicitly outside the byte-identity set.
+ *
+ * When obs is disabled the runtime holds no Obs at all and each
+ * trace-event site costs exactly one predictable branch.
+ */
+#ifndef GOLFCC_OBS_OBS_HPP
+#define GOLFCC_OBS_OBS_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "runtime/tracer.hpp"
+#include "runtime/types.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::gc { struct MemStats; }
+namespace golf::detect { struct CycleStats; }
+namespace golf::rt { class Goroutine; }
+
+namespace golf::obs {
+
+struct Config
+{
+    /** Master switch. Off = the runtime constructs no Obs object and
+     *  trace-event sites cost one branch. */
+    bool enabled = true;
+    /** Flight-recorder ring capacity per P, in records (0 = no
+     *  flight recorder). */
+    size_t flightRecords = 4096;
+    /** Block-profile sampling rate in virtual ns, Go
+     *  SetBlockProfileRate-style: 0 = off, 1 = everything, r =
+     *  parks shorter than r sampled with probability d/r. */
+    uint64_t blockProfileRateNs = 0;
+    /** Same knob for the mutex-contention profile (Mutex, RWMutex,
+     *  semaphore and Cond parks only). */
+    uint64_t mutexProfileRateNs = 0;
+    /** Print one line per GC/GOLF cycle to stderr. */
+    bool gctrace = false;
+};
+
+/** Path-style name of the park-duration histogram for a reason. */
+std::string parkMetricName(rt::WaitReason r);
+
+class Obs
+{
+  public:
+    Obs(const Config& cfg, int procs, uint64_t seed);
+    ~Obs();
+
+    const Config& config() const { return cfg_; }
+
+    Registry& registry() { return registry_; }
+    const Registry& registry() const { return registry_; }
+    FlightRecorder* flight() { return flight_.get(); }
+    const FlightRecorder* flight() const { return flight_.get(); }
+    ContentionProfile& blockProfile() { return blockProfile_; }
+    ContentionProfile& mutexProfile() { return mutexProfile_; }
+    bool gctrace() const { return cfg_.gctrace; }
+
+    /// @{ Hot hooks, called by the runtime behind its armed branch.
+    void onEvent(support::VTime t, rt::TraceEvent ev, uint64_t gid,
+                 rt::WaitReason reason);
+    /** A parked goroutine is about to become runnable: feed the park
+     *  duration histograms and contention profiles. */
+    void onUnpark(support::VTime now, const rt::Goroutine& g);
+    /// @}
+
+    /// @{ Safepoint hooks.
+    void onGcCycle(const detect::CycleStats& cs,
+                   uint64_t heapAllocBefore,
+                   const gc::MemStats& after);
+    /** GOLF verdict for one goroutine; `latencyNs` is park-to-verdict
+     *  measured from the PR 4 watchdog stamp. */
+    void onDeadlockVerdict(uint64_t latencyNs);
+    void setWatchdogPressure(size_t pressure);
+    /** Last value pushed by the watchdog poll (the service layer's
+     *  shedding signal — read the gauge, don't rescan allg). */
+    double watchdogPressure() const;
+    /// @}
+
+    /** Refresh derived gauges, then Registry::snapshotJson(). */
+    std::string metricsJson();
+    /** Refresh derived gauges, then Registry::prometheus(). */
+    std::string prometheusText();
+
+    /** The gctrace line for a finished cycle (no trailing newline). */
+    std::string gctraceLine(const detect::CycleStats& cs,
+                            uint64_t heapAllocBefore,
+                            const gc::MemStats& after,
+                            support::VTime now) const;
+
+  private:
+    void refreshDerivedGauges();
+
+    Config cfg_;
+    Registry registry_;
+    std::unique_ptr<FlightRecorder> flight_;
+    ContentionProfile blockProfile_;
+    ContentionProfile mutexProfile_;
+
+    // Cached handles (avoid map lookups on hot paths).
+    Counter* spawned_ = nullptr;
+    Counter* done_ = nullptr;
+    Counter* verdicts_ = nullptr;
+    Counter* cancels_ = nullptr;
+    Counter* reclaims_ = nullptr;
+    Counter* quarantines_ = nullptr;
+    Counter* resurrections_ = nullptr;
+    Counter* watchdogTriggers_ = nullptr;
+    Counter* faults_ = nullptr;
+    Counter* gcCycles_ = nullptr;
+    Counter* objectsMarked_ = nullptr;
+    Counter* bytesMarked_ = nullptr;
+    Counter* objectsFreed_ = nullptr;
+    Counter* detectChecks_ = nullptr;
+    Counter* modeledMarkNs_ = nullptr;
+    Histogram* gcPause_ = nullptr;
+    Histogram* detectLatency_ = nullptr;
+    Gauge* heapLive_ = nullptr;
+    Gauge* heapObjects_ = nullptr;
+    Gauge* heapInuse_ = nullptr;
+    Gauge* stackInuse_ = nullptr;
+    Gauge* pressure_ = nullptr;
+    Gauge* flightDropped_ = nullptr;
+    Gauge* blockSamples_ = nullptr;
+    Gauge* mutexSamples_ = nullptr;
+    std::array<Histogram*, 17> parkHists_{};
+};
+
+} // namespace golf::obs
+
+#endif // GOLFCC_OBS_OBS_HPP

@@ -1,0 +1,122 @@
+#include "obs/profile.hpp"
+
+#include <sstream>
+
+#include "gc/object.hpp"
+#include "runtime/goroutine.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf::obs {
+
+GoroutineProfile
+collectGoroutineProfile(const rt::Runtime& rt)
+{
+    GoroutineProfile prof;
+    prof.sampledAt = rt.clock().now();
+    rt.forEachGoroutine([&prof](rt::Goroutine* g) {
+        GoroutineProfileEntry e;
+        e.id = g->id();
+        e.status = g->status();
+        e.reason = g->waitReason();
+        e.blockedForever = g->blockedForever();
+        e.blockedSinceVt = g->blockedSinceVt();
+        e.parkStartVt = g->parkStartVt();
+        e.frameBytes = g->frameBytes();
+        e.spawnSite = g->spawnSite().str();
+        e.blockSite = g->blockSite().str();
+        for (const gc::Object* obj : g->blockedOn())
+            e.blockedOn.push_back(obj->objectName());
+        prof.entries.push_back(std::move(e));
+    });
+    return prof;
+}
+
+std::string
+GoroutineProfile::str() const
+{
+    std::ostringstream os;
+    os << "goroutine profile: total " << entries.size() << " @"
+       << sampledAt << "ns\n";
+    for (const auto& e : entries) {
+        os << "goroutine " << e.id << " ["
+           << rt::statusName(e.status);
+        if (e.reason != rt::WaitReason::None)
+            os << ", " << rt::waitReasonName(e.reason);
+        if (e.blockedForever)
+            os << ", forever";
+        os << "]:\n";
+        if (!e.blockedOn.empty()) {
+            os << "  blocked on:";
+            for (const auto& n : e.blockedOn)
+                os << " " << n;
+            os << "\n";
+        }
+        if (e.status == rt::GStatus::Waiting ||
+            e.status == rt::GStatus::Deadlocked ||
+            e.status == rt::GStatus::PendingReclaim ||
+            e.status == rt::GStatus::Quarantined) {
+            os << "  block site: " << e.blockSite << "\n";
+        }
+        os << "  spawn site: " << e.spawnSite << "\n";
+        os << "  frame bytes: " << e.frameBytes << "\n";
+    }
+    return os.str();
+}
+
+std::string
+GoroutineProfile::folded() const
+{
+    std::map<std::string, uint64_t> stacks;
+    for (const auto& e : entries) {
+        std::string key = rt::statusName(e.status);
+        key += ";";
+        key += e.spawnSite;
+        if (e.reason != rt::WaitReason::None) {
+            key += ";";
+            key += e.blockSite;
+            key += ";";
+            key += rt::waitReasonName(e.reason);
+        }
+        ++stacks[key];
+    }
+    std::ostringstream os;
+    for (const auto& [stack, n] : stacks)
+        os << stack << " " << n << "\n";
+    return os.str();
+}
+
+ContentionProfile::ContentionProfile(uint64_t rateNs, uint64_t seed)
+    : rateNs_(rateNs), rng_(seed)
+{
+}
+
+void
+ContentionProfile::observe(const std::string& stack,
+                           uint64_t durationNs)
+{
+    if (rateNs_ == 0)
+        return;
+    uint64_t weight;
+    if (durationNs >= rateNs_) {
+        weight = durationNs;
+    } else {
+        // Sample with probability d/rate at weight rate: expected
+        // contribution stays d, short parks stay cheap.
+        if (rng_.nextBelow(rateNs_) >= durationNs)
+            return;
+        weight = rateNs_;
+    }
+    ++samples_;
+    weights_[stack] += weight;
+}
+
+std::string
+ContentionProfile::folded() const
+{
+    std::ostringstream os;
+    for (const auto& [stack, w] : weights_)
+        os << stack << " " << w << "\n";
+    return os.str();
+}
+
+} // namespace golf::obs

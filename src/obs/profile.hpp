@@ -1,0 +1,94 @@
+/**
+ * @file
+ * pprof-style runtime profiles.
+ *
+ * - Goroutine profile: a point-in-time snapshot of every live
+ *   goroutine — status, wait reason, blocked-on objects, spawn and
+ *   block sites — in allg order. Replaces direct Runtime walking for
+ *   consumers like leakdetect::LeakProf, and renders in both a
+ *   `pprof -debug=1`-style text dump and the folded-stack format
+ *   flamegraph.pl / speedscope consume.
+ *
+ * - Block / mutex-contention profiles: folded stacks
+ *   "spawnSite;blockSite;reason weight" where the weight is the
+ *   *virtual* park duration in ns. Like Go's SetBlockProfileRate, a
+ *   rate knob samples short events: a park of duration d >= rate is
+ *   always recorded at weight d; shorter parks are recorded with
+ *   probability d/rate at weight rate, keeping expected totals exact.
+ *   The sampling RNG is seeded from the run seed and drawn in
+ *   scheduler order only, so profiles are deterministic and never
+ *   perturb scheduling decisions.
+ */
+#ifndef GOLFCC_OBS_PROFILE_HPP
+#define GOLFCC_OBS_PROFILE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/rng.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::rt { class Runtime; }
+
+namespace golf::obs {
+
+struct GoroutineProfileEntry
+{
+    uint64_t id = 0;
+    rt::GStatus status = rt::GStatus::Idle;
+    rt::WaitReason reason = rt::WaitReason::None;
+    bool blockedForever = false;
+    support::VTime blockedSinceVt = 0;
+    support::VTime parkStartVt = 0;
+    size_t frameBytes = 0;
+    std::string spawnSite;
+    std::string blockSite;
+    std::vector<std::string> blockedOn; ///< object type names
+};
+
+struct GoroutineProfile
+{
+    support::VTime sampledAt = 0;
+    std::vector<GoroutineProfileEntry> entries; ///< allg order
+
+    /** pprof -debug=1 style text dump. */
+    std::string str() const;
+    /** "status;spawnSite;blockSite;reason count" folded stacks. */
+    std::string folded() const;
+};
+
+GoroutineProfile collectGoroutineProfile(const rt::Runtime& rt);
+
+/** Shared by the block and mutex profiles: a folded-stack weight map
+ *  with Go-style rate sampling. */
+class ContentionProfile
+{
+  public:
+    /** rateNs == 0 disables; 1 records everything. */
+    ContentionProfile(uint64_t rateNs, uint64_t seed);
+
+    bool enabled() const { return rateNs_ != 0; }
+    uint64_t rateNs() const { return rateNs_; }
+
+    /** Record a park of virtual duration `durationNs` ending at the
+     *  given folded stack (subject to rate sampling). */
+    void observe(const std::string& stack, uint64_t durationNs);
+
+    uint64_t samples() const { return samples_; }
+
+    /** "stack weightNs" lines, sorted by stack. */
+    std::string folded() const;
+
+  private:
+    uint64_t rateNs_;
+    uint64_t samples_ = 0;
+    support::Rng rng_;
+    std::map<std::string, uint64_t> weights_;
+};
+
+} // namespace golf::obs
+
+#endif // GOLFCC_OBS_PROFILE_HPP

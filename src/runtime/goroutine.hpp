@@ -132,6 +132,11 @@ class Goroutine
      *  deadlock-candidate operation (watchdog input; 0 = n/a). */
     support::VTime blockedSinceVt() const { return blockedSinceVt_; }
 
+    /** Virtual time of the current park, any reason (obs input:
+     *  park-duration histograms and block/mutex profiles). Unlike
+     *  blockedSinceVt_, never re-armed by watchdog polls. */
+    support::VTime parkStartVt() const { return parkStartVt_; }
+
   private:
     friend class Runtime;
     friend class Scheduler;
@@ -187,6 +192,9 @@ class Goroutine
     /** Virtual park time of the current candidate block (watchdog). */
     support::VTime blockedSinceVt_ = 0;
     /// @}
+
+    /** Virtual time of the current park, any reason (obs). */
+    support::VTime parkStartVt_ = 0;
 };
 
 } // namespace golf::rt

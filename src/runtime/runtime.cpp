@@ -206,6 +206,12 @@ Runtime::Runtime(Config config)
     startCpuNs_ = processCpuNs();
     collector_ = std::make_unique<detect::Collector>(*this);
     installPanicHooks();
+    if (config_.obs.enabled) {
+        obs_ = std::make_unique<obs::Obs>(config_.obs, config_.procs,
+                                          config_.seed);
+    }
+    tracer_.setToggleHook([this] { refreshEventsArmed(); });
+    refreshEventsArmed();
     heap_.setAllocHook([this](size_t bytes) { onAllocCheck(bytes); });
     if (config_.race) {
         race_ = std::make_unique<race::Detector>(config_.raceCfg,
@@ -244,6 +250,26 @@ Runtime::~Runtime()
     if (stack.empty() || stack.back() != this)
         support::panic("Runtime teardown out of order");
     stack.pop_back();
+}
+
+// ---------------------------------------------------------------------
+// Telemetry fan-out (obs subsystem).
+
+void
+Runtime::emitEventSlow(TraceEvent ev, uint64_t gid,
+                       WaitReason reason)
+{
+    const support::VTime now = clock_.now();
+    tracer_.record(now, ev, gid, reason);
+    if (obs_)
+        obs_->onEvent(now, ev, gid, reason);
+}
+
+void
+Runtime::noteUnparkSlow(Goroutine* g)
+{
+    obs_->onUnpark(clock_.now(), *g);
+    g->parkStartVt_ = 0;
 }
 
 // ---------------------------------------------------------------------
@@ -286,6 +312,7 @@ Runtime::resetForReuse(Goroutine* g)
     g->liveEpoch_.store(0, std::memory_order_relaxed);
     g->reported_ = false;
     g->blockedSema_ = support::MaskedPtr<void>();
+    g->parkStartVt_ = 0;
     g->selectChoice_ = -1;
     g->selectDone_ = false;
     g->panicking_ = false;
@@ -312,7 +339,7 @@ Runtime::spawn(Go&& task, Site site)
     g->resumePoint_ = g->top_;
     g->spawnSite_ = site;
     g->frameBytes_ = lastFrameBytes_;
-    tracer_.record(clock_.now(), TraceEvent::Spawn, g->id());
+    emitEvent(TraceEvent::Spawn, g->id());
     if (race_)
         race_->onSpawn(sched_.current(), g);
     sched_.enqueueSpawn(g);
@@ -337,7 +364,8 @@ Runtime::park(Goroutine* g, std::coroutine_handle<> resumePoint,
     // the goroutine never stopped waiting for the operation.)
     if (isDeadlockCandidate(reason))
         g->blockedSinceVt_ = clock_.now();
-    tracer_.record(clock_.now(), TraceEvent::Park, g->id(), reason);
+    g->parkStartVt_ = clock_.now();
+    emitEvent(TraceEvent::Park, g->id(), reason);
 
     if (injector_.enabled() && isDeadlockCandidate(reason) &&
         injector_.decide(FaultSite::Park, clock_.now(), g->id()) ==
@@ -353,8 +381,8 @@ Runtime::park(Goroutine* g, std::coroutine_handle<> resumePoint,
                 return; // recycled, woken or reclaimed meanwhile
             g->spuriousWake_ = true;
             g->status_ = GStatus::Runnable;
-            tracer_.record(clock_.now(), TraceEvent::SpuriousWake,
-                           g->id(), g->waitReason_);
+            emitEvent(TraceEvent::SpuriousWake, g->id(),
+                      g->waitReason_);
             sched_.enqueueReady(g);
         });
     }
@@ -371,10 +399,15 @@ Runtime::ready(Goroutine* g)
         // resume is late. The wait reason is rewritten to Sleep so
         // the detector sees a slow goroutine, not a deadlocked one —
         // it holds a granted operation and will certainly run.
+        // The genuine operation ended the park: feed obs the real
+        // wait reason before rewriting it (the delayed resume is
+        // modeled as a fresh sleep, not more blocking).
+        noteUnpark(g);
         g->waitReason_ = WaitReason::Sleep;
+        g->parkStartVt_ = clock_.now();
         g->blockedOn_.clear();
         g->blockedForever_ = false;
-        tracer_.record(clock_.now(), TraceEvent::DelayedWake, g->id());
+        emitEvent(TraceEvent::DelayedWake, g->id());
         const uint64_t gid = g->id();
         clock_.scheduleAfter(injector_.drawDelay(), [this, g, gid] {
             if (g->id() != gid)
@@ -397,22 +430,24 @@ Runtime::readyNow(Goroutine* g)
         // injected one, which is not synchronization — the genuine
         // waker's ordering is carried by the primitive's own
         // acquire/release hooks.
+        noteUnpark(g);
         g->spuriousWake_ = false;
         g->waitReason_ = WaitReason::None;
         g->blockedOn_.clear();
         g->blockedForever_ = false;
-        tracer_.record(clock_.now(), TraceEvent::Ready, g->id());
+        emitEvent(TraceEvent::Ready, g->id());
         return;
     }
     if (g->status_ != GStatus::Waiting)
         support::panic("ready of a non-waiting goroutine");
     if (race_)
         race_->onWakeEdge(sched_.current(), g);
+    noteUnpark(g);
     g->status_ = GStatus::Runnable;
     g->waitReason_ = WaitReason::None;
     g->blockedOn_.clear();
     g->blockedForever_ = false;
-    tracer_.record(clock_.now(), TraceEvent::Ready, g->id());
+    emitEvent(TraceEvent::Ready, g->id());
     sched_.enqueueReady(g);
 }
 
@@ -424,7 +459,7 @@ Runtime::yieldCurrent(std::coroutine_handle<> h)
         support::panic("yield outside a goroutine");
     g->resumePoint_ = h;
     g->status_ = GStatus::Runnable;
-    tracer_.record(clock_.now(), TraceEvent::Yield, g->id());
+    emitEvent(TraceEvent::Yield, g->id());
     sched_.enqueueReady(g);
 }
 
@@ -440,6 +475,7 @@ Runtime::sleepCurrent(std::coroutine_handle<> h, support::VTime d,
     g->waitReason_ = reason;
     g->blockedOn_.clear();
     g->blockedForever_ = false;
+    g->parkStartVt_ = clock_.now();
     clock_.scheduleAfter(d < 0 ? 0 : d, [this, g] { ready(g); });
 }
 
@@ -491,7 +527,7 @@ Runtime::onGoroutinePanic(std::exception_ptr e)
 void
 Runtime::finalizeDone(Goroutine* g)
 {
-    tracer_.record(clock_.now(), TraceEvent::Done, g->id());
+    emitEvent(TraceEvent::Done, g->id());
     g->top_.destroy();
     g->top_ = {};
     g->resumePoint_ = {};
@@ -506,8 +542,7 @@ Runtime::reclaimGoroutine(Goroutine* g)
     if (g->status_ != GStatus::PendingReclaim)
         support::panic("reclaim of a non-pending goroutine");
     const bool wasMain = g->isMain_;
-    tracer_.record(clock_.now(), TraceEvent::Reclaim, g->id(),
-                   g->waitReason_);
+    emitEvent(TraceEvent::Reclaim, g->id(), g->waitReason_);
     // Destroying the outermost frame unwinds the whole frame chain:
     // Task temporaries destroy callee frames, parked waiters unlink
     // from channel queues and the semtable, and shadow-stack roots
@@ -591,13 +626,13 @@ Runtime::quarantineGoroutine(Goroutine* g, const std::string& why,
     g->cancelPending_ = false;
     g->cancelMessage_.clear();
     g->blockedSinceVt_ = 0;
+    g->parkStartVt_ = 0;
     g->blockedSema_ = support::MaskedPtr<void>();
     // Scrub every wait queue: no wakeup must ever reach this
     // goroutine again. Channel queues drop quarantined waiters
     // lazily (Channel::firstActive); the semtable is purged here.
     semtable_.purgeGoroutine(g);
-    tracer_.record(clock_.now(), TraceEvent::Quarantine, g->id(),
-                   g->waitReason_);
+    emitEvent(TraceEvent::Quarantine, g->id(), g->waitReason_);
     collector_->reports().addQuarantine(g->id(), why, clock_.now());
     if (config_.verboseReports) {
         std::fprintf(stderr, "quarantine! goroutine %llu: %s\n",
@@ -613,8 +648,8 @@ Runtime::quarantineGoroutine(Goroutine* g, const std::string& why,
 void
 Runtime::deliverCancel(Goroutine* g, const std::string& msg)
 {
-    tracer_.record(clock_.now(), TraceEvent::Cancel, g->id(),
-                   g->waitReason_);
+    emitEvent(TraceEvent::Cancel, g->id(), g->waitReason_);
+    noteUnpark(g); // the delivery ends the park (resume will throw)
     g->cancelPending_ = true;
     g->cancelMessage_ = msg;
     ++g->cancelDeliveries_;
@@ -686,8 +721,7 @@ Runtime::onResurrection(gc::Object* obj, const char* what)
         // revival report as several.
         for (gc::Object* b : g->blockedOn_)
             b->clearPoisoned();
-        tracer_.record(clock_.now(), TraceEvent::Resurrect, g->id(),
-                       g->waitReason_);
+        emitEvent(TraceEvent::Resurrect, g->id(), g->waitReason_);
     }
     if (config_.verboseReports) {
         std::fprintf(stderr, "resurrection! %s touched via %s\n",
@@ -737,10 +771,14 @@ Runtime::watchdogPoll()
             g->blockedSinceVt_ = now;
         }
     }
+    // Publish the shedding signal: the service layer reads this gauge
+    // instead of rescanning allg per request.
+    if (obs_)
+        obs_->setWatchdogPressure(over);
     if (over == 0)
         return false;
     ++watchdogTriggers_;
-    tracer_.record(now, TraceEvent::WatchdogTrigger, 0);
+    emitEvent(TraceEvent::WatchdogTrigger, 0);
     forceDetect_ = true;
     gcRequested_ = true;
     return true;
@@ -785,7 +823,7 @@ Runtime::watchdogRescue()
     if (candidates == 0 && collector_->pendingReclaim() == 0)
         return false;
     ++watchdogTriggers_;
-    tracer_.record(clock_.now(), TraceEvent::WatchdogTrigger, 0);
+    emitEvent(TraceEvent::WatchdogTrigger, 0);
     forceDetect_ = true;
     collectNow();
     const auto& cs = collector_->lastCycle();
@@ -896,8 +934,9 @@ Runtime::runSlice(Goroutine* g)
         clock_.advance(slice);
         busyNs_ += slice;
         g->status_ = GStatus::Waiting;
-        tracer_.record(clock_.now(), TraceEvent::Park, g->id(),
-                       g->waitReason_);
+        // The original parkStartVt_ is retained: the goroutine never
+        // stopped waiting for its (ungranted) operation.
+        emitEvent(TraceEvent::Park, g->id(), g->waitReason_);
         return;
     }
 
@@ -955,11 +994,23 @@ void
 Runtime::collectNow()
 {
     gcRequested_ = false;
-    tracer_.record(clock_.now(), TraceEvent::GcStart, 0);
+    const uint64_t heapAllocBefore = heap_.stats().heapAlloc;
+    emitEvent(TraceEvent::GcStart, 0);
     stopTheWorld();
     collector_->collect();
     startTheWorld();
-    tracer_.record(clock_.now(), TraceEvent::GcEnd, 0);
+    emitEvent(TraceEvent::GcEnd, 0);
+    if (obs_) {
+        const auto& cs = collector_->lastCycle();
+        obs_->onGcCycle(cs, heapAllocBefore, heap_.stats());
+        if (obs_->gctrace()) {
+            std::fprintf(stderr, "%s\n",
+                         obs_->gctraceLine(cs, heapAllocBefore,
+                                           heap_.stats(),
+                                           clock_.now())
+                             .c_str());
+        }
+    }
     if (oomPending_) {
         // The emergency collection for an injected allocation failure
         // has now run; the next failure starts a fresh OOM episode.
@@ -1178,7 +1229,7 @@ Runtime::checkFaultAt(FaultSite site)
         return;
     switch (injector_.decide(site, clock_.now(), g->id())) {
       case FaultKind::Panic: {
-        tracer_.record(clock_.now(), TraceEvent::Fault, g->id());
+        emitEvent(TraceEvent::Fault, g->id());
         std::string msg =
             std::string("injected panic at ") + faultSiteName(site);
         // This throw bypasses support::goPanic, so record the panic
@@ -1189,7 +1240,7 @@ Runtime::checkFaultAt(FaultSite site)
         throw InjectedFault(msg);
       }
       case FaultKind::ForceGc:
-        tracer_.record(clock_.now(), TraceEvent::Fault, g->id());
+        emitEvent(TraceEvent::Fault, g->id());
         gcRequested_ = true;
         break;
       default:
@@ -1210,7 +1261,7 @@ Runtime::onAllocCheck(size_t bytes)
                          g->id()) != FaultKind::AllocFail) {
         return;
     }
-    tracer_.record(clock_.now(), TraceEvent::Fault, g->id());
+    emitEvent(TraceEvent::Fault, g->id());
     if (oomPending_) {
         // A second failure before the emergency collection got to
         // run: Go's runtime throws a fatal out-of-memory error.
@@ -1425,10 +1476,18 @@ Runtime::flushPostMortem() const
                << faultKindName(f.kind) << "\n";
         }
     }
-    const auto& recs = tracer_.records();
+    // Trace tail: prefer the full-fidelity tracer; fall back to the
+    // always-on flight recorder (its whole point: recent history is
+    // available post-mortem without ever enabling the tracer).
+    std::vector<TraceRecord> recs = tracer_.records();
+    const char* what = "trace tail";
+    if (recs.empty() && obs_ && obs_->flight()) {
+        recs = obs_->flight()->drain();
+        what = "flight-recorder tail";
+    }
     if (!recs.empty()) {
         size_t start = recs.size() > 64 ? recs.size() - 64 : 0;
-        os << "trace tail (" << recs.size() - start << " of "
+        os << what << " (" << recs.size() - start << " of "
            << recs.size() << " events):\n";
         for (size_t i = start; i < recs.size(); ++i) {
             const TraceRecord& r = recs[i];

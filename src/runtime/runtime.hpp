@@ -25,6 +25,7 @@
 #include "gc/heap.hpp"
 #include "guard/cancel.hpp"
 #include "guard/watchdog.hpp"
+#include "obs/obs.hpp"
 #include "race/detector.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/goroutine.hpp"
@@ -143,6 +144,10 @@ struct Config
     guard::WatchdogConfig watchdog;
     /** Recovery-ladder escalation policy (guard/watchdog.hpp). */
     guard::GuardPolicy guard;
+    /** Always-on telemetry: flight recorder, metrics registry,
+     *  contention profiles, gctrace (obs/obs.hpp). When disabled the
+     *  runtime holds no Obs and each event site costs one branch. */
+    obs::Config obs;
     support::VTime gcStwFixedNs = 50 * support::kMicrosecond;
     double gcNsPerDetectCheck = 100.0;
     support::VTime gcNsPerIteration = 10 * support::kMicrosecond;
@@ -186,6 +191,7 @@ class Runtime
     gc::Heap& heap() { return heap_; }
     Scheduler& sched() { return sched_; }
     support::VClock& clock() { return clock_; }
+    const support::VClock& clock() const { return clock_; }
     SemTable& semtable() { return semtable_; }
     Tracer& tracer() { return tracer_; }
     detect::Collector& collector() { return *collector_; }
@@ -193,7 +199,23 @@ class Runtime
     /** The race detector, or nullptr when Config::race is off. Every
      *  instrumentation site is gated on exactly this null check. */
     race::Detector* raceDetector() const { return race_.get(); }
+    /** The telemetry facade, or nullptr when Config::obs is off. */
+    obs::Obs* obs() const { return obs_.get(); }
     /// @}
+
+    /**
+     * Trace-event fan-out: one predictable branch when neither the
+     * tracer nor obs wants events; otherwise the slow path feeds the
+     * full-fidelity tracer and/or the obs flight recorder + counters.
+     * Timestamps are always the current virtual time.
+     */
+    void
+    emitEvent(TraceEvent ev, uint64_t gid,
+              WaitReason reason = WaitReason::None)
+    {
+        if (eventsArmed_)
+            emitEventSlow(ev, gid, reason);
+    }
 
     /** Allocate a managed object. */
     template <typename T, typename... Args>
@@ -403,6 +425,22 @@ class Runtime
                              bool framesLost);
     /** Heap allocation hook: injected OOM + emergency-GC retry. */
     void onAllocCheck(size_t bytes);
+    void emitEventSlow(TraceEvent ev, uint64_t gid,
+                       WaitReason reason);
+    void refreshEventsArmed()
+    {
+        eventsArmed_ = tracer_.enabled() || obs_ != nullptr;
+    }
+    /** Feed obs the ending park (duration histograms + contention
+     *  profiles) before g's wait state is consumed or rewritten.
+     *  One predictable branch when obs is off. */
+    void
+    noteUnpark(Goroutine* g)
+    {
+        if (obs_ && g->parkStartVt() != 0)
+            noteUnparkSlow(g);
+    }
+    void noteUnparkSlow(Goroutine* g);
 
     template <typename A>
     void
@@ -428,6 +466,9 @@ class Runtime
     Scheduler sched_;
     FaultInjector injector_;
     std::unique_ptr<detect::Collector> collector_;
+    std::unique_ptr<obs::Obs> obs_;
+    /** tracer_.enabled() || obs_ — the one-branch event gate. */
+    bool eventsArmed_ = false;
 
     uint64_t containedPanics_ = 0;
     uint64_t emergencyGcs_ = 0;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <ostream>
 #include <sstream>
 
 namespace golf::rt {
@@ -30,6 +31,17 @@ traceEventName(TraceEvent ev)
     return "?";
 }
 
+void
+Tracer::recordSlow(support::VTime t, TraceEvent ev, uint64_t gid,
+                   WaitReason reason)
+{
+    if (capacity_ != 0 && records_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    records_.push_back(TraceRecord{t, ev, gid, reason});
+}
+
 size_t
 Tracer::count(TraceEvent ev) const
 {
@@ -51,11 +63,11 @@ Tracer::forGoroutine(uint64_t gid) const
 }
 
 void
-Tracer::writeCsv(const std::string& path) const
+writeTraceCsv(std::ostream& out,
+              const std::vector<TraceRecord>& records)
 {
-    std::ofstream out(path);
     out << "t_ns,event,goroutine,reason\n";
-    for (const auto& r : records_) {
+    for (const auto& r : records) {
         out << r.t << "," << traceEventName(r.event) << ","
             << r.goroutineId << "," << waitReasonName(r.reason)
             << "\n";
@@ -63,34 +75,109 @@ Tracer::writeCsv(const std::string& path) const
 }
 
 void
-Tracer::writeChromeTrace(const std::string& path) const
+writeTraceCsv(const std::string& path,
+              const std::vector<TraceRecord>& records)
 {
     std::ofstream out(path);
-    out << "[\n";
-    for (size_t i = 0; i < records_.size(); ++i) {
-        const TraceRecord& r = records_[i];
-        out << "  {\"name\":\"" << traceEventName(r.event)
-            << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
-            << r.t / 1000 << ",\"pid\":1,\"tid\":"
-            << r.goroutineId << ",\"args\":{\"reason\":\""
-            << waitReasonName(r.reason) << "\"}}";
-        if (i + 1 < records_.size())
-            out << ",";
-        out << "\n";
+    writeTraceCsv(out, records);
+}
+
+namespace {
+
+void
+chromeInstant(std::ostream& out, const TraceRecord& r)
+{
+    out << "  {\"name\":\"" << traceEventName(r.event)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << r.t / 1000
+        << ",\"pid\":1,\"tid\":" << r.goroutineId
+        << ",\"args\":{\"reason\":\"" << waitReasonName(r.reason)
+        << "\"}}";
+}
+
+} // namespace
+
+void
+writeTraceChrome(std::ostream& out,
+                 const std::vector<TraceRecord>& records)
+{
+    // First pass: pair each GcStart with the next GcEnd. Cycles never
+    // nest (collection is stop-the-world), so a single open slot
+    // suffices; unpaired endpoints fall back to instants.
+    std::vector<int> role(records.size(), 0); // 0=instant 1=span 2=skip
+    std::vector<support::VTime> spanEnd(records.size(), 0);
+    size_t openStart = records.size();
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (records[i].event == TraceEvent::GcStart) {
+            openStart = i;
+        } else if (records[i].event == TraceEvent::GcEnd &&
+                   openStart < records.size()) {
+            role[openStart] = 1;
+            spanEnd[openStart] = records[i].t;
+            role[i] = 2;
+            openStart = records.size();
+        }
     }
-    out << "]\n";
+
+    out << "[\n";
+    bool first = true;
+    for (size_t i = 0; i < records.size(); ++i) {
+        if (role[i] == 2)
+            continue;
+        if (!first)
+            out << ",\n";
+        first = false;
+        if (role[i] == 1) {
+            const TraceRecord& r = records[i];
+            out << "  {\"name\":\"GC\",\"ph\":\"X\",\"ts\":"
+                << r.t / 1000 << ",\"dur\":"
+                << (spanEnd[i] - r.t) / 1000
+                << ",\"pid\":1,\"tid\":0,\"args\":{}}";
+        } else {
+            chromeInstant(out, records[i]);
+        }
+    }
+    out << "\n]\n";
+}
+
+void
+writeTraceChrome(const std::string& path,
+                 const std::vector<TraceRecord>& records)
+{
+    std::ofstream out(path);
+    writeTraceChrome(out, records);
+}
+
+std::string
+traceSummary(const std::vector<TraceRecord>& records,
+             uint64_t dropped)
+{
+    std::map<TraceEvent, size_t> counts;
+    for (const auto& r : records)
+        ++counts[r.event];
+    std::ostringstream os;
+    for (const auto& [ev, n] : counts)
+        os << traceEventName(ev) << ": " << n << "\n";
+    if (dropped != 0)
+        os << "dropped: " << dropped << "\n";
+    return os.str();
+}
+
+void
+Tracer::writeCsv(const std::string& path) const
+{
+    writeTraceCsv(path, records_);
+}
+
+void
+Tracer::writeChromeTrace(const std::string& path) const
+{
+    writeTraceChrome(path, records_);
 }
 
 std::string
 Tracer::summary() const
 {
-    std::map<TraceEvent, size_t> counts;
-    for (const auto& r : records_)
-        ++counts[r.event];
-    std::ostringstream os;
-    for (const auto& [ev, n] : counts)
-        os << traceEventName(ev) << ": " << n << "\n";
-    return os.str();
+    return traceSummary(records_, dropped_);
 }
 
 } // namespace golf::rt

@@ -6,11 +6,18 @@
  * virtual timestamp. Traces can be dumped as CSV for offline
  * analysis, or summarized; the overhead when disabled is one branch
  * per event.
+ *
+ * The tracer is the *full-fidelity* path: an (optionally bounded)
+ * in-order vector of every event. The always-on path is the obs
+ * flight recorder (src/obs/flight.hpp), which drains into the same
+ * writers below.
  */
 #ifndef GOLFCC_RUNTIME_TRACER_HPP
 #define GOLFCC_RUNTIME_TRACER_HPP
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -49,19 +56,64 @@ struct TraceRecord
     WaitReason reason = WaitReason::None;
 };
 
+/** "t_ns,event,goroutine,reason" rows. Shared by the tracer and the
+ *  flight-recorder drain. */
+void writeTraceCsv(std::ostream& out,
+                   const std::vector<TraceRecord>& records);
+void writeTraceCsv(const std::string& path,
+                   const std::vector<TraceRecord>& records);
+
+/** Chrome trace-event JSON (open in chrome://tracing or Perfetto):
+ *  GcStart/GcEnd pairs become complete "X" duration spans on a
+ *  dedicated GC row (tid 0) so cycles render as bars; every other
+ *  record is an instant event on its goroutine's row. Timestamps are
+ *  virtual microseconds. Unpaired GC endpoints degrade to instants. */
+void writeTraceChrome(std::ostream& out,
+                      const std::vector<TraceRecord>& records);
+void writeTraceChrome(const std::string& path,
+                      const std::vector<TraceRecord>& records);
+
+/** One line per event kind with counts; reports drops if any. */
+std::string traceSummary(const std::vector<TraceRecord>& records,
+                         uint64_t dropped);
+
 class Tracer
 {
   public:
     bool enabled() const { return enabled_; }
-    void enable() { enabled_ = true; }
-    void disable() { enabled_ = false; }
+    void enable()
+    {
+        enabled_ = true;
+        if (toggleHook_)
+            toggleHook_();
+    }
+    void disable()
+    {
+        enabled_ = false;
+        if (toggleHook_)
+            toggleHook_();
+    }
+
+    /** The runtime hooks this to refresh its one-branch armed flag
+     *  when tests toggle the tracer mid-run. */
+    void setToggleHook(std::function<void()> hook)
+    {
+        toggleHook_ = std::move(hook);
+    }
+
+    /** Bound the record vector: once `cap` records are held, further
+     *  records are counted as drops instead of growing the vector
+     *  (soak/chaos tiers run billions of virtual ns). 0 = unbounded. */
+    void setCapacity(size_t cap) { capacity_ = cap; }
+    size_t capacity() const { return capacity_; }
+    uint64_t dropped() const { return dropped_; }
 
     void
     record(support::VTime t, TraceEvent ev, uint64_t gid,
            WaitReason reason = WaitReason::None)
     {
         if (enabled_)
-            records_.push_back(TraceRecord{t, ev, gid, reason});
+            recordSlow(t, ev, gid, reason);
     }
 
     const std::vector<TraceRecord>& records() const
@@ -77,19 +129,27 @@ class Tracer
     /** "t_ns,event,goroutine,reason" rows. */
     void writeCsv(const std::string& path) const;
 
-    /** Chrome trace-event JSON (open in chrome://tracing or
-     *  Perfetto): one instant event per record, one row ("thread")
-     *  per goroutine, timestamps in virtual microseconds. */
+    /** See writeTraceChrome above. */
     void writeChromeTrace(const std::string& path) const;
 
     /** One line per event kind with counts. */
     std::string summary() const;
 
-    void clear() { records_.clear(); }
+    void clear()
+    {
+        records_.clear();
+        dropped_ = 0;
+    }
 
   private:
+    void recordSlow(support::VTime t, TraceEvent ev, uint64_t gid,
+                    WaitReason reason);
+
     bool enabled_ = false;
+    size_t capacity_ = 0;
+    uint64_t dropped_ = 0;
     std::vector<TraceRecord> records_;
+    std::function<void()> toggleHook_;
 };
 
 } // namespace golf::rt

@@ -119,14 +119,20 @@ clientConnection(GuardState* s)
 {
     rt::Runtime& rt = *s->rt;
     const GuardServiceConfig& cfg = *s->cfg;
+    // Admission control sheds off the obs watchdog-pressure gauge
+    // (published by each watchdog poll) instead of rescanning allg
+    // per request; with obs off, fall back to the direct scan.
+    obs::Obs* obs = rt.obs();
     while (rt.clock().now() < s->end) {
         const VTime now = rt.clock().now();
         if (s->breakerOpen && now >= s->breakerReopenAt) {
             s->breakerOpen = false;
             s->consecutiveTimeouts = 0;
         }
-        if (s->breakerOpen ||
-            rt.watchdogPressure() >= cfg.shedPressureLimit) {
+        const size_t pressure =
+            obs ? static_cast<size_t>(obs->watchdogPressure())
+                : rt.watchdogPressure();
+        if (s->breakerOpen || pressure >= cfg.shedPressureLimit) {
             ++s->m.shed;
             co_await rt::sleepFor(cfg.backoffBase);
             continue;
@@ -195,6 +201,7 @@ runGuardService(const GuardServiceConfig& config)
     rc.gcWorkers = config.gcWorkers;
     rc.watchdog = config.watchdog;
     rc.guard = config.guard;
+    rc.obs = config.obs;
     rc.heap.minTriggerBytes = 8 * 1024 * 1024;
 
     rt::Runtime runtime(rc);
@@ -226,6 +233,12 @@ runGuardService(const GuardServiceConfig& config)
     out.heapInuse = ms.heapInuse;
     out.numGC = ms.numGC;
     out.pauseTotalNs = ms.pauseTotalNs;
+    if (config.captureObs) {
+        if (obs::Obs* o = runtime.obs()) {
+            out.metricsJson = o->metricsJson();
+            out.prometheus = o->prometheusText();
+        }
+    }
     return out;
 }
 

@@ -47,6 +47,11 @@ struct GuardServiceConfig : ServiceConfig
     int breakerWindow = 5;
     /** How long an open breaker sheds before re-admitting. */
     support::VTime breakerCooldown = 1 * support::kSecond;
+    /** Telemetry; admission control sheds off the obs watchdog
+     *  pressure gauge instead of recomputing it per request. */
+    obs::Config obs;
+    /** Capture metrics JSON + Prometheus text into the result. */
+    bool captureObs = false;
 };
 
 /** Degradation counters (the new Metrics fields of §9). */
@@ -76,6 +81,9 @@ struct GuardResult
     uint64_t numGC = 0;
     uint64_t pauseTotalNs = 0;
     bool failed = false; ///< The run itself panicked.
+    /** Obs capture (empty unless config.captureObs). */
+    std::string metricsJson;
+    std::string prometheus;
 };
 
 /** Run the guarded service once. Deterministic per (seed, config). */

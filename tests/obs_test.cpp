@@ -1,0 +1,452 @@
+/**
+ * @file
+ * golf::obs tests: histogram bucket semantics, Prometheus/JSON
+ * exposition goldens, flight-recorder ring mechanics, contention
+ * profile sampling, goroutine profiles, counter monotonicity under
+ * fault injection, and the gcWorkers byte-identity contract.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "chan/channel.hpp"
+#include "gc/memstats.hpp"
+#include "golf/collector.hpp"
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using rt::Go;
+using rt::Runtime;
+using rt::TraceEvent;
+using support::kMillisecond;
+
+// ---------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------
+
+TEST(ObsMetricsTest, HistogramBucketBoundariesAreInclusive)
+{
+    obs::Histogram h({10, 20});
+    for (uint64_t v : {5ull, 10ull, 15ull, 20ull, 25ull})
+        h.observe(v);
+    // Bucket i counts v <= boundaries[i]; the last bucket overflows.
+    ASSERT_EQ(h.bucketCounts().size(), 3u);
+    EXPECT_EQ(h.bucketCounts()[0], 2u); // 5, 10
+    EXPECT_EQ(h.bucketCounts()[1], 2u); // 15, 20
+    EXPECT_EQ(h.bucketCounts()[2], 1u); // 25
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 75u);
+}
+
+TEST(ObsMetricsTest, ExpBoundariesAreOneTwoFivePerDecade)
+{
+    const auto b = obs::Histogram::expBoundaries(1000, 10000);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 1000u);
+    EXPECT_EQ(b[1], 2000u);
+    EXPECT_EQ(b[2], 5000u);
+    EXPECT_EQ(b[3], 10000u);
+}
+
+TEST(ObsMetricsTest, PromNameSanitizesRuntimeMetricsPaths)
+{
+    EXPECT_EQ(obs::Registry::promName("/gc/pause:ns"),
+              "golf_gc_pause_ns");
+    EXPECT_EQ(obs::Registry::promName("/sched/park/chan-receive:ns"),
+              "golf_sched_park_chan_receive_ns");
+}
+
+TEST(ObsMetricsTest, PrometheusGolden)
+{
+    obs::Registry reg;
+    reg.counter("/a/count:count", "A counter")->add(3);
+    reg.gauge("/b/gauge:items", "A gauge")->set(2.5);
+    obs::Histogram* h =
+        reg.histogram("/c/lat:ns", "A histogram", {10, 100});
+    h->observe(5);
+    h->observe(50);
+    h->observe(500);
+
+    const std::string expected =
+        "# HELP golf_a_count_count A counter\n"
+        "# TYPE golf_a_count_count counter\n"
+        "golf_a_count_count 3\n"
+        "# HELP golf_b_gauge_items A gauge\n"
+        "# TYPE golf_b_gauge_items gauge\n"
+        "golf_b_gauge_items 2.5\n"
+        "# HELP golf_c_lat_ns A histogram\n"
+        "# TYPE golf_c_lat_ns histogram\n"
+        "golf_c_lat_ns_bucket{le=\"10\"} 1\n"
+        "golf_c_lat_ns_bucket{le=\"100\"} 2\n"
+        "golf_c_lat_ns_bucket{le=\"+Inf\"} 3\n"
+        "golf_c_lat_ns_sum 555\n"
+        "golf_c_lat_ns_count 3\n";
+    EXPECT_EQ(reg.prometheus(), expected);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonGolden)
+{
+    obs::Registry reg;
+    reg.counter("/a:count", "a")->add(7);
+    reg.gauge("/b:bytes", "b")->set(4096);
+    obs::Histogram* h = reg.histogram("/c:ns", "c", {10});
+    h->observe(3);
+    h->observe(30);
+
+    const std::string expected =
+        "{\"metrics\":[\n"
+        "  {\"name\":\"/a:count\",\"kind\":\"counter\","
+        "\"value\":7},\n"
+        "  {\"name\":\"/b:bytes\",\"kind\":\"gauge\","
+        "\"value\":4096},\n"
+        "  {\"name\":\"/c:ns\",\"kind\":\"histogram\",\"count\":2,"
+        "\"sum\":33,\"buckets\":[{\"le\":10,\"count\":1},"
+        "{\"le\":\"+Inf\",\"count\":1}]}\n"
+        "]}\n";
+    EXPECT_EQ(reg.snapshotJson(), expected);
+}
+
+// ---------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------
+
+TEST(ObsFlightTest, OverwritesOldestAndCountsDrops)
+{
+    obs::FlightRecorder f(/*rings=*/2, /*perRingCapacity=*/4);
+    for (uint64_t gid = 0; gid < 10; ++gid) {
+        f.record(static_cast<support::VTime>(gid * 100),
+                 TraceEvent::Park, gid, rt::WaitReason::ChanRecv);
+    }
+    // gids 0,2,4,6,8 hit ring 0; 1,3,5,7,9 hit ring 1. Capacity 4
+    // per ring: the oldest record in each ring is overwritten.
+    EXPECT_EQ(f.appended(), 10u);
+    EXPECT_EQ(f.size(), 8u);
+    EXPECT_EQ(f.dropped(), 2u);
+
+    const auto recs = f.drain();
+    ASSERT_EQ(recs.size(), 8u);
+    // Drain merges rings back into global append order (gid 2..9
+    // here, since each ring evicted its first record).
+    for (size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(recs[i].goroutineId, i + 2);
+        EXPECT_EQ(recs[i].t,
+                  static_cast<support::VTime>((i + 2) * 100));
+        EXPECT_EQ(recs[i].event, TraceEvent::Park);
+        EXPECT_EQ(recs[i].reason, rt::WaitReason::ChanRecv);
+    }
+
+    f.clear();
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_TRUE(f.drain().empty());
+}
+
+TEST(ObsFlightTest, DrainFeedsTraceWriters)
+{
+    obs::FlightRecorder f(1, 8);
+    f.record(1000, TraceEvent::Spawn, 1, rt::WaitReason::None);
+    f.record(2000, TraceEvent::Park, 1, rt::WaitReason::ChanSend);
+    std::ostringstream os;
+    rt::writeTraceCsv(os, f.drain());
+    EXPECT_EQ(os.str(),
+              "t_ns,event,goroutine,reason\n"
+              "1000,spawn,1,none\n"
+              "2000,park,1,chan send\n");
+}
+
+// ---------------------------------------------------------------
+// Contention profiles
+// ---------------------------------------------------------------
+
+TEST(ObsProfileTest, RateZeroDisablesSampling)
+{
+    obs::ContentionProfile p(0, /*seed=*/1);
+    EXPECT_FALSE(p.enabled());
+    p.observe("a;b;c", 1'000'000);
+    EXPECT_EQ(p.samples(), 0u);
+    EXPECT_TRUE(p.folded().empty());
+}
+
+TEST(ObsProfileTest, LongParksAlwaysRecordedAtFullWeight)
+{
+    obs::ContentionProfile p(1000, /*seed=*/1);
+    p.observe("a;b;c", 5000); // d >= rate: always, weight d
+    p.observe("a;b;c", 1000);
+    EXPECT_EQ(p.samples(), 2u);
+    EXPECT_EQ(p.folded(), "a;b;c 6000\n");
+}
+
+TEST(ObsProfileTest, ShortParkSamplingIsDeterministicPerSeed)
+{
+    auto run = [](uint64_t seed) {
+        obs::ContentionProfile p(1'000'000, seed);
+        for (int i = 0; i < 200; ++i)
+            p.observe("s;b;r", 1000); // 0.1% each
+        return p.folded();
+    };
+    EXPECT_EQ(run(7), run(7));
+    // Each sampled short park is recorded at weight == rate.
+    const std::string f = run(7);
+    if (!f.empty())
+        EXPECT_EQ(f.find("s;b;r "), 0u);
+}
+
+TEST(ObsProfileTest, ParkMetricNamesFollowPathConvention)
+{
+    EXPECT_EQ(obs::parkMetricName(rt::WaitReason::ChanRecv),
+              "/sched/park/chan-receive:ns");
+    EXPECT_EQ(obs::parkMetricName(rt::WaitReason::MutexLock),
+              "/sched/park/sync-mutex-lock:ns");
+    EXPECT_EQ(obs::parkMetricName(rt::WaitReason::GcWait),
+              "/sched/park/gc-assist-wait:ns");
+}
+
+// ---------------------------------------------------------------
+// Runtime integration
+// ---------------------------------------------------------------
+
+TEST(ObsRuntimeTest, DisabledObsLeavesRuntimeBare)
+{
+    rt::Config rc;
+    rc.obs.enabled = false;
+    Runtime rt(rc);
+    EXPECT_EQ(rt.obs(), nullptr);
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go { co_return; });
+        co_await rt::yield();
+        co_return;
+    }, &rt);
+    EXPECT_EQ(rt.obs(), nullptr);
+    EXPECT_TRUE(rt.tracer().records().empty());
+}
+
+TEST(ObsRuntimeTest, EventCountersMatchTracer)
+{
+    Runtime rt;
+    rt.tracer().enable();
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 5; ++i)
+            GOLF_GO(*rtp, +[]() -> Go {
+                co_await rt::yield();
+                co_return;
+            });
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+
+    ASSERT_NE(rt.obs(), nullptr);
+    const obs::Registry& reg = rt.obs()->registry();
+    const obs::Counter* spawned =
+        reg.findCounter("/sched/goroutines/spawned:count");
+    const obs::Counter* done =
+        reg.findCounter("/sched/goroutines/done:count");
+    const obs::Counter* cycles = reg.findCounter("/gc/cycles:count");
+    ASSERT_NE(spawned, nullptr);
+    ASSERT_NE(done, nullptr);
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_EQ(spawned->value(), rt.tracer().count(TraceEvent::Spawn));
+    EXPECT_EQ(done->value(), rt.tracer().count(TraceEvent::Done));
+    EXPECT_EQ(cycles->value(),
+              rt.tracer().count(TraceEvent::GcStart));
+
+    // The flight recorder saw the same stream as the tracer.
+    ASSERT_NE(rt.obs()->flight(), nullptr);
+    EXPECT_EQ(rt.obs()->flight()->appended(),
+              rt.tracer().records().size());
+}
+
+TEST(ObsRuntimeTest, ParkHistogramRecordsSleepDurations)
+{
+    Runtime rt;
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        (void)rtp;
+        co_await rt::sleepFor(3 * kMillisecond);
+        co_return;
+    }, &rt);
+    ASSERT_NE(rt.obs(), nullptr);
+    const obs::Histogram* h = rt.obs()->registry().findHistogram(
+        obs::parkMetricName(rt::WaitReason::Sleep));
+    ASSERT_NE(h, nullptr);
+    ASSERT_GE(h->count(), 1u);
+    EXPECT_GE(h->sum(), 3u * kMillisecond);
+}
+
+TEST(ObsRuntimeTest, GoroutineProfileShowsDeadlockedGoroutine)
+{
+    rt::Config rc;
+    rc.recovery = rt::Recovery::Detect;
+    Runtime rt(rc);
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[](Channel<int>* c) -> Go {
+            co_await chan::recv(c);
+            co_return;
+        }, makeChan<int>(*rtp, 0));
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+
+    const obs::GoroutineProfile prof =
+        obs::collectGoroutineProfile(rt);
+    bool sawDeadlocked = false;
+    for (const auto& e : prof.entries) {
+        if (e.status == rt::GStatus::Deadlocked) {
+            sawDeadlocked = true;
+            EXPECT_EQ(e.reason, rt::WaitReason::ChanRecv);
+            EXPECT_GT(e.parkStartVt, 0u);
+        }
+    }
+    EXPECT_TRUE(sawDeadlocked);
+    EXPECT_NE(prof.str().find("goroutine profile: total"),
+              std::string::npos);
+    EXPECT_NE(prof.str().find("chan receive"), std::string::npos);
+    EXPECT_FALSE(prof.folded().empty());
+}
+
+/** Pull every counter out of a metrics JSON snapshot. */
+std::map<std::string, uint64_t>
+countersOf(const std::string& json)
+{
+    std::map<std::string, uint64_t> out;
+    std::istringstream in(json);
+    for (std::string line; std::getline(in, line);) {
+        const size_t kind = line.find("\"kind\":\"counter\"");
+        if (kind == std::string::npos)
+            continue;
+        const size_t n0 = line.find("\"name\":\"") + 8;
+        const size_t n1 = line.find('"', n0);
+        const size_t v0 = line.find("\"value\":", kind) + 8;
+        out[line.substr(n0, n1 - n0)] = std::strtoull(
+            line.c_str() + v0, nullptr, 10);
+    }
+    return out;
+}
+
+TEST(ObsRuntimeTest, CountersAreMonotoneUnderFaultInjection)
+{
+    rt::Config rc;
+    rc.seed = 42;
+    rc.faults.enabled = true;
+    rc.faults.panicProb = 0.02;
+    rc.faults.spuriousWakeupProb = 0.10;
+    rc.faults.delayedWakeupProb = 0.10;
+    rc.faults.forceGcProb = 0.05;
+    Runtime rt(rc);
+    std::string mid;
+    rt.runMain(
+        +[](Runtime* rtp, std::string* midp) -> Go {
+            for (int i = 0; i < 30; ++i) {
+                GOLF_GO(*rtp, +[]() -> Go {
+                    co_await rt::sleepFor(kMillisecond);
+                    co_await rt::yield();
+                    co_return;
+                });
+            }
+            co_await rt::sleepFor(5 * kMillisecond);
+            co_await rt::gcNow();
+            *midp = rtp->obs()->metricsJson();
+            for (int i = 0; i < 30; ++i) {
+                GOLF_GO(*rtp, +[]() -> Go {
+                    co_await rt::sleepFor(kMillisecond);
+                    co_return;
+                });
+            }
+            co_await rt::sleepFor(5 * kMillisecond);
+            co_await rt::gcNow();
+            co_return;
+        },
+        &rt, &mid);
+    ASSERT_NE(rt.obs(), nullptr);
+    const std::string end = rt.obs()->metricsJson();
+
+    const auto midC = countersOf(mid);
+    const auto endC = countersOf(end);
+    ASSERT_FALSE(midC.empty());
+    ASSERT_EQ(midC.size(), endC.size());
+    for (const auto& [name, v] : midC) {
+        ASSERT_TRUE(endC.count(name)) << name;
+        EXPECT_GE(endC.at(name), v) << name << " went backwards";
+    }
+    // The workload actually progressed between the snapshots.
+    EXPECT_GT(endC.at("/sched/goroutines/spawned:count"),
+              midC.at("/sched/goroutines/spawned:count"));
+}
+
+TEST(ObsRuntimeTest, SnapshotsAreIdenticalAcrossGcWorkers)
+{
+    const auto& all = microbench::Registry::instance().all();
+    ASSERT_FALSE(all.empty());
+    const microbench::Pattern& p = all.front();
+
+    auto capture = [&](int workers) {
+        microbench::HarnessConfig cfg;
+        cfg.procs = 2;
+        cfg.seed = 1234;
+        cfg.gcWorkers = workers;
+        cfg.captureObs = true;
+        cfg.obs.blockProfileRateNs = 1000;
+        cfg.obs.mutexProfileRateNs = 1000;
+        return microbench::runPatternOnce(p, cfg);
+    };
+    const microbench::RunOutcome w1 = capture(1);
+    for (int workers : {2, 4}) {
+        const microbench::RunOutcome wn = capture(workers);
+        EXPECT_EQ(w1.obsMetricsJson, wn.obsMetricsJson)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.obsPrometheus, wn.obsPrometheus)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.obsGoroutineProfile, wn.obsGoroutineProfile)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.obsBlockProfile, wn.obsBlockProfile)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.obsMutexProfile, wn.obsMutexProfile)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.obsFlightCsv, wn.obsFlightCsv)
+            << "gcWorkers=" << workers;
+    }
+    EXPECT_FALSE(w1.obsMetricsJson.empty());
+    EXPECT_FALSE(w1.obsFlightCsv.empty());
+}
+
+TEST(ObsRuntimeTest, GctraceLineFormat)
+{
+    obs::Config cfg;
+    cfg.flightRecords = 0;
+    obs::Obs o(cfg, /*procs=*/1, /*seed=*/1);
+
+    detect::CycleStats cs;
+    cs.cycle = 3;
+    cs.detectionRan = true;
+    cs.markIterations = 2;
+    cs.gcWorkers = 2;
+    cs.modeledStwNs = 500'000; // 0.500 ms
+    cs.freedObjects = 120;
+    cs.deadlocksFound = 1;
+    cs.cancelled = 1;
+    gc::MemStats after;
+    after.heapAlloc = 3 * 1024 * 1024;
+
+    const std::string line = o.gctraceLine(
+        cs, /*heapAllocBefore=*/4 * 1024 * 1024, after,
+        /*now=*/1'204'000'000ull);
+    EXPECT_EQ(line,
+              "gc 3 @1.204s: 4->3 MB, 120 objs freed, 2 mark iters, "
+              "0.500 ms pause, 2 workers, golf: 1 deadlocked "
+              "1 cancelled 0 reclaimed 0 quarantined");
+}
+
+} // namespace
+} // namespace golf

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <sstream>
 
 #include "chan/channel.hpp"
 #include "golf/collector.hpp"
@@ -149,7 +150,85 @@ TEST(TracerTest, ChromeTraceIsWellFormedJson)
          (pos = all.find("\"ph\":\"i\"", pos)) != std::string::npos;
          ++pos)
         ++events;
+    // No GC ran in this workload, so every record is an instant.
+    ASSERT_EQ(rt.tracer().count(TraceEvent::GcStart), 0u);
     EXPECT_EQ(events, rt.tracer().records().size());
+}
+
+namespace {
+
+size_t
+countSubstr(const std::string& hay, const std::string& needle)
+{
+    size_t n = 0;
+    for (size_t pos = 0;
+         (pos = hay.find(needle, pos)) != std::string::npos; ++pos)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(TracerTest, ChromeTraceGcPairsBecomeDurationSpans)
+{
+    Runtime rt;
+    rt.tracer().enable();
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        GOLF_GO(*rtp, +[]() -> Go { co_return; });
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_await rt::sleepFor(kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+
+    const size_t pairs = rt.tracer().count(TraceEvent::GcStart);
+    ASSERT_GE(pairs, 2u);
+    ASSERT_EQ(pairs, rt.tracer().count(TraceEvent::GcEnd));
+
+    std::ostringstream os;
+    rt::writeTraceChrome(os, rt.tracer().records());
+    const std::string all = os.str();
+
+    // Each GcStart/GcEnd pair collapses into one "X" complete span
+    // named GC on the dedicated tid-0 row; the GcEnd is consumed.
+    EXPECT_EQ(countSubstr(all, "\"ph\":\"X\""), pairs);
+    EXPECT_EQ(countSubstr(all, "\"name\":\"GC\""), pairs);
+    EXPECT_EQ(countSubstr(all, "\"dur\":"), pairs);
+    EXPECT_EQ(countSubstr(all, "gc-start"), 0u);
+    EXPECT_EQ(countSubstr(all, "gc-end"), 0u);
+    EXPECT_EQ(countSubstr(all, "\"ph\":\"i\""),
+              rt.tracer().records().size() - 2 * pairs);
+
+    // JSON shape: one array, every event object comma-separated.
+    ASSERT_GE(all.size(), 2u);
+    EXPECT_EQ(all.front(), '[');
+    EXPECT_EQ(all[all.size() - 2], ']');
+    EXPECT_EQ(countSubstr(all, "{\"name\":"),
+              countSubstr(all, "}}"));
+}
+
+TEST(TracerTest, BoundedTracerCountsDrops)
+{
+    Runtime rt;
+    rt.tracer().setCapacity(4);
+    rt.tracer().enable();
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 8; ++i)
+            GOLF_GO(*rtp, +[]() -> Go { co_return; });
+        co_await rt::sleepFor(kMillisecond);
+        co_return;
+    }, &rt);
+
+    EXPECT_EQ(rt.tracer().records().size(), 4u);
+    EXPECT_GT(rt.tracer().dropped(), 0u);
+    const std::string summary = rt.tracer().summary();
+    EXPECT_NE(summary.find("dropped: "), std::string::npos);
+
+    rt.tracer().clear();
+    EXPECT_EQ(rt.tracer().dropped(), 0u);
+    EXPECT_EQ(rt.tracer().summary().find("dropped"),
+              std::string::npos);
 }
 
 } // namespace

@@ -28,6 +28,21 @@
  *     -repro              run every configuration twice and require
  *                         byte-identical fault traces plus identical
  *                         report/cancel counts
+ *     -obs-repro          run every configuration at gcWorkers 1, 2
+ *                         and 4 and require byte-identical obs output
+ *                         (metrics JSON, Prometheus text, goroutine /
+ *                         block / mutex profiles, flight-recorder
+ *                         drain); forces profile rates on if unset
+ *     -metrics <path>     write the last run's metrics JSON to path;
+ *                         with a profile rate armed, also writes
+ *                         <path>.block.folded / <path>.mutex.folded
+ *     -gctrace            print one line per GC/GOLF cycle (stderr)
+ *     -flight <records>   flight-recorder ring capacity per P
+ *                         (0 disables; default 4096)
+ *     -blockprofile <ns>  block-profile sampling rate in virtual ns
+ *     -mutexprofile <ns>  mutex-profile sampling rate in virtual ns
+ *     -no-obs             disable telemetry entirely (one branch per
+ *                         trace-event site)
  *     -race               run under the race detector (happens-before
  *                         race checking + lock-order analysis); race
  *                         and cycle totals are reported per sweep
@@ -45,6 +60,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <regex>
 #include <sstream>
 #include <string>
@@ -52,6 +68,7 @@
 
 #include "microbench/harness.hpp"
 #include "microbench/registry.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -68,6 +85,9 @@ struct Options
     int gcWorkers = 0; // 0 = auto (hardware concurrency)
     rt::FaultConfig faults;
     bool repro = false;
+    bool obsRepro = false;
+    obs::Config obs;
+    std::string metricsPath;
     bool race = false;
     bool watchdog = false;
     rt::Recovery recovery = rt::Recovery::Reclaim;
@@ -160,6 +180,35 @@ parseArgs(int argc, char** argv, Options& opt)
                 return false;
         } else if (arg == "-repro") {
             opt.repro = true;
+        } else if (arg == "-obs-repro") {
+            opt.obsRepro = true;
+        } else if (arg == "-metrics") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.metricsPath = v;
+        } else if (arg == "-gctrace") {
+            opt.obs.gctrace = true;
+        } else if (arg == "-flight") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.obs.flightRecords =
+                static_cast<size_t>(std::atoll(v));
+        } else if (arg == "-blockprofile") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.obs.blockProfileRateNs =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-mutexprofile") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.obs.mutexProfileRateNs =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-no-obs") {
+            opt.obs.enabled = false;
         } else if (arg == "-race") {
             opt.race = true;
         } else if (arg == "-watchdog") {
@@ -204,6 +253,7 @@ struct Totals
     uint64_t deadlockReports = 0;
     uint64_t violations = 0;
     uint64_t reproMismatches = 0;
+    uint64_t obsReproMismatches = 0;
     uint64_t unexpectedFailures = 0;
     uint64_t unexpectedQuarantines = 0;
     uint64_t cancels = 0;
@@ -224,6 +274,26 @@ noteFailure(Totals& t, const std::string& line)
         t.failureLines.push_back(line);
 }
 
+/** Byte-compare every captured obs surface of two runs; returns the
+ *  name of the first differing surface, or nullptr when identical. */
+const char*
+obsCaptureDiff(const RunOutcome& a, const RunOutcome& b)
+{
+    if (a.obsMetricsJson != b.obsMetricsJson)
+        return "metrics JSON";
+    if (a.obsPrometheus != b.obsPrometheus)
+        return "Prometheus text";
+    if (a.obsGoroutineProfile != b.obsGoroutineProfile)
+        return "goroutine profile";
+    if (a.obsBlockProfile != b.obsBlockProfile)
+        return "block profile";
+    if (a.obsMutexProfile != b.obsMutexProfile)
+        return "mutex profile";
+    if (a.obsFlightCsv != b.obsFlightCsv)
+        return "flight drain";
+    return nullptr;
+}
+
 } // namespace
 
 int
@@ -235,7 +305,9 @@ main(int argc, char** argv)
             stderr,
             "usage: chaos_runner [-seeds n] [-seed-base n] "
             "[-match re] [-per-seed n] [-procs 1,2,4] "
-            "[-gc-workers n] [-<kind>-prob p ...] [-repro] [-race] "
+            "[-gc-workers n] [-<kind>-prob p ...] [-repro] "
+            "[-obs-repro] [-metrics path] [-gctrace] [-flight n] "
+            "[-blockprofile ns] [-mutexprofile ns] [-no-obs] [-race] "
             "[-watchdog] [-recovery rung] [-v]\n");
         return 2;
     }
@@ -257,6 +329,9 @@ main(int argc, char** argv)
                          : std::min(static_cast<size_t>(opt.perSeed),
                                     corpus.size());
     Totals t;
+    std::string lastMetricsJson;
+    std::string lastBlockFolded;
+    std::string lastMutexFolded;
     size_t rot = 0;
 
     for (int s = 0; s < opt.seeds; ++s) {
@@ -274,8 +349,15 @@ main(int argc, char** argv)
             cfg.race = opt.race;
             cfg.recovery = opt.recovery;
             cfg.watchdog.enabled = opt.watchdog;
+            cfg.obs = opt.obs;
+            cfg.captureObs = !opt.metricsPath.empty();
 
             RunOutcome out = runPatternOnce(p, cfg);
+            if (cfg.captureObs) {
+                lastMetricsJson = out.obsMetricsJson;
+                lastBlockFolded = out.obsBlockProfile;
+                lastMutexFolded = out.obsMutexProfile;
+            }
             ++t.runs;
             t.faults += out.faultsInjected;
             t.containedPanics += out.containedPanics;
@@ -336,6 +418,32 @@ main(int argc, char** argv)
                 }
             }
 
+            if (opt.obsRepro) {
+                // The obs byte-identity contract: every telemetry
+                // surface is fed from virtual time and modeled costs
+                // only, so the worker count must not leak into it.
+                HarnessConfig ocfg = cfg;
+                ocfg.captureObs = true;
+                if (ocfg.obs.blockProfileRateNs == 0)
+                    ocfg.obs.blockProfileRateNs = 1000;
+                if (ocfg.obs.mutexProfileRateNs == 0)
+                    ocfg.obs.mutexProfileRateNs = 1000;
+                ocfg.gcWorkers = 1;
+                RunOutcome w1 = runPatternOnce(p, ocfg);
+                for (int workers : {2, 4}) {
+                    ocfg.gcWorkers = workers;
+                    RunOutcome wn = runPatternOnce(p, ocfg);
+                    if (const char* what = obsCaptureDiff(w1, wn)) {
+                        ++t.obsReproMismatches;
+                        noteFailure(
+                            t, p.name + " seed=" +
+                                   std::to_string(seed) + ": obs " +
+                                   what + " differs at gcWorkers=" +
+                                   std::to_string(workers));
+                    }
+                }
+            }
+
             if (opt.verbose) {
                 std::printf("%-28s seed=%-12llu procs=%d "
                             "faults=%-4llu panics=%-3llu quar=%-2llu "
@@ -390,6 +498,30 @@ main(int argc, char** argv)
         std::printf("  repro mismatches:     %llu\n",
                     static_cast<unsigned long long>(t.reproMismatches));
     }
+    if (opt.obsRepro) {
+        std::printf("  obs repro mismatches: %llu\n",
+                    static_cast<unsigned long long>(
+                        t.obsReproMismatches));
+    }
+    if (!opt.metricsPath.empty()) {
+        std::ofstream mf(opt.metricsPath);
+        mf << lastMetricsJson;
+        if (!mf) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.metricsPath.c_str());
+            return 2;
+        }
+        // With a sampling rate armed, drop folded-stack profiles
+        // (flamegraph.pl / speedscope input) next to the snapshot.
+        if (opt.obs.blockProfileRateNs > 0) {
+            std::ofstream bf(opt.metricsPath + ".block.folded");
+            bf << lastBlockFolded;
+        }
+        if (opt.obs.mutexProfileRateNs > 0) {
+            std::ofstream xf(opt.metricsPath + ".mutex.folded");
+            xf << lastMutexFolded;
+        }
+    }
     if (opt.race) {
         std::printf("  data races:           %llu\n",
                     static_cast<unsigned long long>(t.races));
@@ -406,6 +538,7 @@ main(int argc, char** argv)
         std::fprintf(stderr, "FAIL %s\n", line.c_str());
 
     const bool ok = t.violations == 0 && t.reproMismatches == 0 &&
+                    t.obsReproMismatches == 0 &&
                     t.unexpectedFailures == 0 &&
                     t.unexpectedQuarantines == 0;
     std::printf("%s\n", ok ? "OK" : "FAILED");

@@ -30,6 +30,14 @@
  *     -recovery <rung>  recovery ladder rung: detect, cancel, reclaim
  *                       (default) or quarantine (-recovery=<rung>
  *                       also accepted)
+ *     -metrics <path>   write a metrics JSON snapshot from one
+ *                       representative run to path
+ *     -gctrace          print one line per GC/GOLF cycle (stderr)
+ *     -flight <n>       flight-recorder ring capacity per P
+ *                       (0 disables; default 4096)
+ *     -blockprofile <ns>  block-profile sampling rate (virtual ns)
+ *     -mutexprofile <ns>  mutex-profile sampling rate (virtual ns)
+ *     -no-obs           disable telemetry entirely
  *
  * Coverage mode prints a Table 1-style aggregate; trace lines for
  * detected deadlocks use the runtime's "partial deadlock!" format.
@@ -44,6 +52,7 @@
 
 #include "microbench/harness.hpp"
 #include "microbench/registry.hpp"
+#include "obs/obs.hpp"
 #include "service/metrics.hpp"
 #include "support/stats.hpp"
 
@@ -65,6 +74,8 @@ struct Options
     bool verify = false;
     bool watchdog = false;
     rt::Recovery recovery = rt::Recovery::Reclaim;
+    obs::Config obs;
+    std::string metricsPath;
 };
 
 bool
@@ -115,6 +126,33 @@ parseArgs(int argc, char** argv, Options& opt)
             opt.gcWorkers = std::atoi(v);
         } else if (arg == "-verify") {
             opt.verify = true;
+        } else if (arg == "-metrics") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.metricsPath = v;
+        } else if (arg == "-gctrace") {
+            opt.obs.gctrace = true;
+        } else if (arg == "-flight") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.obs.flightRecords =
+                static_cast<size_t>(std::atoll(v));
+        } else if (arg == "-blockprofile") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.obs.blockProfileRateNs =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-mutexprofile") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.obs.mutexProfileRateNs =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-no-obs") {
+            opt.obs.enabled = false;
         } else if (arg == "-watchdog") {
             opt.watchdog = true;
         } else if (arg == "-recovery" ||
@@ -180,6 +218,7 @@ runCoverage(const Options& opt)
             cfg.verifyInvariants = opt.verify;
             cfg.watchdog.enabled = opt.watchdog;
             cfg.recovery = opt.recovery;
+            cfg.obs = opt.obs;
             auto sites = runPatternRepeated(*p, cfg, opt.repeats,
                                             &failures);
             for (const auto& s : sites)
@@ -223,6 +262,24 @@ runCoverage(const Options& opt)
     std::printf("coverage report written to %s (%zu flaky sites, "
                 "%zu at 100%%)\n",
                 opt.report.c_str(), shown, remaining);
+    if (!opt.metricsPath.empty() && opt.obs.enabled) {
+        // One representative run with obs capture on; the sweep
+        // itself stays capture-free so coverage timing is untouched.
+        HarnessConfig cfg;
+        cfg.procs = opt.procs.front();
+        cfg.gcWorkers = opt.gcWorkers;
+        cfg.seed = opt.seed * 7919 +
+                   static_cast<uint64_t>(cfg.procs);
+        cfg.watchdog.enabled = opt.watchdog;
+        cfg.recovery = opt.recovery;
+        cfg.obs = opt.obs;
+        cfg.captureObs = true;
+        RunOutcome out = runPatternOnce(*patterns.front(), cfg);
+        std::ofstream mf(opt.metricsPath);
+        mf << out.obsMetricsJson;
+        std::printf("metrics snapshot written to %s\n",
+                    opt.metricsPath.c_str());
+    }
     for (const auto& line : failures)
         std::fprintf(stderr, "FAIL %s\n", line.c_str());
     return failures.empty() ? 0 : 1;
@@ -276,6 +333,7 @@ runPerf(const Options& opt)
                 cfg.gcWorkers = opt.gcWorkers;
                 cfg.seed = opt.seed + static_cast<uint64_t>(i);
                 cfg.gcMode = mode;
+                cfg.obs = opt.obs;
                 auto out = runPatternOnce(*p, cfg);
                 if (out.gcCycles > 0)
                     s.add(out.avgMarkCpuUs);
@@ -334,6 +392,7 @@ runRace(const Options& opt)
                            static_cast<uint64_t>(procs) * 131 +
                            static_cast<uint64_t>(i);
                 cfg.race = true;
+                cfg.obs = opt.obs;
                 RunOutcome out = runPatternOnce(*p, cfg);
                 agg.d.goroutines += out.raceStats.goroutines;
                 agg.d.syncOps += out.raceStats.syncOps;
@@ -380,7 +439,9 @@ main(int argc, char** argv)
             stderr,
             "usage: golf_tester [-match re] [-repeats n] "
             "[-procs 1,2,4] [-report path] [-perf] [-race] "
-            "[-seed n] [-verify] [-watchdog] [-recovery rung]\n");
+            "[-seed n] [-verify] [-watchdog] [-recovery rung] "
+            "[-metrics path] [-gctrace] [-flight n] "
+            "[-blockprofile ns] [-mutexprofile ns] [-no-obs]\n");
         return 2;
     }
     if (opt.race)
