@@ -164,6 +164,26 @@ main(int argc, char** argv)
     const double baseRate = samples.front().objectsPerSec;
     const unsigned hw = std::thread::hardware_concurrency();
 
+    // Scaling gate: the ROADMAP target is >= 2.5x at 4 workers, but
+    // that is only a meaningful assertion when the host actually has
+    // 4 cores — on the 1-CPU CI runner the "parallel" pool time-slices
+    // one core and any threshold would be noise. Record the skip
+    // explicitly instead of silently passing.
+    const bool scalingGateApplies = hw >= 4;
+    double speedup4 = 0.0;
+    for (const Sample& s : samples) {
+        if (s.workers == 4 && baseRate != 0.0)
+            speedup4 = s.objectsPerSec / baseRate;
+    }
+    bool scalingOk = true;
+    if (scalingGateApplies && speedup4 < 2.5) {
+        std::fprintf(stderr,
+                     "SCALING GATE FAILED: %.2fx at 4 workers "
+                     "(target >= 2.5x, hw_concurrency=%u)\n",
+                     speedup4, hw);
+        scalingOk = false;
+    }
+
     std::printf("gc_mark_parallel: %zu nodes, %llu edges, %d reps, "
                 "hw_concurrency=%u%s\n",
                 nodes, static_cast<unsigned long long>(edges), reps, hw,
@@ -203,10 +223,13 @@ main(int argc, char** argv)
            << (i + 1 < samples.size() ? "," : "") << "\n";
     }
     js << "  ],\n"
-       << "  \"differential_ok\": " << (ok ? "true" : "false") << "\n"
+       << "  \"differential_ok\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"skipped_scaling_gate\": "
+       << (scalingGateApplies ? "false" : "true") << ",\n"
+       << "  \"scaling_ok\": " << (scalingOk ? "true" : "false") << "\n"
        << "}\n";
     js.close();
     std::printf("wrote %s\n", path.c_str());
 
-    return ok ? 0 : 1;
+    return ok && scalingOk ? 0 : 1;
 }

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Sharded-cluster service scenarios, emitted as BENCH_cluster.json.
+ *
+ * Four open-loop scenarios over the same workload seed:
+ *
+ *   baseline        fault-free links
+ *   faulted         drop/dup/reorder/delay fault injection on every
+ *                   inter-shard link
+ *   rolling-restart one scheduled restart per shard, staggered
+ *                   through the issue window (journal replay)
+ *   flash-crowd     arrival rate x4 inside a window covering the
+ *                   middle of the issue window
+ *
+ * Every scenario runs the same leak probability, so the cross-shard
+ * GOLF pipeline (reclaim -> epoch-confirmed verdict) is active
+ * throughout; the JSON records goodput (completed requests per
+ * virtual second of issue window), latency percentiles and per-shard
+ * watchdog pressure.
+ *
+ * Acceptance (wired into `bench_cluster_smoke`): every scenario must
+ * finish clean with zero false-positive verdicts, and the faulted
+ * scenario must sustain >= 85% of fault-free goodput.
+ *
+ * Usage:
+ *   service_cluster [--smoke]
+ * Environment:
+ *   GOLF_CLUSTER_SHARDS    shard count       (default 4)
+ *   GOLF_CLUSTER_WINDOW_S  issue window, sec (default 4; smoke 2)
+ *   GOLF_CLUSTER_SEED      master seed       (default 1)
+ *   GOLF_RESULTS_DIR       where the JSON goes (default .)
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/cluster.hpp"
+
+using namespace golf;
+using support::kMillisecond;
+using support::kSecond;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    cluster::ClusterResult r;
+};
+
+cluster::ClusterConfig
+baseConfig(int shards, uint64_t seed, support::VTime window)
+{
+    cluster::ClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.seed = seed;
+    cfg.clientsPerShard = 3;
+    cfg.issueWindow = window;
+    cfg.grace = 1 * kSecond;
+    cfg.thinkNs = 15 * kMillisecond;
+    cfg.leakProb = 0.02;
+    cfg.watchdog = true;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke") ||
+            !std::strcmp(argv[i], "-smoke")) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    const int shards = bench::envInt("GOLF_CLUSTER_SHARDS", 4);
+    const uint64_t seed = static_cast<uint64_t>(
+        bench::envInt("GOLF_CLUSTER_SEED", 1));
+    const support::VTime window =
+        static_cast<support::VTime>(bench::envInt(
+            "GOLF_CLUSTER_WINDOW_S", smoke ? 2 : 4)) *
+        kSecond;
+
+    std::vector<Row> rows;
+
+    {
+        std::printf("service_cluster: baseline...\n");
+        rows.push_back(
+            {"baseline",
+             cluster::runCluster(baseConfig(shards, seed, window))});
+    }
+    {
+        std::printf("service_cluster: faulted...\n");
+        cluster::ClusterConfig cfg = baseConfig(shards, seed, window);
+        cfg.netfault.enabled = true;
+        cfg.netfault.dropProb = 0.08;
+        cfg.netfault.dupProb = 0.05;
+        cfg.netfault.reorderProb = 0.05;
+        cfg.netfault.delayProb = 0.05;
+        rows.push_back({"faulted", cluster::runCluster(cfg)});
+    }
+    {
+        std::printf("service_cluster: rolling-restart...\n");
+        cluster::ClusterConfig cfg = baseConfig(shards, seed, window);
+        // One restart per shard, staggered through the issue window.
+        for (int s = 0; s < shards; ++s) {
+            cfg.restarts.push_back(
+                {s, window * (s + 1) / (shards + 1)});
+        }
+        rows.push_back({"rolling-restart", cluster::runCluster(cfg)});
+    }
+    {
+        std::printf("service_cluster: flash-crowd...\n");
+        cluster::ClusterConfig cfg = baseConfig(shards, seed, window);
+        cfg.flashCrowdFactor = 4.0;
+        cfg.flashStart = window / 4;
+        cfg.flashDuration = window / 2;
+        rows.push_back({"flash-crowd", cluster::runCluster(cfg)});
+    }
+
+    const std::string path = bench::csvPath("BENCH_cluster.json");
+    std::ofstream out(path);
+    out << "{\n  \"shards\": " << shards << ",\n  \"seed\": " << seed
+        << ",\n  \"issue_window_s\": "
+        << static_cast<double>(window) / static_cast<double>(kSecond)
+        << ",\n  \"scenarios\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const cluster::ClusterResult& r = rows[i].r;
+        out << "    {\"scenario\": \"" << rows[i].name
+            << "\", \"goodput_rps\": " << r.goodput
+            << ", \"p50_ms\": " << r.p50Ms
+            << ", \"p99_ms\": " << r.p99Ms
+            << ", \"p999_ms\": " << r.p999Ms
+            << ", \"issued\": " << r.issued
+            << ", \"completed\": " << r.completed
+            << ", \"cancelled\": " << r.cancelled
+            << ", \"verdicts\": " << r.verdicts
+            << ", \"false_positives\": " << r.falsePositives
+            << ", \"leaks_detected\": " << r.leaksDetected
+            << ", \"leaks_detectable\": " << r.leaksDetectable
+            << ", \"degraded_rounds\": " << r.degradedRounds
+            << ", \"restarts\": " << r.restarts
+            << ", \"net_sent\": " << r.net.sent
+            << ", \"net_dropped\": " << r.net.dropped
+            << ", \"net_retransmits\": " << r.net.retransmits
+            << ", \"peak_watchdog_pressure\": [";
+        for (size_t s = 0; s < r.shards.size(); ++s) {
+            out << (s ? ", " : "") << r.shards[s].peakPressure;
+        }
+        out << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+
+    std::printf("\n%-16s %12s %8s %8s %8s %9s %7s\n", "scenario",
+                "goodput_rps", "p50_ms", "p99_ms", "p999_ms",
+                "verdicts", "fp");
+    bool ok = true;
+    double baseGoodput = 0, faultedGoodput = 0;
+    for (const Row& row : rows) {
+        const cluster::ClusterResult& r = row.r;
+        std::printf("%-16s %12.2f %8.2f %8.2f %8.2f %9llu %7llu\n",
+                    row.name.c_str(), r.goodput, r.p50Ms, r.p99Ms,
+                    r.p999Ms,
+                    static_cast<unsigned long long>(r.verdicts),
+                    static_cast<unsigned long long>(r.falsePositives));
+        if (row.name == "baseline")
+            baseGoodput = r.goodput;
+        if (row.name == "faulted")
+            faultedGoodput = r.goodput;
+        if (r.failed) {
+            std::fprintf(stderr, "FAIL %s: %s\n", row.name.c_str(),
+                         r.failReason.c_str());
+            ok = false;
+        }
+        if (r.falsePositives != 0) {
+            std::fprintf(stderr,
+                         "FAIL %s: %llu false-positive verdicts\n",
+                         row.name.c_str(),
+                         static_cast<unsigned long long>(
+                             r.falsePositives));
+            ok = false;
+        }
+    }
+    if (baseGoodput <= 0) {
+        std::fprintf(stderr, "FAIL baseline produced no goodput\n");
+        ok = false;
+    } else if (faultedGoodput < 0.85 * baseGoodput) {
+        std::fprintf(stderr,
+                     "FAIL faulted goodput %.2f < 85%% of "
+                     "baseline %.2f\n",
+                     faultedGoodput, baseGoodput);
+        ok = false;
+    }
+    std::printf("results written to %s\n", path.c_str());
+    std::printf("%s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

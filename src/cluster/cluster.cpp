@@ -1,0 +1,905 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "chan/channel.hpp"
+#include "gc/object.hpp"
+#include "runtime/defer.hpp"
+#include "runtime/local.hpp"
+#include "support/stats.hpp"
+
+namespace golf::cluster {
+namespace {
+
+using chan::Channel;
+using chan::Unit;
+using chan::makeChan;
+using support::VTime;
+using support::kMicrosecond;
+using support::kMillisecond;
+using support::kSecond;
+
+struct Cluster;
+struct ShardCtx;
+
+/** The caller-side handle for one remote call. Rooted by the parked
+ *  waiter's blockedOn set and the caller's gc::Local; the pending map
+ *  holds a raw pointer that is erased before the waiter can die. */
+struct RemoteCallObj final : gc::Object
+{
+    enum State : uint8_t { Pending, Responded, Failed };
+    State state = Pending;
+    std::string response;
+
+    const char* objectName() const override { return "RemoteCall"; }
+};
+
+struct PendingCall
+{
+    uint64_t reqId = 0;
+    int target = 0;
+    VTime sentVt = 0;
+    rt::Goroutine* waiter = nullptr;
+    RemoteCallObj* call = nullptr;
+};
+
+/** Handler-side journal entry. Survives shard restarts — the journal
+ *  is what rolling restart replays (at-least-once; the caller's
+ *  pending map dedups the response). */
+struct ReqEntry
+{
+    uint64_t key = 0;
+    int origin = 0;
+    bool leaky = false;
+    bool responded = false;
+};
+
+struct ShardCtx
+{
+    Cluster* cl = nullptr;
+    int id = 0;
+    uint32_t generation = 0;
+    bool done = false;
+    rt::RunResult result;
+    uint64_t nextReqSeq = 0;
+    /** Ordered maps/sets: summary emission iterates them and the
+     *  repro transcript must be byte-stable. */
+    std::map<uint64_t, PendingCall> pending;
+    std::map<uint64_t, ReqEntry> reqs;
+    std::set<uint64_t> deadSet; ///< Handler died without responding.
+    uint64_t epoch = 0;
+    VTime nextSummaryAt = 0;
+    VTime nextHbAt = 0;
+    VTime issueEndVt = 0;
+    VTime endVt = 0;
+    ShardOutcome out;
+    std::string faultTrace; ///< Accumulated across restarts.
+    bool everRestarted = false;
+    obs::Gauge* gHealth = nullptr;
+    obs::Gauge* gPending = nullptr;
+    obs::Gauge* gDead = nullptr;
+    obs::Gauge* gGeneration = nullptr;
+    /** Declared last: destroyed first, so frame-unwind destructors
+     *  (HandlerScope, call defers) still see the maps above. */
+    std::unique_ptr<rt::Runtime> rt;
+};
+
+struct Cluster
+{
+    const ClusterConfig& cfg;
+    Network net;
+    Ring ring;
+    Coordinator coord;
+    FailureDetector fd;
+    support::Samples latenciesMs;
+    std::unordered_set<uint64_t> leakyReqs;    ///< Dispatch intent.
+    std::unordered_set<uint64_t> leakedParked; ///< Actually parked.
+    std::unordered_set<uint64_t> detectedReqs;
+    uint64_t falsePositives = 0;
+    uint64_t verdictsApplied = 0;
+    uint64_t quarantineCancels = 0;
+    /** Set by the driver once every pending call has resolved (or
+     *  the drain cap hit); shard mains exit on their next tick. */
+    bool drained = false;
+    std::string localTrace; ///< Same-shard resolutions (repro).
+    std::vector<std::unique_ptr<ShardCtx>> shards;
+
+    explicit Cluster(const ClusterConfig& c)
+        : cfg(c),
+          net(NetworkConfig{c.baseLatencyNs, c.netfault, {}},
+              c.seed ^ 0x5EEDC0DEull),
+          ring(c.shards, c.vnodes), coord(c.shards),
+          fd(c.phi, c.shards)
+    {}
+};
+
+/** Positive-evidence hook: lives in the handler coroutine frame, so
+ *  it runs on *every* way the handler can end — normal return (after
+ *  respond() set the flag), GOLF reclaim of a leak, cancel-rung
+ *  death, injected panic, or restart teardown. */
+struct HandlerScope
+{
+    ShardCtx* sh;
+    uint64_t reqId;
+
+    ~HandlerScope()
+    {
+        auto it = sh->reqs.find(reqId);
+        if (it != sh->reqs.end() && !it->second.responded)
+            sh->deadSet.insert(reqId);
+    }
+};
+
+void dispatchRequest(Cluster& cl, ShardCtx* b, uint64_t reqId,
+                     uint64_t key, int origin);
+
+/** Resolve a response on the caller shard. Returns false if the call
+ *  is already gone (cancelled, restarted, duplicate response). */
+bool
+completeCall(ShardCtx* a, uint64_t reqId, const std::string& payload)
+{
+    auto it = a->pending.find(reqId);
+    if (it == a->pending.end())
+        return false;
+    RemoteCallObj* call = it->second.call;
+    rt::Goroutine* waiter = it->second.waiter;
+    // Completion is counted here, at delivery: a waiter readied at
+    // the drain boundary may be abandoned Go-style before it ever
+    // resumes to observe the response.
+    ++a->out.completed;
+    a->cl->latenciesMs.add(
+        static_cast<double>(a->rt->clock().now() -
+                            it->second.sentVt) /
+        static_cast<double>(support::kMillisecond));
+    a->pending.erase(it);
+    call->state = RemoteCallObj::Responded;
+    call->response = payload;
+    if (waiter)
+        a->rt->ready(waiter);
+    return true;
+}
+
+void
+respond(ShardCtx* sh, uint64_t reqId)
+{
+    auto it = sh->reqs.find(reqId);
+    if (it == sh->reqs.end() || it->second.responded)
+        return;
+    it->second.responded = true;
+    const std::string payload = "ok:" + std::to_string(reqId);
+    if (it->second.origin == sh->id) {
+        completeCall(sh, reqId, payload);
+        return;
+    }
+    Message m;
+    m.type = MsgType::Response;
+    m.src = sh->id;
+    m.dst = it->second.origin;
+    m.reqId = reqId;
+    m.generation = sh->generation;
+    m.payload = payload;
+    sh->cl->net.send(std::move(m), sh->rt->clock().now());
+}
+
+rt::Go
+handlerTask(ShardCtx* sh, uint64_t reqId)
+{
+    HandlerScope scope{sh, reqId};
+    ++sh->out.handlersRun;
+    co_await rt::ioWait(sh->cl->cfg.handlerIoNs);
+    rt::busy(sh->cl->cfg.handlerCostNs);
+    auto it = sh->reqs.find(reqId);
+    if (it == sh->reqs.end() || it->second.responded)
+        co_return;
+    if (it->second.leaky) {
+        // The injected cross-shard leak: park forever on a channel
+        // nobody else holds. The *target* shard's GOLF detects and
+        // reclaims this goroutine; only the epoch-confirmed verdict
+        // may release the remote caller.
+        sh->cl->leakedParked.insert(reqId);
+        gc::Local<Channel<Unit>> ch(makeChan<Unit>(*sh->rt, 0));
+        co_await chan::recv(ch.get());
+        co_return; // reachable only via a cancel-rung recovery
+    }
+    respond(sh, reqId);
+    co_return;
+}
+
+void
+dispatchRequest(Cluster& cl, ShardCtx* b, uint64_t reqId,
+                uint64_t key, int origin)
+{
+    auto [it, fresh] = b->reqs.try_emplace(reqId);
+    if (fresh) {
+        it->second.key = key;
+        it->second.origin = origin;
+        it->second.leaky =
+            cl.cfg.leakProb > 0.0 &&
+            static_cast<double>(mix64(reqId ^ (cl.cfg.seed * 31))) <
+                cl.cfg.leakProb *
+                    static_cast<double>(
+                        std::numeric_limits<uint64_t>::max());
+        if (it->second.leaky) {
+            cl.leakyReqs.insert(reqId);
+            ++b->out.leaksInjected;
+        }
+    } else if (it->second.responded) {
+        // Late duplicate of an answered request: re-send the reply
+        // rather than re-running the handler (idempotence).
+        it->second.responded = false;
+        respond(b, reqId);
+        return;
+    }
+    rt::Runtime::Scope scope(*b->rt);
+    GOLF_GO(*b->rt, handlerTask, b, reqId);
+}
+
+/** Awaitable remote reply: parks in RemoteWait, which per-shard GOLF
+ *  never treats as a deadlock candidate. */
+struct CallAwaiter
+{
+    ShardCtx* sh;
+    RemoteCallObj* call;
+    uint64_t reqId;
+
+    bool
+    await_ready() const noexcept
+    {
+        return call->state != RemoteCallObj::Pending;
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        rt::Runtime* rt = rt::Runtime::current();
+        rt::Goroutine* g = rt->currentGoroutine();
+        auto it = sh->pending.find(reqId);
+        if (it != sh->pending.end())
+            it->second.waiter = g;
+        rt->park(g, h, rt::WaitReason::RemoteWait, {call}, false,
+                 rt::Site{"cluster.cpp", 0, "remoteCall"});
+    }
+
+    void await_resume() { rt::checkCancel(); }
+};
+
+rt::Go
+oneCall(ShardCtx* sh, uint64_t key)
+{
+    Cluster* cl = sh->cl;
+    uint64_t reqId = 0;
+    GOLF_DEFER([sh, &reqId] {
+        // A coordinator verdict lands here as a DeadlockError. The
+        // cancellation is *counted* in cancelWaiter (driver side):
+        // a waiter woken at the drain boundary may be abandoned
+        // Go-style before this defer ever runs.
+        rt::recover();
+        if (reqId != 0)
+            sh->pending.erase(reqId);
+    });
+    const int target = cl->ring.route(key);
+    if (target < 0) {
+        ++sh->out.unroutable;
+        co_return;
+    }
+    reqId = (static_cast<uint64_t>(sh->id + 1) << 40) |
+            ++sh->nextReqSeq;
+    const VTime t0 = sh->rt->clock().now();
+    gc::Local<RemoteCallObj> call(sh->rt->make<RemoteCallObj>());
+    sh->pending[reqId] =
+        PendingCall{reqId, target, t0, nullptr, call.get()};
+    ++sh->out.issued;
+    if (target == sh->id) {
+        ++sh->out.localCalls;
+        dispatchRequest(*cl, sh, reqId, key, sh->id);
+    } else {
+        ++sh->out.remoteCalls;
+        Message m;
+        m.type = MsgType::Request;
+        m.src = sh->id;
+        m.dst = target;
+        m.reqId = reqId;
+        m.key = key;
+        m.generation = sh->generation;
+        cl->net.send(std::move(m), t0);
+    }
+    co_await CallAwaiter{sh, call.get(), reqId};
+    co_return;
+}
+
+rt::Go
+clientLoop(ShardCtx* sh, int idx)
+{
+    rt::Runtime& rt = *sh->rt;
+    const ClusterConfig& cfg = sh->cl->cfg;
+    support::Rng rng(mix64(cfg.seed ^
+                           (static_cast<uint64_t>(sh->id) << 8) ^
+                           (static_cast<uint64_t>(idx) << 24) ^
+                           (static_cast<uint64_t>(sh->generation)
+                            << 48)));
+    while (rt.clock().now() < sh->issueEndVt) {
+        GOLF_GO(rt, oneCall, sh, rng.next());
+        VTime interval = cfg.thinkNs;
+        const VTime now = rt.clock().now();
+        if (cfg.flashCrowdFactor > 1.0 && now >= cfg.flashStart &&
+            now < cfg.flashStart + cfg.flashDuration) {
+            interval = static_cast<VTime>(
+                static_cast<double>(interval) / cfg.flashCrowdFactor);
+        }
+        if (interval < 10 * kMicrosecond)
+            interval = 10 * kMicrosecond;
+        co_await rt::sleepFor(
+            interval +
+            static_cast<VTime>(rng.nextBelow(
+                static_cast<uint64_t>(interval / 4) + 1)));
+    }
+    co_return;
+}
+
+/** The shard's main: spawn the generators, then keep a timer alive
+ *  until the horizon so a stepped shard always has local work and
+ *  Idle strictly means "waiting on the network". Never joins its
+ *  calls — leaked or unanswered waiters must not wedge the shard.
+ *  Past the grace horizon the shard stays up until the driver
+ *  declares the cluster drained, so late-injected leaks still get
+ *  their reclaim -> two-epoch confirm -> verdict pipeline. */
+rt::Go
+shardMain(ShardCtx* sh)
+{
+    for (int c = 0; c < sh->cl->cfg.clientsPerShard; ++c)
+        GOLF_GO(*sh->rt, clientLoop, sh, c);
+    while (sh->rt->clock().now() < sh->endVt || !sh->cl->drained)
+        co_await rt::sleepFor(kMillisecond);
+    co_return;
+}
+
+void
+registerClusterGauges(ShardCtx* sh)
+{
+    obs::Obs* o = sh->rt->obs();
+    if (!o)
+        return;
+    obs::Registry& reg = o->registry();
+    sh->gHealth = reg.gauge(
+        "/cluster/shard/health:rung",
+        "Cluster ladder rung (0 healthy, 1 suspect, 2 safe-mode, "
+        "3 quarantined)");
+    sh->gPending = reg.gauge("/cluster/calls/pending:calls",
+                             "Outbound calls awaiting a reply");
+    sh->gDead = reg.gauge(
+        "/cluster/handlers/dead:reqs",
+        "Requests whose handler died without responding");
+    sh->gGeneration = reg.gauge("/cluster/shard/generation:restarts",
+                                "Shard restart generation");
+}
+
+void
+bootShard(Cluster& cl, ShardCtx* sh, VTime startClockAt)
+{
+    rt::Config rc;
+    rc.seed = mix64(cl.cfg.seed ^
+                    (static_cast<uint64_t>(sh->id) * 0x9E37ull) ^
+                    (static_cast<uint64_t>(sh->generation) << 32));
+    rc.shardId = sh->id;
+    rc.gcWorkers = cl.cfg.gcWorkers;
+    rc.recovery = cl.cfg.recovery;
+    rc.faults = cl.cfg.shardFaults;
+    rc.watchdog.enabled = cl.cfg.watchdog;
+    rc.verboseReports = cl.cfg.verboseReports;
+    rc.obs.enabled = cl.cfg.obsEnabled;
+    sh->rt = std::make_unique<rt::Runtime>(rc);
+    rt::Runtime::Scope scope(*sh->rt);
+    if (startClockAt > 0)
+        sh->rt->clock().advance(startClockAt);
+    registerClusterGauges(sh);
+    const VTime now = sh->rt->clock().now();
+    sh->nextHbAt = now + cl.cfg.phi.heartbeatEvery +
+                   static_cast<VTime>(sh->id) * kMicrosecond;
+    sh->nextSummaryAt = now + cl.cfg.summaryEvery +
+                        static_cast<VTime>(sh->id) * kMicrosecond;
+    sh->rt->startMain(shardMain, sh);
+}
+
+void
+accountVerdict(Cluster& cl, ShardCtx* b, uint64_t reqId)
+{
+    ++cl.verdictsApplied;
+    // Soundness check against live ground truth: a verdict is false
+    // iff the handler did not actually die without responding.
+    if (b->deadSet.count(reqId) == 0)
+        ++cl.falsePositives;
+    if (cl.leakyReqs.count(reqId))
+        cl.detectedReqs.insert(reqId);
+}
+
+void
+cancelWaiter(ShardCtx* a, uint64_t reqId, const std::string& why)
+{
+    auto it = a->pending.find(reqId);
+    if (it == a->pending.end())
+        return;
+    PendingCall pc = it->second;
+    a->pending.erase(it);
+    ++a->out.cancelled;
+    rt::Runtime::Scope scope(*a->rt);
+    pc.call->state = RemoteCallObj::Failed;
+    if (pc.waiter)
+        a->rt->deliverCancel(pc.waiter, why);
+}
+
+void
+applyVerdicts(Cluster& cl, const std::vector<Verdict>& vs)
+{
+    for (const Verdict& v : vs) {
+        ShardCtx* a = cl.shards[static_cast<size_t>(v.waiterShard)]
+                          .get();
+        ShardCtx* b = cl.shards[static_cast<size_t>(v.targetShard)]
+                          .get();
+        accountVerdict(cl, b, v.reqId);
+        if (a->done || !a->rt)
+            continue;
+        cancelWaiter(a, v.reqId,
+                     "cross-shard deadlock: request " +
+                         std::to_string(v.reqId) +
+                         " handler dead on shard " +
+                         std::to_string(v.targetShard));
+    }
+}
+
+/** Same-shard calls never cross a link, so the coordinator's frontier
+ *  conditions cannot apply; resolve them from purely local state
+ *  (pending + deadSet on one shard), which is trivially sound. */
+void
+resolveLocalDead(Cluster& cl, ShardCtx* sh)
+{
+    std::vector<uint64_t> hits;
+    for (const auto& [rid, pc] : sh->pending)
+        if (pc.target == sh->id && sh->deadSet.count(rid))
+            hits.push_back(rid);
+    for (uint64_t rid : hits) {
+        accountVerdict(cl, sh, rid);
+        std::ostringstream os;
+        os << "local-resolve shard=" << sh->id << " req=" << rid
+           << " vt=" << sh->rt->clock().now() << "\n";
+        cl.localTrace += os.str();
+        cancelWaiter(sh, rid,
+                     "local deadlock: request " +
+                         std::to_string(rid) +
+                         " handler dead on this shard");
+    }
+}
+
+void
+emitSummary(Cluster& cl, ShardCtx* sh, VTime now)
+{
+    SummaryData s;
+    s.shard = sh->id;
+    s.generation = sh->generation;
+    s.epoch = ++sh->epoch;
+    s.vt = now;
+    s.sentTo.resize(static_cast<size_t>(cl.cfg.shards), 0);
+    s.deliveredFrom.resize(static_cast<size_t>(cl.cfg.shards), 0);
+    for (int j = 0; j < cl.cfg.shards; ++j) {
+        s.sentTo[static_cast<size_t>(j)] = cl.net.sentTo(sh->id, j);
+        s.deliveredFrom[static_cast<size_t>(j)] =
+            cl.net.deliveredFrom(sh->id, j);
+    }
+    for (const auto& [rid, pc] : sh->pending)
+        s.pending.push_back({rid, pc.target, pc.sentVt});
+    s.dead.assign(sh->deadSet.begin(), sh->deadSet.end());
+    for (const auto& [rid, e] : sh->reqs)
+        if (!e.responded && sh->deadSet.count(rid) == 0)
+            s.active.push_back(rid);
+    Message m;
+    m.type = MsgType::Summary;
+    m.src = sh->id;
+    m.dst = kControlEndpoint;
+    m.generation = sh->generation;
+    m.payload = s.encodePayload();
+    cl.net.send(std::move(m), now);
+
+    if (sh->gPending) {
+        sh->gHealth->set(static_cast<double>(cl.fd.health(sh->id)));
+        sh->gPending->set(static_cast<double>(sh->pending.size()));
+        sh->gDead->set(static_cast<double>(sh->deadSet.size()));
+        sh->gGeneration->set(static_cast<double>(sh->generation));
+    }
+}
+
+void
+restartShard(Cluster& cl, ShardCtx* sh, VTime now)
+{
+    if (sh->done || !sh->rt)
+        return;
+    ++sh->out.restarts;
+    sh->everRestarted = true;
+    sh->faultTrace += sh->rt->faults().trace();
+    const VTime clockAt =
+        std::max(now, sh->rt->clock().now()) + cl.cfg.restartCostNs;
+    // Tearing the runtime down unwinds every live frame: leaked
+    // handlers mark themselves dead, callers' defers drain pending.
+    sh->rt.reset();
+    sh->pending.clear();
+    ++sh->generation;
+    bootShard(cl, sh, clockAt);
+    // Journal replay: accepted-but-unanswered requests run again
+    // under the new generation; their teardown dead-marks are
+    // withdrawn so the old generation's evidence dies with it.
+    for (auto& [rid, e] : sh->reqs) {
+        if (e.responded)
+            continue;
+        sh->deadSet.erase(rid);
+        rt::Runtime::Scope scope(*sh->rt);
+        GOLF_GO(*sh->rt, handlerTask, sh, rid);
+    }
+    cl.fd.noteRestarted(sh->id, clockAt);
+    cl.ring.setRoutable(sh->id, true);
+}
+
+void
+quarantineShard(Cluster& cl, ShardCtx* sh)
+{
+    if (!sh->rt)
+        return;
+    sh->faultTrace += sh->rt->faults().trace();
+    sh->rt.reset();
+    sh->done = true;
+    sh->out.finalHealth = ShardHealth::Quarantined;
+    cl.ring.setRoutable(sh->id, false);
+    cl.net.forgetEndpoint(sh->id);
+    // The shard is permanently gone and its journal will never be
+    // replayed: every caller still waiting on it can soundly be
+    // released (the response provably cannot arrive).
+    for (auto& a : cl.shards) {
+        if (a->done || !a->rt)
+            continue;
+        std::vector<uint64_t> hits;
+        for (const auto& [rid, pc] : a->pending)
+            if (pc.target == sh->id)
+                hits.push_back(rid);
+        for (uint64_t rid : hits) {
+            ++cl.quarantineCancels;
+            cancelWaiter(a.get(), rid,
+                         "shard " + std::to_string(sh->id) +
+                             " quarantined");
+        }
+    }
+}
+
+void
+deliverMessage(Cluster& cl, const Network::Delivery& d, VTime now)
+{
+    const Message& m = d.msg;
+    if (d.dst == kControlEndpoint) {
+        if (m.type == MsgType::Heartbeat) {
+            cl.fd.onHeartbeat(m.src, now);
+        } else if (m.type == MsgType::Summary) {
+            SummaryData s;
+            if (SummaryData::decodePayload(m.payload, s))
+                cl.coord.onSummary(s);
+        }
+        return;
+    }
+    if (d.dst < 0 || d.dst >= cl.cfg.shards)
+        return;
+    ShardCtx* b = cl.shards[static_cast<size_t>(d.dst)].get();
+    if (b->done || !b->rt)
+        return;
+    switch (m.type) {
+      case MsgType::Request:
+        dispatchRequest(cl, b, m.reqId, m.key, m.src);
+        break;
+      case MsgType::Response: {
+        rt::Runtime::Scope scope(*b->rt);
+        completeCall(b, m.reqId, m.payload);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+std::vector<bool>
+downShards(const Cluster& cl)
+{
+    std::vector<bool> down(static_cast<size_t>(cl.cfg.shards), false);
+    for (int i = 0; i < cl.cfg.shards; ++i) {
+        const ShardHealth h = cl.fd.health(i);
+        down[static_cast<size_t>(i)] =
+            h == ShardHealth::SafeMode ||
+            h == ShardHealth::Quarantined || !cl.shards
+                [static_cast<size_t>(i)]->rt;
+    }
+    return down;
+}
+
+void
+fdPoll(Cluster& cl, VTime at)
+{
+    const FailureDetector::Actions acts = cl.fd.poll(at);
+    for (int s : acts.toRestart)
+        restartShard(cl, cl.shards[static_cast<size_t>(s)].get(), at);
+    for (int s : acts.toQuarantine)
+        quarantineShard(cl, cl.shards[static_cast<size_t>(s)].get());
+    // Ladder side effect: safe-mode and quarantined shards leave the
+    // ring; the consistent hash remaps only their keys.
+    for (int i = 0; i < cl.cfg.shards; ++i) {
+        const ShardHealth h = cl.fd.health(i);
+        cl.ring.setRoutable(i, h == ShardHealth::Healthy ||
+                                   h == ShardHealth::Suspect);
+    }
+}
+
+} // namespace
+
+ClusterResult
+runCluster(const ClusterConfig& cfg)
+{
+    Cluster cl(cfg);
+    ClusterResult res;
+    for (int i = 0; i < cfg.shards; ++i) {
+        auto sh = std::make_unique<ShardCtx>();
+        sh->cl = &cl;
+        sh->id = i;
+        sh->issueEndVt = cfg.issueWindow;
+        sh->endVt = cfg.issueWindow + cfg.grace;
+        cl.shards.push_back(std::move(sh));
+    }
+    for (auto& sh : cl.shards)
+        bootShard(cl, sh.get(), 0);
+
+    std::vector<ScheduledRestart> plan = cfg.restarts;
+    std::sort(plan.begin(), plan.end(),
+              [](const ScheduledRestart& x, const ScheduledRestart& y) {
+                  return x.at != y.at ? x.at < y.at
+                                      : x.shard < y.shard;
+              });
+    size_t planIdx = 0;
+    VTime nextRound = cfg.detectEvery;
+    VTime nextFdPoll = cfg.fdPollEvery;
+    const VTime drainMinVt = cfg.issueWindow + cfg.grace;
+    const VTime drainCapVt = drainMinVt + cfg.drainCap;
+    uint64_t stallTicks = 0;
+
+    while (true) {
+        ShardCtx* sh = nullptr;
+        VTime t = std::numeric_limits<VTime>::max();
+        for (auto& s : cl.shards) {
+            if (s->done || !s->rt)
+                continue;
+            const VTime c = s->rt->clock().now();
+            if (c < t) {
+                t = c;
+                sh = s.get();
+            }
+        }
+        if (!sh)
+            break;
+
+        for (const Network::Delivery& d : cl.net.pump(t))
+            deliverMessage(cl, d, t);
+        while (nextFdPoll <= t) {
+            fdPoll(cl, nextFdPoll);
+            nextFdPoll += cfg.fdPollEvery;
+        }
+        while (nextRound <= t) {
+            applyVerdicts(cl,
+                          cl.coord.round(nextRound, downShards(cl)));
+            nextRound += cfg.detectEvery;
+        }
+        if (!cl.drained && t >= drainMinVt) {
+            bool allResolved = true;
+            for (auto& s : cl.shards) {
+                if (s->rt && !s->done && !s->pending.empty()) {
+                    allResolved = false;
+                    break;
+                }
+            }
+            if (allResolved || t >= drainCapVt)
+                cl.drained = true;
+        }
+        while (planIdx < plan.size() && plan[planIdx].at <= t) {
+            restartShard(
+                cl,
+                cl.shards[static_cast<size_t>(plan[planIdx].shard)]
+                    .get(),
+                t);
+            ++planIdx;
+        }
+        if (sh->done || !sh->rt)
+            continue; // a ladder action consumed this shard
+
+        const VTime snow = sh->rt->clock().now();
+        if (sh->nextHbAt <= snow) {
+            Message hb;
+            hb.type = MsgType::Heartbeat;
+            hb.src = sh->id;
+            hb.dst = kControlEndpoint;
+            hb.generation = sh->generation;
+            cl.net.send(std::move(hb), snow);
+            sh->nextHbAt = snow + cfg.phi.heartbeatEvery;
+            sh->out.peakPressure = std::max(
+                sh->out.peakPressure, sh->rt->watchdogPressure());
+        }
+        if (sh->nextSummaryAt <= snow) {
+            emitSummary(cl, sh, snow);
+            resolveLocalDead(cl, sh);
+            sh->nextSummaryAt = snow + cfg.summaryEvery;
+        }
+
+        rt::Runtime::StepOutcome o;
+        {
+            rt::Runtime::Scope scope(*sh->rt);
+            o = sh->rt->step();
+        }
+        if (o == rt::Runtime::StepOutcome::Done) {
+            rt::Runtime::Scope scope(*sh->rt);
+            sh->result = sh->rt->finishRun();
+            sh->done = true;
+            sh->out.mainCompleted = sh->result.mainCompleted;
+            if (sh->result.panicked) {
+                res.failed = true;
+                res.failReason = "shard " + std::to_string(sh->id) +
+                                 " panicked: " +
+                                 sh->result.panicMessage;
+            }
+            stallTicks = 0;
+        } else if (o == rt::Runtime::StepOutcome::Idle) {
+            VTime target = t + kMillisecond;
+            target = std::min(target, cl.net.nextEventAt());
+            target = std::min(target, sh->nextHbAt);
+            target = std::min(target, sh->nextSummaryAt);
+            target = std::min(target, nextRound);
+            target = std::min(target, nextFdPoll);
+            if (planIdx < plan.size())
+                target = std::min(target, plan[planIdx].at);
+            if (target <= snow)
+                target = snow + 10 * kMicrosecond;
+            {
+                rt::Runtime::Scope scope(*sh->rt);
+                sh->rt->idleAdvanceTo(target);
+            }
+            if (sh->rt->clock().now() <= snow) {
+                if (++stallTicks > 100000) {
+                    res.failed = true;
+                    res.failReason = "cluster stalled at vt=" +
+                                     std::to_string(t);
+                    break;
+                }
+            } else {
+                stallTicks = 0;
+            }
+        } else {
+            stallTicks = 0;
+        }
+    }
+
+    // ---- Final accounting (before teardown mutates dead sets). ----
+    res.verdicts = cl.verdictsApplied + cl.quarantineCancels;
+    res.falsePositives = cl.falsePositives;
+    res.rounds = cl.coord.rounds();
+    res.degradedRounds = cl.coord.degradedRounds();
+    res.summaries = cl.coord.summariesReceived();
+    res.suspects = cl.fd.suspectTransitions();
+    res.safeModes = cl.fd.safeModeTransitions();
+    res.net = cl.net.totals();
+    res.leaksInjected = cl.leakyReqs.size();
+    for (uint64_t rid : cl.leakedParked) {
+        const int origin = static_cast<int>((rid >> 40) - 1);
+        ShardCtx* a = cl.shards[static_cast<size_t>(origin)].get();
+        // Target shard = the shard whose journal holds rid.
+        int target = -1;
+        for (auto& s : cl.shards) {
+            if (s->reqs.count(rid)) {
+                target = s->id;
+                break;
+            }
+        }
+        const bool targetQuarantined =
+            target >= 0 &&
+            cl.fd.health(target) == ShardHealth::Quarantined;
+        if (!a->everRestarted && !targetQuarantined)
+            ++res.leaksDetectable;
+    }
+    res.leaksDetected = cl.detectedReqs.size();
+    VTime lastClock = 0;
+    for (auto& sh : cl.shards) {
+        sh->out.finalHealth = cl.fd.health(sh->id);
+        res.issued += sh->out.issued;
+        res.completed += sh->out.completed;
+        res.cancelled += sh->out.cancelled;
+        res.restarts += static_cast<uint64_t>(sh->out.restarts);
+        if (sh->out.finalHealth == ShardHealth::Quarantined)
+            ++res.quarantines;
+        if (sh->rt)
+            lastClock = std::max(lastClock, sh->rt->clock().now());
+        res.shards.push_back(sh->out);
+    }
+    res.endVt = lastClock;
+    res.goodput = static_cast<double>(res.completed) /
+                  (static_cast<double>(cfg.issueWindow) /
+                   static_cast<double>(kSecond));
+    if (cl.latenciesMs.count() > 0) {
+        res.p50Ms = cl.latenciesMs.percentile(50.0);
+        res.p99Ms = cl.latenciesMs.percentile(99.0);
+        res.p999Ms = cl.latenciesMs.percentile(99.9);
+    }
+    if (!res.failed) {
+        for (auto& sh : cl.shards) {
+            if (!sh->done && sh->rt) {
+                res.failed = true;
+                res.failReason = "shard " + std::to_string(sh->id) +
+                                 " never finished";
+            }
+        }
+    }
+
+    // ---- Repro transcript (byte-stable). ----
+    std::ostringstream r;
+    // gcWorkers deliberately not echoed: the transcript must be
+    // byte-identical across worker counts (the DESIGN §8 contract
+    // extended to the cluster).
+    r << "cluster shards=" << cfg.shards << " seed=" << cfg.seed
+      << "\n";
+    r << "netfaults " << cl.net.injector().injected() << "\n"
+      << cl.net.injector().trace();
+    r << "coordinator rounds=" << res.rounds
+      << " degraded=" << res.degradedRounds
+      << " verdicts=" << cl.coord.verdictsIssued() << "\n"
+      << cl.coord.trace() << cl.localTrace;
+    for (auto& sh : cl.shards) {
+        r << "shard " << sh->id << " gen=" << sh->generation
+          << " issued=" << sh->out.issued
+          << " completed=" << sh->out.completed
+          << " cancelled=" << sh->out.cancelled
+          << " handlers=" << sh->out.handlersRun
+          << " leaks=" << sh->out.leaksInjected
+          << " dead=" << sh->deadSet.size()
+          << " pending=" << sh->pending.size() << "\n";
+        if (sh->rt)
+            sh->faultTrace += sh->rt->faults().trace();
+        r << sh->faultTrace;
+    }
+    r << "totals issued=" << res.issued
+      << " completed=" << res.completed
+      << " cancelled=" << res.cancelled
+      << " verdicts=" << res.verdicts << " fp=" << res.falsePositives
+      << " detected=" << res.leaksDetected << "/"
+      << res.leaksDetectable << "/" << res.leaksInjected
+      << " net.sent=" << res.net.sent
+      << " net.dropped=" << res.net.dropped
+      << " net.retransmits=" << res.net.retransmits << "\n";
+    res.repro = r.str();
+
+    if (cfg.captureObs) {
+        std::ostringstream j;
+        j << "{";
+        bool first = true;
+        for (auto& sh : cl.shards) {
+            if (!sh->rt || !sh->rt->obs())
+                continue;
+            rt::Runtime::Scope scope(*sh->rt);
+            if (!first)
+                j << ",";
+            first = false;
+            j << "\"shard" << sh->id
+              << "\": " << sh->rt->obs()->metricsJson();
+        }
+        j << "}";
+        res.shardMetricsJson = j.str();
+    }
+
+    // Deterministic teardown order (frame unwinds touch ShardCtx
+    // maps, which outlive each runtime).
+    for (auto& sh : cl.shards)
+        sh->rt.reset();
+    return res;
+}
+
+} // namespace golf::cluster

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * golf::cluster — a sharded multi-runtime cluster in one process.
+ *
+ * N rt::Runtime shards, each with its own heap, scheduler, virtual
+ * clock, GOLF collector and watchdog, connected only by serialized
+ * messages over fault-injected links (link.hpp). A single-threaded
+ * driver steps whichever shard's clock is furthest behind, pumps the
+ * network, runs the phi failure detector + cluster recovery ladder
+ * (detector.hpp), and applies the coordinator's cross-shard verdicts
+ * by delivering guard::DeadlockError into remote-waiting goroutines.
+ *
+ * Determinism: the driver is single-threaded and every source of
+ * randomness (shard scheduling, workload keys, fault injection,
+ * retransmit jitter) is seeded from ClusterConfig::seed, so a run is
+ * a pure function of its config; ClusterResult::repro is a
+ * byte-stable transcript compared verbatim under `-repro`.
+ *
+ * Workload: per-shard open-loop generators spawn one goroutine per
+ * request; the request routes by consistent hash (possibly to the
+ * issuing shard), the caller parks in WaitReason::RemoteWait — which
+ * local GOLF treats as live forever — and the target shard runs a
+ * handler goroutine that replies, or (with leakProb) parks forever on
+ * a private channel. Leaked handlers are detected and reclaimed by
+ * the *target* shard's GOLF; the caller's wait is only resolvable by
+ * the cluster coordinator's epoch-confirmed verdict.
+ */
+#ifndef GOLFCC_CLUSTER_CLUSTER_HPP
+#define GOLFCC_CLUSTER_CLUSTER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/detector.hpp"
+#include "cluster/link.hpp"
+#include "cluster/message.hpp"
+#include "cluster/netfault.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/runtime.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::cluster {
+
+/** One planned rolling-restart event. */
+struct ScheduledRestart
+{
+    int shard = 0;
+    support::VTime at = 0;
+};
+
+struct ClusterConfig
+{
+    int shards = 2;
+    uint64_t seed = 1;
+    int gcWorkers = 1;
+    rt::Recovery recovery = rt::Recovery::Reclaim;
+    bool obsEnabled = true;
+    /** Capture each shard's final metrics snapshot into
+     *  ClusterResult::shardMetricsJson (bench output). */
+    bool captureObs = false;
+    bool verboseReports = false;
+
+    /// @{ Workload.
+    int clientsPerShard = 3;      ///< Open-loop generators per shard.
+    support::VTime issueWindow = 2 * support::kSecond;
+    /** Post-issue drain time (detection of the tail + partition
+     *  healing happen here). */
+    support::VTime grace = 1500 * support::kMillisecond;
+    /** Extra drain allowance past `grace`: the run keeps the shards
+     *  alive (clients stopped) until every pending call resolves —
+     *  completed, verdict-cancelled, or quarantined away — or this
+     *  cap elapses, whichever comes first. */
+    support::VTime drainCap = 8 * support::kSecond;
+    support::VTime thinkNs = 15 * support::kMillisecond;
+    double leakProb = 0.0;        ///< P(handler parks forever).
+    support::VTime handlerIoNs = support::kMillisecond;
+    support::VTime handlerCostNs = 100 * support::kMicrosecond;
+    int vnodes = 16;              ///< Consistent-hash vnodes/shard.
+    /** Arrival-rate multiplier inside the flash-crowd window
+     *  (1.0 = no flash crowd). */
+    double flashCrowdFactor = 1.0;
+    support::VTime flashStart = 0;
+    support::VTime flashDuration = 0;
+    /// @}
+
+    /// @{ Faults and restarts.
+    NetFaultConfig netfault;
+    support::VTime baseLatencyNs = support::kMillisecond;
+    std::vector<ScheduledRestart> restarts;
+    /** Virtual downtime a restarting shard pays before resuming. */
+    support::VTime restartCostNs = 10 * support::kMillisecond;
+    /** Per-shard runtime fault injection (chaos inside a shard). */
+    rt::FaultConfig shardFaults;
+    /// @}
+
+    /// @{ Control plane.
+    support::VTime summaryEvery = 150 * support::kMillisecond;
+    support::VTime detectEvery = 200 * support::kMillisecond;
+    support::VTime fdPollEvery = 20 * support::kMillisecond;
+    PhiConfig phi;
+    bool watchdog = true;         ///< Per-shard watchdog (leak GC).
+    /// @}
+};
+
+/** Per-shard outcome counters. */
+struct ShardOutcome
+{
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t cancelled = 0;     ///< Calls resolved by a verdict.
+    uint64_t localCalls = 0;
+    uint64_t remoteCalls = 0;
+    uint64_t unroutable = 0;    ///< route() found no live shard.
+    uint64_t handlersRun = 0;
+    uint64_t leaksInjected = 0; ///< Leaky handlers dispatched here.
+    size_t peakPressure = 0;    ///< Max watchdog pressure observed.
+    int restarts = 0;
+    ShardHealth finalHealth = ShardHealth::Healthy;
+    bool mainCompleted = false;
+};
+
+struct ClusterResult
+{
+    bool failed = false;          ///< A shard crashed or stalled.
+    std::string failReason;
+
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t cancelled = 0;
+    uint64_t leaksInjected = 0;
+    /** Leaks whose waiter shard survived un-restarted (the verdicts
+     *  the coordinator is expected to reach eventually). */
+    uint64_t leaksDetectable = 0;
+    uint64_t leaksDetected = 0;
+    /** Verdicts on calls whose handler had actually responded or
+     *  never leaked — must be zero, always. */
+    uint64_t falsePositives = 0;
+    uint64_t verdicts = 0;        ///< Coordinator + local resolutions.
+    uint64_t rounds = 0;
+    uint64_t degradedRounds = 0;
+    uint64_t summaries = 0;
+
+    uint64_t restarts = 0;
+    uint64_t quarantines = 0;
+    uint64_t suspects = 0;
+    uint64_t safeModes = 0;
+
+    LinkStats net;
+    std::vector<ShardOutcome> shards;
+
+    /** Completed requests per virtual second of issue window. */
+    double goodput = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double p999Ms = 0.0;
+
+    support::VTime endVt = 0;
+    /** Byte-stable transcript: net fault log, coordinator rounds,
+     *  per-shard fault logs, final counters (the -repro artifact). */
+    std::string repro;
+    /** Per-shard metrics snapshots (captureObs). */
+    std::string shardMetricsJson;
+};
+
+ClusterResult runCluster(const ClusterConfig& cfg);
+
+} // namespace golf::cluster
+
+#endif // GOLFCC_CLUSTER_CLUSTER_HPP

@@ -1,0 +1,256 @@
+#include "cluster/detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace golf::cluster {
+
+std::string
+SummaryData::encodePayload() const
+{
+    std::string out;
+    putU32(out, static_cast<uint32_t>(shard));
+    putU32(out, generation);
+    putU64(out, epoch);
+    putI64(out, vt);
+    putU32(out, static_cast<uint32_t>(sentTo.size()));
+    for (uint64_t v : sentTo)
+        putU64(out, v);
+    putU32(out, static_cast<uint32_t>(deliveredFrom.size()));
+    for (uint64_t v : deliveredFrom)
+        putU64(out, v);
+    putU32(out, static_cast<uint32_t>(pending.size()));
+    for (const PendingCallInfo& p : pending) {
+        putU64(out, p.reqId);
+        putU32(out, static_cast<uint32_t>(p.target));
+        putI64(out, p.sinceVt);
+    }
+    putU32(out, static_cast<uint32_t>(dead.size()));
+    for (uint64_t v : dead)
+        putU64(out, v);
+    putU32(out, static_cast<uint32_t>(active.size()));
+    for (uint64_t v : active)
+        putU64(out, v);
+    return out;
+}
+
+bool
+SummaryData::decodePayload(const std::string& bytes, SummaryData& out)
+{
+    size_t off = 0;
+    uint32_t shard, n;
+    if (!getU32(bytes, off, shard) ||
+        !getU32(bytes, off, out.generation) ||
+        !getU64(bytes, off, out.epoch) || !getI64(bytes, off, out.vt))
+        return false;
+    out.shard = static_cast<int32_t>(shard);
+    if (!getU32(bytes, off, n))
+        return false;
+    out.sentTo.resize(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (!getU64(bytes, off, out.sentTo[i]))
+            return false;
+    if (!getU32(bytes, off, n))
+        return false;
+    out.deliveredFrom.resize(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (!getU64(bytes, off, out.deliveredFrom[i]))
+            return false;
+    if (!getU32(bytes, off, n))
+        return false;
+    out.pending.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t target;
+        if (!getU64(bytes, off, out.pending[i].reqId) ||
+            !getU32(bytes, off, target) ||
+            !getI64(bytes, off, out.pending[i].sinceVt))
+            return false;
+        out.pending[i].target = static_cast<int32_t>(target);
+    }
+    if (!getU32(bytes, off, n))
+        return false;
+    out.dead.resize(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (!getU64(bytes, off, out.dead[i]))
+            return false;
+    if (!getU32(bytes, off, n))
+        return false;
+    out.active.resize(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (!getU64(bytes, off, out.active[i]))
+            return false;
+    return off == bytes.size();
+}
+
+void
+Coordinator::onSummary(const SummaryData& s)
+{
+    ++summariesReceived_;
+    auto it = last_.find(s.shard);
+    if (it != last_.end()) {
+        // Summaries travel over reordering links: keep (prev, last)
+        // as the two highest epochs of the current generation.
+        if (s.generation > it->second.generation) {
+            prev_.erase(s.shard);   // restart: old generation is void
+            last_[s.shard] = s;
+            return;
+        }
+        if (s.generation < it->second.generation ||
+            s.epoch <= it->second.epoch)
+            return;                 // stale or duplicate
+        prev_[s.shard] = it->second;
+        it->second = s;
+        return;
+    }
+    last_[s.shard] = s;
+}
+
+std::vector<Verdict>
+Coordinator::round(support::VTime now, const std::vector<bool>& down)
+{
+    ++rounds_;
+    std::vector<Verdict> out;
+    bool degraded = false;
+
+    // A shard participates only with two confirmed epochs of the
+    // same generation on file and a clear ladder state.
+    auto frontier = [&](int shard, const SummaryData*& p,
+                        const SummaryData*& l) {
+        if (shard < static_cast<int>(down.size()) &&
+            down[static_cast<size_t>(shard)])
+            return false;
+        auto li = last_.find(shard);
+        auto pi = prev_.find(shard);
+        if (li == last_.end() || pi == prev_.end())
+            return false;
+        if (li->second.generation != pi->second.generation)
+            return false;
+        p = &pi->second;
+        l = &li->second;
+        return true;
+    };
+
+    for (int a = 0; a < shards_; ++a) {
+        const SummaryData *a1, *a2;
+        if (!frontier(a, a1, a2)) {
+            degraded = true;
+            continue;
+        }
+        for (const PendingCallInfo& call : a2->pending) {
+            if (issued_.count(call.reqId))
+                continue;
+            const int b = call.target;
+            if (b < 0 || b >= shards_ || b == a)
+                continue;
+            const SummaryData *b1, *b2;
+            if (!frontier(b, b1, b2)) {
+                degraded = true;
+                continue;
+            }
+            // (1) positive dead evidence in two consecutive epochs.
+            auto deadIn = [&](const SummaryData* s) {
+                return std::find(s->dead.begin(), s->dead.end(),
+                                 call.reqId) != s->dead.end();
+            };
+            if (!deadIn(b1) || !deadIn(b2))
+                continue;
+            // (2) the waiter predates the confirmation window and
+            // was still pending after B first reported death.
+            auto pendingIn = [&](const SummaryData* s) {
+                for (const PendingCallInfo& p : s->pending)
+                    if (p.reqId == call.reqId)
+                        return true;
+                return false;
+            };
+            if (!pendingIn(a1) || call.sinceVt >= b1->vt ||
+                a2->vt <= b1->vt)
+                continue;
+            // (3) link quiescence at the frontier: everything A had
+            // sent to B by a2 was delivered at B by b2. The counters
+            // are monotone ground truth sampled at emission, so the
+            // inequality alone orders the snapshots — requiring
+            // b2.vt > a2.vt as well would let only the shard whose
+            // summary happens to be newest ever act as target, and
+            // with a stable emission order one direction starves.
+            const size_t ai = static_cast<size_t>(a);
+            const size_t bi = static_cast<size_t>(b);
+            if (bi >= a2->sentTo.size() ||
+                ai >= b2->deliveredFrom.size())
+                continue;
+            if (b2->deliveredFrom[ai] < a2->sentTo[bi])
+                continue;
+
+            issued_.insert(call.reqId);
+            ++verdictsIssued_;
+            out.push_back({call.reqId, a, b, b2->epoch});
+        }
+    }
+    if (degraded)
+        ++degradedRounds_;
+
+    std::ostringstream os;
+    os << "round " << rounds_ << " now=" << now
+       << (degraded ? " degraded" : "");
+    for (const Verdict& v : out)
+        os << " verdict req=" << v.reqId << " " << v.waiterShard
+           << "<-" << v.targetShard << "@e" << v.epochB;
+    os << "\n";
+    trace_ += os.str();
+    return out;
+}
+
+const char*
+shardHealthName(ShardHealth h)
+{
+    switch (h) {
+      case ShardHealth::Healthy: return "healthy";
+      case ShardHealth::Suspect: return "suspect";
+      case ShardHealth::SafeMode: return "safe-mode";
+      case ShardHealth::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+FailureDetector::Actions
+FailureDetector::poll(support::VTime now)
+{
+    Actions acts;
+    for (size_t i = 0; i < health_.size(); ++i) {
+        if (health_[i] == ShardHealth::Quarantined)
+            continue;
+        const double p = phi(static_cast<int>(i), now);
+        ShardHealth next = ShardHealth::Healthy;
+        if (p >= cfg_.safeModePhi)
+            next = ShardHealth::SafeMode;
+        else if (p >= cfg_.suspectPhi)
+            next = ShardHealth::Suspect;
+
+        if (next == ShardHealth::SafeMode) {
+            if (cfg_.quarantinePhi > 0 && p >= cfg_.quarantinePhi &&
+                restarts_[i] >= cfg_.maxRestarts) {
+                health_[i] = ShardHealth::Quarantined;
+                acts.toQuarantine.push_back(static_cast<int>(i));
+                acts.anyTransition = true;
+                continue;
+            }
+            if (cfg_.restartPhi > 0 && p >= cfg_.restartPhi &&
+                restarts_[i] < cfg_.maxRestarts) {
+                acts.toRestart.push_back(static_cast<int>(i));
+                acts.anyTransition = true;
+                continue;
+            }
+        }
+        if (next != health_[i]) {
+            acts.anyTransition = true;
+            if (next == ShardHealth::Suspect &&
+                health_[i] == ShardHealth::Healthy)
+                ++suspects_;
+            if (next == ShardHealth::SafeMode)
+                ++safeModes_;
+            health_[i] = next;
+        }
+    }
+    return acts;
+}
+
+} // namespace golf::cluster

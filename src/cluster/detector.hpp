@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cross-shard GOLF: epoch-stamped summaries and the coordinator's
+ * distributed fixpoint, plus the phi-style shard failure detector
+ * feeding the cluster recovery ladder.
+ *
+ * Soundness (DESIGN.md §11): per-shard GOLF treats a goroutine
+ * parked on a remote call (WaitReason::RemoteWait) as live forever —
+ * the local fixpoint can never see the remote handler, so it must
+ * not guess. Only the coordinator may cancel a remote waiter, and it
+ * only acts on *positive* evidence with a confirmed frontier:
+ *
+ *   1. shard B's GOLF declared the handler for reqId dead (the
+ *      handler goroutine ended — reclaim, cancel death, quarantine
+ *      or unwind — without ever producing a response), AND B still
+ *      reports it dead one full epoch later (b1, b2 with
+ *      b2.epoch > b1.epoch, same restart generation);
+ *   2. the waiter on shard A was pending before b1 and is still
+ *      pending in a summary emitted after b1 (a2.vt > b1.vt) — the
+ *      response cannot have crossed with the verdict;
+ *   3. the A→B link is quiescent at the frontier: every reliable
+ *      message A had sent to B by a2 was delivered (and deduped)
+ *      at B by b2 — no in-flight request could still spawn the
+ *      handler.
+ *
+ * If any of those summaries is missing or stale — a dropped link, a
+ * partitioned or restarting shard — the coordinator *degrades*: it
+ * counts a degraded round and issues nothing involving that shard.
+ * Absence of evidence is never evidence of death, so a partition can
+ * only delay verdicts, never fabricate one. Per-shard detection
+ * continues untouched throughout.
+ */
+#ifndef GOLFCC_CLUSTER_DETECTOR_HPP
+#define GOLFCC_CLUSTER_DETECTOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/message.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::cluster {
+
+/** A client call awaiting a remote reply (from shard A's view). */
+struct PendingCallInfo
+{
+    uint64_t reqId = 0;
+    int target = 0;
+    support::VTime sinceVt = 0;
+};
+
+/** One shard's epoch-stamped blocked-on/reachability summary. */
+struct SummaryData
+{
+    int shard = 0;
+    uint32_t generation = 0;
+    uint64_t epoch = 0;
+    support::VTime vt = 0;  ///< Shard-local clock at emission.
+    /** Reliable data-plane messages this shard has sent to / fully
+     *  delivered from each peer (indexed by shard id). */
+    std::vector<uint64_t> sentTo;
+    std::vector<uint64_t> deliveredFrom;
+    std::vector<PendingCallInfo> pending;
+    std::vector<uint64_t> dead;   ///< reqIds: handler dead, no response.
+    std::vector<uint64_t> active; ///< reqIds: handler live or queued.
+
+    std::string encodePayload() const;
+    static bool decodePayload(const std::string& bytes,
+                              SummaryData& out);
+};
+
+/** A cross-shard Cancel/Reclaim verdict. */
+struct Verdict
+{
+    uint64_t reqId = 0;
+    int waiterShard = 0;
+    int targetShard = 0;
+    uint64_t epochB = 0;  ///< Confirming epoch (b2).
+};
+
+/** The coordinator's fixpoint over received summaries. */
+class Coordinator
+{
+  public:
+    explicit Coordinator(int shards) : shards_(shards) {}
+
+    /** Feed a summary received over the (faulty) control links. */
+    void onSummary(const SummaryData& s);
+
+    /**
+     * Run one detection round at cluster time `now`. Shards in
+     * `down` (safe-mode / restarting / quarantined) are excluded and
+     * degrade the round. Returns the verdicts to apply; each reqId
+     * is issued at most once.
+     */
+    std::vector<Verdict> round(support::VTime now,
+                               const std::vector<bool>& down);
+
+    uint64_t rounds() const { return rounds_; }
+    uint64_t degradedRounds() const { return degradedRounds_; }
+    uint64_t verdictsIssued() const { return verdictsIssued_; }
+    uint64_t summariesReceived() const { return summariesReceived_; }
+
+    /** Byte-stable log of rounds + verdicts (for -repro). */
+    const std::string& trace() const { return trace_; }
+
+  private:
+    int shards_;
+    /** Two most recent summaries per shard (prev, last). */
+    std::unordered_map<int, SummaryData> last_;
+    std::unordered_map<int, SummaryData> prev_;
+    std::unordered_set<uint64_t> issued_;
+    uint64_t rounds_ = 0;
+    uint64_t degradedRounds_ = 0;
+    uint64_t verdictsIssued_ = 0;
+    uint64_t summariesReceived_ = 0;
+    std::string trace_;
+};
+
+/** Cluster recovery ladder state for one shard (extends the PR 4
+ *  per-runtime Detect→Cancel→Reclaim→Quarantine ladder to whole
+ *  shards). */
+enum class ShardHealth : uint8_t
+{
+    Healthy,
+    Suspect,       ///< phi >= suspectPhi: watch closely.
+    SafeMode,      ///< phi >= safeModePhi: unroutable + detector
+                   ///< degrades; per-shard GOLF keeps running.
+    Quarantined,   ///< Restarts exhausted: permanently removed.
+};
+
+const char* shardHealthName(ShardHealth h);
+
+struct PhiConfig
+{
+    support::VTime heartbeatEvery = 50 * support::kMillisecond;
+    /** phi = silence / heartbeatEvery (linear accrual). */
+    double suspectPhi = 4.0;
+    double safeModePhi = 10.0;
+    /** Restart the shard when phi crosses this (0 = never). */
+    double restartPhi = 0.0;
+    int maxRestarts = 1;
+    /** Quarantine when phi crosses this after restarts are spent
+     *  (0 = never). */
+    double quarantinePhi = 0.0;
+};
+
+/**
+ * Phi-style accrual failure detector over virtual time: suspicion
+ * rises continuously with heartbeat silence and collapses to zero on
+ * the next beat. Thresholds gate the ladder transitions; the cluster
+ * driver applies the side effects (rerouting, restart, quarantine).
+ */
+class FailureDetector
+{
+  public:
+    FailureDetector(const PhiConfig& cfg, int shards)
+        : cfg_(cfg), lastHeard_(static_cast<size_t>(shards), 0),
+          health_(static_cast<size_t>(shards), ShardHealth::Healthy),
+          restarts_(static_cast<size_t>(shards), 0)
+    {}
+
+    void
+    onHeartbeat(int shard, support::VTime now)
+    {
+        lastHeard_[static_cast<size_t>(shard)] = now;
+    }
+
+    double
+    phi(int shard, support::VTime now) const
+    {
+        const support::VTime silence =
+            now - lastHeard_[static_cast<size_t>(shard)];
+        return static_cast<double>(silence) /
+               static_cast<double>(cfg_.heartbeatEvery);
+    }
+
+    ShardHealth health(int shard) const
+    {
+        return health_[static_cast<size_t>(shard)];
+    }
+    int restarts(int shard) const
+    {
+        return restarts_[static_cast<size_t>(shard)];
+    }
+
+    struct Actions
+    {
+        std::vector<int> toRestart;
+        std::vector<int> toQuarantine;
+        bool anyTransition = false;
+    };
+
+    /** Re-evaluate every shard's rung at `now`. */
+    Actions poll(support::VTime now);
+
+    /** The driver performed a restart: reset suspicion with a grace
+     *  stamp so the recovering shard isn't immediately re-suspected. */
+    void
+    noteRestarted(int shard, support::VTime now)
+    {
+        ++restarts_[static_cast<size_t>(shard)];
+        lastHeard_[static_cast<size_t>(shard)] = now;
+        health_[static_cast<size_t>(shard)] = ShardHealth::Suspect;
+    }
+
+    uint64_t suspectTransitions() const { return suspects_; }
+    uint64_t safeModeTransitions() const { return safeModes_; }
+
+  private:
+    PhiConfig cfg_;
+    std::vector<support::VTime> lastHeard_;
+    std::vector<ShardHealth> health_;
+    std::vector<int> restarts_;
+    uint64_t suspects_ = 0;
+    uint64_t safeModes_ = 0;
+};
+
+} // namespace golf::cluster
+
+#endif // GOLFCC_CLUSTER_DETECTOR_HPP

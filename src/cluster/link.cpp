@@ -1,0 +1,169 @@
+#include "cluster/link.hpp"
+
+#include <algorithm>
+
+namespace golf::cluster {
+
+namespace {
+
+LinkSite
+siteFor(MsgType t)
+{
+    switch (t) {
+      case MsgType::Request:
+      case MsgType::Response: return LinkSite::Data;
+      case MsgType::Ack: return LinkSite::Ack;
+      case MsgType::Heartbeat: return LinkSite::Heartbeat;
+      case MsgType::Summary: return LinkSite::Summary;
+    }
+    return LinkSite::Data;
+}
+
+} // namespace
+
+void
+Network::send(Message m, support::VTime now)
+{
+    m.sentVt = now;
+    if (m.reliable()) {
+        const int64_t k = key(m.src, m.dst);
+        m.seq = ++nextSeq_[k];
+        ++sentTo_[k];
+        const std::string bytes = m.encode();
+        unacked_[{k, m.seq}] = Unacked{
+            bytes, m.src, m.dst, 0,
+            now + cfg_.retransmit.backoff(0, rng_)};
+        transmit(bytes, m.src, m.dst, siteFor(m.type), now);
+        return;
+    }
+    transmit(m.encode(), m.src, m.dst, siteFor(m.type), now);
+}
+
+void
+Network::transmit(const std::string& bytes, int src, int dst,
+                  LinkSite site, support::VTime now)
+{
+    ++totals_.sent;
+    const NetFault f = injector_.decide(site, now, src, dst);
+    support::VTime at = now + cfg_.baseLatencyNs;
+    switch (f.kind) {
+      case NetFaultKind::Drop:
+        ++totals_.dropped;
+        return;
+      case NetFaultKind::Partition:
+        ++totals_.partitioned;
+        return;
+      case NetFaultKind::Duplicate:
+        ++totals_.duplicated;
+        inflight_.push({at, ++tick_, dst, bytes});
+        inflight_.push({at + cfg_.baseLatencyNs / 2, ++tick_, dst,
+                        bytes});
+        return;
+      case NetFaultKind::Delay:
+        ++totals_.delayed;
+        at += f.magnitude;
+        break;
+      case NetFaultKind::Reorder:
+        // One extra base-latency quantum (plus a sub-quantum skew)
+        // so traffic sent after this message overtakes it.
+        ++totals_.reordered;
+        at += cfg_.baseLatencyNs +
+              (cfg_.baseLatencyNs > 0
+                   ? f.magnitude % cfg_.baseLatencyNs
+                   : 0);
+        break;
+      case NetFaultKind::None:
+        break;
+    }
+    inflight_.push({at, ++tick_, dst, bytes});
+}
+
+std::vector<Network::Delivery>
+Network::pump(support::VTime now)
+{
+    // Due retransmissions first: they enter the in-flight queue at
+    // `now` and may still be delivered by this same pump.
+    for (auto& [k, u] : unacked_) {
+        while (u.nextRetryAt <= now) {
+            ++u.attempts;
+            ++totals_.retransmits;
+            transmit(u.bytes, u.src, u.dst, LinkSite::Retransmit,
+                     u.nextRetryAt);
+            u.nextRetryAt +=
+                cfg_.retransmit.backoff(u.attempts, rng_);
+        }
+    }
+
+    std::vector<Delivery> out;
+    while (!inflight_.empty() && inflight_.top().at <= now) {
+        InFlight f = inflight_.top();
+        inflight_.pop();
+        Message m;
+        if (!Message::decode(f.bytes, m))
+            continue; // corrupt frames are dropped silently
+        if (m.type == MsgType::Ack) {
+            // Ack for (ack.dst → ack.src, seq): clear the buffer.
+            if (unacked_.erase({key(m.dst, m.src), m.seq}) > 0)
+                ++totals_.acked;
+            continue;
+        }
+        if (m.reliable()) {
+            const int64_t k = key(m.src, m.dst);
+            auto& seenSet = seen_[k];
+            const bool dup = !seenSet.insert(m.seq).second;
+            // Ack every copy — the first ack may have been lost.
+            Message ack;
+            ack.type = MsgType::Ack;
+            ack.src = m.dst;
+            ack.dst = m.src;
+            ack.seq = m.seq;
+            send(ack, now);
+            if (dup) {
+                ++totals_.deduped;
+                continue;
+            }
+            ++deliveredFrom_[k];
+        }
+        ++totals_.delivered;
+        out.push_back({f.dst, std::move(m)});
+    }
+    return out;
+}
+
+support::VTime
+Network::nextEventAt() const
+{
+    support::VTime t = support::VClock::kNoDeadline;
+    if (!inflight_.empty())
+        t = inflight_.top().at;
+    for (const auto& [k, u] : unacked_)
+        t = std::min(t, u.nextRetryAt);
+    return t;
+}
+
+uint64_t
+Network::sentTo(int src, int dst) const
+{
+    auto it = sentTo_.find(key(src, dst));
+    return it == sentTo_.end() ? 0 : it->second;
+}
+
+uint64_t
+Network::deliveredFrom(int dst, int src) const
+{
+    auto it = deliveredFrom_.find(key(src, dst));
+    return it == deliveredFrom_.end() ? 0 : it->second;
+}
+
+void
+Network::forgetEndpoint(int endpoint)
+{
+    for (auto it = unacked_.begin(); it != unacked_.end();) {
+        if (it->second.src == endpoint || it->second.dst == endpoint)
+            it = unacked_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace golf::cluster

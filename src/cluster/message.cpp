@@ -1,0 +1,196 @@
+#include "cluster/message.hpp"
+
+#include <algorithm>
+
+namespace golf::cluster {
+
+const char*
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::Request: return "request";
+      case MsgType::Response: return "response";
+      case MsgType::Ack: return "ack";
+      case MsgType::Heartbeat: return "heartbeat";
+      case MsgType::Summary: return "summary";
+    }
+    return "?";
+}
+
+void
+putU32(std::string& out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string& out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putI64(std::string& out, int64_t v)
+{
+    putU64(out, static_cast<uint64_t>(v));
+}
+
+void
+putStr(std::string& out, const std::string& s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out += s;
+}
+
+bool
+getU32(const std::string& in, size_t& off, uint32_t& v)
+{
+    if (off + 4 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(in[off + i]))
+             << (8 * i);
+    off += 4;
+    return true;
+}
+
+bool
+getU64(const std::string& in, size_t& off, uint64_t& v)
+{
+    if (off + 8 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(in[off + i]))
+             << (8 * i);
+    off += 8;
+    return true;
+}
+
+bool
+getI64(const std::string& in, size_t& off, int64_t& v)
+{
+    uint64_t u;
+    if (!getU64(in, off, u))
+        return false;
+    v = static_cast<int64_t>(u);
+    return true;
+}
+
+bool
+getStr(const std::string& in, size_t& off, std::string& s)
+{
+    uint32_t n;
+    if (!getU32(in, off, n) || off + n > in.size())
+        return false;
+    s.assign(in, off, n);
+    off += n;
+    return true;
+}
+
+std::string
+Message::encode() const
+{
+    std::string out;
+    out.push_back(static_cast<char>(type));
+    putU32(out, static_cast<uint32_t>(src));
+    putU32(out, static_cast<uint32_t>(dst));
+    putU64(out, seq);
+    putU64(out, reqId);
+    putU64(out, key);
+    putU32(out, generation);
+    putI64(out, sentVt);
+    putStr(out, payload);
+    return out;
+}
+
+bool
+Message::decode(const std::string& bytes, Message& out)
+{
+    if (bytes.empty())
+        return false;
+    size_t off = 0;
+    const uint8_t t = static_cast<uint8_t>(bytes[off++]);
+    if (t > static_cast<uint8_t>(MsgType::Summary))
+        return false;
+    out.type = static_cast<MsgType>(t);
+    uint32_t src, dst;
+    if (!getU32(bytes, off, src) || !getU32(bytes, off, dst) ||
+        !getU64(bytes, off, out.seq) || !getU64(bytes, off, out.reqId) ||
+        !getU64(bytes, off, out.key) ||
+        !getU32(bytes, off, out.generation) ||
+        !getI64(bytes, off, out.sentVt) ||
+        !getStr(bytes, off, out.payload)) {
+        return false;
+    }
+    out.src = static_cast<int32_t>(src);
+    out.dst = static_cast<int32_t>(dst);
+    return off == bytes.size();
+}
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+Ring::Ring(int shards, int vnodesPerShard)
+{
+    routable_.assign(static_cast<size_t>(shards), true);
+    for (int s = 0; s < shards; ++s) {
+        for (int v = 0; v < vnodesPerShard; ++v) {
+            ring_.push_back(
+                {mix64((static_cast<uint64_t>(s) << 20) |
+                       static_cast<uint64_t>(v)),
+                 s});
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+int
+Ring::route(uint64_t key) const
+{
+    if (ring_.empty())
+        return -1;
+    const uint64_t h = mix64(key);
+    size_t lo = 0, hi = ring_.size();
+    while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (ring_[mid].point < h)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    // First routable vnode clockwise from h (wrapping).
+    for (size_t i = 0; i < ring_.size(); ++i) {
+        const VNode& vn = ring_[(lo + i) % ring_.size()];
+        if (routable_[static_cast<size_t>(vn.shard)])
+            return vn.shard;
+    }
+    return -1;
+}
+
+void
+Ring::setRoutable(int shard, bool routable)
+{
+    if (shard >= 0 && shard < shards())
+        routable_[static_cast<size_t>(shard)] = routable;
+}
+
+bool
+Ring::routable(int shard) const
+{
+    return shard >= 0 && shard < shards() &&
+           routable_[static_cast<size_t>(shard)];
+}
+
+} // namespace golf::cluster

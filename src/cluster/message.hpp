@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Inter-shard wire format and consistent-hash routing.
+ *
+ * Every message that crosses a shard boundary is serialized to a
+ * byte string before it enters the network and parsed back on
+ * delivery — shards share no pointers, so a shard restart (or, in a
+ * real deployment, a process boundary) cannot leave dangling
+ * references in a peer. The encoding is a fixed little-endian header
+ * plus a length-prefixed payload; summaries (detector.hpp) nest
+ * their own encoding inside the payload.
+ *
+ * Link-level reliability vocabulary: every Request/Response/Summary
+ * carries a per-directed-link sequence number and is retransmitted
+ * until the receiver acks it; receivers dedup by seq, so the link
+ * delivers exactly-once to the endpoint even when the fault injector
+ * drops or duplicates transmissions. Heartbeats are deliberately
+ * fire-and-forget — loss *is* the failure-detector signal.
+ */
+#ifndef GOLFCC_CLUSTER_MESSAGE_HPP
+#define GOLFCC_CLUSTER_MESSAGE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/vclock.hpp"
+
+namespace golf::cluster {
+
+/** The coordinator's control-plane endpoint id (not a shard). */
+constexpr int kControlEndpoint = -2;
+
+enum class MsgType : uint8_t
+{
+    Request,    ///< Client call: reqId + key + payload.
+    Response,   ///< Handler reply: reqId + payload.
+    Ack,        ///< Link-level ack of `seq` (unreliable, unacked).
+    Heartbeat,  ///< Failure-detector beacon (unreliable, unacked).
+    Summary,    ///< Epoch-stamped GOLF summary (reliable).
+};
+
+const char* msgTypeName(MsgType t);
+
+struct Message
+{
+    MsgType type = MsgType::Request;
+    int src = 0;
+    int dst = 0;
+    uint64_t seq = 0;      ///< Per-directed-link sequence number.
+    uint64_t reqId = 0;    ///< Request/Response correlation id.
+    uint64_t key = 0;      ///< Routing key (Request only).
+    uint32_t generation = 0; ///< Sender's restart generation.
+    support::VTime sentVt = 0; ///< Sender's virtual clock at send.
+    std::string payload;
+
+    /** Whether the link layer acks + retransmits this type. */
+    bool
+    reliable() const
+    {
+        return type == MsgType::Request || type == MsgType::Response ||
+               type == MsgType::Summary;
+    }
+
+    std::string encode() const;
+    /** Returns false on a malformed buffer. */
+    static bool decode(const std::string& bytes, Message& out);
+};
+
+/// @{ Primitive little-endian writers/readers shared with the
+/// summary encoding (detector.cpp).
+void putU32(std::string& out, uint32_t v);
+void putU64(std::string& out, uint64_t v);
+void putI64(std::string& out, int64_t v);
+void putStr(std::string& out, const std::string& s);
+bool getU32(const std::string& in, size_t& off, uint32_t& v);
+bool getU64(const std::string& in, size_t& off, uint64_t& v);
+bool getI64(const std::string& in, size_t& off, int64_t& v);
+bool getStr(const std::string& in, size_t& off, std::string& s);
+/// @}
+
+/** splitmix64: the routing/workload hash (stable across platforms). */
+uint64_t mix64(uint64_t x);
+
+/**
+ * Consistent-hash ring with virtual nodes. Routing depends only on
+ * (shard set, vnodesPerShard), so every shard computes the same
+ * assignment without coordination; quarantining a shard removes its
+ * vnodes and remaps only the keys that hashed to them.
+ */
+class Ring
+{
+  public:
+    Ring() = default;
+    Ring(int shards, int vnodesPerShard);
+
+    /** Owning shard for key, skipping shards marked unroutable.
+     *  Returns -1 when no shard is routable. */
+    int route(uint64_t key) const;
+
+    void setRoutable(int shard, bool routable);
+    bool routable(int shard) const;
+    int shards() const { return static_cast<int>(routable_.size()); }
+
+  private:
+    struct VNode
+    {
+        uint64_t point;
+        int shard;
+        bool operator<(const VNode& o) const
+        {
+            return point != o.point ? point < o.point
+                                    : shard < o.shard;
+        }
+    };
+
+    std::vector<VNode> ring_;
+    std::vector<bool> routable_;
+};
+
+} // namespace golf::cluster
+
+#endif // GOLFCC_CLUSTER_MESSAGE_HPP

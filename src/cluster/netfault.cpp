@@ -1,0 +1,101 @@
+#include "cluster/netfault.hpp"
+
+#include <sstream>
+
+namespace golf::cluster {
+
+const char*
+linkSiteName(LinkSite s)
+{
+    switch (s) {
+      case LinkSite::Data: return "data";
+      case LinkSite::Ack: return "ack";
+      case LinkSite::Heartbeat: return "heartbeat";
+      case LinkSite::Summary: return "summary";
+      case LinkSite::Retransmit: return "retransmit";
+    }
+    return "?";
+}
+
+const char*
+netFaultKindName(NetFaultKind k)
+{
+    switch (k) {
+      case NetFaultKind::None: return "none";
+      case NetFaultKind::Drop: return "drop";
+      case NetFaultKind::Duplicate: return "duplicate";
+      case NetFaultKind::Reorder: return "reorder";
+      case NetFaultKind::Delay: return "delay";
+      case NetFaultKind::Partition: return "partition";
+    }
+    return "?";
+}
+
+NetFault
+NetFaultInjector::decide(LinkSite site, support::VTime now, int src,
+                         int dst)
+{
+    if (partitioned(now, src, dst)) {
+        NetFaultRecord r;
+        r.seq = injected_++;
+        r.vt = now;
+        r.site = site;
+        r.kind = NetFaultKind::Partition;
+        r.src = src;
+        r.dst = dst;
+        log_.push_back(r);
+        return {NetFaultKind::Partition, 0};
+    }
+    if (!cfg_.enabled)
+        return {};
+
+    // Draw 1: fault kind (one uniform double partitioned by the
+    // configured probabilities). Draw 2: magnitude — always consumed
+    // so the stream position never depends on the outcome.
+    const double u = rng_.nextDouble();
+    const support::VTime mag = static_cast<support::VTime>(
+        rng_.nextBelow(static_cast<uint64_t>(
+            cfg_.delayMaxNs > 0 ? cfg_.delayMaxNs : 1)));
+
+    NetFaultKind kind = NetFaultKind::None;
+    double edge = cfg_.dropProb;
+    if (u < edge) {
+        kind = NetFaultKind::Drop;
+    } else if (u < (edge += cfg_.dupProb)) {
+        kind = NetFaultKind::Duplicate;
+    } else if (u < (edge += cfg_.reorderProb)) {
+        kind = NetFaultKind::Reorder;
+    } else if (u < (edge += cfg_.delayProb)) {
+        kind = NetFaultKind::Delay;
+    }
+    if (kind == NetFaultKind::None || injected_ >= cfg_.maxFaults)
+        return {};
+
+    NetFaultRecord r;
+    r.seq = injected_++;
+    r.vt = now;
+    r.site = site;
+    r.kind = kind;
+    r.src = src;
+    r.dst = dst;
+    r.magnitude =
+        (kind == NetFaultKind::Delay || kind == NetFaultKind::Reorder)
+            ? mag
+            : 0;
+    log_.push_back(r);
+    return {kind, r.magnitude};
+}
+
+std::string
+NetFaultInjector::trace() const
+{
+    std::ostringstream os;
+    for (const NetFaultRecord& r : log_) {
+        os << r.seq << " vt=" << r.vt << " " << linkSiteName(r.site)
+           << " " << netFaultKindName(r.kind) << " " << r.src << "->"
+           << r.dst << " mag=" << r.magnitude << "\n";
+    }
+    return os.str();
+}
+
+} // namespace golf::cluster

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Seeded network fault injection for inter-shard links.
+ *
+ * The cluster analog of rt::FaultInjector (fault.hpp), with the same
+ * determinism contract: decisions depend only on (seed, call order),
+ * every decide() consumes exactly two RNG draws — one for the fault
+ * kind, one for a magnitude that is used by Delay/Reorder and burned
+ * otherwise — and the injected-fault log dumps as a byte-stable
+ * trace, so a cluster chaos run replays bit-identically under
+ * `-repro`.
+ *
+ * Kinds:
+ *   Drop      the transmission is lost (the link layer's retransmit
+ *             timer is the only way it ever arrives).
+ *   Duplicate the message is delivered twice (receiver-side seq
+ *             dedup must make this invisible).
+ *   Reorder   delivery is pushed behind later-sent traffic by one
+ *             extra base-latency quantum scaled by the magnitude
+ *             draw (later messages overtake this one).
+ *   Delay     delivery is delayed by magnitude ∈ [0, delayMaxNs).
+ *   Partition full loss on every link touching the configured shard
+ *             during [partitionStartNs, partitionStartNs +
+ *             partitionDurationNs). Window membership is pure
+ *             configuration — it consumes no draws — but each
+ *             suppressed transmission is logged.
+ */
+#ifndef GOLFCC_CLUSTER_NETFAULT_HPP
+#define GOLFCC_CLUSTER_NETFAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::cluster {
+
+/** What a transmission is carrying (for the trace only). */
+enum class LinkSite : uint8_t
+{
+    Data,        ///< Request/Response payload.
+    Ack,         ///< Link-level acknowledgement.
+    Heartbeat,   ///< Failure-detector heartbeat.
+    Summary,     ///< Cross-shard GOLF summary.
+    Retransmit,  ///< A retransmission of unacked Data.
+};
+
+const char* linkSiteName(LinkSite s);
+
+enum class NetFaultKind : uint8_t
+{
+    None,
+    Drop,
+    Duplicate,
+    Reorder,
+    Delay,
+    Partition,
+};
+
+const char* netFaultKindName(NetFaultKind k);
+
+struct NetFaultConfig
+{
+    bool enabled = false;
+    double dropProb = 0.0;
+    double dupProb = 0.0;
+    double reorderProb = 0.0;
+    double delayProb = 0.0;
+    /** Upper bound on injected Delay magnitudes. */
+    support::VTime delayMaxNs = 20 * support::kMillisecond;
+    /** Shard cut off from every link (-1 = no forced partition). */
+    int partitionShard = -1;
+    support::VTime partitionStartNs = 0;
+    support::VTime partitionDurationNs = 0;
+    /** Stop injecting after this many faults (determinism intact:
+     *  draws are still consumed). */
+    uint64_t maxFaults = UINT64_MAX;
+};
+
+/** One injected fault, in injection order. */
+struct NetFaultRecord
+{
+    uint64_t seq = 0;            ///< Injection sequence number.
+    support::VTime vt = 0;       ///< Virtual send time.
+    LinkSite site = LinkSite::Data;
+    NetFaultKind kind = NetFaultKind::None;
+    int src = 0;
+    int dst = 0;
+    support::VTime magnitude = 0; ///< Delay/Reorder extra latency.
+};
+
+/** The decide() outcome handed to the link layer. */
+struct NetFault
+{
+    NetFaultKind kind = NetFaultKind::None;
+    support::VTime magnitude = 0;
+};
+
+class NetFaultInjector
+{
+  public:
+    NetFaultInjector() = default;
+    NetFaultInjector(const NetFaultConfig& cfg, uint64_t seed)
+        : cfg_(cfg), rng_(seed ^ 0xC1A57E12D00DULL)
+    {}
+
+    bool enabled() const { return cfg_.enabled; }
+    const NetFaultConfig& config() const { return cfg_; }
+
+    /** Whether (src → dst) is inside the forced-partition window. */
+    bool
+    partitioned(support::VTime now, int src, int dst) const
+    {
+        if (cfg_.partitionShard < 0)
+            return false;
+        if (src != cfg_.partitionShard && dst != cfg_.partitionShard)
+            return false;
+        return now >= cfg_.partitionStartNs &&
+               now < cfg_.partitionStartNs + cfg_.partitionDurationNs;
+    }
+
+    /**
+     * Decide the fate of one transmission. Exactly two RNG draws per
+     * call when enabled (kind + magnitude); zero when disabled. The
+     * partition check runs first and consumes no draws.
+     */
+    NetFault decide(LinkSite site, support::VTime now, int src,
+                    int dst);
+
+    uint64_t injected() const { return injected_; }
+    const std::vector<NetFaultRecord>& log() const { return log_; }
+
+    /** Byte-stable dump of the injected-fault log (for -repro). */
+    std::string trace() const;
+
+  private:
+    NetFaultConfig cfg_;
+    support::Rng rng_;
+    uint64_t injected_ = 0;
+    std::vector<NetFaultRecord> log_;
+};
+
+} // namespace golf::cluster
+
+#endif // GOLFCC_CLUSTER_NETFAULT_HPP

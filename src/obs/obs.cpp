@@ -131,6 +131,9 @@ Obs::Obs(const Config& cfg, int procs, uint64_t seed)
     flightDropped_ = registry_.gauge(
         "/obs/flight/dropped:records",
         "Flight-recorder records overwritten");
+    traceDropped_ = registry_.gauge(
+        "/sched/trace/dropped:events",
+        "Tracer events dropped by the bounded ring");
     blockSamples_ = registry_.gauge("/obs/profile/block:samples",
                                     "Block-profile samples taken");
     mutexSamples_ = registry_.gauge("/obs/profile/mutex:samples",
@@ -237,6 +240,8 @@ Obs::refreshDerivedGauges()
 {
     flightDropped_->set(
         flight_ ? static_cast<double>(flight_->dropped()) : 0.0);
+    traceDropped_->set(
+        tracer_ ? static_cast<double>(tracer_->dropped()) : 0.0);
     blockSamples_->set(static_cast<double>(blockProfile_.samples()));
     mutexSamples_->set(static_cast<double>(mutexProfile_.samples()));
 }

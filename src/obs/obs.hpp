@@ -102,6 +102,9 @@ class Obs
     /** Last value pushed by the watchdog poll (the service layer's
      *  shedding signal — read the gauge, don't rescan allg). */
     double watchdogPressure() const;
+    /** Install the runtime's tracer so its ring-overflow drop count
+     *  surfaces as /sched/trace/dropped:events. */
+    void setTracer(const rt::Tracer* tracer) { tracer_ = tracer; }
     /// @}
 
     /** Refresh derived gauges, then Registry::snapshotJson(). */
@@ -148,9 +151,11 @@ class Obs
     Gauge* stackInuse_ = nullptr;
     Gauge* pressure_ = nullptr;
     Gauge* flightDropped_ = nullptr;
+    Gauge* traceDropped_ = nullptr;
     Gauge* blockSamples_ = nullptr;
     Gauge* mutexSamples_ = nullptr;
-    std::array<Histogram*, 17> parkHists_{};
+    const rt::Tracer* tracer_ = nullptr;
+    std::array<Histogram*, rt::kWaitReasonCount> parkHists_{};
 };
 
 } // namespace golf::obs

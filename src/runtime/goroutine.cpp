@@ -43,6 +43,7 @@ waitReasonName(WaitReason r)
       case WaitReason::Io: return "IO wait";
       case WaitReason::GcWait: return "GC assist wait";
       case WaitReason::Internal: return "runtime internal";
+      case WaitReason::RemoteWait: return "remote call";
     }
     return "?";
 }

@@ -209,6 +209,7 @@ Runtime::Runtime(Config config)
     if (config_.obs.enabled) {
         obs_ = std::make_unique<obs::Obs>(config_.obs, config_.procs,
                                           config_.seed);
+        obs_->setTracer(&tracer_);
     }
     tracer_.setToggleHook([this] { refreshEventsArmed(); });
     refreshEventsArmed();
@@ -226,9 +227,12 @@ Runtime::~Runtime()
 {
     tearingDown_ = true;
     // Destroy surviving goroutine frames (leaked, deadlocked or
-    // abandoned at main exit) while this runtime is still current:
-    // waiter destructors must be able to reach channels and the
-    // semtable, and frame accounting must resolve to us.
+    // abandoned at main exit) while this runtime is current: waiter
+    // destructors must be able to reach channels and the semtable,
+    // and frame accounting must resolve to us. A cluster shard being
+    // restarted sits mid-stack, so force ourselves to the top for
+    // the teardown window.
+    runtimeStack().push_back(this);
     for (auto& mp : allg_) {
         Goroutine* g = mp.get();
         if (g->hasFrames()) {
@@ -246,9 +250,28 @@ Runtime::~Runtime()
             g->resumePoint_ = {};
         }
     }
+    runtimeStack().pop_back();
+    // Usually we are the innermost runtime, but a cluster shard
+    // being restarted is destroyed from under the driver while older
+    // shards sit below it on the stack — erase from anywhere.
     auto& stack = runtimeStack();
-    if (stack.empty() || stack.back() != this)
+    auto it = std::find(stack.rbegin(), stack.rend(), this);
+    if (it == stack.rend())
         support::panic("Runtime teardown out of order");
+    stack.erase(std::next(it).base());
+}
+
+Runtime::Scope::Scope(Runtime& rt)
+    : rt_(rt)
+{
+    runtimeStack().push_back(&rt);
+}
+
+Runtime::Scope::~Scope()
+{
+    auto& stack = runtimeStack();
+    if (stack.empty() || stack.back() != &rt_)
+        support::panic("Runtime::Scope exited out of order");
     stack.pop_back();
 }
 
@@ -775,7 +798,11 @@ Runtime::watchdogPoll()
     // instead of rescanning allg per request.
     if (obs_)
         obs_->setWatchdogPressure(over);
-    if (over == 0)
+    // Goroutines staged by the previous detecting cycle unwind at the
+    // start of the *next* collection; they are no longer Waiting, so
+    // without this clause a cycle that stages the last candidates
+    // leaves them in PendingReclaim forever.
+    if (over == 0 && collector_->pendingReclaim() == 0)
         return false;
     ++watchdogTriggers_;
     emitEvent(TraceEvent::WatchdogTrigger, 0);
@@ -790,6 +817,8 @@ Runtime::watchdogNextWake() const
     if (!config_.watchdog.enabled)
         return support::VClock::kNoDeadline;
     support::VTime wake = support::VClock::kNoDeadline;
+    if (collector_->pendingReclaim() > 0)
+        wake = nextWatchdogPollVt_; // finish the staged reclaims
     for (const auto& mp : allg_) {
         Goroutine* g = mp.get();
         if (g->status() != GStatus::Waiting ||
@@ -1047,8 +1076,8 @@ Runtime::collectNow()
     gcWaiters_.clear();
 }
 
-RunResult
-Runtime::driveLoop()
+void
+Runtime::beginRun()
 {
     running_ = true;
     result_ = RunResult{};
@@ -1056,57 +1085,87 @@ Runtime::driveLoop()
     forceDetect_ = false;
     nextWatchdogPollVt_ =
         clock_.now() + config_.watchdog.pollIntervalNs;
+}
 
-    while (true) {
-        if (result_.panicked)
-            break;
-        if (mainDone_) {
-            // Program exit: main returned (or was reclaimed). Like
-            // Go, remaining goroutines are abandoned, not awaited.
-            result_.mainCompleted = !result_.mainReclaimed;
-            break;
-        }
-        if (injector_.enabled() &&
-            injector_.decide(FaultSite::GcSafepoint, clock_.now(),
-                             0) == FaultKind::ForceGc) {
-            gcRequested_ = true; // adversarially timed collection
-        }
-        watchdogPoll();
-        if (gcRequested_ || heap_.shouldCollect())
-            collectNow();
-
-        Goroutine* g = sched_.pickNext();
-        if (!g) {
-            if (clock_.hasPending()) {
-                // Don't let the idle clock jump past a watchdog
-                // deadline: a blocked candidate crossing its
-                // threshold must be noticed at threshold + poll, not
-                // at the next (possibly much later) timer fire.
-                const support::VTime wake = watchdogNextWake();
-                if (wake < clock_.nextDeadline()) {
-                    clock_.advance(std::max<support::VTime>(
-                        0, wake - clock_.now()));
-                    continue;
-                }
-                clock_.fireNext();
-                continue;
-            }
-            // The watchdog turns a would-be global deadlock into a
-            // forced detection pass; the ladder may free goroutines.
-            if (watchdogRescue())
-                continue;
-            // No runnable goroutine, no timers: Go's fatal error
-            // "all goroutines are asleep - deadlock!".
-            result_.globalDeadlock = true;
-            break;
-        }
-        runSlice(g);
+Runtime::StepOutcome
+Runtime::stepOnce(bool standalone)
+{
+    if (result_.panicked)
+        return StepOutcome::Done;
+    if (mainDone_) {
+        // Program exit: main returned (or was reclaimed). Like
+        // Go, remaining goroutines are abandoned, not awaited.
+        result_.mainCompleted = !result_.mainReclaimed;
+        return StepOutcome::Done;
     }
+    if (injector_.enabled() &&
+        injector_.decide(FaultSite::GcSafepoint, clock_.now(),
+                         0) == FaultKind::ForceGc) {
+        gcRequested_ = true; // adversarially timed collection
+    }
+    watchdogPoll();
+    if (gcRequested_ || heap_.shouldCollect())
+        collectNow();
 
+    Goroutine* g = sched_.pickNext();
+    if (!g) {
+        if (clock_.hasPending()) {
+            // Don't let the idle clock jump past a watchdog
+            // deadline: a blocked candidate crossing its
+            // threshold must be noticed at threshold + poll, not
+            // at the next (possibly much later) timer fire.
+            const support::VTime wake = watchdogNextWake();
+            if (wake < clock_.nextDeadline()) {
+                clock_.advance(std::max<support::VTime>(
+                    0, wake - clock_.now()));
+                return StepOutcome::Progress;
+            }
+            clock_.fireNext();
+            return StepOutcome::Progress;
+        }
+        // The watchdog turns a would-be global deadlock into a
+        // forced detection pass; the ladder may free goroutines.
+        if (watchdogRescue())
+            return StepOutcome::Progress;
+        if (!standalone) {
+            // A shard out of local work is not globally deadlocked:
+            // remote messages may still arrive. The cluster driver
+            // owns that verdict.
+            return StepOutcome::Idle;
+        }
+        // No runnable goroutine, no timers: Go's fatal error
+        // "all goroutines are asleep - deadlock!".
+        result_.globalDeadlock = true;
+        return StepOutcome::Done;
+    }
+    runSlice(g);
+    return StepOutcome::Progress;
+}
+
+RunResult
+Runtime::finishRun()
+{
     if (race_)
         race_->finalize(collector_->reports());
     running_ = false;
     return result_;
+}
+
+void
+Runtime::idleAdvanceTo(support::VTime t)
+{
+    const support::VTime wake = std::min(t, watchdogNextWake());
+    if (wake > clock_.now())
+        clock_.advance(wake - clock_.now());
+}
+
+RunResult
+Runtime::driveLoop()
+{
+    beginRun();
+    while (stepOnce(true) == StepOutcome::Progress) {
+    }
+    return finishRun();
 }
 
 // ---------------------------------------------------------------------

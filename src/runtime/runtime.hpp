@@ -87,6 +87,10 @@ struct Config
 {
     int procs = 1;              ///< GOMAXPROCS analog.
     uint64_t seed = 1;          ///< Master seed for all randomness.
+    /** Cluster shard identity (-1 = standalone runtime). Purely
+     *  informational inside the runtime: reports and metrics carry
+     *  it, and src/cluster keys link endpoints on it. */
+    int shardId = -1;
     GcMode gcMode = GcMode::Golf;
     Recovery recovery = Recovery::Reclaim;
     /** Run detection only every Nth GC cycle (Section 6.2 closing
@@ -256,6 +260,70 @@ class Runtime
         return driveLoop();
     }
 
+    /// @{ Steppable execution (the cluster driver's interface).
+    /// runMain() == startMain() + step() until Done + finishRun();
+    /// driveLoop() is recomposed from exactly these pieces, so the
+    /// standalone path is unchanged. In stepped mode an idle shard
+    /// (no runnables, no timers) is NOT a global deadlock — remote
+    /// messages may still arrive — so step() reports Idle and the
+    /// cluster decides how far to advance the shard's clock.
+    enum class StepOutcome
+    {
+        Progress,  ///< Ran a slice, fired a timer, or collected.
+        Idle,      ///< No local work; waiting on external input.
+        Done,      ///< Main returned, panicked, or was reclaimed.
+    };
+
+    /** Spawn main and arm the run loop without driving it. */
+    template <typename Fn, typename... Args>
+    void
+    startMain(Fn&& fn, Args&&... args)
+    {
+        Site site{"<main>", 0, "main"};
+        Go task = std::invoke(std::forward<Fn>(fn), args...);
+        Goroutine* g = spawn(std::move(task), site);
+        g->isMain_ = true;
+        (pinArg(g, args), ...);
+        beginRun();
+    }
+
+    /** One run-loop iteration in stepped (non-standalone) mode. */
+    StepOutcome step() { return stepOnce(false); }
+
+    /** Finalize a stepped run and collect its result. */
+    RunResult finishRun();
+
+    /** Advance an Idle shard's clock toward t (never past the next
+     *  watchdog wake, so blocked-candidate thresholds are still
+     *  noticed at threshold + poll). */
+    void idleAdvanceTo(support::VTime t);
+
+    /** The virtual time the watchdog next wants to look at blocked
+     *  candidates (kNoDeadline when it never does). */
+    support::VTime watchdogNextWake() const;
+
+    /** Config::shardId (-1 when standalone). */
+    int shardId() const { return config_.shardId; }
+
+    /**
+     * RAII "make this runtime current": pushes onto the active-
+     * runtime stack so allocation accounting, panic observers and
+     * Runtime::current() resolve to this shard while the cluster
+     * driver steps it or manipulates its heap from outside a slice.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(Runtime& rt);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+      private:
+        Runtime& rt_;
+    };
+    /// @}
+
     /** Request a collection at the next safepoint. */
     void requestGc() { gcRequested_ = true; }
 
@@ -414,6 +482,8 @@ class Runtime
     void resetForReuse(Goroutine* g);
     void finalizeDone(Goroutine* g);
     RunResult driveLoop();
+    void beginRun();
+    StepOutcome stepOnce(bool standalone);
     void runSlice(Goroutine* g);
     void collectNow();
     /** Deliver a wakeup immediately (no delayed-wakeup injection);
@@ -486,7 +556,6 @@ class Runtime
      *  that turns would-be global deadlocks into detection passes. */
     bool watchdogPoll();
     bool watchdogRescue();
-    support::VTime watchdogNextWake() const;
 
     bool gcRequested_ = false;
     /** Watchdog asked for an off-cycle detection pass. */

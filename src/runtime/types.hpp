@@ -56,7 +56,14 @@ enum class WaitReason : uint8_t
     Io,              ///< Simulated system call / network wait.
     GcWait,          ///< Waiting for a forced GC to finish.
     Internal,        ///< Runtime-internal helper goroutine.
+    RemoteWait,      ///< Awaiting a reply from another shard: the
+                     ///< local fixpoint must treat it as live — only
+                     ///< the cross-shard detector (src/cluster) may
+                     ///< declare a remote wait dead.
 };
+
+/** Number of WaitReason values (for per-reason tables). */
+constexpr int kWaitReasonCount = static_cast<int>(WaitReason::RemoteWait) + 1;
 
 const char* waitReasonName(WaitReason r);
 

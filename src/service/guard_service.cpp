@@ -33,11 +33,10 @@ struct GuardState
     GuardMetrics m;
     VTime warmupEnd = 0;
     VTime end = 0;
-    // Circuit breaker (shared by all connections, like a client-side
-    // proxy would).
-    int consecutiveTimeouts = 0;
-    bool breakerOpen = false;
-    VTime breakerReopenAt = 0;
+    // Client-side resilience policies (retry.hpp); the breaker is
+    // shared by all connections, like a client-side proxy would.
+    BackoffPolicy backoff;
+    CircuitBreaker breaker;
 };
 
 BigMap*
@@ -124,15 +123,11 @@ clientConnection(GuardState* s)
     // per request; with obs off, fall back to the direct scan.
     obs::Obs* obs = rt.obs();
     while (rt.clock().now() < s->end) {
-        const VTime now = rt.clock().now();
-        if (s->breakerOpen && now >= s->breakerReopenAt) {
-            s->breakerOpen = false;
-            s->consecutiveTimeouts = 0;
-        }
+        const bool admitted = s->breaker.allow(rt.clock().now());
         const size_t pressure =
             obs ? static_cast<size_t>(obs->watchdogPressure())
                 : rt.watchdogPressure();
-        if (s->breakerOpen || pressure >= cfg.shedPressureLimit) {
+        if (!admitted || pressure >= cfg.shedPressureLimit) {
             ++s->m.shed;
             co_await rt::sleepFor(cfg.backoffBase);
             continue;
@@ -145,14 +140,13 @@ clientConnection(GuardState* s)
             if (status == ReqOk || attempt >= cfg.maxRetries)
                 break;
             ++s->m.retried;
-            VTime backoff = cfg.backoffBase << attempt;
-            backoff += s->rng.nextBelow(backoff / 2 + 1); // jitter
-            co_await rt::sleepFor(backoff);
+            co_await rt::sleepFor(
+                s->backoff.backoff(attempt, s->rng));
         }
         const VTime t1 = rt.clock().now();
 
         if (status == ReqOk) {
-            s->consecutiveTimeouts = 0;
+            s->breaker.onResult(true, t1);
             ++s->m.served;
             if (t0 >= s->warmupEnd) {
                 ++s->m.goodput;
@@ -161,13 +155,8 @@ clientConnection(GuardState* s)
             }
         } else {
             ++s->m.timedOut;
-            if (++s->consecutiveTimeouts >= cfg.breakerWindow &&
-                !s->breakerOpen) {
-                s->breakerOpen = true;
-                s->breakerReopenAt =
-                    rt.clock().now() + cfg.breakerCooldown;
+            if (s->breaker.onResult(false, rt.clock().now()))
                 ++s->m.breakerOpens;
-            }
         }
         co_await rt::sleepFor(170 * kMillisecond);
     }
@@ -209,6 +198,10 @@ runGuardService(const GuardServiceConfig& config)
     state.rt = &runtime;
     state.cfg = &config;
     state.rng = support::Rng(config.seed ^ 0x5E471CEull);
+    state.backoff.base = config.backoffBase;
+    state.backoff.cap = config.backoffMax;
+    state.breaker.window = config.breakerWindow;
+    state.breaker.cooldown = config.breakerCooldown;
 
     rt::RunResult rr = runtime.runMain(serviceMain, &state);
 

@@ -25,6 +25,7 @@
 #ifndef GOLFCC_SERVICE_GUARD_SERVICE_HPP
 #define GOLFCC_SERVICE_GUARD_SERVICE_HPP
 
+#include "service/retry.hpp"
 #include "service/service.hpp"
 
 namespace golf::service {
@@ -41,6 +42,8 @@ struct GuardServiceConfig : ServiceConfig
     int maxRetries = 2;
     /** First retry backoff; doubles per attempt, plus seeded jitter. */
     support::VTime backoffBase = 50 * support::kMillisecond;
+    /** Backoff ceiling (applied before jitter; see retry.hpp). */
+    support::VTime backoffMax = 5 * support::kSecond;
     /** Shed new requests while watchdogPressure() >= this. */
     size_t shedPressureLimit = 8;
     /** Consecutive client-observed timeouts that open the breaker. */

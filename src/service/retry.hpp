@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Client-side resilience policies extracted from the guard service
+ * (and reused by the cluster link layer): exponential backoff with
+ * seeded jitter and a consecutive-failure circuit breaker.
+ *
+ * Both are plain value types over virtual time so tests can assert
+ * the exact schedule a seed produces without running a service:
+ * one Rng draw per backoff() call, schedules deterministic per seed,
+ * backoff capped at `cap` before the proportional jitter is added.
+ */
+#ifndef GOLFCC_SERVICE_RETRY_HPP
+#define GOLFCC_SERVICE_RETRY_HPP
+
+#include "support/rng.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::service {
+
+/** Exponential backoff: base << attempt, capped, plus seeded jitter
+ *  of up to half the capped value. */
+struct BackoffPolicy
+{
+    support::VTime base = 50 * support::kMillisecond;
+    support::VTime cap = 5 * support::kSecond;
+
+    /** Deterministic: exactly one rng draw per call. */
+    support::VTime
+    backoff(int attempt, support::Rng& rng) const
+    {
+        // Shift overflow (attempt >= 63) or wraparound both land on
+        // the cap; so does any value that grew past it.
+        support::VTime b =
+            attempt >= 62 ? cap : base << attempt;
+        if (b <= 0 || b > cap)
+            b = cap;
+        b += static_cast<support::VTime>(
+            rng.nextBelow(static_cast<uint64_t>(b / 2 + 1)));
+        return b;
+    }
+};
+
+/** Count-based circuit breaker: opens after `window` consecutive
+ *  failures, sheds until `cooldown` has elapsed, then re-admits
+ *  (half-open is collapsed into "closed with a clean window"). */
+struct CircuitBreaker
+{
+    int window = 5;
+    support::VTime cooldown = 1 * support::kSecond;
+
+    int consecutiveFailures = 0;
+    bool open = false;
+    support::VTime reopenAt = 0;
+
+    /** Admission check; a due cool-down closes the breaker. */
+    bool
+    allow(support::VTime now)
+    {
+        if (open && now >= reopenAt) {
+            open = false;
+            consecutiveFailures = 0;
+        }
+        return !open;
+    }
+
+    /** Record a request outcome. Returns true when this failure
+     *  transitioned the breaker to open (for metrics). */
+    bool
+    onResult(bool ok, support::VTime now)
+    {
+        if (ok) {
+            consecutiveFailures = 0;
+            return false;
+        }
+        if (++consecutiveFailures >= window && !open) {
+            open = true;
+            reopenAt = now + cooldown;
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace golf::service
+
+#endif // GOLFCC_SERVICE_RETRY_HPP

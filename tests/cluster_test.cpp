@@ -1,0 +1,637 @@
+/**
+ * @file
+ * golf::cluster tests: net-fault injector determinism, wire-format
+ * roundtrips, consistent-hash routing, link-level reliability, the
+ * coordinator's epoch-confirmation conditions, the phi failure
+ * detector's ladder, and end-to-end cluster runs — fault-free, leaky,
+ * faulted + byte-identical repro, partition degrade-then-detect, and
+ * rolling restart.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/detector.hpp"
+#include "cluster/link.hpp"
+#include "cluster/message.hpp"
+#include "cluster/netfault.hpp"
+#include "support/vclock.hpp"
+
+namespace golf {
+namespace {
+
+using namespace golf::cluster;
+using support::VTime;
+using support::kMillisecond;
+using support::kSecond;
+
+// ---------------------------------------------------------------
+// NetFaultInjector
+// ---------------------------------------------------------------
+
+NetFaultConfig
+faultyCfg()
+{
+    NetFaultConfig c;
+    c.enabled = true;
+    c.dropProb = 0.1;
+    c.dupProb = 0.05;
+    c.reorderProb = 0.05;
+    c.delayProb = 0.1;
+    return c;
+}
+
+TEST(NetFaultTest, SameSeedSameDecisionsAndTrace)
+{
+    NetFaultInjector a(faultyCfg(), 42), b(faultyCfg(), 42);
+    for (int i = 0; i < 500; ++i) {
+        const NetFault fa = a.decide(LinkSite::Data, i * 1000, 0, 1);
+        const NetFault fb = b.decide(LinkSite::Data, i * 1000, 0, 1);
+        ASSERT_EQ(fa.kind, fb.kind) << "at call " << i;
+        ASSERT_EQ(fa.magnitude, fb.magnitude) << "at call " << i;
+    }
+    EXPECT_EQ(a.trace(), b.trace());
+    EXPECT_GT(a.injected(), 0u);
+}
+
+TEST(NetFaultTest, DifferentSeedsDiverge)
+{
+    NetFaultInjector a(faultyCfg(), 1), b(faultyCfg(), 2);
+    int diff = 0;
+    for (int i = 0; i < 500; ++i) {
+        if (a.decide(LinkSite::Data, i, 0, 1).kind !=
+            b.decide(LinkSite::Data, i, 0, 1).kind)
+            ++diff;
+    }
+    EXPECT_GT(diff, 0);
+}
+
+TEST(NetFaultTest, DisabledInjectorNeverFaults)
+{
+    NetFaultInjector inj(NetFaultConfig{}, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(inj.decide(LinkSite::Data, i, 0, 1).kind,
+                  NetFaultKind::None);
+    EXPECT_EQ(inj.injected(), 0u);
+}
+
+TEST(NetFaultTest, PartitionWindowCutsOnlyTheConfiguredShard)
+{
+    NetFaultConfig c;
+    c.enabled = true;
+    c.partitionShard = 1;
+    c.partitionStartNs = 100;
+    c.partitionDurationNs = 50;
+    NetFaultInjector inj(c, 3);
+    EXPECT_EQ(inj.decide(LinkSite::Data, 120, 0, 1).kind,
+              NetFaultKind::Partition);
+    EXPECT_EQ(inj.decide(LinkSite::Data, 120, 1, 2).kind,
+              NetFaultKind::Partition);
+    EXPECT_EQ(inj.decide(LinkSite::Data, 120, 0, 2).kind,
+              NetFaultKind::None);
+    EXPECT_EQ(inj.decide(LinkSite::Data, 99, 0, 1).kind,
+              NetFaultKind::None);
+    EXPECT_EQ(inj.decide(LinkSite::Data, 150, 0, 1).kind,
+              NetFaultKind::None);
+}
+
+// ---------------------------------------------------------------
+// Wire format + ring
+// ---------------------------------------------------------------
+
+TEST(MessageTest, EncodeDecodeRoundtrip)
+{
+    Message m;
+    m.type = MsgType::Request;
+    m.src = 3;
+    m.dst = 1;
+    m.seq = 77;
+    m.reqId = 0x123456789abcULL;
+    m.key = 0xdeadbeefULL;
+    m.generation = 4;
+    m.sentVt = 123456789;
+    m.payload = "hello\0world"; // embedded NUL survives
+    Message out;
+    ASSERT_TRUE(Message::decode(m.encode(), out));
+    EXPECT_EQ(out.type, m.type);
+    EXPECT_EQ(out.src, m.src);
+    EXPECT_EQ(out.dst, m.dst);
+    EXPECT_EQ(out.seq, m.seq);
+    EXPECT_EQ(out.reqId, m.reqId);
+    EXPECT_EQ(out.key, m.key);
+    EXPECT_EQ(out.generation, m.generation);
+    EXPECT_EQ(out.sentVt, m.sentVt);
+    EXPECT_EQ(out.payload, m.payload);
+}
+
+TEST(MessageTest, DecodeRejectsTruncatedAndTrailingBytes)
+{
+    Message m;
+    m.payload = "payload";
+    const std::string bytes = m.encode();
+    Message out;
+    EXPECT_FALSE(Message::decode(bytes.substr(0, bytes.size() - 1),
+                                 out));
+    EXPECT_FALSE(Message::decode(bytes + "x", out));
+    EXPECT_FALSE(Message::decode("", out));
+}
+
+TEST(SummaryTest, PayloadRoundtrip)
+{
+    SummaryData s;
+    s.shard = 2;
+    s.generation = 1;
+    s.epoch = 9;
+    s.vt = 5 * kSecond;
+    s.sentTo = {1, 2, 3, 4};
+    s.deliveredFrom = {4, 3, 2, 1};
+    s.pending = {{11, 0, 100}, {22, 3, 200}};
+    s.dead = {7, 8};
+    s.active = {9};
+    SummaryData out;
+    ASSERT_TRUE(SummaryData::decodePayload(s.encodePayload(), out));
+    EXPECT_EQ(out.shard, 2);
+    EXPECT_EQ(out.epoch, 9u);
+    EXPECT_EQ(out.sentTo, s.sentTo);
+    EXPECT_EQ(out.deliveredFrom, s.deliveredFrom);
+    ASSERT_EQ(out.pending.size(), 2u);
+    EXPECT_EQ(out.pending[1].reqId, 22u);
+    EXPECT_EQ(out.pending[1].target, 3);
+    EXPECT_EQ(out.dead, s.dead);
+    EXPECT_EQ(out.active, s.active);
+}
+
+TEST(RingTest, RoutesEveryKeyAndBalancesRoughly)
+{
+    Ring ring(4, 16);
+    std::vector<int> hits(4, 0);
+    for (uint64_t k = 0; k < 4000; ++k) {
+        const int s = ring.route(mix64(k));
+        ASSERT_GE(s, 0);
+        ASSERT_LT(s, 4);
+        ++hits[static_cast<size_t>(s)];
+    }
+    for (int s = 0; s < 4; ++s)
+        EXPECT_GT(hits[static_cast<size_t>(s)], 200)
+            << "shard " << s << " starved";
+}
+
+TEST(RingTest, UnroutableShardIsSkippedAndKeysRemapMinimally)
+{
+    Ring ring(4, 16);
+    std::vector<int> before(1000);
+    for (uint64_t k = 0; k < 1000; ++k)
+        before[k] = ring.route(k);
+    ring.setRoutable(2, false);
+    int moved = 0;
+    for (uint64_t k = 0; k < 1000; ++k) {
+        const int s = ring.route(k);
+        ASSERT_NE(s, 2);
+        if (before[k] != 2 && s != before[k])
+            ++moved;
+    }
+    // Only keys owned by shard 2 remap.
+    EXPECT_EQ(moved, 0);
+    ring.setRoutable(2, true);
+    for (uint64_t k = 0; k < 1000; ++k)
+        EXPECT_EQ(ring.route(k), before[k]);
+}
+
+TEST(RingTest, AllShardsDownRoutesNowhere)
+{
+    Ring ring(2, 8);
+    ring.setRoutable(0, false);
+    ring.setRoutable(1, false);
+    EXPECT_EQ(ring.route(123), -1);
+}
+
+// ---------------------------------------------------------------
+// Link layer
+// ---------------------------------------------------------------
+
+TEST(LinkTest, ReliableDeliveryOnCleanLink)
+{
+    Network net(NetworkConfig{}, 5);
+    Message m;
+    m.type = MsgType::Request;
+    m.src = 0;
+    m.dst = 1;
+    m.reqId = 42;
+    net.send(m, 0);
+    EXPECT_TRUE(net.pump(0).empty()); // latency not yet elapsed
+    auto out = net.pump(2 * kMillisecond);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].dst, 1);
+    EXPECT_EQ(out[0].msg.reqId, 42u);
+    EXPECT_EQ(net.sentTo(0, 1), 1u);
+    EXPECT_EQ(net.deliveredFrom(1, 0), 1u);
+    // The ack clears the retransmit buffer: nothing further happens.
+    net.pump(10 * kMillisecond);
+    EXPECT_EQ(net.totals().retransmits, 0u);
+}
+
+TEST(LinkTest, DroppedMessageIsRetransmittedUntilDelivered)
+{
+    NetworkConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.dropProb = 1.0;
+    cfg.faults.maxFaults = 3; // first 3 transmissions die
+    Network net(cfg, 9);
+    Message m;
+    m.type = MsgType::Response;
+    m.src = 1;
+    m.dst = 0;
+    m.reqId = 7;
+    net.send(m, 0);
+    bool delivered = false;
+    for (VTime t = 0; t <= 10 * kSecond && !delivered;
+         t += kMillisecond) {
+        for (auto& d : net.pump(t))
+            delivered |= d.msg.reqId == 7;
+    }
+    EXPECT_TRUE(delivered);
+    EXPECT_GE(net.totals().retransmits, 3u);
+    EXPECT_EQ(net.totals().delivered, 1u); // exactly once
+}
+
+TEST(LinkTest, DuplicatesAreDeduped)
+{
+    NetworkConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.dupProb = 1.0;
+    cfg.faults.maxFaults = 1;
+    Network net(cfg, 11);
+    Message m;
+    m.type = MsgType::Request;
+    m.src = 0;
+    m.dst = 1;
+    m.reqId = 99;
+    net.send(m, 0);
+    int appDeliveries = 0;
+    for (VTime t = 0; t <= kSecond; t += kMillisecond)
+        for (auto& d : net.pump(t))
+            appDeliveries += d.msg.reqId == 99 ? 1 : 0;
+    EXPECT_EQ(appDeliveries, 1);
+    EXPECT_GE(net.totals().deduped, 1u);
+}
+
+TEST(LinkTest, UnreliableTypesAreNeverRetransmitted)
+{
+    NetworkConfig cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.dropProb = 1.0;
+    Network net(cfg, 13);
+    Message hb;
+    hb.type = MsgType::Heartbeat;
+    hb.src = 0;
+    hb.dst = kControlEndpoint;
+    net.send(hb, 0);
+    for (VTime t = 0; t <= kSecond; t += 10 * kMillisecond)
+        EXPECT_TRUE(net.pump(t).empty());
+    EXPECT_EQ(net.totals().retransmits, 0u);
+    EXPECT_EQ(net.totals().dropped, 1u);
+}
+
+// ---------------------------------------------------------------
+// Coordinator: epoch-confirmation soundness conditions
+// ---------------------------------------------------------------
+
+SummaryData
+mkSummary(int shard, uint64_t epoch, VTime vt, int shards = 2,
+          uint32_t gen = 0)
+{
+    SummaryData s;
+    s.shard = shard;
+    s.generation = gen;
+    s.epoch = epoch;
+    s.vt = vt;
+    s.sentTo.assign(static_cast<size_t>(shards), 0);
+    s.deliveredFrom.assign(static_cast<size_t>(shards), 0);
+    return s;
+}
+
+/** The canonical positive case: waiter on 0, dead handler on 1,
+ *  confirmed over epochs b1 < a2 < b2, quiescent link. */
+std::vector<Verdict>
+confirmedScenario(Coordinator& coord)
+{
+    auto b1 = mkSummary(1, 1, 100);
+    b1.dead = {77};
+    b1.deliveredFrom = {1, 0};
+    auto a1 = mkSummary(0, 1, 110);
+    a1.pending = {{77, 1, 50}};
+    a1.sentTo = {0, 1};
+    auto a2 = mkSummary(0, 2, 200);
+    a2.pending = {{77, 1, 50}};
+    a2.sentTo = {0, 1};
+    auto b2 = mkSummary(1, 2, 300);
+    b2.dead = {77};
+    b2.deliveredFrom = {1, 0};
+    coord.onSummary(b1);
+    coord.onSummary(a1);
+    coord.onSummary(a2);
+    coord.onSummary(b2);
+    return coord.round(1000, {false, false});
+}
+
+TEST(CoordinatorTest, ConfirmedFrontierIssuesVerdict)
+{
+    Coordinator coord(2);
+    auto vs = confirmedScenario(coord);
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0].reqId, 77u);
+    EXPECT_EQ(vs[0].waiterShard, 0);
+    EXPECT_EQ(vs[0].targetShard, 1);
+    // Idempotent: the same frontier never re-issues.
+    EXPECT_TRUE(coord.round(2000, {false, false}).empty());
+}
+
+TEST(CoordinatorTest, SingleEpochOfDeathIsNotEnough)
+{
+    Coordinator coord(2);
+    auto b1 = mkSummary(1, 1, 100);
+    b1.dead = {77};
+    b1.deliveredFrom = {1, 0};
+    auto b2 = mkSummary(1, 2, 300);
+    b2.deliveredFrom = {1, 0}; // dead mark gone: handler respawned
+    auto a1 = mkSummary(0, 1, 110);
+    a1.pending = {{77, 1, 50}};
+    a1.sentTo = {0, 1};
+    auto a2 = mkSummary(0, 2, 200);
+    a2.pending = {{77, 1, 50}};
+    a2.sentTo = {0, 1};
+    coord.onSummary(b1);
+    coord.onSummary(b2);
+    coord.onSummary(a1);
+    coord.onSummary(a2);
+    EXPECT_TRUE(coord.round(1000, {false, false}).empty());
+}
+
+TEST(CoordinatorTest, InFlightRequestBlocksVerdict)
+{
+    Coordinator coord(2);
+    auto b1 = mkSummary(1, 1, 100);
+    b1.dead = {77};
+    b1.deliveredFrom = {1, 0};
+    auto a1 = mkSummary(0, 1, 110);
+    a1.pending = {{77, 1, 50}};
+    a1.sentTo = {0, 2}; // A sent 2 to B...
+    auto a2 = mkSummary(0, 2, 200);
+    a2.pending = {{77, 1, 50}};
+    a2.sentTo = {0, 2};
+    auto b2 = mkSummary(1, 2, 300);
+    b2.dead = {77};
+    b2.deliveredFrom = {1, 1}; // ...but B has only seen 1: not quiescent
+    coord.onSummary(b1);
+    coord.onSummary(a1);
+    coord.onSummary(a2);
+    coord.onSummary(b2);
+    EXPECT_TRUE(coord.round(1000, {false, false}).empty());
+}
+
+TEST(CoordinatorTest, DownShardDegradesInsteadOfGuessing)
+{
+    Coordinator coord(2);
+    auto b1 = mkSummary(1, 1, 100);
+    b1.dead = {77};
+    b1.deliveredFrom = {1, 0};
+    auto a1 = mkSummary(0, 1, 110);
+    a1.pending = {{77, 1, 50}};
+    a1.sentTo = {0, 1};
+    auto a2 = mkSummary(0, 2, 200);
+    a2.pending = {{77, 1, 50}};
+    a2.sentTo = {0, 1};
+    auto b2 = mkSummary(1, 2, 300);
+    b2.dead = {77};
+    b2.deliveredFrom = {1, 0};
+    coord.onSummary(b1);
+    coord.onSummary(a1);
+    coord.onSummary(a2);
+    coord.onSummary(b2);
+    // Identical evidence, but shard 1 is in safe mode: no verdict,
+    // round counted as degraded.
+    EXPECT_TRUE(coord.round(1000, {false, true}).empty());
+    EXPECT_EQ(coord.degradedRounds(), 1u);
+    // Once it recovers, the (still confirmed) frontier acts.
+    EXPECT_EQ(coord.round(2000, {false, false}).size(), 1u);
+}
+
+TEST(CoordinatorTest, RestartGenerationVoidsOldEvidence)
+{
+    Coordinator coord(2);
+    auto b1 = mkSummary(1, 1, 100);
+    b1.dead = {77};
+    b1.deliveredFrom = {1, 0};
+    auto a1 = mkSummary(0, 1, 110);
+    a1.pending = {{77, 1, 50}};
+    a1.sentTo = {0, 1};
+    auto a2 = mkSummary(0, 2, 200);
+    a2.pending = {{77, 1, 50}};
+    a2.sentTo = {0, 1};
+    // b2 arrives under a new generation: the (b1, b2) pair no longer
+    // confirms anything.
+    auto b2 = mkSummary(1, 2, 300, 2, /*gen=*/1);
+    b2.dead = {77};
+    b2.deliveredFrom = {1, 0};
+    coord.onSummary(b1);
+    coord.onSummary(a1);
+    coord.onSummary(a2);
+    coord.onSummary(b2);
+    EXPECT_TRUE(coord.round(1000, {false, false}).empty());
+}
+
+TEST(CoordinatorTest, StaleAndDuplicateSummariesAreDropped)
+{
+    Coordinator coord(2);
+    auto s3 = mkSummary(0, 3, 300);
+    auto s2 = mkSummary(0, 2, 200);
+    coord.onSummary(s3);
+    coord.onSummary(s2); // late reordered arrival: ignored
+    coord.onSummary(s3); // duplicate: ignored
+    EXPECT_EQ(coord.summariesReceived(), 3u);
+}
+
+// ---------------------------------------------------------------
+// Failure detector ladder
+// ---------------------------------------------------------------
+
+TEST(FailureDetectorTest, PhiClimbsThroughSuspectToSafeMode)
+{
+    PhiConfig cfg; // heartbeatEvery 50ms, suspect 4, safe-mode 10
+    FailureDetector fd(cfg, 2);
+    fd.onHeartbeat(0, 0);
+    fd.onHeartbeat(1, 0);
+    fd.poll(100 * kMillisecond); // phi = 2
+    EXPECT_EQ(fd.health(1), ShardHealth::Healthy);
+    fd.poll(250 * kMillisecond); // phi = 5
+    EXPECT_EQ(fd.health(1), ShardHealth::Suspect);
+    fd.poll(600 * kMillisecond); // phi = 12
+    EXPECT_EQ(fd.health(1), ShardHealth::SafeMode);
+    EXPECT_EQ(fd.suspectTransitions(), 2u); // both shards silent
+    // A heartbeat collapses suspicion back to Healthy.
+    fd.onHeartbeat(1, 610 * kMillisecond);
+    fd.poll(620 * kMillisecond);
+    EXPECT_EQ(fd.health(1), ShardHealth::Healthy);
+}
+
+TEST(FailureDetectorTest, RestartAndQuarantineRungs)
+{
+    PhiConfig cfg;
+    cfg.restartPhi = 12.0;
+    cfg.quarantinePhi = 20.0;
+    cfg.maxRestarts = 1;
+    FailureDetector fd(cfg, 1);
+    fd.onHeartbeat(0, 0);
+    auto acts = fd.poll(650 * kMillisecond); // phi = 13
+    ASSERT_EQ(acts.toRestart.size(), 1u);
+    fd.noteRestarted(0, 650 * kMillisecond);
+    EXPECT_EQ(fd.restarts(0), 1);
+    // Silence again; restarts are exhausted, so past quarantinePhi
+    // the shard is quarantined.
+    acts = fd.poll(650 * kMillisecond + 1100 * kMillisecond);
+    ASSERT_EQ(acts.toQuarantine.size(), 1u);
+    EXPECT_EQ(fd.health(0), ShardHealth::Quarantined);
+}
+
+// ---------------------------------------------------------------
+// End-to-end cluster runs
+// ---------------------------------------------------------------
+
+ClusterConfig
+smallCluster(uint64_t seed)
+{
+    ClusterConfig cfg;
+    cfg.shards = 2;
+    cfg.seed = seed;
+    cfg.issueWindow = 600 * kMillisecond;
+    cfg.grace = 500 * kMillisecond;
+    cfg.clientsPerShard = 2;
+    cfg.thinkNs = 20 * kMillisecond;
+    return cfg;
+}
+
+TEST(ClusterTest, FaultFreeRunCompletesEverythingNoVerdicts)
+{
+    ClusterResult r = runCluster(smallCluster(21));
+    EXPECT_FALSE(r.failed) << r.failReason;
+    EXPECT_GT(r.issued, 20u);
+    EXPECT_EQ(r.completed, r.issued);
+    EXPECT_EQ(r.cancelled, 0u);
+    EXPECT_EQ(r.verdicts, 0u);
+    EXPECT_EQ(r.falsePositives, 0u);
+    EXPECT_EQ(r.leaksInjected, 0u);
+    EXPECT_GT(r.summaries, 0u);
+    EXPECT_GT(r.rounds, 0u);
+    for (const ShardOutcome& s : r.shards) {
+        EXPECT_TRUE(s.mainCompleted);
+        EXPECT_EQ(s.finalHealth, ShardHealth::Healthy);
+    }
+}
+
+TEST(ClusterTest, LeaksAreDetectedWithZeroFalsePositives)
+{
+    ClusterConfig cfg = smallCluster(33);
+    cfg.issueWindow = 800 * kMillisecond;
+    cfg.grace = 1200 * kMillisecond;
+    cfg.leakProb = 0.08;
+    ClusterResult r = runCluster(cfg);
+    EXPECT_FALSE(r.failed) << r.failReason;
+    EXPECT_GT(r.leaksInjected, 0u);
+    EXPECT_EQ(r.falsePositives, 0u);
+    EXPECT_GT(r.leaksDetected, 0u);
+    EXPECT_GE(r.leaksDetected, (r.leaksDetectable * 95) / 100);
+    // Every cancelled caller corresponds to a verdict.
+    EXPECT_EQ(r.cancelled, r.verdicts);
+    EXPECT_EQ(r.completed + r.cancelled, r.issued);
+}
+
+TEST(ClusterTest, FaultedRunRepliesByteIdentically)
+{
+    ClusterConfig cfg = smallCluster(55);
+    cfg.leakProb = 0.05;
+    cfg.netfault.enabled = true;
+    cfg.netfault.dropProb = 0.05;
+    cfg.netfault.dupProb = 0.03;
+    cfg.netfault.reorderProb = 0.03;
+    cfg.netfault.delayProb = 0.05;
+    ClusterResult r1 = runCluster(cfg);
+    ClusterResult r2 = runCluster(cfg);
+    EXPECT_FALSE(r1.failed) << r1.failReason;
+    EXPECT_GT(r1.net.dropped + r1.net.duplicated + r1.net.reordered +
+                  r1.net.delayed,
+              0u);
+    EXPECT_EQ(r1.repro, r2.repro);
+    EXPECT_EQ(r1.completed, r2.completed);
+    EXPECT_EQ(r1.falsePositives, 0u);
+    // gcWorkers must not change cluster-visible behavior.
+    ClusterConfig cfg2 = cfg;
+    cfg2.gcWorkers = 2;
+    ClusterResult r3 = runCluster(cfg2);
+    EXPECT_EQ(r1.repro, r3.repro);
+}
+
+TEST(ClusterTest, PartitionDegradesThenDetectsAfterHeal)
+{
+    ClusterConfig cfg = smallCluster(77);
+    cfg.shards = 3;
+    cfg.issueWindow = 900 * kMillisecond;
+    cfg.grace = 1600 * kMillisecond;
+    cfg.leakProb = 0.08;
+    cfg.netfault.enabled = true;
+    cfg.netfault.partitionShard = 1;
+    cfg.netfault.partitionStartNs = 300 * kMillisecond;
+    cfg.netfault.partitionDurationNs = 600 * kMillisecond;
+    ClusterResult r = runCluster(cfg);
+    EXPECT_FALSE(r.failed) << r.failReason;
+    // The partition must degrade rounds and trip the ladder...
+    EXPECT_GT(r.degradedRounds, 0u);
+    EXPECT_GT(r.suspects, 0u);
+    EXPECT_GT(r.safeModes, 0u);
+    // ...but never fabricate a verdict.
+    EXPECT_EQ(r.falsePositives, 0u);
+    EXPECT_GT(r.leaksInjected, 0u);
+    EXPECT_GE(r.leaksDetected, (r.leaksDetectable * 95) / 100);
+    // The partitioned shard healed: back to Healthy by the end.
+    EXPECT_EQ(r.shards[1].finalHealth, ShardHealth::Healthy);
+}
+
+TEST(ClusterTest, RollingRestartReplaysJournalAndStaysSound)
+{
+    ClusterConfig cfg = smallCluster(91);
+    cfg.shards = 3;
+    cfg.issueWindow = 800 * kMillisecond;
+    cfg.grace = 1200 * kMillisecond;
+    cfg.leakProb = 0.05;
+    cfg.restarts = {{0, 250 * kMillisecond},
+                    {1, 450 * kMillisecond},
+                    {2, 650 * kMillisecond}};
+    ClusterResult r = runCluster(cfg);
+    EXPECT_FALSE(r.failed) << r.failReason;
+    EXPECT_EQ(r.restarts, 3u);
+    EXPECT_EQ(r.falsePositives, 0u);
+    // The journal replay keeps answering: most calls still complete.
+    EXPECT_GT(r.completed, r.issued / 2);
+    // Determinism holds across restarts too.
+    ClusterResult r2 = runCluster(cfg);
+    EXPECT_EQ(r.repro, r2.repro);
+}
+
+TEST(ClusterTest, FourShardsScaleAndStayConsistent)
+{
+    ClusterConfig cfg = smallCluster(13);
+    cfg.shards = 4;
+    ClusterResult r = runCluster(cfg);
+    EXPECT_FALSE(r.failed) << r.failReason;
+    EXPECT_EQ(r.completed, r.issued);
+    EXPECT_EQ(r.falsePositives, 0u);
+    uint64_t remote = 0;
+    for (const ShardOutcome& s : r.shards)
+        remote += s.remoteCalls;
+    EXPECT_GT(remote, 0u); // consistent hashing crosses shards
+}
+
+} // namespace
+} // namespace golf

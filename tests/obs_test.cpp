@@ -448,5 +448,46 @@ TEST(ObsRuntimeTest, GctraceLineFormat)
               "1 cancelled 0 reclaimed 0 quarantined");
 }
 
+// ---------------------------------------------------------------
+// Drop-count exports (golden names)
+// ---------------------------------------------------------------
+
+// The flight-recorder overwrite count and the tracer's bounded-ring
+// drop count are exported as metrics under these exact names; tools
+// scrape them, so a rename is a breaking change.
+TEST(ObsDropExportTest, DropCountersExportUnderGoldenNames)
+{
+    rt::Config rc;
+    rc.obs.flightRecords = 8; // tiny ring: overwrites guaranteed
+    Runtime rt(rc);
+    ASSERT_NE(rt.obs(), nullptr);
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 200; ++i) {
+            GOLF_GO(*rtp, +[]() -> Go { co_return; });
+            co_await rt::yield();
+        }
+        co_return;
+    }, &rt);
+
+    const std::string json = rt.obs()->metricsJson();
+    EXPECT_NE(json.find("\"/obs/flight/dropped:records\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"/sched/trace/dropped:events\""),
+              std::string::npos)
+        << json;
+
+    // The flight ring saw far more records than its capacity, so the
+    // gauge must be live, not a registered-but-never-set zero.
+    EXPECT_GT(rt.obs()->flight()->dropped(), 0u);
+    const std::string prom = rt.obs()->prometheusText();
+    EXPECT_NE(prom.find("golf_obs_flight_dropped_records"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("golf_sched_trace_dropped_events"),
+              std::string::npos)
+        << prom;
+}
+
 } // namespace
 } // namespace golf

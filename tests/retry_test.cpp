@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the client-side resilience policies in
+ * service/retry.hpp: exponential backoff with seeded jitter and the
+ * consecutive-failure circuit breaker.
+ *
+ * Both types are plain values over virtual time, so each test can
+ * assert the exact schedule a seed produces — determinism here is
+ * what makes the cluster link layer's retransmit schedule (and hence
+ * the `-repro` transcript) byte-identical across runs.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "service/retry.hpp"
+#include "support/rng.hpp"
+#include "support/vclock.hpp"
+
+namespace golf {
+namespace {
+
+using service::BackoffPolicy;
+using service::CircuitBreaker;
+using support::kMillisecond;
+using support::kSecond;
+using support::Rng;
+using support::VTime;
+
+// ---------------------------------------------------------------
+// BackoffPolicy
+// ---------------------------------------------------------------
+
+// Two generators with the same seed must produce the identical
+// schedule: exactly one draw per backoff() call, no hidden state.
+TEST(BackoffPolicyTest, SeededJitterIsDeterministic)
+{
+    const BackoffPolicy p;
+    Rng a(42), b(42);
+    for (int attempt = 0; attempt < 16; ++attempt)
+        EXPECT_EQ(p.backoff(attempt, a), p.backoff(attempt, b))
+            << "attempt " << attempt;
+
+    // Different seed, different schedule (with overwhelming
+    // probability across 16 draws).
+    Rng c(43);
+    bool anyDiff = false;
+    Rng a2(42);
+    for (int attempt = 0; attempt < 16; ++attempt)
+        anyDiff |= p.backoff(attempt, a2) != p.backoff(attempt, c);
+    EXPECT_TRUE(anyDiff);
+}
+
+// backoff() consumes exactly one rng draw per call: interleaving a
+// policy with a reference generator stays in lockstep.
+TEST(BackoffPolicyTest, ExactlyOneDrawPerCall)
+{
+    const BackoffPolicy p;
+    Rng used(7), reference(7);
+    for (int attempt = 0; attempt < 10; ++attempt) {
+        (void)p.backoff(attempt, used);
+        (void)reference.next(); // mirror the single draw
+    }
+    // Both generators are now at the same position.
+    EXPECT_EQ(used.next(), reference.next());
+}
+
+// The pre-jitter value doubles per attempt and saturates at `cap`;
+// the jitter adds at most half the capped value, so every result
+// lies in [b, 1.5b] where b = min(base << attempt, cap).
+TEST(BackoffPolicyTest, GrowsExponentiallyWithinJitterBounds)
+{
+    BackoffPolicy p;
+    p.base = 50 * kMillisecond;
+    p.cap = 5 * kSecond;
+    Rng rng(1);
+    for (int attempt = 0; attempt < 20; ++attempt) {
+        VTime b = p.base << attempt;
+        if (b <= 0 || b > p.cap)
+            b = p.cap;
+        const VTime got = p.backoff(attempt, rng);
+        EXPECT_GE(got, b) << "attempt " << attempt;
+        EXPECT_LE(got, b + b / 2) << "attempt " << attempt;
+    }
+}
+
+// Huge attempt numbers (shift overflow territory) must still land on
+// the cap, not wrap to a tiny or negative wait.
+TEST(BackoffPolicyTest, CapHoldsUnderShiftOverflow)
+{
+    BackoffPolicy p;
+    p.base = 50 * kMillisecond;
+    p.cap = 5 * kSecond;
+    Rng rng(9);
+    for (int attempt : {40, 62, 63, 64, 100, 1000}) {
+        const VTime got = p.backoff(attempt, rng);
+        EXPECT_GE(got, p.cap) << "attempt " << attempt;
+        EXPECT_LE(got, p.cap + p.cap / 2) << "attempt " << attempt;
+    }
+}
+
+// ---------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------
+
+// The breaker opens on the `window`-th consecutive failure — not
+// before — and onResult() reports the open transition exactly once.
+TEST(CircuitBreakerTest, OpensAfterWindowConsecutiveFailures)
+{
+    CircuitBreaker cb;
+    cb.window = 5;
+    cb.cooldown = 1 * kSecond;
+
+    const VTime now = 10 * kSecond;
+    for (int i = 0; i < cb.window - 1; ++i) {
+        EXPECT_FALSE(cb.onResult(false, now)) << "failure " << i;
+        EXPECT_TRUE(cb.allow(now));
+    }
+    EXPECT_TRUE(cb.onResult(false, now)); // the opening failure
+    EXPECT_FALSE(cb.allow(now));
+    // Further failures while open don't re-report the transition.
+    EXPECT_FALSE(cb.onResult(false, now));
+}
+
+// A success anywhere in the window resets the consecutive count, so
+// intermittent failures below the threshold never trip the breaker.
+TEST(CircuitBreakerTest, SuccessResetsWindow)
+{
+    CircuitBreaker cb;
+    cb.window = 3;
+
+    const VTime now = 0;
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_FALSE(cb.onResult(false, now));
+        EXPECT_FALSE(cb.onResult(false, now));
+        EXPECT_FALSE(cb.onResult(true, now)); // reset
+        EXPECT_TRUE(cb.allow(now));
+    }
+}
+
+// While open, allow() sheds until the cool-down elapses; the first
+// allow() at/after reopenAt closes the breaker with a clean window.
+TEST(CircuitBreakerTest, ReopensAfterCooldown)
+{
+    CircuitBreaker cb;
+    cb.window = 2;
+    cb.cooldown = 1 * kSecond;
+
+    VTime now = 5 * kSecond;
+    cb.onResult(false, now);
+    EXPECT_TRUE(cb.onResult(false, now));
+    EXPECT_FALSE(cb.allow(now));
+    EXPECT_FALSE(cb.allow(now + cb.cooldown - 1)); // still shedding
+    EXPECT_TRUE(cb.allow(now + cb.cooldown));      // cool-down due
+
+    // The reopen cleared the failure window: it takes a full window
+    // of fresh consecutive failures to open again.
+    now += cb.cooldown;
+    EXPECT_FALSE(cb.onResult(false, now));
+    EXPECT_TRUE(cb.allow(now));
+    EXPECT_TRUE(cb.onResult(false, now)); // second failure reopens
+    EXPECT_FALSE(cb.allow(now));
+}
+
+// Half-open collapse: after a cool-down reopen, a failure burst
+// shorter than the window keeps the breaker closed (there is no
+// single-probe half-open state; re-admission is a clean slate).
+TEST(CircuitBreakerTest, ReopenIsCleanSlateNotHalfOpen)
+{
+    CircuitBreaker cb;
+    cb.window = 4;
+    cb.cooldown = 500 * kMillisecond;
+
+    VTime now = 0;
+    for (int i = 0; i < cb.window; ++i)
+        cb.onResult(false, now);
+    ASSERT_FALSE(cb.allow(now));
+
+    now += cb.cooldown;
+    ASSERT_TRUE(cb.allow(now));
+    for (int i = 0; i < cb.window - 1; ++i) {
+        cb.onResult(false, now);
+        EXPECT_TRUE(cb.allow(now)) << "failure " << i;
+    }
+}
+
+} // namespace
+} // namespace golf

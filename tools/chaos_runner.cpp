@@ -53,6 +53,30 @@
  *                         -recovery=<rung> spelling also works
  *     -v                  per-run output
  *
+ * Cluster mode (-shards N with N >= 2 switches the sweep from the
+ * microbench corpus to golf::cluster end-to-end runs):
+ *     -shards <n>         shard count (>= 2 selects cluster mode)
+ *     -netfault           enable inter-shard link fault injection
+ *                         (drop/dup/reorder/delay at the defaults
+ *                         below; override with the -net-* flags)
+ *     -net-drop-prob <p>    link drop probability      (default 0.08)
+ *     -net-dup-prob <p>     link duplicate probability (default 0.05)
+ *     -net-reorder-prob <p> link reorder probability   (default 0.05)
+ *     -net-delay-prob <p>   link delay probability     (default 0.05)
+ *     -partition          force one partition: shard 1 loses every
+ *                         link during [250ms, 700ms) virtual time,
+ *                         then heals inside the run
+ *     -leak-prob <p>      P(handler leaks forever)     (default 0.06)
+ *     -restart <s@ms>     schedule a rolling restart of shard s at
+ *                         virtual millisecond ms (repeatable)
+ *     -verify             require, per seed: zero false-positive
+ *                         cross-shard verdicts, >= 95%% detection of
+ *                         injected leaks whose waiter survived, and
+ *                         every issued call completed or cancelled
+ *     -repro              (cluster mode) run every seed twice and at
+ *                         swapped -gc-workers and require the repro
+ *                         transcript byte-identical both ways
+ *
  * Exit status: 0 iff zero invariant violations, zero reproducibility
  * mismatches, zero unexpected runtime failures and zero unexpected
  * quarantines (quarantines with reclaim-fault injection disabled).
@@ -66,6 +90,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "microbench/harness.hpp"
 #include "microbench/registry.hpp"
 #include "obs/obs.hpp"
@@ -92,6 +117,18 @@ struct Options
     bool watchdog = false;
     rt::Recovery recovery = rt::Recovery::Reclaim;
     bool verbose = false;
+
+    // Cluster mode (-shards >= 2).
+    int shards = 0;
+    bool netfault = false;
+    bool partition = false;
+    bool verify = false;
+    double leakProb = 0.06;
+    double netDropProb = 0.08;
+    double netDupProb = 0.05;
+    double netReorderProb = 0.05;
+    double netDelayProb = 0.05;
+    std::vector<cluster::ScheduledRestart> restarts;
 };
 
 bool
@@ -225,6 +262,47 @@ parseArgs(int argc, char** argv, Options& opt)
             }
         } else if (arg == "-v") {
             opt.verbose = true;
+        } else if (arg == "-shards") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.shards = std::atoi(v);
+        } else if (arg == "-netfault") {
+            opt.netfault = true;
+        } else if (arg == "-partition") {
+            opt.partition = true;
+        } else if (arg == "-verify") {
+            opt.verify = true;
+        } else if (arg == "-leak-prob") {
+            if (!nextD(opt.leakProb))
+                return false;
+        } else if (arg == "-net-drop-prob") {
+            if (!nextD(opt.netDropProb))
+                return false;
+        } else if (arg == "-net-dup-prob") {
+            if (!nextD(opt.netDupProb))
+                return false;
+        } else if (arg == "-net-reorder-prob") {
+            if (!nextD(opt.netReorderProb))
+                return false;
+        } else if (arg == "-net-delay-prob") {
+            if (!nextD(opt.netDelayProb))
+                return false;
+        } else if (arg == "-restart") {
+            const char* v = next();
+            if (!v)
+                return false;
+            int s = 0;
+            long ms = 0;
+            if (std::sscanf(v, "%d@%ld", &s, &ms) != 2) {
+                std::fprintf(stderr,
+                             "-restart wants <shard>@<ms>, got %s\n",
+                             v);
+                return false;
+            }
+            opt.restarts.push_back(
+                {s, static_cast<support::VTime>(ms) *
+                        support::kMillisecond});
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
             return false;
@@ -294,6 +372,177 @@ obsCaptureDiff(const RunOutcome& a, const RunOutcome& b)
     return nullptr;
 }
 
+cluster::ClusterConfig
+clusterConfigFor(const Options& opt, uint64_t seed)
+{
+    using support::kMillisecond;
+    cluster::ClusterConfig cfg;
+    cfg.shards = opt.shards;
+    cfg.seed = seed;
+    cfg.gcWorkers = opt.gcWorkers > 0 ? opt.gcWorkers : 1;
+    cfg.recovery = opt.recovery;
+    cfg.clientsPerShard = 2;
+    cfg.issueWindow = 700 * kMillisecond;
+    cfg.grace = 800 * kMillisecond;
+    cfg.thinkNs = 20 * kMillisecond;
+    cfg.leakProb = opt.leakProb;
+    cfg.watchdog = true;
+    cfg.restarts = opt.restarts;
+    if (opt.netfault) {
+        cfg.netfault.enabled = true;
+        cfg.netfault.dropProb = opt.netDropProb;
+        cfg.netfault.dupProb = opt.netDupProb;
+        cfg.netfault.reorderProb = opt.netReorderProb;
+        cfg.netfault.delayProb = opt.netDelayProb;
+    }
+    if (opt.partition) {
+        // One forced partition that heals inside the issue window:
+        // shard 1 drops off every link, the detector degrades, and
+        // detection of its leaks completes after the heal.
+        cfg.netfault.enabled = true;
+        cfg.netfault.partitionShard = 1 % cfg.shards;
+        cfg.netfault.partitionStartNs = 250 * kMillisecond;
+        cfg.netfault.partitionDurationNs = 450 * kMillisecond;
+    }
+    return cfg;
+}
+
+int
+runClusterSweep(const Options& opt)
+{
+    Totals t;
+    uint64_t issued = 0, completed = 0, cancelled = 0;
+    uint64_t detectable = 0, detected = 0, falsePositives = 0;
+    uint64_t verdicts = 0, degraded = 0, netFaults = 0;
+    uint64_t verifyFailures = 0;
+
+    for (int s = 0; s < opt.seeds; ++s) {
+        const uint64_t seed =
+            opt.seedBase + static_cast<uint64_t>(s) * 2654435761ull;
+        const cluster::ClusterConfig cfg = clusterConfigFor(opt, seed);
+        cluster::ClusterResult r = cluster::runCluster(cfg);
+
+        ++t.runs;
+        issued += r.issued;
+        completed += r.completed;
+        cancelled += r.cancelled;
+        detectable += r.leaksDetectable;
+        detected += r.leaksDetected;
+        falsePositives += r.falsePositives;
+        verdicts += r.verdicts;
+        degraded += r.degradedRounds;
+        netFaults += r.net.dropped + r.net.duplicated +
+                     r.net.reordered + r.net.delayed +
+                     r.net.partitioned;
+
+        if (r.failed) {
+            ++t.unexpectedFailures;
+            noteFailure(t, "cluster seed=" + std::to_string(seed) +
+                               ": " + r.failReason);
+        }
+        if (opt.verify) {
+            if (r.falsePositives > 0) {
+                ++verifyFailures;
+                noteFailure(t, "cluster seed=" + std::to_string(seed) +
+                                   ": " +
+                                   std::to_string(r.falsePositives) +
+                                   " false-positive verdicts");
+            }
+            if (r.leaksDetected * 100 < r.leaksDetectable * 95) {
+                ++verifyFailures;
+                noteFailure(t, "cluster seed=" + std::to_string(seed) +
+                                   ": detected " +
+                                   std::to_string(r.leaksDetected) +
+                                   "/" +
+                                   std::to_string(r.leaksDetectable) +
+                                   " detectable leaks");
+            }
+            if (r.completed + r.cancelled != r.issued) {
+                ++verifyFailures;
+                noteFailure(t, "cluster seed=" + std::to_string(seed) +
+                                   ": " +
+                                   std::to_string(
+                                       r.issued - r.completed -
+                                       r.cancelled) +
+                                   " calls never resolved");
+            }
+        }
+        if (opt.repro) {
+            // Same config replays byte-identically, and the mark
+            // worker count must not leak into the transcript.
+            cluster::ClusterResult again = cluster::runCluster(cfg);
+            cluster::ClusterConfig swapped = cfg;
+            swapped.gcWorkers = cfg.gcWorkers == 1 ? 2 : 1;
+            cluster::ClusterResult other = cluster::runCluster(swapped);
+            if (again.repro != r.repro) {
+                ++t.reproMismatches;
+                noteFailure(t, "cluster seed=" + std::to_string(seed) +
+                                   ": transcript differs on replay");
+            }
+            if (other.repro != r.repro) {
+                ++t.reproMismatches;
+                noteFailure(t, "cluster seed=" + std::to_string(seed) +
+                                   ": transcript differs at "
+                                   "gc-workers " +
+                                   std::to_string(swapped.gcWorkers));
+            }
+        }
+        if (opt.verbose) {
+            std::printf("cluster seed=%-12llu issued=%-5llu "
+                        "done=%-5llu cancelled=%-4llu leaks=%llu/%llu "
+                        "fp=%llu degraded=%llu\n",
+                        static_cast<unsigned long long>(seed),
+                        static_cast<unsigned long long>(r.issued),
+                        static_cast<unsigned long long>(r.completed),
+                        static_cast<unsigned long long>(r.cancelled),
+                        static_cast<unsigned long long>(r.leaksDetected),
+                        static_cast<unsigned long long>(
+                            r.leaksDetectable),
+                        static_cast<unsigned long long>(
+                            r.falsePositives),
+                        static_cast<unsigned long long>(
+                            r.degradedRounds));
+        } else {
+            std::fprintf(stderr, ".");
+        }
+    }
+    if (!opt.verbose)
+        std::fprintf(stderr, "\n");
+
+    std::printf("cluster chaos: %llu runs, %d shards, %d seeds\n",
+                static_cast<unsigned long long>(t.runs), opt.shards,
+                opt.seeds);
+    std::printf("  issued / completed / cancelled: %llu / %llu / %llu\n",
+                static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(cancelled));
+    std::printf("  link faults injected: %llu\n",
+                static_cast<unsigned long long>(netFaults));
+    std::printf("  degraded rounds:      %llu\n",
+                static_cast<unsigned long long>(degraded));
+    std::printf("  verdicts:             %llu\n",
+                static_cast<unsigned long long>(verdicts));
+    std::printf("  leaks detected:       %llu / %llu detectable\n",
+                static_cast<unsigned long long>(detected),
+                static_cast<unsigned long long>(detectable));
+    std::printf("  false positives:      %llu\n",
+                static_cast<unsigned long long>(falsePositives));
+    if (opt.repro) {
+        std::printf("  repro mismatches:     %llu\n",
+                    static_cast<unsigned long long>(t.reproMismatches));
+    }
+    std::printf("  unexpected failures:  %llu\n",
+                static_cast<unsigned long long>(
+                    t.unexpectedFailures + verifyFailures));
+    for (const auto& line : t.failureLines)
+        std::fprintf(stderr, "FAIL %s\n", line.c_str());
+
+    const bool ok = t.unexpectedFailures == 0 &&
+                    t.reproMismatches == 0 && verifyFailures == 0;
+    std::printf("%s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -308,9 +557,14 @@ main(int argc, char** argv)
             "[-gc-workers n] [-<kind>-prob p ...] [-repro] "
             "[-obs-repro] [-metrics path] [-gctrace] [-flight n] "
             "[-blockprofile ns] [-mutexprofile ns] [-no-obs] [-race] "
-            "[-watchdog] [-recovery rung] [-v]\n");
+            "[-watchdog] [-recovery rung] [-v] [-shards n "
+            "[-netfault] [-partition] [-verify] [-leak-prob p] "
+            "[-net-<kind>-prob p] [-restart s@ms]]\n");
         return 2;
     }
+
+    if (opt.shards >= 2)
+        return runClusterSweep(opt);
 
     std::vector<const Pattern*> corpus;
     std::regex re(opt.match.empty() ? ".*" : opt.match);
