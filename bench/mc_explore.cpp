@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Model-checking exploration benchmark: DPOR + sleep-set + visited
+ * pruning vs naive full DFS on five representative patterns.
+ *
+ * For each pattern both modes explore the full choice tree (no
+ * execution/state budget, failures do not stop exploration) and the
+ * benchmark reports states, executions, wall-clock states/s and the
+ * reduction ratio, asserting the two modes find the identical
+ * deadlock (label) set. Results go to BENCH_mc.json.
+ *
+ * --smoke (the tier-1 `bench_mc_smoke` gate) exits non-zero unless
+ *  - every pattern's deadlock set matches between modes, and
+ *  - the aggregate naive/reduced state ratio is >= 5x.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mc/mc.hpp"
+#include "microbench/registry.hpp"
+
+namespace {
+
+using namespace golf;
+
+struct Row
+{
+    std::string pattern;
+    bool correct = false;
+    mc::McStats naive;
+    mc::McStats reduced;
+    double naiveSec = 0.0;
+    double reducedSec = 0.0;
+    bool labelsMatch = false;
+    size_t failedLabels = 0;
+};
+
+double
+seconds(const std::chrono::steady_clock::time_point& a,
+        const std::chrono::steady_clock::time_point& b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+Row
+benchPattern(const microbench::Pattern& p)
+{
+    Row row;
+    row.pattern = p.name;
+    row.correct = p.correct;
+
+    mc::McConfig reduced; // DPOR + sleep sets + visited, no budgets.
+    mc::McConfig naive;
+    naive.dpor = false;
+    naive.sleepSets = false;
+    naive.visited = false;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    mc::ExploreResult rn = mc::explore(p, naive);
+    const auto t1 = std::chrono::steady_clock::now();
+    mc::ExploreResult rr = mc::explore(p, reduced);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    row.naive = rn.stats;
+    row.reduced = rr.stats;
+    row.naiveSec = seconds(t0, t1);
+    row.reducedSec = seconds(t1, t2);
+    row.labelsMatch = rn.failedLabels == rr.failedLabels &&
+                      rn.foundFailure == rr.foundFailure;
+    row.failedLabels = rr.failedLabels.size();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0 ||
+            std::strcmp(argv[i], "-smoke") == 0)
+            smoke = true;
+    (void)smoke; // Same sweep either way; --smoke only gates.
+
+    // Representative spread: the largest correct trees in the corpus
+    // plus two deterministic leaky patterns (non-empty deadlock sets
+    // for the identical-verdict assertion).
+    const struct
+    {
+        const char* name;
+        bool correct;
+    } picks[] = {
+        {"etcd/7443", true},     {"cgo/ex3", true},
+        {"cockroach/1055", true}, {"cgo/ex5", false},
+        {"moby/21233", false},
+    };
+
+    std::vector<Row> rows;
+    for (const auto& pick : picks) {
+        const microbench::Pattern* p = nullptr;
+        for (const auto& cand : microbench::Registry::instance().all())
+            if (cand.name == pick.name && cand.correct == pick.correct)
+                p = &cand;
+        if (p == nullptr) {
+            std::fprintf(stderr, "unknown pattern %s\n", pick.name);
+            return 2;
+        }
+        rows.push_back(benchPattern(*p));
+    }
+
+    uint64_t naiveStates = 0, reducedStates = 0;
+    uint64_t naiveExecs = 0, reducedExecs = 0;
+    bool allMatch = true;
+    std::printf("%-18s %9s %9s %9s %9s %8s %s\n", "pattern",
+                "naive-st", "red-st", "naive-ex", "red-ex", "ratio",
+                "labels");
+    for (const Row& r : rows) {
+        naiveStates += r.naive.states;
+        reducedStates += r.reduced.states;
+        naiveExecs += r.naive.executions;
+        reducedExecs += r.reduced.executions;
+        allMatch = allMatch && r.labelsMatch;
+        const double ratio =
+            r.reduced.states
+                ? static_cast<double>(r.naive.states) /
+                      static_cast<double>(r.reduced.states)
+                : 0.0;
+        std::printf("%-18s %9llu %9llu %9llu %9llu %8.1f %s\n",
+                    r.pattern.c_str(),
+                    static_cast<unsigned long long>(r.naive.states),
+                    static_cast<unsigned long long>(r.reduced.states),
+                    static_cast<unsigned long long>(
+                        r.naive.executions),
+                    static_cast<unsigned long long>(
+                        r.reduced.executions),
+                    ratio, r.labelsMatch ? "match" : "MISMATCH");
+    }
+    const double aggRatio =
+        reducedStates ? static_cast<double>(naiveStates) /
+                            static_cast<double>(reducedStates)
+                      : 0.0;
+    double totalSec = 0.0;
+    uint64_t totalStates = 0;
+    for (const Row& r : rows) {
+        totalSec += r.naiveSec + r.reducedSec;
+        totalStates += r.naive.states + r.reduced.states;
+    }
+    const double statesPerSec =
+        totalSec > 0.0 ? static_cast<double>(totalStates) / totalSec
+                       : 0.0;
+    std::printf("aggregate: states %llu -> %llu (%.1fx), execs %llu "
+                "-> %llu, %.0f states/s\n",
+                static_cast<unsigned long long>(naiveStates),
+                static_cast<unsigned long long>(reducedStates),
+                aggRatio,
+                static_cast<unsigned long long>(naiveExecs),
+                static_cast<unsigned long long>(reducedExecs),
+                statesPerSec);
+
+    const std::string path = bench::csvPath("BENCH_mc.json");
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"mc_explore\",\n  \"patterns\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        const double ratio =
+            r.reduced.states
+                ? static_cast<double>(r.naive.states) /
+                      static_cast<double>(r.reduced.states)
+                : 0.0;
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"pattern\": \"%s\", \"correct\": %s, "
+            "\"naive_states\": %llu, \"reduced_states\": %llu, "
+            "\"naive_executions\": %llu, \"reduced_executions\": "
+            "%llu, \"naive_seconds\": %.6f, \"reduced_seconds\": "
+            "%.6f, \"reduction_ratio\": %.2f, \"labels_match\": %s, "
+            "\"failed_labels\": %zu}%s\n",
+            r.pattern.c_str(), r.correct ? "true" : "false",
+            static_cast<unsigned long long>(r.naive.states),
+            static_cast<unsigned long long>(r.reduced.states),
+            static_cast<unsigned long long>(r.naive.executions),
+            static_cast<unsigned long long>(r.reduced.executions),
+            r.naiveSec, r.reducedSec, ratio,
+            r.labelsMatch ? "true" : "false", r.failedLabels,
+            i + 1 < rows.size() ? "," : "");
+        out << buf;
+    }
+    char tail[256];
+    std::snprintf(tail, sizeof tail,
+                  "  ],\n  \"aggregate_reduction_ratio\": %.2f,\n"
+                  "  \"states_per_second\": %.0f\n}\n",
+                  aggRatio, statesPerSec);
+    out << tail;
+    std::printf("wrote %s\n", path.c_str());
+
+    if (!allMatch) {
+        std::fprintf(stderr,
+                     "FAIL: reduced exploration missed deadlocks\n");
+        return 1;
+    }
+    if (aggRatio < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: aggregate reduction %.2fx below 5x\n",
+                     aggRatio);
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

@@ -221,6 +221,13 @@ class Channel : public gc::Object
 
     const char* objectName() const override { return "chan"; }
 
+    uint64_t
+    mcFingerprint() const override
+    {
+        return (static_cast<uint64_t>(buf_.size()) << 2) |
+               (static_cast<uint64_t>(closed_) << 1) | 1u;
+    }
+
     std::string
     validate() const override
     {

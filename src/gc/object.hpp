@@ -50,6 +50,16 @@ class Object
      */
     virtual std::string validate() const { return {}; }
 
+    /**
+     * Schedule-relevant state digest for the model checker's state
+     * fingerprint (DESIGN.md §12): hash whatever can influence which
+     * operations are enabled or how they complete — channel occupancy
+     * and closed flag, mutex ownership, waitgroup count. Objects with
+     * no schedule-relevant state keep the default 0 so they don't
+     * perturb the fingerprint. Must not mutate, allocate or free.
+     */
+    virtual uint64_t mcFingerprint() const { return 0; }
+
     /** The heap that owns this object, or nullptr if unmanaged. */
     Heap* heap() const { return heap_; }
 

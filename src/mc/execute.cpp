@@ -1,0 +1,317 @@
+/**
+ * @file
+ * One deterministic (re-)execution of a microbench pattern under a
+ * prescribed pick schedule: the model checker's next-state engine.
+ */
+#include "mc/mc.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "golf/collector.hpp"
+#include "golf/report.hpp"
+#include "race/detector.hpp"
+#include "runtime/runtime.hpp"
+#include "support/panic.hpp"
+
+namespace golf::mc {
+
+namespace {
+
+/** The harness Figure 5 template reduced to one instance and zero
+ *  stagger: spawn the pattern body, run, force a GC. */
+rt::Go
+mcMain(microbench::PatternCtx* ctx, const microbench::Pattern* p,
+       support::VTime duration)
+{
+    ctx->rt->goAt(rt::Site{"<mc>", 0, "spawn"}, p->body, ctx);
+    co_await rt::sleepFor(duration);
+    co_await rt::gcNow();
+    co_return;
+}
+
+/**
+ * Replays a pick prefix, then follows the default (first-enabled)
+ * pick, recording every choice point: enabled set, state fingerprint,
+ * and the footprint of ops until the next choice point.
+ */
+class ReplayPolicy : public rt::SchedulePolicy
+{
+  public:
+    ReplayPolicy(rt::Runtime& rt, const Schedule& prefix,
+                 int depthBound)
+        : rt_(rt), prefix_(prefix), depthBound_(depthBound)
+    {
+    }
+
+    size_t
+    pick(const std::vector<rt::Goroutine*>& runnable) override
+    {
+        if (runnable.size() == 1)
+            return 0; // Forced: not a choice point.
+        flushSegment();
+        if (static_cast<int>(choices_.size()) >=
+            depthBound_ + static_cast<int>(prefix_.size())) {
+            // Over budget: stop recording, follow defaults so the
+            // execution still terminates with a verdict.
+            depthExceeded_ = true;
+            return 0;
+        }
+        ChoiceRec rec;
+        rec.enabled.reserve(runnable.size());
+        for (const rt::Goroutine* g : runnable)
+            rec.enabled.push_back(g->id());
+        rec.fingerprint = stateFingerprint(rt_);
+        size_t idx = 0;
+        if (choices_.size() < prefix_.size()) {
+            const uint64_t want = prefix_[choices_.size()];
+            auto it = std::find(rec.enabled.begin(), rec.enabled.end(),
+                                want);
+            if (it == rec.enabled.end())
+                support::panic(
+                    "mc replay drift: prescribed goroutine " +
+                    std::to_string(want) + " not enabled at choice " +
+                    std::to_string(choices_.size()));
+            idx = static_cast<size_t>(it - rec.enabled.begin());
+        }
+        rec.chosen = rec.enabled[idx];
+        choices_.push_back(std::move(rec));
+        segmentOpen_ = true;
+        return idx;
+    }
+
+    /** Race-instrumentation tap: accumulate the running segment,
+     *  split by executing goroutine (forced goroutines run inside the
+     *  chosen goroutine's segment — DPOR needs to see them apart). */
+    void
+    onOp(uint64_t gid, uintptr_t addr, bool write)
+    {
+        if (!segmentOpen_)
+            return;
+        ChoiceRec& rec = choices_.back();
+        rec.step.add(addr, write);
+        if (rec.events.empty() || rec.events.back().first != gid)
+            rec.events.emplace_back(gid, Footprint{});
+        rec.events.back().second.add(addr, write);
+    }
+
+    /** Close the trailing segment at end of run. */
+    void
+    finish()
+    {
+        flushSegment();
+    }
+
+    std::vector<ChoiceRec> takeChoices() { return std::move(choices_); }
+    bool depthExceeded() const { return depthExceeded_; }
+
+  private:
+    void
+    flushSegment()
+    {
+        if (!segmentOpen_)
+            return;
+        choices_.back().step.normalize();
+        for (auto& [gid, fp] : choices_.back().events) {
+            (void)gid;
+            fp.normalize();
+        }
+        segmentOpen_ = false;
+    }
+
+    rt::Runtime& rt_;
+    const Schedule& prefix_;
+    int depthBound_;
+    std::vector<ChoiceRec> choices_;
+    bool segmentOpen_ = false;
+    bool depthExceeded_ = false;
+};
+
+uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    h ^= v;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+} // namespace
+
+uint64_t
+stateFingerprint(rt::Runtime& rt)
+{
+    // Canonical state hash (DESIGN.md §12): per-goroutine scheduling
+    // state + race vector-clock frontier, schedule-relevant heap
+    // object state, and the virtual clock with its pending-deadline
+    // multiset. Two schedules reaching the same fingerprint enable
+    // the same continuations.
+    struct GRec
+    {
+        uint64_t id;
+        uint64_t packed;
+        uint64_t frontier;
+    };
+    std::vector<GRec> gs;
+    const race::Detector* rd = rt.raceDetector();
+    rt.forEachGoroutine([&](rt::Goroutine* g) {
+        if (g->status() == rt::GStatus::Idle)
+            return; // Pooled: no schedule-relevant state.
+        GRec r;
+        r.id = g->id();
+        r.packed = (static_cast<uint64_t>(g->status()) << 48) |
+                   (static_cast<uint64_t>(g->waitReason()) << 40) |
+                   (static_cast<uint64_t>(g->blockedForever()) << 39) |
+                   (g->slicesRun() & ((1ull << 39) - 1));
+        r.frontier = rd ? rd->frontierHash(g) : 0;
+        gs.push_back(r);
+    });
+    std::sort(gs.begin(), gs.end(),
+              [](const GRec& a, const GRec& b) { return a.id < b.id; });
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const GRec& r : gs) {
+        h = fnvMix(h, r.id);
+        h = fnvMix(h, r.packed);
+        h = fnvMix(h, r.frontier);
+    }
+    // Heap objects in allocation order (deterministic per schedule
+    // prefix); only schedule-relevant objects contribute.
+    rt.heap().forEachObject([&](const gc::Object* o) {
+        const uint64_t f = o->mcFingerprint();
+        if (f != 0)
+            h = fnvMix(h, f);
+    });
+    h = fnvMix(h, rt.clock().fingerprint());
+    return h;
+}
+
+void
+Footprint::add(uintptr_t addr, bool write)
+{
+    ops.emplace_back(addr, write);
+}
+
+void
+Footprint::normalize()
+{
+    std::sort(ops.begin(), ops.end());
+    ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+}
+
+bool
+Footprint::conflictsWith(const Footprint& o) const
+{
+    // Merge-walk the sorted op lists: a conflict is a shared address
+    // with at least one side writing it.
+    size_t i = 0, j = 0;
+    while (i < ops.size() && j < o.ops.size()) {
+        const uintptr_t a = ops[i].first;
+        const uintptr_t b = o.ops[j].first;
+        if (a < b) {
+            ++i;
+        } else if (b < a) {
+            ++j;
+        } else {
+            // Same address; scan the (at most two) entries per side.
+            bool write = false;
+            while (i < ops.size() && ops[i].first == a)
+                write = write || ops[i++].second;
+            bool owrite = false;
+            while (j < o.ops.size() && o.ops[j].first == a)
+                owrite = owrite || o.ops[j++].second;
+            if (write || owrite)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Verdict::canonical() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [label, n] : detected) {
+        os << (first ? "" : ";") << label << "=" << n;
+        first = false;
+    }
+    os << "|unexpected=" << unexpected
+       << "|globalDeadlock=" << (globalDeadlock ? 1 : 0)
+       << "|panicked=" << (panicked ? 1 : 0)
+       << "|mainReclaimed=" << (mainReclaimed ? 1 : 0);
+    return os.str();
+}
+
+uint64_t
+Verdict::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : canonical())
+        h = fnvMix(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+ExecResult
+runSchedule(const microbench::Pattern& p, const McConfig& cfg,
+            const Schedule& schedule)
+{
+    rt::Config rc;
+    rc.procs = 1;
+    rc.seed = 1;
+    rc.gcMode = rt::GcMode::Golf;
+    // Detect-only: verdicts come from the ReportLog; reclaiming would
+    // mutate post-verdict state for no exploration benefit.
+    rc.recovery = rt::Recovery::Detect;
+    rc.gcWorkers = cfg.gcWorkers;
+    rc.race = true; // DPOR footprints + frontier hashes + goodlock.
+    rc.obs.enabled = false;
+
+    rt::Runtime runtime(rc);
+    microbench::PatternCtx ctx;
+    ctx.rt = &runtime;
+    // Pattern-internal data draws: fixed per exploration; FLAKY
+    // patterns are covered by sweeping cfg.patternSeed.
+    ctx.rng = support::Rng(cfg.patternSeed);
+    ctx.procs = 1;
+
+    ReplayPolicy policy(runtime, schedule, cfg.depthBound);
+    runtime.sched().setPolicy(&policy);
+    runtime.raceDetector()->setOpSink(
+        [&policy](uint64_t gid, uintptr_t obj, bool write) {
+            policy.onOp(gid, obj, write);
+        });
+
+    rt::RunResult rr =
+        runtime.runMain(mcMain, &ctx, &p, cfg.duration);
+    policy.finish();
+
+    ExecResult out;
+    out.choices = policy.takeChoices();
+    out.depthExceeded = policy.depthExceeded();
+    out.verdict.globalDeadlock = rr.globalDeadlock;
+    out.verdict.panicked = rr.panicked;
+    out.verdict.mainReclaimed = rr.mainReclaimed;
+
+    std::map<std::string, std::string> labelOfSite;
+    for (const auto& [label, site] : ctx.siteOfLabel)
+        labelOfSite[site] = label;
+    for (const auto& r : runtime.collector().reports().all()) {
+        auto it = labelOfSite.find(r.spawnSite.str());
+        if (it != labelOfSite.end())
+            ++out.verdict.detected[it->second];
+        else
+            ++out.verdict.unexpected;
+    }
+
+    for (const auto& c : runtime.raceDetector()->log().lockOrders()) {
+        bool& confirmed = out.lockOrderCycles[c.dedupKey()];
+        confirmed = confirmed || c.confirmedByGolf;
+    }
+
+    uint64_t slices = 0;
+    runtime.forEachGoroutine(
+        [&slices](rt::Goroutine* g) { slices += g->slicesRun(); });
+    out.slices = slices;
+    return out;
+}
+
+} // namespace golf::mc

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Stateless DFS over the scheduling choice tree (DESIGN.md §12).
+ *
+ * Exploration state is a stack of frames, one per choice point along
+ * the current path. Each iteration re-executes the pattern from
+ * scratch with the stack's pick prefix, extends the stack with the
+ * fresh choice points the run exposed, applies the DPOR backtrack
+ * rule over the full path, then pops to the deepest frame with an
+ * untried candidate. Sleep sets and the visited-fingerprint set
+ * prune candidates/subtrees whose behaviors are covered elsewhere.
+ */
+#include "mc/mc.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "support/panic.hpp"
+
+namespace golf::mc {
+
+namespace {
+
+/** One choice point on the current DFS path. */
+struct Frame
+{
+    std::vector<uint64_t> enabled;
+    uint64_t fingerprint = 0;
+    uint64_t chosen = 0;
+    /** Footprint of the executed segment for the current chosen. */
+    Footprint segment;
+    /** gids whose subtree below this frame is done. */
+    std::set<uint64_t> explored;
+    /** gids scheduled for exploration. Naive mode: all enabled;
+     *  DPOR: the default pick plus race-reversal additions. */
+    std::set<uint64_t> backtrack;
+    /** Sleeping gids (covered at an ancestor) with the footprint of
+     *  their first step, for conflict-based wakeup. */
+    std::map<uint64_t, Footprint> sleep;
+    /** Segment footprints of explored picks (sleep-set inserts). */
+    std::map<uint64_t, Footprint> segOf;
+    /** Subtree cut at a visited fingerprint: never fork here. */
+    bool visitedCut = false;
+};
+
+struct Counters
+{
+    obs::Counter* executions = nullptr;
+    obs::Counter* states = nullptr;
+    obs::Counter* branches = nullptr;
+    obs::Counter* sleepPruned = nullptr;
+    obs::Counter* dporPruned = nullptr;
+    obs::Counter* visitedPruned = nullptr;
+};
+
+Counters
+countersOn(obs::Registry& reg)
+{
+    Counters c;
+    c.executions = reg.counter("/mc/executions:count",
+                               "Schedule re-executions performed.");
+    c.states = reg.counter("/mc/states:count",
+                           "Choice-point states visited.");
+    c.branches = reg.counter("/mc/branches:count",
+                             "Non-default schedule branches explored.");
+    c.sleepPruned =
+        reg.counter("/mc/sleepset/pruned:count",
+                    "Candidate picks skipped by sleep sets.");
+    c.dporPruned =
+        reg.counter("/mc/dpor/pruned:count",
+                    "Candidate picks never forked thanks to DPOR.");
+    c.visitedPruned =
+        reg.counter("/mc/visited/pruned:count",
+                    "Subtrees cut at already-explored fingerprints.");
+    return c;
+}
+
+} // namespace
+
+void
+registerMetrics(obs::Registry& reg)
+{
+    (void)countersOn(reg);
+}
+
+void
+accumulateMetrics(obs::Registry& reg, const McStats& s)
+{
+    Counters c = countersOn(reg);
+    c.executions->add(s.executions);
+    c.states->add(s.states);
+    c.branches->add(s.branches);
+    c.sleepPruned->add(s.sleepPruned);
+    c.dporPruned->add(s.dporPruned);
+    c.visitedPruned->add(s.visitedPruned);
+}
+
+namespace {
+
+/** Shortest failing prefix of a failing schedule: runs prefixes
+ *  shortest-first, so by construction no strict prefix of the result
+ *  fails. The empty prefix is tried first (a pattern whose default
+ *  schedule already fails gets an empty trace). */
+void
+mineMinimal(const microbench::Pattern& p, const McConfig& cfg,
+            const Schedule& failing, ExploreResult& out,
+            McStats& stats)
+{
+    for (size_t len = 0; len <= failing.size(); ++len) {
+        Schedule prefix(failing.begin(),
+                        failing.begin() + static_cast<long>(len));
+        ExecResult r = runSchedule(p, cfg, prefix);
+        ++stats.executions;
+        if (r.verdict.leaky()) {
+            out.minimalSchedule = std::move(prefix);
+            out.minimalVerdict = r.verdict;
+            return;
+        }
+    }
+    // Unreachable: the full schedule failed when explored.
+    support::panic("mc: failing schedule did not reproduce");
+}
+
+} // namespace
+
+ExploreResult
+explore(const microbench::Pattern& p, const McConfig& cfg,
+        obs::Registry* metrics)
+{
+    ExploreResult out;
+    McStats& stats = out.stats;
+    std::vector<Frame> frames;
+    std::unordered_set<uint64_t> visitedComplete;
+    std::map<std::string, GoodlockEntry> goodlock;
+    bool haveFailing = false;
+    Schedule firstFailing;
+
+    auto addGoodlock = [&goodlock](const ExecResult& r) {
+        for (const auto& [key, confirmed] : r.lockOrderCycles) {
+            GoodlockEntry& e = goodlock[key];
+            e.cycle = key;
+            ++e.predictedIn;
+            if (confirmed)
+                ++e.confirmedIn;
+        }
+    };
+
+    for (;;) {
+        if (cfg.maxExecutions != 0 &&
+            stats.executions >= cfg.maxExecutions) {
+            out.complete = false;
+            break;
+        }
+        if (cfg.maxStates != 0 && stats.states >= cfg.maxStates) {
+            out.complete = false;
+            break;
+        }
+
+        Schedule prefix;
+        prefix.reserve(frames.size());
+        for (const Frame& f : frames)
+            prefix.push_back(f.chosen);
+
+        ExecResult r = runSchedule(p, cfg, prefix);
+        ++stats.executions;
+        if (r.depthExceeded)
+            out.complete = false;
+        addGoodlock(r);
+
+        if (r.choices.size() < frames.size())
+            support::panic("mc: replay lost choice points");
+
+        // Refresh the replayed frames' segment footprints (identical
+        // re-execution; cheap) and extend with the fresh tail.
+        for (size_t k = 0; k < frames.size(); ++k)
+            frames[k].segment = r.choices[k].step;
+        for (size_t k = frames.size(); k < r.choices.size(); ++k) {
+            const ChoiceRec& rec = r.choices[k];
+            Frame f;
+            f.enabled = rec.enabled;
+            f.fingerprint = rec.fingerprint;
+            f.chosen = rec.chosen;
+            f.segment = rec.step;
+            if (cfg.visited &&
+                visitedComplete.count(rec.fingerprint) != 0) {
+                // Subtree already fully explored from an equivalent
+                // state: follow the default path for the verdict but
+                // never fork below here.
+                f.visitedCut = true;
+                ++stats.visitedPruned;
+                f.backtrack.insert(rec.chosen);
+                frames.push_back(std::move(f));
+                break;
+            }
+            if (cfg.dpor)
+                f.backtrack.insert(rec.chosen);
+            else
+                f.backtrack.insert(rec.enabled.begin(),
+                                   rec.enabled.end());
+            if (cfg.sleepSets && k > 0) {
+                // Inherit the parent's sleepers that are independent
+                // of the step the parent just executed.
+                const Frame& parent = frames[k - 1];
+                for (const auto& [gid, fp] : parent.sleep) {
+                    if (!fp.conflictsWith(parent.segment))
+                        f.sleep.emplace(gid, fp);
+                }
+            }
+            ++stats.states;
+            stats.maxDepth = std::max<uint64_t>(stats.maxDepth, k + 1);
+            frames.push_back(std::move(f));
+        }
+
+        if (cfg.dpor) {
+            // Flanagan–Godefroid race reversal over the executed
+            // path, at event granularity: an event is one goroutine's
+            // batch of ops within a segment (forced goroutines run
+            // inside the chosen goroutine's segment but are separate
+            // events). For each event q, the latest earlier event p
+            // of a different goroutine with a conflicting footprint
+            // marks a reversal: at p's choice point, q's goroutine
+            // must also be tried (or, if it was not enabled there,
+            // conservatively everything enabled).
+            struct Event
+            {
+                size_t seg;
+                uint64_t gid;
+                const Footprint* fp;
+            };
+            std::vector<Event> events;
+            const size_t n =
+                std::min(frames.size(), r.choices.size());
+            for (size_t k = 0; k < n; ++k)
+                for (const auto& [gid, fp] : r.choices[k].events)
+                    events.push_back(Event{k, gid, &fp});
+            for (size_t q = 1; q < events.size(); ++q) {
+                for (size_t pp = q; pp-- > 0;) {
+                    const Event& ep = events[pp];
+                    const Event& eq = events[q];
+                    if (ep.gid == eq.gid)
+                        continue;
+                    if (!ep.fp->conflictsWith(*eq.fp))
+                        continue;
+                    Frame& fi = frames[ep.seg];
+                    if (!fi.visitedCut && eq.gid != fi.chosen) {
+                        const bool enabledAtI =
+                            std::find(fi.enabled.begin(),
+                                      fi.enabled.end(), eq.gid) !=
+                            fi.enabled.end();
+                        if (enabledAtI)
+                            fi.backtrack.insert(eq.gid);
+                        else
+                            fi.backtrack.insert(fi.enabled.begin(),
+                                                fi.enabled.end());
+                    }
+                    break; // Latest conflicting event only.
+                }
+            }
+        }
+
+        // Verdict accounting.
+        if (r.verdict.leaky()) {
+            if (!out.foundFailure) {
+                out.foundFailure = true;
+                out.firstFailure = r.verdict;
+                firstFailing.clear();
+                for (const ChoiceRec& c : r.choices)
+                    firstFailing.push_back(c.chosen);
+                haveFailing = true;
+            }
+            for (const auto& [label, cnt] : r.verdict.detected) {
+                (void)cnt;
+                out.failedLabels.insert(label);
+            }
+            if (r.verdict.unexpected > 0)
+                ++out.falsePositiveExecutions;
+            if (cfg.stopOnFailure) {
+                out.complete = false;
+                break;
+            }
+        } else if (r.verdict.unexpected > 0) {
+            ++out.falsePositiveExecutions;
+        }
+
+        // Backtrack: pop to the deepest frame with an untried,
+        // non-sleeping candidate.
+        bool advanced = false;
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            f.explored.insert(f.chosen);
+            f.segOf[f.chosen] = f.segment;
+
+            uint64_t next = 0;
+            bool haveNext = false;
+            if (!f.visitedCut) {
+                for (const uint64_t gid : f.backtrack) {
+                    if (f.explored.count(gid) != 0)
+                        continue;
+                    if (cfg.sleepSets && f.sleep.count(gid) != 0) {
+                        ++stats.sleepPruned;
+                        f.explored.insert(gid); // covered elsewhere
+                        continue;
+                    }
+                    next = gid;
+                    haveNext = true;
+                    break;
+                }
+            }
+            if (haveNext) {
+                if (cfg.sleepSets) {
+                    // The pick we just finished goes to sleep for the
+                    // remaining siblings.
+                    f.sleep[f.chosen] = f.segOf[f.chosen];
+                }
+                f.chosen = next;
+                ++stats.branches;
+                advanced = true;
+                break;
+            }
+            // Frame done. Account DPOR savings and the fingerprint.
+            if (cfg.dpor && !f.visitedCut) {
+                const size_t tried = f.explored.size();
+                if (f.enabled.size() > tried)
+                    stats.dporPruned += f.enabled.size() - tried;
+            }
+            if (cfg.visited && !f.visitedCut)
+                visitedComplete.insert(f.fingerprint);
+            frames.pop_back();
+        }
+        if (!advanced)
+            break; // Tree exhausted.
+    }
+
+    if (haveFailing)
+        mineMinimal(p, cfg, firstFailing, out, stats);
+
+    for (auto& [key, e] : goodlock) {
+        (void)key;
+        out.goodlock.push_back(e);
+    }
+
+    if (metrics != nullptr)
+        accumulateMetrics(*metrics, stats);
+    return out;
+}
+
+} // namespace golf::mc

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * golf::mc — systematic stateless model checking of microbench
+ * schedules (DESIGN.md §12).
+ *
+ * The deterministic runtime has exactly one source of scheduling
+ * nondeterminism: Scheduler::pickNext(). Installing a SchedulePolicy
+ * removes every RNG draw from the execution, so a run becomes a pure
+ * function of the sequence of picks. The model checker exploits this
+ * CHESS-style: it re-executes the pattern from scratch for every
+ * explored branch, replaying a recorded pick prefix and then
+ * following the default (first-enabled) choice, enumerating the
+ * choice tree by depth-first search.
+ *
+ * Pruning (all optional, all on by default):
+ *  - visited set: canonical state fingerprints (goroutine statuses,
+ *    wait reasons, slice counts, race vector-clock frontiers, channel
+ *    / mutex / waitgroup occupancy, virtual clock + pending timers)
+ *    mark choice-point states whose subtree is fully explored;
+ *  - sleep sets: siblings already explored at an ancestor are not
+ *    re-explored below it unless the executed step conflicts;
+ *  - dynamic partial-order reduction: only schedule points whose
+ *    macro-steps conflict (overlapping sync-object / shared-word
+ *    footprints, as instrumented by golf::race) fork branches.
+ *
+ * Verdict oracle: golf::Collector's ReportLog, matched to the
+ * pattern's registered leak labels exactly like the harness — an
+ * unmatched report on a correct pattern is a GOLF false positive.
+ */
+#ifndef GOLFCC_MC_MC_HPP
+#define GOLFCC_MC_MC_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "microbench/registry.hpp"
+#include "support/vclock.hpp"
+
+namespace golf::obs { class Registry; }
+namespace golf::rt { class Runtime; }
+
+namespace golf::mc {
+
+/** Exploration configuration. */
+struct McConfig
+{
+    /** Virtual runtime before the forced GC (harness Figure 5). */
+    support::VTime duration = 5 * support::kSecond;
+    /** Max choice points recorded per execution; deeper executions
+     *  still run to completion but stop forking (incomplete). */
+    int depthBound = 256;
+    /** Execution budget (0 = unlimited). */
+    uint64_t maxExecutions = 0;
+    /** Choice-point state budget (0 = unlimited). */
+    uint64_t maxStates = 0;
+    /** Dynamic partial-order reduction (off = naive full DFS). */
+    bool dpor = true;
+    /** Sleep-set pruning. */
+    bool sleepSets = true;
+    /** Visited-fingerprint pruning. */
+    bool visited = true;
+    /** Stop exploring once one failing schedule is found (leaky
+     *  pattern mining); exhaustive proofs leave this off. */
+    bool stopOnFailure = false;
+    /** GC workers for the explored runtime (fingerprints must not
+     *  depend on this; see tests). */
+    int gcWorkers = 1;
+    /** Seed for the pattern's internal data draws (ctx->rng). The
+     *  schedule explorer enumerates scheduling nondeterminism only;
+     *  FLAKY patterns whose leak hinges on a data draw are covered by
+     *  sweeping this seed (one exhaustive exploration per seed). */
+    uint64_t patternSeed = 1;
+};
+
+/** Canonical GOLF verdict of one execution. */
+struct Verdict
+{
+    std::map<std::string, int> detected; ///< label -> reports
+    int unexpected = 0;   ///< Reports at unregistered spawn sites.
+    bool globalDeadlock = false;
+    bool panicked = false;
+    bool mainReclaimed = false;
+
+    /** Any deadlock manifested (expected or not). */
+    bool
+    leaky() const
+    {
+        return !detected.empty() || unexpected > 0 || globalDeadlock ||
+               mainReclaimed;
+    }
+
+    /** Sorted, byte-stable rendering — the -mc-check compare key. */
+    std::string canonical() const;
+    uint64_t hash() const;
+
+    bool operator==(const Verdict& o) const = default;
+};
+
+/** Footprint of one macro-step: the (address, wrote) pairs the race
+ *  instrumentation observed between two consecutive choice points. */
+struct Footprint
+{
+    /** Sorted, deduplicated. */
+    std::vector<std::pair<uintptr_t, bool>> ops;
+
+    void add(uintptr_t addr, bool write);
+    void normalize();
+    /** Share an address with at least one side writing it. */
+    bool conflictsWith(const Footprint& o) const;
+};
+
+/** One choice point of an execution. */
+struct ChoiceRec
+{
+    std::vector<uint64_t> enabled; ///< gids, canonical queue order.
+    uint64_t chosen = 0;           ///< gid picked.
+    uint64_t fingerprint = 0;      ///< State hash at the choice point.
+    Footprint step; ///< Ops until the next choice point (or run end).
+    /** The segment's ops split by executing goroutine, in execution
+     *  order. Forced (singleton-runnable) goroutines run inside the
+     *  previous choice's segment; per-gid events let DPOR see their
+     *  conflicts anyway. */
+    std::vector<std::pair<uint64_t, Footprint>> events;
+};
+
+/** Everything one (re-)execution produced. */
+struct ExecResult
+{
+    std::vector<ChoiceRec> choices;
+    Verdict verdict;
+    bool depthExceeded = false;
+    uint64_t slices = 0;
+    /** Deduplicated lock-order cycle keys predicted by golf::race in
+     *  this execution, and whether GOLF confirmed each. */
+    std::map<std::string, bool> lockOrderCycles;
+};
+
+/** A schedule: the pick-gid sequence at successive choice points;
+ *  execution continues with default picks beyond the prefix. */
+using Schedule = std::vector<uint64_t>;
+
+/** Execute `p` once under `schedule` (+ default continuation). */
+ExecResult runSchedule(const microbench::Pattern& p,
+                       const McConfig& cfg, const Schedule& schedule);
+
+/**
+ * Canonical state fingerprint of a runtime at a scheduling
+ * safepoint: per-goroutine (status, wait reason, slice count, race
+ * VC frontier), schedule-relevant heap object state (mcFingerprint
+ * overrides), and the virtual clock + pending-deadline multiset.
+ */
+uint64_t stateFingerprint(rt::Runtime& rt);
+
+/** Exploration counters (mirrored into the obs registry). */
+struct McStats
+{
+    uint64_t executions = 0;
+    uint64_t states = 0;        ///< Choice-point states visited.
+    uint64_t branches = 0;      ///< Non-default alternatives tried.
+    uint64_t sleepPruned = 0;   ///< Candidates skipped by sleep sets.
+    uint64_t dporPruned = 0;    ///< Candidates never forked by DPOR.
+    uint64_t visitedPruned = 0; ///< Subtrees cut at known states.
+    uint64_t maxDepth = 0;      ///< Deepest choice point seen.
+};
+
+/** Aggregated goodlock cross-check: one predicted lock-order cycle
+ *  vs. the schedules the explorer actually realized. */
+struct GoodlockEntry
+{
+    std::string cycle;         ///< Dedup key of the predicted cycle.
+    uint64_t predictedIn = 0;  ///< Executions predicting it.
+    uint64_t confirmedIn = 0;  ///< Executions where GOLF caught it.
+};
+
+/** Result of exploring one pattern. */
+struct ExploreResult
+{
+    McStats stats;
+    /** Exploration finished without hitting a depth/state/execution
+     *  budget: the verdict set is exhaustive (modulo fingerprint
+     *  abstraction, DESIGN.md §12). */
+    bool complete = true;
+    bool foundFailure = false;
+    Verdict firstFailure;
+    /** Shortest failing pick prefix (foundFailure only): fails, and
+     *  no strict prefix of it fails. */
+    Schedule minimalSchedule;
+    Verdict minimalVerdict;
+    /** Union of labels detected across all failing executions. */
+    std::set<std::string> failedLabels;
+    /** Executions whose verdict had unexpected reports (the false-
+     *  positive signal on correct patterns). */
+    uint64_t falsePositiveExecutions = 0;
+    /** Predicted lock-order cycles vs. realizations. */
+    std::vector<GoodlockEntry> goodlock;
+};
+
+/**
+ * Explore `p`'s choice tree by stateless DFS. When `metrics` is
+ * given, /mc/... counters are registered there and updated as the
+ * exploration runs.
+ */
+ExploreResult explore(const microbench::Pattern& p, const McConfig& cfg,
+                      obs::Registry* metrics = nullptr);
+
+/** Register (or re-find) the /mc/ counters on a registry. */
+void registerMetrics(obs::Registry& reg);
+/** Add one exploration's stats onto the registry's /mc/ counters. */
+void accumulateMetrics(obs::Registry& reg, const McStats& s);
+
+/// @{ Replayable trace files ("golf-mc-trace v1", results/mc/*.trace).
+struct TraceFile
+{
+    std::string pattern;
+    bool correct = false;
+    support::VTime duration = 5 * support::kSecond;
+    uint64_t patternSeed = 1;
+    Schedule schedule;
+    /** Choice-point enabled sets, parallel to `schedule` (replay
+     *  drift check: replay must see the same enabled gids). */
+    std::vector<std::vector<uint64_t>> enabled;
+    std::string verdictCanonical;
+    uint64_t verdictHash = 0;
+};
+
+/** Serialize; the exact byte format -mc-check re-parses. */
+std::string writeTrace(const TraceFile& t);
+/** Parse; returns false (and fills err) on malformed input. */
+bool parseTrace(std::istream& in, TraceFile& out, std::string& err);
+/// @}
+
+/** File-name-safe pattern slug ("cockroach/1462" -> "cockroach_1462"). */
+std::string patternSlug(const std::string& name);
+
+} // namespace golf::mc
+
+#endif // GOLFCC_MC_MC_HPP

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The "golf-mc-trace v1" replayable schedule format.
+ *
+ * A trace pins everything a byte-exact re-execution needs: the
+ * pattern, the virtual duration, the pick-gid sequence with each
+ * choice point's enabled set (the replay-drift check), and the
+ * canonical verdict the explorer observed. chaos_runner -mc-check
+ * re-runs the schedule through mc::runSchedule and compares verdict
+ * bytes.
+ */
+#include "mc/mc.hpp"
+
+#include <istream>
+#include <sstream>
+
+namespace golf::mc {
+
+std::string
+patternSlug(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '.';
+        out.push_back(keep ? c : '_');
+    }
+    return out;
+}
+
+std::string
+writeTrace(const TraceFile& t)
+{
+    std::ostringstream os;
+    os << "golf-mc-trace v1\n";
+    os << "pattern " << t.pattern << " correct="
+       << (t.correct ? 1 : 0) << "\n";
+    os << "duration " << t.duration << "\n";
+    if (t.patternSeed != 1)
+        os << "seed " << t.patternSeed << "\n";
+    for (size_t k = 0; k < t.schedule.size(); ++k) {
+        os << "choice " << k << " " << t.schedule[k] << " enabled=";
+        const auto& en =
+            k < t.enabled.size() ? t.enabled[k]
+                                 : std::vector<uint64_t>{};
+        for (size_t i = 0; i < en.size(); ++i)
+            os << (i ? "," : "") << en[i];
+        os << "\n";
+    }
+    os << "verdict " << t.verdictCanonical << "\n";
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(t.verdictHash));
+    os << "verdicthash " << hex << "\n";
+    return os.str();
+}
+
+bool
+parseTrace(std::istream& in, TraceFile& out, std::string& err)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != "golf-mc-trace v1") {
+        err = "bad header (want 'golf-mc-trace v1')";
+        return false;
+    }
+    out = TraceFile{};
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "pattern") {
+            std::string name, corr;
+            ls >> name >> corr;
+            out.pattern = name;
+            if (corr.rfind("correct=", 0) != 0) {
+                err = "malformed pattern line: " + line;
+                return false;
+            }
+            out.correct = corr.substr(8) == "1";
+        } else if (tag == "duration") {
+            long long d = 0;
+            ls >> d;
+            out.duration = static_cast<support::VTime>(d);
+        } else if (tag == "seed") {
+            unsigned long long s = 1;
+            ls >> s;
+            out.patternSeed = s;
+        } else if (tag == "choice") {
+            size_t k = 0;
+            unsigned long long gid = 0;
+            std::string en;
+            ls >> k >> gid >> en;
+            if (!ls || en.rfind("enabled=", 0) != 0) {
+                err = "malformed choice line: " + line;
+                return false;
+            }
+            if (k != out.schedule.size()) {
+                err = "out-of-order choice index in: " + line;
+                return false;
+            }
+            out.schedule.push_back(gid);
+            std::vector<uint64_t> gids;
+            std::istringstream es(en.substr(8));
+            std::string item;
+            while (std::getline(es, item, ','))
+                if (!item.empty())
+                    gids.push_back(std::stoull(item));
+            out.enabled.push_back(std::move(gids));
+        } else if (tag == "verdict") {
+            std::string rest;
+            std::getline(ls, rest);
+            if (!rest.empty() && rest.front() == ' ')
+                rest.erase(rest.begin());
+            out.verdictCanonical = rest;
+        } else if (tag == "verdicthash") {
+            std::string hex;
+            ls >> hex;
+            out.verdictHash = std::stoull(hex, nullptr, 16);
+        } else {
+            err = "unknown tag '" + tag + "' in: " + line;
+            return false;
+        }
+    }
+    if (out.pattern.empty()) {
+        err = "trace has no pattern line";
+        return false;
+    }
+    return true;
+}
+
+} // namespace golf::mc

@@ -6,6 +6,31 @@
 
 namespace golf::microbench {
 
+namespace {
+
+/** One measured model-checking size class (golf_mc -measure):
+ *  choice points along the default schedule of a single instance.
+ *  Patterns not listed keep mcBound 0 (unmeasured = largest). */
+struct McBoundEntry
+{
+    const char* name;
+    bool correct;
+    int bound;
+};
+
+#include "microbench/mc_bounds.inc"
+
+void
+applyMcBounds(Registry& r)
+{
+    for (const auto& e : kMcBounds) {
+        if (e.bound > 0)
+            r.setMcBound(e.name, e.correct, e.bound);
+    }
+}
+
+} // namespace
+
 Registry&
 Registry::instance()
 {
@@ -21,6 +46,7 @@ Registry::instance()
         registerMiscPatterns(*r);
         registerSyncPatterns(*r);
         registerCorrectPatterns(*r);
+        applyMcBounds(*r);
         return r;
     }();
     return *reg;
@@ -36,6 +62,18 @@ Registry::add(Pattern p)
             support::panic("Registry::add: duplicate pattern " + p.name);
     }
     patterns_.push_back(std::move(p));
+}
+
+void
+Registry::setMcBound(const std::string& name, bool correct, int bound)
+{
+    for (auto& p : patterns_) {
+        if (p.name == name && p.correct == correct) {
+            p.mcBound = bound;
+            return;
+        }
+    }
+    support::panic("Registry::setMcBound: unknown pattern " + name);
 }
 
 std::vector<const Pattern*>

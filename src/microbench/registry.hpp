@@ -68,6 +68,13 @@ struct Pattern
     bool correct = false;
     /** The program body; runs as a goroutine, may spawn others. */
     rt::Go (*body)(PatternCtx*) = nullptr;
+    /**
+     * Model-checking size class: measured choice points along the
+     * default schedule of a single instance (golf_mc -measure), the
+     * sort key behind `golf_mc -smallest N` and the CI subset.
+     * 0 = unmeasured; treated as largest.
+     */
+    int mcBound = 0;
 };
 
 class Registry
@@ -77,6 +84,9 @@ class Registry
     static Registry& instance();
 
     void add(Pattern p);
+
+    /** Record a pattern's measured model-checking size class. */
+    void setMcBound(const std::string& name, bool correct, int bound);
 
     const std::vector<Pattern>& all() const { return patterns_; }
 

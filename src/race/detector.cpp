@@ -102,6 +102,8 @@ Detector::acquire(const rt::Goroutine* g, const void* obj)
     GState& gs = stateOf(g);
     gs.vc.join(syncClock(obj));
     ++syncOps_;
+    if (opSink_)
+        opSink_(gs.gid, reinterpret_cast<uintptr_t>(obj), true);
 }
 
 void
@@ -113,6 +115,8 @@ Detector::release(const rt::Goroutine* g, const void* obj)
     syncClock(obj).join(gs.vc);
     gs.vc.tick(gs.slot);
     ++syncOps_;
+    if (opSink_)
+        opSink_(gs.gid, reinterpret_cast<uintptr_t>(obj), true);
 }
 
 void
@@ -136,6 +140,10 @@ Detector::channelPair(const rt::Goroutine* a, const rt::Goroutine* b,
     x.vc.tick(x.slot);
     y.vc.tick(y.slot);
     ++syncOps_;
+    if (opSink_) {
+        opSink_(x.gid, reinterpret_cast<uintptr_t>(ch), true);
+        opSink_(y.gid, reinterpret_cast<uintptr_t>(ch), true);
+    }
 }
 
 uint32_t
@@ -164,6 +172,8 @@ Detector::lockAcquire(const rt::Goroutine* g, const gc::Object* lock,
         gs.vc.join(readClock(lock)); // Writers order after readers.
     ++syncOps_;
     ++lockAcquires_;
+    if (opSink_)
+        opSink_(gs.gid, reinterpret_cast<uintptr_t>(lock), true);
 
     const uint32_t id = lockIdOf(lock);
     if (blocking && !gs.held.empty()) {
@@ -213,6 +223,8 @@ Detector::lockRelease(const rt::Goroutine* g, const gc::Object* lock,
         readClock(lock).join(gs.vc);
     gs.vc.tick(gs.slot);
     ++syncOps_;
+    if (opSink_)
+        opSink_(gs.gid, reinterpret_cast<uintptr_t>(lock), true);
 
     const uint32_t id = lockIdOf(lock);
     auto dropHeld = [this, id](uint64_t gid) {
@@ -339,6 +351,8 @@ Detector::memRead(const rt::Goroutine* g, const void* addr, size_t size,
         return r.gid == gs.gid || gs.vc.covers(r.epoch);
     });
     w.reads.push_back(cur);
+    if (opSink_)
+        opSink_(gs.gid, reinterpret_cast<uintptr_t>(addr), false);
 }
 
 void
@@ -368,6 +382,8 @@ Detector::memWrite(const rt::Goroutine* g, const void* addr, size_t size,
     w.write = cur;
     w.reads.clear();
     gs.vc.tick(gs.slot); // Distinct writes get distinct epochs.
+    if (opSink_)
+        opSink_(gs.gid, a, true);
 }
 
 void
@@ -523,6 +539,42 @@ Detector::finalize(const detect::ReportLog& golfLog)
         path.assign(1, root);
         dfs(root, root);
     }
+}
+
+void
+Detector::blockedAttempt(const rt::Goroutine* g,
+                         const std::vector<gc::Object*>& objs)
+{
+    if (!opSink_ || g == nullptr)
+        return;
+    for (const gc::Object* o : objs)
+        if (o != nullptr)
+            opSink_(g->id(), reinterpret_cast<uintptr_t>(o), true);
+}
+
+uint64_t
+Detector::frontierHash(const rt::Goroutine* g) const
+{
+    if (g == nullptr)
+        return 0;
+    auto it = indexOfGid_.find(g->id());
+    if (it == indexOfGid_.end())
+        return 0;
+    const VectorClock& vc = gs_[it->second].vc;
+    // FNV-1a over the dense clock components. Trailing zero slots
+    // hash like absent ones so two frontiers that differ only in
+    // resize history collide, as they should.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    size_t top = vc.size();
+    while (top > 0 && vc.get(static_cast<Slot>(top - 1)) == 0)
+        --top;
+    for (size_t i = 0; i < top; ++i)
+        mix(vc.get(static_cast<Slot>(i)) + 1);
+    return h;
 }
 
 DetectorStats

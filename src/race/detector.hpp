@@ -32,6 +32,7 @@
 #define GOLFCC_RACE_DETECTOR_HPP
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -149,6 +150,42 @@ class Detector
 
     DetectorStats stats() const;
 
+    /// @{ Model-checker taps (golf::mc).
+    /**
+     * Footprint sink: one call per instrumented operation with the
+     * acting goroutine, the sync object / shadow address it touched,
+     * and whether the operation writes (all sync edges count as
+     * writes; only annotated reads pass false). golf::mc accumulates
+     * these into per-macro-step footprints — two steps are dependent
+     * for DPOR iff their footprints share an address and at least one
+     * side wrote it.
+     */
+    using OpSink =
+        std::function<void(uint64_t gid, uintptr_t obj, bool write)>;
+    void setOpSink(OpSink sink) { opSink_ = std::move(sink); }
+
+    /**
+     * A goroutine parked on `objs` without completing its operation.
+     * Purely observational: feeds the opSink only (no HB edges, no
+     * lock-order bookkeeping), so DPOR sees the *attempt* conflict
+     * with whatever operation would have granted it. Without this, a
+     * goroutine blocked forever on its second mutex leaves no
+     * footprint on that mutex and the explorer would treat it as
+     * independent of the holder — pruning exactly the serializations
+     * that complete cleanly.
+     */
+    void blockedAttempt(const rt::Goroutine* g,
+                        const std::vector<gc::Object*>& objs);
+
+    /**
+     * FNV-1a hash of g's vector-clock frontier (0 for a goroutine
+     * the detector has never seen). Equal frontiers identify equal
+     * causal downsets — the Mazurkiewicz-trace ingredient of the mc
+     * state fingerprint.
+     */
+    uint64_t frontierHash(const rt::Goroutine* g) const;
+    /// @}
+
   private:
     /** Per-goroutine analysis state. */
     struct GState
@@ -246,6 +283,8 @@ class Detector
     uint64_t syncOps_ = 0;
     uint64_t memAccesses_ = 0;
     uint64_t lockAcquires_ = 0;
+
+    OpSink opSink_;
 };
 
 } // namespace golf::race

@@ -137,6 +137,10 @@ class Goroutine
      *  blockedSinceVt_, never re-armed by watchdog polls. */
     support::VTime parkStartVt() const { return parkStartVt_; }
 
+    /** Slices executed so far (model-checker fingerprint input:
+     *  makes states strictly increase along any one schedule). */
+    uint64_t slicesRun() const { return slicesRun_; }
+
   private:
     friend class Runtime;
     friend class Scheduler;
@@ -195,6 +199,9 @@ class Goroutine
 
     /** Virtual time of the current park, any reason (obs). */
     support::VTime parkStartVt_ = 0;
+
+    /** Slices executed so far (mc fingerprint; reset on reuse). */
+    uint64_t slicesRun_ = 0;
 };
 
 } // namespace golf::rt

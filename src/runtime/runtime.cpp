@@ -346,6 +346,7 @@ Runtime::resetForReuse(Goroutine* g)
     g->cancelMessage_.clear();
     g->cancelDeliveries_ = 0;
     g->blockedSinceVt_ = 0;
+    g->slicesRun_ = 0;
     g->isMain_ = false;
     g->spawnSite_ = Site{};
     g->blockSite_ = Site{};
@@ -389,6 +390,8 @@ Runtime::park(Goroutine* g, std::coroutine_handle<> resumePoint,
         g->blockedSinceVt_ = clock_.now();
     g->parkStartVt_ = clock_.now();
     emitEvent(TraceEvent::Park, g->id(), reason);
+    if (race_)
+        race_->blockedAttempt(g, g->blockedOn_);
 
     if (injector_.enabled() && isDeadlockCandidate(reason) &&
         injector_.decide(FaultSite::Park, clock_.now(), g->id()) ==
@@ -956,12 +959,13 @@ Runtime::runSlice(Goroutine* g)
         // and its wait state was retained; resuming would complete an
         // operation that was never granted.
         g->spuriousWake_ = false;
-        support::VTime slice =
-            config_.sliceCost +
-            static_cast<support::VTime>(sched_.rng().nextBelow(
+        support::VTime slice = config_.sliceCost;
+        if (sched_.policy() == nullptr)
+            slice += static_cast<support::VTime>(sched_.rng().nextBelow(
                 static_cast<uint64_t>(config_.sliceCost) + 1));
         clock_.advance(slice);
         busyNs_ += slice;
+        g->slicesRun_++;
         g->status_ = GStatus::Waiting;
         // The original parkStartVt_ is retained: the goroutine never
         // stopped waiting for its (ungranted) operation.
@@ -973,13 +977,16 @@ Runtime::runSlice(Goroutine* g)
     g->status_ = GStatus::Running;
     // Virtual time advances per slice, with seeded jitter: this is
     // what makes timeout races seed- and load-dependent, the source
-    // of microbenchmark flakiness (Section 6.1).
-    support::VTime slice =
-        config_.sliceCost +
-        static_cast<support::VTime>(sched_.rng().nextBelow(
+    // of microbenchmark flakiness (Section 6.1). Under a schedule
+    // policy the jitter draw is skipped: virtual time must be a pure
+    // function of the pick sequence for replay and model checking.
+    support::VTime slice = config_.sliceCost;
+    if (sched_.policy() == nullptr)
+        slice += static_cast<support::VTime>(sched_.rng().nextBelow(
             static_cast<uint64_t>(config_.sliceCost) + 1));
     clock_.advance(slice);
     busyNs_ += slice;
+    g->slicesRun_++;
     g->resumePoint_.resume();
     sched_.setCurrent(nullptr);
     // A user-level `catch` of a GoPanicError can strand the panic

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SchedulePolicy: the pluggable "which goroutine runs next" seam.
+ *
+ * The scheduler's default behaviour (seeded round-robin with random
+ * wakeup placement) is one policy among several: chaos sampling keeps
+ * the historical RNG-driven path, replay re-executes a recorded pick
+ * sequence, and the model checker (golf::mc) enumerates every pick at
+ * every choice point. Installing a policy switches the scheduler to a
+ * fully deterministic mode:
+ *
+ *   - pickNext() enumerates the runnable set in canonical order
+ *     (queue 0..P-1, front to back) and asks the policy to choose an
+ *     index into that list;
+ *   - enqueueReady() places wakeups deterministically (no RNG draws,
+ *     no runnext queue-jumping);
+ *   - the runtime charges the fixed sliceCost with no jitter.
+ *
+ * With no policy installed the scheduler's behaviour is bit-identical
+ * to the historical path, preserving every chaos/-repro trace.
+ */
+#ifndef GOLFCC_RUNTIME_SCHEDULE_POLICY_HPP
+#define GOLFCC_RUNTIME_SCHEDULE_POLICY_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace golf::rt {
+
+class Goroutine;
+
+class SchedulePolicy
+{
+  public:
+    virtual ~SchedulePolicy() = default;
+
+    /**
+     * Choose which runnable goroutine executes the next slice.
+     *
+     * `runnable` lists every runnable goroutine in canonical order
+     * (queue 0..P-1, each front to back) and is never empty. The
+     * return value indexes into `runnable`; out-of-range picks are a
+     * panic. The chosen goroutine is removed from its queue and run
+     * for one slice.
+     */
+    virtual size_t pick(const std::vector<Goroutine*>& runnable) = 0;
+};
+
+} // namespace golf::rt
+
+#endif // GOLFCC_RUNTIME_SCHEDULE_POLICY_HPP

@@ -26,6 +26,14 @@ Scheduler::enqueueSpawn(Goroutine* g)
 void
 Scheduler::enqueueReady(Goroutine* g)
 {
+    // Under a schedule policy wakeup placement must not consume RNG
+    // and must not reorder: the policy alone decides who runs next,
+    // so a stable push_back keeps the canonical runnable order a
+    // pure function of the pick sequence.
+    if (policy_ != nullptr) {
+        queues_[g->id() % queues_.size()].push_back(g);
+        return;
+    }
     // Wakeup placement is the main source of scheduling
     // nondeterminism: the woken goroutine lands on a random processor
     // and occasionally jumps the queue (Go's runnext slot).
@@ -37,9 +45,36 @@ Scheduler::enqueueReady(Goroutine* g)
         queues_[proc].push_back(g);
 }
 
+std::vector<Goroutine*>
+Scheduler::runnableSnapshot() const
+{
+    std::vector<Goroutine*> out;
+    for (const auto& q : queues_)
+        out.insert(out.end(), q.begin(), q.end());
+    return out;
+}
+
 Goroutine*
 Scheduler::pickNext()
 {
+    if (policy_ != nullptr) {
+        std::vector<Goroutine*> runnable = runnableSnapshot();
+        if (runnable.empty())
+            return nullptr;
+        size_t idx = policy_->pick(runnable);
+        if (idx >= runnable.size())
+            support::panic("SchedulePolicy::pick: index out of range");
+        Goroutine* g = runnable[idx];
+        for (auto& q : queues_) {
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                if (*it == g) {
+                    q.erase(it);
+                    return g;
+                }
+            }
+        }
+        support::panic("SchedulePolicy::pick: chose unqueued goroutine");
+    }
     for (size_t i = 0; i < queues_.size(); ++i) {
         size_t proc = (rrIndex_ + i) % queues_.size();
         if (!queues_[proc].empty()) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "runtime/goroutine.hpp"
+#include "runtime/schedule_policy.hpp"
 #include "support/rng.hpp"
 
 namespace golf::rt {
@@ -47,6 +48,20 @@ class Scheduler
 
     support::Rng& rng() { return rng_; }
 
+    /**
+     * Install (or clear, with nullptr) a schedule policy. While a
+     * policy is installed the scheduler is fully deterministic: picks
+     * go through SchedulePolicy::pick over the canonical runnable
+     * list and wakeup placement draws no RNG. The caller keeps
+     * ownership of the policy object.
+     */
+    void setPolicy(SchedulePolicy* p) { policy_ = p; }
+    SchedulePolicy* policy() const { return policy_; }
+
+    /** The runnable set in canonical order (queue 0..P-1, front to
+     *  back) — the exact list a policy's pick() indexes into. */
+    std::vector<Goroutine*> runnableSnapshot() const;
+
   private:
     Runtime& rt_;
     std::vector<std::deque<Goroutine*>> queues_;
@@ -54,6 +69,7 @@ class Scheduler
     uint64_t spawnCount_ = 0;
     support::Rng rng_;
     Goroutine* current_ = nullptr;
+    SchedulePolicy* policy_ = nullptr;
 };
 
 } // namespace golf::rt

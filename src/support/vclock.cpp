@@ -71,6 +71,27 @@ VClock::fireNext()
     return firePending();
 }
 
+uint64_t
+VClock::fingerprint() const
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<uint64_t>(now_));
+    mix(pendingCount_);
+    // Drain a copy of the heap so deadlines come out sorted — the
+    // multiset of pending deadlines, not their insertion order.
+    auto copy = heap_;
+    while (!copy.empty()) {
+        if (!cancelled(copy.top().id))
+            mix(static_cast<uint64_t>(copy.top().when));
+        copy.pop();
+    }
+    return h;
+}
+
 size_t
 VClock::firePending()
 {

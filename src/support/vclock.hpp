@@ -64,6 +64,15 @@ class VClock
     /** Fire all timers with deadline <= now. */
     size_t firePending();
 
+    /**
+     * FNV-1a hash of (now, multiset of pending deadlines) — the
+     * clock's contribution to the model checker's state fingerprint.
+     * Timer identity (which callback) is not hashed; two states that
+     * differ only in which goroutine a deadline wakes are told apart
+     * by the goroutine components of the fingerprint.
+     */
+    uint64_t fingerprint() const;
+
     static constexpr VTime kNoDeadline = INT64_MAX;
 
   private:

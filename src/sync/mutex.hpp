@@ -97,6 +97,12 @@ class Mutex : public gc::Object
 
     const char* objectName() const override { return "sync.Mutex"; }
 
+    uint64_t
+    mcFingerprint() const override
+    {
+        return (static_cast<uint64_t>(locked_) << 1) | 1u;
+    }
+
   private:
     friend class Cond;
 

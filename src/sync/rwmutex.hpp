@@ -154,6 +154,14 @@ class RWMutex : public gc::Object
 
     const char* objectName() const override { return "sync.RWMutex"; }
 
+    uint64_t
+    mcFingerprint() const override
+    {
+        return (static_cast<uint64_t>(readers_) << 10) |
+               (static_cast<uint64_t>(waitingWriters_) << 2) |
+               (static_cast<uint64_t>(writer_) << 1) | 1u;
+    }
+
   private:
     rt::Runtime& rt_;
     int readers_ = 0;

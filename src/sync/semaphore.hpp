@@ -181,6 +181,12 @@ class Semaphore : public gc::Object
 
     const char* objectName() const override { return "semaphore"; }
 
+    uint64_t
+    mcFingerprint() const override
+    {
+        return (static_cast<uint64_t>(count_) << 1) | 1u;
+    }
+
   private:
     rt::Runtime& rt_;
     uint32_t count_;

@@ -88,6 +88,12 @@ class WaitGroup : public gc::Object
 
     const char* objectName() const override { return "sync.WaitGroup"; }
 
+    uint64_t
+    mcFingerprint() const override
+    {
+        return (static_cast<uint64_t>(count_) << 1) | 1u;
+    }
+
   private:
     rt::Runtime& rt_;
     int64_t count_ = 0;

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * golf::mc test suite (ctest label `mc`).
+ *
+ *  - DFS completeness: the explorer's naive mode enumerates exactly
+ *    the hand-counted interleavings of toy programs;
+ *  - fingerprint determinism: canonical state hashes are identical
+ *    across -gc-workers 1/2 (mark threads must not leak into the
+ *    model);
+ *  - DPOR soundness: the reduced exploration finds every deadlock
+ *    the naive exploration finds, including a seeded leak that only
+ *    manifests under a non-default schedule;
+ *  - minimal-trace minimality: the mined schedule fails and no
+ *    strict prefix of it fails;
+ *  - metrics golden names: the /mc/ counters appear in both the JSON
+ *    snapshot and the Prometheus rendering;
+ *  - trace round-trip: writeTrace/parseTrace is lossless and rejects
+ *    malformed input.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gc/heap.hpp"
+#include "gc/marker.hpp"
+#include "mc/mc.hpp"
+#include "microbench/patterns_common.hpp"
+#include "microbench/registry.hpp"
+#include "obs/metrics.hpp"
+#include "race/annotate.hpp"
+
+namespace golf {
+namespace {
+
+using microbench::Pattern;
+using microbench::PatternCtx;
+
+// ---------------------------------------------------------------------
+// Toy programs with hand-countable choice trees.
+
+rt::Go
+oneSliceChild()
+{
+    co_return; // One slice: spawn -> run -> done.
+}
+
+rt::Go
+twoSliceChild()
+{
+    co_await rt::yield(); // Two slices: the yield splits the body.
+    co_return;
+}
+
+/** Three independent one-slice children: 3! = 6 interleavings. */
+rt::Go
+toy3x1(PatternCtx* ctx)
+{
+    GOLF_GO(*ctx->rt, oneSliceChild);
+    GOLF_GO(*ctx->rt, oneSliceChild);
+    GOLF_GO(*ctx->rt, oneSliceChild);
+    co_return;
+}
+
+/** Three independent two-slice children: 6!/(2!2!2!) = 90
+ *  interleavings of the six slices. */
+rt::Go
+toy3x2(PatternCtx* ctx)
+{
+    GOLF_GO(*ctx->rt, twoSliceChild);
+    GOLF_GO(*ctx->rt, twoSliceChild);
+    GOLF_GO(*ctx->rt, twoSliceChild);
+    co_return;
+}
+
+/**
+ * A leak that manifests ONLY under a non-default schedule: the racer
+ * publishes a flag and then blocks sending into an unbuffered
+ * channel; the gate receives only while the flag is still clear.
+ * Default order (gate first) pairs up and terminates; racer-first
+ * parks the racer forever. The flag race is annotated, so DPOR must
+ * discover the reversal from the footprints alone.
+ */
+struct RaceState : gc::Object
+{
+    int flag = 0;
+    chan::Channel<int>* ch = nullptr;
+
+    void
+    trace(gc::Marker& m) override
+    {
+        m.mark(ch);
+    }
+
+    const char* objectName() const override { return "racestate"; }
+};
+
+rt::Go
+racerBody(RaceState* st)
+{
+    race::write(&st->flag, sizeof st->flag, "flag");
+    st->flag = 1;
+    co_await chan::send(st->ch, 1);
+    co_return;
+}
+
+rt::Go
+gateBody(RaceState* st)
+{
+    race::read(&st->flag, sizeof st->flag, "flag");
+    if (st->flag == 0)
+        co_await chan::recv(st->ch);
+    co_return;
+}
+
+rt::Go
+toyScheduleLeak(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<chan::Channel<int>> ch(chan::makeChan<int>(rt, 0));
+    gc::Local<RaceState> st(rt.make<RaceState>());
+    st->ch = ch.get();
+    // Gate first: the default (first-enabled) schedule terminates.
+    GOLF_GO(*ctx->rt, gateBody, st.get());
+    GOLF_GO_LEAKY(ctx, "toy/schedule-leak:1", racerBody, st.get());
+    co_return;
+}
+
+/**
+ * ABBA: two goroutines acquire two mutexes in opposite order with a
+ * yield inside the critical section. Some schedules interleave the
+ * acquisitions into a real circular wait (GOLF reports both); others
+ * complete cleanly (golf::race still predicts the lock-order cycle).
+ * The goodlock cross-check must see the cycle predicted in every
+ * execution but confirmed only in the deadlocking ones.
+ */
+rt::Go
+abbaFirst(sync::Mutex* a, sync::Mutex* b)
+{
+    co_await a->lock();
+    co_await rt::yield();
+    co_await b->lock();
+    b->unlock();
+    a->unlock();
+    co_return;
+}
+
+rt::Go
+abbaSecond(sync::Mutex* a, sync::Mutex* b)
+{
+    co_await b->lock();
+    co_await rt::yield();
+    co_await a->lock();
+    a->unlock();
+    b->unlock();
+    co_return;
+}
+
+/** Two independent ABBA pairs over the same source sites: lock-order
+ *  edges are recorded only on *successful* second acquisition, so a
+ *  deadlocked pair cannot predict its own cycle — prediction comes
+ *  from a pair that completed cleanly, confirmation from a pair that
+ *  deadlocked at the same sites in the same execution. */
+rt::Go
+toyAbba(PatternCtx* ctx)
+{
+    rt::Runtime& rt = *ctx->rt;
+    gc::Local<sync::Mutex> a1(rt.make<sync::Mutex>(rt));
+    gc::Local<sync::Mutex> b1(rt.make<sync::Mutex>(rt));
+    gc::Local<sync::Mutex> a2(rt.make<sync::Mutex>(rt));
+    gc::Local<sync::Mutex> b2(rt.make<sync::Mutex>(rt));
+    GOLF_GO_LEAKY(ctx, "toy/abba:1", abbaFirst, a1.get(), b1.get());
+    GOLF_GO_LEAKY(ctx, "toy/abba:2", abbaSecond, a1.get(), b1.get());
+    GOLF_GO_LEAKY(ctx, "toy/abba:3", abbaFirst, a2.get(), b2.get());
+    GOLF_GO_LEAKY(ctx, "toy/abba:4", abbaSecond, a2.get(), b2.get());
+    co_return;
+}
+
+Pattern
+toyPattern(const char* name, rt::Go (*body)(PatternCtx*),
+           bool correct, std::vector<std::string> leakSites = {})
+{
+    Pattern p;
+    p.name = name;
+    p.suite = "toy";
+    p.leakSites = std::move(leakSites);
+    p.correct = correct;
+    p.body = body;
+    return p;
+}
+
+mc::McConfig
+naiveCfg()
+{
+    mc::McConfig cfg;
+    cfg.dpor = false;
+    cfg.sleepSets = false;
+    cfg.visited = false;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(McCompleteness, ThreeOneSliceChildrenHaveSixInterleavings)
+{
+    const Pattern p = toyPattern("toy/3x1", toy3x1, true);
+    mc::ExploreResult res = mc::explore(p, naiveCfg());
+    EXPECT_TRUE(res.complete);
+    EXPECT_FALSE(res.foundFailure);
+    EXPECT_EQ(res.stats.executions, 6u);
+}
+
+TEST(McCompleteness, ThreeTwoSliceChildrenHaveNinetyInterleavings)
+{
+    const Pattern p = toyPattern("toy/3x2", toy3x2, true);
+    mc::ExploreResult res = mc::explore(p, naiveCfg());
+    EXPECT_TRUE(res.complete);
+    EXPECT_FALSE(res.foundFailure);
+    EXPECT_EQ(res.stats.executions, 90u);
+}
+
+TEST(McCompleteness, PrunedModesReachTheSameVerdicts)
+{
+    const Pattern p = toyPattern("toy/3x2", toy3x2, true);
+    mc::McConfig cfg; // All prunings on.
+    mc::ExploreResult reduced = mc::explore(p, cfg);
+    EXPECT_TRUE(reduced.complete);
+    EXPECT_FALSE(reduced.foundFailure);
+    // Pruning must actually prune independent children...
+    EXPECT_LT(reduced.stats.executions, 90u);
+    // ...without giving up exhaustiveness of the verdict set.
+    mc::ExploreResult naive = mc::explore(p, naiveCfg());
+    EXPECT_EQ(naive.foundFailure, reduced.foundFailure);
+}
+
+TEST(McFingerprint, IdenticalAcrossGcWorkerCounts)
+{
+    const Pattern* p =
+        microbench::Registry::instance().find("cgo/ex3");
+    ASSERT_NE(p, nullptr);
+    mc::McConfig one;
+    one.gcWorkers = 1;
+    mc::McConfig two;
+    two.gcWorkers = 2;
+    const mc::ExecResult a = mc::runSchedule(*p, one, {});
+    const mc::ExecResult b = mc::runSchedule(*p, two, {});
+    ASSERT_EQ(a.choices.size(), b.choices.size());
+    for (size_t k = 0; k < a.choices.size(); ++k) {
+        EXPECT_EQ(a.choices[k].fingerprint, b.choices[k].fingerprint)
+            << "fingerprint diverges at choice " << k;
+        EXPECT_EQ(a.choices[k].enabled, b.choices[k].enabled);
+    }
+    EXPECT_EQ(a.verdict, b.verdict);
+}
+
+TEST(McFingerprint, DeterministicAcrossRepeatedRuns)
+{
+    const Pattern* p =
+        microbench::Registry::instance().find("cgo/ex3");
+    ASSERT_NE(p, nullptr);
+    mc::McConfig cfg;
+    const mc::ExecResult a = mc::runSchedule(*p, cfg, {});
+    const mc::ExecResult b = mc::runSchedule(*p, cfg, {});
+    ASSERT_EQ(a.choices.size(), b.choices.size());
+    for (size_t k = 0; k < a.choices.size(); ++k)
+        EXPECT_EQ(a.choices[k].fingerprint, b.choices[k].fingerprint);
+    EXPECT_EQ(a.verdict, b.verdict);
+}
+
+TEST(McDpor, FindsScheduleOnlyLeakFromFootprints)
+{
+    const Pattern p = toyPattern("toy/schedule-leak", toyScheduleLeak,
+                                 false, {"toy/schedule-leak:1"});
+    // The default schedule terminates cleanly...
+    mc::McConfig cfg;
+    const mc::ExecResult def = mc::runSchedule(p, cfg, {});
+    EXPECT_FALSE(def.verdict.leaky());
+    // ...naive DFS finds the racer-first leak...
+    mc::ExploreResult naive = mc::explore(p, naiveCfg());
+    ASSERT_TRUE(naive.foundFailure);
+    // ...and so must DPOR, from the annotated flag race alone.
+    mc::ExploreResult reduced = mc::explore(p, cfg);
+    ASSERT_TRUE(reduced.foundFailure);
+    EXPECT_EQ(naive.failedLabels, reduced.failedLabels);
+    EXPECT_FALSE(reduced.minimalSchedule.empty());
+}
+
+TEST(McDpor, SoundOnSeededCorpusPatterns)
+{
+    // Reduced exploration must find every deadlock naive finds on a
+    // corpus slice small enough to exhaust both ways.
+    const char* names[] = {
+        "cgo/ex1",         "cgo/ex2",        "cgo/ex4",
+        "cgo/ex5",         "cgo/ex6",        "cockroach/10790",
+        "kubernetes/16697", "syncthing/4829",
+    };
+    for (const char* name : names) {
+        const Pattern* p =
+            microbench::Registry::instance().find(name);
+        ASSERT_NE(p, nullptr) << name;
+        ASSERT_FALSE(p->correct) << name;
+        mc::McConfig reduced; // keep exploring past failures
+        mc::McConfig naive = naiveCfg();
+        naive.maxExecutions = 50000;
+        mc::ExploreResult rn = mc::explore(*p, naive);
+        mc::ExploreResult rr = mc::explore(*p, reduced);
+        EXPECT_EQ(rn.foundFailure, rr.foundFailure) << name;
+        EXPECT_EQ(rn.failedLabels, rr.failedLabels) << name;
+    }
+}
+
+TEST(McGoodlock, CycleIsPredictedEverywhereButConfirmedOnlyWhenReal)
+{
+    const Pattern p = toyPattern(
+        "toy/abba", toyAbba, false,
+        {"toy/abba:1", "toy/abba:2", "toy/abba:3", "toy/abba:4"});
+    mc::McConfig cfg; // keep exploring past failures (exhaustive)
+    mc::ExploreResult res = mc::explore(p, cfg);
+    EXPECT_TRUE(res.complete);
+    // Some interleaving realizes a circular wait...
+    ASSERT_TRUE(res.foundFailure);
+    EXPECT_FALSE(res.failedLabels.empty());
+    // ...and the predicted lock-order cycle is cross-checked against
+    // the schedules the explorer actually drove.
+    ASSERT_FALSE(res.goodlock.empty());
+    uint64_t predicted = 0, confirmed = 0;
+    for (const mc::GoodlockEntry& e : res.goodlock) {
+        predicted += e.predictedIn;
+        confirmed += e.confirmedIn;
+    }
+    EXPECT_GT(predicted, 0u);
+    EXPECT_GT(confirmed, 0u);
+    // The clean interleavings predict the cycle without realizing it:
+    // that is exactly the goodlock-precision gap the report measures.
+    EXPECT_LT(confirmed, predicted);
+}
+
+TEST(McMinimality, NoStrictPrefixOfTheMinedScheduleFails)
+{
+    const Pattern p = toyPattern("toy/schedule-leak", toyScheduleLeak,
+                                 false, {"toy/schedule-leak:1"});
+    mc::McConfig cfg;
+    mc::ExploreResult res = mc::explore(p, cfg);
+    ASSERT_TRUE(res.foundFailure);
+    ASSERT_FALSE(res.minimalSchedule.empty());
+    // The minimal schedule reproduces its recorded verdict...
+    const mc::ExecResult full =
+        mc::runSchedule(p, cfg, res.minimalSchedule);
+    EXPECT_TRUE(full.verdict.leaky());
+    EXPECT_EQ(full.verdict, res.minimalVerdict);
+    // ...and no strict prefix fails.
+    for (size_t len = 0; len < res.minimalSchedule.size(); ++len) {
+        mc::Schedule prefix(res.minimalSchedule.begin(),
+                            res.minimalSchedule.begin() +
+                                static_cast<long>(len));
+        const mc::ExecResult r = mc::runSchedule(p, cfg, prefix);
+        EXPECT_FALSE(r.verdict.leaky())
+            << "strict prefix of length " << len << " already fails";
+    }
+}
+
+TEST(McMetrics, GoldenNamesInJsonAndPrometheus)
+{
+    obs::Registry reg;
+    mc::registerMetrics(reg);
+    const Pattern p = toyPattern("toy/3x1", toy3x1, true);
+    mc::McConfig cfg;
+    (void)mc::explore(p, cfg, &reg);
+
+    const char* names[] = {
+        "/mc/executions:count",      "/mc/states:count",
+        "/mc/branches:count",        "/mc/sleepset/pruned:count",
+        "/mc/dpor/pruned:count",     "/mc/visited/pruned:count",
+    };
+    const std::string json = reg.snapshotJson();
+    const std::string prom = reg.prometheus();
+    for (const char* name : names)
+        EXPECT_NE(json.find(name), std::string::npos) << name;
+    // Prometheus rendering sanitizes the path but must carry all six
+    // mc series.
+    EXPECT_NE(prom.find("mc_executions"), std::string::npos) << prom;
+    EXPECT_NE(prom.find("mc_states"), std::string::npos);
+    EXPECT_NE(prom.find("mc_branches"), std::string::npos);
+    EXPECT_NE(prom.find("mc_sleepset_pruned"), std::string::npos);
+    EXPECT_NE(prom.find("mc_dpor_pruned"), std::string::npos);
+    EXPECT_NE(prom.find("mc_visited_pruned"), std::string::npos);
+    // At least one execution must have been accounted.
+    EXPECT_EQ(json.find("\"/mc/executions:count\",\"kind\":"
+                        "\"counter\",\"value\":0"),
+              std::string::npos);
+}
+
+TEST(McTrace, RoundTripsLosslessly)
+{
+    mc::TraceFile t;
+    t.pattern = "toy/schedule-leak";
+    t.correct = false;
+    t.duration = 123 * support::kMillisecond;
+    t.patternSeed = 7;
+    t.schedule = {4, 2, 9};
+    t.enabled = {{2, 4}, {2, 9}, {9, 11}};
+    t.verdictCanonical = "toy:1=1|unexpected=0|globalDeadlock=0|"
+                         "panicked=0|mainReclaimed=0";
+    t.verdictHash = 0xdeadbeefcafef00dull;
+
+    const std::string bytes = mc::writeTrace(t);
+    std::istringstream in(bytes);
+    mc::TraceFile back;
+    std::string err;
+    ASSERT_TRUE(mc::parseTrace(in, back, err)) << err;
+    EXPECT_EQ(back.pattern, t.pattern);
+    EXPECT_EQ(back.correct, t.correct);
+    EXPECT_EQ(back.duration, t.duration);
+    EXPECT_EQ(back.patternSeed, t.patternSeed);
+    EXPECT_EQ(back.schedule, t.schedule);
+    EXPECT_EQ(back.enabled, t.enabled);
+    EXPECT_EQ(back.verdictCanonical, t.verdictCanonical);
+    EXPECT_EQ(back.verdictHash, t.verdictHash);
+    // Serialization is canonical: a second write is byte-identical.
+    EXPECT_EQ(mc::writeTrace(back), bytes);
+}
+
+TEST(McTrace, RejectsMalformedInput)
+{
+    mc::TraceFile out;
+    std::string err;
+    {
+        std::istringstream in("not a trace\n");
+        EXPECT_FALSE(mc::parseTrace(in, out, err));
+    }
+    {
+        std::istringstream in("golf-mc-trace v1\n");
+        EXPECT_FALSE(mc::parseTrace(in, out, err)); // no pattern
+    }
+    {
+        std::istringstream in("golf-mc-trace v1\n"
+                              "pattern x correct=0\n"
+                              "choice 1 5 enabled=5\n"); // gap at 0
+        EXPECT_FALSE(mc::parseTrace(in, out, err));
+    }
+    {
+        std::istringstream in("golf-mc-trace v1\n"
+                              "pattern x correct=0\n"
+                              "bogus line\n");
+        EXPECT_FALSE(mc::parseTrace(in, out, err));
+    }
+}
+
+TEST(McVerdict, CanonicalFormIsSortedAndStable)
+{
+    mc::Verdict v;
+    v.detected["b/2:9"] = 2;
+    v.detected["a/1:3"] = 1;
+    v.unexpected = 1;
+    v.globalDeadlock = true;
+    EXPECT_EQ(v.canonical(),
+              "a/1:3=1;b/2:9=2|unexpected=1|globalDeadlock=1|"
+              "panicked=0|mainReclaimed=0");
+    EXPECT_TRUE(v.leaky());
+    mc::Verdict clean;
+    EXPECT_FALSE(clean.leaky());
+    EXPECT_NE(v.hash(), clean.hash());
+}
+
+} // namespace
+} // namespace golf

@@ -91,6 +91,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "mc/mc.hpp"
 #include "microbench/harness.hpp"
 #include "microbench/registry.hpp"
 #include "obs/obs.hpp"
@@ -117,6 +118,10 @@ struct Options
     bool watchdog = false;
     rt::Recovery recovery = rt::Recovery::Reclaim;
     bool verbose = false;
+
+    // Model-checking replay mode: re-execute a golf_mc trace and
+    // byte-compare the verdict.
+    std::string mcCheck;
 
     // Cluster mode (-shards >= 2).
     int shards = 0;
@@ -168,6 +173,11 @@ parseArgs(int argc, char** argv, Options& opt)
             if (!v)
                 return false;
             opt.seeds = std::atoi(v);
+        } else if (arg == "-mc-check") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.mcCheck = v;
         } else if (arg == "-seed-base") {
             const char* v = next();
             if (!v)
@@ -543,6 +553,81 @@ runClusterSweep(const Options& opt)
     return ok ? 0 : 1;
 }
 
+/**
+ * -mc-check: parse a golf_mc trace, re-execute its schedule through
+ * mc::runSchedule, and byte-compare the canonical verdict (plus the
+ * recorded enabled sets, the replay-drift guard). Exit 0 iff both
+ * match.
+ */
+int
+runMcCheck(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "mc-check: cannot open %s\n",
+                     path.c_str());
+        return 2;
+    }
+    mc::TraceFile t;
+    std::string err;
+    if (!mc::parseTrace(in, t, err)) {
+        std::fprintf(stderr, "mc-check: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    const Pattern* pat = nullptr;
+    for (const Pattern& p : Registry::instance().all()) {
+        if (p.name == t.pattern && p.correct == t.correct) {
+            pat = &p;
+            break;
+        }
+    }
+    if (pat == nullptr) {
+        std::fprintf(stderr, "mc-check: unknown pattern %s\n",
+                     t.pattern.c_str());
+        return 2;
+    }
+
+    mc::McConfig cfg;
+    cfg.duration = t.duration;
+    cfg.patternSeed = t.patternSeed;
+    mc::ExecResult r = mc::runSchedule(*pat, cfg, t.schedule);
+
+    bool ok = true;
+    if (r.choices.size() < t.schedule.size()) {
+        std::fprintf(stderr,
+                     "mc-check: replay drift: %zu choice points, "
+                     "trace has %zu\n",
+                     r.choices.size(), t.schedule.size());
+        ok = false;
+    }
+    for (size_t k = 0; ok && k < t.schedule.size(); ++k) {
+        if (k < t.enabled.size() &&
+            r.choices[k].enabled != t.enabled[k]) {
+            std::fprintf(stderr,
+                         "mc-check: replay drift: enabled set at "
+                         "choice %zu differs\n",
+                         k);
+            ok = false;
+        }
+    }
+    const std::string got = r.verdict.canonical();
+    if (ok && got != t.verdictCanonical) {
+        std::fprintf(stderr,
+                     "mc-check: verdict mismatch\n  trace:  %s\n"
+                     "  replay: %s\n",
+                     t.verdictCanonical.c_str(), got.c_str());
+        ok = false;
+    }
+    if (ok && r.verdict.hash() != t.verdictHash) {
+        std::fprintf(stderr, "mc-check: verdict hash mismatch\n");
+        ok = false;
+    }
+    std::printf("mc-check %s: %s (%s)\n", t.pattern.c_str(),
+                ok ? "OK" : "FAILED", got.c_str());
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -557,11 +642,15 @@ main(int argc, char** argv)
             "[-gc-workers n] [-<kind>-prob p ...] [-repro] "
             "[-obs-repro] [-metrics path] [-gctrace] [-flight n] "
             "[-blockprofile ns] [-mutexprofile ns] [-no-obs] [-race] "
-            "[-watchdog] [-recovery rung] [-v] [-shards n "
+            "[-watchdog] [-recovery rung] [-v] [-mc-check trace] "
+            "[-shards n "
             "[-netfault] [-partition] [-verify] [-leak-prob p] "
             "[-net-<kind>-prob p] [-restart s@ms]]\n");
         return 2;
     }
+
+    if (!opt.mcCheck.empty())
+        return runMcCheck(opt.mcCheck);
 
     if (opt.shards >= 2)
         return runClusterSweep(opt);

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * golf_mc: systematic stateless model checking of microbench
+ * schedules (golf::mc, DESIGN.md §12).
+ *
+ * For every selected pattern the explorer enumerates scheduling
+ * decisions by DFS over the choice tree with sleep-set, visited-
+ * fingerprint and dynamic partial-order pruning:
+ *
+ *  - correct patterns: exhaustively verify that no interleaving
+ *    makes GOLF report a deadlock (zero false positives);
+ *  - leaky patterns: find a failing schedule, shrink it to the
+ *    minimal failing pick prefix, and emit it as a replayable
+ *    golf-mc-trace into the output directory (chaos_runner
+ *    -mc-check <trace> re-executes and byte-compares the verdict);
+ *  - goodlock cross-check: lock-order cycles golf::race predicted
+ *    vs. the schedules the explorer actually realized.
+ *
+ * Usage:
+ *   golf_mc [options]
+ *     -match <substr>    only patterns whose name contains substr
+ *     -correct           the corrected variants (default: both)
+ *     -leaky             the deadlocking variants (default: both)
+ *     -smallest <n>      per group, only the n smallest patterns by
+ *                        measured mcBound (0 = all)
+ *     -depth <n>         choice-point depth bound   (default 256)
+ *     -max-execs <n>     execution budget per pattern (default 20000)
+ *     -max-states <n>    state budget per pattern     (default 200000)
+ *     -duration <ms>     virtual run length before the forced GC
+ *                        (default 5000)
+ *     -seeds <n>         pattern data-seed sweep width: each seed gets
+ *                        its own exhaustive schedule exploration
+ *                        (default: 4 for correct, up to 16 for leaky —
+ *                        leaky stops at the first failing seed)
+ *     -no-dpor           disable partial-order reduction
+ *     -no-sleep          disable sleep sets
+ *     -no-visited        disable visited-fingerprint pruning
+ *     -keep-going        leaky: keep exploring after the first
+ *                        failing schedule (full verdict census)
+ *     -out <dir>         trace output directory (default results/mc)
+ *     -metrics <path>    write the /mc/ metrics JSON snapshot
+ *     -measure           print an mc_bounds.inc table (choice points
+ *                        along the default schedule) instead of
+ *                        exploring
+ *     -goodlock          print the goodlock-precision report
+ *     -best-effort       leaky patterns with no failing schedule in
+ *                        budget are reported but not fatal
+ *     -v                 per-pattern detail
+ *
+ * Exit status: 0 iff zero GOLF false positives on correct patterns
+ * and (unless -best-effort) every selected leaky pattern produced a
+ * minimal failing trace within budget.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mc/mc.hpp"
+#include "microbench/registry.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace golf;
+
+struct Options
+{
+    std::string match;
+    bool correct = false;
+    bool leaky = false;
+    int smallest = 0;
+    mc::McConfig mcCfg;
+    int seeds = 0; // Pattern-seed sweep width (0 = defaults).
+    bool keepGoing = false;
+    std::string outDir = "results/mc";
+    std::string metricsPath;
+    bool measure = false;
+    bool goodlock = false;
+    bool bestEffort = false;
+    bool verbose = false;
+};
+
+bool
+parseArgs(int argc, char** argv, Options& opt)
+{
+    opt.mcCfg.maxExecutions = 20000;
+    opt.mcCfg.maxStates = 200000;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-')
+            arg.erase(0, 1);
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "-match") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.match = v;
+        } else if (arg == "-correct") {
+            opt.correct = true;
+        } else if (arg == "-leaky") {
+            opt.leaky = true;
+        } else if (arg == "-smallest") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.smallest = std::atoi(v);
+        } else if (arg == "-depth") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.mcCfg.depthBound = std::atoi(v);
+        } else if (arg == "-max-execs") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.mcCfg.maxExecutions =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-max-states") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.mcCfg.maxStates =
+                static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-duration") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.mcCfg.duration =
+                std::atoll(v) * support::kMillisecond;
+        } else if (arg == "-seeds") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.seeds = std::atoi(v);
+        } else if (arg == "-no-dpor") {
+            opt.mcCfg.dpor = false;
+        } else if (arg == "-no-sleep") {
+            opt.mcCfg.sleepSets = false;
+        } else if (arg == "-no-visited") {
+            opt.mcCfg.visited = false;
+        } else if (arg == "-keep-going") {
+            opt.keepGoing = true;
+        } else if (arg == "-out") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.outDir = v;
+        } else if (arg == "-metrics") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.metricsPath = v;
+        } else if (arg == "-measure") {
+            opt.measure = true;
+        } else if (arg == "-goodlock") {
+            opt.goodlock = true;
+        } else if (arg == "-best-effort") {
+            opt.bestEffort = true;
+        } else if (arg == "-v") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+            return false;
+        }
+    }
+    if (!opt.correct && !opt.leaky) {
+        opt.correct = true;
+        opt.leaky = true;
+    }
+    return true;
+}
+
+std::vector<const microbench::Pattern*>
+selectGroup(bool correct, const Options& opt)
+{
+    std::vector<const microbench::Pattern*> out;
+    for (const auto& p : microbench::Registry::instance().all()) {
+        if (p.correct != correct)
+            continue;
+        if (!opt.match.empty() &&
+            p.name.find(opt.match) == std::string::npos)
+            continue;
+        out.push_back(&p);
+    }
+    // Smallest measured exploration first; unmeasured (0) last.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const microbench::Pattern* a,
+                        const microbench::Pattern* b) {
+                         const int ba =
+                             a->mcBound == 0 ? INT32_MAX : a->mcBound;
+                         const int bb =
+                             b->mcBound == 0 ? INT32_MAX : b->mcBound;
+                         if (ba != bb)
+                             return ba < bb;
+                         return a->name < b->name;
+                     });
+    if (opt.smallest > 0 &&
+        out.size() > static_cast<size_t>(opt.smallest))
+        out.resize(static_cast<size_t>(opt.smallest));
+    return out;
+}
+
+void
+measure(const std::vector<const microbench::Pattern*>& group,
+        const Options& opt)
+{
+    for (const auto* p : group) {
+        mc::ExecResult r = mc::runSchedule(*p, opt.mcCfg, {});
+        std::printf("    {\"%s\", %s, %d},\n", p->name.c_str(),
+                    p->correct ? "true" : "false",
+                    static_cast<int>(r.choices.size()) + 1);
+    }
+}
+
+void
+writeTraceFile(const microbench::Pattern& p, const Options& opt,
+               const mc::McConfig& cfg, const mc::ExploreResult& res)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opt.outDir, ec);
+    mc::TraceFile t;
+    t.pattern = p.name;
+    t.correct = p.correct;
+    t.duration = cfg.duration;
+    t.patternSeed = cfg.patternSeed;
+    t.schedule = res.minimalSchedule;
+    // Re-run the minimal schedule once to record the enabled sets
+    // (replay-drift guard in -mc-check).
+    mc::ExecResult rerun =
+        mc::runSchedule(p, cfg, res.minimalSchedule);
+    for (size_t k = 0; k < t.schedule.size(); ++k)
+        t.enabled.push_back(rerun.choices[k].enabled);
+    t.verdictCanonical = rerun.verdict.canonical();
+    t.verdictHash = rerun.verdict.hash();
+
+    const std::string path =
+        opt.outDir + "/" + mc::patternSlug(p.name) +
+        (p.correct ? "_correct" : "") + ".trace";
+    std::ofstream os(path, std::ios::binary);
+    os << mc::writeTrace(t);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        std::fprintf(stderr, "usage: golf_mc [options]; see header\n");
+        return 2;
+    }
+
+    obs::Registry metrics;
+    mc::registerMetrics(metrics);
+
+    uint64_t falsePositives = 0;
+    uint64_t undetectedLeaky = 0;
+    uint64_t minedTraces = 0;
+    uint64_t incomplete = 0;
+    uint64_t goodlockPredicted = 0;
+    uint64_t goodlockConfirmed = 0;
+
+    auto runGroup = [&](bool correct) {
+        auto group = selectGroup(correct, opt);
+        if (opt.measure) {
+            measure(group, opt);
+            return;
+        }
+        for (const auto* p : group) {
+            mc::McConfig cfg = opt.mcCfg;
+            cfg.stopOnFailure = !correct && !opt.keepGoing;
+            // Data-seed sweep: schedule exploration is exhaustive per
+            // seed; FLAKY patterns leak only on some internal data
+            // draws, so leaky patterns try seeds until one fails.
+            const int seedLimit =
+                opt.seeds > 0 ? opt.seeds : (correct ? 4 : 16);
+            mc::ExploreResult res;
+            for (int s = 1; s <= seedLimit; ++s) {
+                cfg.patternSeed = static_cast<uint64_t>(s);
+                mc::ExploreResult one = mc::explore(*p, cfg, &metrics);
+                if (s == 1) {
+                    res = std::move(one);
+                } else {
+                    res.stats.executions += one.stats.executions;
+                    res.stats.states += one.stats.states;
+                    res.stats.branches += one.stats.branches;
+                    res.stats.sleepPruned += one.stats.sleepPruned;
+                    res.stats.dporPruned += one.stats.dporPruned;
+                    res.stats.visitedPruned += one.stats.visitedPruned;
+                    res.complete = res.complete && one.complete;
+                    res.falsePositiveExecutions +=
+                        one.falsePositiveExecutions;
+                    res.failedLabels.insert(one.failedLabels.begin(),
+                                            one.failedLabels.end());
+                    res.goodlock.insert(res.goodlock.end(),
+                                        one.goodlock.begin(),
+                                        one.goodlock.end());
+                    if (one.foundFailure && !res.foundFailure) {
+                        res.foundFailure = true;
+                        res.firstFailure = one.firstFailure;
+                        res.minimalSchedule = one.minimalSchedule;
+                        res.minimalVerdict = one.minimalVerdict;
+                    }
+                }
+                if (res.foundFailure) {
+                    cfg.patternSeed = static_cast<uint64_t>(s);
+                    break; // Leaky: this seed's minimal trace wins.
+                }
+            }
+            const uint64_t failingSeed = cfg.patternSeed;
+            if (!res.complete)
+                ++incomplete;
+            for (const auto& e : res.goodlock) {
+                ++goodlockPredicted;
+                if (e.confirmedIn > 0)
+                    ++goodlockConfirmed;
+                if (opt.goodlock) {
+                    std::printf(
+                        "goodlock %-24s %s predicted=%llu "
+                        "confirmed=%llu\n",
+                        p->name.c_str(), e.cycle.c_str(),
+                        static_cast<unsigned long long>(e.predictedIn),
+                        static_cast<unsigned long long>(
+                            e.confirmedIn));
+                }
+            }
+            if (correct) {
+                const bool fp = res.falsePositiveExecutions > 0;
+                const bool anomaly = res.foundFailure;
+                if (fp)
+                    ++falsePositives;
+                if (opt.verbose || fp || anomaly) {
+                    std::printf(
+                        "correct %-24s execs=%-7llu states=%-7llu "
+                        "%s%s%s\n",
+                        p->name.c_str(),
+                        static_cast<unsigned long long>(
+                            res.stats.executions),
+                        static_cast<unsigned long long>(
+                            res.stats.states),
+                        res.complete ? "exhaustive" : "BUDGET",
+                        fp ? " FALSE-POSITIVE" : "",
+                        anomaly && !fp ? (" ANOMALY " +
+                                          res.firstFailure.canonical())
+                                             .c_str()
+                                       : "");
+                }
+            } else {
+                if (res.foundFailure) {
+                    writeTraceFile(*p, opt, cfg, res);
+                    ++minedTraces;
+                    if (opt.verbose) {
+                        std::printf(
+                            "leaky   %-24s execs=%-7llu minimal=%zu "
+                            "seed=%llu verdict=%s\n",
+                            p->name.c_str(),
+                            static_cast<unsigned long long>(
+                                res.stats.executions),
+                            res.minimalSchedule.size(),
+                            static_cast<unsigned long long>(
+                                failingSeed),
+                            res.minimalVerdict.canonical().c_str());
+                    }
+                } else {
+                    ++undetectedLeaky;
+                    std::printf(
+                        "leaky   %-24s NO FAILING SCHEDULE "
+                        "(execs=%llu states=%llu%s)\n",
+                        p->name.c_str(),
+                        static_cast<unsigned long long>(
+                            res.stats.executions),
+                        static_cast<unsigned long long>(
+                            res.stats.states),
+                        res.complete ? ", tree exhausted" : ", budget");
+                }
+            }
+        }
+    };
+
+    if (opt.measure)
+        std::printf("const McBoundEntry kMcBounds[] = {\n");
+    if (opt.correct)
+        runGroup(true);
+    if (opt.leaky)
+        runGroup(false);
+    if (opt.measure) {
+        std::printf("};\n");
+        return 0;
+    }
+
+    if (!opt.metricsPath.empty()) {
+        std::ofstream os(opt.metricsPath, std::ios::binary);
+        os << metrics.snapshotJson();
+    }
+
+    std::printf(
+        "golf_mc: false-positives=%llu mined-traces=%llu "
+        "undetected-leaky=%llu incomplete=%llu goodlock=%llu/%llu\n",
+        static_cast<unsigned long long>(falsePositives),
+        static_cast<unsigned long long>(minedTraces),
+        static_cast<unsigned long long>(undetectedLeaky),
+        static_cast<unsigned long long>(incomplete),
+        static_cast<unsigned long long>(goodlockConfirmed),
+        static_cast<unsigned long long>(goodlockPredicted));
+
+    if (falsePositives > 0)
+        return 1;
+    if (undetectedLeaky > 0 && !opt.bestEffort)
+        return 1;
+    return 0;
+}

@@ -5,10 +5,12 @@
 # own build tree so the instrumented objects never mix with the
 # default build.
 #
-# The thread tier runs `ctest -L parallel` only: the rest of the
+# The thread tier runs `ctest -L 'parallel|mc'` only: the rest of the
 # runtime is single-threaded by construction, so TSan has nothing to
 # check there — the mark-worker pool (Chase-Lev deques, termination
-# protocol, CAS mark words) is the one genuinely concurrent subsystem.
+# protocol, CAS mark words) is the one genuinely concurrent subsystem,
+# and the model-checking suite drives it across -gc-workers 1/2
+# (fingerprint determinism) on every explored execution.
 #
 # Usage: tools/run_sanitizers.sh [address] [undefined] [thread]
 #   (no arguments = all three tiers)
@@ -34,7 +36,7 @@ for san in "${tiers[@]}"; do
     cmake --build "$bdir" -j "$jobs"
     if [ "$san" = thread ]; then
         ctest --test-dir "$bdir" --output-on-failure -j "$jobs" \
-            -L parallel
+            -L 'parallel|mc'
     else
         ctest --test-dir "$bdir" --output-on-failure -j "$jobs"
     fi
