@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Allocator throughput sweep: alloc-only and steady-state churn
+ * (allocate / drop half / collect / refill) rates for the pool
+ * backend vs the legacy one-new-per-object backend, emitted as
+ * BENCH_alloc.json.
+ *
+ * The sweep doubles as a correctness smoke: both backends run the
+ * identical seeded workload and must finish with byte-identical
+ * MemStats accounting (heapAlloc / heapObjects / totalAlloc /
+ * totalFreed / numGC) and the same per-cycle freed counts — the
+ * DESIGN.md §13 transparency contract — and the run exits non-zero
+ * on any mismatch, which is how the `bench_alloc_smoke` ctest wires
+ * it into tier-1. The throughput gate is deliberately loose (pool
+ * must stay within 2x of legacy on churn) because the differential
+ * suite, not this bench, is the correctness authority; the JSON
+ * records the real ratio for the curious.
+ *
+ * Usage:
+ *   gc_alloc [--smoke]
+ * Environment:
+ *   GOLF_ALLOC_OBJS   objects per wave   (default 200000; smoke 40000)
+ *   GOLF_ALLOC_WAVES  churn waves        (default 8; smoke 4)
+ *   GOLF_RESULTS_DIR  where the JSON goes (default .)
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gc/heap.hpp"
+#include "gc/marker.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace golf;
+
+/** Padded managed objects covering four size classes + one large. */
+template <size_t N>
+struct Blob final : gc::Object
+{
+    unsigned char pad[N];
+    void trace(gc::Marker&) override {}
+    const char* objectName() const override { return "bench-blob"; }
+};
+
+gc::Object*
+makeSized(gc::Heap& heap, uint64_t roll)
+{
+    switch (roll % 16) {
+    case 0:
+        return heap.make<Blob<200>>();
+    case 1:
+    case 2:
+        return heap.make<Blob<1000>>();
+    case 3:
+        return heap.make<Blob<6000>>(); // large path
+    default:
+        break;
+    }
+    return heap.make<Blob<40>>();
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+struct BackendResult
+{
+    uint64_t allocNs = 0;       ///< First-wave allocation time.
+    uint64_t churnNs = 0;       ///< All subsequent waves.
+    uint64_t churnedObjects = 0;///< Frees + refills timed in churnNs.
+    double allocPerSec = 0.0;
+    double churnPerSec = 0.0;
+    std::vector<size_t> freedPerCycle;
+    gc::MemStats finalStats;
+    uint64_t liveObjects = 0;
+    gc::PoolStats pool;
+};
+
+/** Mark every rooted object with a serial marker, then sweep. */
+size_t
+collect(gc::Heap& heap, const std::vector<gc::Object*>& roots)
+{
+    gc::Marker m = heap.beginCycle();
+    for (gc::Object* o : roots)
+        m.mark(o);
+    m.drain();
+    return heap.sweep(m);
+}
+
+BackendResult
+runBackend(gc::AllocBackend backend, size_t objs, int waves)
+{
+    gc::HeapConfig hc;
+    hc.backend = backend;
+    // Pacing off the table: the bench drives collection manually so
+    // both backends see the identical cycle schedule.
+    hc.minTriggerBytes = ~uint64_t{0} >> 1;
+    gc::Heap heap(hc);
+    support::Rng rng(20260809);
+
+    BackendResult r;
+    std::vector<gc::Object*> live;
+    live.reserve(objs);
+
+    uint64_t t0 = nowNs();
+    for (size_t i = 0; i < objs; ++i)
+        live.push_back(makeSized(heap, rng.next()));
+    r.allocNs = nowNs() - t0;
+
+    t0 = nowNs();
+    for (int wave = 0; wave < waves; ++wave) {
+        // Drop a seeded half, compact, collect, refill. Under the
+        // pool backend the refill is what exercises lazy sweep:
+        // pending spans reintegrate on the allocation path.
+        size_t kept = 0;
+        for (size_t i = 0; i < live.size(); ++i) {
+            if (rng.next() & 1)
+                live[kept++] = live[i];
+        }
+        const size_t dropped = live.size() - kept;
+        live.resize(kept);
+        r.freedPerCycle.push_back(collect(heap, live));
+        for (size_t i = 0; i < dropped; ++i)
+            live.push_back(makeSized(heap, rng.next()));
+        r.churnedObjects += 2 * dropped;
+    }
+    r.churnNs = nowNs() - t0;
+
+    r.allocPerSec = r.allocNs == 0
+        ? 0.0
+        : static_cast<double>(objs) * 1e9 /
+          static_cast<double>(r.allocNs);
+    r.churnPerSec = r.churnNs == 0
+        ? 0.0
+        : static_cast<double>(r.churnedObjects) * 1e9 /
+          static_cast<double>(r.churnNs);
+    r.finalStats = heap.stats();
+    r.liveObjects = heap.liveObjects();
+    r.pool = heap.poolStats();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+    const size_t objs = static_cast<size_t>(
+        bench::envInt("GOLF_ALLOC_OBJS", smoke ? 40000 : 200000));
+    const int waves = bench::envInt("GOLF_ALLOC_WAVES", smoke ? 4 : 8);
+
+    const BackendResult pool =
+        runBackend(gc::AllocBackend::Pool, objs, waves);
+    const BackendResult legacy =
+        runBackend(gc::AllocBackend::Legacy, objs, waves);
+
+    // Differential: identical workload, identical accounting.
+    bool ok = true;
+    auto check = [&](const char* what, uint64_t a, uint64_t b) {
+        if (a != b) {
+            std::fprintf(stderr,
+                         "MISMATCH %s: pool=%llu legacy=%llu\n", what,
+                         static_cast<unsigned long long>(a),
+                         static_cast<unsigned long long>(b));
+            ok = false;
+        }
+    };
+    check("heapAlloc", pool.finalStats.heapAlloc,
+          legacy.finalStats.heapAlloc);
+    check("heapObjects", pool.finalStats.heapObjects,
+          legacy.finalStats.heapObjects);
+    check("totalAlloc", pool.finalStats.totalAlloc,
+          legacy.finalStats.totalAlloc);
+    check("totalFreed", pool.finalStats.totalFreed,
+          legacy.finalStats.totalFreed);
+    check("numGC", pool.finalStats.numGC, legacy.finalStats.numGC);
+    check("liveObjects", pool.liveObjects, legacy.liveObjects);
+    if (pool.freedPerCycle != legacy.freedPerCycle) {
+        std::fprintf(stderr, "MISMATCH freedPerCycle\n");
+        ok = false;
+    }
+
+    const double churnRatio = legacy.churnPerSec == 0.0
+        ? 0.0
+        : pool.churnPerSec / legacy.churnPerSec;
+    // Loose floor: catches an accidental O(n) slow path on the pool
+    // allocator without turning host noise into tier-1 flakes.
+    const bool perfOk = churnRatio >= 0.5;
+    if (!perfOk) {
+        std::fprintf(stderr,
+                     "PERF GATE FAILED: pool churn %.2fx legacy "
+                     "(floor 0.5x)\n",
+                     churnRatio);
+    }
+
+    std::printf("gc_alloc: %zu objects/wave, %d waves%s\n", objs,
+                waves, smoke ? " (smoke)" : "");
+    std::printf("  pool    alloc=%10.0f objs/s  churn=%10.0f objs/s  "
+                "(spans=%llu recycled=%llu lazy=%llu drain=%llu)\n",
+                pool.allocPerSec, pool.churnPerSec,
+                static_cast<unsigned long long>(pool.pool.spans),
+                static_cast<unsigned long long>(
+                    pool.pool.slotsRecycled),
+                static_cast<unsigned long long>(
+                    pool.pool.lazySweptSpans),
+                static_cast<unsigned long long>(
+                    pool.pool.drainSweptSpans));
+    std::printf("  legacy  alloc=%10.0f objs/s  churn=%10.0f objs/s\n",
+                legacy.allocPerSec, legacy.churnPerSec);
+    std::printf("  pool/legacy churn ratio: %.2fx\n", churnRatio);
+
+    const std::string path = bench::csvPath("BENCH_alloc.json");
+    std::ofstream js(path);
+    js << "{\n"
+       << "  \"bench\": \"gc_alloc\",\n"
+       << "  \"objects_per_wave\": " << objs << ",\n"
+       << "  \"waves\": " << waves << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"pool\": {\"alloc_per_sec\": "
+       << static_cast<uint64_t>(pool.allocPerSec)
+       << ", \"churn_per_sec\": "
+       << static_cast<uint64_t>(pool.churnPerSec)
+       << ", \"spans\": " << pool.pool.spans
+       << ", \"slot_allocs\": " << pool.pool.slotAllocs
+       << ", \"slots_recycled\": " << pool.pool.slotsRecycled
+       << ", \"lazy_swept_spans\": " << pool.pool.lazySweptSpans
+       << ", \"drain_swept_spans\": " << pool.pool.drainSweptSpans
+       << "},\n"
+       << "  \"legacy\": {\"alloc_per_sec\": "
+       << static_cast<uint64_t>(legacy.allocPerSec)
+       << ", \"churn_per_sec\": "
+       << static_cast<uint64_t>(legacy.churnPerSec) << "},\n"
+       << "  \"pool_vs_legacy_churn\": " << churnRatio << ",\n"
+       << "  \"differential_ok\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"perf_ok\": " << (perfOk ? "true" : "false") << "\n"
+       << "}\n";
+    js.close();
+    std::printf("wrote %s\n", path.c_str());
+
+    return ok && perfOk ? 0 : 1;
+}

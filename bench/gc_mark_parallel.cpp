@@ -54,6 +54,22 @@ struct Node final : gc::Object
             m.mark(n);
     }
 
+    void
+    prefetchTrace() const override
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        if (!out.empty())
+            __builtin_prefetch(out.data(), 0);
+#endif
+    }
+
+    void
+    prefetchTraceTargets() const override
+    {
+        for (Node* n : out)
+            gc::prefetchMarkWord(n);
+    }
+
     const char* objectName() const override { return "bench-node"; }
 };
 

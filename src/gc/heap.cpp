@@ -1,12 +1,89 @@
 #include "gc/heap.hpp"
 
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <new>
 
 #include "gc/marker.hpp"
 #include "gc/parallel.hpp"
 #include "support/panic.hpp"
 
 namespace golf::gc {
+
+namespace {
+
+inline size_t
+popcountWord(uint64_t w)
+{
+    return static_cast<size_t>(__builtin_popcountll(w));
+}
+
+constexpr size_t kOsPage = 4096;
+
+/**
+ * Span storage comes straight from mmap, not operator new: anonymous
+ * mappings cluster in one virtual-address region, which keeps the
+ * PageMap's dense membership window (and so its bitmap) tiny and
+ * L1-resident — operator new would mix sbrk- and mmap-backed chunks
+ * tens of TB apart and blow the window up. Alignment comes from
+ * over-mapping by one span and trimming both ends.
+ */
+inline void*
+osAllocSpan(size_t bytes)
+{
+    const size_t len = (bytes + kOsPage - 1) & ~(kOsPage - 1);
+    const size_t over = len + kSpanSize;
+    void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw == MAP_FAILED)
+        throw std::bad_alloc{};
+    const uintptr_t base = reinterpret_cast<uintptr_t>(raw);
+    const uintptr_t aligned = (base + kSpanSize - 1) & ~(kSpanSize - 1);
+    if (const size_t head = aligned - base)
+        ::munmap(raw, head);
+    if (const size_t tail = over - (aligned - base) - len)
+        ::munmap(reinterpret_cast<void*>(aligned + len), tail);
+    return reinterpret_cast<void*>(aligned);
+}
+
+inline void
+osFreeSpan(void* p, size_t bytes)
+{
+    ::munmap(p, (bytes + kOsPage - 1) & ~(kOsPage - 1));
+}
+
+/** Placement-construct a span header on a fresh 64 KiB chunk. */
+Span*
+initSpan(void* mem, Heap* heap, uint16_t classIdx, uint32_t slotSize,
+         uint32_t numSlots, size_t footprint)
+{
+    Span* s = new (mem) Span;
+    s->heap = heap;
+    s->slotSize = slotSize;
+    s->numSlots = numSlots;
+    s->divMagic = divMagicFor(slotSize);
+    s->freeCount = numSlots;
+    s->cursorWord = 0;
+    s->classIdx = classIdx;
+    s->state = SpanState::InUse;
+    s->footprint = footprint;
+    uint32_t words = s->bitmapWords();
+    for (uint32_t w = 0; w < words; ++w) {
+        uint64_t full = ~uint64_t{0};
+        uint32_t tail = numSlots - w * 64;
+        s->availBits[w] = tail >= 64 ? full : (uint64_t{1} << tail) - 1;
+        s->liveBits[w] = 0;
+        s->pendingBits[w] = 0;
+    }
+    for (size_t w = 0; w < kMarkBitmapWords; ++w)
+        s->markBits[w].store(0, std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace
 
 void
 RootList::traceInto(Marker& marker) const
@@ -34,6 +111,199 @@ Heap::~Heap()
         delete obj;
         obj = next;
     }
+    for (Span* s : spans_) {
+        uint32_t words = s->bitmapWords();
+        for (uint32_t w = 0; w < words; ++w) {
+            uint64_t bits = s->liveBits[w];
+            while (bits) {
+                uint32_t slot =
+                    w * 64 +
+                    static_cast<uint32_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                Object* o = static_cast<Object*>(s->slotAt(slot));
+                if (freeHook_)
+                    freeHook_(o);
+                o->~Object();
+            }
+        }
+        const size_t footprint = s->footprint;
+        osFreeSpan(s, footprint);
+    }
+    for (void* raw : freeSpans_)
+        osFreeSpan(raw, kSpanSize);
+}
+
+// ---------------------------------------------------------------------------
+// Pool allocation
+// ---------------------------------------------------------------------------
+
+void*
+Heap::poolAllocate(size_t bytes)
+{
+    if (bytes > kMaxSmallSize)
+        return allocateLarge(bytes);
+    int ci = sizeClassFor(bytes);
+    SizeClassState& cls = classes_[static_cast<size_t>(ci)];
+    Span* s = cls.cur;
+    if (!s || s->freeCount == 0) {
+        // A full current span floats: it stays reachable via spans_
+        // and re-enters service through the sweep classification.
+        cls.cur = nullptr;
+        s = allocSlowPath(ci);
+    }
+    ++poolStats_.slotAllocs;
+    return s->slotAt(takeSlot(s));
+}
+
+uint32_t
+Heap::takeSlot(Span* s)
+{
+    uint32_t words = s->bitmapWords();
+    // First-fit from the cursor hint, wrapping once; freeCount > 0
+    // guarantees a set bit. Ascending order keeps the allocation
+    // pattern (and therefore address reuse) deterministic.
+    for (uint32_t w = s->cursorWord;; ++w) {
+        if (w == words)
+            w = 0;
+        uint64_t avail = s->availBits[w];
+        if (avail) {
+            uint32_t bit =
+                static_cast<uint32_t>(__builtin_ctzll(avail));
+            s->availBits[w] = avail & (avail - 1);
+            --s->freeCount;
+            s->cursorWord = w;
+            return w * 64 + bit;
+        }
+    }
+}
+
+Span*
+Heap::allocSlowPath(int classIdx)
+{
+    SizeClassState& cls = classes_[static_cast<size_t>(classIdx)];
+    // 1. A known-partial span: free slots, no sweep work.
+    while (!cls.partial.empty()) {
+        Span* s = cls.partial.back();
+        cls.partial.pop_back();
+        if (s->freeCount > 0) {
+            cls.cur = s;
+            return s;
+        }
+    }
+    // 2. Lazy sweep: reintegrate pending spans one at a time until
+    //    one yields a free slot (this is the "swept on first
+    //    allocation after a cycle" leg of the state machine).
+    while (!cls.pending.empty()) {
+        Span* s = cls.pending.back();
+        cls.pending.pop_back();
+        --poolStats_.pendingSweepSpans;
+        ++poolStats_.lazySweptSpans;
+        integrateSpan(s);
+        if (s->freeCount > 0) {
+            cls.cur = s;
+            return s;
+        }
+    }
+    // 3. A fresh span, from the retired cache or the OS.
+    Span* s = newSpan(classIdx);
+    cls.cur = s;
+    return s;
+}
+
+Span*
+Heap::newSpan(int classIdx)
+{
+    void* mem;
+    if (!freeSpans_.empty()) {
+        mem = freeSpans_.back();
+        freeSpans_.pop_back();
+        --poolStats_.cachedSpans;
+    } else {
+        mem = osAllocSpan(kSpanSize);
+    }
+    uint32_t slotSize = kSizeClasses[classIdx];
+    uint32_t numSlots = static_cast<uint32_t>(kSpanPayload / slotSize);
+    Span* s = initSpan(mem, this, static_cast<uint16_t>(classIdx),
+                       slotSize, numSlots, kSpanSize);
+    pagemap_.add(reinterpret_cast<uintptr_t>(s));
+    spans_.push_back(s);
+    ++poolStats_.spans;
+    poolStats_.spanBytes += kSpanSize;
+    return s;
+}
+
+void*
+Heap::allocateLarge(size_t bytes)
+{
+    size_t slotSize = (bytes + 15) & ~size_t{15};
+    size_t footprint = kSpanHeaderSize + slotSize;
+    void* mem;
+    if (footprint <= kSpanSize) {
+        // A large object that fits one span recycles whole 64 KiB
+        // chunks through the retired-span cache like any small-class
+        // span; an mmap/munmap round-trip per object would dominate
+        // mixed workloads. Only truly huge objects map their own
+        // exactly-sized region.
+        footprint = kSpanSize;
+        if (!freeSpans_.empty()) {
+            mem = freeSpans_.back();
+            freeSpans_.pop_back();
+            --poolStats_.cachedSpans;
+        } else {
+            mem = osAllocSpan(kSpanSize);
+        }
+    } else {
+        mem = osAllocSpan(footprint);
+    }
+    Span* s = initSpan(mem, this, kLargeClassIdx,
+                       static_cast<uint32_t>(slotSize), 1, footprint);
+    // The single slot is taken immediately.
+    s->availBits[0] = 0;
+    s->freeCount = 0;
+    s->divMagic = 0; // Any in-object offset maps to slot 0.
+    pagemap_.add(reinterpret_cast<uintptr_t>(s));
+    spans_.push_back(s);
+    ++poolStats_.largeSpans;
+    poolStats_.spanBytes += footprint;
+    ++poolStats_.largeAllocs;
+    return s->slotAt(0);
+}
+
+void
+Heap::poolUnallocate(void* mem)
+{
+    // Constructor threw: the slot was reserved but never became
+    // live. Hand it straight back.
+    Span* s = Span::of(mem);
+    if (s->classIdx == kLargeClassIdx) {
+        // Not necessarily the last span: the throwing constructor
+        // may itself have allocated.
+        spans_.erase(std::find(spans_.begin(), spans_.end(), s));
+        freeLargeSpan(s);
+        return;
+    }
+    uint32_t slot = s->slotIndexOf(mem);
+    s->availBits[slot >> 6] |= uint64_t{1} << (slot & 63);
+    ++s->freeCount;
+}
+
+void
+Heap::finishPoolAdopt(Object* obj, size_t bytes)
+{
+    Span* s = Span::of(obj);
+    uint32_t slot = s->slotIndexOf(obj);
+    s->liveBits[slot >> 6] |= uint64_t{1} << (slot & 63);
+    obj->heap_ = this;
+    obj->pooled_ = true;
+    obj->allocSize_ = bytes;
+    obj->baseSize_ = bytes;
+    obj->allocSeq_ = ++allocSeq_;
+    liveBytes_ += bytes;
+    ++liveObjects_;
+    stats_.totalAlloc += bytes;
+    stats_.heapAlloc = liveBytes_;
+    stats_.heapInuse = liveBytes_;
+    stats_.heapObjects = liveObjects_;
 }
 
 void
@@ -44,6 +314,7 @@ Heap::adopt(Object* obj, size_t bytes)
     obj->heap_ = this;
     obj->allocSize_ = bytes;
     obj->baseSize_ = bytes;
+    obj->allocSeq_ = ++allocSeq_;
     obj->allNext_ = allHead_;
     allHead_ = obj;
     liveBytes_ += bytes;
@@ -66,10 +337,28 @@ Heap::charge(Object* obj, size_t bytes)
     stats_.heapInuse = liveBytes_;
 }
 
+// ---------------------------------------------------------------------------
+// Cycle begin / whitening
+// ---------------------------------------------------------------------------
+
+void
+Heap::whitenPool()
+{
+    // Defensive drain: the collector already calls sweepRemainder()
+    // before the cycle; direct Heap users (tests, benches) get the
+    // same state machine without knowing about it.
+    sweepRemainder();
+    for (Span* s : spans_) {
+        for (size_t w = 0; w < kMarkBitmapWords; ++w)
+            s->markBits[w].store(0, std::memory_order_relaxed);
+    }
+}
+
 Marker
 Heap::beginCycle()
 {
     ++epoch_;
+    whitenPool();
     return Marker(*this, epoch_);
 }
 
@@ -79,28 +368,55 @@ Heap::beginCycleParallel(int workers)
     if (workers < 1)
         workers = 1;
     ++epoch_;
+    whitenPool();
     if (!markerPool_ || markerPool_->workers() != workers)
         markerPool_ = std::make_unique<ParallelMarker>(*this, workers);
     markerPool_->beginEpoch(epoch_);
     return *markerPool_;
 }
 
+// ---------------------------------------------------------------------------
+// Sweep
+// ---------------------------------------------------------------------------
+
 size_t
 Heap::sweep(Marker& marker)
 {
     // Finalizer grace pass: resurrect white finalizer-bearing objects
-    // and everything they reach, then queue their finalizers.
-    for (Object* obj = allHead_; obj; obj = obj->allNext_) {
-        if (obj->hasFinalizer_ && !marker.isMarked(obj)) {
-            marker.mark(obj);
-            marker.drain();
-            auto it = finalizers_.find(obj);
-            finalizerQueue_.push_back(std::move(it->second));
-            finalizers_.erase(it);
-            obj->hasFinalizer_ = false;
+    // and everything they reach, then queue their finalizers. Visits
+    // registration order — identical for both backends, so chains of
+    // finalizer objects resurrect in the same order and the marking
+    // stats stay byte-identical across backends.
+    for (size_t i = 0; i < finalizerOrder_.size();) {
+        Object* obj = finalizerOrder_[i];
+        if (marker.isMarked(obj)) {
+            ++i;
+            continue;
         }
+        marker.mark(obj);
+        marker.drain();
+        auto it = finalizers_.find(obj);
+        finalizerQueue_.push_back(std::move(it->second));
+        finalizers_.erase(it);
+        obj->hasFinalizer_ = false;
+        finalizerOrder_.erase(finalizerOrder_.begin() +
+                              static_cast<ptrdiff_t>(i));
     }
 
+    size_t freed = sweepChain(marker);
+    if (config_.backend == AllocBackend::Pool)
+        freed += sweepSpans(marker);
+
+    stats_.heapAlloc = liveBytes_;
+    stats_.heapInuse = liveBytes_;
+    stats_.heapObjects = liveObjects_;
+    repace();
+    return freed;
+}
+
+size_t
+Heap::sweepChain(const Marker& marker)
+{
     size_t freed = 0;
     Object** link = &allHead_;
     while (Object* obj = *link) {
@@ -124,18 +440,182 @@ Heap::sweep(Marker& marker)
         ::operator delete(obj);
         ++freed;
     }
+    return freed;
+}
 
-    stats_.heapAlloc = liveBytes_;
-    stats_.heapInuse = liveBytes_;
-    stats_.heapObjects = liveObjects_;
+size_t
+Heap::sweepSpans(const Marker& marker)
+{
+    (void)marker; // Pool mark state lives in the span bitmaps.
+    size_t freed = 0;
+    // Sweep rebuilds the per-class span sets from scratch — every
+    // span is visited anyway, so this is where cur/partial/pending
+    // membership is recomputed instead of maintained incrementally.
+    for (SizeClassState& cls : classes_) {
+        cls.cur = nullptr;
+        cls.partial.clear();
+        cls.pending.clear();
+    }
+    poolStats_.pendingSweepSpans = 0;
 
-    // Re-pace: next collection when the live heap grows by gcPercent.
+    std::vector<Span*> keep;
+    keep.reserve(spans_.size());
+    for (Span* s : spans_) {
+        uint32_t words = s->bitmapWords();
+        bool anyDead = false;
+        for (uint32_t w = 0; w < words; ++w) {
+            const uint64_t live = s->liveBits[w];
+            if (!live)
+                continue;
+            // Project the granule-indexed mark bitmap back onto this
+            // slot word (sweep is cold; mark stays metadata-free).
+            uint64_t mark = 0;
+            for (uint64_t bits = live; bits;) {
+                uint32_t slot =
+                    w * 64 +
+                    static_cast<uint32_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                if (s->testMark(slot))
+                    mark |= uint64_t{1} << (slot & 63);
+            }
+            uint64_t dead = live & ~mark;
+            if (!dead)
+                continue;
+            anyDead = true;
+            uint64_t bits = dead;
+            while (bits) {
+                uint32_t slot =
+                    w * 64 +
+                    static_cast<uint32_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                Object* obj = static_cast<Object*>(s->slotAt(slot));
+                liveBytes_ -= obj->allocSize_;
+                --liveObjects_;
+                stats_.totalFreed += obj->allocSize_;
+                if (freeHook_)
+                    freeHook_(obj);
+                obj->~Object();
+                if (config_.poisonFreed)
+                    std::memset(s->slotAt(slot), 0xDD, s->slotSize);
+                ++freed;
+            }
+            s->liveBits[w] &= mark;
+            s->pendingBits[w] |= dead;
+        }
+
+        if (s->classIdx == kLargeClassIdx) {
+            // Large spans are released eagerly: their storage cannot
+            // be recycled by another size class, so parking them in
+            // PendingSweep would only pin memory.
+            if (anyDead) {
+                freeLargeSpan(s);
+                continue;
+            }
+            keep.push_back(s);
+            continue;
+        }
+
+        SizeClassState& cls = classes_[s->classIdx];
+        if (anyDead) {
+            s->state = SpanState::PendingSweep;
+            cls.pending.push_back(s);
+            ++poolStats_.pendingSweepSpans;
+        } else if (s->freeCount == s->numSlots) {
+            // Never got a live object back after a previous drain
+            // (e.g. it was the class's current span): retire.
+            retireSpan(s);
+            continue;
+        } else if (s->freeCount > 0) {
+            cls.partial.push_back(s);
+        }
+        keep.push_back(s);
+    }
+    spans_.swap(keep);
+    return freed;
+}
+
+void
+Heap::integrateSpan(Span* s)
+{
+    uint32_t words = s->bitmapWords();
+    uint32_t recycled = 0;
+    for (uint32_t w = 0; w < words; ++w) {
+        uint64_t pending = s->pendingBits[w];
+        if (!pending)
+            continue;
+        recycled += static_cast<uint32_t>(popcountWord(pending));
+        s->availBits[w] |= pending;
+        s->pendingBits[w] = 0;
+    }
+    s->freeCount += recycled;
+    s->cursorWord = 0;
+    s->state = SpanState::InUse;
+    poolStats_.slotsRecycled += recycled;
+}
+
+void
+Heap::retireSpan(Span* s)
+{
+    pagemap_.remove(reinterpret_cast<uintptr_t>(s));
+    --poolStats_.spans;
+    poolStats_.spanBytes -= kSpanSize;
+    ++poolStats_.cachedSpans;
+    freeSpans_.push_back(static_cast<void*>(s));
+}
+
+void
+Heap::freeLargeSpan(Span* s)
+{
+    pagemap_.remove(reinterpret_cast<uintptr_t>(s));
+    --poolStats_.largeSpans;
+    poolStats_.spanBytes -= s->footprint;
+    if (s->footprint == kSpanSize) {
+        ++poolStats_.cachedSpans;
+        freeSpans_.push_back(static_cast<void*>(s));
+        return;
+    }
+    const size_t footprint = s->footprint;
+    osFreeSpan(s, footprint);
+}
+
+size_t
+Heap::sweepRemainder()
+{
+    size_t drained = 0;
+    for (SizeClassState& cls : classes_) {
+        for (Span* s : cls.pending) {
+            integrateSpan(s);
+            ++drained;
+            if (s->freeCount == s->numSlots) {
+                auto it = std::find(spans_.begin(), spans_.end(), s);
+                spans_.erase(it);
+                retireSpan(s);
+            } else if (s->freeCount > 0) {
+                cls.partial.push_back(s);
+            }
+        }
+        cls.pending.clear();
+    }
+    if (drained) {
+        poolStats_.pendingSweepSpans = 0;
+        poolStats_.drainSweptSpans += drained;
+    }
+    return drained;
+}
+
+void
+Heap::repace()
+{
+    // Next collection when the live heap grows by gcPercent.
     uint64_t next = liveBytes_ +
         liveBytes_ * static_cast<uint64_t>(config_.gcPercent) / 100;
     triggerBytes_ = next < config_.minTriggerBytes
         ? config_.minTriggerBytes : next;
-    return freed;
 }
+
+// ---------------------------------------------------------------------------
+// Finalizers, pacing, verification
+// ---------------------------------------------------------------------------
 
 size_t
 Heap::runFinalizers()
@@ -158,6 +638,8 @@ Heap::setFinalizer(Object* obj, std::function<void()> fn)
 {
     if (!owns(obj))
         support::panic("gc::Heap::setFinalizer: not my object");
+    if (!obj->hasFinalizer_)
+        finalizerOrder_.push_back(obj);
     obj->hasFinalizer_ = true;
     finalizers_[obj] = std::move(fn);
 }
@@ -166,6 +648,64 @@ bool
 Heap::shouldCollect() const
 {
     return liveBytes_ >= triggerBytes_;
+}
+
+std::string
+Heap::verifyPool() const
+{
+    uint64_t liveSeen = 0;
+    for (const Span* s : spans_) {
+        char where[64];
+        std::snprintf(where, sizeof(where), "span@%p class %u",
+                      static_cast<const void*>(s),
+                      unsigned(s->classIdx));
+        if (!pagemap_.contains(reinterpret_cast<uintptr_t>(s)))
+            return std::string(where) + ": not in pagemap";
+        uint32_t words = s->bitmapWords();
+        size_t avail = 0;
+        for (uint32_t w = 0; w < words; ++w) {
+            uint64_t a = s->availBits[w];
+            uint64_t l = s->liveBits[w];
+            uint64_t p = s->pendingBits[w];
+            if ((a & l) || (a & p) || (l & p))
+                return std::string(where) +
+                       ": avail/live/pending bitmaps overlap";
+            uint32_t tail = s->numSlots > w * 64 ? s->numSlots - w * 64
+                                                 : 0;
+            uint64_t valid = tail >= 64 ? ~uint64_t{0}
+                             : tail == 0 ? 0
+                                         : (uint64_t{1} << tail) - 1;
+            if ((a | l | p) & ~valid)
+                return std::string(where) +
+                       ": bits set beyond numSlots";
+            avail += popcountWord(a);
+            liveSeen += popcountWord(l);
+        }
+        if (avail != s->freeCount)
+            return std::string(where) + ": freeCount " +
+                   std::to_string(s->freeCount) +
+                   " != avail popcount " + std::to_string(avail);
+        // Slot reciprocal round-trip over the live slots.
+        for (uint32_t w = 0; w < words; ++w) {
+            uint64_t bits = s->liveBits[w];
+            while (bits) {
+                uint32_t slot =
+                    w * 64 +
+                    static_cast<uint32_t>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                if (s->slotIndexOf(s->slotAt(slot)) != slot)
+                    return std::string(where) +
+                           ": slot reciprocal mismatch at slot " +
+                           std::to_string(slot);
+            }
+        }
+    }
+    for (const Object* obj = allHead_; obj; obj = obj->allNext_)
+        ++liveSeen;
+    if (liveSeen != liveObjects_)
+        return "pool live popcount " + std::to_string(liveSeen) +
+               " != heap liveObjects " + std::to_string(liveObjects_);
+    return {};
 }
 
 } // namespace golf::gc

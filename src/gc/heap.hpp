@@ -6,14 +6,34 @@
  * (root selection, mark iterations, deadlock detection) is driven by
  * golf::Collector, which owns the policy differences between the
  * ordinary Go GC and the GOLF extension.
+ *
+ * Two allocation backends (HeapConfig::backend, DESIGN.md §13):
+ *
+ *   Pool (default)  size-class segregated spans (gc/span.hpp): slot
+ *                   reservation from per-class bitmap spans, mark
+ *                   state in per-span bitmaps, slots recycled by a
+ *                   lazy sweep instead of returned to the OS.
+ *   Legacy          the historical one-`new`-per-object scheme with
+ *                   per-object mark epochs.
+ *
+ * Both backends produce byte-identical MemStats, GOLF reports, race
+ * verdicts and mc fingerprints for identical programs — the
+ * differential suite in tests/alloc_diff_test.cpp pins this. The
+ * determinism argument: every externally visible quantity is a
+ * function of which objects exist, their charged sizes and their
+ * allocation *order*, none of which the backend changes; addresses
+ * never escape into reports or fingerprints.
  */
 #ifndef GOLFCC_GC_HEAP_HPP
 #define GOLFCC_GC_HEAP_HPP
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -21,10 +41,17 @@
 #include "gc/memstats.hpp"
 #include "gc/object.hpp"
 #include "gc/root.hpp"
+#include "gc/span.hpp"
 
 namespace golf::gc {
 
 class ParallelMarker;
+
+/** Allocation backend selector (chaos_runner/golf_tester -alloc). */
+enum class AllocBackend : uint8_t {
+    Pool,   ///< Size-class span allocator (default).
+    Legacy, ///< Per-object new/delete, per-object mark epochs.
+};
 
 /** Pacing and debugging knobs. */
 struct HeapConfig
@@ -36,6 +63,8 @@ struct HeapConfig
     uint64_t minTriggerBytes = 256 * 1024;
     /** Fill freed memory with 0xDD to catch use-after-sweep. */
     bool poisonFreed = true;
+    /** Allocator backend; Legacy exists for differential testing. */
+    AllocBackend backend = AllocBackend::Pool;
 };
 
 class Heap
@@ -56,8 +85,24 @@ class Heap
         // fault injection) — before anything is constructed.
         if (allocHook_)
             allocHook_(sizeof(T));
-        T* obj = new T(std::forward<Args>(args)...);
-        adopt(obj, sizeof(T));
+        if (config_.backend == AllocBackend::Legacy) {
+            T* obj = new T(std::forward<Args>(args)...);
+            adopt(obj, sizeof(T));
+            return obj;
+        }
+        // Pool path: reserve the slot, then construct in place. A
+        // throwing constructor returns the slot before rethrowing;
+        // the object becomes live (liveBits, accounting) only after
+        // construction succeeds.
+        void* mem = poolAllocate(sizeof(T));
+        T* obj;
+        try {
+            obj = new (mem) T(std::forward<Args>(args)...);
+        } catch (...) {
+            poolUnallocate(mem);
+            throw;
+        }
+        finishPoolAdopt(obj, sizeof(T));
         return obj;
     }
 
@@ -72,7 +117,10 @@ class Heap
      * Install a hook invoked just before an object is destroyed —
      * both at sweep and at heap teardown. Used by the race detector
      * to drop shadow state for the freed address range before it can
-     * be reused by a later allocation.
+     * be reused by a later allocation. Under the pool backend reuse
+     * is the *common* case (the next same-class allocation), so this
+     * firing exactly once per destruction is what keeps stale shadow
+     * words from bleeding into the slot's next tenant.
      */
     void
     setFreeHook(std::function<void(Object*)> hook)
@@ -80,18 +128,36 @@ class Heap
         freeHook_ = std::move(hook);
     }
 
-    /** Visit every live object (the all-objects list); fn must not
-     *  allocate or free. */
+    /** Visit every live object; fn must not allocate or free. Pool
+     *  objects come first in span-creation/slot order, then the
+     *  adopted/legacy chain — deterministic for a deterministic
+     *  allocation sequence, but *not* backend-independent (order by
+     *  Object::allocSeq() where that matters, as mc does). */
     template <typename Fn>
     void
     forEachObject(Fn&& fn) const
     {
+        for (const Span* s : spans_) {
+            uint32_t words = s->bitmapWords();
+            for (uint32_t w = 0; w < words; ++w) {
+                uint64_t bits = s->liveBits[w];
+                while (bits) {
+                    uint32_t slot =
+                        w * 64 +
+                        static_cast<uint32_t>(__builtin_ctzll(bits));
+                    bits &= bits - 1;
+                    fn(static_cast<Object*>(s->slotAt(slot)));
+                }
+            }
+        }
         for (Object* obj = allHead_; obj; obj = obj->allNext_)
             fn(obj);
     }
 
     /** Register an externally constructed object with this heap,
-     *  charging `bytes` to it. Takes ownership. */
+     *  charging `bytes` to it. Takes ownership. Externally adopted
+     *  objects always use the legacy chain + epoch marks, whichever
+     *  backend the heap's own allocations use. */
     void adopt(Object* obj, size_t bytes);
 
     /** Charge extra bytes to an object (e.g. container growth). */
@@ -103,19 +169,22 @@ class Heap
         return obj && obj->heap_ == this;
     }
 
-    /// @{ Mark state, relative to the current epoch.
+    /// @{ Mark state, relative to the current cycle.
     uint64_t epoch() const { return epoch_; }
     bool isMarked(const Object* obj) const
     {
+        if (obj->pooled_)
+            return spanMarked(obj);
         return obj->markEpoch_.load(std::memory_order_relaxed) ==
                epoch_;
     }
     /// @}
 
     /**
-     * Begin a collection cycle: bump the epoch (which whitens every
-     * object) and return a marker. Phase sequencing beyond this is
-     * the collector's job.
+     * Begin a collection cycle: bump the epoch, whiten every object
+     * (pool spans additionally drain any lazy-sweep remainder and
+     * clear their mark bitmaps) and return a marker. Phase sequencing
+     * beyond this is the collector's job.
      */
     Marker beginCycle();
 
@@ -135,14 +204,32 @@ class Heap
      * Sweep: destroy every white object. Objects with finalizers are
      * resurrected instead (marked, finalizer queued and detached),
      * matching Go's one-cycle-of-grace finalizer semantics.
+     *
+     * Destructors, the free hook, poisoning and MemStats accounting
+     * all happen here, eagerly, for both backends — that is what
+     * keeps the two byte-identical. What the pool backend defers
+     * (the "lazy" in lazy sweep) is storage reintegration: a span
+     * with dead slots parks in PendingSweep and rejoins the
+     * allocatable sets on the first allocation that needs it, or at
+     * the latest in the sweepRemainder() drain before the next cycle.
      * Returns the number of objects freed.
      */
     size_t sweep(Marker& marker);
 
+    /**
+     * Drain the lazy-sweep remainder: reintegrate every span still
+     * in PendingSweep (golf::Collector calls this before starting the
+     * next cycle; beginCycle* also runs it defensively). Returns the
+     * number of spans processed.
+     */
+    size_t sweepRemainder();
+
     /** Run queued finalizers; returns how many ran. */
     size_t runFinalizers();
 
-    /** Attach a finalizer to obj (SetFinalizer analog). */
+    /** Attach a finalizer to obj (SetFinalizer analog). Finalizer
+     *  grace passes visit objects in registration order — a backend-
+     *  independent order, unlike the all-objects chain. */
     void setFinalizer(Object* obj, std::function<void()> fn);
 
     /** Whether the live heap has outgrown the pacing trigger. */
@@ -156,24 +243,92 @@ class Heap
     const MemStats& stats() const { return stats_; }
     uint64_t liveBytes() const { return liveBytes_; }
     uint64_t liveObjects() const { return liveObjects_; }
+    /** Pool-backend-only counters (all zero under Legacy). */
+    const PoolStats& poolStats() const { return poolStats_; }
     /// @}
+
+    /** All pool spans in creation order (introspection for the fuzz
+     *  oracle and the alloc bench; do not mutate). */
+    const std::vector<Span*>& spans() const { return spans_; }
+
+    /**
+     * Check every pool invariant: bitmap disjointness/coverage,
+     * freeCount == popcount(availBits), per-span live popcount sums
+     * to liveObjects(), pagemap membership, slot reciprocal
+     * round-trip. Returns an empty string when consistent, else a
+     * description of the first violation. Wired into
+     * rt::Runtime::verifyInvariants() so every chaos -verify run
+     * exercises it.
+     */
+    std::string verifyPool() const;
+
+    /** The membership map consulted by Marker's pool fast path;
+     *  null under the Legacy backend. */
+    const PageMap* poolPagemap() const
+    {
+        return config_.backend == AllocBackend::Pool ? &pagemap_
+                                                     : nullptr;
+    }
 
     const HeapConfig& config() const { return config_; }
 
   private:
+    friend class Marker;
+
+    /** Per-size-class allocation state. A span is referenced by at
+     *  most one of: cur, partial, pending (or floats unreferenced
+     *  when full); spans_ always holds every span. */
+    struct SizeClassState
+    {
+        Span* cur = nullptr;          ///< Actively allocating span.
+        std::vector<Span*> partial;   ///< InUse with free slots.
+        std::vector<Span*> pending;   ///< Awaiting lazy sweep.
+    };
+
+    /// @{ Pool internals (heap.cpp).
+    void* poolAllocate(size_t bytes);
+    void poolUnallocate(void* mem);
+    void finishPoolAdopt(Object* obj, size_t bytes);
+    void* allocateLarge(size_t bytes);
+    Span* allocSlowPath(int classIdx);
+    Span* newSpan(int classIdx);
+    uint32_t takeSlot(Span* s);
+    /** Merge pendingBits into availBits; InUse again. */
+    void integrateSpan(Span* s);
+    /** Remove a fully free span from service into the span cache. */
+    void retireSpan(Span* s);
+    size_t sweepSpans(const Marker& marker);
+    size_t sweepChain(const Marker& marker);
+    void freeLargeSpan(Span* s);
+    void whitenPool();
+    void repace();
+    /// @}
+
     HeapConfig config_;
-    Object* allHead_ = nullptr;     ///< Singly-linked all-objects list.
+    Object* allHead_ = nullptr; ///< Adopted/legacy objects chain.
     uint64_t epoch_ = 1;
     uint64_t liveBytes_ = 0;
     uint64_t liveObjects_ = 0;
+    uint64_t allocSeq_ = 0;
     uint64_t triggerBytes_;
     MemStats stats_;
+    PoolStats poolStats_;
     std::unique_ptr<ParallelMarker> markerPool_;
     RootList globalRoots_;
     std::function<void(size_t)> allocHook_;
     std::function<void(Object*)> freeHook_;
     std::unordered_map<Object*, std::function<void()>> finalizers_;
+    /** Finalizer-bearing objects in registration order (the order
+     *  grace passes use, so both backends resurrect identically). */
+    std::vector<Object*> finalizerOrder_;
     std::vector<std::function<void()>> finalizerQueue_;
+
+    /// @{ Pool state.
+    PageMap pagemap_;
+    std::vector<Span*> spans_; ///< Every span, creation order.
+    std::array<SizeClassState, kNumSizeClasses> classes_;
+    std::vector<void*> freeSpans_; ///< Retired 64 KiB chunks.
+    /// @}
 };
 
 /** RAII global root handle (module-level `var ch = make(...)`). */

@@ -1,5 +1,6 @@
 #include "gc/marker.hpp"
 
+#include <cstring>
 #include <utility>
 
 #include "gc/heap.hpp"
@@ -11,12 +12,14 @@ namespace golf::gc {
 
 Marker::Marker(Heap& heap, uint64_t epoch) : heap_(heap), epoch_(epoch)
 {
+    pagemap_ = heap.poolPagemap();
     hookRef_ = &ownHook_;
 }
 
 Marker::Marker(Marker&& other) noexcept
     : heap_(other.heap_),
       epoch_(other.epoch_),
+      pagemap_(other.pagemap_),
       grey_(std::move(other.grey_)),
       pointersTraversed_(other.pointersTraversed_),
       objectsMarked_(other.objectsMarked_),
@@ -36,21 +39,13 @@ Marker::Marker(ParallelMarker& pool, Heap& heap, int workerIdx)
       workerIdx_(workerIdx),
       concurrent_(pool.parallelEnabled())
 {
+    pagemap_ = heap.poolPagemap();
     hookRef_ = &pool.hook_;
 }
 
-void
-Marker::mark(Object* obj)
+bool
+Marker::markEpochPath(Object* obj)
 {
-    if (!obj)
-        return;
-    ++pointersTraversed_;
-    // Section 5.4: masked addresses (goroutines hidden in allgs, the
-    // semaphore treap) must never reach the marker. On mainstream
-    // 64-bit Linux a genuine user-space pointer never has the top bit
-    // set, so a masked pointer is detectable here.
-    if (support::isMaskedAddress(reinterpret_cast<uintptr_t>(obj)))
-        support::panic("Marker::mark called on a masked address");
     if (concurrent_) {
         // Several workers may race to shade the same object; the CAS
         // winner greys it (pushes it on a grey stack exactly once),
@@ -60,26 +55,28 @@ Marker::mark(Object* obj)
         // provide the cross-thread happens-before for object bodies.
         uint64_t seen = obj->markEpoch_.load(std::memory_order_relaxed);
         if (seen == epoch_)
-            return;
-        if (!obj->markEpoch_.compare_exchange_strong(
-                seen, epoch_, std::memory_order_relaxed,
-                std::memory_order_relaxed))
-            return; // Another worker won the shade.
-    } else {
-        if (obj->markEpoch_.load(std::memory_order_relaxed) == epoch_)
-            return;
-        obj->markEpoch_.store(epoch_, std::memory_order_relaxed);
+            return false;
+        return obj->markEpoch_.compare_exchange_strong(
+            seen, epoch_, std::memory_order_relaxed,
+            std::memory_order_relaxed);
     }
-    ++objectsMarked_;
-    bytesMarked_ += obj->allocSize_;
-    if (obj->hasFinalizer_)
-        finalizerSeen_ = true;
-    grey_.push_back(obj);
+    if (obj->markEpoch_.load(std::memory_order_relaxed) == epoch_)
+        return false;
+    obj->markEpoch_.store(epoch_, std::memory_order_relaxed);
+    return true;
 }
 
 void
 Marker::traceOne(Object* obj)
 {
+    // Per-object reads happen here, at pop time — never in mark(),
+    // which under the pool backend must not touch the object line.
+    // Totals are unchanged: every marked object is popped exactly
+    // once (possibly by a different worker, but the stats are summed
+    // across views).
+    bytesMarked_ += obj->allocSize_;
+    if (obj->hasFinalizer_)
+        finalizerSeen_ = true;
     // The hook fires here — at pop time, from the iterative loop —
     // never from inside mark(), so hook-driven marking (the eager
     // liveness daisy chain) cannot nest C++ stack frames.
@@ -91,10 +88,12 @@ Marker::traceOne(Object* obj)
 void
 Marker::drainLocal()
 {
+    Object* batch[kTraceBatch];
     while (!grey_.empty()) {
-        Object* obj = grey_.back();
-        grey_.pop_back();
-        traceOne(obj);
+        size_t n = detachTraceBatch(grey_, batch, kTraceBatch);
+        traceBatchTargets(batch, n);
+        for (size_t i = 0; i < n; ++i)
+            traceOne(batch[i]);
     }
 }
 

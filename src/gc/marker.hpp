@@ -31,16 +31,143 @@
 #define GOLFCC_GC_MARKER_HPP
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "gc/object.hpp"
+#include "gc/span.hpp"
+#include "support/masked_ptr.hpp"
+#include "support/panic.hpp"
 
 namespace golf::gc {
 
 class Heap;
 class Marker;
 class ParallelMarker;
+
+/**
+ * Objects detached per batch by the grey-stack pop loops. Tracing is
+ * a pointer chase with no computation to hide misses behind, and the
+ * stack is LIFO — the next pop is usually the child pushed an instant
+ * ago, so a fixed-distance prefetch never gets any lead time. Instead
+ * the drain loops detach a whole batch from the top of the stack,
+ * prefetch every object header in it (the misses overlap each other),
+ * ask each object for its payload hint (Object::prefetchTrace — e.g.
+ * a vector backing array), and only then start tracing. Children
+ * pushed while tracing form the next batch.
+ */
+inline constexpr size_t kTraceBatch = 16;
+
+/**
+ * A worker's private grey stack: a plain Object* array with manual
+ * top/capacity, instead of std::vector, so the mark fast path can do
+ * a *branchless conditional push* — unconditionally store the object
+ * into the next slot and advance the top by 0 or 1. The shade test in
+ * mark() is data-random (~most edges hit already-marked objects), so
+ * a conditional branch there mispredicts constantly; turning it into
+ * a conditional increment keeps the pipeline full.
+ */
+class GreyStack
+{
+  public:
+    GreyStack() : buf_(new Object*[kInitialCap]), cap_(kInitialCap) {}
+
+    bool empty() const { return top_ == 0; }
+    size_t size() const { return top_; }
+    Object* operator[](size_t i) const { return buf_[i]; }
+
+    void clear() { top_ = 0; }
+
+    /** Shrink to n entries (detach from the top). */
+    void shrinkTo(size_t n) { top_ = n; }
+
+    /** Drop the n oldest entries (work donation publishes those). */
+    void
+    dropFront(size_t n)
+    {
+        std::memmove(buf_.get(), buf_.get() + n,
+                     (top_ - n) * sizeof(Object*));
+        top_ -= n;
+    }
+
+    void
+    push(Object* obj)
+    {
+        if (top_ == cap_) [[unlikely]]
+            grow();
+        buf_[top_++] = obj;
+    }
+
+    /** Branchless conditional push: always stores obj into the slot
+     *  past the top, then advances the top by inc (0 or 1). The only
+     *  branch is the capacity check, which almost never fires. */
+    void
+    pushIf(Object* obj, size_t inc)
+    {
+        if (top_ == cap_) [[unlikely]]
+            grow();
+        buf_[top_] = obj;
+        top_ += inc;
+    }
+
+  private:
+    static constexpr size_t kInitialCap = 1024;
+
+    void
+    grow()
+    {
+        cap_ *= 2;
+        Object** bigger = new Object*[cap_];
+        std::memcpy(bigger, buf_.get(), top_ * sizeof(Object*));
+        buf_.reset(bigger);
+    }
+
+    std::unique_ptr<Object*[]> buf_;
+    size_t top_ = 0;
+    size_t cap_;
+};
+
+/**
+ * Detach up to maxN entries from the top of a grey stack into batch[]
+ * (batch[0] is the former top, preserving the old pop order) and
+ * issue the prefetches described above. Returns the count.
+ */
+inline size_t
+detachTraceBatch(GreyStack& grey, Object** batch, size_t maxN)
+{
+    size_t n = grey.size() < maxN ? grey.size() : maxN;
+    size_t base = grey.size() - n;
+    for (size_t i = 0; i < n; ++i) {
+        Object* o = grey[base + n - 1 - i];
+        batch[i] = o;
+#if defined(__GNUC__) || defined(__clang__)
+        const char* p = reinterpret_cast<const char*>(o);
+        __builtin_prefetch(p, 0);
+        __builtin_prefetch(p + 64, 0);
+#endif
+    }
+    grey.shrinkTo(base);
+    // Second pass: by now the first headers are arriving, so the
+    // virtual hint dispatch (which needs the vptr line) mostly hits,
+    // and the payload prefetches it issues overlap in turn. The
+    // third stage — prefetchTraceTargets, which needs the payload
+    // resident — is the caller's job (traceBatchTargets), giving the
+    // payload prefetches this pass worth of lead time first.
+    for (size_t i = 0; i < n; ++i)
+        batch[i]->prefetchTrace();
+    return n;
+}
+
+/** Stage-three hint for a detached batch: put every object's trace
+ *  targets' mark words in flight (see Object::prefetchTraceTargets). */
+inline void
+traceBatchTargets(Object* const* batch, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        batch[i]->prefetchTraceTargets();
+}
 
 /** Hook invoked once per newly shaded object, from the worklist loop
  *  of whichever worker pops the object. The Marker& argument is that
@@ -65,14 +192,20 @@ class Marker
      * Every call counts as one pointer traversal (the unit in which
      * the paper states GOLF performs "the same amount of marking
      * work" as the ordinary GC). Safe to call concurrently from
-     * different worker views during a parallel drain: the mark-epoch
-     * CAS elects exactly one greyer per object.
+     * different worker views during a parallel drain: the mark-bit
+     * fetch_or (pool) / mark-epoch CAS (legacy) elects exactly one
+     * greyer per object. Defined inline below — this runs once per
+     * edge of the object graph, and the pool fast path is a handful
+     * of address-arithmetic instructions that must inline into the
+     * trace() loops.
      */
     void mark(Object* obj);
 
     /** Whether obj has been marked in this cycle. */
     bool isMarked(const Object* obj) const
     {
+        if (obj->pooled_)
+            return spanMarked(obj);
         return obj->markEpoch_.load(std::memory_order_relaxed) ==
                epoch_;
     }
@@ -117,6 +250,11 @@ class Marker
     /** Pool-view constructor (workerIdx 0 is the coordinator). */
     Marker(ParallelMarker& pool, Heap& heap, int workerIdx);
 
+    /** Epoch-word shade for non-pool objects (legacy backend, stack
+     *  or foreign objects): returns true when this call newly marked
+     *  the object. Out of line — the pool fast path stays small. */
+    bool markEpochPath(Object* obj);
+
     /** Pop-and-trace one object: fire the hook, then obj->trace().
      *  The single place tracing happens, serial or parallel. */
     void traceOne(Object* obj);
@@ -129,12 +267,16 @@ class Marker
 
     Heap& heap_;
     uint64_t epoch_;
+    /** Pool-membership map (null under the Legacy backend): mark()
+     *  resolves member addresses to span bitmap bits without ever
+     *  touching the object's cache line. */
+    const PageMap* pagemap_ = nullptr;
     ParallelMarker* pool_ = nullptr;
     int workerIdx_ = 0;
     /** Whether mark() must use the CAS path (any pool with >1
      *  workers, even outside drains — cross-view visibility). */
     bool concurrent_ = false;
-    std::vector<Object*> grey_;  ///< Private grey stack.
+    GreyStack grey_;  ///< Private grey stack.
     uint64_t pointersTraversed_ = 0;
     uint64_t objectsMarked_ = 0;
     uint64_t bytesMarked_ = 0;
@@ -144,6 +286,58 @@ class Marker
     MarkHook ownHook_;
     const MarkHook* hookRef_ = nullptr;
 };
+
+inline void
+Marker::mark(Object* obj)
+{
+    if (!obj)
+        return;
+    ++pointersTraversed_;
+    const uintptr_t addr = reinterpret_cast<uintptr_t>(obj);
+    // Section 5.4: masked addresses (goroutines hidden in allgs, the
+    // semaphore treap) must never reach the marker. On mainstream
+    // 64-bit Linux a genuine user-space pointer never has the top bit
+    // set, so a masked pointer is detectable here.
+    if (support::isMaskedAddress(addr))
+        support::panic("Marker::mark called on a masked address");
+    if (pagemap_ && pagemap_->contains(addr)) {
+        // Pool fast path: the mark bit lives in the span header,
+        // granule-indexed, so shading is pure address arithmetic —
+        // two pagemap loads plus one bitmap word, no span metadata
+        // and no object-line touch (the object's own cache line is
+        // read only once per cycle, at pop time). Stack objects,
+        // foreign-heap objects and adopted legacy objects miss the
+        // pagemap and fall through to the epoch path.
+        const size_t g = (addr & (kSpanSize - 1)) >> kGranuleShift;
+        std::atomic<uint64_t>& word = Span::of(obj)->markBits[g >> 6];
+        const uint64_t bit = uint64_t{1} << (g & 63);
+        if (concurrent_) {
+            // fetch_or elects the greyer exactly as the epoch CAS
+            // did: the worker that flips 0→1 pushes the object.
+            if (word.fetch_or(bit, std::memory_order_relaxed) & bit)
+                return;
+        } else {
+            const uint64_t seen = word.load(std::memory_order_relaxed);
+            if (seen & bit)
+                return;
+            word.store(seen | bit, std::memory_order_relaxed);
+        }
+    } else if (!markEpochPath(obj)) {
+        return;
+    }
+    ++objectsMarked_;
+#if defined(__GNUC__) || defined(__clang__)
+    // The object's own line was deliberately not read here; it will
+    // be, at pop time. Objects greyed during one trace batch are
+    // traced in the next, so a prefetch issued now has a whole batch
+    // of lead time — by pop the header is resident and the batch
+    // pipeline only has to cover payloads and mark words.
+    const char* line = reinterpret_cast<const char*>(obj);
+    __builtin_prefetch(line, 0);
+    __builtin_prefetch(line + 64, 0);
+#endif
+    grey_.push(obj);
+}
 
 } // namespace golf::gc
 

@@ -13,6 +13,38 @@
 
 namespace golf::gc {
 
+/**
+ * Pool-allocator counters (gc/span.hpp backend). Deliberately kept
+ * *out* of MemStats: MemStats is a determinism surface that must stay
+ * byte-identical across allocator backends (alloc_diff_test), while
+ * these counters describe the pool machinery itself and are all zero
+ * under the Legacy backend.
+ */
+struct PoolStats
+{
+    /** Small-object spans currently in service. */
+    uint64_t spans = 0;
+    /** Large-object spans currently in service. */
+    uint64_t largeSpans = 0;
+    /** Bytes obtained from the OS for in-service spans (the
+     *  fragmentation denominator: spanBytes vs MemStats.heapAlloc). */
+    uint64_t spanBytes = 0;
+    /** Retired spans parked in the reuse cache. */
+    uint64_t cachedSpans = 0;
+    /** Spans currently parked in PendingSweep. */
+    uint64_t pendingSweepSpans = 0;
+    /** Cumulative spans reintegrated on the allocation path. */
+    uint64_t lazySweptSpans = 0;
+    /** Cumulative spans reintegrated by the pre-cycle drain. */
+    uint64_t drainSweptSpans = 0;
+    /** Cumulative slot allocations (small classes). */
+    uint64_t slotAllocs = 0;
+    /** Cumulative slots recycled through the lazy sweep. */
+    uint64_t slotsRecycled = 0;
+    /** Cumulative large-object allocations. */
+    uint64_t largeAllocs = 0;
+};
+
 struct MemStats
 {
     /** Bytes of live heap objects (after the last sweep). */

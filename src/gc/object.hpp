@@ -39,6 +39,27 @@ class Object
      */
     virtual void trace(Marker& marker) { (void)marker; }
 
+    /**
+     * Locality hint paired with trace(): issue prefetches for any
+     * out-of-line storage trace() will dereference (container backing
+     * arrays, edge vectors). The batched drain loop calls this a few
+     * objects before trace() so the backing store's cache miss
+     * overlaps other work instead of stalling the pointer chase.
+     * Purely advisory — must not mutate state; the default does
+     * nothing.
+     */
+    virtual void prefetchTrace() const {}
+
+    /**
+     * Second-stage locality hint: called for a whole trace batch
+     * after every prefetchTrace() in it, so storage hinted there has
+     * had time to arrive. Implementations walk their (now-resident)
+     * reference fields and call gc::prefetchMarkWord() on each trace
+     * target, putting the mark-bitmap words mark() will touch in
+     * flight. Same rules as prefetchTrace: advisory, no mutation.
+     */
+    virtual void prefetchTraceTargets() const {}
+
     /** Debug name used in reports and tests. */
     virtual const char* objectName() const { return "object"; }
 
@@ -70,6 +91,19 @@ class Object
 
     /** The object's actual allocation footprint in bytes. */
     size_t baseSize() const { return baseSize_; }
+
+    /**
+     * Position in the heap's allocation order (1-based). Backend-
+     * independent — the pool and legacy allocators hand out identical
+     * sequence numbers for identical programs — so it is what the
+     * model checker's state fingerprint orders objects by instead of
+     * raw (allocator-dependent) addresses.
+     */
+    uint64_t allocSeq() const { return allocSeq_; }
+
+    /** Whether this object lives in a pool span (mark state in the
+     *  span bitmap) or was individually allocated (mark epoch). */
+    bool pooled() const { return pooled_; }
 
     /** Whether a finalizer is attached (paper Section 5.5). */
     bool hasFinalizer() const { return hasFinalizer_; }
@@ -103,8 +137,12 @@ class Object
      * mark worker the accesses compile to plain loads/stores.
      */
     std::atomic<uint64_t> markEpoch_{0};
+    uint64_t allocSeq_ = 0;       ///< Heap allocation order (1-based).
     bool hasFinalizer_ = false;
     bool poisoned_ = false;       ///< Resurrection tripwire (§9).
+    /** True for pool-span slots: mark state lives in the span bitmap
+     *  and the slot is recycled at sweep instead of delete'd. */
+    bool pooled_ = false;
 };
 
 } // namespace golf::gc

@@ -231,11 +231,15 @@ ParallelMarker::drainFromCoordinator()
     // never overflow this budget, so they never wake a thread (and
     // with one worker the budget loop *is* the whole drain).
     size_t budget = kSerialBudget;
+    Object* batch[kTraceBatch];
     while (!coord.grey_.empty() && budget > 0) {
-        Object* obj = coord.grey_.back();
-        coord.grey_.pop_back();
-        coord.traceOne(obj);
-        --budget;
+        size_t n = detachTraceBatch(
+            coord.grey_, batch,
+            budget < kTraceBatch ? budget : kTraceBatch);
+        traceBatchTargets(batch, n);
+        for (size_t i = 0; i < n; ++i)
+            coord.traceOne(batch[i]);
+        budget -= n;
     }
     if (coord.grey_.empty())
         return;
@@ -347,9 +351,19 @@ ParallelMarker::workLoop(int w)
             maybeDonate(w, view);
         }
     }
-    // Mark loop: drain private work, then public, then steal; when
-    // all three fail, enter the idle protocol.
+    // Mark loop: drain private work (a prefetched batch at a time),
+    // then public deque, then steal; when all three fail, enter the
+    // idle protocol.
+    Object* batch[kTraceBatch];
     for (;;) {
+        if (!view.grey_.empty()) {
+            size_t n = detachTraceBatch(view.grey_, batch, kTraceBatch);
+            traceBatchTargets(batch, n);
+            for (size_t i = 0; i < n; ++i)
+                view.traceOne(batch[i]);
+            maybeDonate(w, view);
+            continue;
+        }
         Object* obj = takeWork(w, view);
         if (obj) {
             view.traceOne(obj);
@@ -364,11 +378,10 @@ ParallelMarker::workLoop(int w)
 Object*
 ParallelMarker::takeWork(int w, Marker& view)
 {
-    if (!view.grey_.empty()) {
-        Object* obj = view.grey_.back();
-        view.grey_.pop_back();
-        return obj;
-    }
+    // The private grey stack is drained batch-wise by workLoop; this
+    // only consults the shared sources (single-object granularity —
+    // the unit of stealing).
+    (void)view;
     if (Object* obj = deques_[static_cast<size_t>(w)]->pop())
         return obj;
     return trySteal(w);
@@ -400,8 +413,7 @@ ParallelMarker::maybeDonate(int w, Marker& view)
     size_t donate = std::min(view.grey_.size() / 2, kMaxDonate);
     for (size_t i = 0; i < donate; ++i)
         dq.push(view.grey_[i]);
-    view.grey_.erase(view.grey_.begin(),
-                     view.grey_.begin() + static_cast<ptrdiff_t>(donate));
+    view.grey_.dropFront(donate);
 }
 
 bool

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Size-class segregated span allocator: layout types.
+ *
+ * The pool backend (DESIGN.md §13) carves 64 KiB aligned *spans* into
+ * slots of one size class each (a ~1.25× geometric ladder from 64 to
+ * 4096 bytes; larger objects get a dedicated large span). The span
+ * header lives at the span base, so every per-object query the mark
+ * loop needs — "is this address pool memory?", "which slot?", "is it
+ * marked?" — is pure address arithmetic plus a bitmap word: the hot
+ * mark path never touches the object's cache line. That is what buys
+ * the gc_mark_parallel throughput target; the per-object epoch word
+ * is kept only as the fallback for externally adopted (legacy /
+ * stack / foreign) objects.
+ *
+ * Mark state is a per-span atomic bitmap indexed by 16-byte
+ * *granule* (object-base offset >> 4), not by slot: the mark fast
+ * path then needs no per-span metadata at all — span base comes from
+ * masking the address, the bit index from the low address bits — so
+ * shading an object touches exactly one bitmap cache line. (Slots
+ * are 16-byte aligned and >= 64 bytes, so object-base granules are
+ * unique per slot; sweep converts slot -> granule with one multiply.)
+ * Parallel workers race with fetch_or — the bit winner greys the
+ * object, exactly like the historical mark-epoch CAS. Three more
+ * (mutator-only, non-atomic, slot-indexed) bitmaps drive the
+ * allocator:
+ *
+ *   availBits   slots free for allocation
+ *   liveBits    slots holding a constructed object
+ *   pendingBits slots whose object was destroyed at sweep but whose
+ *               storage has not been reintegrated yet (lazy sweep)
+ *
+ * avail/live/pending are disjoint; their union covers every slot
+ * (transiently minus the one slot between reservation and
+ * construction inside Heap::make). Heap::verifyPool() checks this.
+ */
+#ifndef GOLFCC_GC_SPAN_HPP
+#define GOLFCC_GC_SPAN_HPP
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace golf::gc {
+
+class Heap;
+class Object;
+
+/// @{ Span geometry.
+inline constexpr size_t kSpanShift = 16;
+inline constexpr size_t kSpanSize = size_t{1} << kSpanShift; // 64 KiB
+/** Header reserved at the span base (Span + padding). */
+inline constexpr size_t kSpanHeaderSize = 1024;
+inline constexpr size_t kSpanPayload = kSpanSize - kSpanHeaderSize;
+/// @}
+
+/** Largest size served from a size-class span; bigger allocations
+ *  take the large-object path (a dedicated span). */
+inline constexpr size_t kMaxSmallSize = 4096;
+
+/** Sentinel classIdx for large-object spans. */
+inline constexpr uint16_t kLargeClassIdx = 0xFFFF;
+
+/** The size-class ladder: ~1.25× steps, 16-byte quantized. The
+ *  smallest class must hold sizeof(gc::Object) for any derivation. */
+inline constexpr uint32_t kSizeClasses[] = {
+    64,   80,   96,   112,  128,  160,  192,  224,  256,
+    320,  384,  448,  512,  640,  768,  896,  1024, 1280,
+    1536, 1792, 2048, 2560, 3072, 3584, 4096,
+};
+inline constexpr int kNumSizeClasses =
+    static_cast<int>(sizeof(kSizeClasses) / sizeof(kSizeClasses[0]));
+
+inline constexpr size_t kMaxSlotsPerSpan =
+    kSpanPayload / kSizeClasses[0]; // 1008
+inline constexpr size_t kSpanBitmapWords = (kMaxSlotsPerSpan + 63) / 64;
+
+/// @{ Mark-bitmap geometry: one bit per 16-byte granule of the span
+/// (header granules included so the bit index is just offset >> 4).
+inline constexpr size_t kGranuleShift = 4;
+inline constexpr size_t kSpanGranules = kSpanSize >> kGranuleShift;
+inline constexpr size_t kMarkBitmapWords = kSpanGranules / 64; // 64
+/// @}
+
+/** Reciprocal for the div-free slot computation: for offsets that are
+ *  exact multiples k*s with k < slots-per-span, (off*magic)>>32 == k.
+ *  (Proved below by exhaustive constexpr check over every class.) */
+constexpr uint32_t
+divMagicFor(uint32_t slotSize)
+{
+    return static_cast<uint32_t>((uint64_t{1} << 32) / slotSize + 1);
+}
+
+namespace detail {
+
+constexpr bool
+divMagicExact()
+{
+    for (uint32_t size : kSizeClasses) {
+        uint64_t magic = divMagicFor(size);
+        uint64_t slots = kSpanPayload / size;
+        for (uint64_t k = 0; k < slots; ++k)
+            if ((k * size * magic) >> 32 != k)
+                return false;
+    }
+    return true;
+}
+static_assert(divMagicExact(),
+              "slot reciprocal must invert every in-span offset");
+
+/** bytes → size class, via a 16-byte-granular lookup table. */
+constexpr auto
+makeClassTable()
+{
+    std::array<uint8_t, kMaxSmallSize / 16 + 1> table{};
+    int ci = 0;
+    for (size_t i = 0; i < table.size(); ++i) {
+        while (kSizeClasses[ci] < i * 16)
+            ++ci;
+        table[i] = static_cast<uint8_t>(ci);
+    }
+    return table;
+}
+inline constexpr auto kClassTable = makeClassTable();
+
+} // namespace detail
+
+/** Size class index for a small request (bytes <= kMaxSmallSize). */
+inline int
+sizeClassFor(size_t bytes)
+{
+    return detail::kClassTable[(bytes + 15) / 16];
+}
+
+enum class SpanState : uint8_t {
+    InUse,        ///< On a class's current/partial/full set.
+    PendingSweep, ///< Has dead slots awaiting lazy reintegration.
+};
+
+/**
+ * Span header, placed at the 64 KiB-aligned base of every span.
+ * Objects start at base + kSpanHeaderSize. Only markBits is touched
+ * by parallel mark workers; everything else is mutator/STW-only.
+ */
+struct Span
+{
+    Heap* heap = nullptr;
+    uint32_t slotSize = 0;
+    uint32_t numSlots = 0;
+    uint32_t divMagic = 0;
+    uint32_t freeCount = 0;   ///< == popcount(availBits).
+    uint32_t cursorWord = 0;  ///< Allocation scan hint.
+    uint16_t classIdx = 0;    ///< kLargeClassIdx for large spans.
+    SpanState state = SpanState::InUse;
+    size_t footprint = 0;     ///< Bytes obtained from the OS.
+
+    uint64_t availBits[kSpanBitmapWords];
+    uint64_t liveBits[kSpanBitmapWords];
+    uint64_t pendingBits[kSpanBitmapWords];
+    /** Granule-indexed (not slot-indexed): bit (offset >> 4) is set
+     *  when the object whose base sits at that granule is marked. */
+    std::atomic<uint64_t> markBits[kMarkBitmapWords];
+
+    /** The span containing an object or slot address. */
+    static Span*
+    of(const void* p)
+    {
+        return reinterpret_cast<Span*>(reinterpret_cast<uintptr_t>(p) &
+                                       ~(kSpanSize - 1));
+    }
+
+    uint32_t
+    slotIndexOf(const void* p) const
+    {
+        uint64_t off = (reinterpret_cast<uintptr_t>(p) &
+                        (kSpanSize - 1)) - kSpanHeaderSize;
+        return static_cast<uint32_t>((off * divMagic) >> 32);
+    }
+
+    void*
+    slotAt(uint32_t slot) const
+    {
+        return reinterpret_cast<char*>(const_cast<Span*>(this)) +
+               kSpanHeaderSize +
+               static_cast<size_t>(slot) * slotSize;
+    }
+
+    uint32_t
+    bitmapWords() const
+    {
+        return (numSlots + 63) / 64;
+    }
+
+    /** Mark-bit index for a slot's object base. */
+    uint32_t
+    granuleOf(uint32_t slot) const
+    {
+        return static_cast<uint32_t>(
+            (kSpanHeaderSize + static_cast<size_t>(slot) * slotSize) >>
+            kGranuleShift);
+    }
+
+    bool
+    testMark(uint32_t slot) const
+    {
+        const uint32_t g = granuleOf(slot);
+        return (markBits[g >> 6].load(std::memory_order_relaxed) >>
+                (g & 63)) & 1u;
+    }
+};
+
+static_assert(sizeof(Span) <= kSpanHeaderSize,
+              "span header must fit in the reserved prefix");
+
+/**
+ * Advisory prefetch of the mark-bitmap word covering an address.
+ * Safe for ANY pointer value, including non-pool and masked ones:
+ * it only computes an address and issues a prefetch hint, which the
+ * hardware drops silently if the line is unmapped. Objects use this
+ * from prefetchTrace() hints so the mark words of their trace targets
+ * are in flight before mark() needs them.
+ */
+inline void
+prefetchMarkWord(const void* p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+    const size_t g = (addr & (kSpanSize - 1)) >> kGranuleShift;
+    __builtin_prefetch(
+        reinterpret_cast<const char*>(&Span::of(p)->markBits[g >> 6]),
+        1);
+#else
+    (void)p;
+#endif
+}
+
+/** Whether the object at a (known-pooled) address is marked: span
+ *  base by mask, granule by low bits — no span metadata load. */
+inline bool
+spanMarked(const void* obj)
+{
+    const uintptr_t addr = reinterpret_cast<uintptr_t>(obj);
+    const size_t g = (addr & (kSpanSize - 1)) >> kGranuleShift;
+    return (Span::of(obj)->markBits[g >> 6].load(
+                std::memory_order_relaxed) >>
+            (g & 63)) & 1u;
+}
+
+/**
+ * Pool-membership map: one bit per 64 KiB chunk of a dense address
+ * window covering every span. Spans are mmap-allocated (Heap's
+ * osAllocSpan), so they cluster in one virtual-address region and the
+ * window — and therefore the bitmap — stays tiny (a 96 MB heap needs
+ * ~200 bytes of bitmap, L1-resident). contains() is the per-edge
+ * membership test on the mark fast path: one range check against the
+ * window plus one bitmap load, with no pointer chasing. Addresses
+ * outside the window (stack objects, foreign-heap objects, legacy-
+ * adopted objects) fail the range check and fall through to the epoch
+ * path without dereferencing a bogus span header. The window grows by
+ * doubling when a new span lands outside it, so rebuilds are O(log)
+ * in the address spread.
+ */
+class PageMap
+{
+  public:
+    bool
+    contains(uintptr_t addr) const
+    {
+        // Wraps below the window to a huge index: one compare covers
+        // both bounds.
+        const uint64_t idx = (addr >> kSpanShift) - baseIdx_;
+        if (idx >= limitSpans_)
+            return false;
+        return (bits_[idx >> 6] >> (idx & 63)) & 1u;
+    }
+
+    void
+    add(uintptr_t base)
+    {
+        const uint64_t idx = base >> kSpanShift;
+        if (bits_.empty() || idx < baseIdx_ ||
+            idx - baseIdx_ >= limitSpans_)
+            growTo(idx);
+        const uint64_t rel = idx - baseIdx_;
+        bits_[rel >> 6] |= uint64_t{1} << (rel & 63);
+    }
+
+    void
+    remove(uintptr_t base)
+    {
+        const uint64_t rel = (base >> kSpanShift) - baseIdx_;
+        bits_[rel >> 6] &= ~(uint64_t{1} << (rel & 63));
+    }
+
+  private:
+    void
+    growTo(uint64_t idx)
+    {
+        uint64_t lo = bits_.empty() ? idx : baseIdx_;
+        uint64_t hi = bits_.empty() ? idx + 1 : baseIdx_ + limitSpans_;
+        lo = idx < lo ? idx : lo;
+        hi = idx + 1 > hi ? idx + 1 : hi;
+        // Pad the window to twice the needed size, split across both
+        // ends, and keep it word-aligned so old words copy in place.
+        const uint64_t pad = hi - lo;
+        lo = (lo > pad / 2 ? lo - pad / 2 : 0) & ~uint64_t{63};
+        hi = (hi + pad / 2 + 63) & ~uint64_t{63};
+        std::vector<uint64_t> fresh((hi - lo) / 64, 0);
+        const uint64_t shiftWords = (baseIdx_ - lo) / 64;
+        for (size_t w = 0; w < bits_.size(); ++w)
+            fresh[shiftWords + w] = bits_[w];
+        bits_.swap(fresh);
+        baseIdx_ = lo;
+        limitSpans_ = hi - lo;
+    }
+
+    // Hot trio read by every contains(): keep adjacent so the mark
+    // loop touches one line of PageMap state.
+    uint64_t baseIdx_ = 0;    ///< First 64 KiB chunk in the window.
+    uint64_t limitSpans_ = 0; ///< Chunks covered (multiple of 64).
+    std::vector<uint64_t> bits_;
+};
+
+} // namespace golf::gc
+
+#endif // GOLFCC_GC_SPAN_HPP

@@ -271,6 +271,12 @@ Collector::collect()
     rt_.runPoolCleanups();
 
     gc::Heap& heap = rt_.heap();
+    // Lazy-sweep drain (DESIGN.md §13): reintegrate any span still
+    // parked in PendingSweep since the last sweep — Go's "finish
+    // sweeping the previous cycle before the next one starts" rule.
+    // beginCycleParallel would do this defensively anyway; doing it
+    // here keeps the state machine's terminal transition explicit.
+    heap.sweepRemainder();
     gc::ParallelMarker& pool =
         heap.beginCycleParallel(rt_.config().resolvedGcWorkers());
     gc::Marker& marker = pool.coordinator();

@@ -173,13 +173,22 @@ stateFingerprint(rt::Runtime& rt)
         h = fnvMix(h, r.packed);
         h = fnvMix(h, r.frontier);
     }
-    // Heap objects in allocation order (deterministic per schedule
-    // prefix); only schedule-relevant objects contribute.
+    // Heap objects ordered by allocation sequence number, never by
+    // iteration order (which follows span/slot placement and would
+    // encode allocator-backend-dependent addresses); only schedule-
+    // relevant objects contribute. This is what makes fingerprints
+    // identical across the pool and legacy allocators.
+    std::vector<std::pair<uint64_t, uint64_t>> objs;
     rt.heap().forEachObject([&](const gc::Object* o) {
         const uint64_t f = o->mcFingerprint();
         if (f != 0)
-            h = fnvMix(h, f);
+            objs.emplace_back(o->allocSeq(), f);
     });
+    std::sort(objs.begin(), objs.end());
+    for (const auto& [seq, f] : objs) {
+        h = fnvMix(h, seq);
+        h = fnvMix(h, f);
+    }
     h = fnvMix(h, rt.clock().fingerprint());
     return h;
 }
@@ -262,6 +271,7 @@ runSchedule(const microbench::Pattern& p, const McConfig& cfg,
     // mutate post-verdict state for no exploration benefit.
     rc.recovery = rt::Recovery::Detect;
     rc.gcWorkers = cfg.gcWorkers;
+    rc.heap.backend = cfg.allocBackend;
     rc.race = true; // DPOR footprints + frontier hashes + goodlock.
     rc.obs.enabled = false;
 

@@ -69,6 +69,9 @@ struct McConfig
     /** GC workers for the explored runtime (fingerprints must not
      *  depend on this; see tests). */
     int gcWorkers = 1;
+    /** Allocator backend for the explored runtime (fingerprints and
+     *  DPOR verdicts must not depend on this either; see tests). */
+    gc::AllocBackend allocBackend = gc::AllocBackend::Pool;
     /** Seed for the pattern's internal data draws (ctx->rng). The
      *  schedule explorer enumerates scheduling nondeterminism only;
      *  FLAKY patterns whose leak hinges on a data draw are covered by

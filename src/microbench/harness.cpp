@@ -68,6 +68,7 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.recovery = cfg.recovery;
     rc.detectEveryN = cfg.detectEveryN;
     rc.gcWorkers = cfg.gcWorkers;
+    rc.heap = cfg.heap;
     rc.faults = cfg.faults;
     rc.verifyEveryGc = cfg.verifyInvariants;
     rc.race = cfg.race;

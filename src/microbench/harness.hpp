@@ -33,6 +33,9 @@ struct HarnessConfig
     /** GC mark workers (rt::Config::gcWorkers): 0 = auto, 1 =
      *  serial. Outcomes are identical for every value. */
     int gcWorkers = 0;
+    /** Heap knobs, including the allocator backend (pool vs legacy;
+     *  outcomes are identical for either — alloc_diff_test). */
+    gc::HeapConfig heap;
     /** Virtual runtime before the forced GC (paper: 5 s). */
     support::VTime duration = 5 * support::kSecond;
     /** Cap on concurrent pattern instances derived from flakiness. */

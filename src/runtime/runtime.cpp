@@ -1385,6 +1385,12 @@ Runtime::verifyInvariants()
         fail(os.str());
     }
 
+    // Pool allocator: bitmap disjointness/coverage, freeCount vs
+    // popcount, pagemap membership, slot-reciprocal round-trip.
+    std::string poolBad = heap_.verifyPool();
+    if (!poolBad.empty())
+        fail("pool allocator: " + poolBad);
+
     // Goroutines: per-status consistency, including the chaos states.
     size_t pendingReclaim = 0;
     for (const auto& mp : allg_) {

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Pool-vs-legacy allocator differential suite (ctest label `alloc`).
+ *
+ * The contract under test (DESIGN.md §13): the allocation backend is
+ * observably transparent. For identical programs, pool and legacy
+ * produce byte-identical GOLF reports, MemStats, per-cycle collector
+ * signatures, chaos fault traces, race verdicts and captured obs
+ * output — at every gcWorkers value. The backend may only change
+ * where objects live and how their storage is recycled.
+ *
+ * Layers:
+ *  - ScenarioDifferential: a mixed leak/live/garbage runtime scenario
+ *    compared field by field (reports, MemStats, cycle signatures)
+ *    across backend x gcWorkers in {1, 2, 4}.
+ *  - CorpusDifferential: the full 105-pattern microbench corpus, pool
+ *    vs legacy, plus a subset swept across gcWorkers and with obs
+ *    capture (the byte-identity surface) on.
+ *  - ChaosDifferential: 32 chaos seeds over a rotating corpus slice
+ *    with fault injection and invariant verification on — the repro
+ *    trace (per-fault decision log) must be byte-identical.
+ *  - RaceDifferential: detector stats and deduplicated report lines
+ *    across backends, leaning on free-hook-at-sweep equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "gc/heap.hpp"
+#include "golf/collector.hpp"
+#include "golf/report.hpp"
+#include "microbench/harness.hpp"
+#include "microbench/registry.hpp"
+#include "runtime/local.hpp"
+#include "runtime/runtime.hpp"
+
+namespace golf {
+namespace {
+
+using chan::Channel;
+using chan::makeChan;
+using gc::AllocBackend;
+using microbench::HarnessConfig;
+using microbench::Pattern;
+using microbench::Registry;
+using microbench::RunOutcome;
+using microbench::runPatternOnce;
+using rt::Go;
+using rt::Runtime;
+using support::kMillisecond;
+
+// ---------------------------------------------------------------------------
+// ScenarioDifferential
+// ---------------------------------------------------------------------------
+
+Go
+orphanReceiver(Runtime* rtp)
+{
+    gc::Local<Channel<int>> ch(makeChan<int>(*rtp, 0));
+    co_await chan::recv(ch.get());
+    co_return;
+}
+
+Go
+liveReceiver(Channel<int>* ch)
+{
+    co_await chan::recv(ch);
+    co_return;
+}
+
+/** Leaks, live blocked goroutines, garbage churn across several size
+ *  classes, forced collections. */
+Go
+scenarioMain(Runtime* rtp)
+{
+    {
+        gc::Local<Channel<int>> junk(makeChan<int>(*rtp, 16));
+        for (int i = 0; i < 16; ++i)
+            co_await chan::send(junk.get(), i);
+    }
+    for (int i = 0; i < 3; ++i)
+        GOLF_GO(*rtp, orphanReceiver, rtp);
+    gc::Local<Channel<int>> held(makeChan<int>(*rtp, 0));
+    for (int i = 0; i < 5; ++i)
+        GOLF_GO(*rtp, liveReceiver, held.get());
+    co_await rt::sleepFor(kMillisecond);
+    co_await rt::gcNow();
+    co_await rt::gcNow();
+    for (int i = 0; i < 5; ++i)
+        co_await chan::send(held.get(), i);
+    co_await rt::sleepFor(kMillisecond);
+    co_await rt::gcNow();
+    co_return;
+}
+
+struct RunSnapshot
+{
+    std::vector<std::string> reportKeys;
+    gc::MemStats ms;
+    std::vector<std::string> cycleSignatures;
+};
+
+std::string
+signatureOf(const detect::CycleStats& cs)
+{
+    std::ostringstream os;
+    os << cs.cycle << '|' << cs.detectionRan << '|'
+       << cs.markIterations << '|' << cs.pointersTraversed << '|'
+       << cs.objectsMarked << '|' << cs.bytesMarked << '|'
+       << cs.detectChecks << '|' << cs.modeledMarkNs << '|'
+       << cs.modeledStwNs << '|' << cs.freedObjects << '|'
+       << cs.deadlocksFound << '|' << cs.reclaimed << '|'
+       << cs.quarantined;
+    return os.str();
+}
+
+void
+expectSameMemStats(const gc::MemStats& a, const gc::MemStats& b,
+                   const std::string& what)
+{
+    EXPECT_EQ(a.heapAlloc, b.heapAlloc) << what;
+    EXPECT_EQ(a.heapInuse, b.heapInuse) << what;
+    EXPECT_EQ(a.heapObjects, b.heapObjects) << what;
+    EXPECT_EQ(a.stackInuse, b.stackInuse) << what;
+    EXPECT_EQ(a.totalAlloc, b.totalAlloc) << what;
+    EXPECT_EQ(a.totalFreed, b.totalFreed) << what;
+    EXPECT_EQ(a.pauseTotalNs, b.pauseTotalNs) << what;
+    EXPECT_EQ(a.numGC, b.numGC) << what;
+    EXPECT_EQ(a.gcCpuFraction, b.gcCpuFraction) << what;
+}
+
+RunSnapshot
+runScenario(AllocBackend backend, int gcWorkers)
+{
+    rt::Config cfg;
+    cfg.seed = 1337;
+    cfg.gcMode = rt::GcMode::Golf;
+    cfg.gcWorkers = gcWorkers;
+    cfg.heap.backend = backend;
+    Runtime rt(cfg);
+    rt::RunResult rr = rt.runMain(scenarioMain, &rt);
+    EXPECT_TRUE(rr.ok());
+
+    RunSnapshot snap;
+    for (const auto& r : rt.collector().reports().all())
+        snap.reportKeys.push_back(r.dedupKey());
+    std::sort(snap.reportKeys.begin(), snap.reportKeys.end());
+    snap.ms = rt.memStats();
+    for (const auto& cs : rt.collector().history())
+        snap.cycleSignatures.push_back(signatureOf(cs));
+    return snap;
+}
+
+TEST(ScenarioDifferential, BackendInvariantAcrossWorkerCounts)
+{
+    const RunSnapshot base = runScenario(AllocBackend::Pool, 1);
+    ASSERT_FALSE(base.reportKeys.empty());
+    ASSERT_FALSE(base.cycleSignatures.empty());
+    for (int workers : {1, 2, 4}) {
+        for (AllocBackend backend :
+             {AllocBackend::Pool, AllocBackend::Legacy}) {
+            const RunSnapshot s = runScenario(backend, workers);
+            const std::string what =
+                std::string(backend == AllocBackend::Pool ? "pool"
+                                                          : "legacy") +
+                " gcWorkers=" + std::to_string(workers);
+            EXPECT_EQ(s.reportKeys, base.reportKeys) << what;
+            EXPECT_EQ(s.cycleSignatures, base.cycleSignatures) << what;
+            expectSameMemStats(s.ms, base.ms, what);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CorpusDifferential
+// ---------------------------------------------------------------------------
+
+/** The deterministic surface of one harness run. */
+void
+expectSameOutcome(const RunOutcome& a, const RunOutcome& b,
+                  const std::string& what)
+{
+    EXPECT_EQ(a.detectedPerLabel, b.detectedPerLabel) << what;
+    EXPECT_EQ(a.individualReports, b.individualReports) << what;
+    EXPECT_EQ(a.unexpectedReports, b.unexpectedReports) << what;
+    EXPECT_EQ(a.runtimeFailure, b.runtimeFailure) << what;
+    EXPECT_EQ(a.failureMessage, b.failureMessage) << what;
+    EXPECT_EQ(a.gcCycles, b.gcCycles) << what;
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected) << what;
+    EXPECT_EQ(a.containedPanics, b.containedPanics) << what;
+    EXPECT_EQ(a.quarantined, b.quarantined) << what;
+    EXPECT_EQ(a.faultTrace, b.faultTrace) << what;
+    EXPECT_EQ(a.cancelsDelivered, b.cancelsDelivered) << what;
+    EXPECT_EQ(a.cancelDeaths, b.cancelDeaths) << what;
+    EXPECT_EQ(a.resurrections, b.resurrections) << what;
+    EXPECT_EQ(a.watchdogTriggers, b.watchdogTriggers) << what;
+}
+
+TEST(CorpusDifferential, FullCorpusIdenticalAcrossBackends)
+{
+    // Every pattern in the corpus — deadlocking and correct — run
+    // once per backend; the whole deterministic surface must match.
+    for (const Pattern& p : Registry::instance().all()) {
+        HarnessConfig cfg;
+        cfg.seed = 4242;
+        cfg.procs = 2;
+        cfg.gcWorkers = 1;
+        cfg.heap.backend = AllocBackend::Pool;
+        const RunOutcome pool = runPatternOnce(p, cfg);
+        cfg.heap.backend = AllocBackend::Legacy;
+        const RunOutcome legacy = runPatternOnce(p, cfg);
+        expectSameOutcome(pool, legacy, p.name);
+    }
+}
+
+TEST(CorpusDifferential, SubsetIdenticalAcrossBackendsAndWorkers)
+{
+    // A corpus slice swept across gcWorkers with obs capture on: the
+    // captured metrics JSON / profiles / flight CSV are the strictest
+    // byte-identity surface (they embed MemStats and GC history).
+    auto deadlocking = Registry::instance().deadlocking();
+    auto corrects = Registry::instance().corrects();
+    ASSERT_GE(deadlocking.size(), 4u);
+    ASSERT_GE(corrects.size(), 2u);
+    std::vector<const Pattern*> subset(deadlocking.begin(),
+                                       deadlocking.begin() + 4);
+    subset.push_back(corrects[0]);
+    subset.push_back(corrects[1]);
+
+    for (const Pattern* p : subset) {
+        for (int workers : {1, 2, 4}) {
+            HarnessConfig cfg;
+            cfg.seed = 99;
+            cfg.procs = 4;
+            cfg.gcWorkers = workers;
+            cfg.captureObs = true;
+            cfg.heap.backend = AllocBackend::Pool;
+            const RunOutcome pool = runPatternOnce(*p, cfg);
+            cfg.heap.backend = AllocBackend::Legacy;
+            const RunOutcome legacy = runPatternOnce(*p, cfg);
+            const std::string what =
+                p->name + " gcWorkers=" + std::to_string(workers);
+            expectSameOutcome(pool, legacy, what);
+            EXPECT_EQ(pool.obsMetricsJson, legacy.obsMetricsJson)
+                << what;
+            EXPECT_EQ(pool.obsPrometheus, legacy.obsPrometheus)
+                << what;
+            EXPECT_EQ(pool.obsGoroutineProfile,
+                      legacy.obsGoroutineProfile)
+                << what;
+            EXPECT_EQ(pool.obsBlockProfile, legacy.obsBlockProfile)
+                << what;
+            EXPECT_EQ(pool.obsMutexProfile, legacy.obsMutexProfile)
+                << what;
+            EXPECT_EQ(pool.obsFlightCsv, legacy.obsFlightCsv) << what;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosDifferential
+// ---------------------------------------------------------------------------
+
+TEST(ChaosDifferential, ThirtyTwoSeedsByteIdenticalRepro)
+{
+    // 32 chaos seeds over a rotating corpus slice. Fault injection
+    // consults the virtual clock and the master seed only, so the
+    // per-fault decision log (the repro trace) must not notice the
+    // backend — and with verifyInvariants on, every pool invariant
+    // is cross-checked at each GC safepoint along the way.
+    auto deadlocking = Registry::instance().deadlocking();
+    ASSERT_GE(deadlocking.size(), 8u);
+
+    int seedsWithFaults = 0;
+    for (uint64_t seed = 1; seed <= 32; ++seed) {
+        const Pattern* p =
+            deadlocking[static_cast<size_t>(seed) %
+                        deadlocking.size()];
+        HarnessConfig cfg;
+        cfg.seed = seed;
+        cfg.procs = 2;
+        cfg.gcWorkers = (seed % 2 == 0) ? 4 : 1;
+        cfg.verifyInvariants = true;
+        cfg.faults.enabled = true;
+        cfg.faults.forceGcProb = 0.15;
+        cfg.faults.reclaimFailureProb = 0.25;
+        cfg.faults.panicProb = 0.01;
+        cfg.faults.allocFailProb = 0.01;
+        cfg.faults.spuriousWakeupProb = 0.05;
+        cfg.faults.delayedWakeupProb = 0.05;
+
+        cfg.heap.backend = AllocBackend::Pool;
+        const RunOutcome pool = runPatternOnce(*p, cfg);
+        cfg.heap.backend = AllocBackend::Legacy;
+        const RunOutcome legacy = runPatternOnce(*p, cfg);
+
+        const std::string what =
+            p->name + " seed=" + std::to_string(seed);
+        EXPECT_TRUE(pool.invariantViolations.empty())
+            << what << " pool: "
+            << (pool.invariantViolations.empty()
+                    ? ""
+                    : pool.invariantViolations.front());
+        EXPECT_TRUE(legacy.invariantViolations.empty())
+            << what << " legacy: "
+            << (legacy.invariantViolations.empty()
+                    ? ""
+                    : legacy.invariantViolations.front());
+        expectSameOutcome(pool, legacy, what);
+        if (!pool.faultTrace.empty())
+            ++seedsWithFaults;
+    }
+    // Short patterns can legitimately draw zero faults; the sweep as
+    // a whole must still exercise the injector heavily.
+    EXPECT_GE(seedsWithFaults, 24);
+}
+
+// ---------------------------------------------------------------------------
+// RaceDifferential
+// ---------------------------------------------------------------------------
+
+TEST(RaceDifferential, VerdictsIdenticalAcrossBackends)
+{
+    // The race detector's shadow state is keyed by address, and under
+    // the pool backend addresses are recycled aggressively — the
+    // free hook firing at sweep is what keeps the verdicts backend-
+    // independent. Compare the full stats block and the deduplicated
+    // report lines on a corpus slice.
+    auto deadlocking = Registry::instance().deadlocking();
+    auto corrects = Registry::instance().corrects();
+    ASSERT_GE(deadlocking.size(), 3u);
+    ASSERT_GE(corrects.size(), 3u);
+    std::vector<const Pattern*> subset;
+    for (size_t i = 0; i < 3; ++i) {
+        subset.push_back(deadlocking[i]);
+        subset.push_back(corrects[i]);
+    }
+
+    for (const Pattern* p : subset) {
+        HarnessConfig cfg;
+        cfg.seed = 7;
+        cfg.procs = 2;
+        cfg.gcWorkers = 1;
+        cfg.race = true;
+        cfg.heap.backend = AllocBackend::Pool;
+        const RunOutcome pool = runPatternOnce(*p, cfg);
+        cfg.heap.backend = AllocBackend::Legacy;
+        const RunOutcome legacy = runPatternOnce(*p, cfg);
+
+        const std::string what = p->name;
+        expectSameOutcome(pool, legacy, what);
+        EXPECT_EQ(pool.raceReportLines, legacy.raceReportLines)
+            << what;
+        const race::DetectorStats& a = pool.raceStats;
+        const race::DetectorStats& b = legacy.raceStats;
+        EXPECT_EQ(a.goroutines, b.goroutines) << what;
+        EXPECT_EQ(a.syncOps, b.syncOps) << what;
+        EXPECT_EQ(a.memAccesses, b.memAccesses) << what;
+        EXPECT_EQ(a.lockAcquires, b.lockAcquires) << what;
+        EXPECT_EQ(a.lockGraphEdges, b.lockGraphEdges) << what;
+        EXPECT_EQ(a.raceInstances, b.raceInstances) << what;
+        EXPECT_EQ(a.raceReports, b.raceReports) << what;
+        EXPECT_EQ(a.lockOrderCycles, b.lockOrderCycles) << what;
+        EXPECT_EQ(a.confirmedCycles, b.confirmedCycles) << what;
+    }
+}
+
+} // namespace
+} // namespace golf

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Pool-allocator fuzz suite (ctest label `alloc`).
+ *
+ * Seeded random alloc/free/GC interleavings against a shadow-map
+ * oracle that knows nothing about spans:
+ *
+ *  - no double-serve: an address is never handed out while an object
+ *    the oracle believes live still occupies it;
+ *  - tenant integrity: every object carries a construction tag that
+ *    must survive until the oracle frees it (overlapping slots or a
+ *    sweep of a live slot would clobber it);
+ *  - accounting: sum over spans of popcount(liveBits) equals
+ *    Heap::liveObjects(), and Heap::verifyPool() holds after every
+ *    collection;
+ *  - poison: a swept small slot reads back 0xDD end to end until its
+ *    span is reintegrated;
+ *  - large objects (> kMaxSmallSize) round-trip through their own
+ *    span path, and the PoolStats span counters return to baseline
+ *    once they die.
+ */
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gc/heap.hpp"
+#include "gc/marker.hpp"
+#include "gc/span.hpp"
+#include "support/rng.hpp"
+
+namespace golf {
+namespace {
+
+constexpr uint64_t kTagSeed = 0x9e3779b97f4a7c15ull;
+
+/** A managed object with N payload bytes and a tamper-evident tag. */
+template <size_t N>
+struct Blob final : gc::Object
+{
+    explicit Blob(uint64_t t) : tag(t)
+    {
+        for (size_t i = 0; i < N; ++i)
+            pad[i] = static_cast<unsigned char>(t + i);
+    }
+
+    bool
+    intact() const
+    {
+        for (size_t i = 0; i < N; ++i) {
+            if (pad[i] != static_cast<unsigned char>(tag + i))
+                return false;
+        }
+        return true;
+    }
+
+    uint64_t tag;
+    unsigned char pad[N];
+
+    void trace(gc::Marker&) override {}
+    const char* objectName() const override { return "blob"; }
+};
+
+/** One live tenant as the oracle sees it. */
+struct Tenant
+{
+    gc::Object* obj = nullptr;
+    uint64_t tag = 0;
+    size_t sizeIdx = 0;
+};
+
+struct SizeEntry
+{
+    gc::Object* (*make)(gc::Heap&, uint64_t tag);
+    bool (*check)(const gc::Object*, uint64_t tag);
+    size_t bytes;
+};
+
+template <size_t N>
+SizeEntry
+entry()
+{
+    return {
+        +[](gc::Heap& h, uint64_t tag) -> gc::Object* {
+            return h.make<Blob<N>>(tag);
+        },
+        +[](const gc::Object* o, uint64_t tag) {
+            const auto* b = static_cast<const Blob<N>*>(o);
+            return b->tag == tag && b->intact();
+        },
+        sizeof(Blob<N>),
+    };
+}
+
+/** Payload sizes spanning the class ladder plus two large classes. */
+const std::vector<SizeEntry>&
+sizeTable()
+{
+    static const std::vector<SizeEntry> table = {
+        entry<1>(),    entry<24>(),   entry<56>(),   entry<120>(),
+        entry<250>(),  entry<500>(),  entry<1000>(), entry<2000>(),
+        entry<3900>(), entry<6000>(), entry<40000>(),
+    };
+    return table;
+}
+
+/** Sum of popcount(liveBits) across every span in service. */
+uint64_t
+poolLivePopcount(const gc::Heap& heap)
+{
+    uint64_t live = 0;
+    for (const gc::Span* s : heap.spans()) {
+        const uint32_t words = s->bitmapWords();
+        for (uint32_t w = 0; w < words; ++w)
+            live += static_cast<uint64_t>(
+                __builtin_popcountll(s->liveBits[w]));
+    }
+    return live;
+}
+
+/** Mark every oracle-live object, then sweep. */
+size_t
+collect(gc::Heap& heap, const std::vector<Tenant>& live)
+{
+    gc::Marker m = heap.beginCycle();
+    for (const Tenant& t : live)
+        m.mark(t.obj);
+    m.drain();
+    return heap.sweep(m);
+}
+
+TEST(AllocFuzzTest, RandomAllocFreeAgainstShadowMap)
+{
+    const auto& table = sizeTable();
+    for (uint64_t seed : {1ull, 77ull, 20260809ull}) {
+        support::Rng rng(seed);
+        gc::Heap heap;
+        std::vector<Tenant> live;
+        std::map<const void*, uint64_t> occupied; // addr -> tag
+        uint64_t nextTag = seed * kTagSeed + 1;
+        size_t frees = 0;
+
+        for (int op = 0; op < 4000; ++op) {
+            const uint64_t roll = rng.nextBelow(100);
+            if (roll < 55 || live.empty()) {
+                // Allocate. The address must not collide with any
+                // tenant the oracle still believes live.
+                const size_t si = rng.nextBelow(table.size());
+                const uint64_t tag = nextTag++;
+                gc::Object* obj = table[si].make(heap, tag);
+                ASSERT_EQ(occupied.count(obj), 0u)
+                    << "seed=" << seed << " op=" << op
+                    << ": address served twice while live";
+                occupied.emplace(obj, tag);
+                live.push_back({obj, tag, si});
+            } else if (roll < 90) {
+                // Drop a random tenant; it dies at the next cycle.
+                // Its payload must still be intact right now.
+                const size_t vi = rng.nextBelow(live.size());
+                const Tenant t = live[vi];
+                ASSERT_TRUE(table[t.sizeIdx].check(t.obj, t.tag))
+                    << "seed=" << seed << " op=" << op
+                    << ": tenant clobbered before its free";
+                occupied.erase(t.obj);
+                live[vi] = live.back();
+                live.pop_back();
+                ++frees;
+            } else {
+                // Collect: everything dropped since the last cycle
+                // dies; everything in `live` must survive.
+                collect(heap, live);
+                ASSERT_EQ(heap.liveObjects(), live.size())
+                    << "seed=" << seed << " op=" << op;
+                ASSERT_EQ(poolLivePopcount(heap), live.size())
+                    << "seed=" << seed << " op=" << op;
+                const std::string v = heap.verifyPool();
+                ASSERT_TRUE(v.empty())
+                    << "seed=" << seed << " op=" << op << ": " << v;
+            }
+        }
+        EXPECT_GT(frees, 0u);
+
+        // Final cycle, then full integrity sweep over survivors.
+        collect(heap, live);
+        for (const Tenant& t : live) {
+            EXPECT_TRUE(table[t.sizeIdx].check(t.obj, t.tag))
+                << "seed=" << seed << ": survivor clobbered";
+        }
+        EXPECT_EQ(heap.liveObjects(), live.size());
+        EXPECT_EQ(poolLivePopcount(heap), live.size());
+        EXPECT_TRUE(heap.verifyPool().empty());
+        // ~Heap tears down every survivor and unmaps every span.
+    }
+}
+
+TEST(AllocFuzzTest, SweptSlotIsPoisoned)
+{
+    gc::Heap heap; // poisonFreed defaults to true
+    std::vector<Tenant> live;
+    const auto& table = sizeTable();
+    const size_t si = 4; // 250-byte payload: mid-ladder class
+    gc::Object* doomed = table[si].make(heap, 42);
+    const gc::Span* span = gc::Span::of(doomed);
+    const uint32_t slot = span->slotIndexOf(doomed);
+    const auto* bytes =
+        static_cast<const unsigned char*>(span->slotAt(slot));
+    const uint32_t slotSize = span->slotSize;
+
+    collect(heap, live); // nothing rooted: doomed dies
+    ASSERT_EQ(heap.liveObjects(), 0u);
+    // The span parks in PendingSweep; its storage stays mapped and
+    // the dead slot must read 0xDD end to end.
+    for (uint32_t i = 0; i < slotSize; ++i) {
+        ASSERT_EQ(bytes[i], 0xDD)
+            << "slot byte " << i << " not poisoned";
+    }
+
+    // Reuse: the next same-class allocation reintegrates the span
+    // and may serve the poisoned slot; construction overwrites it.
+    gc::Object* next = table[si].make(heap, 43);
+    EXPECT_TRUE(table[si].check(next, 43));
+    EXPECT_TRUE(heap.verifyPool().empty());
+}
+
+TEST(AllocFuzzTest, LargeObjectsRoundTrip)
+{
+    gc::Heap heap;
+    const gc::PoolStats& ps = heap.poolStats();
+    const uint64_t baseLarge = ps.largeSpans;
+    const uint64_t baseBytes = ps.spanBytes;
+
+    std::vector<Tenant> live;
+    const auto& table = sizeTable();
+    const size_t si = table.size() - 1; // 40000-byte payload
+    ASSERT_GT(table[si].bytes, gc::kMaxSmallSize);
+
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            uint64_t tag = static_cast<uint64_t>(round * 100 + i);
+            live.push_back({table[si].make(heap, tag), tag, si});
+        }
+        EXPECT_EQ(ps.largeSpans, baseLarge + 8);
+        EXPECT_GT(ps.spanBytes, baseBytes);
+        for (const Tenant& t : live)
+            EXPECT_TRUE(table[si].check(t.obj, t.tag));
+        EXPECT_TRUE(heap.verifyPool().empty());
+        live.clear();
+        collect(heap, live);
+        // Large spans return their storage immediately at sweep.
+        EXPECT_EQ(ps.largeSpans, baseLarge);
+        EXPECT_EQ(ps.spanBytes, baseBytes);
+        EXPECT_EQ(heap.liveObjects(), 0u);
+    }
+}
+
+TEST(AllocFuzzTest, FreedSlotReusedNotDoubleServed)
+{
+    gc::Heap heap;
+    std::vector<Tenant> live;
+    const auto& table = sizeTable();
+    const size_t si = 2; // one small class, one span
+
+    gc::Object* first = table[si].make(heap, 7);
+    const void* firstAddr = first;
+    collect(heap, live); // first dies
+    ASSERT_EQ(heap.liveObjects(), 0u);
+
+    // The only span of this class has exactly one pending slot; the
+    // next allocation must lazily sweep and reuse that address...
+    gc::Object* second = table[si].make(heap, 8);
+    EXPECT_EQ(static_cast<const void*>(second), firstAddr)
+        << "lazy sweep did not recycle the freed slot";
+    // ...and while `second` lives there, a further allocation must
+    // get a different address.
+    live.push_back({second, 8, si});
+    gc::Object* third = table[si].make(heap, 9);
+    EXPECT_NE(static_cast<const void*>(third),
+              static_cast<const void*>(second));
+    EXPECT_TRUE(table[si].check(second, 8));
+    EXPECT_TRUE(table[si].check(third, 9));
+    EXPECT_TRUE(heap.verifyPool().empty());
+}
+
+TEST(AllocFuzzTest, ChurnKeepsSpanCountBounded)
+{
+    // Recycling means steady-state churn must not grow the span set:
+    // run many allocate-all/drop-all waves of one class and require
+    // the span count to stabilize after the first wave.
+    gc::Heap heap;
+    const auto& table = sizeTable();
+    const size_t si = 3;
+    std::vector<Tenant> live;
+
+    uint64_t spansAfterFirstWave = 0;
+    for (int wave = 0; wave < 10; ++wave) {
+        for (int i = 0; i < 500; ++i) {
+            uint64_t tag = static_cast<uint64_t>(wave * 1000 + i);
+            live.push_back({table[si].make(heap, tag), tag, si});
+        }
+        live.clear();
+        collect(heap, live);
+        const uint64_t spans = heap.poolStats().spans;
+        if (wave == 0)
+            spansAfterFirstWave = spans;
+        else
+            EXPECT_LE(spans, spansAfterFirstWave)
+                << "wave " << wave << " grew the span set";
+    }
+    EXPECT_GT(heap.poolStats().slotsRecycled, 0u);
+    EXPECT_TRUE(heap.verifyPool().empty());
+}
+
+} // namespace
+} // namespace golf

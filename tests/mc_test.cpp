@@ -445,6 +445,77 @@ TEST(McTrace, RejectsMalformedInput)
     }
 }
 
+TEST(McFingerprint, IdenticalAcrossAllocBackends)
+{
+    // The canonical state hash orders goroutines by allocSeq, never
+    // by address, so swapping the span allocator for the legacy
+    // per-object backend must not move a single choice point: same
+    // enabled sets, same fingerprints, same verdict, on a corpus
+    // slice wide enough to cover channels, mutexes and waitgroups.
+    const char* names[] = {
+        "cgo/ex1",          "cgo/ex2",       "cgo/ex3",
+        "cgo/ex4",          "cgo/ex5",       "cgo/ex6",
+        "cockroach/10790",  "syncthing/4829",
+    };
+    for (const char* name : names) {
+        const Pattern* p = microbench::Registry::instance().find(name);
+        ASSERT_NE(p, nullptr) << name;
+        mc::McConfig pool;
+        pool.allocBackend = gc::AllocBackend::Pool;
+        mc::McConfig legacy;
+        legacy.allocBackend = gc::AllocBackend::Legacy;
+        const mc::ExecResult a = mc::runSchedule(*p, pool, {});
+        const mc::ExecResult b = mc::runSchedule(*p, legacy, {});
+        ASSERT_EQ(a.choices.size(), b.choices.size()) << name;
+        for (size_t k = 0; k < a.choices.size(); ++k) {
+            EXPECT_EQ(a.choices[k].fingerprint,
+                      b.choices[k].fingerprint)
+                << name << ": fingerprint diverges at choice " << k;
+            EXPECT_EQ(a.choices[k].enabled, b.choices[k].enabled)
+                << name << ": enabled set diverges at choice " << k;
+            EXPECT_EQ(a.choices[k].chosen, b.choices[k].chosen)
+                << name << ": pick diverges at choice " << k;
+        }
+        EXPECT_EQ(a.verdict, b.verdict) << name;
+    }
+}
+
+TEST(McDpor, VerdictsIdenticalAcrossAllocBackends)
+{
+    // Full DPOR explorations must walk the same reduced tree under
+    // either backend: identical execution/state counts, identical
+    // failing-label sets, the identical minimal schedule. Visited-
+    // fingerprint pruning makes this sharp — a single backend-
+    // dependent fingerprint would change the tree shape.
+    const char* names[] = {
+        "cgo/ex1",         "cgo/ex4",        "cgo/ex6",
+        "cockroach/10790", "kubernetes/16697",
+    };
+    for (const char* name : names) {
+        const Pattern* p = microbench::Registry::instance().find(name);
+        ASSERT_NE(p, nullptr) << name;
+        mc::McConfig pool;
+        pool.allocBackend = gc::AllocBackend::Pool;
+        mc::McConfig legacy;
+        legacy.allocBackend = gc::AllocBackend::Legacy;
+        mc::ExploreResult a = mc::explore(*p, pool);
+        mc::ExploreResult b = mc::explore(*p, legacy);
+        EXPECT_EQ(a.complete, b.complete) << name;
+        EXPECT_EQ(a.foundFailure, b.foundFailure) << name;
+        EXPECT_EQ(a.failedLabels, b.failedLabels) << name;
+        EXPECT_EQ(a.minimalSchedule, b.minimalSchedule) << name;
+        EXPECT_EQ(a.stats.executions, b.stats.executions) << name;
+        EXPECT_EQ(a.stats.states, b.stats.states) << name;
+        EXPECT_EQ(a.stats.branches, b.stats.branches) << name;
+        EXPECT_EQ(a.stats.sleepPruned, b.stats.sleepPruned) << name;
+        EXPECT_EQ(a.stats.dporPruned, b.stats.dporPruned) << name;
+        EXPECT_EQ(a.stats.visitedPruned, b.stats.visitedPruned)
+            << name;
+        EXPECT_EQ(a.falsePositiveExecutions, b.falsePositiveExecutions)
+            << name;
+    }
+}
+
 TEST(McVerdict, CanonicalFormIsSortedAndStable)
 {
     mc::Verdict v;

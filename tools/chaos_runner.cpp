@@ -36,6 +36,9 @@
  *     -metrics <path>     write the last run's metrics JSON to path;
  *                         with a profile rate armed, also writes
  *                         <path>.block.folded / <path>.mutex.folded
+ *     -alloc <backend>    allocator backend: pool (default) or
+ *                         legacy; outcomes are identical for either
+ *                         (the -alloc=<backend> spelling also works)
  *     -gctrace            print one line per GC/GOLF cycle (stderr)
  *     -flight <records>   flight-recorder ring capacity per P
  *                         (0 disables; default 4096)
@@ -109,6 +112,7 @@ struct Options
     int perSeed = 6;
     std::vector<int> procs{1, 2, 4};
     int gcWorkers = 0; // 0 = auto (hardware concurrency)
+    gc::AllocBackend backend = gc::AllocBackend::Pool;
     rt::FaultConfig faults;
     bool repro = false;
     bool obsRepro = false;
@@ -207,6 +211,17 @@ parseArgs(int argc, char** argv, Options& opt)
             if (!v)
                 return false;
             opt.gcWorkers = std::atoi(v);
+        } else if (arg == "-alloc" || arg.rfind("-alloc=", 0) == 0) {
+            const char* v = arg == "-alloc"
+                ? next() : arg.c_str() + std::strlen("-alloc=");
+            if (v && std::strcmp(v, "pool") == 0) {
+                opt.backend = gc::AllocBackend::Pool;
+            } else if (v && std::strcmp(v, "legacy") == 0) {
+                opt.backend = gc::AllocBackend::Legacy;
+            } else {
+                std::fprintf(stderr, "-alloc wants pool|legacy\n");
+                return false;
+            }
         } else if (arg == "-panic-prob") {
             if (!nextD(opt.faults.panicProb))
                 return false;
@@ -639,7 +654,8 @@ main(int argc, char** argv)
             stderr,
             "usage: chaos_runner [-seeds n] [-seed-base n] "
             "[-match re] [-per-seed n] [-procs 1,2,4] "
-            "[-gc-workers n] [-<kind>-prob p ...] [-repro] "
+            "[-gc-workers n] [-alloc pool|legacy] "
+            "[-<kind>-prob p ...] [-repro] "
             "[-obs-repro] [-metrics path] [-gctrace] [-flight n] "
             "[-blockprofile ns] [-mutexprofile ns] [-no-obs] [-race] "
             "[-watchdog] [-recovery rung] [-v] [-mc-check trace] "
@@ -687,6 +703,7 @@ main(int argc, char** argv)
             cfg.procs = opt.procs[rot % opt.procs.size()];
             cfg.seed = seed;
             cfg.gcWorkers = opt.gcWorkers;
+            cfg.heap.backend = opt.backend;
             cfg.faults = opt.faults;
             cfg.verifyInvariants = true;
             cfg.race = opt.race;

@@ -22,6 +22,9 @@
  *     -seed <n>         master seed (default 1)
  *     -gc-workers <n>   GC mark workers (0 = auto, 1 = serial;
  *                       results are identical for every value)
+ *     -alloc <backend>  allocator backend: pool (default) or legacy;
+ *                       results are identical for either
+ *                       (-alloc=<backend> also accepted)
  *     -verify           cross-check runtime invariants after every GC
  *                       and at end of run; any violation, runtime
  *                       failure or unexpected quarantine prints a
@@ -71,6 +74,7 @@ struct Options
     bool race = false;
     uint64_t seed = 1;
     int gcWorkers = 0; // 0 = auto (hardware concurrency)
+    gc::AllocBackend backend = gc::AllocBackend::Pool;
     bool verify = false;
     bool watchdog = false;
     rt::Recovery recovery = rt::Recovery::Reclaim;
@@ -124,6 +128,17 @@ parseArgs(int argc, char** argv, Options& opt)
             if (!v)
                 return false;
             opt.gcWorkers = std::atoi(v);
+        } else if (arg == "-alloc" || arg.rfind("-alloc=", 0) == 0) {
+            const char* v = arg == "-alloc"
+                ? next() : arg.c_str() + std::strlen("-alloc=");
+            if (v && std::strcmp(v, "pool") == 0) {
+                opt.backend = gc::AllocBackend::Pool;
+            } else if (v && std::strcmp(v, "legacy") == 0) {
+                opt.backend = gc::AllocBackend::Legacy;
+            } else {
+                std::fprintf(stderr, "-alloc wants pool|legacy\n");
+                return false;
+            }
         } else if (arg == "-verify") {
             opt.verify = true;
         } else if (arg == "-metrics") {
@@ -213,6 +228,7 @@ runCoverage(const Options& opt)
             HarnessConfig cfg;
             cfg.procs = procs;
             cfg.gcWorkers = opt.gcWorkers;
+            cfg.heap.backend = opt.backend;
             cfg.seed = opt.seed * 7919 +
                        static_cast<uint64_t>(procs);
             cfg.verifyInvariants = opt.verify;
@@ -268,6 +284,7 @@ runCoverage(const Options& opt)
         HarnessConfig cfg;
         cfg.procs = opt.procs.front();
         cfg.gcWorkers = opt.gcWorkers;
+        cfg.heap.backend = opt.backend;
         cfg.seed = opt.seed * 7919 +
                    static_cast<uint64_t>(cfg.procs);
         cfg.watchdog.enabled = opt.watchdog;
@@ -331,6 +348,7 @@ runPerf(const Options& opt)
                 HarnessConfig cfg;
                 cfg.procs = 1;
                 cfg.gcWorkers = opt.gcWorkers;
+            cfg.heap.backend = opt.backend;
                 cfg.seed = opt.seed + static_cast<uint64_t>(i);
                 cfg.gcMode = mode;
                 cfg.obs = opt.obs;
@@ -388,6 +406,7 @@ runRace(const Options& opt)
                 HarnessConfig cfg;
                 cfg.procs = procs;
                 cfg.gcWorkers = opt.gcWorkers;
+            cfg.heap.backend = opt.backend;
                 cfg.seed = opt.seed * 7919 +
                            static_cast<uint64_t>(procs) * 131 +
                            static_cast<uint64_t>(i);
@@ -439,7 +458,8 @@ main(int argc, char** argv)
             stderr,
             "usage: golf_tester [-match re] [-repeats n] "
             "[-procs 1,2,4] [-report path] [-perf] [-race] "
-            "[-seed n] [-verify] [-watchdog] [-recovery rung] "
+            "[-seed n] [-verify] [-alloc pool|legacy] "
+            "[-watchdog] [-recovery rung] "
             "[-metrics path] [-gctrace] [-flight n] "
             "[-blockprofile ns] [-mutexprofile ns] [-no-obs]\n");
         return 2;
