@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Goodput and heap high-water under a soft memory limit, emitted as
+ * BENCH_mem.json.
+ *
+ * The experiment: the guarded service (src/service/guard_service.*)
+ * runs three times on the Quarantine rung.
+ *
+ *   1. leak-free, no limit        -> leak-free peak heap (peak0)
+ *   2. leakRate=0.10, no limit    -> unlimited goodput baseline
+ *   3. leakRate=0.10, soft limit = 2 * peak0, scavenge-on-GC on
+ *
+ * Run 3 is the memory-pressure ladder's proving ground: the leak
+ * pushes live bytes toward the limit, the pacer pulls GC (and GOLF
+ * detection) earlier, the ladder scavenges retired spans, forces
+ * detection passes, sheds at admission, and must NEVER reach the
+ * FatalReport rung — recovery reclaims the leaked children faster
+ * than the leak accretes.
+ *
+ * Acceptance (wired into `bench_mem_smoke`):
+ *   - zero fatal OOM reports and a clean (non-panicked) limited run;
+ *   - peak modeled heap <= limit + one span (64 KiB) of slack;
+ *   - limited goodput >= 85% of the unlimited leaky baseline.
+ * Deterministic per seed.
+ *
+ * Usage:
+ *   mem_pressure [--smoke]
+ *
+ * Environment:
+ *   GOLF_MEM_WARMUP_S    warmup seconds    (default 2)
+ *   GOLF_MEM_DURATION_S  measured seconds  (default 10; smoke 6)
+ *   GOLF_MEM_SEED        master seed       (default 1)
+ *   GOLF_RESULTS_DIR     where the JSON goes (default .)
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "gc/span.hpp"
+#include "service/guard_service.hpp"
+
+using namespace golf;
+
+namespace {
+
+service::GuardResult
+runOnce(double leakRate, uint64_t softLimit, bool scavenge,
+        uint64_t seed, support::VTime warmup, support::VTime duration)
+{
+    service::GuardServiceConfig cfg;
+    cfg.recovery = rt::Recovery::Quarantine;
+    cfg.leakRate = leakRate;
+    cfg.seed = seed;
+    cfg.warmup = warmup;
+    cfg.duration = duration;
+    cfg.heap.softLimitBytes = softLimit;
+    cfg.mem.scavengeOnGc = scavenge;
+    return service::runGuardService(cfg);
+}
+
+void
+emitRow(std::ofstream& out, const char* name, double leakRate,
+        uint64_t softLimit, const service::GuardResult& r, bool last)
+{
+    out << "    {\"run\": \"" << name
+        << "\", \"leak_rate\": " << leakRate
+        << ", \"soft_limit_bytes\": " << softLimit
+        << ", \"goodput_rps\": " << r.goodputRps
+        << ", \"heap_peak\": " << r.heapPeak
+        << ", \"heap_inuse\": " << r.heapInuse
+        << ", \"num_gc\": " << r.numGC
+        << ", \"deadlocks_detected\": " << r.deadlocksDetected
+        << ", \"mem_scavenges\": " << r.memScavenges
+        << ", \"mem_forced_golfs\": " << r.memForcedGolfs
+        << ", \"mem_shed\": " << r.metrics.memShed
+        << ", \"fatal_ooms\": " << r.fatalOoms
+        << ", \"failed\": " << (r.failed ? "true" : "false") << "}"
+        << (last ? "" : ",") << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke" || arg == "-smoke") {
+            smoke = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    const uint64_t seed =
+        static_cast<uint64_t>(bench::envInt("GOLF_MEM_SEED", 1));
+    const support::VTime warmup =
+        static_cast<support::VTime>(
+            bench::envInt("GOLF_MEM_WARMUP_S", 2)) *
+        support::kSecond;
+    const support::VTime duration =
+        static_cast<support::VTime>(
+            bench::envInt("GOLF_MEM_DURATION_S", smoke ? 6 : 10)) *
+        support::kSecond;
+
+    std::printf("mem_pressure: leak-free unlimited (peak probe)...\n");
+    const service::GuardResult clean =
+        runOnce(0.0, 0, false, seed, warmup, duration);
+
+    std::printf("mem_pressure: leak=0.10 unlimited (baseline)...\n");
+    const service::GuardResult leaky =
+        runOnce(0.10, 0, false, seed, warmup, duration);
+
+    // The headroom the limited run has to live in: twice the
+    // leak-free peak. Tight enough that an unchecked 10% leak blows
+    // through it, generous enough that recovery can hold the line.
+    const uint64_t limit = 2 * clean.heapPeak;
+    std::printf("mem_pressure: leak=0.10 limit=%llu...\n",
+                static_cast<unsigned long long>(limit));
+    const service::GuardResult limited =
+        runOnce(0.10, limit, true, seed, warmup, duration);
+
+    const std::string path = bench::csvPath("BENCH_mem.json");
+    std::ofstream out(path);
+    out << "{\n  \"seed\": " << seed
+        << ",\n  \"soft_limit_bytes\": " << limit
+        << ",\n  \"runs\": [\n";
+    emitRow(out, "clean-unlimited", 0.0, 0, clean, false);
+    emitRow(out, "leaky-unlimited", 0.10, 0, leaky, false);
+    emitRow(out, "leaky-limited", 0.10, limit, limited, true);
+    out << "  ]\n}\n";
+
+    const double ratio = leaky.goodputRps > 0
+        ? limited.goodputRps / leaky.goodputRps : 0.0;
+    std::printf("\n%-16s %12s %12s %10s %10s %6s\n", "run",
+                "goodput_rps", "heap_peak", "scavenges", "forced",
+                "ooms");
+    std::printf("%-16s %12.2f %12llu %10s %10s %6s\n",
+                "clean-unlimited", clean.goodputRps,
+                static_cast<unsigned long long>(clean.heapPeak), "-",
+                "-", "-");
+    std::printf("%-16s %12.2f %12llu %10s %10s %6s\n",
+                "leaky-unlimited", leaky.goodputRps,
+                static_cast<unsigned long long>(leaky.heapPeak), "-",
+                "-", "-");
+    std::printf("%-16s %12.2f %12llu %10llu %10llu %6llu\n",
+                "leaky-limited", limited.goodputRps,
+                static_cast<unsigned long long>(limited.heapPeak),
+                static_cast<unsigned long long>(limited.memScavenges),
+                static_cast<unsigned long long>(limited.memForcedGolfs),
+                static_cast<unsigned long long>(limited.fatalOoms));
+    std::printf("limited/leaky goodput ratio: %.2fx\n", ratio);
+
+    bool ok = true;
+    if (clean.failed || leaky.failed) {
+        std::fprintf(stderr, "FAIL unlimited run panicked\n");
+        ok = false;
+    }
+    if (limited.failed) {
+        std::fprintf(stderr, "FAIL limited run panicked\n");
+        ok = false;
+    }
+    if (limited.fatalOoms != 0) {
+        std::fprintf(stderr,
+                     "FAIL %llu fatal OOM reports under the limit "
+                     "(need 0)\n",
+                     static_cast<unsigned long long>(
+                         limited.fatalOoms));
+        ok = false;
+    }
+    if (limited.heapPeak > limit + gc::kSpanSize) {
+        std::fprintf(stderr,
+                     "FAIL peak heap %llu over limit %llu + one-span "
+                     "slack %zu\n",
+                     static_cast<unsigned long long>(limited.heapPeak),
+                     static_cast<unsigned long long>(limit),
+                     gc::kSpanSize);
+        ok = false;
+    }
+    if (ratio < 0.85) {
+        std::fprintf(stderr,
+                     "FAIL limited goodput %.1f%% of unlimited leaky "
+                     "baseline (need >= 85%%)\n",
+                     100 * ratio);
+        ok = false;
+    }
+    std::printf("results: %s\n%s\n", path.c_str(),
+                ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}

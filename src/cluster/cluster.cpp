@@ -393,6 +393,8 @@ bootShard(Cluster& cl, ShardCtx* sh, VTime startClockAt)
     rc.watchdog.enabled = cl.cfg.watchdog;
     rc.verboseReports = cl.cfg.verboseReports;
     rc.obs.enabled = cl.cfg.obsEnabled;
+    rc.heap.softLimitBytes = cl.cfg.shardSoftLimitBytes;
+    rc.mem = cl.cfg.mem;
     sh->rt = std::make_unique<rt::Runtime>(rc);
     rt::Runtime::Scope scope(*sh->rt);
     if (startClockAt > 0)

@@ -92,6 +92,11 @@ struct ClusterConfig
     support::VTime restartCostNs = 10 * support::kMillisecond;
     /** Per-shard runtime fault injection (chaos inside a shard). */
     rt::FaultConfig shardFaults;
+    /** Per-shard soft heap limit (0 = no limit; every shard gets the
+     *  same limit, keeping shard heaps symmetric). */
+    uint64_t shardSoftLimitBytes = 0;
+    /** Memory-pressure ladder thresholds for every shard. */
+    mem::MemConfig mem;
     /// @}
 
     /// @{ Control plane.

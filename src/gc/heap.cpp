@@ -97,6 +97,10 @@ RootList::traceInto(Marker& marker) const
 Heap::Heap(HeapConfig config)
     : config_(config), triggerBytes_(config.minTriggerBytes)
 {
+    // With a soft limit the first trigger may need to sit below
+    // minTriggerBytes; repace() owns that arithmetic.
+    if (config_.softLimitBytes > 0)
+        repace();
 }
 
 Heap::~Heap()
@@ -150,6 +154,8 @@ Heap::poolAllocate(size_t bytes)
         // and re-enters service through the sweep classification.
         cls.cur = nullptr;
         s = allocSlowPath(ci);
+        if (!s)
+            return nullptr; // span acquisition failed (SpanMap fault)
     }
     ++poolStats_.slotAllocs;
     return s->slotAt(takeSlot(s));
@@ -206,7 +212,8 @@ Heap::allocSlowPath(int classIdx)
     }
     // 3. A fresh span, from the retired cache or the OS.
     Span* s = newSpan(classIdx);
-    cls.cur = s;
+    if (s)
+        cls.cur = s;
     return s;
 }
 
@@ -219,6 +226,10 @@ Heap::newSpan(int classIdx)
         freeSpans_.pop_back();
         --poolStats_.cachedSpans;
     } else {
+        if (spanFaultHook_ && spanFaultHook_()) {
+            ++poolStats_.spanMapFaults;
+            return nullptr;
+        }
         mem = osAllocSpan(kSpanSize);
     }
     uint32_t slotSize = kSizeClasses[classIdx];
@@ -250,9 +261,17 @@ Heap::allocateLarge(size_t bytes)
             freeSpans_.pop_back();
             --poolStats_.cachedSpans;
         } else {
+            if (spanFaultHook_ && spanFaultHook_()) {
+                ++poolStats_.spanMapFaults;
+                return nullptr;
+            }
             mem = osAllocSpan(kSpanSize);
         }
     } else {
+        if (spanFaultHook_ && spanFaultHook_()) {
+            ++poolStats_.spanMapFaults;
+            return nullptr;
+        }
         mem = osAllocSpan(footprint);
     }
     Span* s = initSpan(mem, this, kLargeClassIdx,
@@ -299,6 +318,8 @@ Heap::finishPoolAdopt(Object* obj, size_t bytes)
     obj->baseSize_ = bytes;
     obj->allocSeq_ = ++allocSeq_;
     liveBytes_ += bytes;
+    if (liveBytes_ > peakLiveBytes_)
+        peakLiveBytes_ = liveBytes_;
     ++liveObjects_;
     stats_.totalAlloc += bytes;
     stats_.heapAlloc = liveBytes_;
@@ -318,6 +339,8 @@ Heap::adopt(Object* obj, size_t bytes)
     obj->allNext_ = allHead_;
     allHead_ = obj;
     liveBytes_ += bytes;
+    if (liveBytes_ > peakLiveBytes_)
+        peakLiveBytes_ = liveBytes_;
     ++liveObjects_;
     stats_.totalAlloc += bytes;
     stats_.heapAlloc = liveBytes_;
@@ -332,6 +355,8 @@ Heap::charge(Object* obj, size_t bytes)
         support::panic("gc::Heap::charge: not my object");
     obj->allocSize_ += bytes;
     liveBytes_ += bytes;
+    if (liveBytes_ > peakLiveBytes_)
+        peakLiveBytes_ = liveBytes_;
     stats_.totalAlloc += bytes;
     stats_.heapAlloc = liveBytes_;
     stats_.heapInuse = liveBytes_;
@@ -559,8 +584,7 @@ Heap::retireSpan(Span* s)
     pagemap_.remove(reinterpret_cast<uintptr_t>(s));
     --poolStats_.spans;
     poolStats_.spanBytes -= kSpanSize;
-    ++poolStats_.cachedSpans;
-    freeSpans_.push_back(static_cast<void*>(s));
+    cacheOrEvict(static_cast<void*>(s));
 }
 
 void
@@ -570,12 +594,53 @@ Heap::freeLargeSpan(Span* s)
     --poolStats_.largeSpans;
     poolStats_.spanBytes -= s->footprint;
     if (s->footprint == kSpanSize) {
-        ++poolStats_.cachedSpans;
-        freeSpans_.push_back(static_cast<void*>(s));
+        cacheOrEvict(static_cast<void*>(s));
         return;
     }
     const size_t footprint = s->footprint;
     osFreeSpan(s, footprint);
+}
+
+void
+Heap::cacheOrEvict(void* mem)
+{
+    if (freeSpans_.size() >= config_.retiredCacheCap) {
+        ++poolStats_.evictedSpans;
+        releaseChunk(mem);
+        return;
+    }
+    ++poolStats_.cachedSpans;
+    freeSpans_.push_back(mem);
+}
+
+void
+Heap::releaseChunk(void* mem)
+{
+    if (releaseSeam_)
+        releaseSeam_(mem, kSpanSize);
+    else
+        osFreeSpan(mem, kSpanSize);
+}
+
+void
+Heap::osRelease(void* p, size_t bytes)
+{
+    osFreeSpan(p, bytes);
+}
+
+size_t
+Heap::scavenge(size_t keepSpans)
+{
+    size_t released = 0;
+    while (freeSpans_.size() > keepSpans) {
+        void* mem = freeSpans_.back();
+        freeSpans_.pop_back();
+        --poolStats_.cachedSpans;
+        ++poolStats_.scavengedSpans;
+        releaseChunk(mem);
+        ++released;
+    }
+    return released;
 }
 
 size_t
@@ -609,8 +674,26 @@ Heap::repace()
     // Next collection when the live heap grows by gcPercent.
     uint64_t next = liveBytes_ +
         liveBytes_ * static_cast<uint64_t>(config_.gcPercent) / 100;
-    triggerBytes_ = next < config_.minTriggerBytes
-        ? config_.minTriggerBytes : next;
+    if (next < config_.minTriggerBytes)
+        next = config_.minTriggerBytes;
+    if (config_.softLimitBytes > 0) {
+        // Soft-limit pacing (the ladder's PaceGC rung): never let the
+        // trigger pass the midpoint between live bytes and the limit,
+        // so cycles run increasingly early as the limit nears. The
+        // one-span floor prevents a trigger-every-allocation thrash
+        // once live bytes camp at the limit; sustained over-limit
+        // pressure is the FatalReport rung's business, not the
+        // pacer's.
+        const uint64_t headroom =
+            config_.softLimitBytes > liveBytes_
+                ? (config_.softLimitBytes - liveBytes_) / 2
+                : 0;
+        const uint64_t cap =
+            liveBytes_ + (headroom > kSpanSize ? headroom : kSpanSize);
+        if (next > cap)
+            next = cap;
+    }
+    triggerBytes_ = next;
 }
 
 // ---------------------------------------------------------------------------

@@ -65,6 +65,25 @@ struct HeapConfig
     bool poisonFreed = true;
     /** Allocator backend; Legacy exists for differential testing. */
     AllocBackend backend = AllocBackend::Pool;
+    /**
+     * Soft heap limit in modeled bytes (GOMEMLIMIT analog; 0 = off).
+     * Caps the pacing trigger at the midpoint between live bytes and
+     * the limit, so collection — and GOLF detection with it — runs
+     * increasingly early as the limit nears. Enforcement beyond
+     * pacing (scavenge, forced detection, shedding, fatal report) is
+     * the runtime's memory-pressure ladder (mem/pressure.hpp).
+     * Accounted in modeled bytes, so enabling it keeps every
+     * transparency surface byte-identical across gcWorkers counts
+     * and allocator backends.
+     */
+    uint64_t softLimitBytes = 0;
+    /** Retired-span reuse cache cap, in spans (16 MiB of 64 KiB
+     *  spans). Beyond it a retiring span is released to the OS
+     *  instead of cached, so one churn spike no longer holds the peak
+     *  span count forever. Sized above steady-state churn working
+     *  sets: every eviction costs a munmap now and an mmap at the
+     *  next acquisition. */
+    size_t retiredCacheCap = 256;
 };
 
 class Heap
@@ -95,6 +114,16 @@ class Heap
         // the object becomes live (liveBits, accounting) only after
         // construction succeeds.
         void* mem = poolAllocate(sizeof(T));
+        if (!mem) {
+            // Span acquisition failed (injected mmap failure): fall
+            // back to the legacy path. The object lives on the
+            // adopted chain with epoch marks — invisible to every
+            // determinism surface, which accounts objects and sizes,
+            // never storage.
+            T* obj = new T(std::forward<Args>(args)...);
+            adopt(obj, sizeof(T));
+            return obj;
+        }
         T* obj;
         try {
             obj = new (mem) T(std::forward<Args>(args)...);
@@ -127,6 +156,46 @@ class Heap
     {
         freeHook_ = std::move(hook);
     }
+
+    /**
+     * Install a hook consulted whenever a fresh span must be mapped
+     * from the OS (cache misses in newSpan/allocateLarge). Returning
+     * true simulates an mmap failure (FaultKind::SpanMap): the pool
+     * allocation returns null and make() falls back to the legacy
+     * backend path for that object.
+     */
+    void
+    setSpanFaultHook(std::function<bool()> hook)
+    {
+        spanFaultHook_ = std::move(hook);
+    }
+
+    /**
+     * Replace the span-release seam used by the scavenger and the
+     * retired-cache eviction (default: munmap). Tests fake it to
+     * withhold the unmap and prove released chunks are never served
+     * again; a faked seam owns the chunk from then on.
+     */
+    void
+    setReleaseSeam(std::function<void(void*, size_t)> seam)
+    {
+        releaseSeam_ = std::move(seam);
+    }
+
+    /** The default seam body: return the chunk to the OS. */
+    static void osRelease(void* p, size_t bytes);
+
+    /**
+     * Release cached retired spans beyond `keepSpans` back to the OS
+     * through the release seam (the ladder's Scavenge rung). Returns
+     * the number of spans released. Deterministic: the cache is a
+     * LIFO fed by the (deterministic) sweep order.
+     */
+    size_t scavenge(size_t keepSpans);
+
+    /** High-water mark of liveBytes() — modeled, so identical across
+     *  backends and worker counts. */
+    uint64_t peakLiveBytes() const { return peakLiveBytes_; }
 
     /** Visit every live object; fn must not allocate or free. Pool
      *  objects come first in span-creation/slot order, then the
@@ -302,6 +371,11 @@ class Heap
     void freeLargeSpan(Span* s);
     void whitenPool();
     void repace();
+    /** Park a whole 64 KiB chunk in the retired cache, or release it
+     *  (through the seam) when the cache is at its cap. */
+    void cacheOrEvict(void* mem);
+    /** Seam dispatch for a 64 KiB chunk leaving the heap. */
+    void releaseChunk(void* mem);
     /// @}
 
     HeapConfig config_;
@@ -311,12 +385,15 @@ class Heap
     uint64_t liveObjects_ = 0;
     uint64_t allocSeq_ = 0;
     uint64_t triggerBytes_;
+    uint64_t peakLiveBytes_ = 0;
     MemStats stats_;
     PoolStats poolStats_;
     std::unique_ptr<ParallelMarker> markerPool_;
     RootList globalRoots_;
     std::function<void(size_t)> allocHook_;
     std::function<void(Object*)> freeHook_;
+    std::function<bool()> spanFaultHook_;
+    std::function<void(void*, size_t)> releaseSeam_;
     std::unordered_map<Object*, std::function<void()>> finalizers_;
     /** Finalizer-bearing objects in registration order (the order
      *  grace passes use, so both backends resurrect identically). */

@@ -43,6 +43,14 @@ struct PoolStats
     uint64_t slotsRecycled = 0;
     /** Cumulative large-object allocations. */
     uint64_t largeAllocs = 0;
+    /** Retiring spans released at the cache cap instead of cached
+     *  (HeapConfig::retiredCacheCap), cumulative. */
+    uint64_t evictedSpans = 0;
+    /** Cached spans released to the OS by Heap::scavenge, cumulative. */
+    uint64_t scavengedSpans = 0;
+    /** Injected mmap failures at span acquisition (FaultKind::SpanMap);
+     *  each fell back to the legacy allocation path. */
+    uint64_t spanMapFaults = 0;
 };
 
 struct MemStats

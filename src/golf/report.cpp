@@ -124,6 +124,22 @@ ReportLog::addResurrection(std::string object, std::string op,
         std::move(object), std::move(op), vtime});
 }
 
+std::string
+OomRecord::str() const
+{
+    std::ostringstream os;
+    os << "fatal oom! goroutine " << goroutineId << ": " << what
+       << " (live=" << liveBytes << " limit=" << softLimitBytes
+       << " t=" << vtime << "ns)";
+    return os.str();
+}
+
+void
+ReportLog::addOom(const OomRecord& r)
+{
+    ooms_.push_back(r);
+}
+
 void
 ReportLog::clear()
 {
@@ -131,6 +147,7 @@ ReportLog::clear()
     quarantines_.clear();
     cancels_.clear();
     resurrections_.clear();
+    ooms_.clear();
     dedup_.clear();
 }
 

@@ -77,6 +77,19 @@ struct ResurrectionRecord
     std::string str() const;
 };
 
+/** The FatalReport rung fired: live bytes stayed over the soft heap
+ *  limit past the grace window (DESIGN.md §14). */
+struct OomRecord
+{
+    uint64_t goroutineId = 0;   ///< Goroutine running at the report.
+    uint64_t liveBytes = 0;     ///< Modeled live heap at the report.
+    uint64_t softLimitBytes = 0;
+    std::string what;           ///< Human-readable cause.
+    support::VTime vtime = 0;
+
+    std::string str() const;
+};
+
 /** Accumulates individual reports plus deduplicated counts. */
 class ReportLog
 {
@@ -94,6 +107,12 @@ class ReportLog
     /** Record a detected resurrection (healed false positive). */
     void addResurrection(std::string object, std::string op,
                          support::VTime vtime);
+
+    /** Record a fatal out-of-memory report (FatalReport rung). */
+    void addOom(const OomRecord& r);
+
+    /** All fatal OOM records, in order. */
+    const std::vector<OomRecord>& ooms() const { return ooms_; }
 
     /** All quarantine records, in order. */
     const std::vector<QuarantineRecord>& quarantines() const
@@ -149,6 +168,7 @@ class ReportLog
     std::vector<QuarantineRecord> quarantines_;
     std::vector<CancelRecord> cancels_;
     std::vector<ResurrectionRecord> resurrections_;
+    std::vector<OomRecord> ooms_;
     std::map<std::string, size_t> dedup_;
     std::function<void(const DeadlockReport&)> sink_;
 };

@@ -1,0 +1,87 @@
+#include "mem/pressure.hpp"
+
+namespace golf::mem {
+
+const char*
+rungName(PressureRung r)
+{
+    switch (r) {
+      case PressureRung::None: return "none";
+      case PressureRung::PaceGc: return "pace-gc";
+      case PressureRung::Scavenge: return "scavenge";
+      case PressureRung::ForcedGolf: return "forced-golf";
+      case PressureRung::Shed: return "shed";
+      case PressureRung::FatalReport: return "fatal-report";
+    }
+    return "?";
+}
+
+double
+PressureController::ratio(uint64_t liveBytes) const
+{
+    if (limit_ == 0)
+        return 0.0;
+    return static_cast<double>(liveBytes) /
+           static_cast<double>(limit_);
+}
+
+PressureRung
+PressureController::rung(uint64_t liveBytes) const
+{
+    if (limit_ == 0)
+        return PressureRung::None;
+    const double r = ratio(liveBytes);
+    if (r >= 1.0 && overLimitStreak_ >= cfg_.fatalGraceCycles)
+        return PressureRung::FatalReport;
+    if (r >= cfg_.shedAt)
+        return PressureRung::Shed;
+    if (r >= cfg_.forcedGolfAt)
+        return PressureRung::ForcedGolf;
+    if (r >= cfg_.scavengeAt)
+        return PressureRung::Scavenge;
+    if (r >= cfg_.paceAt)
+        return PressureRung::PaceGc;
+    return PressureRung::None;
+}
+
+PressureActions
+PressureController::poll(uint64_t liveBytes)
+{
+    PressureActions a;
+    if (limit_ == 0)
+        return a;
+    const double r = ratio(liveBytes);
+    if (r >= cfg_.scavengeAt && !scavengeFired_) {
+        scavengeFired_ = true;
+        a.scavenge = true;
+    }
+    if (r >= cfg_.forcedGolfAt && !golfFired_) {
+        golfFired_ = true;
+        a.forceGolf = true;
+    }
+    if (r >= 1.0 && overLimitStreak_ >= cfg_.fatalGraceCycles)
+        a.fatal = true;
+    return a;
+}
+
+void
+PressureController::onGcCycle(uint64_t liveBytesAfter)
+{
+    if (limit_ == 0)
+        return;
+    const double r = ratio(liveBytesAfter);
+    // Re-arm only the rungs this cycle got us back under: while the
+    // ratio camps above a threshold, re-firing the same action every
+    // cycle would buy nothing (the pacer already keeps cycles
+    // coming) — one shot per excursion.
+    if (r < cfg_.scavengeAt)
+        scavengeFired_ = false;
+    if (r < cfg_.forcedGolfAt)
+        golfFired_ = false;
+    if (r >= 1.0)
+        ++overLimitStreak_;
+    else
+        overLimitStreak_ = 0;
+}
+
+} // namespace golf::mem

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * golf::mem — the memory-pressure recovery ladder (DESIGN.md §14).
+ *
+ * The paper's leak story motivates a survival guarantee for the
+ * window *before* GOLF catches a deadlocked (memory-pinning) cycle:
+ * a GOMEMLIMIT-style soft heap limit (gc::HeapConfig::softLimitBytes)
+ * plus a graded response as live bytes approach it:
+ *
+ *   PaceGC      the heap pacer caps its trigger at the midpoint
+ *               between live bytes and the limit, so collection (and
+ *               with it GOLF detection) runs increasingly early;
+ *   Scavenge    release retired 64 KiB spans from the reuse cache
+ *               back to the OS (gc::Heap::scavenge);
+ *   ForcedGOLF  force an off-cycle detection pass — leaked deadlock
+ *               cycles are the dominant pinner, so detection *is*
+ *               memory recovery;
+ *   Shed        the guarded service refuses new requests off the
+ *               /mem/pressure:ratio gauge (mirroring the watchdog-
+ *               pressure breaker);
+ *   FatalReport after `fatalGraceCycles` consecutive GC cycles that
+ *               still end over the limit, record a structured OOM
+ *               report, flush post-mortem state and exit non-zero
+ *               with a replayable trace.
+ *
+ * Everything here is a pure function of modeled (deterministic) live
+ * bytes, so enabling the ladder keeps every transparency surface
+ * byte-identical across gcWorkers counts and allocator backends.
+ */
+#ifndef GOLFCC_MEM_PRESSURE_HPP
+#define GOLFCC_MEM_PRESSURE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace golf::mem {
+
+/** Ladder position, by rising pressure ratio (live / soft limit). */
+enum class PressureRung : uint8_t
+{
+    None,        ///< No limit, or live comfortably below it.
+    PaceGc,      ///< Pacer cap active: early GOLF+GC cycles.
+    Scavenge,    ///< Retired-span cache released to the OS.
+    ForcedGolf,  ///< Off-cycle detection pass forced.
+    Shed,        ///< Service refuses new requests.
+    FatalReport, ///< Grace exhausted: structured OOM + non-zero exit.
+};
+
+const char* rungName(PressureRung r);
+
+/** Ladder thresholds, carried inside rt::Config::mem. */
+struct MemConfig
+{
+    /** Ratio at/above which the pacer cap counts as "pacing". Purely
+     *  a reporting threshold — the cap itself lives in gc::Heap and
+     *  tightens continuously. */
+    double paceAt = 0.50;
+    /** Ratio at/above which cached retired spans are scavenged. */
+    double scavengeAt = 0.75;
+    /** Ratio at/above which an off-cycle GOLF pass is forced. */
+    double forcedGolfAt = 0.85;
+    /** Ratio at/above which /mem/pressure:ratio readers should shed
+     *  (advisory: admission control makes the call). */
+    double shedAt = 0.95;
+    /** Consecutive GC cycles allowed to end at/over the limit before
+     *  the FatalReport rung fires. */
+    int fatalGraceCycles = 4;
+    /** Spans the scavenger leaves in the retired cache (warm-start
+     *  allowance for the next churn burst). */
+    size_t scavengeKeepSpans = 8;
+    /** Scavenge after every GC cycle, not only at the Scavenge rung
+     *  (the chaos_runner/golf_tester -scavenge flag). */
+    bool scavengeOnGc = false;
+};
+
+/** What a poll decided; every action fires at most once per
+ *  excursion above its threshold (re-armed when a GC cycle ends
+ *  below it). */
+struct PressureActions
+{
+    bool scavenge = false;
+    bool forceGolf = false;
+    bool fatal = false;
+};
+
+/**
+ * The ladder's brain. Pure modeled-bytes arithmetic: poll() at
+ * scheduler safepoints, onGcCycle() after each collection. Holds no
+ * pointers into the runtime — the runtime interprets the actions.
+ */
+class PressureController
+{
+  public:
+    PressureController() = default;
+    PressureController(const MemConfig& cfg, uint64_t softLimitBytes)
+        : cfg_(cfg), limit_(softLimitBytes)
+    {}
+
+    /** False when no soft limit is configured (ladder inert). */
+    bool enabled() const { return limit_ > 0; }
+    uint64_t softLimit() const { return limit_; }
+    const MemConfig& config() const { return cfg_; }
+
+    /** live / limit (0.0 when no limit is set). */
+    double ratio(uint64_t liveBytes) const;
+
+    /** Current ladder position for reporting. */
+    PressureRung rung(uint64_t liveBytes) const;
+
+    /** Safepoint evaluation; deterministic in the sequence of
+     *  (liveBytes, onGcCycle) observations. */
+    PressureActions poll(uint64_t liveBytes);
+
+    /** A GC cycle just finished with this much live heap: re-arm
+     *  rungs the cycle got us back under, and account the fatal
+     *  grace (a cycle that *ends* over the limit is a cycle GOLF
+     *  and the sweeper both failed to rescue). */
+    void onGcCycle(uint64_t liveBytesAfter);
+
+    /** Cycles in the current consecutive over-limit streak. */
+    int overLimitCycles() const { return overLimitStreak_; }
+
+  private:
+    MemConfig cfg_;
+    uint64_t limit_ = 0;
+    bool scavengeFired_ = false;
+    bool golfFired_ = false;
+    int overLimitStreak_ = 0;
+};
+
+} // namespace golf::mem
+
+#endif // GOLFCC_MEM_PRESSURE_HPP

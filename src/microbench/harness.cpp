@@ -75,6 +75,7 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
     rc.watchdog = cfg.watchdog;
     rc.guard = cfg.guard;
     rc.obs = cfg.obs;
+    rc.mem = cfg.mem;
 
     RunOutcome out;
 
@@ -124,7 +125,12 @@ runPatternOnce(const Pattern& p, const HarnessConfig& cfg)
         out.faultsInjected = runtime.faults().injected();
         out.containedPanics = runtime.containedPanics();
         out.faultTrace = runtime.faults().trace();
+        out.spanFaultTrace = runtime.faults().spanTrace();
     }
+    out.memScavenges = runtime.memScavenges();
+    out.memForcedGolfs = runtime.memForcedGolfs();
+    out.fatalOoms = runtime.fatalOoms();
+    out.heapPeak = runtime.heap().peakLiveBytes();
     out.cancelsDelivered = runtime.cancelsDelivered();
     out.cancelDeaths = runtime.cancelDeaths();
     out.resurrections = runtime.resurrections();

@@ -34,8 +34,12 @@ struct HarnessConfig
      *  serial. Outcomes are identical for every value. */
     int gcWorkers = 0;
     /** Heap knobs, including the allocator backend (pool vs legacy;
-     *  outcomes are identical for either — alloc_diff_test). */
+     *  outcomes are identical for either — alloc_diff_test) and the
+     *  soft heap limit. */
     gc::HeapConfig heap;
+    /** Memory-pressure ladder thresholds (inert without
+     *  heap.softLimitBytes). */
+    mem::MemConfig mem;
     /** Virtual runtime before the forced GC (paper: 5 s). */
     support::VTime duration = 5 * support::kSecond;
     /** Cap on concurrent pattern instances derived from flakiness. */
@@ -83,6 +87,16 @@ struct RunOutcome
     /** Per-fault decision log, one line per injection; identical for
      *  identical (seed, config) — the determinism contract. */
     std::string faultTrace;
+    /** SpanMap (injected mmap-failure) log, separate stream: identical
+     *  for identical (seed, config, backend), but pool-only by nature
+     *  — compared across replays, never across backends. */
+    std::string spanFaultTrace;
+    /** Memory-pressure ladder accounting (zero without a limit). */
+    uint64_t memScavenges = 0;
+    uint64_t memForcedGolfs = 0;
+    uint64_t fatalOoms = 0;
+    /** High-water mark of modeled live heap bytes. */
+    uint64_t heapPeak = 0;
     /** Invariant violations found by verifyInvariants (empty when the
      *  check is disabled or everything held). */
     std::vector<std::string> invariantViolations;

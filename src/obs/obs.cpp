@@ -128,6 +128,20 @@ Obs::Obs(const Config& cfg, int procs, uint64_t seed)
     pressure_ = registry_.gauge(
         "/guard/watchdog/pressure:goroutines",
         "Candidates blocked past the watchdog threshold");
+    memPressure_ = registry_.gauge(
+        "/mem/pressure:ratio",
+        "Live heap over the soft limit (0 when no limit)");
+    memLimit_ = registry_.gauge("/mem/limit:bytes",
+                                "Configured soft heap limit");
+    memSpansRetired_ = registry_.gauge(
+        "/mem/spans/retired:spans",
+        "Retired spans parked in the reuse cache");
+    memSpansEvicted_ = registry_.gauge(
+        "/mem/spans/evicted:spans",
+        "Retiring spans released at the cache cap, cumulative");
+    memSpansScavenged_ = registry_.gauge(
+        "/mem/spans/scavenged:spans",
+        "Cached spans released by the scavenger, cumulative");
     flightDropped_ = registry_.gauge(
         "/obs/flight/dropped:records",
         "Flight-recorder records overwritten");
@@ -233,6 +247,33 @@ double
 Obs::watchdogPressure() const
 {
     return pressure_->value();
+}
+
+void
+Obs::setMemPressure(double ratio)
+{
+    memPressure_->set(ratio);
+}
+
+double
+Obs::memPressure() const
+{
+    return memPressure_->value();
+}
+
+void
+Obs::setMemLimit(uint64_t bytes)
+{
+    memLimit_->set(static_cast<double>(bytes));
+}
+
+void
+Obs::setMemSpans(uint64_t retired, uint64_t evicted,
+                 uint64_t scavenged)
+{
+    memSpansRetired_->set(static_cast<double>(retired));
+    memSpansEvicted_->set(static_cast<double>(evicted));
+    memSpansScavenged_->set(static_cast<double>(scavenged));
 }
 
 void

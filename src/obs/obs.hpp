@@ -102,6 +102,16 @@ class Obs
     /** Last value pushed by the watchdog poll (the service layer's
      *  shedding signal — read the gauge, don't rescan allg). */
     double watchdogPressure() const;
+    /** Memory-pressure ratio (live / soft limit), pushed by the
+     *  runtime's ladder poll; the memory-shedding signal. */
+    void setMemPressure(double ratio);
+    double memPressure() const;
+    /** Configured soft heap limit (0 = none). */
+    void setMemLimit(uint64_t bytes);
+    /** Retired-span cache occupancy + cumulative evictions and
+     *  scavenger releases (pool backend; all zero under Legacy). */
+    void setMemSpans(uint64_t retired, uint64_t evicted,
+                     uint64_t scavenged);
     /** Install the runtime's tracer so its ring-overflow drop count
      *  surfaces as /sched/trace/dropped:events. */
     void setTracer(const rt::Tracer* tracer) { tracer_ = tracer; }
@@ -150,6 +160,11 @@ class Obs
     Gauge* heapInuse_ = nullptr;
     Gauge* stackInuse_ = nullptr;
     Gauge* pressure_ = nullptr;
+    Gauge* memPressure_ = nullptr;
+    Gauge* memLimit_ = nullptr;
+    Gauge* memSpansRetired_ = nullptr;
+    Gauge* memSpansEvicted_ = nullptr;
+    Gauge* memSpansScavenged_ = nullptr;
     Gauge* flightDropped_ = nullptr;
     Gauge* traceDropped_ = nullptr;
     Gauge* blockSamples_ = nullptr;

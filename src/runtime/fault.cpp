@@ -22,6 +22,7 @@ faultSiteName(FaultSite s)
       case FaultSite::HeapAlloc: return "heap-alloc";
       case FaultSite::GcSafepoint: return "gc-safepoint";
       case FaultSite::Reclaim: return "reclaim";
+      case FaultSite::SpanMap: return "span-map";
     }
     return "?";
 }
@@ -37,6 +38,7 @@ faultKindName(FaultKind k)
       case FaultKind::AllocFail: return "alloc-fail";
       case FaultKind::ForceGc: return "force-gc";
       case FaultKind::ReclaimFailure: return "reclaim-failure";
+      case FaultKind::SpanMap: return "span-map";
     }
     return "?";
 }
@@ -45,7 +47,8 @@ FaultInjector::FaultInjector(const FaultConfig& cfg, uint64_t masterSeed)
     : cfg_(cfg),
       // Decorrelate from the scheduler's stream while staying a pure
       // function of the master seed.
-      rng_(masterSeed ^ 0xC4A05F0D5EEDull)
+      rng_(masterSeed ^ 0xC4A05F0D5EEDull),
+      spanRng_(masterSeed ^ 0x5A75FA17D5EEDull)
 {
 }
 
@@ -98,6 +101,22 @@ FaultInjector::decide(FaultSite site, support::VTime now, uint64_t gid)
     return kind;
 }
 
+bool
+FaultInjector::decideSpanMap(support::VTime now, uint64_t gid)
+{
+    if (!cfg_.enabled || cfg_.spanMapFailProb <= 0.0)
+        return false;
+    ++spanDecisions_;
+    if (spanLog_.size() >= cfg_.maxFaults)
+        return false;
+    if (spanRng_.nextDouble() >= cfg_.spanMapFailProb)
+        return false;
+    spanLog_.push_back(FaultRecord{spanLog_.size(), now,
+                                   FaultSite::SpanMap,
+                                   FaultKind::SpanMap, gid});
+    return true;
+}
+
 support::VTime
 FaultInjector::drawDelay()
 {
@@ -120,6 +139,18 @@ FaultInjector::trace() const
 {
     std::ostringstream os;
     for (const auto& r : log_) {
+        os << r.seq << " t=" << r.vtime << " g=" << r.goroutineId
+           << " " << faultSiteName(r.site) << " "
+           << faultKindName(r.kind) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+FaultInjector::spanTrace() const
+{
+    std::ostringstream os;
+    for (const auto& r : spanLog_) {
         os << r.seq << " t=" << r.vtime << " g=" << r.goroutineId
            << " " << faultSiteName(r.site) << " "
            << faultKindName(r.kind) << "\n";

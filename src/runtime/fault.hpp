@@ -53,6 +53,7 @@ enum class FaultSite : uint8_t
     HeapAlloc,     ///< Managed allocation (simulated OOM draw).
     GcSafepoint,   ///< Scheduler safepoint (forced-collection draw).
     Reclaim,       ///< Forced shutdown of a PendingReclaim goroutine.
+    SpanMap,       ///< Pool span acquisition (mmap-failure draw).
 };
 
 const char* faultSiteName(FaultSite s);
@@ -67,9 +68,10 @@ enum class FaultKind : uint8_t
     AllocFail,
     ForceGc,
     ReclaimFailure,
+    SpanMap,
 };
 
-constexpr size_t kFaultKindCount = 7;
+constexpr size_t kFaultKindCount = 8;
 
 const char* faultKindName(FaultKind k);
 
@@ -89,6 +91,14 @@ struct FaultConfig
     double forceGcProb = 0.0;
     /** P(throwing unwind) per forced reclaim. */
     double reclaimFailureProb = 0.0;
+    /**
+     * P(mmap failure) per pool span acquisition. Drawn from a
+     * dedicated RNG stream and logged separately (spanTrace), because
+     * span acquisitions only happen under the pool backend — sharing
+     * the decide() stream would shift every later draw and diverge
+     * the pool-vs-legacy fault traces.
+     */
+    double spanMapFailProb = 0.0;
     /** Upper bound on spurious/delayed wakeup scheduling horizons. */
     support::VTime delayMaxNs = 500 * support::kMicrosecond;
     /** Stop injecting after this many faults (determinism intact). */
@@ -147,6 +157,14 @@ class FaultInjector
     /** Deterministic wakeup delay in (0, delayMaxNs]. */
     support::VTime drawDelay();
 
+    /**
+     * Decide whether this pool span acquisition's mmap fails
+     * (FaultKind::SpanMap). Separate stream + log from decide(): the
+     * shared stream is a backend-independent determinism surface,
+     * while span acquisitions exist only under the pool backend.
+     */
+    bool decideSpanMap(support::VTime now, uint64_t gid);
+
     const std::vector<FaultRecord>& log() const { return log_; }
     uint64_t injected() const { return log_.size(); }
     uint64_t decisions() const { return decisions_; }
@@ -159,11 +177,21 @@ class FaultInjector
      */
     std::string trace() const;
 
+    const std::vector<FaultRecord>& spanLog() const { return spanLog_; }
+    uint64_t spanDecisions() const { return spanDecisions_; }
+
+    /** Byte-stable dump of the SpanMap fault schedule (same format as
+     *  trace(); compared only across same-backend replays). */
+    std::string spanTrace() const;
+
   private:
     FaultConfig cfg_;
     support::Rng rng_{1};
+    support::Rng spanRng_{1};
     std::vector<FaultRecord> log_;
+    std::vector<FaultRecord> spanLog_;
     uint64_t decisions_ = 0;
+    uint64_t spanDecisions_ = 0;
 };
 
 } // namespace golf::rt

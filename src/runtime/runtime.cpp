@@ -201,7 +201,8 @@ Runtime::Runtime(Config config)
     : config_(config),
       heap_(config.heap),
       sched_(*this, config.procs, config.seed),
-      injector_(config.faults, config.seed)
+      injector_(config.faults, config.seed),
+      memCtl_(config.mem, config.heap.softLimitBytes)
 {
     startCpuNs_ = processCpuNs();
     collector_ = std::make_unique<detect::Collector>(*this);
@@ -214,6 +215,12 @@ Runtime::Runtime(Config config)
     tracer_.setToggleHook([this] { refreshEventsArmed(); });
     refreshEventsArmed();
     heap_.setAllocHook([this](size_t bytes) { onAllocCheck(bytes); });
+    heap_.setSpanFaultHook([this]() -> bool {
+        if (!running_)
+            return false;
+        Goroutine* g = sched_.current();
+        return injector_.decideSpanMap(clock_.now(), g ? g->id() : 0);
+    });
     if (config_.race) {
         race_ = std::make_unique<race::Detector>(config_.raceCfg,
                                                  &clock_);
@@ -1053,6 +1060,12 @@ Runtime::collectNow()
         oomPending_ = false;
         ++emergencyGcs_;
     }
+    if (memCtl_.enabled()) {
+        memCtl_.onGcCycle(heap_.liveBytes());
+        if (config_.mem.scavengeOnGc)
+            heap_.scavenge(config_.mem.scavengeKeepSpans);
+    }
+    publishMemGauges();
     if (config_.verifyEveryGc)
         assertInvariants("post-GC");
     if (config_.chargeGcPause) {
@@ -1111,6 +1124,8 @@ Runtime::stepOnce(bool standalone)
         gcRequested_ = true; // adversarially timed collection
     }
     watchdogPoll();
+    if (memPoll())
+        return StepOutcome::Done;
     if (gcRequested_ || heap_.shouldCollect())
         collectNow();
 
@@ -1330,8 +1345,15 @@ Runtime::onAllocCheck(size_t bytes)
     emitEvent(TraceEvent::Fault, g->id());
     if (oomPending_) {
         // A second failure before the emergency collection got to
-        // run: Go's runtime throws a fatal out-of-memory error.
-        support::goPanic("out of memory (injected allocation failure)");
+        // run: Go's runtime throws a fatal out-of-memory error —
+        // routed through the FatalReport bookkeeping first so the
+        // post-mortem state (reports, fault log, trace tail) is
+        // flushed with a replayable failing-seed line, instead of
+        // the historical bare throw that took its evidence with it.
+        const std::string what =
+            "out of memory (injected allocation failure)";
+        fatalOom(what);
+        support::goPanic(what);
     }
     // First failure: a collection cannot run here — cycles only run
     // at scheduler safepoints, and raw pointers may be live within
@@ -1340,6 +1362,80 @@ Runtime::onAllocCheck(size_t bytes)
     // reserve.
     oomPending_ = true;
     gcRequested_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Memory-pressure ladder (DESIGN.md §14).
+
+bool
+Runtime::memPoll()
+{
+    if (!memCtl_.enabled())
+        return false;
+    const mem::PressureActions a = memCtl_.poll(heap_.liveBytes());
+    if (a.scavenge) {
+        heap_.scavenge(config_.mem.scavengeKeepSpans);
+        ++memScavenges_;
+    }
+    if (a.forceGolf) {
+        // Leaked deadlock cycles are the dominant memory pinner:
+        // force an off-cycle detection pass exactly like a watchdog
+        // trigger, so detection becomes memory recovery.
+        forceDetect_ = true;
+        gcRequested_ = true;
+        ++memForcedGolfs_;
+    }
+    publishMemGauges();
+    if (!a.fatal)
+        return false;
+    // FatalReport: we are at a scheduler safepoint, not inside a
+    // goroutine slice, so there is no frame chain to unwind — fold
+    // the termination into the run result (the global-deadlock
+    // pattern) instead of throwing through the drive loop.
+    std::ostringstream os;
+    os << "soft heap limit exceeded for "
+       << memCtl_.overLimitCycles() << " consecutive GC cycles";
+    fatalOom(os.str());
+    result_.panicked = true;
+    result_.panicMessage = os.str();
+    return true;
+}
+
+void
+Runtime::publishMemGauges()
+{
+    if (!obs_)
+        return;
+    const gc::PoolStats& ps = heap_.poolStats();
+    obs_->setMemSpans(ps.cachedSpans, ps.evictedSpans,
+                      ps.scavengedSpans);
+    if (!memCtl_.enabled())
+        return;
+    obs_->setMemPressure(memCtl_.ratio(heap_.liveBytes()));
+    obs_->setMemLimit(memCtl_.softLimit());
+}
+
+void
+Runtime::fatalOom(const std::string& what)
+{
+    ++fatalOoms_;
+    Goroutine* g = sched_.current();
+    detect::OomRecord rec;
+    rec.goroutineId = g ? g->id() : 0;
+    rec.liveBytes = heap_.liveBytes();
+    rec.softLimitBytes = memCtl_.softLimit();
+    rec.what = what;
+    rec.vtime = clock_.now();
+    collector_->reports().addOom(rec);
+    flushPostMortem();
+    // One-line failing-seed summary, chaos_runner -verify style: the
+    // seed + config replays the episode exactly.
+    std::fprintf(stderr,
+                 "FAIL oom seed=%llu: %s (live=%llu limit=%llu)\n",
+                 static_cast<unsigned long long>(config_.seed),
+                 what.c_str(),
+                 static_cast<unsigned long long>(rec.liveBytes),
+                 static_cast<unsigned long long>(rec.softLimitBytes));
 }
 
 void
@@ -1534,6 +1630,11 @@ Runtime::flushPostMortem() const
         os << "quarantines (" << log.quarantines().size() << "):\n";
         for (const auto& q : log.quarantines())
             os << q.str() << "\n";
+    }
+    if (!log.ooms().empty()) {
+        os << "fatal oom reports (" << log.ooms().size() << "):\n";
+        for (const auto& o : log.ooms())
+            os << o.str() << "\n";
     }
     if (injector_.injected() > 0) {
         const auto& faults = injector_.log();

@@ -25,6 +25,7 @@
 #include "gc/heap.hpp"
 #include "guard/cancel.hpp"
 #include "guard/watchdog.hpp"
+#include "mem/pressure.hpp"
 #include "obs/obs.hpp"
 #include "race/detector.hpp"
 #include "runtime/fault.hpp"
@@ -148,6 +149,9 @@ struct Config
     guard::WatchdogConfig watchdog;
     /** Recovery-ladder escalation policy (guard/watchdog.hpp). */
     guard::GuardPolicy guard;
+    /** Memory-pressure ladder thresholds; inert unless
+     *  heap.softLimitBytes is set (mem/pressure.hpp). */
+    mem::MemConfig mem;
     /** Always-on telemetry: flight recorder, metrics registry,
      *  contention profiles, gctrace (obs/obs.hpp). When disabled the
      *  runtime holds no Obs and each event site costs one branch. */
@@ -401,6 +405,25 @@ class Runtime
     }
     /// @}
 
+    /// @{ Memory-pressure ladder (mem/pressure.hpp, DESIGN.md §14).
+    /** live / soft limit right now (0.0 when no limit is set) — the
+     *  service layer's memory-shedding signal. */
+    double
+    memPressureRatio() const
+    {
+        return memCtl_.ratio(heap_.liveBytes());
+    }
+    /** Configured soft heap limit (0 = no limit). */
+    uint64_t memLimitBytes() const { return memCtl_.softLimit(); }
+    /** Scavenge passes the ladder has fired. */
+    uint64_t memScavenges() const { return memScavenges_; }
+    /** Off-cycle detection passes the ladder has forced. */
+    uint64_t memForcedGolfs() const { return memForcedGolfs_; }
+    /** FatalReport-rung OOM reports recorded (injected allocation
+     *  failures that exhausted the emergency GC count here too). */
+    uint64_t fatalOoms() const { return fatalOoms_; }
+    /// @}
+
     /** Number of goroutines in a given status. */
     size_t countByStatus(GStatus s) const;
 
@@ -495,6 +518,16 @@ class Runtime
                              bool framesLost);
     /** Heap allocation hook: injected OOM + emergency-GC retry. */
     void onAllocCheck(size_t bytes);
+    /** Memory-pressure ladder safepoint poll (stepOnce). Returns
+     *  true when the FatalReport rung fired (the run is over). */
+    bool memPoll();
+    /** Push pressure + span-cache gauges into obs. */
+    void publishMemGauges();
+    /** FatalReport rung bookkeeping: record a structured OOM and
+     *  flush post-mortem state with a failing-seed summary line.
+     *  Termination is the caller's move — goPanic inside a slice,
+     *  a panicked RunResult at the safepoint. */
+    void fatalOom(const std::string& what);
     void emitEventSlow(TraceEvent ev, uint64_t gid,
                        WaitReason reason);
     void refreshEventsArmed()
@@ -535,6 +568,7 @@ class Runtime
     Tracer tracer_;
     Scheduler sched_;
     FaultInjector injector_;
+    mem::PressureController memCtl_;
     std::unique_ptr<detect::Collector> collector_;
     std::unique_ptr<obs::Obs> obs_;
     /** tracer_.enabled() || obs_ — the one-branch event gate. */
@@ -542,6 +576,9 @@ class Runtime
 
     uint64_t containedPanics_ = 0;
     uint64_t emergencyGcs_ = 0;
+    uint64_t memScavenges_ = 0;
+    uint64_t memForcedGolfs_ = 0;
+    uint64_t fatalOoms_ = 0;
     /** An injected allocation failure is pending: the next safepoint
      *  runs an emergency collection; a second failure before that
      *  relief arrives is a fatal OOM. */

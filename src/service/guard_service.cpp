@@ -127,8 +127,19 @@ clientConnection(GuardState* s)
         const size_t pressure =
             obs ? static_cast<size_t>(obs->watchdogPressure())
                 : rt.watchdogPressure();
-        if (!admitted || pressure >= cfg.shedPressureLimit) {
+        // Shed rung of the memory-pressure ladder: refuse work off
+        // the /mem/pressure:ratio gauge before the heap reaches the
+        // soft limit (same gauge-not-rescan discipline as above).
+        const double memPressure =
+            obs ? obs->memPressure() : rt.memPressureRatio();
+        const bool memShed = cfg.memShedRatio > 0 &&
+                             rt.memLimitBytes() > 0 &&
+                             memPressure >= cfg.memShedRatio;
+        if (!admitted || pressure >= cfg.shedPressureLimit ||
+            memShed) {
             ++s->m.shed;
+            if (memShed)
+                ++s->m.memShed;
             co_await rt::sleepFor(cfg.backoffBase);
             continue;
         }
@@ -191,7 +202,8 @@ runGuardService(const GuardServiceConfig& config)
     rc.watchdog = config.watchdog;
     rc.guard = config.guard;
     rc.obs = config.obs;
-    rc.heap.minTriggerBytes = 8 * 1024 * 1024;
+    rc.heap = config.heap;
+    rc.mem = config.mem;
 
     rt::Runtime runtime(rc);
     GuardState state;
@@ -206,6 +218,10 @@ runGuardService(const GuardServiceConfig& config)
     rt::RunResult rr = runtime.runMain(serviceMain, &state);
 
     GuardResult out;
+    out.heapPeak = runtime.heap().peakLiveBytes();
+    out.fatalOoms = runtime.fatalOoms();
+    out.memScavenges = runtime.memScavenges();
+    out.memForcedGolfs = runtime.memForcedGolfs();
     if (!rr.ok()) {
         out.failed = true;
         return out;

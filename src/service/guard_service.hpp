@@ -25,6 +25,7 @@
 #ifndef GOLFCC_SERVICE_GUARD_SERVICE_HPP
 #define GOLFCC_SERVICE_GUARD_SERVICE_HPP
 
+#include "mem/pressure.hpp"
 #include "service/retry.hpp"
 #include "service/service.hpp"
 
@@ -55,6 +56,22 @@ struct GuardServiceConfig : ServiceConfig
     obs::Config obs;
     /** Capture metrics JSON + Prometheus text into the result. */
     bool captureObs = false;
+    /** Heap configuration, including the soft limit
+     *  (HeapConfig::softLimitBytes = 0 keeps the ladder inert). */
+    gc::HeapConfig heap = defaultHeap();
+    /** Memory-pressure ladder thresholds (mem/pressure.hpp). */
+    mem::MemConfig mem;
+    /** Shed new requests while /mem/pressure:ratio >= this (the
+     *  ladder's Shed rung); 0 disables memory shedding. */
+    double memShedRatio = 0.95;
+
+    static gc::HeapConfig
+    defaultHeap()
+    {
+        gc::HeapConfig h;
+        h.minTriggerBytes = 8 * 1024 * 1024;
+        return h;
+    }
 };
 
 /** Degradation counters (the new Metrics fields of §9). */
@@ -66,6 +83,7 @@ struct GuardMetrics
     size_t cancelled = 0;    ///< Cancel deliveries by the runtime.
     size_t cancelDeaths = 0; ///< Unrecovered cancels (contained).
     size_t shed = 0;         ///< Requests refused at admission.
+    size_t memShed = 0;      ///< Of those, refused on memory pressure.
     size_t retried = 0;      ///< Client retry attempts.
     size_t timedOut = 0;     ///< Requests failed after all retries.
     size_t breakerOpens = 0; ///< Circuit-breaker open transitions.
@@ -83,6 +101,14 @@ struct GuardResult
     uint64_t heapInuse = 0;
     uint64_t numGC = 0;
     uint64_t pauseTotalNs = 0;
+    /** High-water mark of modeled live heap bytes. */
+    uint64_t heapPeak = 0;
+    /** FatalReport-rung OOM reports (0 = the limit held). */
+    uint64_t fatalOoms = 0;
+    /** Ladder scavenge passes fired. */
+    uint64_t memScavenges = 0;
+    /** Ladder-forced off-cycle detection passes. */
+    uint64_t memForcedGolfs = 0;
     bool failed = false; ///< The run itself panicked.
     /** Obs capture (empty unless config.captureObs). */
     std::string metricsJson;

@@ -313,5 +313,91 @@ TEST(AllocFuzzTest, ChurnKeepsSpanCountBounded)
     EXPECT_TRUE(heap.verifyPool().empty());
 }
 
+TEST(AllocFuzzTest, ScavengeReacquireRounds)
+{
+    // Scavenge/re-acquire fuzz: rounds of churn -> scavenge ->
+    // re-allocate, with a fake release seam that withholds the
+    // munmap. The withheld mappings keep their addresses reserved,
+    // so if the pool ever served a slot from a span it told the
+    // scavenger it released, the address would land inside a
+    // withheld range and the oracle below would catch it.
+    std::vector<std::pair<const unsigned char*, size_t>> withheld;
+    {
+        gc::HeapConfig hc;
+        hc.retiredCacheCap = 4; // force evictions through the seam too
+        gc::Heap heap(hc);
+        heap.setReleaseSeam([&withheld](void* p, size_t bytes) {
+            withheld.emplace_back(
+                static_cast<const unsigned char*>(p), bytes);
+        });
+
+        const auto& table = sizeTable();
+        const gc::PoolStats& ps = heap.poolStats();
+        std::vector<Tenant> live;
+        support::Rng rng(0x5CA4ull);
+        uint64_t nextTag = 1;
+
+        for (int round = 0; round < 6; ++round) {
+            for (int i = 0; i < 400; ++i) {
+                const size_t si = rng.nextBelow(table.size() - 1);
+                const uint64_t tag = nextTag++;
+                gc::Object* obj = table[si].make(heap, tag);
+                const auto* addr =
+                    reinterpret_cast<const unsigned char*>(obj);
+                for (const auto& [base, bytes] : withheld) {
+                    ASSERT_FALSE(addr >= base && addr < base + bytes)
+                        << "round " << round
+                        << ": slot served from a scavenged span";
+                }
+                live.push_back({obj, tag, si});
+            }
+            for (const Tenant& t : live)
+                ASSERT_TRUE(table[t.sizeIdx].check(t.obj, t.tag))
+                    << "round " << round << ": tenant clobbered";
+            live.clear();
+            collect(heap, live);
+            heap.scavenge(/*keepSpans=*/1);
+            ASSERT_TRUE(heap.verifyPool().empty());
+        }
+        EXPECT_GT(ps.scavengedSpans, 0u);
+        EXPECT_GT(ps.evictedSpans, 0u);
+        // Reused (cached, never released) spans still poison their
+        // swept slots: a fresh allocation after the scavenge rounds
+        // constructs over 0xDD, not over stale tenant bytes.
+        gc::Object* probe = table[4].make(heap, nextTag);
+        EXPECT_TRUE(table[4].check(probe, nextTag));
+        EXPECT_TRUE(heap.verifyPool().empty());
+    }
+    // The seam withheld real mappings; return them to the OS now
+    // that the heap (and every address comparison) is gone.
+    for (const auto& [base, bytes] : withheld)
+        gc::Heap::osRelease(const_cast<unsigned char*>(base), bytes);
+}
+
+TEST(AllocFuzzTest, PoisonIntactAcrossScavenge)
+{
+    // A pending-sweep slot must still read 0xDD after the retired
+    // cache around it is scavenged to zero.
+    gc::Heap heap;
+    std::vector<Tenant> live;
+    const auto& table = sizeTable();
+    const size_t si = 4;
+    gc::Object* doomed = table[si].make(heap, 42);
+    const gc::Span* span = gc::Span::of(doomed);
+    const auto* bytes = static_cast<const unsigned char*>(
+        span->slotAt(span->slotIndexOf(doomed)));
+    const uint32_t slotSize = span->slotSize;
+
+    collect(heap, live);
+    heap.scavenge(0);
+    for (uint32_t i = 0; i < slotSize; ++i) {
+        ASSERT_EQ(bytes[i], 0xDD)
+            << "slot byte " << i << " not poisoned after scavenge";
+    }
+    gc::Object* next = table[si].make(heap, 43);
+    EXPECT_TRUE(table[si].check(next, 43));
+    EXPECT_TRUE(heap.verifyPool().empty());
+}
+
 } // namespace
 } // namespace golf

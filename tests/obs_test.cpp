@@ -489,5 +489,90 @@ TEST(ObsDropExportTest, DropCountersExportUnderGoldenNames)
         << prom;
 }
 
+// ---------------------------------------------------------------
+// Memory-pressure gauges (golden names)
+// ---------------------------------------------------------------
+
+// The /mem/* gauges are scraped by tools and CI dashboards; a rename
+// is a breaking change. The span gauges are pool-backend activity
+// (legacy runs export them as zeros), so they are part of the
+// gcWorkers byte-identity surface but deliberately NOT part of the
+// pool-vs-legacy one (see alloc_diff_test.cpp).
+TEST(ObsMemGaugeTest, MemGaugesExportUnderGoldenNames)
+{
+    rt::Config rc;
+    rc.heap.softLimitBytes = 32 * 1024 * 1024;
+    Runtime rt(rc);
+    ASSERT_NE(rt.obs(), nullptr);
+    rt.runMain(+[](Runtime* rtp) -> Go {
+        for (int i = 0; i < 50; ++i) {
+            GOLF_GO(*rtp, +[]() -> Go {
+                co_await rt::sleepFor(kMillisecond);
+                co_return;
+            });
+        }
+        co_await rt::sleepFor(5 * kMillisecond);
+        co_await rt::gcNow();
+        co_return;
+    }, &rt);
+
+    const std::string json = rt.obs()->metricsJson();
+    for (const char* name :
+         {"\"/mem/pressure:ratio\"", "\"/mem/limit:bytes\"",
+          "\"/mem/spans/retired:spans\"",
+          "\"/mem/spans/evicted:spans\"",
+          "\"/mem/spans/scavenged:spans\""}) {
+        EXPECT_NE(json.find(name), std::string::npos)
+            << name << " missing from " << json;
+    }
+    const std::string prom = rt.obs()->prometheusText();
+    for (const char* name :
+         {"golf_mem_pressure_ratio", "golf_mem_limit_bytes",
+          "golf_mem_spans_retired_spans",
+          "golf_mem_spans_evicted_spans",
+          "golf_mem_spans_scavenged_spans"}) {
+        EXPECT_NE(prom.find(name), std::string::npos)
+            << name << " missing from " << prom;
+    }
+    // The limit gauge must be live, not a registered-but-never-set
+    // zero: the configured limit round-trips through the snapshot.
+    EXPECT_NE(json.find("\"/mem/limit:bytes\","
+                        "\"kind\":\"gauge\",\"value\":33554432"),
+              std::string::npos)
+        << json;
+}
+
+TEST(ObsMemGaugeTest, MemGaugesIdenticalAcrossGcWorkers)
+{
+    const auto& all = microbench::Registry::instance().all();
+    ASSERT_FALSE(all.empty());
+    const microbench::Pattern& p = all.front();
+
+    auto capture = [&](int workers) {
+        microbench::HarnessConfig cfg;
+        cfg.procs = 2;
+        cfg.seed = 77;
+        cfg.gcWorkers = workers;
+        cfg.captureObs = true;
+        cfg.heap.softLimitBytes = 8 * 1024 * 1024;
+        cfg.mem.scavengeOnGc = true;
+        return microbench::runPatternOnce(p, cfg);
+    };
+    const microbench::RunOutcome w1 = capture(1);
+    for (int workers : {2, 4}) {
+        const microbench::RunOutcome wn = capture(workers);
+        EXPECT_EQ(w1.obsMetricsJson, wn.obsMetricsJson)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.obsPrometheus, wn.obsPrometheus)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.heapPeak, wn.heapPeak)
+            << "gcWorkers=" << workers;
+        EXPECT_EQ(w1.memScavenges, wn.memScavenges)
+            << "gcWorkers=" << workers;
+    }
+    EXPECT_NE(w1.obsMetricsJson.find("/mem/pressure:ratio"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace golf

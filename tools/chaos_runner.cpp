@@ -25,9 +25,19 @@
  *     -allocfail-prob <p> simulated-OOM probability     (default 0.002)
  *     -forcegc-prob <p>   forced-collection probability (default 0.005)
  *     -reclaimfail-prob <p> throwing-reclaim probability (default 0.05)
+ *     -spanmap-prob <p>   injected span-mmap-failure probability
+ *                         (default 0; pool backend only — drawn from
+ *                         a dedicated RNG stream so enabling it does
+ *                         not shift the shared fault schedule)
+ *     -memlimit <MiB>     soft heap limit per runtime (0 = off);
+ *                         arms the memory-pressure ladder: pacing,
+ *                         scavenge, forced GOLF, shed, fatal report
+ *     -scavenge           release the retired-span cache after every
+ *                         GC cycle (MemConfig::scavengeOnGc)
  *     -repro              run every configuration twice and require
- *                         byte-identical fault traces plus identical
- *                         report/cancel counts
+ *                         byte-identical fault traces (the SpanMap
+ *                         stream included) plus identical
+ *                         report/cancel/fatal-OOM counts
  *     -obs-repro          run every configuration at gcWorkers 1, 2
  *                         and 4 and require byte-identical obs output
  *                         (metrics JSON, Prometheus text, goroutine /
@@ -84,6 +94,7 @@
  * mismatches, zero unexpected runtime failures and zero unexpected
  * quarantines (quarantines with reclaim-fault injection disabled).
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -122,6 +133,10 @@ struct Options
     bool watchdog = false;
     rt::Recovery recovery = rt::Recovery::Reclaim;
     bool verbose = false;
+    /** Soft heap limit in MiB (0 = ladder off). */
+    uint64_t memlimitMiB = 0;
+    /** Scavenge the retired-span cache after every GC cycle. */
+    bool scavenge = false;
 
     // Model-checking replay mode: re-execute a golf_mc trace and
     // byte-compare the verdict.
@@ -240,6 +255,16 @@ parseArgs(int argc, char** argv, Options& opt)
         } else if (arg == "-reclaimfail-prob") {
             if (!nextD(opt.faults.reclaimFailureProb))
                 return false;
+        } else if (arg == "-spanmap-prob") {
+            if (!nextD(opt.faults.spanMapFailProb))
+                return false;
+        } else if (arg == "-memlimit") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.memlimitMiB = static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-scavenge") {
+            opt.scavenge = true;
         } else if (arg == "-repro") {
             opt.repro = true;
         } else if (arg == "-obs-repro") {
@@ -346,6 +371,16 @@ isInjectedOom(const RunOutcome& out)
            std::string::npos;
 }
 
+/** The FatalReport rung ended the run: live bytes stayed over the
+ *  soft limit past the grace window. With -memlimit armed this is a
+ *  deliberate, replayable outcome, not a runner bug. */
+bool
+isFatalOom(const RunOutcome& out)
+{
+    return out.failureMessage.find("soft heap limit exceeded") !=
+           std::string::npos;
+}
+
 struct Totals
 {
     uint64_t runs = 0;
@@ -353,6 +388,10 @@ struct Totals
     uint64_t containedPanics = 0;
     uint64_t quarantined = 0;
     uint64_t injectedOoms = 0;
+    uint64_t fatalOomRuns = 0;
+    uint64_t spanMapFaults = 0;
+    uint64_t memScavenges = 0;
+    uint64_t memForcedGolfs = 0;
     uint64_t deadlockReports = 0;
     uint64_t violations = 0;
     uint64_t reproMismatches = 0;
@@ -413,6 +452,8 @@ clusterConfigFor(const Options& opt, uint64_t seed)
     cfg.leakProb = opt.leakProb;
     cfg.watchdog = true;
     cfg.restarts = opt.restarts;
+    cfg.shardSoftLimitBytes = opt.memlimitMiB * 1024 * 1024;
+    cfg.mem.scavengeOnGc = opt.scavenge;
     if (opt.netfault) {
         cfg.netfault.enabled = true;
         cfg.netfault.dropProb = opt.netDropProb;
@@ -655,7 +696,8 @@ main(int argc, char** argv)
             "usage: chaos_runner [-seeds n] [-seed-base n] "
             "[-match re] [-per-seed n] [-procs 1,2,4] "
             "[-gc-workers n] [-alloc pool|legacy] "
-            "[-<kind>-prob p ...] [-repro] "
+            "[-<kind>-prob p ...] [-memlimit MiB] [-scavenge] "
+            "[-repro] "
             "[-obs-repro] [-metrics path] [-gctrace] [-flight n] "
             "[-blockprofile ns] [-mutexprofile ns] [-no-obs] [-race] "
             "[-watchdog] [-recovery rung] [-v] [-mc-check trace] "
@@ -711,6 +753,8 @@ main(int argc, char** argv)
             cfg.watchdog.enabled = opt.watchdog;
             cfg.obs = opt.obs;
             cfg.captureObs = !opt.metricsPath.empty();
+            cfg.heap.softLimitBytes = opt.memlimitMiB * 1024 * 1024;
+            cfg.mem.scavengeOnGc = opt.scavenge;
 
             RunOutcome out = runPatternOnce(p, cfg);
             if (cfg.captureObs) {
@@ -722,6 +766,11 @@ main(int argc, char** argv)
             t.faults += out.faultsInjected;
             t.containedPanics += out.containedPanics;
             t.quarantined += out.quarantined;
+            t.memScavenges += out.memScavenges;
+            t.memForcedGolfs += out.memForcedGolfs;
+            t.spanMapFaults += static_cast<uint64_t>(
+                std::count(out.spanFaultTrace.begin(),
+                           out.spanFaultTrace.end(), '\n'));
             t.deadlockReports += out.individualReports;
             t.violations += out.invariantViolations.size();
             t.cancels += out.cancelsDelivered;
@@ -755,6 +804,8 @@ main(int argc, char** argv)
             if (out.runtimeFailure) {
                 if (isInjectedOom(out)) {
                     ++t.injectedOoms;
+                } else if (opt.memlimitMiB > 0 && isFatalOom(out)) {
+                    ++t.fatalOomRuns;
                 } else {
                     ++t.unexpectedFailures;
                     noteFailure(t, p.name + " seed=" +
@@ -767,6 +818,8 @@ main(int argc, char** argv)
             if (opt.repro) {
                 RunOutcome again = runPatternOnce(p, cfg);
                 if (again.faultTrace != out.faultTrace ||
+                    again.spanFaultTrace != out.spanFaultTrace ||
+                    again.fatalOoms != out.fatalOoms ||
                     again.individualReports != out.individualReports ||
                     again.cancelsDelivered != out.cancelsDelivered ||
                     again.resurrections != out.resurrections) {
@@ -838,6 +891,18 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(t.quarantined));
     std::printf("  injected double-OOMs: %llu\n",
                 static_cast<unsigned long long>(t.injectedOoms));
+    if (opt.faults.spanMapFailProb > 0.0) {
+        std::printf("  span-map faults:      %llu\n",
+                    static_cast<unsigned long long>(t.spanMapFaults));
+    }
+    if (opt.memlimitMiB > 0) {
+        std::printf("  fatal OOM reports:    %llu\n",
+                    static_cast<unsigned long long>(t.fatalOomRuns));
+        std::printf("  ladder scavenges:     %llu\n",
+                    static_cast<unsigned long long>(t.memScavenges));
+        std::printf("  ladder forced GOLFs:  %llu\n",
+                    static_cast<unsigned long long>(t.memForcedGolfs));
+    }
     std::printf("  deadlock reports:     %llu\n",
                 static_cast<unsigned long long>(t.deadlockReports));
     if (opt.recovery == rt::Recovery::Cancel ||

@@ -25,6 +25,10 @@
  *     -alloc <backend>  allocator backend: pool (default) or legacy;
  *                       results are identical for either
  *                       (-alloc=<backend> also accepted)
+ *     -memlimit <MiB>   soft heap limit per run (0 = off); arms the
+ *                       memory-pressure ladder (DESIGN.md §14)
+ *     -scavenge         release the retired-span cache after every
+ *                       GC cycle
  *     -verify           cross-check runtime invariants after every GC
  *                       and at end of run; any violation, runtime
  *                       failure or unexpected quarantine prints a
@@ -80,6 +84,19 @@ struct Options
     rt::Recovery recovery = rt::Recovery::Reclaim;
     obs::Config obs;
     std::string metricsPath;
+    /** Soft heap limit in MiB (0 = memory-pressure ladder off). */
+    uint64_t memlimitMiB = 0;
+    /** Scavenge the retired-span cache after every GC cycle. */
+    bool scavenge = false;
+
+    /** Heap + ladder knobs shared by every harness run. */
+    void
+    applyMem(HarnessConfig& cfg) const
+    {
+        cfg.heap.backend = backend;
+        cfg.heap.softLimitBytes = memlimitMiB * 1024 * 1024;
+        cfg.mem.scavengeOnGc = scavenge;
+    }
 };
 
 bool
@@ -141,6 +158,13 @@ parseArgs(int argc, char** argv, Options& opt)
             }
         } else if (arg == "-verify") {
             opt.verify = true;
+        } else if (arg == "-memlimit") {
+            const char* v = next();
+            if (!v)
+                return false;
+            opt.memlimitMiB = static_cast<uint64_t>(std::atoll(v));
+        } else if (arg == "-scavenge") {
+            opt.scavenge = true;
         } else if (arg == "-metrics") {
             const char* v = next();
             if (!v)
@@ -228,7 +252,7 @@ runCoverage(const Options& opt)
             HarnessConfig cfg;
             cfg.procs = procs;
             cfg.gcWorkers = opt.gcWorkers;
-            cfg.heap.backend = opt.backend;
+            opt.applyMem(cfg);
             cfg.seed = opt.seed * 7919 +
                        static_cast<uint64_t>(procs);
             cfg.verifyInvariants = opt.verify;
@@ -284,7 +308,7 @@ runCoverage(const Options& opt)
         HarnessConfig cfg;
         cfg.procs = opt.procs.front();
         cfg.gcWorkers = opt.gcWorkers;
-        cfg.heap.backend = opt.backend;
+        opt.applyMem(cfg);
         cfg.seed = opt.seed * 7919 +
                    static_cast<uint64_t>(cfg.procs);
         cfg.watchdog.enabled = opt.watchdog;
@@ -348,7 +372,7 @@ runPerf(const Options& opt)
                 HarnessConfig cfg;
                 cfg.procs = 1;
                 cfg.gcWorkers = opt.gcWorkers;
-            cfg.heap.backend = opt.backend;
+                opt.applyMem(cfg);
                 cfg.seed = opt.seed + static_cast<uint64_t>(i);
                 cfg.gcMode = mode;
                 cfg.obs = opt.obs;
@@ -406,7 +430,7 @@ runRace(const Options& opt)
                 HarnessConfig cfg;
                 cfg.procs = procs;
                 cfg.gcWorkers = opt.gcWorkers;
-            cfg.heap.backend = opt.backend;
+                opt.applyMem(cfg);
                 cfg.seed = opt.seed * 7919 +
                            static_cast<uint64_t>(procs) * 131 +
                            static_cast<uint64_t>(i);
@@ -459,6 +483,7 @@ main(int argc, char** argv)
             "usage: golf_tester [-match re] [-repeats n] "
             "[-procs 1,2,4] [-report path] [-perf] [-race] "
             "[-seed n] [-verify] [-alloc pool|legacy] "
+            "[-memlimit MiB] [-scavenge] "
             "[-watchdog] [-recovery rung] "
             "[-metrics path] [-gctrace] [-flight n] "
             "[-blockprofile ns] [-mutexprofile ns] [-no-obs]\n");
